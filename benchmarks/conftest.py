@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Campaign sizes default to a few hundred trials so the suite runs in minutes;
+set ``REPRO_TRIALS`` to run at paper scale (the paper used 100,000 random
+queries per variant)::
+
+    REPRO_TRIALS=100000 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def trials(default: int) -> int:
+    value = os.environ.get("REPRO_TRIALS")
+    return int(value) if value else default
+
+
+@pytest.fixture
+def trial_count():
+    return trials
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

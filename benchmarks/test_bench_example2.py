@@ -1,0 +1,75 @@
+"""Experiment E2 (Example 2): dialect-divergent SELECT * behaviour.
+
+Paper claim: ``SELECT * FROM (SELECT R.A, R.A FROM R) AS T`` is accepted by
+PostgreSQL but fails to compile on some commercial systems (Oracle); the
+same subquery *under EXISTS* is accepted everywhere.  No single semantics
+accounts for all systems — hence the two adjusted variants.
+"""
+
+from repro.core import NULL, Database, Schema
+from repro.core.errors import AmbiguousReferenceError, ReproError
+from repro.engine import Engine
+from repro.semantics import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
+from repro.sql import annotate, check_query
+from repro.validation.report import format_table
+
+from .conftest import print_banner
+
+STANDALONE = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T"
+NESTED = (
+    "SELECT * FROM R WHERE EXISTS (SELECT * FROM (SELECT R.A, R.A FROM R) AS T)"
+)
+
+
+def outcome(fn):
+    try:
+        table = fn()
+        return f"ok ({len(table)} rows)"
+    except AmbiguousReferenceError:
+        return "error: ambiguous"
+    except ReproError as exc:  # pragma: no cover
+        return f"error: {type(exc).__name__}"
+
+
+def run_example2():
+    schema = Schema({"R": ("A",)})
+    db = Database(schema, {"R": [(1,), (NULL,)]})
+    queries = {"standalone": STANDALONE, "under EXISTS": NESTED}
+    rows = []
+    for label, text in queries.items():
+        q = annotate(text, schema)
+
+        def run_semantics(style, star):
+            check_query(q, schema, star_style=style)
+            return SqlSemantics(schema, star_style=star).run(q, db)
+
+        rows.append(
+            (
+                label,
+                outcome(lambda: run_semantics("standard", STAR_STANDARD)),
+                outcome(lambda: run_semantics("compositional", STAR_COMPOSITIONAL)),
+                outcome(lambda: Engine(schema, "oracle").execute(q, db)),
+                outcome(lambda: Engine(schema, "postgres").execute(q, db)),
+            )
+        )
+    return rows
+
+
+def test_bench_example2(benchmark):
+    rows = benchmark.pedantic(run_example2, rounds=1, iterations=1)
+    print_banner(
+        "E2 — Example 2: SELECT * over duplicated columns "
+        "(paper: PostgreSQL accepts, Oracle errors; both accept under EXISTS)"
+    )
+    print(
+        format_table(
+            ("query", "sem oracle-adj", "sem postgres-adj", "engine ora", "engine pg"),
+            rows,
+        )
+    )
+    standalone, nested = rows
+    assert standalone[1] == "error: ambiguous"  # Oracle-adjusted semantics
+    assert standalone[2] == "ok (2 rows)"  # PostgreSQL-adjusted semantics
+    assert standalone[3] == "error: ambiguous"  # Oracle engine
+    assert standalone[4] == "ok (2 rows)"  # PostgreSQL engine
+    assert all(cell == "ok (2 rows)" for cell in nested[1:])

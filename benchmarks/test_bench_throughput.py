@@ -1,0 +1,97 @@
+"""Experiment PERF (engineering): throughput of the main components.
+
+The paper notes its implementation "is not for performance" (it computes
+Cartesian products); these microbenchmarks document the cost of each
+pipeline stage so regressions are visible.  pytest-benchmark measures:
+
+* random query generation,
+* parsing + printing round trips,
+* formal-semantics evaluation,
+* reference-engine execution,
+* the full Theorem 1 translation (to SQL-RA + desugaring).
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import desugar, to_sqlra
+from repro.core import validation_schema
+from repro.engine import Engine
+from repro.generator import (
+    DM_CONFIG,
+    DataFillerConfig,
+    PAPER_CONFIG,
+    QueryGenerator,
+    fill_database,
+)
+from repro.semantics import STAR_COMPOSITIONAL, SqlSemantics
+from repro.sql import parse_query, print_query
+
+SCHEMA = validation_schema()
+
+
+def make_query(seed, config=PAPER_CONFIG):
+    return QueryGenerator(SCHEMA, config, random.Random(seed)).generate()
+
+
+def make_db(seed, rows=5):
+    return fill_database(SCHEMA, random.Random(seed), DataFillerConfig(max_rows=rows))
+
+
+def test_bench_query_generation(benchmark):
+    generator = QueryGenerator(SCHEMA)
+    counter = iter(range(10_000_000))
+
+    def generate():
+        return generator.generate(seed=next(counter))
+
+    benchmark(generate)
+
+
+def test_bench_parse_print_roundtrip(benchmark):
+    texts = [print_query(make_query(seed)) for seed in range(50)]
+
+    def roundtrip():
+        for text in texts:
+            print_query(parse_query(text))
+
+    benchmark(roundtrip)
+
+
+def test_bench_semantics_evaluation(benchmark):
+    sem = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL)
+    pairs = [(make_query(seed), make_db(seed)) for seed in range(20)]
+
+    def evaluate():
+        for query, db in pairs:
+            try:
+                sem.run(query, db)
+            except Exception:
+                pass
+
+    benchmark(evaluate)
+
+
+def test_bench_engine_execution(benchmark):
+    engine = Engine(SCHEMA, "postgres")
+    pairs = [(make_query(seed), make_db(seed)) for seed in range(20)]
+
+    def execute():
+        for query, db in pairs:
+            try:
+                engine.execute(query, db)
+            except Exception:
+                pass
+
+    benchmark(execute)
+
+
+def test_bench_theorem1_translation(benchmark):
+    queries = [make_query(seed, DM_CONFIG) for seed in range(10)]
+
+    def translate():
+        for query in queries:
+            desugar(to_sqlra(query, SCHEMA), SCHEMA)
+
+    benchmark(translate)

@@ -1,0 +1,48 @@
+"""Experiment TPCH (Section 4): the TPC-H statistics behind the generator.
+
+Paper claims: eight base tables; each query uses 3.2 tables on average; all
+but one use 6 or fewer; only three queries use more than 8 WHERE conditions;
+no query exceeds 3 levels of nesting.  These motivated the generator
+parameters tables=6, nest=3, attr=3, cond=8.
+"""
+
+from repro.generator.tpch import TPCH_QUERY_STATS, tpch_schema, tpch_statistics
+from repro.validation.report import format_table
+
+from .conftest import print_banner
+
+
+def test_bench_tpch_stats(benchmark):
+    stats = benchmark.pedantic(tpch_statistics, rounds=1, iterations=1)
+    print_banner("TPCH — Section 4: TPC-H structural statistics")
+    per_query = [
+        (name, len(s.tables), s.conditions, s.nesting)
+        for name, s in TPCH_QUERY_STATS.items()
+    ]
+    print(format_table(("query", "tables", "conditions", "nesting"), per_query))
+    print(
+        format_table(
+            ("statistic", "paper", "measured"),
+            [
+                ("base tables", 8, stats["base_tables"]),
+                ("avg tables/query", "3.2", f"{stats['avg_tables_per_query']:.2f}"),
+                (
+                    "queries using > 6 tables",
+                    1,
+                    stats["queries_with_more_than_6_tables"],
+                ),
+                (
+                    "queries with > 8 conditions",
+                    3,
+                    stats["queries_with_more_than_8_conditions"],
+                ),
+                ("max nesting", 3, stats["max_nesting"]),
+            ],
+        )
+    )
+    assert stats["base_tables"] == 8
+    assert abs(stats["avg_tables_per_query"] - 3.2) < 0.15
+    assert stats["queries_with_more_than_6_tables"] == 1
+    assert stats["queries_with_more_than_8_conditions"] == 3
+    assert stats["max_nesting"] == 3
+    assert len(tpch_schema().table_names) == 8

@@ -1,0 +1,51 @@
+"""Experiment F1 (Figure 1): the truth tables of SQL's 3VL.
+
+Regenerates the ∧, ∨, ¬ tables of Figure 1 from the implementation and
+checks them cell by cell against the paper's figure.
+"""
+
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.validation.report import format_table
+
+from .conftest import print_banner
+
+ORDER = (TRUE, FALSE, UNKNOWN)
+
+PAPER_AND = {
+    ("t", "t"): "t", ("t", "f"): "f", ("t", "u"): "u",
+    ("f", "t"): "f", ("f", "f"): "f", ("f", "u"): "f",
+    ("u", "t"): "u", ("u", "f"): "f", ("u", "u"): "u",
+}
+PAPER_OR = {
+    ("t", "t"): "t", ("t", "f"): "t", ("t", "u"): "t",
+    ("f", "t"): "t", ("f", "f"): "f", ("f", "u"): "u",
+    ("u", "t"): "t", ("u", "f"): "u", ("u", "u"): "u",
+}
+PAPER_NOT = {"t": "f", "f": "t", "u": "u"}
+
+
+def build_tables():
+    conj = {(a.name, b.name): (a & b).name for a in ORDER for b in ORDER}
+    disj = {(a.name, b.name): (a | b).name for a in ORDER for b in ORDER}
+    neg = {a.name: (~a).name for a in ORDER}
+    return conj, disj, neg
+
+
+def binary_rows(table):
+    return [
+        (a.name, *[table[(a.name, b.name)] for b in ORDER]) for a in ORDER
+    ]
+
+
+def test_bench_truth_tables(benchmark):
+    conj, disj, neg = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    print_banner("F1 — Figure 1: Kleene truth tables for SQL's 3VL")
+    print("conjunction (∧):")
+    print(format_table(("∧", "t", "f", "u"), binary_rows(conj)))
+    print("disjunction (∨):")
+    print(format_table(("∨", "t", "f", "u"), binary_rows(disj)))
+    print("negation (¬):")
+    print(format_table(("x", "¬x"), [(k, v) for k, v in neg.items()]))
+    assert conj == PAPER_AND
+    assert disj == PAPER_OR
+    assert neg == PAPER_NOT

@@ -1,0 +1,81 @@
+"""Experiment T2 (Theorem 2 / Section 6): 3VL adds no expressive power.
+
+For random queries Q, the Figure 10 translation Q′ must satisfy
+⟦Q⟧ = ⟦Q′⟧2v, and the converse translation Q″ must satisfy ⟦Q⟧2v = ⟦Q″⟧ —
+under both two-valued interpretations of equality (f/u conflation and
+syntactic equality).
+"""
+
+import random
+
+from repro.core import validation_schema
+from repro.core.errors import ReproError
+from repro.generator import (
+    DataFillerConfig,
+    PAPER_CONFIG,
+    QueryGenerator,
+    fill_database,
+)
+from repro.semantics import SqlSemantics, TwoValuedTranslator, to_three_valued
+from repro.sql import check_query
+from repro.validation.report import format_table
+
+from .conftest import print_banner, trials
+
+
+def run_two_valued_campaign():
+    schema = validation_schema()
+    sem3 = SqlSemantics(schema)
+    data = DataFillerConfig(max_rows=4)
+    count = trials(150)
+    results = {}
+    for mode in ("conflating", "syntactic"):
+        tested = forward = backward = skipped = 0
+        for seed in range(count):
+            rng = random.Random(seed)
+            query = QueryGenerator(schema, PAPER_CONFIG, rng).generate()
+            db = fill_database(schema, rng, data)
+            try:
+                check_query(query, schema, star_style="standard")
+            except ReproError:
+                skipped += 1
+                continue
+            tested += 1
+            expected = sem3.run(query, db)
+            translator = TwoValuedTranslator(schema, mode)
+            sem2 = SqlSemantics(schema, logic=translator.logic)
+            if sem2.run(translator.translate_query(query), db).same_as(expected):
+                forward += 1
+            direct2v = sem2.run(query, db)
+            if sem3.run(to_three_valued(query, schema, mode), db).same_as(direct2v):
+                backward += 1
+        results[mode] = (tested, forward, backward, skipped)
+    return results
+
+
+def test_bench_two_valued(benchmark):
+    results = benchmark.pedantic(run_two_valued_campaign, rounds=1, iterations=1)
+    print_banner(
+        "T2 — Theorem 2: ⟦Q⟧ = ⟦Q′⟧2v and ⟦Q⟧2v = ⟦Q″⟧ "
+        "(paper: equal expressiveness under either equality reading)"
+    )
+    rows = [
+        (
+            mode,
+            tested,
+            f"{forward}/{tested}",
+            f"{backward}/{tested}",
+            skipped,
+        )
+        for mode, (tested, forward, backward, skipped) in results.items()
+    ]
+    print(
+        format_table(
+            ("equality", "tested", "⟦Q⟧=⟦Q′⟧2v", "⟦Q⟧2v=⟦Q″⟧", "skipped (ambiguous)"),
+            rows,
+        )
+    )
+    for mode, (tested, forward, backward, _skipped) in results.items():
+        assert tested > 0, mode
+        assert forward == tested, mode
+        assert backward == tested, mode

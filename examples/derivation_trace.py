@@ -1,0 +1,40 @@
+"""Watching the semantics work: a rule-by-rule derivation trace.
+
+The paper closes by advocating its formal semantics as "a useful tool for
+both users and implementers in understanding the behavior of SQL queries".
+`TracingSemantics` makes each rule application visible: which block was
+evaluated, under which environment η, yielding which table or truth value.
+
+The traced query is Example 1's Q1 — the NOT IN query that surprisingly
+returns the empty table.  The trace shows *why*: for every row of R, the
+membership test against S = {NULL} evaluates to u (never f), so NOT IN is
+never t.
+
+Run:  python examples/derivation_trace.py
+"""
+
+from repro import Database, NULL, Schema, annotate
+from repro.semantics import TracingSemantics, format_trace
+
+schema = Schema({"R": ("A",), "S": ("A",)})
+db = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+
+query = annotate(
+    "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", schema
+)
+
+semantics = TracingSemantics(schema)
+result = semantics.run(query, db)
+
+print("Derivation of Q1 on R = {1, NULL}, S = {NULL}:")
+print()
+print(format_trace(semantics.trace))
+print()
+print(f"Final result: {sorted(result.bag, key=repr)}  (the empty table)")
+print()
+print(
+    "Reading the trace: the WHERE condition is evaluated once per row of R\n"
+    "with the row's bindings in η.  Both applications of ⟦R.A NOT IN …⟧\n"
+    "come out u (1 = NULL is unknown; NULL = NULL is unknown), and rows are\n"
+    "kept only when the condition is t — hence the empty answer."
+)

@@ -1,0 +1,58 @@
+"""Theorem 1 in action: translate basic SQL to relational algebra.
+
+Takes the data manipulation queries of Example 1 (Q1 and Q3), translates
+them through the Figure 9 pipeline into SQL-RA, desugars the SQL-RA
+extensions into pure relational algebra (Proposition 2 — semijoins and
+antijoins over the syntactic natural join), evaluates everything, and
+confirms that all stages agree with the SQL semantics.
+
+Run:  python examples/sql_to_algebra.py
+"""
+
+from repro import NULL, Database, Schema, SqlSemantics, annotate
+from repro.algebra import (
+    RASemantics,
+    desugar,
+    is_pure,
+    print_expression,
+    print_expression_tree,
+    to_sqlra,
+)
+
+schema = Schema({"R": ("A",), "S": ("A",)})
+db = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+
+sql_semantics = SqlSemantics(schema)
+ra_semantics = RASemantics(schema)
+
+QUERIES = {
+    "Q1": "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+    "Q3": "SELECT R.A FROM R EXCEPT SELECT S.A FROM S",
+}
+
+for name, text in QUERIES.items():
+    print(f"\n=== {name}: {text}")
+    query = annotate(text, schema)
+    expected = sql_semantics.run(query, db)
+    print(f"SQL result: {sorted(expected.bag, key=repr)}")
+
+    # Stage 1 — Figure 9: SQL → SQL-RA (∈ / empty conditions allowed).
+    sqlra = to_sqlra(query, schema)
+    print(f"\nSQL-RA (Figure 9):\n  {print_expression(sqlra)}")
+    stage1 = ra_semantics.evaluate(sqlra, db)
+    assert stage1.same_as(expected)
+
+    # Stage 2 — Proposition 2: desugar to *pure* relational algebra.
+    pure = desugar(sqlra, schema)
+    assert is_pure(pure)
+    print("\nPure RA (Proposition 2), as a tree:")
+    print(print_expression_tree(pure))
+    stage2 = ra_semantics.evaluate(pure, db)
+    assert stage2.same_as(expected)
+    print(f"\nPure-RA result: {sorted(stage2.bag, key=repr)}  (agrees ✓)")
+
+print(
+    "\nBoth queries translate to relational algebra and agree with the SQL\n"
+    "semantics — including the NOT IN query whose three-valued behaviour\n"
+    "(unknown from comparing with NULL) survives the translation."
+)

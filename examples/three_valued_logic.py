@@ -1,0 +1,52 @@
+"""Theorem 2 in action: evaluating SQL without three-valued logic.
+
+Everyone "knows" SQL needs 3VL to handle NULLs.  The paper proves it does
+not: the Figure 10 translation θ ↦ θᵗ produces, for any query Q, a query Q′
+with ⟦Q⟧ = ⟦Q′⟧2v — the same answers under a plain two-valued semantics
+where f and u are conflated (or where = is syntactic equality).
+
+This script translates a NOT IN query (the nastiest case: negation over a
+possibly-unknown membership test) and shows the rewritten SQL.
+
+Run:  python examples/three_valued_logic.py
+"""
+
+from repro import (
+    NULL,
+    Database,
+    Schema,
+    SqlSemantics,
+    TwoValuedTranslator,
+    annotate,
+    print_query,
+)
+
+schema = Schema({"R": ("A",), "S": ("A",)})
+db = Database(schema, {"R": [(1,), (2,), (NULL,)], "S": [(2,), (NULL,)]})
+
+TEXT = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"
+query = annotate(TEXT, schema)
+
+three_valued = SqlSemantics(schema)  # the paper's ⟦·⟧ (Figures 4-7)
+reference = three_valued.run(query, db)
+
+print(f"Query: {TEXT}")
+print(f"Database: R = {{1, 2, NULL}}, S = {{2, NULL}}")
+print(f"\n3VL result (official SQL semantics): {sorted(reference.bag, key=repr)}")
+
+for mode in ("conflating", "syntactic"):
+    translator = TwoValuedTranslator(schema, equality=mode)
+    translated = translator.translate_query(query)
+    two_valued = SqlSemantics(schema, logic=translator.logic)
+    result = two_valued.run(translated, db)
+    print(f"\n--- two-valued semantics, equality mode: {mode}")
+    print("translated query Q′ (Figure 10):")
+    print(f"  {print_query(translated)}")
+    print(f"2VL result: {sorted(result.bag, key=repr)}")
+    assert result.same_as(reference), "Theorem 2 violated!"
+
+print(
+    "\nBoth two-valued evaluations return exactly the 3VL answer: as the\n"
+    "paper concludes, three-valued logic adds no expressive power to basic\n"
+    "SQL — at the price of the more verbose (and disjunction-heavy) Q′."
+)

@@ -1,0 +1,43 @@
+"""A miniature of the paper's Section 4 experiment.
+
+Generates random queries over the fixed schema R1..R8 (Ri has i+1 int
+attributes) with the paper's generator parameters (tables=6, nest=3, attr=3,
+cond=8), a random database per query, and compares the formal semantics
+against the independent reference engine — once per variant:
+
+* postgres: compositional-star semantics vs positional-star engine;
+* oracle:   standard semantics (+ compile check) vs name-based-star engine.
+
+The paper ran 100,000 queries per variant and observed full agreement;
+adjust TRIALS below (or pass a number as argv[1]) to scale.
+
+Run:  python examples/validation_campaign.py [trials]
+"""
+
+import sys
+
+from repro.generator import DataFillerConfig
+from repro.validation import ValidationRunner, format_campaigns
+
+TRIALS = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+
+reports = []
+for variant in ("postgres", "oracle"):
+    runner = ValidationRunner(
+        variant=variant, data_config=DataFillerConfig(max_rows=6)
+    )
+    print(f"running {TRIALS} trials against the {variant} variant ...")
+    report = runner.run(trials=TRIALS, base_seed=0)
+    reports.append(report)
+    for mismatch in report.mismatches:
+        print(runner.explain(mismatch))
+
+print()
+print(format_campaigns(reports))
+print(
+    "\n'both-error' counts queries where BOTH the Oracle-adjusted semantics\n"
+    "and the oracle-dialect engine rejected the query as ambiguous — the\n"
+    "agreement-via-matching-errors class the paper reports for Oracle."
+)
+assert all(r.agreements == r.trials for r in reports), "disagreement found!"
+print("\nAll trials agree — the Section 4 result reproduces.")

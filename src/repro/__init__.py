@@ -1,0 +1,84 @@
+"""repro: an executable reproduction of "A Formal Semantics of SQL Queries,
+Its Validation, and Applications" (Guagliardo & Libkin, PVLDB 2017).
+
+The package implements the paper end to end:
+
+* :mod:`repro.core` — the data model: values and NULL, bags, tables,
+  Kleene's three-valued logic, environments, schemas;
+* :mod:`repro.sql` — the basic SQL fragment: AST (Figure 2), output labels
+  (Figure 3), parser, printer, annotation to the fully-qualified form,
+  compile-time checks;
+* :mod:`repro.semantics` — the denotational semantics of Figures 4-7 with
+  the standard and PostgreSQL-compositional star styles, pluggable logics
+  (3VL and the two two-valued interpretations of Section 6), and the
+  Figure 10 translations of Theorem 2;
+* :mod:`repro.algebra` — bag relational algebra and SQL-RA (Figure 8), the
+  Figure 9 translation, and the Proposition 2 desugaring (Theorem 1);
+* :mod:`repro.engine` — an independent iterator-model executor standing in
+  for PostgreSQL/Oracle in the validation experiment;
+* :mod:`repro.generator` — the random query/data generators of Section 4
+  and the TPC-H structural statistics behind their parameters;
+* :mod:`repro.validation` — the validation campaign harness.
+
+Quickstart::
+
+    from repro import Schema, Database, NULL, annotate, SqlSemantics
+
+    schema = Schema({"R": ("A",), "S": ("A",)})
+    db = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+    query = annotate("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", schema)
+    print(SqlSemantics(schema).run(query, db).pretty())
+"""
+
+from .core import (
+    NULL,
+    Bag,
+    Database,
+    Environment,
+    FullName,
+    Schema,
+    Table,
+    Truth,
+    validation_schema,
+)
+from .engine import Engine
+from .semantics import SqlSemantics, TwoValuedTranslator, to_three_valued
+from .sql import annotate, check_query, parse_query, print_query
+from .algebra import RASemantics, desugar, ra_to_sql, sql_to_ra, to_sqlra
+from .applications import EquivalenceReport, check_equivalence, find_counterexample
+from .generator import QueryGenerator, fill_database
+from .validation import ValidationRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NULL",
+    "Bag",
+    "Table",
+    "Schema",
+    "Database",
+    "Environment",
+    "FullName",
+    "Truth",
+    "validation_schema",
+    "annotate",
+    "parse_query",
+    "print_query",
+    "check_query",
+    "SqlSemantics",
+    "TwoValuedTranslator",
+    "to_three_valued",
+    "Engine",
+    "RASemantics",
+    "desugar",
+    "sql_to_ra",
+    "to_sqlra",
+    "ra_to_sql",
+    "QueryGenerator",
+    "fill_database",
+    "ValidationRunner",
+    "EquivalenceReport",
+    "check_equivalence",
+    "find_counterexample",
+    "__version__",
+]

@@ -1,0 +1,343 @@
+"""Abstract syntax of bag relational algebra and SQL-RA (Section 5).
+
+Plain RA expressions are given by the paper's grammar::
+
+    E := R | π_β(E) | σ_θ(E) | E × E | E ∪ E | E ∩ E | E − E
+       | ρ_{β→β′}(E) | ε(E)
+
+with selection conditions::
+
+    θ := TRUE | FALSE | P(t̄) | const(t) | null(t) | θ ∧ θ | θ ∨ θ | ¬θ
+
+SQL-RA extends conditions with the two constructs that mimic SQL subqueries::
+
+    θ := … | t̄ ∈ E | empty(E)
+
+An RA *term* is a name, a constant, or NULL.  Because Python strings are
+used both for names and for string constants, attribute references are
+wrapped in :class:`Attr`; bare ints/strings/NULL are constants.
+
+A *pure* RA expression contains no ``∈``/``empty`` condition (see
+:func:`is_pure`); Proposition 2 says every SQL-RA query can be desugared
+into a pure one (:mod:`repro.algebra.desugar`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..core.values import Name, Null, Value
+
+__all__ = [
+    "Attr",
+    "RATerm",
+    "Relation",
+    "Projection",
+    "Selection",
+    "Product",
+    "UnionOp",
+    "IntersectionOp",
+    "DifferenceOp",
+    "Renaming",
+    "Dedup",
+    "RAExpr",
+    "RTrue",
+    "RFalse",
+    "R_TRUE",
+    "R_FALSE",
+    "RPredicate",
+    "NullTest",
+    "ConstTest",
+    "RAnd",
+    "ROr",
+    "RNot",
+    "InExpr",
+    "Empty",
+    "RACondition",
+    "rand_all",
+    "ror_all",
+    "is_pure",
+    "condition_is_pure",
+    "walk_expressions",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Attr:
+    """An attribute reference in an RA term or projection list."""
+
+    name: Name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: An RA term: attribute reference, constant, or NULL.
+RATerm = Union[Attr, int, str, Null]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Relation:
+    """A base relation R."""
+
+    name: Name
+
+
+@dataclass(frozen=True, slots=True)
+class Projection:
+    """π_β(E): well-defined iff β ⊆ ℓ(E) with no repetitions."""
+
+    source: "RAExpr"
+    attributes: Tuple[Name, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("projection needs at least one attribute")
+
+
+@dataclass(frozen=True, slots=True)
+class Selection:
+    """σ_θ(E)."""
+
+    source: "RAExpr"
+    condition: "RACondition"
+
+
+@dataclass(frozen=True, slots=True)
+class Product:
+    """E1 × E2: well-defined iff ℓ(E1) and ℓ(E2) are disjoint."""
+
+    left: "RAExpr"
+    right: "RAExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class UnionOp:
+    """E1 ∪ E2 (bag union): well-defined iff ℓ(E1) = ℓ(E2)."""
+
+    left: "RAExpr"
+    right: "RAExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class IntersectionOp:
+    """E1 ∩ E2 (bag intersection): well-defined iff ℓ(E1) = ℓ(E2)."""
+
+    left: "RAExpr"
+    right: "RAExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class DifferenceOp:
+    """E1 − E2 (bag difference): well-defined iff ℓ(E1) = ℓ(E2)."""
+
+    left: "RAExpr"
+    right: "RAExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class Renaming:
+    """ρ_{β→β′}(E): well-defined iff β = ℓ(E) and β′ repetition-free."""
+
+    source: "RAExpr"
+    old: Tuple[Name, ...]
+    new: Tuple[Name, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.old) != len(self.new):
+            raise ValueError("renaming lists must have equal length")
+
+
+@dataclass(frozen=True, slots=True)
+class Dedup:
+    """ε(E): duplicate elimination."""
+
+    source: "RAExpr"
+
+
+RAExpr = Union[
+    Relation,
+    Projection,
+    Selection,
+    Product,
+    UnionOp,
+    IntersectionOp,
+    DifferenceOp,
+    Renaming,
+    Dedup,
+]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RTrue:
+    """TRUE."""
+
+
+@dataclass(frozen=True, slots=True)
+class RFalse:
+    """FALSE."""
+
+
+R_TRUE = RTrue()
+R_FALSE = RFalse()
+
+
+@dataclass(frozen=True, slots=True)
+class RPredicate:
+    """P(t1, …, tk): three-valued, unknown when an argument is NULL."""
+
+    name: str
+    args: Tuple[RATerm, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NullTest:
+    """null(t): two-valued test for NULL."""
+
+    term: RATerm
+
+
+@dataclass(frozen=True, slots=True)
+class ConstTest:
+    """const(t): the negation of null(t)."""
+
+    term: RATerm
+
+
+@dataclass(frozen=True, slots=True)
+class RAnd:
+    left: "RACondition"
+    right: "RACondition"
+
+
+@dataclass(frozen=True, slots=True)
+class ROr:
+    left: "RACondition"
+    right: "RACondition"
+
+
+@dataclass(frozen=True, slots=True)
+class RNot:
+    operand: "RACondition"
+
+
+@dataclass(frozen=True, slots=True)
+class InExpr:
+    """t̄ ∈ E — SQL-RA only (the analogue of SQL's IN)."""
+
+    terms: Tuple[RATerm, ...]
+    source: RAExpr
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("∈ needs at least one term on the left")
+
+
+@dataclass(frozen=True, slots=True)
+class Empty:
+    """empty(E) — SQL-RA only (the analogue of NOT EXISTS)."""
+
+    source: RAExpr
+
+
+RACondition = Union[
+    RTrue,
+    RFalse,
+    RPredicate,
+    NullTest,
+    ConstTest,
+    RAnd,
+    ROr,
+    RNot,
+    InExpr,
+    Empty,
+]
+
+
+def rand_all(conditions: list) -> RACondition:
+    """Left-associated conjunction; TRUE for the empty list."""
+    if not conditions:
+        return R_TRUE
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = RAnd(result, cond)
+    return result
+
+
+def ror_all(conditions: list) -> RACondition:
+    """Left-associated disjunction; FALSE for the empty list."""
+    if not conditions:
+        return R_FALSE
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = ROr(result, cond)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Purity (plain RA vs SQL-RA)
+# ---------------------------------------------------------------------------
+
+
+def condition_is_pure(condition: RACondition) -> bool:
+    """Whether a condition avoids the SQL-RA extensions ∈ and empty."""
+    if isinstance(condition, (InExpr, Empty)):
+        return False
+    if isinstance(condition, (RAnd, ROr)):
+        return condition_is_pure(condition.left) and condition_is_pure(condition.right)
+    if isinstance(condition, RNot):
+        return condition_is_pure(condition.operand)
+    return True
+
+
+def is_pure(expr: RAExpr) -> bool:
+    """Whether an expression is plain RA (no ∈/empty anywhere)."""
+    if isinstance(expr, Relation):
+        return True
+    if isinstance(expr, Selection):
+        return condition_is_pure(expr.condition) and is_pure(expr.source) and all(
+            is_pure(sub) for sub in _condition_subexpressions(expr.condition)
+        )
+    if isinstance(expr, (Projection, Dedup, Renaming)):
+        return is_pure(expr.source)
+    if isinstance(expr, (Product, UnionOp, IntersectionOp, DifferenceOp)):
+        return is_pure(expr.left) and is_pure(expr.right)
+    raise TypeError(f"not an RA expression: {expr!r}")
+
+
+def _condition_subexpressions(condition: RACondition):
+    if isinstance(condition, InExpr):
+        yield condition.source
+    elif isinstance(condition, Empty):
+        yield condition.source
+    elif isinstance(condition, (RAnd, ROr)):
+        yield from _condition_subexpressions(condition.left)
+        yield from _condition_subexpressions(condition.right)
+    elif isinstance(condition, RNot):
+        yield from _condition_subexpressions(condition.operand)
+
+
+def walk_expressions(expr: RAExpr):
+    """Yield every sub-expression of ``expr`` (including itself), including
+    those nested inside selection conditions."""
+    yield expr
+    if isinstance(expr, (Projection, Dedup, Renaming)):
+        yield from walk_expressions(expr.source)
+    elif isinstance(expr, Selection):
+        yield from walk_expressions(expr.source)
+        for sub in _condition_subexpressions(expr.condition):
+            yield from walk_expressions(sub)
+    elif isinstance(expr, (Product, UnionOp, IntersectionOp, DifferenceOp)):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)

@@ -1,0 +1,462 @@
+"""Proposition 2: desugaring SQL-RA into plain relational algebra.
+
+The paper proves that the SQL-RA extensions — conditions ``t̄ ∈ E`` and
+``empty(E)``, with parameters resolved through environments — are syntactic
+sugar, in three steps: (i) eliminate ``∈`` in favour of emptiness tests,
+(ii) normalize conditions so each atom is a predicate, an emptiness test or
+a negation thereof, and (iii) turn ``σ_{empty(E)}`` / ``σ_{¬empty(E)}`` into
+left (anti)semijoins.  This module is an executable version of that proof.
+
+The pipeline of :func:`desugar`:
+
+1. **α-renaming** — every attribute name introduced anywhere in the
+   expression is replaced by a globally fresh one (references in conditions
+   follow the shadowing discipline of the SQL-RA environments).  After this
+   pass, distinct scopes never collide, which makes decorrelation by
+   context-products well-formed.
+
+2. **Two-valuing + ∈-elimination** — each selection condition θ is replaced
+   by its t-translation θᵗ (the Section 6 idea replayed inside RA): every
+   predicate atom is guarded with ``const(·)`` so that unknown never arises,
+   and ``t̄ ∈ E`` becomes emptiness tests over selections of E.  σ keeps
+   exactly the rows where θ is true, and θᵗ is true on exactly those rows,
+   so the rewriting is sound; because θᵗ is two-valued, classical Boolean
+   reasoning (case splits on atoms) becomes available.
+
+3. **Decorrelation** — for each emptiness atom ``empty(F)`` inside a
+   selection over Ê, the parameters Π of F are enumerated by the *context*
+   K = ε(π_Π(Ê)); F is recursively desugared against K (each base relation
+   becomes K × R, products join on the context columns with the syntactic
+   natural join, and so on), giving a pure expression whose Π-projection NE
+   lists the bindings with F non-empty.  The selection then splits into the
+   semijoin (atom false) and antijoin (atom true) branches of Ê against NE
+   — the paper's left (anti)semijoins — and the case split recurses over
+   the remaining atoms.
+
+The result is a pure RA expression over the *renamed* signature; a final ρ
+restores the original output names, so ``desugar(E)`` is equivalent to E on
+every database (under the empty environment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..core.errors import IllFormedExpressionError
+from ..core.schema import Schema
+from ..core.values import NULL, Name, Null
+from .ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    RATerm,
+    Relation,
+    Renaming,
+    RFalse,
+    RNot,
+    ROr,
+    RPredicate,
+    RTrue,
+    R_FALSE,
+    R_TRUE,
+    Selection,
+    UnionOp,
+    rand_all,
+    walk_expressions,
+)
+from .ops import NameSupply, natural_join_syntactic, semijoin, used_names
+from .params import params
+from .typecheck import signature
+
+__all__ = ["desugar", "alpha_rename", "two_value_condition"]
+
+
+def desugar(expr: RAExpr, schema: Schema) -> RAExpr:
+    """Desugar an SQL-RA query (no parameters) into equivalent pure RA."""
+    remaining = params(expr, schema)
+    if remaining:
+        raise IllFormedExpressionError(
+            f"cannot desugar an expression with free parameters: {sorted(remaining)}"
+        )
+    original = signature(expr, schema)
+    supply = NameSupply(used_names(expr, schema))
+    renamed = _Renamer(schema, supply).rename(expr, {})
+    pure = _Desugarer(schema, supply).desugar(renamed, None)
+    final = signature(pure, schema)
+    if final == original:
+        return pure
+    return Renaming(pure, final, original)
+
+
+# ---------------------------------------------------------------------------
+# Step 1: α-renaming
+# ---------------------------------------------------------------------------
+
+
+def alpha_rename(
+    expr: RAExpr, schema: Schema, supply: Optional[NameSupply] = None
+) -> RAExpr:
+    """Rename every introduced label to a globally fresh one.
+
+    The result is equivalent to ``expr`` up to its output signature (which
+    changes); references in conditions are rewritten following the SQL-RA
+    shadowing discipline.  Exposed mostly for tests and tooling; the full
+    pipeline is :func:`desugar`.
+    """
+    if supply is None:
+        supply = NameSupply(used_names(expr, schema))
+    return _Renamer(schema, supply).rename(expr, {})
+
+
+class _Renamer:
+    """Rewrites an expression so every introduced label is globally fresh."""
+
+    def __init__(self, schema: Schema, supply: NameSupply):
+        self.schema = schema
+        self.supply = supply
+
+    def rename(self, expr: RAExpr, sub: Dict[Name, Name]) -> RAExpr:
+        if isinstance(expr, Relation):
+            old = self.schema.attributes(expr.name)
+            new = tuple(self.supply.fresh(a) for a in old)
+            return Renaming(expr, old, new)
+        if isinstance(expr, Projection):
+            old_labels = signature(expr.source, self.schema)
+            source = self.rename(expr.source, sub)
+            local = dict(zip(old_labels, signature(source, self.schema)))
+            return Projection(source, tuple(local[a] for a in expr.attributes))
+        if isinstance(expr, Selection):
+            old_labels = signature(expr.source, self.schema)
+            source = self.rename(expr.source, sub)
+            local = dict(zip(old_labels, signature(source, self.schema)))
+            inner_sub = {**sub, **local}
+            condition = self._rename_condition(expr.condition, inner_sub)
+            return Selection(source, condition)
+        if isinstance(expr, Product):
+            return Product(self.rename(expr.left, sub), self.rename(expr.right, sub))
+        if isinstance(expr, (UnionOp, IntersectionOp, DifferenceOp)):
+            left = self.rename(expr.left, sub)
+            right = self.rename(expr.right, sub)
+            left_labels = signature(left, self.schema)
+            right_labels = signature(right, self.schema)
+            if right_labels != left_labels:
+                right = Renaming(right, right_labels, left_labels)
+            return type(expr)(left, right)
+        if isinstance(expr, Renaming):
+            old_labels = signature(expr.source, self.schema)
+            source = self.rename(expr.source, sub)
+            fresh = tuple(self.supply.fresh(n) for n in expr.new)
+            return Renaming(source, signature(source, self.schema), fresh)
+        if isinstance(expr, Dedup):
+            return Dedup(self.rename(expr.source, sub))
+        raise TypeError(f"not an RA expression: {expr!r}")
+
+    def _rename_condition(
+        self, condition: RACondition, sub: Dict[Name, Name]
+    ) -> RACondition:
+        if isinstance(condition, (RTrue, RFalse)):
+            return condition
+        if isinstance(condition, RPredicate):
+            return RPredicate(
+                condition.name, tuple(self._rename_term(t, sub) for t in condition.args)
+            )
+        if isinstance(condition, NullTest):
+            return NullTest(self._rename_term(condition.term, sub))
+        if isinstance(condition, ConstTest):
+            return ConstTest(self._rename_term(condition.term, sub))
+        if isinstance(condition, RAnd):
+            return RAnd(
+                self._rename_condition(condition.left, sub),
+                self._rename_condition(condition.right, sub),
+            )
+        if isinstance(condition, ROr):
+            return ROr(
+                self._rename_condition(condition.left, sub),
+                self._rename_condition(condition.right, sub),
+            )
+        if isinstance(condition, RNot):
+            return RNot(self._rename_condition(condition.operand, sub))
+        if isinstance(condition, InExpr):
+            return InExpr(
+                tuple(self._rename_term(t, sub) for t in condition.terms),
+                self.rename(condition.source, sub),
+            )
+        if isinstance(condition, Empty):
+            return Empty(self.rename(condition.source, sub))
+        raise TypeError(f"not an RA condition: {condition!r}")
+
+    def _rename_term(self, term: RATerm, sub: Dict[Name, Name]) -> RATerm:
+        if isinstance(term, Attr):
+            if term.name not in sub:
+                raise IllFormedExpressionError(
+                    f"name {term.name} is free in the expression being desugared"
+                )
+            return Attr(sub[term.name])
+        return term
+
+
+# ---------------------------------------------------------------------------
+# Step 2: two-valuing conditions and eliminating ∈
+# ---------------------------------------------------------------------------
+
+
+def two_value_condition(
+    condition: RACondition, schema: Schema, want_true: bool = True
+) -> RACondition:
+    """θᵗ (or θᶠ): a two-valued condition true exactly where θ is t (resp. f).
+
+    Predicate atoms are guarded with const(·) on their arguments, and ``∈``
+    atoms become emptiness tests, following the Section 6 construction
+    replayed at the RA level.  Sub-expressions inside Empty/∈ are *not*
+    rewritten here; the decorrelation step recurses into them.
+    """
+    return _tt(condition, schema) if want_true else _ff(condition, schema)
+
+
+def _guards(args: Tuple[RATerm, ...]) -> list:
+    guards = []
+    for arg in args:
+        if isinstance(arg, Attr) or isinstance(arg, Null):
+            guards.append(ConstTest(arg))
+    return guards
+
+
+def _tt(condition: RACondition, schema: Schema) -> RACondition:
+    if isinstance(condition, RTrue):
+        return R_TRUE
+    if isinstance(condition, RFalse):
+        return R_FALSE
+    if isinstance(condition, RPredicate):
+        return rand_all([condition, *_guards(condition.args)])
+    if isinstance(condition, (NullTest, ConstTest)):
+        return condition
+    if isinstance(condition, RAnd):
+        return RAnd(_tt(condition.left, schema), _tt(condition.right, schema))
+    if isinstance(condition, ROr):
+        return ROr(_tt(condition.left, schema), _tt(condition.right, schema))
+    if isinstance(condition, RNot):
+        return _ff(condition.operand, schema)
+    if isinstance(condition, Empty):
+        return condition
+    if isinstance(condition, InExpr):
+        # (t̄ ∈ E)ᵗ: some row of E matches t̄ with every equality true.
+        return RNot(Empty(_membership_selection(condition, schema, mode="true")))
+    raise TypeError(f"not an RA condition: {condition!r}")
+
+
+def _ff(condition: RACondition, schema: Schema) -> RACondition:
+    if isinstance(condition, RTrue):
+        return R_FALSE
+    if isinstance(condition, RFalse):
+        return R_TRUE
+    if isinstance(condition, RPredicate):
+        return rand_all([RNot(condition), *_guards(condition.args)])
+    if isinstance(condition, NullTest):
+        return ConstTest(condition.term)
+    if isinstance(condition, ConstTest):
+        return NullTest(condition.term)
+    if isinstance(condition, RAnd):
+        return ROr(_ff(condition.left, schema), _ff(condition.right, schema))
+    if isinstance(condition, ROr):
+        return RAnd(_ff(condition.left, schema), _ff(condition.right, schema))
+    if isinstance(condition, RNot):
+        return _tt(condition.operand, schema)
+    if isinstance(condition, Empty):
+        return RNot(condition)
+    if isinstance(condition, InExpr):
+        # (t̄ ∈ E)ᶠ: every row of E makes some equality false, i.e. no row
+        # has all component comparisons non-false.
+        return Empty(_membership_selection(condition, schema, mode="nonfalse"))
+    raise TypeError(f"not an RA condition: {condition!r}")
+
+
+def _membership_selection(
+    condition: InExpr, schema: Schema, mode: str
+) -> RAExpr:
+    """σ over the ∈-subexpression selecting the rows relevant to t̄ ∈ E.
+
+    ``mode="true"`` keeps rows where every component equality is true;
+    ``mode="nonfalse"`` keeps rows where no component equality is false.
+    Thanks to α-renaming, ℓ(E) never collides with the names in t̄, so the
+    component columns can be compared in place.
+    """
+    labels = signature(condition.source, schema)
+    if len(labels) != len(condition.terms):
+        raise IllFormedExpressionError(
+            f"∈ compares {len(condition.terms)} term(s) against arity {len(labels)}"
+        )
+    atoms = []
+    for term, label in zip(condition.terms, labels):
+        equality = RPredicate("=", (term, Attr(label)))
+        if mode == "true":
+            atoms.append(rand_all([equality, *_guards((term, Attr(label)))]))
+        else:
+            falsity = rand_all([RNot(equality), *_guards((term, Attr(label)))])
+            atoms.append(RNot(falsity))
+    return Selection(condition.source, rand_all(atoms))
+
+
+# ---------------------------------------------------------------------------
+# Step 3: decorrelation into (anti)semijoins
+# ---------------------------------------------------------------------------
+
+
+class _Desugarer:
+    """Removes Empty atoms via context-products and (anti)semijoins."""
+
+    def __init__(self, schema: Schema, supply: NameSupply):
+        self.schema = schema
+        self.supply = supply
+
+    def desugar(self, expr: RAExpr, ctx: Optional[RAExpr]) -> RAExpr:
+        """Pure-RA equivalent of ``expr``; with a context C, the result has
+        signature ℓ(C) ++ ℓ(expr) and, for each binding row c̄ ∈ C,
+        restricting to c̄ gives ⟦expr⟧ under the environment η_c̄."""
+        ctx_labels = signature(ctx, self.schema) if ctx is not None else ()
+        if isinstance(expr, Relation):
+            return Product(ctx, expr) if ctx is not None else expr
+        if isinstance(expr, Projection):
+            source = self.desugar(expr.source, ctx)
+            return Projection(source, ctx_labels + expr.attributes)
+        if isinstance(expr, Dedup):
+            return Dedup(self.desugar(expr.source, ctx))
+        if isinstance(expr, Renaming):
+            source = self.desugar(expr.source, ctx)
+            return Renaming(
+                source, ctx_labels + expr.old, ctx_labels + expr.new
+            )
+        if isinstance(expr, Product):
+            left = self.desugar(expr.left, ctx)
+            right = self.desugar(expr.right, ctx)
+            if ctx is None:
+                return Product(left, right)
+            # Join the two context-tagged sides on the context columns.
+            return natural_join_syntactic(left, right, self.schema, self.supply)
+        if isinstance(expr, (UnionOp, IntersectionOp, DifferenceOp)):
+            left = self.desugar(expr.left, ctx)
+            right = self.desugar(expr.right, ctx)
+            right_labels = signature(right, self.schema)
+            left_labels = signature(left, self.schema)
+            if right_labels != left_labels:
+                right = Renaming(right, right_labels, left_labels)
+            return type(expr)(left, right)
+        if isinstance(expr, Selection):
+            source = self.desugar(expr.source, ctx)
+            condition = two_value_condition(expr.condition, self.schema)
+            return self._eliminate_empty(source, condition)
+        raise TypeError(f"not an RA expression: {expr!r}")
+
+    def _eliminate_empty(self, source: RAExpr, condition: RACondition) -> RAExpr:
+        condition = _fold(condition)
+        if isinstance(condition, RTrue):
+            return source
+        if isinstance(condition, RFalse):
+            return Selection(source, R_FALSE)
+        atom = _find_empty_atom(condition)
+        if atom is None:
+            return Selection(source, condition)
+        matched = self._matched(source, atom.source)
+        unmatched = DifferenceOp(source, matched)
+        true_branch = self._eliminate_empty(
+            unmatched, _substitute(condition, atom, R_TRUE)
+        )
+        false_branch = self._eliminate_empty(
+            matched, _substitute(condition, atom, R_FALSE)
+        )
+        return UnionOp(true_branch, false_branch)
+
+    def _matched(self, source: RAExpr, inner: RAExpr) -> RAExpr:
+        """Rows of ``source`` for which the correlated ``inner`` is non-empty."""
+        source_labels = signature(source, self.schema)
+        free = params(inner, self.schema)
+        outside = free - set(source_labels)
+        if outside:
+            raise IllFormedExpressionError(
+                f"empty(·) atom with parameters {sorted(outside)} not bound by "
+                f"the enclosing selection"
+            )
+        pi = tuple(a for a in source_labels if a in free)
+        if pi:
+            context = Dedup(Projection(source, pi))
+            inner_pure = self.desugar(inner, context)
+            nonempty = Dedup(Projection(inner_pure, pi))
+        else:
+            nonempty = self.desugar(inner, None)
+        return semijoin(source, nonempty, self.schema, self.supply)
+
+
+def _find_empty_atom(condition: RACondition) -> Optional[Empty]:
+    if isinstance(condition, Empty):
+        return condition
+    if isinstance(condition, (RAnd, ROr)):
+        found = _find_empty_atom(condition.left)
+        if found is not None:
+            return found
+        return _find_empty_atom(condition.right)
+    if isinstance(condition, RNot):
+        return _find_empty_atom(condition.operand)
+    return None
+
+
+def _substitute(
+    condition: RACondition, atom: Empty, value: RACondition
+) -> RACondition:
+    if condition == atom:
+        return value
+    if isinstance(condition, RAnd):
+        return RAnd(
+            _substitute(condition.left, atom, value),
+            _substitute(condition.right, atom, value),
+        )
+    if isinstance(condition, ROr):
+        return ROr(
+            _substitute(condition.left, atom, value),
+            _substitute(condition.right, atom, value),
+        )
+    if isinstance(condition, RNot):
+        return RNot(_substitute(condition.operand, atom, value))
+    return condition
+
+
+def _fold(condition: RACondition) -> RACondition:
+    """Constant-fold TRUE/FALSE through the two-valued connectives."""
+    if isinstance(condition, RAnd):
+        left = _fold(condition.left)
+        right = _fold(condition.right)
+        if isinstance(left, RFalse) or isinstance(right, RFalse):
+            return R_FALSE
+        if isinstance(left, RTrue):
+            return right
+        if isinstance(right, RTrue):
+            return left
+        return RAnd(left, right)
+    if isinstance(condition, ROr):
+        left = _fold(condition.left)
+        right = _fold(condition.right)
+        if isinstance(left, RTrue) or isinstance(right, RTrue):
+            return R_TRUE
+        if isinstance(left, RFalse):
+            return right
+        if isinstance(right, RFalse):
+            return left
+        return ROr(left, right)
+    if isinstance(condition, RNot):
+        inner = _fold(condition.operand)
+        if isinstance(inner, RTrue):
+            return R_FALSE
+        if isinstance(inner, RFalse):
+            return R_TRUE
+        if isinstance(inner, RNot):
+            return inner.operand
+        return RNot(inner)
+    return condition

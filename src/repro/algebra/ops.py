@@ -1,0 +1,259 @@
+"""Derived RA operators used by the Section 5 translation and its proofs.
+
+All operators here are *syntactic sugar*: they build trees of the primitive
+operators of :mod:`repro.algebra.ast`, so anything expressed with them is
+still plain relational algebra.  Implemented:
+
+* syntactic equality ``t1 ≐ t2`` (Definition 2), expanded to
+  ``(t1 = t2 ∧ const(t1) ∧ const(t2)) ∨ (null(t1) ∧ null(t2))``;
+* the syntactic natural join ``E1 ⋈ˢ E2`` — natural join where the
+  comparison on common attributes is syntactic equality;
+* left semijoin and the paper's left antijoin
+  ``E1 ▷ˢ E2 = E1 − E1 ∩ π_{ℓ(E1)}(E1 ⋈ˢ E2)``;
+* single-column renaming ρ_{A→B} (a full-signature renaming underneath);
+* the generalized projection π^α_β of Section 5, which duplicates columns via
+  syntactic self-joins when α has repetitions.
+
+Fresh attribute names are drawn from a :class:`NameSupply` seeded with every
+name already in use, so generated trees never capture user names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+from ..core.errors import IllFormedExpressionError
+from ..core.schema import Schema
+from ..core.values import Name
+from .ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    RATerm,
+    Renaming,
+    ROr,
+    RPredicate,
+    Selection,
+    rand_all,
+)
+from .typecheck import signature
+
+__all__ = [
+    "NameSupply",
+    "syn_eq",
+    "rename_columns",
+    "rename_one",
+    "natural_join_syntactic",
+    "semijoin",
+    "antijoin",
+    "generalized_projection",
+    "used_names",
+]
+
+
+class NameSupply:
+    """Generates attribute names guaranteed fresh w.r.t. a used set."""
+
+    def __init__(self, used: Iterable[Name] = (), prefix: str = "x"):
+        self._used: Set[Name] = set(used)
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: Name | None = None) -> Name:
+        base = hint if hint else self._prefix
+        candidate = base
+        while candidate in self._used:
+            self._counter += 1
+            candidate = f"{base}_{self._counter}"
+        self._used.add(candidate)
+        return candidate
+
+    def fresh_many(self, count: int, hint: Name | None = None) -> Tuple[Name, ...]:
+        return tuple(self.fresh(hint) for _ in range(count))
+
+    def reserve(self, names: Iterable[Name]) -> None:
+        self._used.update(names)
+
+
+def used_names(expr: RAExpr, schema: Schema) -> Set[Name]:
+    """Every attribute name appearing anywhere in an expression tree."""
+    from .ast import walk_expressions
+
+    names: Set[Name] = set()
+    for sub in walk_expressions(expr):
+        if isinstance(sub, Projection):
+            names.update(sub.attributes)
+        elif isinstance(sub, Renaming):
+            names.update(sub.old)
+            names.update(sub.new)
+        elif isinstance(sub, Selection):
+            names.update(_condition_names(sub.condition))
+        from .ast import Relation
+
+        if isinstance(sub, Relation) and sub.name in schema:
+            names.update(schema.attributes(sub.name))
+    return names
+
+
+def _condition_names(condition: RACondition) -> Set[Name]:
+    from .ast import Empty, InExpr, RNot
+
+    names: Set[Name] = set()
+    if isinstance(condition, RPredicate):
+        names.update(t.name for t in condition.args if isinstance(t, Attr))
+    elif isinstance(condition, (NullTest, ConstTest)):
+        if isinstance(condition.term, Attr):
+            names.add(condition.term.name)
+    elif isinstance(condition, (RAnd, ROr)):
+        names.update(_condition_names(condition.left))
+        names.update(_condition_names(condition.right))
+    elif isinstance(condition, RNot):
+        names.update(_condition_names(condition.operand))
+    elif isinstance(condition, InExpr):
+        names.update(t.name for t in condition.terms if isinstance(t, Attr))
+    return names
+
+
+def syn_eq(t1: RATerm, t2: RATerm) -> RACondition:
+    """Definition 2's t1 ≐ t2, expanded into plain RA conditions.
+
+    ``t1 ≐ t2`` is equivalent to
+    ``(t1 = t2 ∧ const(t1) ∧ const(t2)) ∨ (null(t1) ∧ null(t2))`` and is
+    two-valued by construction.
+    """
+    return ROr(
+        RAnd(RAnd(RPredicate("=", (t1, t2)), ConstTest(t1)), ConstTest(t2)),
+        RAnd(NullTest(t1), NullTest(t2)),
+    )
+
+
+def rename_columns(
+    expr: RAExpr, schema: Schema, mapping: dict[Name, Name]
+) -> RAExpr:
+    """Rename a subset of columns, keeping the rest (a full ρ underneath)."""
+    labels = signature(expr, schema)
+    new = tuple(mapping.get(label, label) for label in labels)
+    if new == labels:
+        return expr
+    return Renaming(expr, labels, new)
+
+
+def rename_one(expr: RAExpr, schema: Schema, old: Name, new: Name) -> RAExpr:
+    """ρ_{old→new} of a single column (the paper's ρ_{αi→βi})."""
+    return rename_columns(expr, schema, {old: new})
+
+
+def natural_join_syntactic(
+    left: RAExpr, right: RAExpr, schema: Schema, supply: NameSupply | None = None
+) -> RAExpr:
+    """``E1 ⋈ˢ E2``: natural join with syntactic equality on common columns.
+
+    Output signature: ℓ(E1) followed by the non-common columns of E2 (each
+    common column appears once, from E1).  Built as
+    π(σ_{⋀ A ≐ A′}(E1 × ρ(E2))) with the common columns of E2 renamed apart.
+    """
+    left_labels = signature(left, schema)
+    right_labels = signature(right, schema)
+    common = [a for a in right_labels if a in left_labels]
+    if supply is None:
+        supply = NameSupply(used_names(left, schema) | used_names(right, schema))
+    else:
+        supply.reserve(left_labels)
+        supply.reserve(right_labels)
+    mapping = {a: supply.fresh(f"{a}_r") for a in common}
+    renamed_right = rename_columns(right, schema, mapping)
+    product = Product(left, renamed_right)
+    condition = rand_all([syn_eq(Attr(a), Attr(mapping[a])) for a in common])
+    selected = Selection(product, condition)
+    output = left_labels + tuple(a for a in right_labels if a not in left_labels)
+    if output == signature(selected, schema):
+        return selected
+    return Projection(selected, output)
+
+
+def semijoin(
+    left: RAExpr, right: RAExpr, schema: Schema, supply: NameSupply | None = None
+) -> RAExpr:
+    """Left semijoin preserving multiplicities of ``left``.
+
+    ``E1 ⋉ˢ E2 = E1 ∩ π_{ℓ(E1)}(E1 ⋈ˢ E2)``: a row of E1 survives with its
+    multiplicity iff it ⋈ˢ-matches some row of E2 (with no common columns the
+    join degenerates to a product, giving the uncorrelated emptiness test).
+    """
+    joined = natural_join_syntactic(left, right, schema, supply)
+    left_labels = signature(left, schema)
+    projected = (
+        joined
+        if signature(joined, schema) == left_labels
+        else Projection(joined, left_labels)
+    )
+    return IntersectionOp(left, projected)
+
+
+def antijoin(
+    left: RAExpr, right: RAExpr, schema: Schema, supply: NameSupply | None = None
+) -> RAExpr:
+    """The paper's left antijoin ``E1 ▷ˢ E2 = E1 − E1 ∩ π_{ℓ(E1)}(E1 ⋈ˢ E2)``."""
+    return DifferenceOp(left, semijoin(left, right, schema, supply))
+
+
+def generalized_projection(
+    expr: RAExpr,
+    alpha: Sequence[Name],
+    beta: Sequence[Name],
+    schema: Schema,
+    supply: NameSupply | None = None,
+) -> RAExpr:
+    """The paper's π^α_β: project the (possibly repeated) columns α of E and
+    rename them to the distinct names β.
+
+    With α repetition-free this is ρ_{α→β}(π_α(E)); otherwise column
+    duplication is simulated with syntactic self-joins::
+
+        π_β(σ_{α ≐ β}(E ⋈ˢ (⋈ˢ_{i} ε(ρ_{αi→βi}(E)))))
+    """
+    alpha = tuple(alpha)
+    beta = tuple(beta)
+    if len(alpha) != len(beta):
+        raise IllFormedExpressionError("π^α_β needs |α| = |β|")
+    if len(set(beta)) != len(beta):
+        raise IllFormedExpressionError(f"β must be repetition-free: {beta}")
+    labels = signature(expr, schema)
+    missing = [a for a in alpha if a not in labels]
+    if missing:
+        raise IllFormedExpressionError(
+            f"π^α_β over {missing} not in signature {labels}"
+        )
+    clash = [b for b in beta if b in labels]
+    if len(set(alpha)) == len(alpha):
+        if clash and tuple(beta) != tuple(alpha):
+            # β may not overlap ℓ(E) except trivially; go through fresh names.
+            if supply is None:
+                supply = NameSupply(used_names(expr, schema) | set(beta))
+            temp = supply.fresh_many(len(alpha))
+            projected = Projection(expr, alpha)
+            return Renaming(
+                Renaming(projected, alpha, temp), temp, beta
+            )
+        projected = Projection(expr, alpha)
+        if tuple(beta) == tuple(alpha):
+            return projected
+        return Renaming(projected, alpha, beta)
+    if supply is None:
+        supply = NameSupply(used_names(expr, schema) | set(beta))
+    joined = expr
+    for a_name, b_name in zip(alpha, beta):
+        copy = Dedup(rename_one(expr, schema, a_name, b_name))
+        joined = natural_join_syntactic(joined, copy, schema, supply)
+    condition = rand_all(
+        [syn_eq(Attr(a_name), Attr(b_name)) for a_name, b_name in zip(alpha, beta)]
+    )
+    return Projection(Selection(joined, condition), beta)

@@ -1,0 +1,103 @@
+"""The parameter sets param(E) and param(θ, A) of Section 5.
+
+An SQL-RA expression may refer to names bound by an enclosing selection (the
+analogue of a correlated subquery).  ``param(E)`` is the set of such free
+names; an SQL-RA *query* is an expression with ``param(E) = ∅``, evaluated
+under the empty environment.
+
+The definitions follow the paper's mutual recursion verbatim::
+
+    param(R)              = ∅
+    param(E1 op E2)       = param(E1) ∪ param(E2)
+    param(π_α(E))         = param(E)
+    param(σ_θ(E))         = param(θ, {A | A ∈ ℓ(E)})
+    param(P(t1,…,tk), A)  = names({t1, …, tk}) − A
+    param(θ1 conn θ2, A)  = param(θ1, A) ∪ param(θ2, A)
+    param(¬θ, A)          = param(θ, A)
+    param(empty(E), A)    = param(E) − A
+    param(t̄ ∈ E, A)       = (names(t̄) ∪ param(E)) − A
+
+(with the natural extensions for ρ, ε, null/const, TRUE/FALSE).
+
+Note the subtlety in ``param(σ_θ(E))``: parameters of nested expressions
+inside θ are shielded by ℓ(E), because the selection's row environment binds
+those names.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.schema import Schema
+from ..core.values import Name
+from .ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    Relation,
+    Renaming,
+    RFalse,
+    RNot,
+    ROr,
+    RPredicate,
+    RTrue,
+    Selection,
+    UnionOp,
+)
+from .typecheck import signature
+
+__all__ = ["params", "condition_params", "term_names"]
+
+
+def term_names(terms) -> FrozenSet[Name]:
+    """names(t̄): the terms that are attribute references."""
+    return frozenset(t.name for t in terms if isinstance(t, Attr))
+
+
+def params(expr: RAExpr, schema: Schema) -> FrozenSet[Name]:
+    """param(E): the free (parameter) names of an SQL-RA expression."""
+    if isinstance(expr, Relation):
+        return frozenset()
+    if isinstance(expr, (Projection, Dedup, Renaming)):
+        return params(expr.source, schema)
+    if isinstance(expr, Selection):
+        bound = frozenset(signature(expr.source, schema))
+        return params(expr.source, schema) | condition_params(
+            expr.condition, bound, schema
+        )
+    if isinstance(expr, (Product, UnionOp, IntersectionOp, DifferenceOp)):
+        return params(expr.left, schema) | params(expr.right, schema)
+    raise TypeError(f"not an RA expression: {expr!r}")
+
+
+def condition_params(
+    condition: RACondition, bound: FrozenSet[Name], schema: Schema
+) -> FrozenSet[Name]:
+    """param(θ, A) for a condition θ with respect to bound names A."""
+    if isinstance(condition, (RTrue, RFalse)):
+        return frozenset()
+    if isinstance(condition, RPredicate):
+        return term_names(condition.args) - bound
+    if isinstance(condition, (NullTest, ConstTest)):
+        return term_names((condition.term,)) - bound
+    if isinstance(condition, (RAnd, ROr)):
+        return condition_params(condition.left, bound, schema) | condition_params(
+            condition.right, bound, schema
+        )
+    if isinstance(condition, RNot):
+        return condition_params(condition.operand, bound, schema)
+    if isinstance(condition, Empty):
+        return params(condition.source, schema) - bound
+    if isinstance(condition, InExpr):
+        return (term_names(condition.terms) | params(condition.source, schema)) - bound
+    raise TypeError(f"not an RA condition: {condition!r}")

@@ -1,0 +1,144 @@
+"""Pretty-printing of (SQL-)RA expressions in the paper's notation.
+
+Renders expressions with the operator symbols of Section 5 — π, σ, ρ, ε,
+×, ∪, ∩, −, plus the SQL-RA condition forms ``t̄ ∈ E`` and ``empty(E)`` —
+either inline (:func:`print_expression`) or as an indented tree
+(:func:`print_expression_tree`) for large desugared expressions.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    RATerm,
+    Relation,
+    Renaming,
+    RFalse,
+    RNot,
+    ROr,
+    RPredicate,
+    RTrue,
+    Selection,
+)
+
+__all__ = ["print_expression", "print_condition", "print_term", "print_expression_tree"]
+
+def print_term(term: RATerm) -> str:
+    from ..core.values import Null
+
+    if isinstance(term, Attr):
+        return term.name
+    if isinstance(term, Null):
+        return "NULL"
+    if isinstance(term, str):
+        return "'" + term.replace("'", "''") + "'"
+    return str(term)
+
+
+def print_condition(condition: RACondition) -> str:
+    if isinstance(condition, RTrue):
+        return "TRUE"
+    if isinstance(condition, RFalse):
+        return "FALSE"
+    if isinstance(condition, RPredicate):
+        if len(condition.args) == 2 and not condition.name.isalnum():
+            left, right = condition.args
+            return f"{print_term(left)} {condition.name} {print_term(right)}"
+        args = ", ".join(print_term(a) for a in condition.args)
+        return f"{condition.name}({args})"
+    if isinstance(condition, NullTest):
+        return f"null({print_term(condition.term)})"
+    if isinstance(condition, ConstTest):
+        return f"const({print_term(condition.term)})"
+    if isinstance(condition, RAnd):
+        return f"({print_condition(condition.left)} ∧ {print_condition(condition.right)})"
+    if isinstance(condition, ROr):
+        return f"({print_condition(condition.left)} ∨ {print_condition(condition.right)})"
+    if isinstance(condition, RNot):
+        return f"¬{print_condition(condition.operand)}"
+    if isinstance(condition, InExpr):
+        terms = ", ".join(print_term(t) for t in condition.terms)
+        return f"({terms}) ∈ [{print_expression(condition.source)}]"
+    if isinstance(condition, Empty):
+        return f"empty([{print_expression(condition.source)}])"
+    raise TypeError(f"not an RA condition: {condition!r}")
+
+
+def print_expression(expr: RAExpr) -> str:
+    """One-line rendering in the paper's notation."""
+    from .ast import IntersectionOp, UnionOp
+
+    if isinstance(expr, Relation):
+        return expr.name
+    if isinstance(expr, Projection):
+        return f"π_{{{', '.join(expr.attributes)}}}({print_expression(expr.source)})"
+    if isinstance(expr, Selection):
+        return f"σ_{{{print_condition(expr.condition)}}}({print_expression(expr.source)})"
+    if isinstance(expr, Product):
+        return f"({print_expression(expr.left)} × {print_expression(expr.right)})"
+    if isinstance(expr, UnionOp):
+        return f"({print_expression(expr.left)} ∪ {print_expression(expr.right)})"
+    if isinstance(expr, IntersectionOp):
+        return f"({print_expression(expr.left)} ∩ {print_expression(expr.right)})"
+    if isinstance(expr, DifferenceOp):
+        return f"({print_expression(expr.left)} − {print_expression(expr.right)})"
+    if isinstance(expr, Renaming):
+        pairs = ", ".join(
+            f"{old}→{new}" for old, new in zip(expr.old, expr.new) if old != new
+        )
+        if not pairs:
+            return print_expression(expr.source)
+        return f"ρ_{{{pairs}}}({print_expression(expr.source)})"
+    if isinstance(expr, Dedup):
+        return f"ε({print_expression(expr.source)})"
+    raise TypeError(f"not an RA expression: {expr!r}")
+
+
+def print_expression_tree(expr: RAExpr, indent: str = "") -> str:
+    """Indented multi-line rendering, friendlier for desugared expressions."""
+    from .ast import IntersectionOp, UnionOp
+
+    bullet = indent + ("" if not indent else "")
+    next_indent = indent + "  "
+    if isinstance(expr, Relation):
+        return f"{bullet}{expr.name}"
+    if isinstance(expr, Projection):
+        head = f"{bullet}π {', '.join(expr.attributes)}"
+        return head + "\n" + print_expression_tree(expr.source, next_indent)
+    if isinstance(expr, Selection):
+        head = f"{bullet}σ {print_condition(expr.condition)}"
+        return head + "\n" + print_expression_tree(expr.source, next_indent)
+    if isinstance(expr, Renaming):
+        pairs = ", ".join(
+            f"{old}→{new}" for old, new in zip(expr.old, expr.new) if old != new
+        )
+        head = f"{bullet}ρ {pairs or '(identity)'}"
+        return head + "\n" + print_expression_tree(expr.source, next_indent)
+    if isinstance(expr, Dedup):
+        return f"{bullet}ε\n" + print_expression_tree(expr.source, next_indent)
+    symbol = {
+        Product: "×",
+        UnionOp: "∪",
+        IntersectionOp: "∩",
+        DifferenceOp: "−",
+    }.get(type(expr))
+    if symbol is not None:
+        return (
+            f"{bullet}{symbol}\n"
+            + print_expression_tree(expr.left, next_indent)
+            + "\n"
+            + print_expression_tree(expr.right, next_indent)
+        )
+    raise TypeError(f"not an RA expression: {expr!r}")

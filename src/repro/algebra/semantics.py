@@ -1,0 +1,228 @@
+"""Bag semantics of relational algebra and SQL-RA (Figure 8 + Section 5).
+
+``⟦E⟧_{D,η}`` evaluates an expression on a database D under an environment η
+(a partial map from *names* to values — unlike the SQL side, where
+environments are keyed by full names).  For a plain RA query, η is empty and
+never consulted; for SQL-RA, selections override η with their row bindings
+(``η ; η^ā_{ℓ(E)}``), and the extended conditions ``t̄ ∈ E`` / ``empty(E)``
+evaluate their sub-expression under the current environment — exactly the
+paper's extension for mimicking correlated subqueries.
+
+Equality inside ``t̄ ∈ E`` is the three-valued ⟦t1 = t2⟧ of Figure 8;
+``null``/``const`` are two-valued; predicates are the shared registry of
+:mod:`repro.semantics.predicates`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.bag import Bag
+from ..core.errors import UnboundReferenceError
+from ..core.schema import Database, Schema
+from ..core.table import Table
+from ..core.truth import FALSE, TRUE, UNKNOWN, Truth, conj_all
+from ..core.values import NULL, Name, Null, Record, Value
+from ..semantics.logic import THREE_VALUED, Logic
+from ..semantics.predicates import PredicateRegistry, default_registry
+from .ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    RATerm,
+    Relation,
+    Renaming,
+    RFalse,
+    RNot,
+    ROr,
+    RPredicate,
+    RTrue,
+    Selection,
+    UnionOp,
+)
+from .typecheck import signature
+
+__all__ = ["RAEnvironment", "EMPTY_RA_ENV", "RASemantics"]
+
+
+class RAEnvironment:
+    """An immutable partial map from names to values (η of Figure 8)."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Name, Value] = {}):
+        self._bindings: Dict[Name, Value] = dict(bindings)
+
+    @classmethod
+    def for_record(cls, labels: Tuple[Name, ...], record: Record) -> "RAEnvironment":
+        """η^ā_β: well-defined because RA signatures are repetition-free."""
+        if len(labels) != len(record):
+            raise ValueError("labels and record of different lengths")
+        return cls(dict(zip(labels, record)))
+
+    def override_with(
+        self, labels: Tuple[Name, ...], record: Record
+    ) -> "RAEnvironment":
+        """η ; η^ā_β — the row bindings win."""
+        merged = dict(self._bindings)
+        merged.update(zip(labels, record))
+        return RAEnvironment(merged)
+
+    def lookup(self, name: Name) -> Value:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise UnboundReferenceError(
+                f"RA name {name} is not bound by the environment"
+            ) from None
+
+    def defined_on(self, name: Name) -> bool:
+        return name in self._bindings
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RAEnvironment):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._bindings.items())
+        return f"RAEnvironment({{{inner}}})"
+
+
+EMPTY_RA_ENV = RAEnvironment()
+
+
+class RASemantics:
+    """The semantic function ⟦·⟧ for (SQL-)RA expressions on a schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        predicates: Optional[PredicateRegistry] = None,
+        logic: Logic = THREE_VALUED,
+    ):
+        self.schema = schema
+        self.predicates = predicates if predicates is not None else default_registry()
+        self.logic = logic
+
+    # -- terms ---------------------------------------------------------------
+
+    def eval_term(self, term: RATerm, env: RAEnvironment) -> Value:
+        if isinstance(term, Attr):
+            return env.lookup(term.name)
+        if isinstance(term, Null):
+            return NULL
+        return term
+
+    # -- expressions -----------------------------------------------------------
+
+    def evaluate(
+        self, expr: RAExpr, db: Database, env: RAEnvironment = EMPTY_RA_ENV
+    ) -> Table:
+        """⟦E⟧_{D,η} with the signature ℓ(E) as column labels."""
+        labels = signature(expr, self.schema)
+        return Table(labels, self._eval(expr, db, env))
+
+    def _eval(self, expr: RAExpr, db: Database, env: RAEnvironment) -> Bag:
+        if isinstance(expr, Relation):
+            return db.table(expr.name).bag
+        if isinstance(expr, Projection):
+            source_labels = signature(expr.source, self.schema)
+            bag = self._eval(expr.source, db, env)
+            positions = [source_labels.index(a) for a in expr.attributes]
+            counts: Dict[Record, int] = {}
+            for record, count in bag.counts().items():
+                out = tuple(record[i] for i in positions)
+                counts[out] = counts.get(out, 0) + count
+            return Bag.from_counts(counts)
+        if isinstance(expr, Selection):
+            source_labels = signature(expr.source, self.schema)
+            bag = self._eval(expr.source, db, env)
+            counts = {}
+            for record, count in bag.counts().items():
+                row_env = env.override_with(source_labels, record)
+                if self.eval_condition(expr.condition, db, row_env).is_true:
+                    counts[record] = count
+            return Bag.from_counts(counts)
+        if isinstance(expr, Product):
+            return self._eval(expr.left, db, env).product(
+                self._eval(expr.right, db, env)
+            )
+        if isinstance(expr, UnionOp):
+            return self._eval(expr.left, db, env).union(
+                self._eval(expr.right, db, env)
+            )
+        if isinstance(expr, IntersectionOp):
+            return self._eval(expr.left, db, env).intersection(
+                self._eval(expr.right, db, env)
+            )
+        if isinstance(expr, DifferenceOp):
+            return self._eval(expr.left, db, env).difference(
+                self._eval(expr.right, db, env)
+            )
+        if isinstance(expr, Renaming):
+            return self._eval(expr.source, db, env)
+        if isinstance(expr, Dedup):
+            return self._eval(expr.source, db, env).distinct_bag()
+        raise TypeError(f"not an RA expression: {expr!r}")
+
+    # -- conditions ---------------------------------------------------------------
+
+    def eval_condition(
+        self, condition: RACondition, db: Database, env: RAEnvironment
+    ) -> Truth:
+        if isinstance(condition, RTrue):
+            return TRUE
+        if isinstance(condition, RFalse):
+            return FALSE
+        if isinstance(condition, RPredicate):
+            values = tuple(self.eval_term(t, env) for t in condition.args)
+            return self.logic.predicate(self.predicates, condition.name, values)
+        if isinstance(condition, NullTest):
+            return Truth.from_bool(self.eval_term(condition.term, env) is NULL)
+        if isinstance(condition, ConstTest):
+            return Truth.from_bool(self.eval_term(condition.term, env) is not NULL)
+        if isinstance(condition, RAnd):
+            left = self.eval_condition(condition.left, db, env)
+            if left is FALSE:
+                return FALSE
+            return left & self.eval_condition(condition.right, db, env)
+        if isinstance(condition, ROr):
+            left = self.eval_condition(condition.left, db, env)
+            if left is TRUE:
+                return TRUE
+            return left | self.eval_condition(condition.right, db, env)
+        if isinstance(condition, RNot):
+            return ~self.eval_condition(condition.operand, db, env)
+        if isinstance(condition, InExpr):
+            return self._eval_in(condition, db, env)
+        if isinstance(condition, Empty):
+            bag = self._eval(condition.source, db, env)
+            return Truth.from_bool(bag.is_empty())
+        raise TypeError(f"not an RA condition: {condition!r}")
+
+    def _eval_in(self, condition: InExpr, db: Database, env: RAEnvironment) -> Truth:
+        """⟦t̄ ∈ E⟧: t if some row matches, f if all rows mismatch, u otherwise."""
+        bag = self._eval(condition.source, db, env)
+        values = tuple(self.eval_term(t, env) for t in condition.terms)
+        if bag.arity is not None and bag.arity != len(values):
+            raise ValueError(
+                f"∈ compares {len(values)} term(s) against arity {bag.arity}"
+            )
+        result = FALSE
+        for row in bag.distinct():
+            comparison = conj_all(self.logic.equal(a, b) for a, b in zip(values, row))
+            result = result | comparison
+            if result is TRUE:
+                return TRUE
+        return result

@@ -1,0 +1,436 @@
+"""Theorem 1's translations between basic SQL and (SQL-)relational algebra.
+
+This module implements both directions of the equivalence proof:
+
+* :func:`to_sqlra` — the Figure 9 translation from *data manipulation*
+  queries (Definition 1) to SQL-RA, under an injective renaming
+  χ : N² → N − (N_Q ∪ N_base) that simulates full names with plain names;
+* :func:`ra_to_sql` — the "completely standard" converse translation from
+  plain RA to basic SQL;
+* :func:`sql_to_ra` — the full pipeline SQL → SQL-RA → pure RA, composing
+  the Figure 9 translation with the Proposition 2 desugaring of
+  :mod:`repro.algebra.desugar`.
+
+Definition 1 (data manipulation queries): the query and every subquery is of
+the form ``SELECT [DISTINCT] α : β′ FROM τ : β WHERE θ`` where the names in
+β′ do not repeat and every full name N1.N2 in α has N1 among the aliases β of
+the *local* FROM clause.  In particular ``SELECT *`` is excluded, and so are
+constants in the SELECT list (relational algebra cannot invent values).
+:func:`check_data_manipulation` enforces this, raising
+:class:`~repro.core.errors.NotDataManipulationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.errors import NotDataManipulationError
+from ..core.schema import Schema
+from ..core.values import FullName, Name, Null, Term
+from ..sql.ast import (
+    And,
+    Condition,
+    Exists,
+    FalseCond,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    Select,
+    SelectItem,
+    SetOp,
+    TrueCond,
+)
+from ..sql.labels import from_item_labels, query_labels
+from .ast import (
+    Attr,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    Product,
+    Projection,
+    RACondition,
+    RAExpr,
+    RAnd,
+    RATerm,
+    Relation,
+    Renaming,
+    RNot,
+    ROr,
+    RPredicate,
+    NullTest,
+    R_FALSE,
+    R_TRUE,
+    Selection,
+    UnionOp,
+)
+from .ops import NameSupply, generalized_projection
+from .typecheck import signature
+
+__all__ = [
+    "check_data_manipulation",
+    "is_data_manipulation",
+    "ChiRenaming",
+    "to_sqlra",
+    "sql_to_ra",
+    "ra_to_sql",
+]
+
+
+# ---------------------------------------------------------------------------
+# Definition 1
+# ---------------------------------------------------------------------------
+
+
+def check_data_manipulation(query: Query, schema: Schema) -> None:
+    """Raise :class:`NotDataManipulationError` unless Definition 1 holds."""
+    if isinstance(query, SetOp):
+        check_data_manipulation(query.left, schema)
+        check_data_manipulation(query.right, schema)
+        return
+    if not isinstance(query, Select):
+        raise TypeError(f"not a query: {query!r}")
+    if query.is_star:
+        raise NotDataManipulationError(
+            "SELECT * is not allowed in data manipulation queries"
+        )
+    aliases = tuple(item.alias for item in query.items)
+    if len(set(aliases)) != len(aliases):
+        raise NotDataManipulationError(
+            f"output names repeat: {aliases} (Definition 1 requires β′ to be "
+            f"repetition-free)"
+        )
+    local_aliases = {item.alias for item in query.from_items}
+    for item in query.items:
+        term = item.term
+        if not isinstance(term, FullName):
+            raise NotDataManipulationError(
+                f"SELECT list contains {term!r}: relational algebra cannot "
+                f"invent values, so only attributes of the local FROM clause "
+                f"may be selected"
+            )
+        if term.qualifier not in local_aliases:
+            raise NotDataManipulationError(
+                f"SELECT list references {term}, whose table is not in the "
+                f"local FROM clause"
+            )
+    for item in query.from_items:
+        if not item.is_base_table:
+            check_data_manipulation(item.table, schema)
+    _check_condition(query.where, schema)
+
+
+def _check_condition(condition: Condition, schema: Schema) -> None:
+    if isinstance(condition, InQuery):
+        check_data_manipulation(condition.query, schema)
+    elif isinstance(condition, Exists):
+        check_data_manipulation(condition.query, schema)
+    elif isinstance(condition, (And, Or)):
+        _check_condition(condition.left, schema)
+        _check_condition(condition.right, schema)
+    elif isinstance(condition, Not):
+        _check_condition(condition.operand, schema)
+
+
+def is_data_manipulation(query: Query, schema: Schema) -> bool:
+    try:
+        check_data_manipulation(query, schema)
+    except NotDataManipulationError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# χ: an injective map N² → N − (N_Q ∪ N_base)
+# ---------------------------------------------------------------------------
+
+
+class ChiRenaming:
+    """The renaming χ of Section 5, built fresh for each translated query.
+
+    χ maps every full name to a plain name, injectively, avoiding the names
+    N_Q occurring in the rename lists of the query's SELECT clauses and the
+    column names N_base of the schema's base tables.
+    """
+
+    def __init__(self, query: Query, schema: Schema):
+        forbidden = set(_query_output_names(query))
+        for table in schema.table_names:
+            forbidden.update(schema.attributes(table))
+        self._supply = NameSupply(forbidden)
+        self._map: Dict[FullName, Name] = {}
+
+    def __call__(self, full_name: FullName) -> Name:
+        if full_name not in self._map:
+            hint = f"{full_name.qualifier}_{full_name.attribute}"
+            self._map[full_name] = self._supply.fresh(hint)
+        return self._map[full_name]
+
+    def term(self, term: Term) -> RATerm:
+        """χ on terms: full names are mapped, constants and NULL unchanged."""
+        if isinstance(term, FullName):
+            return Attr(self(term))
+        return term
+
+    @property
+    def supply(self) -> NameSupply:
+        """The underlying fresh-name supply (shared with π^α_β constructions)."""
+        return self._supply
+
+    def mapping(self) -> Dict[FullName, Name]:
+        return dict(self._map)
+
+
+def _query_output_names(query: Query) -> List[Name]:
+    names: List[Name] = []
+    stack: List[object] = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SetOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Select):
+            if not node.is_star:
+                names.extend(item.alias for item in node.items)
+            for item in node.from_items:
+                if item.column_aliases:
+                    names.extend(item.column_aliases)
+                if not item.is_base_table:
+                    stack.append(item.table)
+            stack.append(node.where)
+        elif isinstance(node, (InQuery, Exists)):
+            stack.append(node.query)
+        elif isinstance(node, (And, Or)):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: SQL → SQL-RA
+# ---------------------------------------------------------------------------
+
+
+def to_sqlra(
+    query: Query, schema: Schema, chi: ChiRenaming | None = None
+) -> RAExpr:
+    """Translate a data manipulation query to SQL-RA (Proposition 1)."""
+    check_data_manipulation(query, schema)
+    if chi is None:
+        chi = ChiRenaming(query, schema)
+    return _translate_query(query, schema, chi)
+
+
+def _translate_query(query: Query, schema: Schema, chi: ChiRenaming) -> RAExpr:
+    if isinstance(query, SetOp):
+        left = _translate_query(query.left, schema, chi)
+        right = _translate_query(query.right, schema, chi)
+        left_labels = query_labels(query.left, schema)
+        right_labels = query_labels(query.right, schema)
+        if right_labels != left_labels:
+            right = Renaming(right, right_labels, left_labels)
+        if query.op == "UNION":
+            combined: RAExpr = UnionOp(left, right)
+            return combined if query.all else Dedup(combined)
+        if query.op == "INTERSECT":
+            combined = IntersectionOp(left, right)
+            return combined if query.all else Dedup(combined)
+        # EXCEPT: Figure 9 gives E1 − ρ(E2) for ALL, ε(E1) − ε(ρ(E2)) otherwise.
+        if query.all:
+            return DifferenceOp(left, right)
+        return DifferenceOp(Dedup(left), Dedup(right))
+    assert isinstance(query, Select)
+    source = _translate_from(query.from_items, schema, chi)
+    condition = _translate_condition(query.where, schema, chi)
+    selected = Selection(source, condition)
+    alpha = tuple(chi(item.term) for item in query.items)
+    beta = tuple(item.alias for item in query.items)
+    projected = generalized_projection(
+        selected, alpha, beta, schema, supply=chi.supply
+    )
+    return Dedup(projected) if query.distinct else projected
+
+
+def _translate_from(
+    from_items: Tuple[FromItem, ...], schema: Schema, chi: ChiRenaming
+) -> RAExpr:
+    """τ : β  ↦  ρ^χ_{N1}(E1) × ⋯ × ρ^χ_{Nk}(Ek)."""
+    parts: List[RAExpr] = []
+    for item in from_items:
+        if item.is_base_table:
+            expr: RAExpr = Relation(item.table)
+            labels = schema.attributes(item.table)
+        else:
+            expr = _translate_query(item.table, schema, chi)
+            labels = query_labels(item.table, schema)
+        if item.column_aliases is not None:
+            expr = Renaming(expr, labels, item.column_aliases)
+            labels = item.column_aliases
+        targets = tuple(chi(FullName(item.alias, a)) for a in labels)
+        parts.append(Renaming(expr, labels, targets))
+    result = parts[0]
+    for part in parts[1:]:
+        result = Product(result, part)
+    return result
+
+
+def _translate_condition(
+    condition: Condition, schema: Schema, chi: ChiRenaming
+) -> RACondition:
+    if isinstance(condition, TrueCond):
+        return R_TRUE
+    if isinstance(condition, FalseCond):
+        return R_FALSE
+    if isinstance(condition, Predicate):
+        return RPredicate(condition.name, tuple(chi.term(t) for t in condition.args))
+    if isinstance(condition, IsNull):
+        test: RACondition = NullTest(chi.term(condition.term))
+        return RNot(test) if condition.negated else test
+    if isinstance(condition, InQuery):
+        inner = _translate_query(condition.query, schema, chi)
+        membership: RACondition = InExpr(
+            tuple(chi.term(t) for t in condition.terms), inner
+        )
+        return RNot(membership) if condition.negated else membership
+    if isinstance(condition, Exists):
+        inner = _translate_query(condition.query, schema, chi)
+        return RNot(Empty(inner))
+    if isinstance(condition, And):
+        return RAnd(
+            _translate_condition(condition.left, schema, chi),
+            _translate_condition(condition.right, schema, chi),
+        )
+    if isinstance(condition, Or):
+        return ROr(
+            _translate_condition(condition.left, schema, chi),
+            _translate_condition(condition.right, schema, chi),
+        )
+    if isinstance(condition, Not):
+        return RNot(_translate_condition(condition.operand, schema, chi))
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+def sql_to_ra(query: Query, schema: Schema) -> RAExpr:
+    """The full Theorem 1 pipeline: SQL → SQL-RA → pure relational algebra."""
+    from .desugar import desugar
+
+    return desugar(to_sqlra(query, schema), schema)
+
+
+# ---------------------------------------------------------------------------
+# The converse: plain RA → basic SQL ("completely standard")
+# ---------------------------------------------------------------------------
+
+_ALIAS = "T"
+_ALIAS_LEFT = "T1"
+_ALIAS_RIGHT = "T2"
+
+
+def ra_to_sql(expr: RAExpr, schema: Schema) -> Query:
+    """Translate a pure RA expression into an equivalent basic SQL query.
+
+    The resulting query is fully annotated and is itself a data manipulation
+    query, closing the equivalence loop of Theorem 1.
+    """
+    from .ast import is_pure
+
+    if not is_pure(expr):
+        raise ValueError("ra_to_sql expects a pure RA expression; desugar first")
+    return _ra_query(expr, schema)
+
+
+def _wrap(expr: RAExpr, schema: Schema, alias: Name) -> FromItem:
+    inner = _ra_query(expr, schema)
+    return FromItem(inner, alias)
+
+
+def _select_all(labels: Tuple[Name, ...], alias: Name) -> Tuple[SelectItem, ...]:
+    return tuple(SelectItem(FullName(alias, a), a) for a in labels)
+
+
+def _ra_query(expr: RAExpr, schema: Schema) -> Query:
+    labels = signature(expr, schema)
+    if isinstance(expr, Relation):
+        item = FromItem(expr.name, expr.name)
+        return Select(_select_all(labels, expr.name), (item,), TrueCond())
+    if isinstance(expr, Projection):
+        item = _wrap(expr.source, schema, _ALIAS)
+        items = tuple(SelectItem(FullName(_ALIAS, a), a) for a in expr.attributes)
+        return Select(items, (item,), TrueCond())
+    if isinstance(expr, Selection):
+        source_labels = signature(expr.source, schema)
+        item = _wrap(expr.source, schema, _ALIAS)
+        where = _ra_condition_to_sql(expr.condition, _ALIAS)
+        return Select(_select_all(source_labels, _ALIAS), (item,), where)
+    if isinstance(expr, Product):
+        left_labels = signature(expr.left, schema)
+        right_labels = signature(expr.right, schema)
+        left = _wrap(expr.left, schema, _ALIAS_LEFT)
+        right = _wrap(expr.right, schema, _ALIAS_RIGHT)
+        items = tuple(
+            SelectItem(FullName(_ALIAS_LEFT, a), a) for a in left_labels
+        ) + tuple(SelectItem(FullName(_ALIAS_RIGHT, a), a) for a in right_labels)
+        return Select(items, (left, right), TrueCond())
+    if isinstance(expr, UnionOp):
+        return SetOp("UNION", _ra_query(expr.left, schema), _ra_query(expr.right, schema), all=True)
+    if isinstance(expr, IntersectionOp):
+        return SetOp(
+            "INTERSECT", _ra_query(expr.left, schema), _ra_query(expr.right, schema), all=True
+        )
+    if isinstance(expr, DifferenceOp):
+        return SetOp(
+            "EXCEPT", _ra_query(expr.left, schema), _ra_query(expr.right, schema), all=True
+        )
+    if isinstance(expr, Renaming):
+        item = _wrap(expr.source, schema, _ALIAS)
+        items = tuple(
+            SelectItem(FullName(_ALIAS, old), new)
+            for old, new in zip(expr.old, expr.new)
+        )
+        return Select(items, (item,), TrueCond())
+    if isinstance(expr, Dedup):
+        source_labels = signature(expr.source, schema)
+        item = _wrap(expr.source, schema, _ALIAS)
+        return Select(_select_all(source_labels, _ALIAS), (item,), TrueCond(), distinct=True)
+    raise TypeError(f"not an RA expression: {expr!r}")
+
+
+def _ra_term_to_sql(term: RATerm, alias: Name) -> Term:
+    if isinstance(term, Attr):
+        return FullName(alias, term.name)
+    return term
+
+
+def _ra_condition_to_sql(condition: RACondition, alias: Name) -> Condition:
+    from .ast import ConstTest, RFalse, RTrue
+
+    if isinstance(condition, RTrue):
+        return TrueCond()
+    if isinstance(condition, RFalse):
+        return FalseCond()
+    if isinstance(condition, RPredicate):
+        return Predicate(
+            condition.name, tuple(_ra_term_to_sql(t, alias) for t in condition.args)
+        )
+    if isinstance(condition, NullTest):
+        return IsNull(_ra_term_to_sql(condition.term, alias))
+    if isinstance(condition, ConstTest):
+        return IsNull(_ra_term_to_sql(condition.term, alias), negated=True)
+    if isinstance(condition, RAnd):
+        return And(
+            _ra_condition_to_sql(condition.left, alias),
+            _ra_condition_to_sql(condition.right, alias),
+        )
+    if isinstance(condition, ROr):
+        return Or(
+            _ra_condition_to_sql(condition.left, alias),
+            _ra_condition_to_sql(condition.right, alias),
+        )
+    if isinstance(condition, RNot):
+        return Not(_ra_condition_to_sql(condition.operand, alias))
+    raise TypeError(f"cannot translate SQL-RA condition {condition!r} to SQL")

@@ -1,0 +1,86 @@
+"""Signatures ℓ(E) and the well-definedness side conditions of Section 5.
+
+The paper requires:
+
+* ``E1 × E2`` well-defined only if ℓ(E1) and ℓ(E2) are disjoint;
+* ``E1 op E2`` for op ∈ {∪, ∩, −} only if ℓ(E1) = ℓ(E2);
+* ``π_β(E)`` only if β consists of elements of ℓ(E) without repetitions;
+* ``ρ_{β→β′}(E)`` only if β = ℓ(E) and β′ is repetition-free of equal length.
+
+A consequence (proved by induction and relied upon everywhere) is that the
+signature of every well-defined expression is repetition-free, so the row
+environments η^ā_{ℓ(E)} are always well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.errors import IllFormedExpressionError
+from ..core.schema import Schema
+from ..core.values import Name
+from .ast import (
+    Dedup,
+    DifferenceOp,
+    IntersectionOp,
+    Product,
+    Projection,
+    RAExpr,
+    Relation,
+    Renaming,
+    Selection,
+    UnionOp,
+)
+
+__all__ = ["signature"]
+
+
+def signature(expr: RAExpr, schema: Schema) -> Tuple[Name, ...]:
+    """ℓ(E), raising :class:`IllFormedExpressionError` on violations."""
+    if isinstance(expr, Relation):
+        return schema.attributes(expr.name)
+    if isinstance(expr, Projection):
+        source = signature(expr.source, schema)
+        missing = [a for a in expr.attributes if a not in source]
+        if missing:
+            raise IllFormedExpressionError(
+                f"projection over {missing} not in signature {source}"
+            )
+        if len(set(expr.attributes)) != len(expr.attributes):
+            raise IllFormedExpressionError(
+                f"projection list has repetitions: {expr.attributes}"
+            )
+        return expr.attributes
+    if isinstance(expr, Selection):
+        return signature(expr.source, schema)
+    if isinstance(expr, Product):
+        left = signature(expr.left, schema)
+        right = signature(expr.right, schema)
+        overlap = set(left) & set(right)
+        if overlap:
+            raise IllFormedExpressionError(
+                f"product of expressions with overlapping signatures: {sorted(overlap)}"
+            )
+        return left + right
+    if isinstance(expr, (UnionOp, IntersectionOp, DifferenceOp)):
+        left = signature(expr.left, schema)
+        right = signature(expr.right, schema)
+        if left != right:
+            raise IllFormedExpressionError(
+                f"set operation on different signatures: {left} vs {right}"
+            )
+        return left
+    if isinstance(expr, Renaming):
+        source = signature(expr.source, schema)
+        if expr.old != source:
+            raise IllFormedExpressionError(
+                f"renaming source list {expr.old} does not match signature {source}"
+            )
+        if len(set(expr.new)) != len(expr.new):
+            raise IllFormedExpressionError(
+                f"renaming target list has repetitions: {expr.new}"
+            )
+        return expr.new
+    if isinstance(expr, Dedup):
+        return signature(expr.source, schema)
+    raise TypeError(f"not an RA expression: {expr!r}")

@@ -1,0 +1,31 @@
+"""Applications built on the formal semantics (Sections 5-6, 8 and beyond)."""
+
+from .certainty import (
+    approximate_certain,
+    approximate_possible,
+    count_nulls,
+    exact_certain_answers,
+    exact_possible_answers,
+    is_positive,
+    valuations,
+)
+from .equivalence import (
+    EquivalenceReport,
+    check_equivalence,
+    find_counterexample,
+    shrink_counterexample,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "check_equivalence",
+    "find_counterexample",
+    "shrink_counterexample",
+    "approximate_certain",
+    "approximate_possible",
+    "exact_certain_answers",
+    "exact_possible_answers",
+    "valuations",
+    "count_nulls",
+    "is_positive",
+]

@@ -1,0 +1,236 @@
+"""Certain and possible answers over databases with SQL nulls.
+
+Section 8 of the paper lists as future work "the extension of recent
+attempts [17] to restore correctness of SQL query evaluation with
+incomplete data … Now we have the formal tools to extend the notions of
+certainty and possibility to handle SQL's nulls."  This module is a small
+executable take on that direction, in the style of Guagliardo & Libkin's
+PODS 2016 feasibility study:
+
+* a database with NULLs represents the set of *complete* databases obtained
+  by replacing each null occurrence with a constant (each occurrence is
+  independent — Codd semantics);
+* the **certain answers** of Q are the rows returned on *every* completion,
+  the **possible answers** those returned on *some* completion;
+* exact computation enumerates valuations (exponential — feasible only for
+  tiny instances, and used here as ground truth);
+* SQL evaluation itself gives cheap approximations:
+
+  - :func:`approximate_certain` — evaluate under the paper's 3VL semantics
+    and keep null-free rows.  For *positive* queries (no NOT / NOT IN /
+    EXCEPT) this has **no false positives** (it under-approximates certain
+    answers) — the correctness property the 2016 paper restores;
+  - :func:`approximate_possible` — keep rows whose WHERE condition is t
+    *or u*, computed by rewriting θ to ¬(θᶠ) with the Figure 10 machinery
+    and evaluating under the two-valued semantics.
+
+The test suite checks the soundness inclusion
+``approximate_certain ⊆ exact_certain`` on random positive queries, and
+exhibits the classical false-positive for queries with negation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Set, Tuple, Union
+
+from ..core.bag import Bag
+from ..core.schema import Database, Schema
+from ..core.table import Table
+from ..core.values import NULL, Constant, Null, Record
+from ..semantics.evaluator import SqlSemantics
+from ..semantics.two_valued import TwoValuedTranslator
+from ..sql.annotate import annotate
+from ..sql.ast import (
+    And,
+    Condition,
+    Exists,
+    InQuery,
+    Not,
+    Or,
+    Query,
+    Select,
+    SetOp,
+)
+
+__all__ = [
+    "valuations",
+    "exact_certain_answers",
+    "exact_possible_answers",
+    "approximate_certain",
+    "approximate_possible",
+    "is_positive",
+    "count_nulls",
+]
+
+
+def _as_query(query: Union[str, Query], schema: Schema) -> Query:
+    if isinstance(query, str):
+        return annotate(query, schema)
+    return query
+
+
+def count_nulls(db: Database) -> int:
+    """Number of null *occurrences* in the instance."""
+    return sum(
+        sum(1 for row in db.table(name).bag for v in row if isinstance(v, Null))
+        for name in db.schema.table_names
+    )
+
+
+def valuations(db: Database, domain: Sequence[Constant]) -> Iterable[Database]:
+    """All completions of ``db`` over ``domain`` (Codd nulls: occurrences
+    are independent).  |domain| ** count_nulls(db) databases — keep tiny."""
+    schema = db.schema
+    positions = count_nulls(db)
+    for assignment in itertools.product(domain, repeat=positions):
+        values = iter(assignment)
+        tables = {}
+        for name in schema.table_names:
+            rows: List[Record] = []
+            for row in db.table(name).bag:
+                rows.append(
+                    tuple(next(values) if isinstance(v, Null) else v for v in row)
+                )
+            tables[name] = rows
+        yield Database(schema, tables)
+
+
+def _answer_set(table: Table) -> Set[Record]:
+    return set(table.bag.distinct())
+
+
+def exact_certain_answers(
+    query: Union[str, Query],
+    db: Database,
+    domain: Sequence[Constant],
+    semantics: SqlSemantics | None = None,
+) -> Set[Record]:
+    """Rows returned on *every* completion (ground truth, exponential)."""
+    q = _as_query(query, db.schema)
+    sem = semantics if semantics is not None else SqlSemantics(db.schema)
+    result: Set[Record] | None = None
+    for completion in valuations(db, domain):
+        answers = _answer_set(sem.run(q, completion))
+        result = answers if result is None else (result & answers)
+        if not result:
+            return set()
+    return result if result is not None else set()
+
+
+def exact_possible_answers(
+    query: Union[str, Query],
+    db: Database,
+    domain: Sequence[Constant],
+    semantics: SqlSemantics | None = None,
+) -> Set[Record]:
+    """Rows returned on *some* completion (ground truth, exponential)."""
+    q = _as_query(query, db.schema)
+    sem = semantics if semantics is not None else SqlSemantics(db.schema)
+    result: Set[Record] = set()
+    for completion in valuations(db, domain):
+        result |= _answer_set(sem.run(q, completion))
+    return result
+
+
+def approximate_certain(
+    query: Union[str, Query], db: Database, semantics: SqlSemantics | None = None
+) -> Set[Record]:
+    """SQL evaluation as a certain-answer approximation.
+
+    Evaluate under the 3VL semantics and keep the rows without nulls.  For
+    positive queries this is *sound*: every returned row is a certain
+    answer (with nulls valued arbitrarily, a kept row re-appears because
+    positive conditions are monotone in the information order).
+    """
+    q = _as_query(query, db.schema)
+    sem = semantics if semantics is not None else SqlSemantics(db.schema)
+    return {
+        row
+        for row in sem.run(q, db).bag.distinct()
+        if not any(isinstance(v, Null) for v in row)
+    }
+
+
+def approximate_possible(
+    query: Union[str, Query], db: Database
+) -> Set[Record]:
+    """Rows whose WHERE conditions are t or u: a possibility approximation.
+
+    Uses the Figure 10 machinery: replacing each condition θ by ¬(θᶠ) keeps
+    a row unless θ is definitely false, evaluated under the two-valued
+    conflating semantics.
+    """
+    q = _as_query(query, db.schema)
+    schema = db.schema
+    translator = TwoValuedTranslator(schema, "conflating")
+    translator._supply = None  # reset; translate_query would do this
+    rewritten = _possible_query(q, translator)
+    sem = SqlSemantics(schema, logic=translator.logic)
+    return set(sem.run(rewritten, db).bag.distinct())
+
+
+def _possible_query(query: Query, translator: TwoValuedTranslator) -> Query:
+    from ..semantics.two_valued import _NameSupply, _collect_names
+
+    if translator._supply is None:
+        translator._supply = _NameSupply(_collect_names(query, translator.schema))
+    if isinstance(query, SetOp):
+        return SetOp(
+            query.op,
+            _possible_query(query.left, translator),
+            _possible_query(query.right, translator),
+            all=query.all,
+        )
+    assert isinstance(query, Select)
+    from ..sql.ast import FromItem
+
+    from_items = tuple(
+        item
+        if item.is_base_table
+        else FromItem(
+            _possible_query(item.table, translator), item.alias, item.column_aliases
+        )
+        for item in query.from_items
+    )
+    where = Not(translator.translate_f(query.where))
+    return Select(query.items, from_items, where, distinct=query.distinct)
+
+
+def is_positive(query: Union[str, Query], schema: Schema) -> bool:
+    """Whether the query avoids negation (NOT, NOT IN, EXCEPT, FALSE-free
+    negative atoms) — the fragment where :func:`approximate_certain` is
+    sound."""
+    q = _as_query(query, schema)
+    return _positive_query(q)
+
+
+def _positive_query(query: Query) -> bool:
+    if isinstance(query, SetOp):
+        if query.op == "EXCEPT":
+            return False
+        return _positive_query(query.left) and _positive_query(query.right)
+    assert isinstance(query, Select)
+    for item in query.from_items:
+        if not item.is_base_table and not _positive_query(item.table):
+            return False
+    return _positive_condition(query.where)
+
+
+def _positive_condition(condition: Condition) -> bool:
+    if isinstance(condition, Not):
+        return False
+    if isinstance(condition, InQuery):
+        return not condition.negated and _positive_query(condition.query)
+    if isinstance(condition, Exists):
+        return _positive_query(condition.query)
+    if isinstance(condition, (And, Or)):
+        return _positive_condition(condition.left) and _positive_condition(
+            condition.right
+        )
+    from ..sql.ast import IsNull
+
+    if isinstance(condition, IsNull):
+        # t IS NULL is not monotone under valuations; exclude both forms.
+        return False
+    return True

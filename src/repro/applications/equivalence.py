@@ -1,0 +1,167 @@
+"""Randomized query-equivalence testing: an application of the semantics.
+
+The paper's motivation for a formal semantics is to "derive language
+equivalences and optimization rules" — and its Example 1 shows a textbook
+rewriting (NOT IN → NOT EXISTS) that is wrong under nulls.  With an
+executable semantics, candidate equivalences can be *tested*: evaluate both
+queries under the formal semantics on many random databases and look for a
+counterexample (the lightweight cousin of provers like Cosette [8], which
+the paper cites as follow-on work).
+
+:func:`check_equivalence` returns an :class:`EquivalenceReport` containing
+either a counterexample database (queries NOT equivalent — a definitive
+answer) or the number of witnesses tried (evidence, not proof, of
+equivalence).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..core.schema import Database, Schema
+from ..core.table import Table
+from ..generator.datafiller import DataFillerConfig, fill_database
+from ..semantics.evaluator import SqlSemantics
+from ..sql.annotate import annotate
+from ..sql.ast import Query
+
+__all__ = ["EquivalenceReport", "check_equivalence", "find_counterexample"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """The outcome of a randomized equivalence check."""
+
+    equivalent_so_far: bool
+    trials: int
+    counterexample: Optional[Database] = None
+    left_result: Optional[Table] = None
+    right_result: Optional[Table] = None
+
+    def describe(self) -> str:
+        if self.equivalent_so_far:
+            return (
+                f"no counterexample in {self.trials} random databases "
+                f"(evidence of equivalence, not a proof)"
+            )
+        left = sorted(self.left_result.bag, key=repr)
+        right = sorted(self.right_result.bag, key=repr)
+        return (
+            f"NOT equivalent: counterexample found after {self.trials} "
+            f"trial(s); left returns {left}, right returns {right}"
+        )
+
+
+def _as_query(query: Union[str, Query], schema: Schema) -> Query:
+    if isinstance(query, str):
+        return annotate(query, schema)
+    return query
+
+
+def check_equivalence(
+    left: Union[str, Query],
+    right: Union[str, Query],
+    schema: Schema,
+    trials: int = 200,
+    seed: int = 0,
+    semantics: Optional[SqlSemantics] = None,
+    data_config: Optional[DataFillerConfig] = None,
+    extra_databases: Sequence[Database] = (),
+) -> EquivalenceReport:
+    """Test two queries for equivalence on random databases.
+
+    Any databases in ``extra_databases`` are tried first (useful for known
+    tricky instances, e.g. ones with NULLs in strategic places); then
+    ``trials`` random instances are generated.  Returns on the first
+    counterexample.
+    """
+    left_query = _as_query(left, schema)
+    right_query = _as_query(right, schema)
+    sem = semantics if semantics is not None else SqlSemantics(schema)
+    config = (
+        data_config
+        if data_config is not None
+        else DataFillerConfig(max_rows=5, null_rate=0.25)
+    )
+    rng = random.Random(seed)
+    tried = 0
+    for db in extra_databases:
+        tried += 1
+        outcome = _compare_once(sem, left_query, right_query, db)
+        if outcome is not None:
+            return EquivalenceReport(False, tried, db, *outcome)
+    for _ in range(trials):
+        tried += 1
+        db = fill_database(schema, rng, config)
+        outcome = _compare_once(sem, left_query, right_query, db)
+        if outcome is not None:
+            return EquivalenceReport(False, tried, db, *outcome)
+    return EquivalenceReport(True, tried)
+
+
+def _compare_once(sem, left_query, right_query, db):
+    left_result = sem.run(left_query, db)
+    right_result = sem.run(right_query, db)
+    if not left_result.same_as(right_result):
+        return left_result, right_result
+    return None
+
+
+def find_counterexample(
+    left: Union[str, Query],
+    right: Union[str, Query],
+    schema: Schema,
+    trials: int = 200,
+    seed: int = 0,
+    **kwargs,
+) -> Optional[Database]:
+    """Convenience wrapper: the counterexample database, or None."""
+    report = check_equivalence(left, right, schema, trials, seed, **kwargs)
+    return report.counterexample
+
+
+def shrink_counterexample(
+    left: Union[str, Query],
+    right: Union[str, Query],
+    schema: Schema,
+    db: Database,
+    semantics: Optional[SqlSemantics] = None,
+) -> Database:
+    """Minimize a counterexample database by greedy row deletion.
+
+    Repeatedly removes single rows as long as the two queries still
+    disagree, producing a locally minimal witness: deleting any one
+    remaining row makes the queries agree.  Small witnesses make the
+    failure of a rewriting legible (the shrunk Example 1 counterexample is
+    typically R = {NULL} or R = {c}, S = {NULL}).
+    """
+    left_query = _as_query(left, schema)
+    right_query = _as_query(right, schema)
+    sem = semantics if semantics is not None else SqlSemantics(schema)
+
+    def disagrees(candidate: Database) -> bool:
+        return _compare_once(sem, left_query, right_query, candidate) is not None
+
+    if not disagrees(db):
+        raise ValueError("the given database is not a counterexample")
+
+    current = {
+        name: list(db.table(name).bag) for name in schema.table_names
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in schema.table_names:
+            rows = current[name]
+            index = 0
+            while index < len(rows):
+                candidate_rows = rows[:index] + rows[index + 1 :]
+                candidate = Database(schema, {**current, name: candidate_rows})
+                if disagrees(candidate):
+                    rows[:] = candidate_rows
+                    changed = True
+                else:
+                    index += 1
+    return Database(schema, current)

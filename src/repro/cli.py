@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``        evaluate a SQL query on a database described by a JSON file
+``translate``  print the relational-algebra translation of a query (Thm 1)
+``two-valued`` print the Figure 10 two-valued rewriting of a query (Thm 2)
+``validate``   run a Section 4 validation campaign
+``generate``   print random queries from the Section 4 generator
+
+The database JSON format is::
+
+    {
+      "schema": {"R": ["A"], "S": ["A"]},
+      "tables": {"R": [[1], [null]], "S": [[null]]}
+    }
+
+JSON ``null`` becomes SQL NULL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Optional, Sequence
+
+from .algebra import desugar, to_sqlra
+from .algebra.printer import print_expression_tree
+from .core.schema import Database, Schema
+from .core.values import NULL
+from .generator.config import PAPER_CONFIG
+from .generator.datafiller import DataFillerConfig
+from .generator.queries import QueryGenerator
+from .semantics.evaluator import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
+from .semantics.two_valued import TwoValuedTranslator
+from .sql.annotate import annotate
+from .sql.printer import print_query
+from .validation.report import format_campaigns
+from .validation.runner import ValidationRunner
+
+__all__ = ["main", "load_database"]
+
+
+def load_database(path: str) -> Database:
+    """Load a schema + instance from the JSON format described above."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    schema = Schema({name: tuple(attrs) for name, attrs in payload["schema"].items()})
+    tables = {
+        name: [
+            tuple(NULL if value is None else value for value in row) for row in rows
+        ]
+        for name, rows in payload.get("tables", {}).items()
+    }
+    return Database(schema, tables)
+
+
+def _cmd_run(args) -> int:
+    db = load_database(args.database)
+    schema = db.schema
+    query = annotate(args.query, schema)
+    star = STAR_COMPOSITIONAL if args.dialect == "postgres" else STAR_STANDARD
+    semantics = SqlSemantics(schema, star_style=star)
+    print(f"-- annotated: {print_query(query)}")
+    print(semantics.run(query, db).pretty(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    db = load_database(args.database)
+    schema = db.schema
+    query = annotate(args.query, schema)
+    sqlra = to_sqlra(query, schema)
+    if args.pure:
+        expression = desugar(sqlra, schema)
+        print("-- pure relational algebra (Theorem 1 / Proposition 2):")
+    else:
+        expression = sqlra
+        print("-- SQL-RA (Figure 9):")
+    print(print_expression_tree(expression))
+    return 0
+
+
+def _cmd_two_valued(args) -> int:
+    db = load_database(args.database)
+    schema = db.schema
+    query = annotate(args.query, schema)
+    translator = TwoValuedTranslator(schema, args.equality)
+    translated = translator.translate_query(query)
+    print(f"-- Q′ with ⟦Q⟧ = ⟦Q′⟧2v (equality: {args.equality}):")
+    print(print_query(translated))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    reports = []
+    failed = False
+    for variant in args.variants:
+        runner = ValidationRunner(
+            variant=variant, data_config=DataFillerConfig(max_rows=args.rows)
+        )
+        report = runner.run(trials=args.trials, base_seed=args.seed)
+        reports.append(report)
+        for mismatch in report.mismatches[: args.show_mismatches]:
+            print(runner.explain(mismatch), file=sys.stderr)
+        failed = failed or bool(report.mismatches)
+    print(format_campaigns(reports))
+    return 1 if failed else 0
+
+
+def _cmd_generate(args) -> int:
+    from .core.schema import validation_schema
+
+    generator = QueryGenerator(
+        validation_schema(), PAPER_CONFIG, random.Random(args.seed)
+    )
+    for i in range(args.count):
+        print(print_query(generator.generate(seed=args.seed + i), args.dialect) + ";")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable formal semantics of basic SQL (VLDB 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a query under the formal semantics")
+    run.add_argument("query")
+    run.add_argument("--database", "-d", required=True, help="JSON database file")
+    run.add_argument(
+        "--dialect", choices=("standard", "postgres"), default="standard"
+    )
+    run.add_argument("--max-rows", type=int, default=50)
+    run.set_defaults(func=_cmd_run)
+
+    translate = sub.add_parser(
+        "translate", help="translate a data manipulation query to algebra"
+    )
+    translate.add_argument("query")
+    translate.add_argument("--database", "-d", required=True)
+    translate.add_argument(
+        "--pure", action="store_true", help="desugar SQL-RA into pure RA"
+    )
+    translate.set_defaults(func=_cmd_translate)
+
+    twov = sub.add_parser(
+        "two-valued", help="print the Figure 10 two-valued rewriting"
+    )
+    twov.add_argument("query")
+    twov.add_argument("--database", "-d", required=True)
+    twov.add_argument(
+        "--equality", choices=("conflating", "syntactic"), default="conflating"
+    )
+    twov.set_defaults(func=_cmd_two_valued)
+
+    validate = sub.add_parser("validate", help="run a validation campaign")
+    validate.add_argument("--trials", type=int, default=200)
+    validate.add_argument("--rows", type=int, default=6)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--variants", nargs="+", choices=("postgres", "oracle"),
+        default=["postgres", "oracle"],
+    )
+    validate.add_argument("--show-mismatches", type=int, default=5)
+    validate.set_defaults(func=_cmd_validate)
+
+    generate = sub.add_parser("generate", help="print random queries")
+    generate.add_argument("--count", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--dialect", choices=("standard", "postgres", "oracle"), default="standard"
+    )
+    generate.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""Bags (multisets) of records and the bag operations of Section 3.
+
+SQL tables are bags: the same record may occur several times, and the paper's
+semantics is stated in terms of the multiplicity function ``#(r̄, T)``.  This
+module implements:
+
+* :class:`Bag` — an immutable multiset of records with deterministic
+  (insertion-order) iteration;
+* the bag operations the paper defines:
+
+  - union:        ``#(t̄, T1 ∪ T2) = #(t̄, T1) + #(t̄, T2)``
+  - intersection: ``#(t̄, T1 ∩ T2) = min(#(t̄, T1), #(t̄, T2))``
+  - difference:   ``#(t̄, T1 − T2) = max(#(t̄, T1) − #(t̄, T2), 0)``
+  - product:      ``#((t̄1 t̄2), T1 × T2) = #(t̄1, T1) · #(t̄2, T2)``
+  - duplicate elimination ε: ``#(t̄, ε(T)) = min(#(t̄, T), 1)``
+
+Records are compared with Python equality, which on values coincides with the
+paper's syntactic equality — in particular NULL matches NULL, exactly as SQL's
+set operations require (see Example 1's query Q3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from .values import Record
+
+__all__ = ["Bag"]
+
+
+class Bag:
+    """An immutable bag (multiset) of equal-length records.
+
+    Iteration yields each record once per occurrence, grouped by record in
+    first-insertion order; :meth:`counts` exposes the multiplicity map.  The
+    empty bag has no intrinsic arity; a non-empty bag enforces that all its
+    records have the same length.
+    """
+
+    __slots__ = ("_counts", "_arity", "_size")
+
+    def __init__(self, records: Iterable[Record] = ()):
+        counts: Dict[Record, int] = {}
+        arity: int | None = None
+        size = 0
+        for record in records:
+            if not isinstance(record, tuple):
+                raise TypeError(f"bag records must be tuples, got {type(record).__name__}")
+            if arity is None:
+                arity = len(record)
+            elif len(record) != arity:
+                raise ValueError(
+                    f"records of mixed arity in bag: {arity} and {len(record)}"
+                )
+            counts[record] = counts.get(record, 0) + 1
+            size += 1
+        self._counts = counts
+        self._arity = arity
+        self._size = size
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Record, int]) -> "Bag":
+        """Build a bag from a multiplicity map, skipping zero multiplicities."""
+        bag = cls.__new__(cls)
+        clean: Dict[Record, int] = {}
+        arity: int | None = None
+        size = 0
+        for record, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative multiplicity {count} for {record!r}")
+            if count == 0:
+                continue
+            if arity is None:
+                arity = len(record)
+            elif len(record) != arity:
+                raise ValueError(
+                    f"records of mixed arity in bag: {arity} and {len(record)}"
+                )
+            clean[record] = count
+            size += count
+        bag._counts = clean
+        bag._arity = arity
+        bag._size = size
+        return bag
+
+    @classmethod
+    def empty(cls) -> "Bag":
+        return _EMPTY
+
+    # -- inspection -----------------------------------------------------------
+
+    def multiplicity(self, record: Record) -> int:
+        """The paper's ``#(r̄, T)``: 0 if ``record`` does not occur."""
+        return self._counts.get(record, 0)
+
+    def counts(self) -> Mapping[Record, int]:
+        """A read-only view of the multiplicity map."""
+        return dict(self._counts)
+
+    @property
+    def arity(self) -> int | None:
+        """Record length, or None for the empty bag."""
+        return self._arity
+
+    def __len__(self) -> int:
+        """Total number of occurrences (with multiplicity)."""
+        return self._size
+
+    def distinct_size(self) -> int:
+        """Number of distinct records."""
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Record]:
+        for record, count in self._counts.items():
+            for _ in range(count):
+                yield record
+
+    def distinct(self) -> Iterator[Record]:
+        """Iterate each distinct record once."""
+        return iter(self._counts)
+
+    def __contains__(self, record: Record) -> bool:
+        return record in self._counts
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    # -- bag algebra (Section 3) ------------------------------------------------
+
+    def _check_compatible(self, other: "Bag") -> None:
+        if (
+            self._arity is not None
+            and other._arity is not None
+            and self._arity != other._arity
+        ):
+            raise ValueError(
+                f"bag operation on incompatible arities: {self._arity} vs {other._arity}"
+            )
+
+    def union(self, other: "Bag") -> "Bag":
+        """Bag union (UNION ALL): multiplicities add up."""
+        self._check_compatible(other)
+        counts = dict(self._counts)
+        for record, count in other._counts.items():
+            counts[record] = counts.get(record, 0) + count
+        return Bag.from_counts(counts)
+
+    def intersection(self, other: "Bag") -> "Bag":
+        """Bag intersection (INTERSECT ALL): pointwise minimum."""
+        self._check_compatible(other)
+        counts: Dict[Record, int] = {}
+        for record, count in self._counts.items():
+            other_count = other._counts.get(record, 0)
+            if other_count:
+                counts[record] = min(count, other_count)
+        return Bag.from_counts(counts)
+
+    def difference(self, other: "Bag") -> "Bag":
+        """Bag difference (EXCEPT ALL): truncated subtraction."""
+        self._check_compatible(other)
+        counts: Dict[Record, int] = {}
+        for record, count in self._counts.items():
+            remaining = count - other._counts.get(record, 0)
+            if remaining > 0:
+                counts[record] = remaining
+        return Bag.from_counts(counts)
+
+    def product(self, other: "Bag") -> "Bag":
+        """Cartesian product: concatenates records, multiplies multiplicities."""
+        counts: Dict[Record, int] = {}
+        for left, left_count in self._counts.items():
+            for right, right_count in other._counts.items():
+                counts[left + right] = left_count * right_count
+        return Bag.from_counts(counts)
+
+    def distinct_bag(self) -> "Bag":
+        """Duplicate elimination ε: every multiplicity becomes 1."""
+        return Bag.from_counts({record: 1 for record in self._counts})
+
+    # -- convenience aliases matching the paper's notation -----------------------
+
+    __add__ = union
+
+    def __and__(self, other: "Bag") -> "Bag":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Bag") -> "Bag":
+        return self.difference(other)
+
+    def __mul__(self, other: "Bag") -> "Bag":
+        return self.product(other)
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{record!r}: {count}" for record, count in sorted(
+                self._counts.items(), key=lambda item: repr(item[0])
+            )
+        )
+        return f"Bag({{{inner}}})"
+
+
+_EMPTY = Bag()

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the whole reproduction.
+
+Errors are split along the paper's own fault lines:
+
+* *compile-time* errors — queries that a conforming RDBMS rejects before
+  execution (unknown tables, arity mismatches in set operations and IN,
+  duplicate aliases in a FROM clause, references that cannot be resolved);
+* *ambiguity* errors — the paper's "environment undefined on a repeated full
+  name" situation (Example 2), which the standard/Oracle behaviour surfaces
+  as an error while PostgreSQL's compositional semantics avoids;
+* *parse* errors from the SQL front end;
+* *algebra* errors for ill-defined relational algebra expressions (Section 5
+  lists the well-definedness side conditions of each operator).
+
+The validation harness (Section 4) treats "both implementations raise an
+ambiguity error" as agreement, mirroring how the paper compared its
+Oracle-adjusted semantics against Oracle's errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CompileError",
+    "ParseError",
+    "UnknownTableError",
+    "DuplicateAliasError",
+    "ArityMismatchError",
+    "UnboundReferenceError",
+    "AmbiguousReferenceError",
+    "AlgebraError",
+    "IllFormedExpressionError",
+    "SchemaError",
+    "NotDataManipulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error raised by :mod:`repro`."""
+
+
+class CompileError(ReproError):
+    """A query is rejected before evaluation (it would not compile)."""
+
+
+class ParseError(CompileError):
+    """The SQL text is not a well-formed query of the basic fragment.
+
+    Carries the 1-based line/column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class UnknownTableError(CompileError):
+    """A FROM clause references a base table that the schema does not declare."""
+
+
+class DuplicateAliasError(CompileError):
+    """Two items of the same FROM clause were given the same alias."""
+
+
+class ArityMismatchError(CompileError):
+    """Set operations or IN comparisons combine tables of different arity."""
+
+
+class UnboundReferenceError(CompileError):
+    """A full name resolves against no scope (the query would not compile)."""
+
+
+class AmbiguousReferenceError(ReproError):
+    """A reference to a repeated full name: the environment is undefined on it.
+
+    This is the error of Example 2: ``SELECT * FROM (SELECT R.A, R.A FROM R)
+    AS T`` forces a reference to the repeated full name ``T.A``.  It is *not*
+    a :class:`CompileError` subclass semantically distinguishable from it in
+    real systems, but we keep it separate because the validation harness
+    matches it against the reference engine's own ambiguity error.
+    """
+
+
+class AlgebraError(ReproError):
+    """Base class for relational-algebra errors (Section 5)."""
+
+
+class IllFormedExpressionError(AlgebraError):
+    """An RA expression violates a well-definedness side condition."""
+
+
+class SchemaError(ReproError):
+    """A schema or database instance is internally inconsistent."""
+
+
+class NotDataManipulationError(ReproError):
+    """A query fails Definition 1 and cannot be translated to RA."""

@@ -1,0 +1,129 @@
+"""Schemas and database instances (Section 2).
+
+A *schema* is a set of base-table names, each associated with a non-empty
+tuple ``ℓ(R)`` of distinct attribute names.  A *database* maps each base
+table name to a table of the right arity.  Both are immutable.
+
+The module also provides the fixed validation schema of Section 4
+(:func:`validation_schema`): base tables R1..R8 where Ri has i+1 integer
+attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from .bag import Bag
+from .errors import SchemaError, UnknownTableError
+from .table import Table
+from .values import Name, Record
+
+__all__ = ["Schema", "Database", "validation_schema"]
+
+
+class Schema:
+    """A set of base table names with their attribute tuples ``ℓ(R)``."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, tables: Mapping[Name, Sequence[Name]]):
+        clean: Dict[Name, Tuple[Name, ...]] = {}
+        for name, attributes in tables.items():
+            attrs = tuple(attributes)
+            if not attrs:
+                raise SchemaError(f"base table {name} must have at least one attribute")
+            if len(set(attrs)) != len(attrs):
+                raise SchemaError(
+                    f"base table {name} has repeated attribute names: {attrs}"
+                )
+            clean[name] = attrs
+        self._tables = clean
+
+    @property
+    def table_names(self) -> Tuple[Name, ...]:
+        return tuple(self._tables)
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self._tables
+
+    def attributes(self, name: Name) -> Tuple[Name, ...]:
+        """The paper's ℓ(R) for a base table R."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"unknown base table: {name}") from None
+
+    def arity(self, name: Name) -> int:
+        return len(self.attributes(name))
+
+    def items(self):
+        return self._tables.items()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._tables == other._tables
+
+    def __repr__(self) -> str:
+        decls = ", ".join(
+            f"{name}({', '.join(attrs)})" for name, attrs in self._tables.items()
+        )
+        return f"Schema({decls})"
+
+
+class Database:
+    """An instance: each base table name mapped to a table of matching arity."""
+
+    __slots__ = ("_schema", "_tables")
+
+    def __init__(self, schema: Schema, tables: Mapping[Name, Iterable[Record]] = {}):
+        self._schema = schema
+        self._tables: Dict[Name, Table] = {}
+        for name in schema.table_names:
+            attrs = schema.attributes(name)
+            rows = tables.get(name, ())
+            bag = rows if isinstance(rows, Bag) else Bag(tuple(r) for r in rows)
+            if bag.arity is not None and bag.arity != len(attrs):
+                raise SchemaError(
+                    f"table {name} declared arity {len(attrs)} but rows have "
+                    f"arity {bag.arity}"
+                )
+            self._tables[name] = Table(attrs, bag)
+        extra = set(tables) - set(schema.table_names)
+        if extra:
+            raise SchemaError(f"instance provides undeclared tables: {sorted(extra)}")
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def table(self, name: Name) -> Table:
+        """The interpretation R^D of a base table (with its schema labels)."""
+        if name not in self._tables:
+            raise UnknownTableError(f"unknown base table: {name}")
+        return self._tables[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._schema == other._schema and self._tables == other._tables
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}: {len(t)}" for name, t in self._tables.items())
+        return f"Database({sizes})"
+
+
+def validation_schema(num_tables: int = 8) -> Schema:
+    """The fixed schema of Section 4: R1..R8, Ri with i+1 int attributes.
+
+    Attribute names are A1..A(i+1); all attributes are conceptually of type
+    int (the paper notes the data type is immaterial to the semantics).
+    """
+    if num_tables < 1:
+        raise ValueError("need at least one base table")
+    return Schema(
+        {
+            f"R{i}": tuple(f"A{j}" for j in range(1, i + 2))
+            for i in range(1, num_tables + 1)
+        }
+    )

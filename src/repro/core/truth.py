@@ -1,0 +1,180 @@
+"""Three-valued (Kleene) logic truth values.
+
+This module implements the truth tables of Figure 1 of the paper: SQL's
+three-valued logic (3VL) has truth values true (``t``), false (``f``) and
+unknown (``u``), combined with Kleene's strong connectives.
+
+The class :class:`Truth` is a small immutable value type with exactly three
+instances, exposed as the module-level constants :data:`TRUE`, :data:`FALSE`
+and :data:`UNKNOWN`.  Conjunction, disjunction and negation are available both
+as operator overloads (``&``, ``|``, ``~``) and as the named functions
+:func:`conj`, :func:`disj` and :func:`neg`.
+
+The *information order* ``u < t``, ``u < f`` (with ``t`` and ``f``
+incomparable) is exposed via :meth:`Truth.le_info`; Kleene connectives are
+monotone with respect to it, a property exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "Truth",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "conj",
+    "disj",
+    "neg",
+    "conj_all",
+    "disj_all",
+]
+
+
+class Truth:
+    """One of the three truth values of Kleene logic.
+
+    Instances are interned: the only three objects of this class are
+    :data:`TRUE`, :data:`FALSE` and :data:`UNKNOWN`, so identity comparison
+    (``is``) is safe and used throughout the code base.
+    """
+
+    __slots__ = ("_name",)
+
+    _instances: dict[str, "Truth"] = {}
+
+    def __new__(cls, name: str) -> "Truth":
+        if name not in ("t", "f", "u"):
+            raise ValueError(f"invalid truth value name: {name!r}")
+        if name in cls._instances:
+            return cls._instances[name]
+        obj = super().__new__(cls)
+        obj._name = name
+        cls._instances[name] = obj
+        return obj
+
+    @property
+    def name(self) -> str:
+        """The paper's one-letter name of this truth value: t, f or u."""
+        return self._name
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        """Whether this value is ``t`` (the only value SQL's WHERE keeps)."""
+        return self._name == "t"
+
+    @property
+    def is_false(self) -> bool:
+        return self._name == "f"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self._name == "u"
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_bool(value: bool) -> "Truth":
+        """Embed a classical Boolean into 3VL."""
+        return TRUE if value else FALSE
+
+    # -- Kleene connectives (Figure 1) --------------------------------------
+
+    def __and__(self, other: "Truth") -> "Truth":
+        if not isinstance(other, Truth):
+            return NotImplemented
+        if self is FALSE or other is FALSE:
+            return FALSE
+        if self is TRUE and other is TRUE:
+            return TRUE
+        return UNKNOWN
+
+    def __or__(self, other: "Truth") -> "Truth":
+        if not isinstance(other, Truth):
+            return NotImplemented
+        if self is TRUE or other is TRUE:
+            return TRUE
+        if self is FALSE and other is FALSE:
+            return FALSE
+        return UNKNOWN
+
+    def __invert__(self) -> "Truth":
+        if self is TRUE:
+            return FALSE
+        if self is FALSE:
+            return TRUE
+        return UNKNOWN
+
+    # -- information order ---------------------------------------------------
+
+    def le_info(self, other: "Truth") -> bool:
+        """Whether ``self`` is below ``other`` in the information order.
+
+        ``u`` is below everything; ``t`` and ``f`` are each only below
+        themselves.  Kleene connectives are monotone w.r.t. this order.
+        """
+        return self is UNKNOWN or self is other
+
+    # -- plumbing -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return {"t": "TRUE", "f": "FALSE", "u": "UNKNOWN"}[self._name]
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "a 3VL Truth cannot be used as a Python boolean; "
+            "use .is_true / .is_false / .is_unknown explicitly"
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._name)
+
+    def __reduce__(self):
+        return (Truth, (self._name,))
+
+
+TRUE = Truth("t")
+FALSE = Truth("f")
+UNKNOWN = Truth("u")
+
+
+def conj(a: Truth, b: Truth) -> Truth:
+    """Kleene conjunction (the ∧ table of Figure 1)."""
+    return a & b
+
+
+def disj(a: Truth, b: Truth) -> Truth:
+    """Kleene disjunction (the ∨ table of Figure 1)."""
+    return a | b
+
+
+def neg(a: Truth) -> Truth:
+    """Kleene negation (the ¬ table of Figure 1)."""
+    return ~a
+
+
+def conj_all(values: Iterable[Truth]) -> Truth:
+    """Conjunction of an iterable of truth values; empty conjunction is t.
+
+    Matches the paper's use of big-∧ for tuple equality: the conjunction of
+    no conditions holds vacuously.
+    """
+    result = TRUE
+    for value in values:
+        result = result & value
+        if result is FALSE:
+            return FALSE
+    return result
+
+
+def disj_all(values: Iterable[Truth]) -> Truth:
+    """Disjunction of an iterable of truth values; empty disjunction is f."""
+    result = FALSE
+    for value in values:
+        result = result | value
+        if result is TRUE:
+            return TRUE
+    return result

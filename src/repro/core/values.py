@@ -1,0 +1,124 @@
+"""Values, NULL, names, full names and terms (Section 2 of the paper).
+
+The paper assumes two countably infinite sets:
+
+* **N** of *names*, used for tables and columns — modelled as Python strings;
+* **C** of *data values* (constants) — modelled as Python ints and strings
+  (the experiments of Section 4 only use ints; strings exercise the claim
+  that a single set of values of all types suffices once queries type-check).
+
+On top of these the paper builds:
+
+* *full names* — pairs in N², written ``N1.N2`` (:class:`FullName`);
+* SQL's null — a single distinguished element :data:`NULL` (:class:`Null`);
+* *terms* — a constant, ``NULL``, or a full name (:data:`Term`);
+* *records* — tuples over C ∪ {NULL}.
+
+Python equality on values coincides with the paper's *syntactic equality*
+(Definition 2): two values are syntactically equal iff they are the same
+constant or both ``NULL``.  This is exactly the equality used by bags and by
+SQL's set operations, and it is what makes :class:`repro.core.bag.Bag` keyed
+by records behave correctly in the presence of nulls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = [
+    "Null",
+    "NULL",
+    "Name",
+    "FullName",
+    "Constant",
+    "Value",
+    "Record",
+    "Term",
+    "is_value",
+    "syntactically_equal",
+]
+
+
+class Null:
+    """SQL's NULL: a singleton marker distinct from every constant.
+
+    ``NULL == NULL`` is true *as Python equality* — this is the syntactic
+    equality used by bag operations, matching the paper's observation that
+    SQL set operations consider two NULLs equal.  Three-valued comparison of
+    terms is implemented separately in the semantics, where comparing NULL
+    with anything yields unknown.
+    """
+
+    _instance: "Null | None" = None
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __hash__(self) -> int:
+        return hash("repro.core.values.NULL")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null)
+
+    def __reduce__(self):
+        return (Null, ())
+
+
+NULL = Null()
+
+#: A (column or table) name: an element of the paper's set N.
+Name = str
+
+#: A constant: an element of the paper's set C of data values.
+Constant = Union[int, str]
+
+#: A value stored in a table: a constant or NULL.
+Value = Union[Constant, Null]
+
+#: A record: a tuple of values (a row of a table).
+Record = Tuple[Value, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FullName:
+    """A full name ``N1.N2`` in N²: a table name qualifying an attribute.
+
+    Full names are the column labels of the intermediate table produced by a
+    FROM clause, and they are what SELECT/WHERE references resolve against.
+    """
+
+    qualifier: Name
+    attribute: Name
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.attribute}"
+
+    @staticmethod
+    def parse(text: str) -> "FullName":
+        """Parse ``"R.A"`` into ``FullName("R", "A")``."""
+        qualifier, sep, attribute = text.partition(".")
+        if not sep or not qualifier or not attribute:
+            raise ValueError(f"not a full name: {text!r}")
+        return FullName(qualifier, attribute)
+
+
+#: A term (Section 2): a constant in C, NULL, or a full name in N².
+Term = Union[Constant, Null, FullName]
+
+
+def is_value(obj: object) -> bool:
+    """Whether ``obj`` is a value that may appear in a table."""
+    return isinstance(obj, (int, str, Null)) and not isinstance(obj, bool)
+
+
+def syntactically_equal(a: Value, b: Value) -> bool:
+    """Definition 2's syntactic equality on values: same constant or both NULL."""
+    return a == b

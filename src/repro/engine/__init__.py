@@ -1,0 +1,12 @@
+"""Independent reference engine (the PostgreSQL/Oracle stand-in of Section 4)."""
+
+from .engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from .planner import CompiledQuery, Planner
+
+__all__ = [
+    "Engine",
+    "Planner",
+    "CompiledQuery",
+    "DIALECT_POSTGRES",
+    "DIALECT_ORACLE",
+]

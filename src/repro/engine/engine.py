@@ -1,0 +1,42 @@
+"""The engine facade: compile + execute, with boundary conversions.
+
+:class:`Engine` plays the role of the real RDBMS in the Section 4
+experiment: it takes the same annotated query and database as the formal
+semantics and produces a :class:`~repro.core.table.Table`, converting its
+internal ``None`` nulls back to :data:`~repro.core.values.NULL` only at the
+output boundary.
+"""
+
+from __future__ import annotations
+
+from ..core.bag import Bag
+from ..core.schema import Database, Schema
+from ..core.table import Table
+from ..core.values import NULL
+from ..sql.ast import Query
+from .planner import DIALECT_ORACLE, DIALECT_POSTGRES, Planner
+
+__all__ = ["Engine", "DIALECT_POSTGRES", "DIALECT_ORACLE"]
+
+
+class Engine:
+    """An independent executor for basic SQL, in two dialect flavours."""
+
+    def __init__(self, schema: Schema, dialect: str = DIALECT_POSTGRES):
+        self.schema = schema
+        self.dialect = dialect
+
+    def execute(self, query: Query, db: Database) -> Table:
+        """Compile and run ``query`` on ``db``.
+
+        Compile-time errors (unknown tables, arity mismatches, ambiguous
+        references) are raised before any row is produced, matching the
+        behaviour of the real systems the engine stands in for.
+        """
+        planner = Planner(self.schema, db, self.dialect)
+        compiled = planner.compile(query)
+        rows = compiled.plan.rows(())
+        records = (
+            tuple(NULL if v is None else v for v in row) for row in rows
+        )
+        return Table(compiled.labels, Bag(records))

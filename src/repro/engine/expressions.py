@@ -1,0 +1,137 @@
+"""Runtime expressions and truth handling for the reference engine.
+
+The engine is the stand-in for PostgreSQL/Oracle in the Section 4 validation
+experiment, so it is deliberately implemented *independently* of the formal
+semantics: nulls are Python ``None`` (not the :data:`repro.core.values.NULL`
+sentinel), truth values are ``True`` / ``False`` / ``None`` (unknown), and
+column references are compiled to positional ``(depth, index)`` lookups into
+the current row and the stack of outer rows — the way a real executor
+resolves correlated references.
+
+Only the input/output boundary converts between the two representations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import CompileError
+
+__all__ = [
+    "Row",
+    "OuterStack",
+    "ColumnRef",
+    "LiteralExpr",
+    "RowExpr",
+    "and3",
+    "or3",
+    "not3",
+    "compare",
+    "COMPARE_FUNCS",
+]
+
+#: A runtime row: a tuple of ints/strings/None.
+Row = Tuple[object, ...]
+
+#: The stack of outer rows for correlated subqueries (innermost last).
+OuterStack = Tuple[Row, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A compiled column reference: depth 0 is the current row, depth k > 0
+    the k-th enclosing row on the outer stack."""
+
+    depth: int
+    index: int
+
+    def __call__(self, row: Row, outers: OuterStack) -> object:
+        if self.depth == 0:
+            return row[self.index]
+        return outers[-self.depth][self.index]
+
+
+@dataclass(frozen=True, slots=True)
+class LiteralExpr:
+    """A constant (or None for SQL NULL)."""
+
+    value: object
+
+    def __call__(self, row: Row, outers: OuterStack) -> object:
+        return self.value
+
+
+RowExpr = Callable[[Row, OuterStack], object]
+
+
+# -- three-valued connectives over True/False/None ---------------------------
+
+
+def and3(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def or3(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def not3(a: Optional[bool]) -> Optional[bool]:
+    if a is None:
+        return None
+    return not a
+
+
+# -- comparisons -----------------------------------------------------------------
+
+
+def _like(value: object, pattern: object) -> bool:
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise CompileError("LIKE is defined on strings only")
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    )
+    return re.fullmatch(regex, value) is not None
+
+
+def _ordered(op: str, a: object, b: object) -> bool:
+    if isinstance(a, str) != isinstance(b, str):
+        raise CompileError(f"type clash in comparison: {a!r} {op} {b!r}")
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b
+
+
+COMPARE_FUNCS = {
+    "=": lambda a, b: a == b and isinstance(a, str) == isinstance(b, str),
+    "<>": lambda a, b: not (a == b and isinstance(a, str) == isinstance(b, str)),
+    "<": lambda a, b: _ordered("<", a, b),
+    "<=": lambda a, b: _ordered("<=", a, b),
+    ">": lambda a, b: _ordered(">", a, b),
+    ">=": lambda a, b: _ordered(">=", a, b),
+    "LIKE": _like,
+}
+
+
+def compare(op: str, a: object, b: object) -> Optional[bool]:
+    """SQL comparison: None (unknown) when either side is NULL."""
+    if a is None or b is None:
+        return None
+    try:
+        func = COMPARE_FUNCS[op]
+    except KeyError:
+        raise CompileError(f"unknown comparison operator: {op}") from None
+    return func(a, b)

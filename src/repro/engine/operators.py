@@ -1,0 +1,138 @@
+"""Physical operators of the reference engine: a tiny iterator model.
+
+Each operator produces a list of rows given the stack of outer rows (needed
+because any operator may sit inside a correlated subquery and reference
+enclosing rows through compiled :class:`~repro.engine.expressions.ColumnRef`
+expressions).  Multisets are handled with :class:`collections.Counter`, a
+representation intentionally different from :class:`repro.core.bag.Bag`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .expressions import OuterStack, Row, RowExpr
+
+__all__ = [
+    "PlanNode",
+    "StaticScan",
+    "CrossJoin",
+    "FilterOp",
+    "ProjectOp",
+    "DistinctOp",
+    "SetOpNode",
+]
+
+
+class PlanNode:
+    """Base class of all physical operators."""
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        raise NotImplementedError
+
+
+@dataclass
+class StaticScan(PlanNode):
+    """Scan of a materialized base table (rows captured at plan bind time)."""
+
+    data: List[Row]
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        return self.data
+
+
+@dataclass
+class CrossJoin(PlanNode):
+    """Cartesian product of one or more children, concatenating rows."""
+
+    children: List[PlanNode]
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        result: List[Row] = [()]
+        for child in self.children:
+            child_rows = child.rows(outers)
+            result = [left + right for left in result for right in child_rows]
+            if not result:
+                return []
+        return result
+
+
+@dataclass
+class FilterOp(PlanNode):
+    """Keeps the rows for which the predicate returns True (not None/False)."""
+
+    child: PlanNode
+    predicate: Callable[[Row, OuterStack], Optional[bool]]
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        return [
+            row
+            for row in self.child.rows(outers)
+            if self.predicate(row, outers) is True
+        ]
+
+
+@dataclass
+class ProjectOp(PlanNode):
+    """Evaluates a list of output expressions per input row."""
+
+    child: PlanNode
+    expressions: Sequence[RowExpr]
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        return [
+            tuple(expr(row, outers) for expr in self.expressions)
+            for row in self.child.rows(outers)
+        ]
+
+
+@dataclass
+class DistinctOp(PlanNode):
+    """Removes duplicates, keeping first-seen order."""
+
+    child: PlanNode
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        seen = set()
+        result: List[Row] = []
+        for row in self.child.rows(outers):
+            if row not in seen:
+                seen.add(row)
+                result.append(row)
+        return result
+
+
+@dataclass
+class SetOpNode(PlanNode):
+    """UNION / INTERSECT / EXCEPT with and without ALL, via Counters."""
+
+    op: str
+    all: bool
+    left: PlanNode
+    right: PlanNode
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        left_rows = self.left.rows(outers)
+        right_rows = self.right.rows(outers)
+        left_counts = Counter(left_rows)
+        right_counts = Counter(right_rows)
+        result: Counter = Counter()
+        if self.op == "UNION":
+            result = left_counts + right_counts
+            if not self.all:
+                result = Counter(dict.fromkeys(result, 1))
+        elif self.op == "INTERSECT":
+            result = left_counts & right_counts
+            if not self.all:
+                result = Counter(dict.fromkeys(result, 1))
+        elif self.op == "EXCEPT":
+            if self.all:
+                result = left_counts - right_counts
+            else:
+                dedup_left = Counter(dict.fromkeys(left_counts, 1))
+                result = dedup_left - right_counts
+        else:  # pragma: no cover - guarded at compile time
+            raise ValueError(f"unknown set operation {self.op}")
+        return list(result.elements())

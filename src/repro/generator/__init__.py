@@ -1,0 +1,20 @@
+"""Random query/data generators and TPC-H structural statistics (Section 4)."""
+
+from .config import DM_CONFIG, GeneratorConfig, PAPER_CONFIG
+from .datafiller import PAPER_ROW_CAP, DataFillerConfig, fill_database
+from .queries import QueryGenerator
+from .tpch import TPCH_QUERY_STATS, QueryStats, tpch_schema, tpch_statistics
+
+__all__ = [
+    "GeneratorConfig",
+    "PAPER_CONFIG",
+    "DM_CONFIG",
+    "QueryGenerator",
+    "DataFillerConfig",
+    "fill_database",
+    "PAPER_ROW_CAP",
+    "tpch_schema",
+    "tpch_statistics",
+    "TPCH_QUERY_STATS",
+    "QueryStats",
+]

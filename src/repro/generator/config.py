@@ -1,0 +1,68 @@
+"""Configuration of the random query generator (Section 4).
+
+The paper's generator takes a schema, a set of names usable as aliases, and
+four parameters derived from the structure of the TPC-H benchmark queries::
+
+    tables = 6   max number of tables (counting repetitions) mentioned in a
+                 well-defined SELECT-FROM-WHERE block, including nested
+                 subqueries
+    nest   = 3   max level of nested queries in FROM and WHERE
+    attr   = 3   max number of attributes in a SELECT clause
+    cond   = 8   max number of atomic conditions in WHERE
+
+:data:`PAPER_CONFIG` uses exactly those values.  The remaining knobs control
+the probability mix of the generated constructs; they do not exist in the
+paper (which does not specify them) and default to values that exercise
+every feature regularly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GeneratorConfig", "PAPER_CONFIG", "DM_CONFIG"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of :class:`repro.generator.queries.QueryGenerator`."""
+
+    tables: int = 6
+    nest: int = 3
+    attr: int = 3
+    cond: int = 8
+
+    # Probability mix (not fixed by the paper).
+    star_probability: float = 0.2
+    distinct_probability: float = 0.3
+    setop_probability: float = 0.2
+    from_subquery_probability: float = 0.25
+    where_subquery_probability: float = 0.3
+    correlation_probability: float = 0.4
+    constant_probability: float = 0.15
+    null_term_probability: float = 0.05
+    negation_probability: float = 0.3
+    duplicate_output_probability: float = 0.05
+
+    # Value domain for generated constants (small, to force collisions).
+    min_constant: int = 0
+    max_constant: int = 9
+
+    # Definition 1 mode: only generate data manipulation queries
+    # (no *, no constants/NULLs in SELECT, repetition-free output names).
+    data_manipulation_only: bool = False
+
+    def for_data_manipulation(self) -> "GeneratorConfig":
+        return replace(
+            self,
+            data_manipulation_only=True,
+            star_probability=0.0,
+            duplicate_output_probability=0.0,
+        )
+
+
+#: The exact parameter values the paper chose from TPC-H statistics.
+PAPER_CONFIG = GeneratorConfig()
+
+#: Definition 1-restricted generation, for the Theorem 1 experiments.
+DM_CONFIG = PAPER_CONFIG.for_data_manipulation()

@@ -1,0 +1,71 @@
+"""Random database instances: the Datafiller substitute of Section 4.
+
+The paper generated a database instance for each random query with the
+Datafiller tool [12], over the fixed schema R1..R8 (Ri with i+1 attributes,
+all of type int), capping each base table at 50 rows because the semantics
+implementation computes Cartesian products and is not built for speed.
+
+:func:`fill_database` reproduces that setup: every attribute is filled with
+small random integers (a narrow domain, so equalities actually fire) and
+NULLs at a configurable rate.  Row counts are drawn uniformly from
+``0..max_rows``; including empty tables is important because several
+semantic corner cases (EXISTS over empty products, IN over the empty table)
+only show up there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.schema import Database, Schema
+from ..core.values import NULL, Record
+
+__all__ = ["DataFillerConfig", "fill_database", "PAPER_ROW_CAP"]
+
+#: The paper's cap on generated base-table sizes.
+PAPER_ROW_CAP = 50
+
+
+@dataclass(frozen=True)
+class DataFillerConfig:
+    """Row-count, value-domain and null-rate knobs."""
+
+    max_rows: int = PAPER_ROW_CAP
+    min_rows: int = 0
+    null_rate: float = 0.2
+    min_value: int = 0
+    max_value: int = 9
+
+    def __post_init__(self) -> None:
+        if self.min_rows < 0 or self.max_rows < self.min_rows:
+            raise ValueError("need 0 <= min_rows <= max_rows")
+        if not 0.0 <= self.null_rate <= 1.0:
+            raise ValueError("null_rate must be in [0, 1]")
+
+
+def fill_database(
+    schema: Schema,
+    rng: Optional[random.Random] = None,
+    config: DataFillerConfig = DataFillerConfig(),
+) -> Database:
+    """Generate a random instance of ``schema``."""
+    if rng is None:
+        rng = random.Random()
+    tables: Dict[str, List[Record]] = {}
+    for name in schema.table_names:
+        arity = schema.arity(name)
+        row_count = rng.randint(config.min_rows, config.max_rows)
+        rows: List[Record] = []
+        for _ in range(row_count):
+            rows.append(
+                tuple(
+                    NULL
+                    if rng.random() < config.null_rate
+                    else rng.randint(config.min_value, config.max_value)
+                    for _ in range(arity)
+                )
+            )
+        tables[name] = rows
+    return Database(schema, tables)

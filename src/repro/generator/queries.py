@@ -1,0 +1,301 @@
+"""The random query generator of Section 4.
+
+Generates *fully annotated* queries of the basic SQL fragment over a given
+schema: SELECT-FROM-WHERE blocks with subqueries in FROM and WHERE
+(correlated through outer scopes), set operations with matching arities,
+``SELECT *``, DISTINCT, IS NULL, IN / NOT IN, EXISTS, and boolean
+combinations of comparisons — bounded by the four parameters of
+:class:`~repro.generator.config.GeneratorConfig` (tables, nest, attr, cond).
+
+The generator only emits references that are resolvable and unambiguous, so
+every generated query compiles under the PostgreSQL-style dialect; under the
+standard/Oracle dialect, queries with ``SELECT *`` over duplicated column
+names (which the generator produces deliberately, with low probability) fail
+to compile — exactly the disagreement class the paper observed and matched
+against Oracle's errors.
+
+Generation is deterministic given a seeded :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.schema import Schema
+from ..core.values import NULL, FullName, Name, Term
+from ..sql.ast import (
+    And,
+    Condition,
+    Exists,
+    FALSE_COND,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+)
+from ..sql.labels import query_labels
+from .config import GeneratorConfig, PAPER_CONFIG
+
+__all__ = ["QueryGenerator"]
+
+_COMPARISONS = ("=", "=", "=", "<>", "<", "<=", ">", ">=")
+_SETOPS = ("UNION", "INTERSECT", "EXCEPT")
+
+
+class _Scope:
+    """Visible full names of one FROM clause, with ambiguity bookkeeping."""
+
+    def __init__(self, full_names: Sequence[FullName]):
+        self.full_names = tuple(full_names)
+        counts: dict[FullName, int] = {}
+        for name in self.full_names:
+            counts[name] = counts.get(name, 0) + 1
+        self.unambiguous = tuple(n for n in self.full_names if counts[n] == 1)
+        self.has_duplicates = len(self.unambiguous) != len(self.full_names)
+
+
+class QueryGenerator:
+    """Random generator of annotated basic SQL queries."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: GeneratorConfig = PAPER_CONFIG,
+        rng: Optional[random.Random] = None,
+    ):
+        self.schema = schema
+        self.config = config
+        self.rng = rng if rng is not None else random.Random()
+        self._alias_counter = 0
+        self._output_counter = 0
+
+    # -- public -------------------------------------------------------------
+
+    def generate(self, seed: Optional[int] = None) -> Query:
+        """Generate one query; with ``seed``, reset the RNG first."""
+        if seed is not None:
+            self.rng.seed(seed)
+        self._alias_counter = 0
+        self._output_counter = 0
+        budget = [self.rng.randint(1, self.config.tables)]
+        return self._query(
+            depth=0, outer=[], budget=budget, target_arity=None
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_alias(self) -> Name:
+        self._alias_counter += 1
+        return f"T{self._alias_counter}"
+
+    def _fresh_output(self) -> Name:
+        self._output_counter += 1
+        return f"C{self._output_counter}"
+
+    def _chance(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def _constant(self) -> int:
+        return self.rng.randint(self.config.min_constant, self.config.max_constant)
+
+    # -- queries ---------------------------------------------------------------
+
+    def _query(
+        self,
+        depth: int,
+        outer: List[_Scope],
+        budget: List[int],
+        target_arity: Optional[int],
+    ) -> Query:
+        if (
+            budget[0] >= 2
+            and depth < self.config.nest
+            and self._chance(self.config.setop_probability)
+        ):
+            # Reserve one table for the right operand so the left one cannot
+            # exhaust the whole budget (every SELECT needs a FROM item).
+            budget[0] -= 1
+            left = self._query(depth + 1, outer, budget, target_arity)
+            budget[0] += 1
+            arity = len(query_labels(left, self.schema))
+            right = self._query(depth + 1, outer, budget, arity)
+            op = self.rng.choice(_SETOPS)
+            return SetOp(op, left, right, all=self._chance(0.5))
+        return self._select(depth, outer, budget, target_arity)
+
+    def _select(
+        self,
+        depth: int,
+        outer: List[_Scope],
+        budget: List[int],
+        target_arity: Optional[int],
+    ) -> Select:
+        max_items = max(1, min(3, budget[0]))
+        item_count = self.rng.randint(1, max_items)
+        from_items: List[FromItem] = []
+        for _ in range(item_count):
+            if budget[0] <= 0:
+                break
+            from_items.append(self._from_item(depth, outer, budget))
+        if not from_items:
+            budget[0] -= 1
+            from_items.append(self._base_from_item())
+        scope = _Scope(self._scope_names(from_items))
+        inner = outer + [scope]
+
+        where = self._condition(depth, inner, budget)
+
+        distinct = self._chance(self.config.distinct_probability)
+        star_allowed = not self.config.data_manipulation_only and (
+            target_arity is None or len(scope.full_names) == target_arity
+        )
+        if star_allowed and self._chance(self.config.star_probability):
+            return Select(STAR, tuple(from_items), where, distinct=distinct)
+
+        arity = (
+            target_arity
+            if target_arity is not None
+            else self.rng.randint(1, self.config.attr)
+        )
+        items = self._select_items(arity, inner)
+        return Select(tuple(items), tuple(from_items), where, distinct=distinct)
+
+    def _base_from_item(self) -> FromItem:
+        table = self.rng.choice(self.schema.table_names)
+        return FromItem(table, self._fresh_alias())
+
+    def _from_item(
+        self, depth: int, outer: List[_Scope], budget: List[int]
+    ) -> FromItem:
+        if (
+            depth < self.config.nest
+            and budget[0] >= 1
+            and self._chance(self.config.from_subquery_probability)
+        ):
+            # Subqueries in FROM see the outer scopes but not their siblings.
+            subquery = self._query(depth + 1, outer, budget, target_arity=None)
+            return FromItem(subquery, self._fresh_alias())
+        budget[0] -= 1
+        return self._base_from_item()
+
+    def _scope_names(self, from_items: Sequence[FromItem]) -> List[FullName]:
+        names: List[FullName] = []
+        for item in from_items:
+            if item.is_base_table:
+                labels = self.schema.attributes(item.table)
+            else:
+                labels = query_labels(item.table, self.schema)
+            names.extend(FullName(item.alias, label) for label in labels)
+        return names
+
+    def _select_items(self, arity: int, scopes: List[_Scope]) -> List[SelectItem]:
+        items: List[SelectItem] = []
+        aliases: List[Name] = []
+        for _ in range(arity):
+            term = self._select_term(scopes)
+            alias = self._fresh_output()
+            if (
+                aliases
+                and not self.config.data_manipulation_only
+                and self._chance(self.config.duplicate_output_probability)
+            ):
+                alias = self.rng.choice(aliases)
+            aliases.append(alias)
+            items.append(SelectItem(term, alias))
+        return items
+
+    def _select_term(self, scopes: List[_Scope]) -> Term:
+        local = scopes[-1]
+        if self.config.data_manipulation_only:
+            # Definition 1: only attributes of the local FROM clause.
+            return self.rng.choice(local.unambiguous or local.full_names)
+        if self._chance(self.config.null_term_probability):
+            return NULL
+        if self._chance(self.config.constant_probability):
+            return self._constant()
+        return self._reference(scopes)
+
+    def _reference(self, scopes: List[_Scope]) -> Term:
+        """A resolvable, unambiguous full name, preferring the local scope."""
+        local = scopes[-1]
+        candidates: Tuple[FullName, ...] = local.unambiguous
+        if (
+            len(scopes) > 1
+            and self._chance(self.config.correlation_probability)
+        ):
+            outer_candidates = [
+                name for scope in scopes[:-1] for name in scope.unambiguous
+                # A correlated reference must not be shadowed by a closer scope.
+                if all(
+                    name not in closer.full_names
+                    for closer in scopes[scopes.index(scope) + 1 :]
+                )
+            ]
+            if outer_candidates:
+                candidates = tuple(outer_candidates)
+        if not candidates:
+            return self._constant()
+        return self.rng.choice(candidates)
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _condition(
+        self, depth: int, scopes: List[_Scope], budget: List[int]
+    ) -> Condition:
+        atom_budget = self.rng.randint(0, self.config.cond)
+        if atom_budget == 0:
+            return TRUE_COND
+        return self._condition_tree(depth, scopes, budget, atom_budget)
+
+    def _condition_tree(
+        self, depth: int, scopes: List[_Scope], budget: List[int], atoms: int
+    ) -> Condition:
+        if atoms <= 1:
+            condition = self._atom(depth, scopes, budget)
+        else:
+            split = self.rng.randint(1, atoms - 1)
+            left = self._condition_tree(depth, scopes, budget, split)
+            right = self._condition_tree(depth, scopes, budget, atoms - split)
+            connective = And if self._chance(0.6) else Or
+            condition = connective(left, right)
+        if self._chance(self.config.negation_probability / 2):
+            condition = Not(condition)
+        return condition
+
+    def _atom(
+        self, depth: int, scopes: List[_Scope], budget: List[int]
+    ) -> Condition:
+        roll = self.rng.random()
+        can_nest = depth < self.config.nest and budget[0] >= 1
+        if roll < 0.04:
+            return TRUE_COND if self._chance(0.5) else FALSE_COND
+        if roll < 0.18:
+            term = self._term(scopes)
+            return IsNull(term, negated=self._chance(0.5))
+        if can_nest and roll < 0.18 + self.config.where_subquery_probability:
+            if self._chance(0.5):
+                subquery = self._query(depth + 1, scopes, budget, target_arity=None)
+                return Exists(subquery)
+            width = 1 if self._chance(0.8) else 2
+            terms = tuple(self._term(scopes) for _ in range(width))
+            subquery = self._query(depth + 1, scopes, budget, target_arity=width)
+            return InQuery(terms, subquery, negated=self._chance(0.4))
+        left = self._term(scopes)
+        right = self._term(scopes)
+        return Predicate(self.rng.choice(_COMPARISONS), (left, right))
+
+    def _term(self, scopes: List[_Scope]) -> Term:
+        if self._chance(self.config.null_term_probability):
+            return NULL
+        if self._chance(self.config.constant_probability * 2):
+            return self._constant()
+        return self._reference(scopes)

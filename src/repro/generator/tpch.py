@@ -1,0 +1,172 @@
+"""TPC-H structural statistics (the Section 4 generator calibration).
+
+The paper does not run TPC-H; it analyses the *structure* of the 22
+benchmark queries to pick realistic generator parameters:
+
+    "There [are] eight base tables in total, but on average each benchmark
+     query uses only 3.2, and all queries but one use 6 or fewer.  Each
+     query uses relatively few WHERE conditions per block, in fact only
+     three queries use more than 8 conditions, and no query exceeds 3
+     levels of nesting."
+
+This module encodes the TPC-H schema and, for each query Q1–Q22, structural
+metadata read off the TPC-H v2.17 specification: the distinct base tables
+referenced (anywhere, including subqueries), an (approximate) count of
+atomic WHERE conditions, and the maximum subquery nesting depth.  The
+counts for conditions are estimates — the spec's queries contain BETWEEN
+and date arithmetic that must be flattened to atoms somehow — but the
+headline statistics the paper quotes are recomputed from them exactly
+(see ``benchmarks/test_bench_tpch_stats.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.schema import Schema
+
+__all__ = ["tpch_schema", "TPCH_QUERY_STATS", "QueryStats", "tpch_statistics"]
+
+
+def tpch_schema() -> Schema:
+    """The eight TPC-H base tables with their standard columns."""
+    return Schema(
+        {
+            "region": ("r_regionkey", "r_name", "r_comment"),
+            "nation": ("n_nationkey", "n_name", "n_regionkey", "n_comment"),
+            "supplier": (
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+                "s_comment",
+            ),
+            "customer": (
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
+                "c_mktsegment",
+                "c_comment",
+            ),
+            "part": (
+                "p_partkey",
+                "p_name",
+                "p_mfgr",
+                "p_brand",
+                "p_type",
+                "p_size",
+                "p_container",
+                "p_retailprice",
+                "p_comment",
+            ),
+            "partsupp": (
+                "ps_partkey",
+                "ps_suppkey",
+                "ps_availqty",
+                "ps_supplycost",
+                "ps_comment",
+            ),
+            "orders": (
+                "o_orderkey",
+                "o_custkey",
+                "o_orderstatus",
+                "o_totalprice",
+                "o_orderdate",
+                "o_orderpriority",
+                "o_clerk",
+                "o_shippriority",
+                "o_comment",
+            ),
+            "lineitem": (
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_linenumber",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_returnflag",
+                "l_linestatus",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+                "l_shipinstruct",
+                "l_shipmode",
+                "l_comment",
+            ),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Structural features of one TPC-H query."""
+
+    tables: Tuple[str, ...]  # distinct base tables referenced anywhere
+    conditions: int  # atomic WHERE conditions (BETWEEN counted as one)
+    nesting: int  # max subquery nesting depth (0 = flat)
+
+
+TPCH_QUERY_STATS: Dict[str, QueryStats] = {
+    "Q1": QueryStats(("lineitem",), 1, 0),
+    "Q2": QueryStats(("part", "supplier", "partsupp", "nation", "region"), 13, 1),
+    "Q3": QueryStats(("customer", "orders", "lineitem"), 5, 0),
+    "Q4": QueryStats(("orders", "lineitem"), 3, 1),
+    "Q5": QueryStats(
+        ("customer", "orders", "lineitem", "supplier", "nation", "region"), 9, 0
+    ),
+    "Q6": QueryStats(("lineitem",), 3, 0),
+    "Q7": QueryStats(("supplier", "lineitem", "orders", "customer", "nation"), 8, 1),
+    "Q8": QueryStats(
+        (
+            "part",
+            "supplier",
+            "lineitem",
+            "orders",
+            "customer",
+            "nation",
+            "region",
+        ),
+        8,
+        1,
+    ),
+    "Q9": QueryStats(
+        ("part", "supplier", "lineitem", "partsupp", "orders", "nation"), 6, 1
+    ),
+    "Q10": QueryStats(("customer", "orders", "lineitem", "nation"), 6, 0),
+    "Q11": QueryStats(("partsupp", "supplier", "nation"), 6, 1),
+    "Q12": QueryStats(("orders", "lineitem"), 5, 0),
+    "Q13": QueryStats(("customer", "orders"), 2, 1),
+    "Q14": QueryStats(("lineitem", "part"), 2, 0),
+    "Q15": QueryStats(("supplier", "lineitem"), 3, 2),
+    "Q16": QueryStats(("partsupp", "part", "supplier"), 5, 1),
+    "Q17": QueryStats(("lineitem", "part"), 4, 1),
+    "Q18": QueryStats(("customer", "orders", "lineitem"), 3, 2),
+    "Q19": QueryStats(("lineitem", "part"), 8, 0),
+    "Q20": QueryStats(("supplier", "nation", "partsupp", "part", "lineitem"), 6, 3),
+    "Q21": QueryStats(("supplier", "lineitem", "orders", "nation"), 9, 1),
+    "Q22": QueryStats(("customer", "orders"), 4, 2),
+}
+
+
+def tpch_statistics() -> Dict[str, float]:
+    """Recompute the statistics the paper quotes from the encoded metadata."""
+    stats = TPCH_QUERY_STATS.values()
+    table_counts = [len(s.tables) for s in stats]
+    return {
+        "base_tables": len(tpch_schema().table_names),
+        "queries": len(TPCH_QUERY_STATS),
+        "avg_tables_per_query": sum(table_counts) / len(table_counts),
+        "queries_with_more_than_6_tables": sum(1 for c in table_counts if c > 6),
+        "queries_with_more_than_8_conditions": sum(
+            1 for s in stats if s.conditions > 8
+        ),
+        "max_nesting": max(s.nesting for s in stats),
+    }

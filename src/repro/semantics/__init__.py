@@ -1,0 +1,39 @@
+"""Executable formal semantics: Figures 4-7, logic strategies, Section 6."""
+
+from .evaluator import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
+from .logic import (
+    THREE_VALUED,
+    TWO_VALUED_CONFLATING,
+    TWO_VALUED_SYNTACTIC,
+    Logic,
+    ThreeValued,
+    TwoValuedConflating,
+    TwoValuedSyntactic,
+    get_logic,
+)
+from .predicates import PredicateRegistry, default_registry, sql_like
+from .trace import TraceNode, TracingSemantics, format_trace
+from .two_valued import EQUALITY_MODES, TwoValuedTranslator, to_three_valued
+
+__all__ = [
+    "SqlSemantics",
+    "STAR_STANDARD",
+    "STAR_COMPOSITIONAL",
+    "Logic",
+    "ThreeValued",
+    "TwoValuedConflating",
+    "TwoValuedSyntactic",
+    "THREE_VALUED",
+    "TWO_VALUED_CONFLATING",
+    "TWO_VALUED_SYNTACTIC",
+    "get_logic",
+    "PredicateRegistry",
+    "default_registry",
+    "sql_like",
+    "TwoValuedTranslator",
+    "to_three_valued",
+    "EQUALITY_MODES",
+    "TracingSemantics",
+    "TraceNode",
+    "format_trace",
+]

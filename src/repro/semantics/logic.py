@@ -1,0 +1,134 @@
+"""Logic strategies: SQL's 3VL and the two two-valued alternatives of §6.
+
+The evaluator of Figures 4–7 consults a :class:`Logic` for exactly the two
+decision points where the third truth value can originate:
+
+* applying a predicate ``P(t1, …, tk)`` when some argument is NULL;
+* comparing two terms for equality (the building block of ``IN``).
+
+Three strategies implement the paper's semantics:
+
+* :class:`ThreeValued` — Figure 6: a NULL argument makes the predicate
+  (including ``=``) evaluate to unknown;
+* :class:`TwoValuedConflating` — Section 6's ⟦·⟧2v: f and u are conflated, so
+  a NULL argument makes every predicate false;
+* :class:`TwoValuedSyntactic` — the alternative of Section 6 where ``=`` is
+  interpreted as *syntactic* equality (Definition 2: ``NULL = NULL`` is
+  true), and every other predicate conflates as above.
+
+Theorem 2 states that basic SQL is equally expressive under the three-valued
+semantics and under either two-valued one.
+"""
+
+from __future__ import annotations
+
+from ..core.truth import FALSE, TRUE, UNKNOWN, Truth
+from ..core.values import NULL, Value
+from .predicates import PredicateRegistry
+
+__all__ = [
+    "Logic",
+    "ThreeValued",
+    "TwoValuedConflating",
+    "TwoValuedSyntactic",
+    "THREE_VALUED",
+    "TWO_VALUED_CONFLATING",
+    "TWO_VALUED_SYNTACTIC",
+    "get_logic",
+]
+
+
+class Logic:
+    """Strategy interface for the null-sensitive atoms of the semantics."""
+
+    name: str = "abstract"
+
+    def predicate(
+        self, registry: PredicateRegistry, name: str, values: tuple[Value, ...]
+    ) -> Truth:
+        """Truth value of ``P(values)`` under this logic."""
+        raise NotImplementedError
+
+    def equal(self, a: Value, b: Value) -> Truth:
+        """Truth value of ``a = b`` under this logic."""
+        return self.predicate_equality(a, b)
+
+    def predicate_equality(self, a: Value, b: Value) -> Truth:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<logic {self.name}>"
+
+
+class ThreeValued(Logic):
+    """SQL's 3VL (Figure 6): NULL arguments yield unknown."""
+
+    name = "3vl"
+
+    def predicate(self, registry, name, values):
+        if any(v is NULL for v in values):
+            return UNKNOWN
+        return Truth.from_bool(registry.holds(name, values))
+
+    def predicate_equality(self, a, b):
+        if a is NULL or b is NULL:
+            return UNKNOWN
+        return Truth.from_bool(a == b and isinstance(a, str) == isinstance(b, str))
+
+
+class TwoValuedConflating(Logic):
+    """⟦·⟧2v with f and u conflated: NULL arguments yield false."""
+
+    name = "2vl-conflating"
+
+    def predicate(self, registry, name, values):
+        if any(v is NULL for v in values):
+            return FALSE
+        return Truth.from_bool(registry.holds(name, values))
+
+    def predicate_equality(self, a, b):
+        if a is NULL or b is NULL:
+            return FALSE
+        return Truth.from_bool(a == b and isinstance(a, str) == isinstance(b, str))
+
+
+class TwoValuedSyntactic(Logic):
+    """⟦·⟧2v with ``=`` read as syntactic equality (Definition 2).
+
+    ``NULL = NULL`` is true and ``NULL = c`` is false; every other predicate
+    conflates f and u exactly like :class:`TwoValuedConflating`.
+    """
+
+    name = "2vl-syntactic"
+
+    def predicate(self, registry, name, values):
+        if name == "=" and len(values) == 2:
+            return self.predicate_equality(*values)
+        if any(v is NULL for v in values):
+            return FALSE
+        return Truth.from_bool(registry.holds(name, values))
+
+    def predicate_equality(self, a, b):
+        if a is NULL or b is NULL:
+            return Truth.from_bool(a is NULL and b is NULL)
+        return Truth.from_bool(a == b and isinstance(a, str) == isinstance(b, str))
+
+
+THREE_VALUED = ThreeValued()
+TWO_VALUED_CONFLATING = TwoValuedConflating()
+TWO_VALUED_SYNTACTIC = TwoValuedSyntactic()
+
+_BY_NAME = {
+    logic.name: logic
+    for logic in (THREE_VALUED, TWO_VALUED_CONFLATING, TWO_VALUED_SYNTACTIC)
+}
+
+
+def get_logic(name: str) -> Logic:
+    """Look up a logic by its name (``3vl``, ``2vl-conflating``, ``2vl-syntactic``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown logic {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

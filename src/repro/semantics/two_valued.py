@@ -1,0 +1,350 @@
+"""Theorem 2: translating between three-valued and two-valued SQL.
+
+Section 6 of the paper shows that SQL's three-valued logic adds no
+expressive power: for every basic SQL query Q there are queries Q′ and Q″
+with ``⟦Q⟧_D = ⟦Q′⟧2v_D`` and ``⟦Q⟧2v_D = ⟦Q″⟧_D`` on all databases, under
+either two-valued interpretation of equality:
+
+* ``conflating`` — every predicate (including ``=``) is false when an
+  argument is NULL (f and u conflated);
+* ``syntactic`` — ``=`` is Definition 2's syntactic equality
+  (``NULL = NULL`` is true), other predicates conflate.
+
+:class:`TwoValuedTranslator` implements the Figure 10 translations
+θ ↦ θᵗ / θᶠ and the induced query translation Q ↦ Q′ (replace every WHERE
+condition by its t-translation).  The f-translation of IN uses the construct
+``Q′ AS N(A1, …, An)`` with fresh names, modelled by
+:attr:`repro.sql.ast.FromItem.column_aliases`.
+
+:func:`to_three_valued` is the (easy) converse direction: guard every atom
+with IS NOT NULL checks so it becomes two-valued under 3VL evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..core.schema import Schema
+from ..core.values import FullName, Name, Term
+from ..sql.ast import (
+    And,
+    Condition,
+    Exists,
+    FALSE_COND,
+    FalseCond,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+    TrueCond,
+    conjunction,
+    disjunction,
+)
+from ..sql.labels import query_labels
+from .logic import TWO_VALUED_CONFLATING, TWO_VALUED_SYNTACTIC, Logic
+
+__all__ = ["TwoValuedTranslator", "to_three_valued", "EQUALITY_MODES"]
+
+EQUALITY_MODES = ("conflating", "syntactic")
+
+
+class _NameSupply:
+    """Fresh SQL names avoiding everything used in a query and its schema."""
+
+    def __init__(self, used: Set[Name]):
+        self._used = set(used)
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> Name:
+        while True:
+            self._counter += 1
+            candidate = f"{prefix}{self._counter}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+
+
+def _collect_names(query: Query, schema: Schema) -> Set[Name]:
+    names: Set[Name] = set()
+    for table in schema.table_names:
+        names.add(table)
+        names.update(schema.attributes(table))
+    stack: List[object] = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SetOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Select):
+            if not node.is_star:
+                for item in node.items:
+                    names.add(item.alias)
+                    if isinstance(item.term, FullName):
+                        names.update((item.term.qualifier, item.term.attribute))
+            for item in node.from_items:
+                names.add(item.alias)
+                if item.column_aliases:
+                    names.update(item.column_aliases)
+                if not item.is_base_table:
+                    stack.append(item.table)
+            stack.append(node.where)
+        elif isinstance(node, (InQuery, Exists)):
+            stack.append(node.query)
+        elif isinstance(node, (And, Or)):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+    return names
+
+
+def _not_null(term: Term) -> Condition:
+    return IsNull(term, negated=True)
+
+
+def _is_null(term: Term) -> Condition:
+    return IsNull(term, negated=False)
+
+
+class TwoValuedTranslator:
+    """Figure 10: Q ↦ Q′ with ⟦Q⟧ = ⟦Q′⟧2v, for either equality mode."""
+
+    def __init__(self, schema: Schema, equality: str = "conflating"):
+        if equality not in EQUALITY_MODES:
+            raise ValueError(
+                f"unknown equality mode {equality!r}; expected one of {EQUALITY_MODES}"
+            )
+        self.schema = schema
+        self.equality = equality
+        self._supply: _NameSupply | None = None
+
+    @property
+    def logic(self) -> Logic:
+        """The logic under which the translated query must be evaluated."""
+        if self.equality == "conflating":
+            return TWO_VALUED_CONFLATING
+        return TWO_VALUED_SYNTACTIC
+
+    # -- queries ------------------------------------------------------------
+
+    def translate_query(self, query: Query) -> Query:
+        """Q ↦ Q′: replace every WHERE condition θ by θᵗ, inductively."""
+        self._supply = _NameSupply(_collect_names(query, self.schema))
+        return self._query(query)
+
+    def _query(self, query: Query) -> Query:
+        if isinstance(query, SetOp):
+            return SetOp(query.op, self._query(query.left), self._query(query.right), all=query.all)
+        assert isinstance(query, Select)
+        from_items = tuple(
+            item
+            if item.is_base_table
+            else FromItem(self._query(item.table), item.alias, item.column_aliases)
+            for item in query.from_items
+        )
+        return Select(
+            query.items, from_items, self.translate_t(query.where), distinct=query.distinct
+        )
+
+    # -- conditions: θ ↦ θᵗ and θ ↦ θᶠ ---------------------------------------
+
+    def translate_t(self, condition: Condition) -> Condition:
+        """θᵗ: true under ⟦·⟧2v exactly where θ is t under ⟦·⟧ (Figure 10)."""
+        if isinstance(condition, TrueCond):
+            return TRUE_COND
+        if isinstance(condition, FalseCond):
+            return FALSE_COND
+        if isinstance(condition, Predicate):
+            if self.equality == "syntactic" and condition.name == "=":
+                # (t1 = t2)ᵗ = (t1 = t2) AND (t1, t2) IS NOT NULL
+                return conjunction(
+                    [condition, *[_not_null(t) for t in condition.args]]
+                )
+            return condition
+        if isinstance(condition, IsNull):
+            return condition
+        if isinstance(condition, Exists):
+            return Exists(self._query(condition.query))
+        if isinstance(condition, InQuery):
+            if condition.negated:
+                return self.translate_f(
+                    InQuery(condition.terms, condition.query, negated=False)
+                )
+            return self._in_t(condition)
+        if isinstance(condition, And):
+            return And(self.translate_t(condition.left), self.translate_t(condition.right))
+        if isinstance(condition, Or):
+            return Or(self.translate_t(condition.left), self.translate_t(condition.right))
+        if isinstance(condition, Not):
+            return self.translate_f(condition.operand)
+        raise TypeError(f"not a condition: {condition!r}")
+
+    def translate_f(self, condition: Condition) -> Condition:
+        """θᶠ: true under ⟦·⟧2v exactly where θ is f under ⟦·⟧ (Figure 10)."""
+        if isinstance(condition, TrueCond):
+            return FALSE_COND
+        if isinstance(condition, FalseCond):
+            return TRUE_COND
+        if isinstance(condition, Predicate):
+            if self.equality == "syntactic" and condition.name == "=":
+                return conjunction(
+                    [Not(condition), *[_not_null(t) for t in condition.args]]
+                )
+            # P(t̄)ᶠ = NOT P(t̄) AND t̄ IS NOT NULL
+            return conjunction(
+                [Not(condition), *[_not_null(t) for t in condition.args]]
+            )
+        if isinstance(condition, IsNull):
+            return IsNull(condition.term, negated=not condition.negated)
+        if isinstance(condition, Exists):
+            return Not(Exists(self._query(condition.query)))
+        if isinstance(condition, InQuery):
+            if condition.negated:
+                return self.translate_t(
+                    InQuery(condition.terms, condition.query, negated=False)
+                )
+            return self._in_f(condition)
+        if isinstance(condition, And):
+            return Or(self.translate_f(condition.left), self.translate_f(condition.right))
+        if isinstance(condition, Or):
+            return And(self.translate_f(condition.left), self.translate_f(condition.right))
+        if isinstance(condition, Not):
+            return self.translate_t(condition.operand)
+        raise TypeError(f"not a condition: {condition!r}")
+
+    # -- IN translations -------------------------------------------------------
+
+    def _fresh_wrap(self, inner: Query, arity: int) -> Tuple[FromItem, Name, Tuple[Name, ...]]:
+        """Build ``Q′ AS N(A1, …, An)`` with fresh, distinct names."""
+        if self._supply is None:
+            # translate_t/f used standalone on a condition: base freshness on
+            # the schema plus the wrapped subquery.
+            self._supply = _NameSupply(_collect_names(inner, self.schema))
+        table_alias = self._supply.fresh("V")
+        column_names = tuple(self._supply.fresh("W") for _ in range(arity))
+        return (
+            FromItem(inner, table_alias, column_names),
+            table_alias,
+            column_names,
+        )
+
+    def _in_t(self, condition: InQuery) -> Condition:
+        inner = self._query(condition.query)
+        if self.equality == "conflating":
+            # (t̄ IN Q)ᵗ = t̄ IN Q′
+            return InQuery(condition.terms, inner, negated=False)
+        # Syntactic equality: wrap in EXISTS with guarded component equalities.
+        item, alias, columns = self._fresh_wrap(inner, len(condition.terms))
+        comparisons = [
+            self.translate_t(Predicate("=", (term, FullName(alias, column))))
+            for term, column in zip(condition.terms, columns)
+        ]
+        return Exists(Select(STAR, (item,), conjunction(comparisons)))
+
+    def _in_f(self, condition: InQuery) -> Condition:
+        inner = self._query(condition.query)
+        item, alias, columns = self._fresh_wrap(inner, len(condition.terms))
+        disjuncts = []
+        for term, column in zip(condition.terms, columns):
+            full = FullName(alias, column)
+            if self.equality == "syntactic":
+                equality = self.translate_t(Predicate("=", (term, full)))
+            else:
+                equality = Predicate("=", (term, full))
+            disjuncts.append(
+                disjunction([_is_null(term), _is_null(full), equality])
+            )
+        return Not(Exists(Select(STAR, (item,), conjunction(disjuncts))))
+
+
+# ---------------------------------------------------------------------------
+# The converse: Q ↦ Q″ with ⟦Q⟧2v = ⟦Q″⟧
+# ---------------------------------------------------------------------------
+
+
+def to_three_valued(query: Query, schema: Schema, equality: str = "conflating") -> Query:
+    """Express the two-valued semantics of Q in ordinary (3VL) SQL.
+
+    Every atom is guarded so it is two-valued under 3VL evaluation and equal
+    to its ⟦·⟧2v value; the connectives then behave classically.
+    """
+    if equality not in EQUALITY_MODES:
+        raise ValueError(
+            f"unknown equality mode {equality!r}; expected one of {EQUALITY_MODES}"
+        )
+    supply = _NameSupply(_collect_names(query, schema))
+    return _3v_query(query, schema, equality, supply)
+
+
+def _3v_query(query: Query, schema: Schema, equality: str, supply: _NameSupply) -> Query:
+    if isinstance(query, SetOp):
+        return SetOp(
+            query.op,
+            _3v_query(query.left, schema, equality, supply),
+            _3v_query(query.right, schema, equality, supply),
+            all=query.all,
+        )
+    assert isinstance(query, Select)
+    from_items = tuple(
+        item
+        if item.is_base_table
+        else FromItem(
+            _3v_query(item.table, schema, equality, supply),
+            item.alias,
+            item.column_aliases,
+        )
+        for item in query.from_items
+    )
+    where = _3v_condition(query.where, schema, equality, supply)
+    return Select(query.items, from_items, where, distinct=query.distinct)
+
+
+def _guarded_equality(left: Term, right: Term, equality: str) -> Condition:
+    plain = Predicate("=", (left, right))
+    guarded = conjunction([plain, _not_null(left), _not_null(right)])
+    if equality == "syntactic":
+        return Or(guarded, And(_is_null(left), _is_null(right)))
+    return guarded
+
+
+def _3v_condition(
+    condition: Condition, schema: Schema, equality: str, supply: _NameSupply
+) -> Condition:
+    if isinstance(condition, (TrueCond, FalseCond, IsNull)):
+        return condition
+    if isinstance(condition, Predicate):
+        if equality == "syntactic" and condition.name == "=":
+            return _guarded_equality(condition.args[0], condition.args[1], equality)
+        return conjunction([condition, *[_not_null(t) for t in condition.args]])
+    if isinstance(condition, Exists):
+        return Exists(_3v_query(condition.query, schema, equality, supply))
+    if isinstance(condition, InQuery):
+        inner = _3v_query(condition.query, schema, equality, supply)
+        alias = supply.fresh("V")
+        columns = tuple(supply.fresh("W") for _ in condition.terms)
+        item = FromItem(inner, alias, columns)
+        comparisons = [
+            _guarded_equality(term, FullName(alias, column), equality)
+            for term, column in zip(condition.terms, columns)
+        ]
+        exists = Exists(Select(STAR, (item,), conjunction(comparisons)))
+        return Not(exists) if condition.negated else exists
+    if isinstance(condition, And):
+        return And(
+            _3v_condition(condition.left, schema, equality, supply),
+            _3v_condition(condition.right, schema, equality, supply),
+        )
+    if isinstance(condition, Or):
+        return Or(
+            _3v_condition(condition.left, schema, equality, supply),
+            _3v_condition(condition.right, schema, equality, supply),
+        )
+    if isinstance(condition, Not):
+        return Not(_3v_condition(condition.operand, schema, equality, supply))
+    raise TypeError(f"not a condition: {condition!r}")

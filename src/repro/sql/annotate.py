@@ -1,0 +1,185 @@
+"""Annotation: surface SQL → the fully-annotated form of Section 2.
+
+The paper assumes w.l.o.g. that queries are given in a form where
+
+* every base table or subquery in FROM has an explicit name (``R AS R``),
+* every attribute reference is fully qualified with the name of the table it
+  comes from, and
+* the output names of the SELECT list are explicitly listed.
+
+This pass performs exactly that normalization — it is the counterpart of
+what an RDBMS's compiler does before execution.  Unqualified column
+references are resolved through the scope chain (innermost FROM first, then
+outward), raising :class:`~repro.core.errors.AmbiguousReferenceError` when a
+name matches more than one column of the nearest binding scope and
+:class:`~repro.core.errors.UnboundReferenceError` when it matches none.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.errors import (
+    AmbiguousReferenceError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+)
+from ..core.schema import Schema
+from ..core.values import FullName, Name, Term
+from .ast import (
+    And,
+    BareColumn,
+    Condition,
+    Exists,
+    FalseCond,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    Select,
+    SelectItem,
+    SetOp,
+    TrueCond,
+)
+from .labels import from_item_labels
+
+__all__ = ["annotate_query", "annotate"]
+
+#: One scope: the (alias, column-label) pairs contributed by a FROM clause.
+_Scope = List[Tuple[Name, Tuple[Name, ...]]]
+
+
+def annotate(text_or_query, schema: Schema) -> Query:
+    """Annotate a query, parsing it first if given as SQL text."""
+    from .parser import parse_query
+
+    query = parse_query(text_or_query) if isinstance(text_or_query, str) else text_or_query
+    return annotate_query(query, schema)
+
+
+def annotate_query(query: Query, schema: Schema) -> Query:
+    """Produce the fully-annotated version of a surface query."""
+    return _annotate_query(query, schema, [])
+
+
+def _annotate_query(query: Query, schema: Schema, outer: List[_Scope]) -> Query:
+    if isinstance(query, SetOp):
+        return SetOp(
+            query.op,
+            _annotate_query(query.left, schema, outer),
+            _annotate_query(query.right, schema, outer),
+            all=query.all,
+        )
+    if not isinstance(query, Select):
+        raise TypeError(f"not a query: {query!r}")
+
+    # FROM items first: subqueries in FROM see the *outer* scopes only
+    # (their ⟦·⟧ is taken under the enclosing η, not under sibling bindings).
+    new_from: List[FromItem] = []
+    local_scope: _Scope = []
+    seen_aliases: set[Name] = set()
+    for item in query.from_items:
+        if item.is_base_table:
+            table = item.table
+        else:
+            table = _annotate_query(item.table, schema, outer)
+        alias = item.alias or (item.table if item.is_base_table else "")
+        if not alias:
+            raise UnboundReferenceError("a subquery in FROM requires an alias")
+        if alias in seen_aliases:
+            raise DuplicateAliasError(
+                f"alias {alias} used twice in the same FROM clause"
+            )
+        seen_aliases.add(alias)
+        new_item = FromItem(table, alias, item.column_aliases)
+        new_from.append(new_item)
+        local_scope.append((alias, from_item_labels(new_item, schema)))
+
+    scopes = outer + [local_scope]
+
+    where = _annotate_condition(query.where, schema, scopes)
+
+    if query.is_star:
+        items: object = query.items
+    else:
+        new_items: List[SelectItem] = []
+        for index, item in enumerate(query.items):
+            term = _annotate_term(item.term, scopes)
+            alias = item.alias or _default_alias(term, index)
+            new_items.append(SelectItem(term, alias))
+        items = tuple(new_items)
+
+    return Select(items, tuple(new_from), where, distinct=query.distinct)
+
+
+def _default_alias(term: Term, index: int) -> Name:
+    if isinstance(term, FullName):
+        return term.attribute
+    return f"COL{index + 1}"
+
+
+def _annotate_term(term: Term, scopes: List[_Scope]) -> Term:
+    if isinstance(term, BareColumn):
+        return _resolve_bare(term.name, scopes)
+    return term
+
+
+def _resolve_bare(name: Name, scopes: List[_Scope]) -> FullName:
+    """Resolve an unqualified column against the scope chain, innermost first."""
+    for scope in reversed(scopes):
+        matches = [
+            FullName(alias, label)
+            for alias, labels in scope
+            for label in labels
+            if label == name
+        ]
+        if len(matches) > 1:
+            raise AmbiguousReferenceError(
+                f"column reference {name} is ambiguous: it matches "
+                f"{', '.join(str(m) for m in matches)}"
+            )
+        if matches:
+            return matches[0]
+    raise UnboundReferenceError(f"column reference {name} does not match any table")
+
+
+def _annotate_condition(
+    condition: Condition, schema: Schema, scopes: List[_Scope]
+) -> Condition:
+    if isinstance(condition, (TrueCond, FalseCond)):
+        return condition
+    if isinstance(condition, Predicate):
+        return Predicate(
+            condition.name,
+            tuple(_annotate_term(arg, scopes) for arg in condition.args),
+        )
+    if isinstance(condition, IsNull):
+        return IsNull(_annotate_term(condition.term, scopes), condition.negated)
+    if isinstance(condition, InQuery):
+        return InQuery(
+            tuple(_annotate_term(t, scopes) for t in condition.terms),
+            _annotate_subquery(condition.query, schema, scopes),
+            condition.negated,
+        )
+    if isinstance(condition, Exists):
+        return Exists(_annotate_subquery(condition.query, schema, scopes))
+    if isinstance(condition, And):
+        return And(
+            _annotate_condition(condition.left, schema, scopes),
+            _annotate_condition(condition.right, schema, scopes),
+        )
+    if isinstance(condition, Or):
+        return Or(
+            _annotate_condition(condition.left, schema, scopes),
+            _annotate_condition(condition.right, schema, scopes),
+        )
+    if isinstance(condition, Not):
+        return Not(_annotate_condition(condition.operand, schema, scopes))
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+def _annotate_subquery(query: Query, schema: Schema, scopes: List[_Scope]) -> Query:
+    return _annotate_query(query, schema, scopes)

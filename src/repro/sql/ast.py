@@ -1,0 +1,302 @@
+"""Abstract syntax of basic SQL (Figure 2 of the paper).
+
+Queries and conditions are defined by mutual recursion, exactly as in the
+paper's grammar::
+
+    Q := SELECT [DISTINCT] α : β′ FROM τ : β WHERE θ
+       | SELECT [DISTINCT] *      FROM τ : β WHERE θ
+       | Q (UNION | INTERSECT | EXCEPT) [ALL] Q
+
+    θ := TRUE | FALSE | P(t1, …, tk)
+       | t IS [NOT] NULL
+       | t̄ [NOT] IN Q | EXISTS Q
+       | θ AND θ | θ OR θ | NOT θ
+
+Terms are shared with the core data model: a term is a constant, ``NULL`` or
+a :class:`~repro.core.values.FullName`.  The AST is *fully annotated* in the
+paper's sense — every FROM item carries an explicit alias, every SELECT item
+an explicit output name; the :mod:`repro.sql.annotate` pass produces this
+form from surface SQL.
+
+One extension beyond Figure 2 is :attr:`FromItem.column_aliases`, modelling
+the standard construct ``T AS N(A1, …, An)`` that Section 6's Figure 10
+translation uses to rename the columns of a subquery in FROM.
+
+All nodes are frozen dataclasses: hashable, comparable by structure, safe to
+share between translations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..core.values import FullName, Name, Null, Term
+
+__all__ = [
+    "BareColumn",
+    "Star",
+    "STAR",
+    "SelectItem",
+    "FromItem",
+    "Select",
+    "SetOp",
+    "Query",
+    "TableExpr",
+    "Condition",
+    "TrueCond",
+    "FalseCond",
+    "TRUE_COND",
+    "FALSE_COND",
+    "Predicate",
+    "IsNull",
+    "InQuery",
+    "Exists",
+    "And",
+    "Or",
+    "Not",
+    "COMPARISONS",
+    "iter_terms",
+    "conjunction",
+    "disjunction",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BareColumn:
+    """A surface-syntax unqualified column reference (``A`` rather than ``R.A``).
+
+    Only the parser produces these; the annotation pass
+    (:mod:`repro.sql.annotate`) resolves every bare column to a
+    :class:`~repro.core.values.FullName`, so fully-annotated ASTs never
+    contain them.
+    """
+
+    name: Name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Star:
+    """The ``*`` SELECT list — a singleton marker, not a term."""
+
+    _instance: "Star | None" = None
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+STAR = Star()
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One element ``t AS N`` of an annotated SELECT list (α : β′)."""
+
+    term: Term
+    alias: Name
+
+    def __str__(self) -> str:
+        return f"{_term_str(self.term)} AS {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class FromItem:
+    """One element ``T AS N`` of an annotated FROM list (τ : β).
+
+    ``table`` is either a base-table name (str) or a subquery.
+    ``column_aliases``, when present, renames the columns of the item
+    (``T AS N(A1, …, An)`` — the construct used by Figure 10).
+    """
+
+    table: "TableExpr"
+    alias: Name
+    column_aliases: Optional[Tuple[Name, ...]] = None
+
+    @property
+    def is_base_table(self) -> bool:
+        return isinstance(self.table, str)
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    """A SELECT [DISTINCT] … FROM … WHERE … block.
+
+    ``items`` is either the tuple of annotated select items or :data:`STAR`.
+    ``where`` is always present; the annotator inserts ``TRUE`` when the
+    surface query has no WHERE clause.
+    """
+
+    items: Union[Tuple[SelectItem, ...], Star]
+    from_items: Tuple[FromItem, ...]
+    where: "Condition"
+    distinct: bool = False
+
+    @property
+    def is_star(self) -> bool:
+        return isinstance(self.items, Star)
+
+
+@dataclass(frozen=True, slots=True)
+class SetOp:
+    """``Q1 (UNION | INTERSECT | EXCEPT) [ALL] Q2``."""
+
+    op: str  # "UNION" | "INTERSECT" | "EXCEPT"
+    left: "Query"
+    right: "Query"
+    all: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in ("UNION", "INTERSECT", "EXCEPT"):
+            raise ValueError(f"invalid set operation: {self.op!r}")
+
+
+Query = Union[Select, SetOp]
+TableExpr = Union[Name, Query]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TrueCond:
+    """The constant condition TRUE."""
+
+
+@dataclass(frozen=True, slots=True)
+class FalseCond:
+    """The constant condition FALSE."""
+
+
+TRUE_COND = TrueCond()
+FALSE_COND = FalseCond()
+
+#: The built-in comparison predicate names (equality is always available).
+COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """An atomic predicate ``P(t1, …, tk)`` from the collection P.
+
+    The built-in binary comparisons use the symbols of :data:`COMPARISONS`;
+    additional predicates (e.g. ``LIKE``) may be registered with the
+    evaluator's predicate registry.
+    """
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError("a predicate needs at least one argument")
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    """``t IS [NOT] NULL``."""
+
+    term: Term
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class InQuery:
+    """``t̄ [NOT] IN Q``; arity of Q must equal ``len(terms)``."""
+
+    terms: Tuple[Term, ...]
+    query: Query
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("IN needs at least one term on the left")
+
+
+@dataclass(frozen=True, slots=True)
+class Exists:
+    """``EXISTS Q``."""
+
+    query: Query
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Condition"
+
+
+Condition = Union[
+    TrueCond, FalseCond, Predicate, IsNull, InQuery, Exists, And, Or, Not
+]
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def conjunction(conditions: list) -> Condition:
+    """Left-associated AND of a non-empty list (TRUE for the empty list)."""
+    if not conditions:
+        return TRUE_COND
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = And(result, cond)
+    return result
+
+
+def disjunction(conditions: list) -> Condition:
+    """Left-associated OR of a non-empty list (FALSE for the empty list)."""
+    if not conditions:
+        return FALSE_COND
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = Or(result, cond)
+    return result
+
+
+def iter_terms(condition: Condition):
+    """Yield every term occurring directly in a condition (not in subqueries)."""
+    if isinstance(condition, Predicate):
+        yield from condition.args
+    elif isinstance(condition, IsNull):
+        yield condition.term
+    elif isinstance(condition, InQuery):
+        yield from condition.terms
+    elif isinstance(condition, (And, Or)):
+        yield from iter_terms(condition.left)
+        yield from iter_terms(condition.right)
+    elif isinstance(condition, Not):
+        yield from iter_terms(condition.operand)
+
+
+def _term_str(term: Term) -> str:
+    if isinstance(term, FullName):
+        return str(term)
+    if isinstance(term, Null):
+        return "NULL"
+    if isinstance(term, str):
+        return "'" + term.replace("'", "''") + "'"
+    return str(term)

@@ -1,0 +1,283 @@
+"""A fluent builder for basic SQL ASTs.
+
+Constructing :mod:`repro.sql.ast` nodes by hand is verbose; the builder
+offers a compact programmatic surface for tools, tests and generated code::
+
+    from repro.sql.builder import col, select, table
+
+    q = (
+        select(col("R.A").as_("X"), 42)
+        .from_(table("R"), select(col("T.B")).from_(table("T")).as_("U"))
+        .where(col("R.A").eq(col("U.B")) & col("R.A").is_not_null())
+        .distinct()
+        .build()
+    )
+
+``build()`` returns a plain (surface) AST; run it through
+:func:`repro.sql.annotate.annotate_query` as usual.  Conditions compose
+with ``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core.values import NULL, FullName, Name, Term
+from .ast import (
+    And,
+    BareColumn,
+    Condition,
+    Exists,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+)
+
+__all__ = ["col", "lit", "null", "table", "select", "select_star", "exists", "ConditionExpr"]
+
+
+@dataclass(frozen=True)
+class ConditionExpr:
+    """A condition wrapper supporting ``&``, ``|`` and ``~``."""
+
+    node: Condition
+
+    def __and__(self, other: "ConditionExpr") -> "ConditionExpr":
+        return ConditionExpr(And(self.node, _cond(other)))
+
+    def __or__(self, other: "ConditionExpr") -> "ConditionExpr":
+        return ConditionExpr(Or(self.node, _cond(other)))
+
+    def __invert__(self) -> "ConditionExpr":
+        return ConditionExpr(Not(self.node))
+
+
+def _cond(value: Union[ConditionExpr, Condition]) -> Condition:
+    return value.node if isinstance(value, ConditionExpr) else value
+
+
+class TermExpr:
+    """A term with comparison combinators."""
+
+    def __init__(self, term: Term, alias: Optional[Name] = None):
+        self.term = term
+        self.alias = alias
+
+    def as_(self, alias: Name) -> "TermExpr":
+        return TermExpr(self.term, alias)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def _binary(self, op: str, other) -> ConditionExpr:
+        return ConditionExpr(Predicate(op, (self.term, _term(other))))
+
+    def eq(self, other) -> ConditionExpr:
+        return self._binary("=", other)
+
+    def ne(self, other) -> ConditionExpr:
+        return self._binary("<>", other)
+
+    def lt(self, other) -> ConditionExpr:
+        return self._binary("<", other)
+
+    def le(self, other) -> ConditionExpr:
+        return self._binary("<=", other)
+
+    def gt(self, other) -> ConditionExpr:
+        return self._binary(">", other)
+
+    def ge(self, other) -> ConditionExpr:
+        return self._binary(">=", other)
+
+    def like(self, pattern: str) -> ConditionExpr:
+        return self._binary("LIKE", pattern)
+
+    def is_null(self) -> ConditionExpr:
+        return ConditionExpr(IsNull(self.term))
+
+    def is_not_null(self) -> ConditionExpr:
+        return ConditionExpr(IsNull(self.term, negated=True))
+
+    def in_(self, query: Union["SelectBuilder", Query]) -> ConditionExpr:
+        return ConditionExpr(InQuery((self.term,), _query(query)))
+
+    def not_in(self, query: Union["SelectBuilder", Query]) -> ConditionExpr:
+        return ConditionExpr(InQuery((self.term,), _query(query), negated=True))
+
+
+def _term(value) -> Term:
+    if isinstance(value, TermExpr):
+        return value.term
+    if value is None:
+        return NULL
+    return value
+
+
+def col(name: str) -> TermExpr:
+    """A column reference: ``col("R.A")`` (qualified) or ``col("A")`` (bare)."""
+    if "." in name:
+        return TermExpr(FullName.parse(name))
+    return TermExpr(BareColumn(name))
+
+
+def lit(value: Union[int, str]) -> TermExpr:
+    """A constant term."""
+    return TermExpr(value)
+
+
+def null() -> TermExpr:
+    """The NULL term."""
+    return TermExpr(NULL)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item under construction."""
+
+    source: Union[Name, Query]
+    alias: Optional[Name] = None
+    columns: Optional[Tuple[Name, ...]] = None
+
+    def as_(self, alias: Name, *columns: Name) -> "TableRef":
+        return TableRef(self.source, alias, tuple(columns) or None)
+
+    def _item(self) -> FromItem:
+        alias = self.alias
+        if alias is None:
+            if not isinstance(self.source, str):
+                raise ValueError("a subquery in FROM needs .as_(alias)")
+            alias = self.source
+        return FromItem(self.source, alias, self.columns)
+
+
+def table(name: Name) -> TableRef:
+    """A base-table FROM item (aliased to itself unless ``.as_()`` is used)."""
+    return TableRef(name)
+
+
+class SelectBuilder:
+    """Accumulates a SELECT block; every method returns a new builder."""
+
+    def __init__(
+        self,
+        items: Union[Tuple[SelectItem, ...], object],
+        from_items: Tuple[FromItem, ...] = (),
+        where: Condition = TRUE_COND,
+        is_distinct: bool = False,
+        alias: Optional[Name] = None,
+        columns: Optional[Tuple[Name, ...]] = None,
+    ):
+        self._items = items
+        self._from = from_items
+        self._where = where
+        self._distinct = is_distinct
+        self._alias = alias
+        self._columns = columns
+
+    def from_(self, *sources: Union[TableRef, "SelectBuilder", Query]) -> "SelectBuilder":
+        items: List[FromItem] = []
+        for source in sources:
+            if isinstance(source, TableRef):
+                items.append(source._item())
+            elif isinstance(source, SelectBuilder):
+                if source._alias is None:
+                    raise ValueError("a subquery in FROM needs .as_(alias)")
+                items.append(
+                    FromItem(source.build(), source._alias, source._columns)
+                )
+            else:
+                raise TypeError(f"not a FROM source: {source!r}")
+        return SelectBuilder(
+            self._items, self._from + tuple(items), self._where, self._distinct,
+            self._alias, self._columns,
+        )
+
+    def where(self, condition: Union[ConditionExpr, Condition]) -> "SelectBuilder":
+        return SelectBuilder(
+            self._items, self._from, _cond(condition), self._distinct,
+            self._alias, self._columns,
+        )
+
+    def distinct(self) -> "SelectBuilder":
+        return SelectBuilder(
+            self._items, self._from, self._where, True, self._alias, self._columns
+        )
+
+    def as_(self, alias: Name, *columns: Name) -> "SelectBuilder":
+        return SelectBuilder(
+            self._items, self._from, self._where, self._distinct, alias,
+            tuple(columns) or None,
+        )
+
+    # -- set operations ----------------------------------------------------------
+
+    def union(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("UNION", self.build(), _query(other), all=all))
+
+    def intersect(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("INTERSECT", self.build(), _query(other), all=all))
+
+    def except_(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("EXCEPT", self.build(), _query(other), all=all))
+
+    def build(self) -> Select:
+        if not self._from:
+            raise ValueError("a SELECT needs at least one FROM item")
+        return Select(self._items, self._from, self._where, distinct=self._distinct)
+
+
+class QueryBuilder:
+    """A built set-operation query that can keep composing."""
+
+    def __init__(self, query: Query):
+        self._query = query
+
+    def union(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("UNION", self._query, _query(other), all=all))
+
+    def intersect(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("INTERSECT", self._query, _query(other), all=all))
+
+    def except_(self, other, all: bool = False) -> "QueryBuilder":
+        return QueryBuilder(SetOp("EXCEPT", self._query, _query(other), all=all))
+
+    def build(self) -> Query:
+        return self._query
+
+
+def _query(value) -> Query:
+    if isinstance(value, (SelectBuilder, QueryBuilder)):
+        return value.build()
+    return value
+
+
+def select(*items: Union[TermExpr, int, str]) -> SelectBuilder:
+    """Start a SELECT with explicit items (terms or constants)."""
+    built: List[SelectItem] = []
+    for item in items:
+        if isinstance(item, TermExpr):
+            alias = item.alias or ""
+            built.append(SelectItem(item.term, alias))
+        else:
+            built.append(SelectItem(_term(item), ""))
+    return SelectBuilder(tuple(built))
+
+
+def select_star() -> SelectBuilder:
+    """Start a SELECT *."""
+    return SelectBuilder(STAR)
+
+
+def exists(query: Union[SelectBuilder, QueryBuilder, Query]) -> ConditionExpr:
+    """An EXISTS condition."""
+    return ConditionExpr(Exists(_query(query)))

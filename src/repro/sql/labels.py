@@ -1,0 +1,84 @@
+"""The output-attribute function ℓ of Figure 3.
+
+``ℓ(Q)`` is the tuple of column names of the table a query produces:
+
+* ``ℓ(R)`` — the attribute tuple the schema assigns to base table R;
+* ``ℓ(τ) = ℓ(T1) ⋯ ℓ(Tk)`` — concatenation over the FROM items;
+* ``ℓ(SELECT [DISTINCT] α : β′ …) = β′``;
+* ``ℓ(SELECT [DISTINCT] * FROM τ : β …) = ℓ(τ)``;
+* ``ℓ(Q1 op Q2) = ℓ(Q1)``.
+
+The scoped variant ``ℓ(τ : β) = N1.ℓ(T1) ⋯ Nk.ℓ(Tk)`` produces the *full
+names* that a FROM clause binds (Section 3's "Scopes and bindings"); it is
+what the environment update ``η ⊕r̄ ℓ(τ:β)`` consumes.
+
+A FROM item with column aliases ``T AS N(A1, …, An)`` contributes
+``(A1, …, An)`` in place of ℓ(T); the arity must match.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.errors import ArityMismatchError
+from ..core.schema import Schema
+from ..core.values import FullName, Name
+from .ast import FromItem, Query, Select, SetOp
+
+__all__ = [
+    "query_labels",
+    "from_item_labels",
+    "from_labels",
+    "scope_full_names",
+    "prefix_names",
+]
+
+
+def prefix_names(qualifier: Name, names: Sequence[Name]) -> Tuple[FullName, ...]:
+    """The operation ``N.(N1, …, Nn) = (N.N1, …, N.Nn)``."""
+    return tuple(FullName(qualifier, name) for name in names)
+
+
+def from_item_labels(item: FromItem, schema: Schema) -> Tuple[Name, ...]:
+    """ℓ(T) for one FROM item, applying column aliases when present."""
+    if item.is_base_table:
+        labels = schema.attributes(item.table)
+    else:
+        labels = query_labels(item.table, schema)
+    if item.column_aliases is not None:
+        if len(item.column_aliases) != len(labels):
+            raise ArityMismatchError(
+                f"alias {item.alias}({', '.join(item.column_aliases)}) renames "
+                f"{len(item.column_aliases)} columns but the table has {len(labels)}"
+            )
+        labels = item.column_aliases
+    return labels
+
+
+def from_labels(from_items: Sequence[FromItem], schema: Schema) -> Tuple[Name, ...]:
+    """ℓ(τ): the concatenation of the labels of all FROM items."""
+    labels: list[Name] = []
+    for item in from_items:
+        labels.extend(from_item_labels(item, schema))
+    return tuple(labels)
+
+
+def scope_full_names(
+    from_items: Sequence[FromItem], schema: Schema
+) -> Tuple[FullName, ...]:
+    """ℓ(τ : β): each item's labels prefixed with its alias."""
+    names: list[FullName] = []
+    for item in from_items:
+        names.extend(prefix_names(item.alias, from_item_labels(item, schema)))
+    return tuple(names)
+
+
+def query_labels(query: Query, schema: Schema) -> Tuple[Name, ...]:
+    """ℓ(Q) per Figure 3."""
+    if isinstance(query, Select):
+        if query.is_star:
+            return from_labels(query.from_items, schema)
+        return tuple(item.alias for item in query.items)
+    if isinstance(query, SetOp):
+        return query_labels(query.left, schema)
+    raise TypeError(f"not a query: {query!r}")

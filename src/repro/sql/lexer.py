@@ -1,0 +1,139 @@
+"""Tokenizer for the basic SQL fragment.
+
+Produces a stream of :class:`Token` objects with 1-based line/column
+positions for error reporting.  Keywords are case-insensitive and normalized
+to upper case; identifiers preserve case (optionally double-quoted to escape
+keywords); strings use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "TRUE",
+        "FALSE",
+        "NULL",
+        "IS",
+        "IN",
+        "EXISTS",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "MINUS",
+        "ALL",
+        "LIKE",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token: kind is KEYWORD, IDENT, INT, STRING, SYMBOL or EOF."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on illegal characters."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        column = i - line_start + 1
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i, line, column)
+            yield Token("STRING", value, line, column)
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted identifier", line, column)
+            yield Token("IDENT", text[i + 1 : end], line, column)
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            yield Token("INT", text[i:j], line, column)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, line, column)
+            else:
+                yield Token("IDENT", word, line, column)
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "<>" if symbol == "!=" else symbol
+                yield Token("SYMBOL", value, line, column)
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"illegal character {ch!r}", line, column)
+    yield Token("EOF", "", line, n - line_start + 1)
+
+
+def _read_string(text: str, start: int, line: int, column: int) -> tuple[str, int]:
+    parts: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", line, column)

@@ -1,0 +1,406 @@
+"""Recursive-descent parser for the basic SQL fragment (Figure 2).
+
+The parser accepts *surface* syntax — aliases may be omitted for base tables,
+column references may be unqualified, WHERE may be absent — and produces the
+AST of :mod:`repro.sql.ast`.  The annotation pass (:mod:`repro.sql.annotate`)
+then produces the fully-annotated form the formal semantics consumes.
+
+Set-operation precedence follows the SQL standard: INTERSECT binds tighter
+than UNION and EXCEPT, which associate to the left.  ``MINUS`` is accepted as
+a synonym for ``EXCEPT`` (Oracle's syntax, Section 4).
+
+Anything outside the fragment (aggregation, GROUP BY, ORDER BY, JOIN syntax,
+…) is rejected with a :class:`~repro.core.errors.ParseError` naming the
+offending token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import ParseError
+from ..core.values import NULL, FullName, Term
+from .ast import (
+    And,
+    BareColumn,
+    Condition,
+    Exists,
+    FALSE_COND,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_query", "parse_condition", "Parser"]
+
+
+#: Which spelling(s) of the difference operation each dialect accepts.
+#: ``standard`` is lenient (both), matching the repository's printers being
+#: able to round-trip any dialect's output.
+_DIFFERENCE_KEYWORDS = {
+    "standard": frozenset({"EXCEPT", "MINUS"}),
+    "postgres": frozenset({"EXCEPT"}),
+    "oracle": frozenset({"MINUS"}),
+    "mysql": frozenset(),  # MySQL "does not have it altogether" (Section 4)
+}
+
+
+def parse_query(text: str, dialect: str = "standard") -> Query:
+    """Parse SQL text into a (surface) query AST.
+
+    ``dialect`` controls the accepted spelling of the difference operation:
+    Oracle only knows ``MINUS``, PostgreSQL only ``EXCEPT``, MySQL neither,
+    and the default ``standard`` mode leniently accepts both.
+    """
+    parser = Parser(tokenize(text), dialect=dialect)
+    query = parser.query()
+    parser.expect_eof()
+    return query
+
+
+def parse_condition(text: str, dialect: str = "standard") -> Condition:
+    """Parse a standalone condition (useful in tests and tools)."""
+    parser = Parser(tokenize(text), dialect=dialect)
+    condition = parser.condition()
+    parser.expect_eof()
+    return condition
+
+
+class Parser:
+    """A backtracking recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token], dialect: str = "standard"):
+        if dialect not in _DIFFERENCE_KEYWORDS:
+            raise ValueError(
+                f"unknown dialect {dialect!r}; expected one of "
+                f"{sorted(_DIFFERENCE_KEYWORDS)}"
+            )
+        self._tokens = tokens
+        self._pos = 0
+        self._difference_keywords = _DIFFERENCE_KEYWORDS[dialect]
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        return self._peek().matches(kind, value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted}, found {token.value or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ParseError(
+                f"unexpected input after query: {token.value!r}",
+                token.line,
+                token.column,
+            )
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self) -> Query:
+        """UNION/EXCEPT level (lowest precedence, left-associative)."""
+        left = self._intersect_query()
+        while True:
+            if self._accept("KEYWORD", "UNION"):
+                op = "UNION"
+            elif self._check("KEYWORD", "EXCEPT") or self._check("KEYWORD", "MINUS"):
+                keyword = self._peek().value
+                if keyword not in self._difference_keywords:
+                    raise self._error(
+                        f"{keyword} is not available in this dialect"
+                    )
+                self._advance()
+                op = "EXCEPT"
+            else:
+                return left
+            all_flag = self._accept("KEYWORD", "ALL") is not None
+            right = self._intersect_query()
+            left = SetOp(op, left, right, all=all_flag)
+
+    def _intersect_query(self) -> Query:
+        left = self._primary_query()
+        while self._accept("KEYWORD", "INTERSECT"):
+            all_flag = self._accept("KEYWORD", "ALL") is not None
+            right = self._primary_query()
+            left = SetOp("INTERSECT", left, right, all=all_flag)
+        return left
+
+    def _primary_query(self) -> Query:
+        if self._accept("SYMBOL", "("):
+            query = self.query()
+            self._expect("SYMBOL", ")")
+            return query
+        if self._check("KEYWORD", "SELECT"):
+            return self._select()
+        raise self._error("expected SELECT or a parenthesized query")
+
+    def _select(self) -> Select:
+        self._expect("KEYWORD", "SELECT")
+        distinct = self._accept("KEYWORD", "DISTINCT") is not None
+        if self._accept("KEYWORD", "ALL"):
+            distinct = False
+        if self._accept("SYMBOL", "*"):
+            items: object = STAR
+        else:
+            select_items = [self._select_item()]
+            while self._accept("SYMBOL", ","):
+                select_items.append(self._select_item())
+            items = tuple(select_items)
+        self._expect("KEYWORD", "FROM")
+        from_items = [self._from_item()]
+        while self._accept("SYMBOL", ","):
+            from_items.append(self._from_item())
+        if self._accept("KEYWORD", "WHERE"):
+            where = self.condition()
+        else:
+            where = TRUE_COND
+        return Select(items, tuple(from_items), where, distinct=distinct)
+
+    def _select_item(self) -> SelectItem:
+        term = self._term()
+        if self._accept("KEYWORD", "AS"):
+            alias = self._name()
+        elif self._check("IDENT"):
+            alias = self._name()
+        else:
+            alias = ""  # resolved by the annotation pass
+        return SelectItem(term, alias)
+
+    def _from_item(self) -> FromItem:
+        if self._accept("SYMBOL", "("):
+            table: object = self.query()
+            self._expect("SYMBOL", ")")
+            alias_required = True
+        else:
+            table = self._name()
+            alias_required = False
+        alias = ""
+        if self._accept("KEYWORD", "AS"):
+            alias = self._name()
+        elif self._check("IDENT"):
+            alias = self._name()
+        column_aliases: Optional[Tuple[str, ...]] = None
+        if alias and self._accept("SYMBOL", "("):
+            names = [self._name()]
+            while self._accept("SYMBOL", ","):
+                names.append(self._name())
+            self._expect("SYMBOL", ")")
+            column_aliases = tuple(names)
+        if not alias:
+            if alias_required:
+                raise self._error("a subquery in FROM requires an alias")
+            alias = table  # R AS R, the standard annotation
+        return FromItem(table, alias, column_aliases)
+
+    def _name(self) -> str:
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            return token.value
+        raise self._error(f"expected an identifier, found {token.value!r}")
+
+    # -- terms -------------------------------------------------------------------
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token.kind == "INT":
+            self._advance()
+            return int(token.value)
+        if token.kind == "STRING":
+            self._advance()
+            return token.value
+        if token.matches("KEYWORD", "NULL"):
+            self._advance()
+            return NULL
+        if token.kind == "IDENT":
+            self._advance()
+            if self._accept("SYMBOL", "."):
+                attribute = self._name()
+                return FullName(token.value, attribute)
+            return BareColumn(token.value)
+        raise self._error(f"expected a term, found {token.value or token.kind!r}")
+
+    # -- conditions -----------------------------------------------------------------
+
+    def condition(self) -> Condition:
+        """OR level (lowest precedence)."""
+        left = self._and_condition()
+        while self._accept("KEYWORD", "OR"):
+            right = self._and_condition()
+            left = Or(left, right)
+        return left
+
+    def _and_condition(self) -> Condition:
+        left = self._not_condition()
+        while self._accept("KEYWORD", "AND"):
+            right = self._not_condition()
+            left = And(left, right)
+        return left
+
+    def _not_condition(self) -> Condition:
+        if self._accept("KEYWORD", "NOT"):
+            return Not(self._not_condition())
+        return self._primary_condition()
+
+    def _primary_condition(self) -> Condition:
+        token = self._peek()
+        if token.matches("KEYWORD", "TRUE"):
+            self._advance()
+            return TRUE_COND
+        if token.matches("KEYWORD", "FALSE"):
+            self._advance()
+            return FALSE_COND
+        if token.matches("KEYWORD", "EXISTS"):
+            self._advance()
+            self._expect("SYMBOL", "(")
+            query = self.query()
+            self._expect("SYMBOL", ")")
+            return Exists(query)
+        if token.matches("SYMBOL", "("):
+            # Ambiguity: '(' may open a row constructor or a parenthesized
+            # condition.  Try the row reading first and backtrack on failure.
+            saved = self._pos
+            try:
+                return self._row_condition()
+            except ParseError:
+                self._pos = saved
+            self._advance()  # consume '('
+            condition = self.condition()
+            self._expect("SYMBOL", ")")
+            return condition
+        if token.kind == "IDENT" and self._peek(1).matches("SYMBOL", "("):
+            # A named predicate P(t1, …, tk) from the collection P.
+            name = self._name()
+            self._expect("SYMBOL", "(")
+            args = [self._term()]
+            while self._accept("SYMBOL", ","):
+                args.append(self._term())
+            self._expect("SYMBOL", ")")
+            return Predicate(name, tuple(args))
+        return self._term_condition(self._term())
+
+    def _row_condition(self) -> Condition:
+        """Parse ``(t1, …, tn) <op> …`` where op is IN, IS or a comparison."""
+        self._expect("SYMBOL", "(")
+        terms = [self._term()]
+        while self._accept("SYMBOL", ","):
+            terms.append(self._term())
+        self._expect("SYMBOL", ")")
+        if len(terms) == 1:
+            return self._term_condition(terms[0])
+        return self._row_tail(tuple(terms))
+
+    def _row_tail(self, terms: Tuple[Term, ...]) -> Condition:
+        if self._accept("KEYWORD", "IS"):
+            negated = self._accept("KEYWORD", "NOT") is not None
+            self._expect("KEYWORD", "NULL")
+            # t̄ IS [NOT] NULL: conjunction over the components (Figure 10).
+            result: Condition = IsNull(terms[0], negated)
+            for term in terms[1:]:
+                result = And(result, IsNull(term, negated))
+            return result
+        negated = self._accept("KEYWORD", "NOT") is not None
+        if self._accept("KEYWORD", "IN"):
+            self._expect("SYMBOL", "(")
+            query = self.query()
+            self._expect("SYMBOL", ")")
+            return InQuery(terms, query, negated)
+        if negated:
+            raise self._error("expected IN after NOT")
+        op_token = self._peek()
+        if op_token.kind == "SYMBOL" and op_token.value in ("=", "<>"):
+            self._advance()
+            self._expect("SYMBOL", "(")
+            others = [self._term()]
+            while self._accept("SYMBOL", ","):
+                others.append(self._term())
+            self._expect("SYMBOL", ")")
+            if len(others) != len(terms):
+                raise self._error("row comparison of different lengths")
+            # Figure 6: (t̄ = s̄) is the conjunction of component equalities,
+            # (t̄ <> s̄) the disjunction of component inequalities.
+            pairs = list(zip(terms, others))
+            if op_token.value == "=":
+                result = Predicate("=", pairs[0])
+                for pair in pairs[1:]:
+                    result = And(result, Predicate("=", pair))
+            else:
+                result = Predicate("<>", pairs[0])
+                for pair in pairs[1:]:
+                    result = Or(result, Predicate("<>", pair))
+            return result
+        raise self._error("expected IN, IS or a row comparison")
+
+    def _term_condition(self, term: Term) -> Condition:
+        if self._accept("KEYWORD", "IS"):
+            negated = self._accept("KEYWORD", "NOT") is not None
+            self._expect("KEYWORD", "NULL")
+            return IsNull(term, negated)
+        negated = self._accept("KEYWORD", "NOT") is not None
+        if self._accept("KEYWORD", "IN"):
+            self._expect("SYMBOL", "(")
+            query = self.query()
+            self._expect("SYMBOL", ")")
+            return InQuery((term,), query, negated)
+        if self._accept("KEYWORD", "LIKE"):
+            if negated:
+                pattern = self._term()
+                return Not(Predicate("LIKE", (term, pattern)))
+            pattern = self._term()
+            return Predicate("LIKE", (term, pattern))
+        if negated:
+            raise self._error("expected IN or LIKE after NOT")
+        op_token = self._peek()
+        if op_token.kind == "SYMBOL" and op_token.value in (
+            "=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            self._advance()
+            right = self._term()
+            return Predicate(op_token.value, (term, right))
+        raise self._error(
+            f"expected a comparison, IS, IN or LIKE, found "
+            f"{op_token.value or op_token.kind!r}"
+        )

@@ -1,0 +1,202 @@
+"""Dialect-aware rendering of query ASTs back to SQL text.
+
+The printers emit SQL that the parser accepts (round-tripping is covered by
+property tests) and that real systems would accept in the corresponding
+dialect:
+
+* ``standard`` / ``postgres`` — ``EXCEPT``;
+* ``oracle`` — ``MINUS`` in place of ``EXCEPT`` (Section 4's syntactic
+  adjustment);
+* ``mysql`` — rejects ``EXCEPT`` altogether, since MySQL (as of the paper)
+  "does not have it".
+
+Identifiers that collide with keywords or contain unusual characters are
+double-quoted.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import CompileError
+from ..core.values import FullName, Name, Null, Term
+from .ast import (
+    And,
+    BareColumn,
+    COMPARISONS,
+    Condition,
+    Exists,
+    FalseCond,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    Select,
+    SelectItem,
+    SetOp,
+    TrueCond,
+)
+from .lexer import KEYWORDS
+
+__all__ = ["print_query", "print_condition", "print_term", "DIALECTS"]
+
+DIALECTS = ("standard", "postgres", "oracle", "mysql")
+
+
+def print_query(query: Query, dialect: str = "standard") -> str:
+    """Render a query AST as SQL text in the given dialect."""
+    _check_dialect(dialect)
+    return _query(query, dialect)
+
+
+def print_condition(condition: Condition, dialect: str = "standard") -> str:
+    _check_dialect(dialect)
+    return _condition(condition, dialect)
+
+
+def print_term(term: Term) -> str:
+    """Render a term: constant, NULL, full name or (surface) bare column."""
+    if isinstance(term, FullName):
+        return f"{_ident(term.qualifier)}.{_ident(term.attribute)}"
+    if isinstance(term, BareColumn):
+        return _ident(term.name)
+    if isinstance(term, Null):
+        return "NULL"
+    if isinstance(term, str):
+        return "'" + term.replace("'", "''") + "'"
+    if isinstance(term, int):
+        return str(term)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _check_dialect(dialect: str) -> None:
+    if dialect not in DIALECTS:
+        raise ValueError(f"unknown dialect {dialect!r}; expected one of {DIALECTS}")
+
+
+def _ident(name: Name) -> str:
+    if name.upper() in KEYWORDS or not name or not (
+        (name[0].isalpha() or name[0] == "_")
+        and all(ch.isalnum() or ch == "_" for ch in name)
+    ):
+        return '"' + name + '"'
+    return name
+
+
+def _query(query: Query, dialect: str) -> str:
+    if isinstance(query, Select):
+        return _select(query, dialect)
+    if isinstance(query, SetOp):
+        op = query.op
+        if op == "EXCEPT":
+            if dialect == "oracle":
+                op = "MINUS"
+            elif dialect == "mysql":
+                raise CompileError("MySQL has no EXCEPT operation")
+        keyword = f"{op} ALL" if query.all else op
+        left = _operand(query.left, dialect, parent=query.op, side="left")
+        right = _operand(query.right, dialect, parent=query.op, side="right")
+        return f"{left} {keyword} {right}"
+    raise TypeError(f"not a query: {query!r}")
+
+
+def _operand(query: Query, dialect: str, parent: str, side: str) -> str:
+    text = _query(query, dialect)
+    if isinstance(query, Select):
+        return text
+    # Parenthesize whenever precedence or associativity could be misread.
+    needs_parens = True
+    if side == "left" and isinstance(query, SetOp):
+        same_level = (parent in ("UNION", "EXCEPT")) == (
+            query.op in ("UNION", "EXCEPT")
+        )
+        higher = query.op == "INTERSECT" and parent in ("UNION", "EXCEPT")
+        needs_parens = not (same_level or higher)
+    return f"({text})" if needs_parens else text
+
+
+def _select(query: Select, dialect: str) -> str:
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    if query.is_star:
+        parts.append("*")
+    else:
+        parts.append(", ".join(_select_item(item) for item in query.items))
+    parts.append("FROM")
+    parts.append(", ".join(_from_item(item, dialect) for item in query.from_items))
+    if not isinstance(query.where, TrueCond):
+        parts.append("WHERE")
+        parts.append(_condition(query.where, dialect))
+    return " ".join(parts)
+
+
+def _select_item(item: SelectItem) -> str:
+    rendered = print_term(item.term)
+    if item.alias:
+        return f"{rendered} AS {_ident(item.alias)}"
+    return rendered
+
+
+def _from_item(item: FromItem, dialect: str) -> str:
+    if item.is_base_table:
+        rendered = _ident(item.table)
+    else:
+        rendered = f"({_query(item.table, dialect)})"
+    alias = f" AS {_ident(item.alias)}" if item.alias else ""
+    if item.column_aliases is not None:
+        alias += "(" + ", ".join(_ident(a) for a in item.column_aliases) + ")"
+    return rendered + alias
+
+
+_PRECEDENCE = {"OR": 1, "AND": 2, "NOT": 3}
+
+
+def _condition(condition: Condition, dialect: str, parent_level: int = 0) -> str:
+    if isinstance(condition, TrueCond):
+        text, level = "TRUE", 9
+    elif isinstance(condition, FalseCond):
+        text, level = "FALSE", 9
+    elif isinstance(condition, Predicate):
+        text, level = _predicate(condition), 9
+    elif isinstance(condition, IsNull):
+        keyword = "IS NOT NULL" if condition.negated else "IS NULL"
+        text, level = f"{print_term(condition.term)} {keyword}", 9
+    elif isinstance(condition, InQuery):
+        if len(condition.terms) == 1:
+            left = print_term(condition.terms[0])
+        else:
+            left = "(" + ", ".join(print_term(t) for t in condition.terms) + ")"
+        keyword = "NOT IN" if condition.negated else "IN"
+        text = f"{left} {keyword} ({_query(condition.query, dialect)})"
+        level = 9
+    elif isinstance(condition, Exists):
+        text, level = f"EXISTS ({_query(condition.query, dialect)})", 9
+    elif isinstance(condition, Not):
+        inner = _condition(condition.operand, dialect, _PRECEDENCE["NOT"])
+        text, level = f"NOT {inner}", _PRECEDENCE["NOT"]
+    elif isinstance(condition, And):
+        left = _condition(condition.left, dialect, _PRECEDENCE["AND"] - 1)
+        right = _condition(condition.right, dialect, _PRECEDENCE["AND"])
+        text, level = f"{left} AND {right}", _PRECEDENCE["AND"]
+    elif isinstance(condition, Or):
+        left = _condition(condition.left, dialect, _PRECEDENCE["OR"] - 1)
+        right = _condition(condition.right, dialect, _PRECEDENCE["OR"])
+        text, level = f"{left} OR {right}", _PRECEDENCE["OR"]
+    else:
+        raise TypeError(f"not a condition: {condition!r}")
+    if level < parent_level or (level == parent_level and level in (1, 2)):
+        return f"({text})"
+    return text
+
+
+def _predicate(predicate: Predicate) -> str:
+    if predicate.name in COMPARISONS and len(predicate.args) == 2:
+        left, right = predicate.args
+        return f"{print_term(left)} {predicate.name} {print_term(right)}"
+    if predicate.name == "LIKE" and len(predicate.args) == 2:
+        value, pattern = predicate.args
+        return f"{print_term(value)} LIKE {print_term(pattern)}"
+    args = ", ".join(print_term(arg) for arg in predicate.args)
+    return f"{predicate.name}({args})"

@@ -1,0 +1,175 @@
+"""Static well-formedness checks: the "successfully compiled" assumption.
+
+Section 2 assumes queries "have been successfully type-checked and
+compiled".  This module implements the compile-time checks a conforming
+system performs on a fully-annotated query:
+
+* base tables exist, FROM aliases are distinct per block, column-alias lists
+  have the right arity;
+* every full-name reference resolves against some scope of the chain
+  (:class:`~repro.core.errors.UnboundReferenceError` otherwise);
+* a reference whose *innermost binding scope* repeats it is ambiguous
+  (:class:`~repro.core.errors.AmbiguousReferenceError`) — this is the
+  Oracle/standard compile-time error of Example 2, which the paper's
+  Oracle-adjusted semantics reproduces; PostgreSQL's compositional semantics
+  avoids it for ``SELECT *`` because ``*`` is expanded positionally, so under
+  ``star_style="compositional"`` no check is made for star expansion (an
+  ambiguous name is still an error when *explicitly referenced*);
+* set operations and IN comparisons combine matching arities.
+
+The checker mirrors the evaluator's treatment of the Boolean switch x: a
+``SELECT *`` directly under EXISTS is never expanded (standard style), so it
+cannot trigger the ambiguity error — exactly the second query of Example 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple
+
+from ..core.errors import (
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+)
+from ..core.schema import Schema
+from ..core.values import FullName, Term
+from .ast import (
+    And,
+    BareColumn,
+    Condition,
+    Exists,
+    FalseCond,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    Select,
+    SetOp,
+    TrueCond,
+    iter_terms,
+)
+from .labels import query_labels, scope_full_names
+
+__all__ = ["check_query"]
+
+#: A scope for checking: the multiset of full names a FROM clause binds.
+_Scope = Counter
+
+
+def check_query(
+    query: Query, schema: Schema, star_style: str = "standard"
+) -> None:
+    """Raise a :class:`~repro.core.errors.CompileError` subclass if ``query``
+    would be rejected by a conforming system, else return None."""
+    _check(query, schema, star_style, scopes=[], exists_context=False)
+
+
+def _check(
+    query: Query,
+    schema: Schema,
+    star_style: str,
+    scopes: List[_Scope],
+    exists_context: bool,
+) -> None:
+    if isinstance(query, SetOp):
+        left_labels = query_labels(query.left, schema)
+        right_labels = query_labels(query.right, schema)
+        if len(left_labels) != len(right_labels):
+            raise ArityMismatchError(
+                f"{query.op} combines arities {len(left_labels)} and "
+                f"{len(right_labels)}"
+            )
+        _check(query.left, schema, star_style, scopes, exists_context=False)
+        _check(query.right, schema, star_style, scopes, exists_context=False)
+        return
+    if not isinstance(query, Select):
+        raise TypeError(f"not a query: {query!r}")
+
+    seen_aliases = set()
+    for item in query.from_items:
+        if item.alias in seen_aliases:
+            raise DuplicateAliasError(
+                f"alias {item.alias} used twice in the same FROM clause"
+            )
+        seen_aliases.add(item.alias)
+        if not item.is_base_table:
+            _check(item.table, schema, star_style, scopes, exists_context=False)
+
+    # scope_full_names also validates base-table existence and column-alias
+    # arities (via from_item_labels).
+    scope = Counter(scope_full_names(query.from_items, schema))
+    inner_scopes = scopes + [scope]
+
+    _check_condition(query.where, schema, star_style, inner_scopes)
+
+    if query.is_star:
+        if star_style == "standard" and not exists_context:
+            # * expands to ℓ(τ:β); a repeated full name is an ambiguous
+            # reference (Example 2's first query).
+            for full_name, count in scope.items():
+                if count > 1:
+                    raise AmbiguousReferenceError(
+                        f"SELECT * forces a reference to the repeated full "
+                        f"name {full_name}"
+                    )
+    else:
+        for item in query.items:
+            _check_term(item.term, inner_scopes)
+
+
+def _check_condition(
+    condition: Condition, schema: Schema, star_style: str, scopes: List[_Scope]
+) -> None:
+    for term in iter_terms(condition):
+        _check_term(term, scopes)
+    _walk_subqueries(condition, schema, star_style, scopes)
+
+
+def _walk_subqueries(
+    condition: Condition, schema: Schema, star_style: str, scopes: List[_Scope]
+) -> None:
+    if isinstance(condition, InQuery):
+        labels = query_labels(condition.query, schema)
+        if len(labels) != len(condition.terms):
+            raise ArityMismatchError(
+                f"IN compares {len(condition.terms)} term(s) against a query "
+                f"of arity {len(labels)}"
+            )
+        _check(condition.query, schema, star_style, scopes, exists_context=False)
+    elif isinstance(condition, Exists):
+        _check(condition.query, schema, star_style, scopes, exists_context=True)
+    elif isinstance(condition, (And, Or)):
+        _walk_subqueries(condition.left, schema, star_style, scopes)
+        _walk_subqueries(condition.right, schema, star_style, scopes)
+    elif isinstance(condition, Not):
+        _walk_subqueries(condition.operand, schema, star_style, scopes)
+    elif isinstance(condition, (TrueCond, FalseCond, Predicate, IsNull)):
+        pass
+    else:
+        raise TypeError(f"not a condition: {condition!r}")
+
+
+def _check_term(term: Term, scopes: List[_Scope]) -> None:
+    if isinstance(term, BareColumn):
+        raise UnboundReferenceError(
+            f"unannotated column reference {term.name}: run the annotation "
+            f"pass before checking"
+        )
+    if not isinstance(term, FullName):
+        return
+    for scope in reversed(scopes):
+        count = scope.get(term, 0)
+        if count > 1:
+            raise AmbiguousReferenceError(
+                f"reference {term} is ambiguous: the full name is repeated in "
+                f"the scope that binds it"
+            )
+        if count == 1:
+            return
+    raise UnboundReferenceError(
+        f"reference {term} is not bound by any enclosing scope"
+    )

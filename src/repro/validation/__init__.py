@@ -1,0 +1,21 @@
+"""Experimental validation harness (Section 4)."""
+
+from .compare import Outcome, capture, explain_difference, tables_coincide
+from .differential import DifferentialReport, DifferentialRunner
+from .report import format_campaigns, format_table
+from .runner import CampaignReport, TrialResult, ValidationRunner, VARIANTS
+
+__all__ = [
+    "Outcome",
+    "DifferentialRunner",
+    "DifferentialReport",
+    "capture",
+    "tables_coincide",
+    "explain_difference",
+    "ValidationRunner",
+    "TrialResult",
+    "CampaignReport",
+    "VARIANTS",
+    "format_table",
+    "format_campaigns",
+]

@@ -1,0 +1,81 @@
+"""The correctness criterion of Section 4, and outcome classification.
+
+Two results "coincide" when the tables have precisely the same number of
+columns, with the same names and in the same order, and precisely the same
+rows with the same multiplicities (row order is arbitrary).  In addition,
+the paper's Oracle campaign counts a trial as agreement when *both* sides
+raise an ambiguity error for the same query; :class:`Outcome` captures
+either a table or a classified error so the runner can compare uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import AmbiguousReferenceError, CompileError, ReproError
+from ..core.table import Table
+
+__all__ = ["Outcome", "capture", "tables_coincide", "explain_difference"]
+
+ERROR_AMBIGUOUS = "ambiguous"
+ERROR_COMPILE = "compile"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Either a result table or a classified error."""
+
+    table: Optional[Table] = None
+    error: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.error is not None
+
+    def agrees_with(self, other: "Outcome") -> bool:
+        if self.is_error or other.is_error:
+            return self.error == other.error
+        return tables_coincide(self.table, other.table)
+
+
+def capture(fn) -> Outcome:
+    """Run a niladic callable, capturing tables and classified errors."""
+    try:
+        table = fn()
+    except AmbiguousReferenceError as exc:
+        return Outcome(error=ERROR_AMBIGUOUS, detail=str(exc))
+    except CompileError as exc:
+        return Outcome(error=ERROR_COMPILE, detail=str(exc))
+    except ReproError as exc:  # pragma: no cover - unexpected classes
+        return Outcome(error=type(exc).__name__, detail=str(exc))
+    return Outcome(table=table)
+
+
+def tables_coincide(left: Table, right: Table) -> bool:
+    """Section 4's criterion: same columns (names, order), same bag of rows."""
+    return left.same_as(right)
+
+
+def explain_difference(left: Outcome, right: Outcome) -> str:
+    """A human-readable account of why two outcomes differ."""
+    if left.agrees_with(right):
+        return "outcomes agree"
+    if left.is_error != right.is_error:
+        errored, ok = (left, right) if left.is_error else (right, left)
+        return (
+            f"one side raised {errored.error} ({errored.detail}) while the "
+            f"other returned {len(ok.table)} row(s)"
+        )
+    if left.is_error:
+        return f"different errors: {left.error} vs {right.error}"
+    if left.table.columns != right.table.columns:
+        return f"different columns: {left.table.columns} vs {right.table.columns}"
+    missing = []
+    for record in set(left.table.bag.distinct()) | set(right.table.bag.distinct()):
+        lcount = left.table.multiplicity(record)
+        rcount = right.table.multiplicity(record)
+        if lcount != rcount:
+            missing.append(f"{record!r}: {lcount} vs {rcount}")
+    return "different multiplicities: " + "; ".join(missing[:10])

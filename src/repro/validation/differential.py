@@ -1,0 +1,124 @@
+"""Differential testing across every implementation in the repository.
+
+The Section 4 experiment compares two implementations (formal semantics vs
+RDBMS).  This module generalizes it to an n-way differential harness: for a
+random data manipulation query it evaluates
+
+* the formal semantics (Figures 4–7),
+* the reference engine (both dialects),
+* the SQL-RA translation (Figure 9),
+* the desugared pure-RA translation (Proposition 2),
+* the two-valued translations (Figure 10, both equality modes),
+
+and requires all of them to coincide.  Any bug in any component shows up as
+a disagreement with a seed that reproduces it — the repository's strongest
+internal consistency check, used by the tests and the T1/T2 benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..algebra.desugar import desugar
+from ..algebra.semantics import RASemantics
+from ..algebra.translate import to_sqlra
+from ..core.schema import Schema, validation_schema
+from ..core.table import Table
+from ..engine.engine import Engine
+from ..generator.config import DM_CONFIG, GeneratorConfig
+from ..generator.datafiller import DataFillerConfig, fill_database
+from ..generator.queries import QueryGenerator
+from ..semantics.evaluator import SqlSemantics
+from ..semantics.two_valued import TwoValuedTranslator
+
+__all__ = ["DifferentialRunner", "DifferentialReport"]
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate of an n-way differential campaign."""
+
+    trials: int = 0
+    agreements: int = 0
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        return (
+            f"differential: {self.agreements}/{self.trials} trials with all "
+            f"implementations in agreement; {len(self.disagreements)} failure(s)"
+        )
+
+
+class DifferentialRunner:
+    """Runs every implementation on the same random inputs."""
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        generator_config: GeneratorConfig = DM_CONFIG,
+        data_config: Optional[DataFillerConfig] = None,
+    ):
+        if not generator_config.data_manipulation_only:
+            raise ValueError(
+                "the differential runner needs data manipulation queries "
+                "(every implementation must be applicable)"
+            )
+        self.schema = schema if schema is not None else validation_schema(5)
+        self.generator_config = generator_config
+        self.data_config = (
+            data_config if data_config is not None else DataFillerConfig(max_rows=4)
+        )
+        self.semantics = SqlSemantics(self.schema)
+        self.ra = RASemantics(self.schema)
+        self.engines = {
+            "engine:postgres": Engine(self.schema, "postgres"),
+            "engine:oracle": Engine(self.schema, "oracle"),
+        }
+        self.translators = {
+            "2vl:conflating": TwoValuedTranslator(self.schema, "conflating"),
+            "2vl:syntactic": TwoValuedTranslator(self.schema, "syntactic"),
+        }
+
+    def run_trial(self, seed: int) -> Dict[str, Table]:
+        """All implementations' outputs for the query/database of ``seed``."""
+        rng = random.Random(seed)
+        query = QueryGenerator(self.schema, self.generator_config, rng).generate()
+        db = fill_database(self.schema, rng, self.data_config)
+        results: Dict[str, Table] = {}
+        results["semantics"] = self.semantics.run(query, db)
+        for name, engine in self.engines.items():
+            results[name] = engine.execute(query, db)
+        sqlra = to_sqlra(query, self.schema)
+        results["sqlra"] = self.ra.evaluate(sqlra, db)
+        results["pure-ra"] = self.ra.evaluate(desugar(sqlra, self.schema), db)
+        for name, translator in self.translators.items():
+            translated = translator.translate_query(query)
+            two_valued = SqlSemantics(self.schema, logic=translator.logic)
+            results[name] = two_valued.run(translated, db)
+        return results
+
+    def run(self, trials: int, base_seed: int = 0) -> DifferentialReport:
+        report = DifferentialReport()
+        for i in range(trials):
+            seed = base_seed + i
+            results = self.run_trial(seed)
+            report.trials += 1
+            reference = results["semantics"]
+            mismatched = [
+                name
+                for name, table in results.items()
+                if not table.same_as(reference)
+            ]
+            if mismatched:
+                report.disagreements.append(
+                    f"seed {seed}: {', '.join(mismatched)} disagree with the semantics"
+                )
+            else:
+                report.agreements += 1
+        return report

@@ -1,0 +1,42 @@
+"""Text reports for validation campaigns and equivalence experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .runner import CampaignReport
+
+__all__ = ["format_table", "format_campaigns"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (used by the benchmark harness)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [line, "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |", line]
+    for row in materialized:
+        out.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    out.append(line)
+    return "\n".join(out)
+
+
+def format_campaigns(reports: Iterable[CampaignReport]) -> str:
+    """One row per campaign: the Section 4 headline numbers."""
+    rows = [
+        (
+            report.variant,
+            report.trials,
+            report.agreements,
+            report.error_agreements,
+            len(report.mismatches),
+            f"{report.agreement_rate:.4%}",
+        )
+        for report in reports
+    ]
+    return format_table(
+        ("variant", "trials", "agree", "both-error", "mismatch", "rate"), rows
+    )

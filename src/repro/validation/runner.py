@@ -1,0 +1,152 @@
+"""The Section 4 validation campaign: formal semantics vs reference engine.
+
+For each trial the runner generates a random query and a random database,
+evaluates the query with the variant-adjusted formal semantics and with the
+matching reference-engine dialect, and compares the outcomes under the
+correctness criterion.  Two variants are provided, mirroring the paper's
+two adjusted implementations:
+
+* ``postgres`` — compositional star semantics against the positional-star
+  engine dialect (no ambiguity errors can arise from ``SELECT *``);
+* ``oracle`` — the standard Figures 4–7 semantics (with a compile-time
+  ambiguity check, as Oracle rejects such queries before execution) against
+  the name-based engine dialect.
+
+The paper ran 100,000 trials per variant and observed full agreement; the
+runner reproduces that experiment at any scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.schema import Database, Schema, validation_schema
+from ..engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from ..generator.config import GeneratorConfig, PAPER_CONFIG
+from ..generator.datafiller import DataFillerConfig, fill_database
+from ..generator.queries import QueryGenerator
+from ..semantics import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
+from ..sql.ast import Query
+from ..sql.typecheck import check_query
+from .compare import Outcome, capture, explain_difference
+
+__all__ = ["ValidationRunner", "TrialResult", "CampaignReport", "VARIANTS"]
+
+VARIANTS = ("postgres", "oracle")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One compared trial."""
+
+    seed: int
+    agreed: bool
+    semantics: Outcome
+    engine: Outcome
+    query: Query
+
+    @property
+    def both_errored(self) -> bool:
+        return self.semantics.is_error and self.engine.is_error
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated results of a validation campaign."""
+
+    variant: str
+    trials: int = 0
+    agreements: int = 0
+    error_agreements: int = 0
+    mismatches: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreements / self.trials if self.trials else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"variant={self.variant} trials={self.trials} "
+            f"agreements={self.agreements} "
+            f"(of which both-error: {self.error_agreements}) "
+            f"mismatches={len(self.mismatches)} "
+            f"rate={self.agreement_rate:.4%}"
+        )
+
+
+class ValidationRunner:
+    """Compares the formal semantics against the engine on random inputs."""
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        variant: str = "postgres",
+        generator_config: GeneratorConfig = PAPER_CONFIG,
+        data_config: Optional[DataFillerConfig] = None,
+    ):
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        self.schema = schema if schema is not None else validation_schema()
+        self.variant = variant
+        self.generator_config = generator_config
+        # Small default row cap: the semantics computes Cartesian products,
+        # and the shape of the experiment does not depend on table size.
+        self.data_config = (
+            data_config
+            if data_config is not None
+            else DataFillerConfig(max_rows=6)
+        )
+        if variant == "postgres":
+            self.star_style = STAR_COMPOSITIONAL
+            self.semantics = SqlSemantics(self.schema, star_style=STAR_COMPOSITIONAL)
+            self.engine = Engine(self.schema, DIALECT_POSTGRES)
+        else:
+            self.star_style = STAR_STANDARD
+            self.semantics = SqlSemantics(self.schema, star_style=STAR_STANDARD)
+            self.engine = Engine(self.schema, DIALECT_ORACLE)
+
+    # -- single trial ---------------------------------------------------------
+
+    def run_trial(self, seed: int) -> TrialResult:
+        rng = random.Random(seed)
+        generator = QueryGenerator(self.schema, self.generator_config, rng)
+        query = generator.generate()
+        db = fill_database(self.schema, rng, self.data_config)
+        return self.compare(query, db, seed=seed)
+
+    def compare(self, query: Query, db: Database, seed: int = -1) -> TrialResult:
+        def semantics_side():
+            # The static check mirrors the RDBMS compiler: ambiguous
+            # references are rejected before evaluation.
+            check_query(query, self.schema, star_style=self.star_style)
+            return self.semantics.run(query, db)
+
+        semantics_outcome = capture(semantics_side)
+        engine_outcome = capture(lambda: self.engine.execute(query, db))
+        agreed = semantics_outcome.agrees_with(engine_outcome)
+        return TrialResult(seed, agreed, semantics_outcome, engine_outcome, query)
+
+    # -- campaign ---------------------------------------------------------------
+
+    def run(self, trials: int, base_seed: int = 0) -> CampaignReport:
+        report = CampaignReport(variant=self.variant)
+        for i in range(trials):
+            result = self.run_trial(base_seed + i)
+            report.trials += 1
+            if result.agreed:
+                report.agreements += 1
+                if result.both_errored:
+                    report.error_agreements += 1
+            else:
+                report.mismatches.append(result)
+        return report
+
+    def explain(self, result: TrialResult) -> str:
+        from ..sql.printer import print_query
+
+        return (
+            f"seed {result.seed}: {explain_difference(result.semantics, result.engine)}\n"
+            f"  query: {print_query(result.query)}"
+        )

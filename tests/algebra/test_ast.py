@@ -1,0 +1,103 @@
+"""RA/SQL-RA AST invariants: purity, traversal, constructors."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Attr,
+    Dedup,
+    Empty,
+    InExpr,
+    Product,
+    Projection,
+    R_FALSE,
+    R_TRUE,
+    RAnd,
+    Relation,
+    Renaming,
+    RNot,
+    ROr,
+    RPredicate,
+    Selection,
+    UnionOp,
+    condition_is_pure,
+    is_pure,
+    rand_all,
+    ror_all,
+    walk_expressions,
+)
+
+
+def test_pure_expression():
+    expr = Projection(Selection(Relation("R"), R_TRUE), ("A",))
+    assert is_pure(expr)
+
+
+def test_empty_condition_impure():
+    expr = Selection(Relation("R"), Empty(Relation("S")))
+    assert not is_pure(expr)
+    assert not condition_is_pure(Empty(Relation("S")))
+
+
+def test_in_condition_impure():
+    assert not condition_is_pure(InExpr((1,), Relation("S")))
+
+
+def test_impurity_through_connectives():
+    cond = RAnd(R_TRUE, RNot(ROr(R_FALSE, Empty(Relation("S")))))
+    assert not condition_is_pure(cond)
+
+
+def test_nested_impurity_detected():
+    inner = Selection(Relation("S"), InExpr((Attr("C"),), Relation("R")))
+    outer = Selection(Relation("R"), Empty(inner))
+    assert not is_pure(outer)
+    # And purity of the part that wraps it but contains no extension:
+    assert is_pure(Dedup(Relation("R")))
+
+
+def test_walk_expressions_visits_condition_subexpressions():
+    inner = Relation("S")
+    expr = Selection(Relation("R"), Empty(inner))
+    visited = list(walk_expressions(expr))
+    assert inner in visited
+    assert expr in visited
+    assert Relation("R") in visited
+
+
+def test_walk_expressions_binary():
+    expr = UnionOp(Relation("R"), Product(Relation("S"), Relation("T")))
+    names = [e.name for e in walk_expressions(expr) if isinstance(e, Relation)]
+    assert sorted(names) == ["R", "S", "T"]
+
+
+def test_rand_all_ror_all():
+    assert rand_all([]) == R_TRUE
+    assert ror_all([]) == R_FALSE
+    a = RPredicate("=", (1, 1))
+    b = RPredicate("=", (2, 2))
+    assert rand_all([a, b]) == RAnd(a, b)
+    assert ror_all([a, b]) == ROr(a, b)
+    assert rand_all([a]) == a
+
+
+def test_projection_requires_attributes():
+    with pytest.raises(ValueError):
+        Projection(Relation("R"), ())
+
+
+def test_in_requires_terms():
+    with pytest.raises(ValueError):
+        InExpr((), Relation("R"))
+
+
+def test_renaming_length_checked():
+    with pytest.raises(ValueError):
+        Renaming(Relation("R"), ("A",), ("X", "Y"))
+
+
+def test_nodes_hashable_and_comparable():
+    a = Selection(Relation("R"), RPredicate("=", (Attr("A"), 1)))
+    b = Selection(Relation("R"), RPredicate("=", (Attr("A"), 1)))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1

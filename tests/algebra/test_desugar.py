@@ -1,0 +1,237 @@
+"""Proposition 2: SQL-RA desugars to pure RA (α-renaming, two-valuing,
+∈-elimination, decorrelation into semijoins)."""
+
+import random
+
+import pytest
+
+from repro.algebra.ast import (
+    Attr,
+    Empty,
+    InExpr,
+    Product,
+    Projection,
+    R_TRUE,
+    RAnd,
+    Relation,
+    RNot,
+    ROr,
+    RPredicate,
+    Selection,
+    is_pure,
+)
+from repro.algebra.desugar import alpha_rename, desugar, two_value_condition
+from repro.algebra.semantics import EMPTY_RA_ENV, RAEnvironment, RASemantics
+from repro.algebra.translate import to_sqlra
+from repro.algebra.typecheck import signature
+from repro.core import NULL, Database, Schema, validation_schema
+from repro.core.errors import IllFormedExpressionError
+from repro.core.truth import FALSE, TRUE
+from repro.generator import DM_CONFIG, DataFillerConfig, QueryGenerator, fill_database
+from repro.semantics import SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("C",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [(1, 2), (1, 2), (NULL, 3), (2, NULL)], "S": [(1,), (NULL,)]},
+    )
+
+
+@pytest.fixture
+def ra(schema):
+    return RASemantics(schema)
+
+
+# -- α-renaming ----------------------------------------------------------------
+
+
+def test_alpha_rename_preserves_data(ra, schema, db):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("A"), 1)))
+    renamed = alpha_rename(expr, schema)
+    t = ra.evaluate(renamed, db)
+    assert sorted(t.bag) == [(1, 2), (1, 2)]
+    assert signature(renamed, schema) != ("A", "B")  # labels freshened
+
+
+def test_alpha_rename_handles_shadowing(ra, schema, db):
+    """A condition name bound by the inner scope must not be rewritten to the
+    outer scope's fresh name."""
+    inner = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("A"))))
+    outer = Selection(Relation("R"), RNot(Empty(inner)))
+    renamed = alpha_rename(outer, schema)
+    assert ra.evaluate(renamed, db).bag == ra.evaluate(outer, db).bag
+
+
+def test_alpha_rename_rejects_free_names(schema):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("Zfree"), 1)))
+    with pytest.raises(IllFormedExpressionError):
+        alpha_rename(expr, schema)
+
+
+# -- two-valuing ------------------------------------------------------------------
+
+
+def test_two_value_predicate_guarded(ra, schema, db):
+    cond = RPredicate("=", (Attr("X"), Attr("Y")))
+    tt = two_value_condition(cond, schema)
+    env_null = RAEnvironment({"X": NULL, "Y": 1})
+    assert ra.eval_condition(tt, db, env_null) is FALSE  # was u, now f
+    env_eq = RAEnvironment({"X": 1, "Y": 1})
+    assert ra.eval_condition(tt, db, env_eq) is TRUE
+
+
+def test_two_value_negation(ra, schema, db):
+    cond = RNot(RPredicate("=", (Attr("X"), 1)))
+    tt = two_value_condition(cond, schema)
+    env = RAEnvironment({"X": NULL})
+    # ¬u is u under 3VL; the t-translation must give f, not t.
+    assert ra.eval_condition(tt, db, env) is FALSE
+
+
+def test_two_value_literal_null_argument(ra, schema, db):
+    tt = two_value_condition(RPredicate("=", (NULL, NULL)), schema)
+    assert ra.eval_condition(tt, db, EMPTY_RA_ENV) is FALSE
+
+
+def test_two_value_matches_is_true_everywhere(ra, schema, db):
+    """For every row of R, θᵗ is t exactly when θ is t (θ over A, B)."""
+    conditions = [
+        RPredicate("=", (Attr("A"), Attr("B"))),
+        RNot(RPredicate("<", (Attr("A"), Attr("B")))),
+        RAnd(RPredicate("=", (Attr("A"), 1)), RNot(RPredicate("=", (Attr("B"), NULL)))),
+        ROr(RNot(RPredicate("=", (Attr("A"), 1))), RPredicate(">", (Attr("B"), 2))),
+    ]
+    for condition in conditions:
+        tt = two_value_condition(condition, schema)
+        for row in db.table("R").bag.distinct():
+            env = RAEnvironment.for_record(("A", "B"), row)
+            original = ra.eval_condition(condition, db, env)
+            translated = ra.eval_condition(tt, db, env)
+            assert translated in (TRUE, FALSE)
+            assert (translated is TRUE) == (original is TRUE)
+
+
+def test_two_value_false_translation(ra, schema, db):
+    for condition in [
+        RPredicate("=", (Attr("A"), Attr("B"))),
+        RNot(RPredicate("=", (Attr("A"), 1))),
+    ]:
+        ff = two_value_condition(condition, schema, want_true=False)
+        for row in db.table("R").bag.distinct():
+            env = RAEnvironment.for_record(("A", "B"), row)
+            original = ra.eval_condition(condition, db, env)
+            translated = ra.eval_condition(ff, db, env)
+            assert (translated is TRUE) == (original is FALSE)
+
+
+# -- full desugaring ------------------------------------------------------------------
+
+
+def desugared_equals(expr, ra, schema, db):
+    pure = desugar(expr, schema)
+    assert is_pure(pure)
+    assert signature(pure, schema) == signature(expr, schema)
+    expected = ra.evaluate(expr, db)
+    got = ra.evaluate(pure, db)
+    assert got.same_as(expected)
+    return pure
+
+
+def test_pure_expression_unchanged_semantics(ra, schema, db):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("A"), 1)))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_uncorrelated_empty(ra, schema, db):
+    expr = Selection(Relation("R"), Empty(Selection(Relation("S"), RPredicate("=", (Attr("C"), 7)))))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_uncorrelated_nonempty(ra, schema, db):
+    expr = Selection(Relation("R"), RNot(Empty(Relation("S"))))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_correlated_empty(ra, schema, db):
+    inner = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("A"))))
+    expr = Selection(Relation("R"), Empty(inner))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_correlated_in(ra, schema, db):
+    expr = Selection(Relation("R"), InExpr((Attr("A"),), Relation("S")))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_negated_in_three_valued_subtlety(ra, schema, db):
+    """¬(A ∈ S) with S containing NULL: u rows must not survive σ."""
+    expr = Selection(Relation("R"), RNot(InExpr((Attr("A"),), Relation("S"))))
+    pure = desugared_equals(expr, ra, schema, db)
+    # Sanity: with S = {1, NULL}, no row has ¬(A ∈ S) true.
+    assert ra.evaluate(pure, db).is_empty()
+
+
+def test_in_with_correlated_source(ra, schema, db):
+    inner = Selection(Relation("S"), RPredicate("<", (Attr("C"), Attr("B"))))
+    expr = Selection(Relation("R"), InExpr((Attr("A"),), inner))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_disjunction_of_empties(ra, schema, db):
+    inner1 = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("A"))))
+    inner2 = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("B"))))
+    expr = Selection(Relation("R"), ROr(Empty(inner1), RNot(Empty(inner2))))
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_nested_correlation_two_levels(ra, schema, db):
+    """empty(F) where F itself contains a correlated emptiness test."""
+    innermost = Selection(
+        Relation("S"), RPredicate("=", (Attr("C"), Attr("A")))
+    )
+    middle = Selection(
+        Relation("R"),
+        RAnd(RPredicate("=", (Attr("B"), 2)), Empty(innermost)),
+    )
+    middle_projected = Projection(middle, ("B",))
+    expr = Selection(Relation("S"), RNot(Empty(middle_projected)))
+    # Note: A in `innermost` is bound by the *middle* R, not the outer S.
+    desugared_equals(expr, ra, schema, db)
+
+
+def test_desugar_rejects_free_parameters(schema):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("A"), Attr("Zfree"))))
+    with pytest.raises(IllFormedExpressionError):
+        desugar(expr, schema)
+
+
+def test_desugar_preserves_multiplicities(ra, schema, db):
+    """Semijoin branches must preserve bag multiplicities exactly."""
+    expr = Selection(Relation("R"), RNot(Empty(Relation("S"))))
+    pure = desugar(expr, schema)
+    assert ra.evaluate(pure, db).multiplicity((1, 2)) == 2
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_randomized_sqlra_desugar_equivalence(seed):
+    """to_sqlra(Q) and desugar(to_sqlra(Q)) agree on random DM queries."""
+    schema = validation_schema(4)
+    rng = random.Random(seed)
+    generator = QueryGenerator(schema, DM_CONFIG, rng)
+    query = generator.generate()
+    db = fill_database(schema, rng, DataFillerConfig(max_rows=3))
+    ra = RASemantics(schema)
+    sqlra = to_sqlra(query, schema)
+    pure = desugar(sqlra, schema)
+    assert is_pure(pure)
+    expected = SqlSemantics(schema).run(query, db)
+    assert ra.evaluate(sqlra, db).same_as(expected)
+    assert ra.evaluate(pure, db).same_as(expected)

@@ -1,0 +1,201 @@
+"""Derived operators: ≐, syntactic join, semijoin/antijoin, π^α_β."""
+
+import pytest
+
+from repro.algebra.ast import Attr, Relation, is_pure
+from repro.algebra.ops import (
+    NameSupply,
+    antijoin,
+    generalized_projection,
+    natural_join_syntactic,
+    rename_one,
+    semijoin,
+    syn_eq,
+)
+from repro.algebra.semantics import EMPTY_RA_ENV, RAEnvironment, RASemantics
+from repro.algebra.typecheck import signature
+from repro.core import NULL, Database, Schema
+from repro.core.errors import IllFormedExpressionError
+from repro.core.truth import FALSE, TRUE
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("B", "C"), "P": ("A",), "Q": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {
+            "R": [(1, 2), (1, 2), (NULL, 2), (3, NULL)],
+            "S": [(2, 5), (NULL, 6)],
+            "P": [(1,), (NULL,), (1,)],
+            "Q": [(NULL,), (2,)],
+        },
+    )
+
+
+@pytest.fixture
+def ra(schema):
+    return RASemantics(schema)
+
+
+class TestSynEq:
+    """Definition 2: t1 ≐ t2 is two-valued and treats NULL as a value."""
+
+    def check(self, ra, db, a, b):
+        return ra.eval_condition(syn_eq(a, b), db, EMPTY_RA_ENV)
+
+    def test_equal_constants(self, ra, db):
+        assert self.check(ra, db, 1, 1) is TRUE
+
+    def test_unequal_constants(self, ra, db):
+        assert self.check(ra, db, 1, 2) is FALSE
+
+    def test_null_eq_null_true(self, ra, db):
+        assert self.check(ra, db, NULL, NULL) is TRUE
+
+    def test_null_vs_constant_false(self, ra, db):
+        assert self.check(ra, db, NULL, 1) is FALSE
+        assert self.check(ra, db, 1, NULL) is FALSE
+
+    def test_with_attributes(self, ra, db):
+        env = RAEnvironment({"X": NULL, "Y": NULL, "Z": 3})
+        cond = syn_eq(Attr("X"), Attr("Y"))
+        assert ra.eval_condition(cond, db, env) is TRUE
+        cond2 = syn_eq(Attr("X"), Attr("Z"))
+        assert ra.eval_condition(cond2, db, env) is FALSE
+
+
+def test_name_supply_freshness():
+    supply = NameSupply(["x", "x_1"])
+    assert supply.fresh("x") == "x_2"
+    assert supply.fresh("y") == "y"
+    assert supply.fresh("y") != "y"
+
+
+def test_rename_one(ra, schema, db):
+    expr = rename_one(Relation("R"), schema, "A", "Z")
+    assert signature(expr, schema) == ("Z", "B")
+    assert ra.evaluate(expr, db).multiplicity((1, 2)) == 2
+
+
+def test_rename_one_noop(schema):
+    assert rename_one(Relation("R"), schema, "A", "A") == Relation("R")
+
+
+class TestSyntacticJoin:
+    def test_signature(self, ra, schema, db):
+        joined = natural_join_syntactic(Relation("R"), Relation("S"), schema)
+        assert signature(joined, schema) == ("A", "B", "C")
+
+    def test_matches_on_common_column(self, ra, schema, db):
+        joined = natural_join_syntactic(Relation("R"), Relation("S"), schema)
+        t = ra.evaluate(joined, db)
+        # B=2 rows of R join the B=2 row of S; the NULL B joins NULL B of S.
+        assert t.multiplicity((1, 2, 5)) == 2
+        assert t.multiplicity((NULL, 2, 5)) == 1
+        assert t.multiplicity((3, NULL, 6)) == 1
+        assert len(t) == 4
+
+    def test_null_joins_null_syntactically(self, ra, schema, db):
+        """The ⋈ˢ comparison is ≐, so NULL matches NULL."""
+        joined = natural_join_syntactic(Relation("R"), Relation("S"), schema)
+        t = ra.evaluate(joined, db)
+        assert t.multiplicity((3, NULL, 6)) == 1
+
+    def test_no_common_columns_is_product(self, ra, schema, db):
+        joined = natural_join_syntactic(Relation("P"), Relation("S"), schema)
+        t = ra.evaluate(joined, db)
+        assert len(t) == 6
+
+    def test_pure(self, schema):
+        assert is_pure(natural_join_syntactic(Relation("R"), Relation("S"), schema))
+
+
+class TestSemijoinAntijoin:
+    def test_semijoin_preserves_multiplicity(self, ra, schema, db):
+        expr = semijoin(Relation("P"), Relation("Q"), schema)
+        t = ra.evaluate(expr, db)
+        # P rows with A ∈ Q (syntactically): NULL matches, 1 does not.
+        assert t.multiplicity((NULL,)) == 1
+        assert t.multiplicity((1,)) == 0
+
+    def test_antijoin_is_complement(self, ra, schema, db):
+        semi = ra.evaluate(semijoin(Relation("P"), Relation("Q"), schema), db)
+        anti = ra.evaluate(antijoin(Relation("P"), Relation("Q"), schema), db)
+        full = ra.evaluate(Relation("P"), db)
+        assert semi.bag.union(anti.bag) == full.bag
+
+    def test_semijoin_empty_right(self, ra, schema):
+        db = Database(schema, {"P": [(1,)], "Q": []})
+        assert ra.evaluate(semijoin(Relation("P"), Relation("Q"), schema), db).is_empty()
+        anti = ra.evaluate(antijoin(Relation("P"), Relation("Q"), schema), db)
+        assert anti.multiplicity((1,)) == 1
+
+    def test_uncorrelated_style_no_common_columns(self, ra, schema, db):
+        """With disjoint signatures the semijoin acts as a nonemptiness gate."""
+        expr = semijoin(Relation("P"), Relation("S"), schema)
+        t = ra.evaluate(expr, db)
+        assert t.bag == ra.evaluate(Relation("P"), db).bag
+
+
+class TestGeneralizedProjection:
+    def test_simple_rename(self, ra, schema, db):
+        expr = generalized_projection(Relation("R"), ("A",), ("X",), schema)
+        t = ra.evaluate(expr, db)
+        assert t.columns == ("X",)
+        assert t.multiplicity((1,)) == 2
+
+    def test_identity_projection(self, ra, schema, db):
+        expr = generalized_projection(Relation("R"), ("B",), ("B",), schema)
+        t = ra.evaluate(expr, db)
+        assert t.columns == ("B",)
+
+    def test_swap_columns(self, ra, schema, db):
+        expr = generalized_projection(Relation("R"), ("B", "A"), ("A", "B"), schema)
+        t = ra.evaluate(expr, db)
+        assert t.columns == ("A", "B")
+        assert t.multiplicity((2, 1)) == 2
+
+    def test_duplicated_column(self, ra, schema, db):
+        """π^{(A,A)}_{(X,Y)}: duplication via syntactic self-joins, with
+        multiplicities preserved — including NULL values."""
+        expr = generalized_projection(Relation("R"), ("A", "A"), ("X", "Y"), schema)
+        assert is_pure(expr)
+        t = ra.evaluate(expr, db)
+        assert t.columns == ("X", "Y")
+        assert t.multiplicity((1, 1)) == 2
+        assert t.multiplicity((NULL, NULL)) == 1
+        assert t.multiplicity((3, 3)) == 1
+        assert len(t) == 4
+
+    def test_triple_duplication(self, ra, schema, db):
+        expr = generalized_projection(
+            Relation("P"), ("A", "A", "A"), ("X", "Y", "Z"), schema
+        )
+        t = ra.evaluate(expr, db)
+        assert t.multiplicity((1, 1, 1)) == 2
+        assert t.multiplicity((NULL, NULL, NULL)) == 1
+
+    def test_mixed_duplicate_and_plain(self, ra, schema, db):
+        expr = generalized_projection(
+            Relation("R"), ("A", "B", "A"), ("X", "Y", "Z"), schema
+        )
+        t = ra.evaluate(expr, db)
+        assert t.multiplicity((1, 2, 1)) == 2
+        assert t.multiplicity((3, NULL, 3)) == 1
+
+    def test_beta_repetition_rejected(self, schema):
+        with pytest.raises(IllFormedExpressionError):
+            generalized_projection(Relation("R"), ("A", "B"), ("X", "X"), schema)
+
+    def test_length_mismatch_rejected(self, schema):
+        with pytest.raises(IllFormedExpressionError):
+            generalized_projection(Relation("R"), ("A",), ("X", "Y"), schema)
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(IllFormedExpressionError):
+            generalized_projection(Relation("R"), ("Z",), ("X",), schema)

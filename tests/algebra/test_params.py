@@ -1,0 +1,104 @@
+"""param(E) and param(θ, A): the free names of SQL-RA expressions."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Attr,
+    Dedup,
+    Empty,
+    InExpr,
+    Product,
+    Projection,
+    R_TRUE,
+    RAnd,
+    Relation,
+    Renaming,
+    RNot,
+    RPredicate,
+    NullTest,
+    Selection,
+    UnionOp,
+)
+from repro.algebra.params import condition_params, params, term_names
+from repro.core.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("C",)})
+
+
+def test_term_names():
+    assert term_names((Attr("A"), 1, "x", Attr("B"))) == {"A", "B"}
+
+
+def test_base_relation_no_params(schema):
+    assert params(Relation("R"), schema) == frozenset()
+
+
+def test_selection_binds_its_signature(schema):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("A"), Attr("P"))))
+    assert params(expr, schema) == {"P"}
+
+
+def test_fully_local_selection(schema):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("A"), Attr("B"))))
+    assert params(expr, schema) == frozenset()
+
+
+def test_projection_and_dedup_pass_through(schema):
+    inner = Selection(Relation("R"), NullTest(Attr("Q")))
+    assert params(Projection(inner, ("A",)), schema) == {"Q"}
+    assert params(Dedup(inner), schema) == {"Q"}
+
+
+def test_renaming_passes_through(schema):
+    inner = Selection(Relation("R"), NullTest(Attr("Q")))
+    assert params(Renaming(inner, ("A", "B"), ("X", "Y")), schema) == {"Q"}
+
+
+def test_binary_ops_union_params(schema):
+    left = Selection(Relation("R"), NullTest(Attr("P")))
+    right = Selection(Relation("R"), NullTest(Attr("Q")))
+    assert params(UnionOp(left, right), schema) == {"P", "Q"}
+
+
+def test_product_params(schema):
+    left = Selection(Relation("R"), NullTest(Attr("P")))
+    assert params(Product(left, Relation("S")), schema) == {"P"}
+
+
+def test_empty_condition_shielded_by_bound_names(schema):
+    """param(empty(E), A) = param(E) − A: the enclosing row binds names."""
+    inner = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("A"))))
+    outer = Selection(Relation("R"), Empty(inner))
+    assert params(outer, schema) == frozenset()  # A is bound by R's signature
+
+
+def test_in_condition_contributes_term_names(schema):
+    cond = InExpr((Attr("X"),), Relation("S"))
+    assert condition_params(cond, frozenset(), schema) == {"X"}
+    assert condition_params(cond, frozenset({"X"}), schema) == frozenset()
+
+
+def test_nested_correlation_two_levels(schema):
+    innermost = Selection(
+        Relation("S"), RAnd(NullTest(Attr("A")), NullTest(Attr("Z")))
+    )
+    middle = Selection(Relation("R"), Empty(innermost))
+    # A is bound by R; Z is still free.
+    assert params(middle, schema) == {"Z"}
+
+
+def test_not_passes_through(schema):
+    cond = RNot(NullTest(Attr("W")))
+    assert condition_params(cond, frozenset(), schema) == {"W"}
+
+
+def test_constants_are_not_params(schema):
+    cond = RPredicate("=", (1, "x"))
+    assert condition_params(cond, frozenset(), schema) == frozenset()
+
+
+def test_true_has_no_params(schema):
+    assert condition_params(R_TRUE, frozenset(), schema) == frozenset()

@@ -1,0 +1,115 @@
+"""Pretty-printing of RA expressions in the paper's notation."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    R_FALSE,
+    R_TRUE,
+    RAnd,
+    Relation,
+    Renaming,
+    RNot,
+    ROr,
+    RPredicate,
+    Selection,
+    UnionOp,
+)
+from repro.algebra.printer import (
+    print_condition,
+    print_expression,
+    print_expression_tree,
+    print_term,
+)
+from repro.core.values import NULL
+
+
+def test_terms():
+    assert print_term(Attr("A")) == "A"
+    assert print_term(NULL) == "NULL"
+    assert print_term(3) == "3"
+    assert print_term("o'k") == "'o''k'"
+
+
+def test_relation():
+    assert print_expression(Relation("R")) == "R"
+
+
+def test_projection_and_selection():
+    expr = Projection(Selection(Relation("R"), R_TRUE), ("A", "B"))
+    assert print_expression(expr) == "π_{A, B}(σ_{TRUE}(R))"
+
+
+def test_binary_operators():
+    r, s = Relation("R"), Relation("S")
+    assert print_expression(Product(r, s)) == "(R × S)"
+    assert print_expression(UnionOp(r, s)) == "(R ∪ S)"
+    assert print_expression(IntersectionOp(r, s)) == "(R ∩ S)"
+    assert print_expression(DifferenceOp(r, s)) == "(R − S)"
+
+
+def test_renaming_shows_changes_only():
+    expr = Renaming(Relation("R"), ("A", "B"), ("A", "Z"))
+    assert print_expression(expr) == "ρ_{B→Z}(R)"
+
+
+def test_identity_renaming_elided():
+    expr = Renaming(Relation("R"), ("A",), ("A",))
+    assert print_expression(expr) == "R"
+
+
+def test_dedup():
+    assert print_expression(Dedup(Relation("R"))) == "ε(R)"
+
+
+def test_conditions():
+    assert print_condition(R_TRUE) == "TRUE"
+    assert print_condition(R_FALSE) == "FALSE"
+    assert print_condition(RPredicate("=", (Attr("A"), 1))) == "A = 1"
+    assert print_condition(NullTest(Attr("A"))) == "null(A)"
+    assert print_condition(ConstTest(Attr("A"))) == "const(A)"
+    assert (
+        print_condition(RAnd(R_TRUE, ROr(R_FALSE, RNot(R_TRUE))))
+        == "(TRUE ∧ (FALSE ∨ ¬TRUE))"
+    )
+
+
+def test_named_predicate_functional_form():
+    assert print_condition(RPredicate("LIKE", (Attr("A"), "x%"))) == "LIKE(A, 'x%')"
+
+
+def test_sqlra_conditions():
+    cond = InExpr((Attr("A"),), Relation("S"))
+    assert print_condition(cond) == "(A) ∈ [S]"
+    assert print_condition(Empty(Relation("S"))) == "empty([S])"
+
+
+def test_tree_rendering_contains_all_operators():
+    expr = Dedup(
+        Projection(
+            Selection(Product(Relation("R"), Relation("S")), R_TRUE), ("A",)
+        )
+    )
+    text = print_expression_tree(expr)
+    for fragment in ("ε", "π A", "σ TRUE", "×", "R", "S"):
+        assert fragment in text
+    # children are indented below their parents
+    lines = text.splitlines()
+    assert lines[0].startswith("ε")
+    assert lines[1].startswith("  ")
+
+
+def test_print_expression_rejects_non_expression():
+    with pytest.raises(TypeError):
+        print_expression("nope")
+    with pytest.raises(TypeError):
+        print_condition("nope")

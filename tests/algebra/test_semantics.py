@@ -1,0 +1,187 @@
+"""Figure 8: the bag semantics of relational algebra and SQL-RA conditions."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Attr,
+    ConstTest,
+    Dedup,
+    DifferenceOp,
+    Empty,
+    InExpr,
+    IntersectionOp,
+    NullTest,
+    Product,
+    Projection,
+    R_FALSE,
+    R_TRUE,
+    RAnd,
+    Relation,
+    Renaming,
+    RNot,
+    ROr,
+    RPredicate,
+    Selection,
+    UnionOp,
+)
+from repro.algebra.semantics import EMPTY_RA_ENV, RAEnvironment, RASemantics
+from repro.core import NULL, Database, Schema
+from repro.core.errors import UnboundReferenceError
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("C",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [("a", "b"), ("a", "c"), ("a", "b")], "S": [(1,), (NULL,)]},
+    )
+
+
+@pytest.fixture
+def ra(schema):
+    return RASemantics(schema)
+
+
+def test_relation(ra, db):
+    t = ra.evaluate(Relation("R"), db)
+    assert t.columns == ("A", "B")
+    assert t.multiplicity(("a", "b")) == 2
+
+
+def test_projection_bag_semantics(ra, db):
+    """The paper's example: π_A of {(a,b), (a,c)} is {a, a} (multiplicities)."""
+    t = ra.evaluate(Projection(Relation("R"), ("A",)), db)
+    assert t.multiplicity(("a",)) == 3
+
+
+def test_projection_reorders(ra, db):
+    t = ra.evaluate(Projection(Relation("R"), ("B", "A")), db)
+    assert t.columns == ("B", "A")
+    assert t.multiplicity(("b", "a")) == 2
+
+
+def test_selection_keeps_true_rows_only(ra, db):
+    expr = Selection(Relation("R"), RPredicate("=", (Attr("B"), "b")))
+    t = ra.evaluate(expr, db)
+    assert len(t) == 2
+
+
+def test_selection_drops_unknown(ra, db):
+    expr = Selection(Relation("S"), RPredicate("=", (Attr("C"), 1)))
+    t = ra.evaluate(expr, db)
+    assert sorted(t.bag) == [(1,)]  # the NULL row gives u, dropped
+
+
+def test_selection_false_constant(ra, db):
+    assert ra.evaluate(Selection(Relation("R"), R_FALSE), db).is_empty()
+
+
+def test_product(ra, db):
+    t = ra.evaluate(Product(Relation("R"), Relation("S")), db)
+    assert t.columns == ("A", "B", "C")
+    assert len(t) == 6
+    assert t.multiplicity(("a", "b", 1)) == 2
+
+
+def test_set_operations(ra, schema):
+    db = Database(
+        schema, {"R": [("x", "y"), ("x", "y"), ("z", "w")], "S": []}
+    )
+    r = Relation("R")
+    assert len(ra.evaluate(UnionOp(r, r), db)) == 6
+    assert ra.evaluate(IntersectionOp(r, r), db).multiplicity(("x", "y")) == 2
+    assert ra.evaluate(DifferenceOp(r, r), db).is_empty()
+
+
+def test_renaming_keeps_data(ra, db):
+    expr = Renaming(Relation("S"), ("C",), ("Z",))
+    t = ra.evaluate(expr, db)
+    assert t.columns == ("Z",)
+    assert t.multiplicity((1,)) == 1
+
+
+def test_dedup(ra, db):
+    t = ra.evaluate(Dedup(Relation("R")), db)
+    assert t.multiplicity(("a", "b")) == 1
+
+
+# -- conditions ----------------------------------------------------------------
+
+
+def test_condition_constants(ra, db):
+    assert ra.eval_condition(R_TRUE, db, EMPTY_RA_ENV) is TRUE
+    assert ra.eval_condition(R_FALSE, db, EMPTY_RA_ENV) is FALSE
+
+
+def test_predicate_three_valued(ra, db):
+    env = RAEnvironment({"X": NULL, "Y": 1})
+    assert ra.eval_condition(RPredicate("=", (Attr("X"), Attr("Y"))), db, env) is UNKNOWN
+    assert ra.eval_condition(RPredicate("=", (Attr("Y"), 1)), db, env) is TRUE
+
+
+def test_null_and_const_tests_two_valued(ra, db):
+    env = RAEnvironment({"X": NULL, "Y": 1})
+    assert ra.eval_condition(NullTest(Attr("X")), db, env) is TRUE
+    assert ra.eval_condition(NullTest(Attr("Y")), db, env) is FALSE
+    assert ra.eval_condition(ConstTest(Attr("X")), db, env) is FALSE
+    assert ra.eval_condition(ConstTest(Attr("Y")), db, env) is TRUE
+
+
+def test_connectives(ra, db):
+    env = RAEnvironment({"X": NULL})
+    unknown = RPredicate("=", (Attr("X"), 1))
+    assert ra.eval_condition(RAnd(unknown, R_FALSE), db, env) is FALSE
+    assert ra.eval_condition(ROr(unknown, R_TRUE), db, env) is TRUE
+    assert ra.eval_condition(RNot(unknown), db, env) is UNKNOWN
+
+
+def test_in_condition_three_valued(ra, db):
+    # S = {1, NULL}: 1 ∈ S is t; 2 ∈ S is u (the NULL row); on σ_FALSE(S) it's f.
+    s = Relation("S")
+    assert ra.eval_condition(InExpr((1,), s), db, EMPTY_RA_ENV) is TRUE
+    assert ra.eval_condition(InExpr((2,), s), db, EMPTY_RA_ENV) is UNKNOWN
+    empty_s = Selection(s, R_FALSE)
+    assert ra.eval_condition(InExpr((2,), empty_s), db, EMPTY_RA_ENV) is FALSE
+
+
+def test_empty_condition(ra, db):
+    assert ra.eval_condition(Empty(Selection(Relation("S"), R_FALSE)), db, EMPTY_RA_ENV) is TRUE
+    assert ra.eval_condition(Empty(Relation("S")), db, EMPTY_RA_ENV) is FALSE
+
+
+def test_correlated_selection_uses_environment(ra, schema, db):
+    """σ's row bindings override the outer environment (η ; η^ā)."""
+    inner = Selection(Relation("S"), RPredicate("=", (Attr("C"), Attr("P"))))
+    env = RAEnvironment({"P": 1})
+    t = ra.evaluate(inner, db, env)
+    assert sorted(t.bag) == [(1,)]
+
+
+def test_unbound_name_raises(ra, db):
+    expr = Selection(Relation("S"), RPredicate("=", (Attr("Q"), 1)))
+    with pytest.raises(UnboundReferenceError):
+        ra.evaluate(expr, db)
+
+
+def test_environment_for_record_length_mismatch():
+    with pytest.raises(ValueError):
+        RAEnvironment.for_record(("A",), (1, 2))
+
+
+def test_environment_override():
+    env = RAEnvironment({"A": 1}).override_with(("A", "B"), (9, 2))
+    assert env.lookup("A") == 9
+    assert env.lookup("B") == 2
+
+
+def test_nested_in_with_correlation(ra, schema, db):
+    """t̄ ∈ E evaluates E under the current environment (correlation)."""
+    cond = InExpr((Attr("P"),), Relation("S"))
+    assert ra.eval_condition(cond, db, RAEnvironment({"P": 1})) is TRUE
+    assert ra.eval_condition(cond, db, RAEnvironment({"P": 2})) is UNKNOWN

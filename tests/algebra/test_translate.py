@@ -1,0 +1,264 @@
+"""Figure 9 (SQL → SQL-RA), Definition 1, χ, and the converse RA → SQL."""
+
+import random
+
+import pytest
+
+from repro.algebra.ast import is_pure
+from repro.algebra.semantics import RASemantics
+from repro.algebra.translate import (
+    ChiRenaming,
+    check_data_manipulation,
+    is_data_manipulation,
+    ra_to_sql,
+    sql_to_ra,
+    to_sqlra,
+)
+from repro.algebra.typecheck import signature
+from repro.core import NULL, Database, Schema, validation_schema
+from repro.core.errors import NotDataManipulationError
+from repro.core.values import FullName
+from repro.generator import DM_CONFIG, DataFillerConfig, QueryGenerator, fill_database
+from repro.semantics import SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [(1, 2), (1, 2), (NULL, 3)], "S": [(1,), (NULL,)]},
+    )
+
+
+# -- Definition 1 --------------------------------------------------------------
+
+
+def test_star_not_data_manipulation(schema):
+    q = annotate("SELECT * FROM R", schema)
+    with pytest.raises(NotDataManipulationError):
+        check_data_manipulation(q, schema)
+
+
+def test_constants_not_data_manipulation(schema):
+    q = annotate("SELECT 1 FROM R", schema)
+    with pytest.raises(NotDataManipulationError):
+        check_data_manipulation(q, schema)
+
+
+def test_repeated_output_names_rejected(schema):
+    q = annotate("SELECT R.A AS X, R.B AS X FROM R", schema)
+    with pytest.raises(NotDataManipulationError):
+        check_data_manipulation(q, schema)
+
+
+def test_outer_reference_in_select_rejected(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT R.B FROM S)", schema
+    )
+    with pytest.raises(NotDataManipulationError):
+        check_data_manipulation(q, schema)
+
+
+def test_duplicated_column_with_distinct_names_allowed(schema):
+    """Definition 1 does not forbid duplicating columns, only output names:
+    SELECT R.A AS A1, R.A AS A2 FROM R is fine."""
+    q = annotate("SELECT R.A AS A1, R.A AS A2 FROM R", schema)
+    check_data_manipulation(q, schema)
+    assert is_data_manipulation(q, schema)
+
+
+def test_nested_queries_checked(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE R.A IN (SELECT 1 FROM S)", schema
+    )
+    assert not is_data_manipulation(q, schema)
+
+
+# -- χ -----------------------------------------------------------------------------
+
+
+def test_chi_injective_and_avoids_forbidden(schema):
+    q = annotate("SELECT R.A AS X FROM R", schema)
+    chi = ChiRenaming(q, schema)
+    names = {chi(FullName("T", a)) for T in "RST" for a in "AB" for T in [T]}
+    full_names = [FullName(t, a) for t in "RST" for a in "AB"]
+    outputs = [chi(f) for f in full_names]
+    assert len(set(outputs)) == len(full_names)  # injective
+    assert "X" not in outputs  # avoids N_Q
+    assert "A" not in outputs and "B" not in outputs  # avoids N_base
+
+
+def test_chi_stable(schema):
+    q = annotate("SELECT R.A AS X FROM R", schema)
+    chi = ChiRenaming(q, schema)
+    assert chi(FullName("R", "A")) == chi(FullName("R", "A"))
+
+
+# -- Figure 9 -----------------------------------------------------------------------
+
+
+def translated_equals_sql(text, schema, db):
+    q = annotate(text, schema)
+    expected = SqlSemantics(schema).run(q, db)
+    ra = RASemantics(schema)
+    sqlra = to_sqlra(q, schema)
+    assert ra.evaluate(sqlra, db).same_as(expected), f"SQL-RA: {text}"
+    pure = sql_to_ra(q, schema)
+    assert is_pure(pure), text
+    assert ra.evaluate(pure, db).same_as(expected), f"pure RA: {text}"
+    return pure
+
+
+def test_plain_select(schema, db):
+    translated_equals_sql("SELECT R.A, R.B FROM R", schema, db)
+
+
+def test_select_with_where(schema, db):
+    translated_equals_sql("SELECT R.A FROM R WHERE R.B = 2", schema, db)
+
+
+def test_select_distinct(schema, db):
+    translated_equals_sql("SELECT DISTINCT R.A FROM R", schema, db)
+
+
+def test_product_of_tables(schema, db):
+    translated_equals_sql("SELECT R.A, S.A AS A2 FROM R, S", schema, db)
+
+
+def test_same_table_twice(schema, db):
+    translated_equals_sql(
+        "SELECT X.A AS XA, Y.A AS YA FROM R AS X, R AS Y WHERE X.B = Y.B",
+        schema,
+        db,
+    )
+
+
+def test_duplicated_column_projection(schema, db):
+    """Duplication of columns exercises the π^α_β syntactic-join encoding,
+    including on NULL values."""
+    translated_equals_sql("SELECT R.A AS A1, R.A AS A2 FROM R", schema, db)
+
+
+def test_subquery_in_from(schema, db):
+    translated_equals_sql(
+        "SELECT U.X FROM (SELECT R.B AS X FROM R) AS U WHERE U.X = 2",
+        schema,
+        db,
+    )
+
+
+def test_is_null_condition(schema, db):
+    translated_equals_sql("SELECT R.B FROM R WHERE R.A IS NULL", schema, db)
+
+
+def test_uncorrelated_in(schema, db):
+    translated_equals_sql(
+        "SELECT R.B FROM R WHERE R.A IN (SELECT S.A FROM S)", schema, db
+    )
+
+
+def test_uncorrelated_not_in(schema, db):
+    translated_equals_sql(
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        schema,
+        db,
+    )
+
+
+def test_correlated_exists(schema, db):
+    translated_equals_sql(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+        schema,
+        db,
+    )
+
+
+def test_correlated_not_exists(schema, db):
+    translated_equals_sql(
+        "SELECT R.A FROM R WHERE NOT EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+        schema,
+        db,
+    )
+
+
+def test_boolean_combinations(schema, db):
+    translated_equals_sql(
+        "SELECT R.A FROM R WHERE (R.A = 1 OR R.B = 3) AND NOT R.A IS NULL",
+        schema,
+        db,
+    )
+
+
+@pytest.mark.parametrize("op", ["UNION", "UNION ALL", "INTERSECT", "INTERSECT ALL", "EXCEPT", "EXCEPT ALL"])
+def test_set_operations(op, schema, db):
+    translated_equals_sql(
+        f"SELECT R.A FROM R {op} SELECT S.A FROM S", schema, db
+    )
+
+
+def test_set_op_renames_right_labels(schema, db):
+    translated_equals_sql(
+        "SELECT R.A AS X FROM R UNION SELECT S.A AS Y FROM S", schema, db
+    )
+
+
+def test_example1_q1_and_q3(schema):
+    """The worked translations at the end of Section 5."""
+    rs = Schema({"R": ("A",), "S": ("A",)})
+    db = Database(rs, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+    q1 = translated_equals_sql(
+        "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", rs, db
+    )
+    q3 = translated_equals_sql(
+        "SELECT R.A FROM R EXCEPT SELECT S.A FROM S", rs, db
+    )
+    ra = RASemantics(rs)
+    assert ra.evaluate(q1, db).is_empty()
+    assert sorted(ra.evaluate(q3, db).bag) == [(1,)]
+
+
+def test_translated_signature_matches_output_labels(schema, db):
+    q = annotate("SELECT R.A AS X, R.B AS Y FROM R", schema)
+    expr = to_sqlra(q, schema)
+    assert signature(expr, schema) == ("X", "Y")
+
+
+def test_to_sqlra_rejects_non_dm(schema):
+    q = annotate("SELECT * FROM R", schema)
+    with pytest.raises(NotDataManipulationError):
+        to_sqlra(q, schema)
+
+
+# -- the converse: RA → SQL -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_ra_to_sql_round_trip(seed):
+    """RA → SQL → evaluate agrees with direct RA evaluation (standard
+    direction of Theorem 1), on RA produced from random SQL queries."""
+    schema = validation_schema(4)
+    rng = random.Random(seed)
+    generator = QueryGenerator(schema, DM_CONFIG, rng)
+    query = generator.generate()
+    db = fill_database(schema, rng, DataFillerConfig(max_rows=3))
+    pure = sql_to_ra(query, schema)
+    ra = RASemantics(schema)
+    expected = ra.evaluate(pure, db)
+    back_to_sql = ra_to_sql(pure, schema)
+    got = SqlSemantics(schema).run(back_to_sql, db)
+    assert got.same_as(expected)
+    assert is_data_manipulation(back_to_sql, schema)
+
+
+def test_ra_to_sql_rejects_impure(schema):
+    from repro.algebra.ast import Empty, R_TRUE, Relation, Selection
+
+    impure = Selection(Relation("R"), Empty(Relation("S")))
+    with pytest.raises(ValueError):
+        ra_to_sql(impure, schema)

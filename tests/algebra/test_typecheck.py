@@ -1,0 +1,110 @@
+"""Signatures ℓ(E) and well-definedness of RA expressions (Section 5)."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Dedup,
+    DifferenceOp,
+    IntersectionOp,
+    Product,
+    Projection,
+    R_TRUE,
+    Relation,
+    Renaming,
+    Selection,
+    UnionOp,
+)
+from repro.algebra.typecheck import signature
+from repro.core.errors import IllFormedExpressionError, UnknownTableError
+from repro.core.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("C",), "S2": ("A",)})
+
+
+def test_relation_signature(schema):
+    assert signature(Relation("R"), schema) == ("A", "B")
+
+
+def test_unknown_relation(schema):
+    with pytest.raises(UnknownTableError):
+        signature(Relation("X"), schema)
+
+
+def test_projection_signature(schema):
+    assert signature(Projection(Relation("R"), ("B",)), schema) == ("B",)
+
+
+def test_projection_missing_attribute(schema):
+    with pytest.raises(IllFormedExpressionError):
+        signature(Projection(Relation("R"), ("Z",)), schema)
+
+
+def test_projection_repetition_rejected(schema):
+    with pytest.raises(IllFormedExpressionError):
+        signature(Projection(Relation("R"), ("A", "A")), schema)
+
+
+def test_selection_keeps_signature(schema):
+    assert signature(Selection(Relation("R"), R_TRUE), schema) == ("A", "B")
+
+
+def test_product_concatenates(schema):
+    assert signature(Product(Relation("R"), Relation("S")), schema) == (
+        "A",
+        "B",
+        "C",
+    )
+
+
+def test_product_overlap_rejected(schema):
+    """E1 × E2 is well-defined only if ℓ(E1) and ℓ(E2) are disjoint."""
+    with pytest.raises(IllFormedExpressionError):
+        signature(Product(Relation("R"), Relation("S2")), schema)
+
+
+@pytest.mark.parametrize("op", [UnionOp, IntersectionOp, DifferenceOp])
+def test_set_ops_require_equal_signatures(op, schema):
+    with pytest.raises(IllFormedExpressionError):
+        signature(op(Relation("R"), Relation("S")), schema)
+    assert signature(op(Relation("R"), Relation("R")), schema) == ("A", "B")
+
+
+def test_renaming_signature(schema):
+    expr = Renaming(Relation("R"), ("A", "B"), ("X", "Y"))
+    assert signature(expr, schema) == ("X", "Y")
+
+
+def test_renaming_must_match_source(schema):
+    with pytest.raises(IllFormedExpressionError):
+        signature(Renaming(Relation("R"), ("A",), ("X",)), schema)
+
+
+def test_renaming_rejects_repetitions(schema):
+    with pytest.raises(IllFormedExpressionError):
+        signature(Renaming(Relation("R"), ("A", "B"), ("X", "X")), schema)
+
+
+def test_renaming_length_mismatch_rejected(schema):
+    with pytest.raises(ValueError):
+        Renaming(Relation("R"), ("A", "B"), ("X",))
+
+
+def test_dedup_keeps_signature(schema):
+    assert signature(Dedup(Relation("R")), schema) == ("A", "B")
+
+
+def test_signatures_are_repetition_free(schema):
+    """Invariant: every well-defined expression has a repetition-free ℓ(E)."""
+    exprs = [
+        Relation("R"),
+        Projection(Relation("R"), ("A",)),
+        Product(Relation("R"), Relation("S")),
+        Renaming(Relation("R"), ("A", "B"), ("B", "A")),
+        Dedup(Selection(Relation("S"), R_TRUE)),
+    ]
+    for expr in exprs:
+        labels = signature(expr, schema)
+        assert len(set(labels)) == len(labels)

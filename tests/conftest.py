@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's example databases and common schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NULL, Database, Schema, validation_schema
+
+
+@pytest.fixture
+def rs_schema() -> Schema:
+    """Example 1's schema: R(A) and S(A)."""
+    return Schema({"R": ("A",), "S": ("A",)})
+
+
+@pytest.fixture
+def rs_db(rs_schema) -> Database:
+    """Example 1's database: R = {1, NULL}, S = {NULL}."""
+    return Database(rs_schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+
+
+@pytest.fixture
+def rt_schema() -> Schema:
+    """Section 2's running schema: R(A) and T(A, B)."""
+    return Schema({"R": ("A",), "T": ("A", "B")})
+
+
+@pytest.fixture
+def two_col_schema() -> Schema:
+    return Schema({"R": ("A", "B"), "S": ("B", "C")})
+
+
+@pytest.fixture
+def two_col_db(two_col_schema) -> Database:
+    return Database(
+        two_col_schema,
+        {
+            "R": [(1, 2), (1, 3), (NULL, 2), (1, 2)],
+            "S": [(2, 5), (3, NULL), (NULL, 7)],
+        },
+    )
+
+
+@pytest.fixture
+def val_schema() -> Schema:
+    """The Section 4 schema R1..R8."""
+    return validation_schema()

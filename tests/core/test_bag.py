@@ -1,0 +1,166 @@
+"""The bag operations of Section 3 and their defining multiplicity equations."""
+
+import pytest
+
+from repro.core.bag import Bag
+from repro.core.values import NULL
+
+
+def bag(*records):
+    return Bag(records)
+
+
+def test_multiplicity():
+    b = bag((1,), (1,), (2,))
+    assert b.multiplicity((1,)) == 2
+    assert b.multiplicity((2,)) == 1
+    assert b.multiplicity((3,)) == 0
+
+
+def test_len_counts_occurrences():
+    assert len(bag((1,), (1,), (2,))) == 3
+    assert bag((1,), (1,), (2,)).distinct_size() == 2
+
+
+def test_union_adds_multiplicities():
+    left = bag((1,), (1,))
+    right = bag((1,), (2,))
+    result = left.union(right)
+    assert result.multiplicity((1,)) == 3
+    assert result.multiplicity((2,)) == 1
+
+
+def test_intersection_takes_minimum():
+    left = bag((1,), (1,), (2,))
+    right = bag((1,), (3,))
+    result = left.intersection(right)
+    assert result.multiplicity((1,)) == 1
+    assert result.multiplicity((2,)) == 0
+    assert result.multiplicity((3,)) == 0
+
+
+def test_difference_truncated_subtraction():
+    left = bag((1,), (1,), (2,))
+    right = bag((1,), (1,), (1,), (2,))
+    result = left.difference(right)
+    assert result.is_empty()
+    result2 = right.difference(left)
+    assert result2.multiplicity((1,)) == 1
+    assert result2.multiplicity((2,)) == 0
+
+
+def test_product_multiplies_multiplicities():
+    left = bag((1,), (1,))
+    right = bag((2,), (2,), (3,))
+    result = left.product(right)
+    assert result.multiplicity((1, 2)) == 4
+    assert result.multiplicity((1, 3)) == 2
+    assert len(result) == 6
+
+
+def test_distinct_bag():
+    b = bag((1,), (1,), (2,))
+    eps = b.distinct_bag()
+    assert eps.multiplicity((1,)) == 1
+    assert eps.multiplicity((2,)) == 1
+
+
+def test_null_matches_null_in_bag_operations():
+    """The syntactic-equality behaviour of Example 1's query Q3."""
+    left = bag((1,), (NULL,))
+    right = bag((NULL,))
+    assert left.difference(right).counts() == {(1,): 1}
+    assert left.intersection(right).counts() == {(NULL,): 1}
+
+
+def test_operator_aliases():
+    left, right = bag((1,)), bag((1,), (2,))
+    assert left + right == left.union(right)
+    assert left & right == left.intersection(right)
+    assert (right - left) == right.difference(left)
+    assert left * right == left.product(right)
+
+
+def test_mixed_arity_rejected():
+    with pytest.raises(ValueError):
+        bag((1,), (1, 2))
+    with pytest.raises(ValueError):
+        bag((1,)).union(bag((1, 2)))
+
+
+def test_non_tuple_rejected():
+    with pytest.raises(TypeError):
+        Bag([[1]])
+
+
+def test_from_counts():
+    b = Bag.from_counts({(1,): 2, (2,): 0})
+    assert b.multiplicity((1,)) == 2
+    assert (2,) not in b
+
+
+def test_from_counts_rejects_negative():
+    with pytest.raises(ValueError):
+        Bag.from_counts({(1,): -1})
+
+
+def test_empty_bag():
+    assert Bag.empty().is_empty()
+    assert Bag.empty().arity is None
+    assert len(Bag.empty()) == 0
+
+
+def test_iteration_respects_multiplicity():
+    b = bag((1,), (1,), (2,))
+    assert sorted(b) == [(1,), (1,), (2,)]
+    assert sorted(b.distinct()) == [(1,), (2,)]
+
+
+def test_contains():
+    b = bag((1,))
+    assert (1,) in b
+    assert (2,) not in b
+
+
+def test_equality_ignores_insertion_order():
+    assert bag((1,), (2,)) == bag((2,), (1,))
+    assert bag((1,), (1,)) != bag((1,))
+
+
+def test_hash_consistent_with_equality():
+    assert hash(bag((1,), (2,))) == hash(bag((2,), (1,)))
+
+
+def test_repr_is_stable():
+    assert "Bag(" in repr(bag((1,)))
+
+
+class TestAlgebraicLaws:
+    """Laws that follow from the multiplicity equations."""
+
+    a = bag((1,), (1,), (2,))
+    b = bag((1,), (3,))
+    c = bag((2,), (3,), (3,))
+
+    def test_union_commutative(self):
+        assert self.a.union(self.b) == self.b.union(self.a)
+
+    def test_union_associative(self):
+        assert self.a.union(self.b).union(self.c) == self.a.union(
+            self.b.union(self.c)
+        )
+
+    def test_intersection_commutative(self):
+        assert self.a.intersection(self.b) == self.b.intersection(self.a)
+
+    def test_difference_self_is_empty(self):
+        assert self.a.difference(self.a).is_empty()
+
+    def test_dedup_idempotent(self):
+        assert self.a.distinct_bag().distinct_bag() == self.a.distinct_bag()
+
+    def test_intersection_as_difference(self):
+        """T1 ∩ T2 = T1 − (T1 − T2) holds for bag semantics."""
+        assert self.a.intersection(self.b) == self.a.difference(
+            self.a.difference(self.b)
+        )

@@ -1,0 +1,106 @@
+"""Environments η and the scoping operators ⇑, ;, ⊕ of Section 3."""
+
+import pytest
+
+from repro.core.env import EMPTY_ENV, Environment
+from repro.core.errors import AmbiguousReferenceError, UnboundReferenceError
+from repro.core.values import NULL, FullName
+
+RA = FullName("R", "A")
+RB = FullName("R", "B")
+SA = FullName("S", "A")
+
+
+def test_empty_env_lookup_unbound():
+    with pytest.raises(UnboundReferenceError):
+        EMPTY_ENV.lookup(RA)
+
+
+def test_from_bindings_basic():
+    env = Environment.from_bindings((RA, RB), (1, 2))
+    assert env.lookup(RA) == 1
+    assert env.lookup(RB) == 2
+
+
+def test_from_bindings_null_value():
+    env = Environment.from_bindings((RA,), (NULL,))
+    assert env.lookup(RA) is NULL
+    assert env.defined_on(RA)
+
+
+def test_from_bindings_repeated_name_is_ambiguous():
+    """η_{Ā,r̄} is undefined on repeated full names (Example 2's situation)."""
+    env = Environment.from_bindings((RA, RA), (1, 2))
+    with pytest.raises(AmbiguousReferenceError):
+        env.lookup(RA)
+    assert not env.defined_on(RA)
+
+
+def test_from_bindings_length_mismatch():
+    with pytest.raises(ValueError):
+        Environment.from_bindings((RA,), (1, 2))
+
+
+def test_unbind():
+    env = Environment.from_bindings((RA, RB), (1, 2))
+    smaller = env.unbind([RA])
+    assert not smaller.defined_on(RA)
+    assert smaller.lookup(RB) == 2
+
+
+def test_unbind_nothing_is_identity():
+    env = Environment.from_bindings((RA,), (1,))
+    assert env.unbind([]) is env
+
+
+def test_override_later_wins():
+    outer = Environment.from_bindings((RA, RB), (1, 2))
+    inner = Environment.from_bindings((RA,), (9,))
+    merged = outer.override(inner)
+    assert merged.lookup(RA) == 9
+    assert merged.lookup(RB) == 2
+
+
+def test_override_with_empty_is_identity():
+    env = Environment.from_bindings((RA,), (1,))
+    assert env.override(EMPTY_ENV) is env
+
+
+def test_update_definition():
+    """η ⊕r̄ Ā = (η ⇑ Ā); η_{Ā,r̄} — the composite equals its definition."""
+    env = Environment.from_bindings((RA, SA), (1, 5))
+    record = (7, 8)
+    names = (RA, RB)
+    composite = env.update(record, names)
+    expected = env.unbind(names).override(Environment.from_bindings(names, record))
+    assert composite == expected
+    assert composite.lookup(RA) == 7
+    assert composite.lookup(RB) == 8
+    assert composite.lookup(SA) == 5
+
+
+def test_update_shadows_with_ambiguity():
+    """A repeated name in the new scope hides the outer binding entirely:
+    the reference becomes ambiguous rather than falling through."""
+    outer = Environment.from_bindings((RA,), (1,))
+    updated = outer.update((2, 3), (RA, RA))
+    with pytest.raises(AmbiguousReferenceError):
+        updated.lookup(RA)
+
+
+def test_bound_names_excludes_ambiguous():
+    env = Environment.from_bindings((RA, RA, RB), (1, 2, 3))
+    assert set(env.bound_names()) == {RB}
+
+
+def test_equality():
+    a = Environment.from_bindings((RA,), (1,))
+    b = Environment.from_bindings((RA,), (1,))
+    c = Environment.from_bindings((RA,), (2,))
+    assert a == b
+    assert a != c
+
+
+def test_repr():
+    env = Environment.from_bindings((RA,), (1,))
+    assert "R.A" in repr(env)

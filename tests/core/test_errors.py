@@ -1,0 +1,76 @@
+"""The exception hierarchy: classification the validation harness relies on."""
+
+import pytest
+
+from repro.core.errors import (
+    AlgebraError,
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    CompileError,
+    DuplicateAliasError,
+    IllFormedExpressionError,
+    NotDataManipulationError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    UnboundReferenceError,
+    UnknownTableError,
+)
+
+
+def test_everything_is_a_repro_error():
+    for exc_type in (
+        CompileError,
+        ParseError,
+        UnknownTableError,
+        DuplicateAliasError,
+        ArityMismatchError,
+        UnboundReferenceError,
+        AmbiguousReferenceError,
+        AlgebraError,
+        IllFormedExpressionError,
+        SchemaError,
+        NotDataManipulationError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_compile_error_family():
+    """The classes real compilers reject statically."""
+    for exc_type in (
+        ParseError,
+        UnknownTableError,
+        DuplicateAliasError,
+        ArityMismatchError,
+        UnboundReferenceError,
+    ):
+        assert issubclass(exc_type, CompileError)
+
+
+def test_ambiguity_is_not_a_plain_compile_error():
+    """The harness matches ambiguity separately from other compile errors."""
+    assert not issubclass(AmbiguousReferenceError, CompileError)
+
+
+def test_algebra_errors():
+    assert issubclass(IllFormedExpressionError, AlgebraError)
+
+
+def test_parse_error_location_formatting():
+    exc = ParseError("bad token", line=3, column=7)
+    assert "line 3" in str(exc)
+    assert "column 7" in str(exc)
+    assert exc.line == 3 and exc.column == 7
+
+
+def test_parse_error_without_location():
+    exc = ParseError("bad token")
+    assert str(exc) == "bad token"
+    assert exc.line is None
+
+
+def test_errors_are_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise AmbiguousReferenceError("x")
+    with pytest.raises(ReproError):
+        raise NotDataManipulationError("y")

@@ -1,0 +1,90 @@
+"""Schemas and database instances (Section 2)."""
+
+import pytest
+
+from repro.core.errors import SchemaError, UnknownTableError
+from repro.core.schema import Database, Schema, validation_schema
+from repro.core.values import NULL
+
+
+def test_schema_attributes():
+    schema = Schema({"R": ("A", "B")})
+    assert schema.attributes("R") == ("A", "B")
+    assert schema.arity("R") == 2
+    assert "R" in schema and "S" not in schema
+
+
+def test_schema_rejects_empty_attribute_list():
+    with pytest.raises(SchemaError):
+        Schema({"R": ()})
+
+
+def test_schema_rejects_repeated_attributes():
+    """Base tables have distinct attribute names (the paper's assumption)."""
+    with pytest.raises(SchemaError):
+        Schema({"R": ("A", "A")})
+
+
+def test_schema_unknown_table():
+    with pytest.raises(UnknownTableError):
+        Schema({"R": ("A",)}).attributes("S")
+
+
+def test_database_provides_tables_with_schema_labels():
+    schema = Schema({"R": ("A", "B")})
+    db = Database(schema, {"R": [(1, NULL)]})
+    table = db.table("R")
+    assert table.columns == ("A", "B")
+    assert table.multiplicity((1, NULL)) == 1
+
+
+def test_database_defaults_missing_tables_to_empty():
+    schema = Schema({"R": ("A",), "S": ("B",)})
+    db = Database(schema, {"R": [(1,)]})
+    assert db.table("S").is_empty()
+
+
+def test_database_rejects_wrong_arity():
+    schema = Schema({"R": ("A",)})
+    with pytest.raises(SchemaError):
+        Database(schema, {"R": [(1, 2)]})
+
+
+def test_database_rejects_undeclared_tables():
+    schema = Schema({"R": ("A",)})
+    with pytest.raises(SchemaError):
+        Database(schema, {"X": [(1,)]})
+
+
+def test_database_unknown_table_lookup():
+    schema = Schema({"R": ("A",)})
+    with pytest.raises(UnknownTableError):
+        Database(schema).table("S")
+
+
+def test_database_keeps_duplicates():
+    schema = Schema({"R": ("A",)})
+    db = Database(schema, {"R": [(1,), (1,)]})
+    assert db.table("R").multiplicity((1,)) == 2
+
+
+def test_validation_schema_shape():
+    """Section 4: R1..R8 where Ri has i+1 int attributes."""
+    schema = validation_schema()
+    assert schema.table_names == tuple(f"R{i}" for i in range(1, 9))
+    for i in range(1, 9):
+        assert schema.arity(f"R{i}") == i + 1
+        assert schema.attributes(f"R{i}")[0] == "A1"
+
+
+def test_validation_schema_custom_size():
+    assert validation_schema(3).table_names == ("R1", "R2", "R3")
+    with pytest.raises(ValueError):
+        validation_schema(0)
+
+
+def test_schema_equality_and_repr():
+    a = Schema({"R": ("A",)})
+    b = Schema({"R": ("A",)})
+    assert a == b
+    assert "R(A)" in repr(a)

@@ -1,0 +1,100 @@
+"""Tables: labelled bags and the Section 4 comparison criterion."""
+
+import pytest
+
+from repro.core.bag import Bag
+from repro.core.table import Table
+from repro.core.values import NULL, FullName
+
+
+def test_construction_from_iterable():
+    t = Table(("A",), [(1,), (2,), (1,)])
+    assert t.arity == 1
+    assert len(t) == 3
+    assert t.multiplicity((1,)) == 2
+
+
+def test_construction_from_bag():
+    bag = Bag([(1, 2)])
+    t = Table(("A", "B"), bag)
+    assert t.bag is bag
+
+
+def test_zero_columns_rejected():
+    with pytest.raises(ValueError):
+        Table((), [])
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Table(("A",), [(1, 2)])
+
+
+def test_repeated_labels_allowed():
+    """SELECT R.A, R.A FROM R produces two columns both named A."""
+    t = Table(("A", "A"), [(1, 1)])
+    assert t.columns == ("A", "A")
+
+
+def test_full_name_labels():
+    t = Table((FullName("R", "A"),), [(1,)])
+    assert t.columns == (FullName("R", "A"),)
+
+
+def test_same_as_requires_same_columns():
+    a = Table(("A",), [(1,)])
+    b = Table(("B",), [(1,)])
+    assert not a.same_as(b)
+
+
+def test_same_as_requires_same_column_order():
+    a = Table(("A", "B"), [(1, 2)])
+    b = Table(("B", "A"), [(1, 2)])
+    assert not a.same_as(b)
+
+
+def test_same_as_ignores_row_order():
+    a = Table(("A",), [(1,), (2,)])
+    b = Table(("A",), [(2,), (1,)])
+    assert a.same_as(b)
+
+
+def test_same_as_checks_multiplicities():
+    a = Table(("A",), [(1,), (1,)])
+    b = Table(("A",), [(1,)])
+    assert not a.same_as(b)
+
+
+def test_equality_operator():
+    assert Table(("A",), [(1,)]) == Table(("A",), [(1,)])
+    assert Table(("A",), [(1,)]) != Table(("A",), [(2,)])
+
+
+def test_distinct():
+    t = Table(("A",), [(1,), (1,), (2,)]).distinct()
+    assert t.multiplicity((1,)) == 1
+    assert len(t) == 2
+
+
+def test_with_columns():
+    t = Table(("A",), [(1,)]).with_columns(("Z",))
+    assert t.columns == ("Z",)
+    assert t.multiplicity((1,)) == 1
+
+
+def test_is_empty():
+    assert Table(("A",), []).is_empty()
+    assert not Table(("A",), [(NULL,)]).is_empty()
+
+
+def test_pretty_renders_all_parts():
+    text = Table(("A", "B"), [(1, NULL), ("x", 2)]).pretty()
+    assert "A" in text and "B" in text
+    assert "NULL" in text
+    assert "'x'" in text
+
+
+def test_pretty_truncates():
+    t = Table(("A",), [(i,) for i in range(30)])
+    text = t.pretty(max_rows=5)
+    assert "more row(s)" in text

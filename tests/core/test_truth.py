@@ -1,0 +1,180 @@
+"""Figure 1: the truth tables of SQL's three-valued (Kleene) logic."""
+
+import pytest
+
+from repro.core.truth import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    Truth,
+    conj,
+    conj_all,
+    disj,
+    disj_all,
+    neg,
+)
+
+T, F, U = TRUE, FALSE, UNKNOWN
+ALL = (T, F, U)
+
+# The ∧ table of Figure 1, row-major: t, f, u against t, f, u.
+AND_TABLE = {
+    (T, T): T, (T, F): F, (T, U): U,
+    (F, T): F, (F, F): F, (F, U): F,
+    (U, T): U, (U, F): F, (U, U): U,
+}
+
+# The ∨ table of Figure 1.
+OR_TABLE = {
+    (T, T): T, (T, F): T, (T, U): T,
+    (F, T): T, (F, F): F, (F, U): U,
+    (U, T): T, (U, F): U, (U, U): U,
+}
+
+# The ¬ table of Figure 1.
+NOT_TABLE = {T: F, F: T, U: U}
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+def test_conjunction_table(a, b):
+    assert (a & b) is AND_TABLE[(a, b)]
+    assert conj(a, b) is AND_TABLE[(a, b)]
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+def test_disjunction_table(a, b):
+    assert (a | b) is OR_TABLE[(a, b)]
+    assert disj(a, b) is OR_TABLE[(a, b)]
+
+
+@pytest.mark.parametrize("a", ALL)
+def test_negation_table(a):
+    assert (~a) is NOT_TABLE[a]
+    assert neg(a) is NOT_TABLE[a]
+
+
+def test_interning():
+    assert Truth("t") is TRUE
+    assert Truth("f") is FALSE
+    assert Truth("u") is UNKNOWN
+
+
+def test_invalid_name_rejected():
+    with pytest.raises(ValueError):
+        Truth("x")
+
+
+def test_from_bool():
+    assert Truth.from_bool(True) is TRUE
+    assert Truth.from_bool(False) is FALSE
+
+
+def test_predicates():
+    assert TRUE.is_true and not TRUE.is_false and not TRUE.is_unknown
+    assert FALSE.is_false and not FALSE.is_true
+    assert UNKNOWN.is_unknown and not UNKNOWN.is_true and not UNKNOWN.is_false
+
+
+def test_no_implicit_bool():
+    with pytest.raises(TypeError):
+        bool(TRUE)
+    with pytest.raises(TypeError):
+        if UNKNOWN:  # pragma: no cover
+            pass
+
+
+def test_names():
+    assert TRUE.name == "t" and FALSE.name == "f" and UNKNOWN.name == "u"
+
+
+def test_repr():
+    assert repr(TRUE) == "TRUE"
+    assert repr(UNKNOWN) == "UNKNOWN"
+
+
+def test_conj_all_empty_is_true():
+    assert conj_all([]) is TRUE
+
+
+def test_disj_all_empty_is_false():
+    assert disj_all([]) is FALSE
+
+
+def test_conj_all_mixed():
+    assert conj_all([T, U]) is U
+    assert conj_all([T, U, F]) is F
+    assert conj_all([T, T, T]) is T
+
+
+def test_disj_all_mixed():
+    assert disj_all([F, U]) is U
+    assert disj_all([F, U, T]) is T
+    assert disj_all([F, F]) is F
+
+
+@pytest.mark.parametrize("a", ALL)
+def test_information_order_reflexive_and_u_bottom(a):
+    assert a.le_info(a)
+    assert UNKNOWN.le_info(a)
+    if a is not UNKNOWN:
+        assert not a.le_info(UNKNOWN)
+
+
+def test_information_order_t_f_incomparable():
+    assert not TRUE.le_info(FALSE)
+    assert not FALSE.le_info(TRUE)
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+def test_de_morgan(a, b):
+    assert ~(a & b) is (~a | ~b)
+    assert ~(a | b) is (~a & ~b)
+
+
+@pytest.mark.parametrize("a", ALL)
+def test_double_negation(a):
+    assert ~~a is a
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+def test_commutativity(a, b):
+    assert (a & b) is (b & a)
+    assert (a | b) is (b | a)
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+@pytest.mark.parametrize("c", ALL)
+def test_associativity(a, b, c):
+    assert ((a & b) & c) is (a & (b & c))
+    assert ((a | b) | c) is (a | (b | c))
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+@pytest.mark.parametrize("c", ALL)
+def test_distributivity(a, b, c):
+    assert (a & (b | c)) is ((a & b) | (a & c))
+    assert (a | (b & c)) is ((a | b) & (a | c))
+
+
+@pytest.mark.parametrize("a", ALL)
+@pytest.mark.parametrize("b", ALL)
+@pytest.mark.parametrize("c", ALL)
+def test_kleene_monotonicity(a, b, c):
+    """Kleene connectives are monotone in the information order."""
+    if a.le_info(b):
+        assert (a & c).le_info(b & c)
+        assert (a | c).le_info(b | c)
+        assert (~a).le_info(~b)
+
+
+def test_pickle_roundtrip_preserves_identity():
+    import pickle
+
+    for value in ALL:
+        assert pickle.loads(pickle.dumps(value)) is value

@@ -1,0 +1,68 @@
+"""Values, NULL, names and terms (Section 2's data model)."""
+
+import pickle
+
+import pytest
+
+from repro.core.values import (
+    NULL,
+    FullName,
+    Null,
+    is_value,
+    syntactically_equal,
+)
+
+
+def test_null_is_singleton():
+    assert Null() is NULL
+    assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+def test_null_syntactic_equality():
+    """NULL equals NULL *syntactically* (Definition 2) — the equality used by
+    bags and set operations, not the 3VL comparison."""
+    assert NULL == NULL
+    assert NULL == Null()
+    assert NULL != 0
+    assert NULL != "NULL"
+
+
+def test_null_repr_and_hash():
+    assert repr(NULL) == "NULL"
+    assert hash(NULL) == hash(Null())
+
+
+def test_full_name_str():
+    assert str(FullName("R", "A")) == "R.A"
+
+
+def test_full_name_parse():
+    assert FullName.parse("S.B") == FullName("S", "B")
+
+
+@pytest.mark.parametrize("bad", ["", "R", "R.", ".A"])
+def test_full_name_parse_rejects(bad):
+    with pytest.raises(ValueError):
+        FullName.parse(bad)
+
+
+def test_full_name_equality_and_hash():
+    assert FullName("R", "A") == FullName("R", "A")
+    assert FullName("R", "A") != FullName("R", "B")
+    assert len({FullName("R", "A"), FullName("R", "A")}) == 1
+
+
+def test_is_value():
+    assert is_value(3)
+    assert is_value("x")
+    assert is_value(NULL)
+    assert not is_value(True)  # booleans are not SQL data values here
+    assert not is_value(3.5)
+    assert not is_value(FullName("R", "A"))
+
+
+def test_syntactically_equal():
+    assert syntactically_equal(NULL, NULL)
+    assert syntactically_equal(1, 1)
+    assert not syntactically_equal(1, NULL)
+    assert not syntactically_equal(1, 2)

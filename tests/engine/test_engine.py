@@ -1,0 +1,193 @@
+"""The reference engine end to end, including its dialect behaviours."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.errors import (
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    CompileError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+    UnknownTableError,
+)
+from repro.engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from repro.sql import annotate, parse_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A", "B")})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(schema, {"R": [(1,), (2,), (NULL,)], "S": [(1, 5), (NULL, 6)]})
+
+
+@pytest.fixture
+def pg(schema):
+    return Engine(schema, DIALECT_POSTGRES)
+
+
+@pytest.fixture
+def ora(schema):
+    return Engine(schema, DIALECT_ORACLE)
+
+
+def test_simple_scan(pg, schema, db):
+    t = pg.execute(annotate("SELECT R.A FROM R", schema), db)
+    assert t.columns == ("A",)
+    assert sorted(t.bag, key=repr) == [(1,), (2,), (NULL,)]
+
+
+def test_nulls_round_trip_the_boundary(pg, schema, db):
+    """NULL→None on input, None→NULL on output."""
+    t = pg.execute(annotate("SELECT S.B FROM S WHERE S.A IS NULL", schema), db)
+    assert sorted(t.bag) == [(6,)]
+
+
+def test_where_three_valued(pg, schema, db):
+    t = pg.execute(annotate("SELECT R.A FROM R WHERE R.A > 1", schema), db)
+    assert sorted(t.bag) == [(2,)]  # NULL row is unknown, dropped
+
+
+def test_product_and_correlation(pg, schema, db):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+        schema,
+    )
+    t = pg.execute(q, db)
+    assert sorted(t.bag) == [(1,)]
+
+
+def test_in_three_valued(pg, schema, db):
+    q = annotate("SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", schema)
+    t = pg.execute(q, db)
+    assert t.is_empty()  # S contains NULL, so NOT IN is never true
+
+
+def test_distinct(pg, schema, db):
+    q = annotate("SELECT DISTINCT 1 FROM R", schema)
+    assert len(pg.execute(q, db)) == 1
+
+
+def test_set_ops(pg, schema, db):
+    q = annotate("SELECT R.A FROM R UNION ALL SELECT S.A FROM S", schema)
+    assert len(pg.execute(q, db)) == 5
+
+
+def test_except_matches_null_syntactically(pg, schema, db):
+    q = annotate("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", schema)
+    t = pg.execute(q, db)
+    assert sorted(t.bag) == [(2,)]
+
+
+def test_unknown_table_error(pg, schema, db):
+    q = parse_query("SELECT X.A FROM X AS X")
+    with pytest.raises(UnknownTableError):
+        pg.execute(q, db)
+
+
+def test_duplicate_alias_error(pg, schema, db):
+    q = parse_query("SELECT X.A FROM R AS X, S AS X")
+    with pytest.raises(DuplicateAliasError):
+        pg.execute(q, db)
+
+
+def test_unbound_reference_error(pg, schema, db):
+    q = parse_query("SELECT Z.A FROM R AS X")
+    with pytest.raises(UnboundReferenceError):
+        pg.execute(q, db)
+
+
+def test_set_op_arity_error(pg, schema, db):
+    q = annotate("SELECT R.A FROM R UNION SELECT S.A, S.B FROM S", schema)
+    with pytest.raises(ArityMismatchError):
+        pg.execute(q, db)
+
+
+def test_in_arity_error(pg, schema, db):
+    q = annotate("SELECT R.A FROM R WHERE R.A IN (SELECT S.A, S.B FROM S)", schema)
+    with pytest.raises(ArityMismatchError):
+        pg.execute(q, db)
+
+
+class TestExample2Dialects:
+    """Example 2: the dialect-defining behaviours of SELECT * expansion."""
+
+    QUERY = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T"
+    NESTED = (
+        "SELECT * FROM R WHERE EXISTS "
+        "(SELECT * FROM (SELECT R.A, R.A FROM R) AS T)"
+    )
+
+    def test_postgres_accepts_duplicate_star(self, pg, schema, db):
+        t = pg.execute(annotate(self.QUERY, schema), db)
+        assert t.columns == ("A", "A")
+        assert t.multiplicity((1, 1)) == 1
+
+    def test_oracle_rejects_duplicate_star(self, ora, schema, db):
+        with pytest.raises(AmbiguousReferenceError):
+            ora.execute(annotate(self.QUERY, schema), db)
+
+    def test_oracle_rejects_even_on_empty_table(self, ora, schema):
+        """The error is a compile-time one: no data needed to trigger it."""
+        empty = Database(Schema({"R": ("A",), "S": ("A", "B")}), {})
+        with pytest.raises(AmbiguousReferenceError):
+            ora.execute(annotate(self.QUERY, ora.schema), empty)
+
+    def test_oracle_accepts_under_exists(self, ora, schema, db):
+        t = ora.execute(annotate(self.NESTED, schema), db)
+        assert t.columns == ("A",)
+        assert len(t) == 3
+
+    def test_postgres_accepts_under_exists(self, pg, schema, db):
+        t = pg.execute(annotate(self.NESTED, schema), db)
+        assert len(t) == 3
+
+    def test_explicit_ambiguous_reference_rejected_by_both(self, pg, ora, schema, db):
+        q = annotate("SELECT T.A AS X FROM (SELECT R.A, R.A FROM R) AS T", schema)
+        for engine in (pg, ora):
+            with pytest.raises(AmbiguousReferenceError):
+                engine.execute(q, db)
+
+
+def test_star_in_setop_under_exists_expands(ora, schema, db):
+    """Set-operation operands are not 'directly under EXISTS': * expands."""
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS "
+        "(SELECT * FROM (SELECT R.A, R.A FROM R) AS T "
+        "UNION ALL SELECT S.A, S.B FROM S)",
+        schema,
+    )
+    with pytest.raises(AmbiguousReferenceError):
+        ora.execute(q, db)
+
+
+def test_column_aliases_in_from(pg, schema, db):
+    q = annotate(
+        "SELECT N.X FROM (SELECT S.A, S.B FROM S) AS N(X, Y) WHERE N.Y = 5",
+        schema,
+    )
+    t = pg.execute(q, db)
+    assert t.columns == ("X",)
+    assert sorted(t.bag) == [(1,)]
+
+
+def test_unknown_dialect_rejected(schema):
+    from repro.engine.planner import Planner
+
+    with pytest.raises(ValueError):
+        Planner(schema, Database(schema), "sqlite")
+
+
+def test_nested_correlation_two_levels(pg, schema, db):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS ("
+        "SELECT S.A FROM S WHERE EXISTS ("
+        "SELECT S2.A FROM S AS S2 WHERE S2.A = R.A AND S2.B = S.B))",
+        schema,
+    )
+    t = pg.execute(q, db)
+    assert sorted(t.bag) == [(1,)]

@@ -1,0 +1,84 @@
+"""The Datafiller substitute: random instances of a schema."""
+
+import random
+
+import pytest
+
+from repro.core import NULL, Schema, validation_schema
+from repro.core.values import Null
+from repro.generator.datafiller import PAPER_ROW_CAP, DataFillerConfig, fill_database
+
+
+def test_paper_row_cap_constant():
+    assert PAPER_ROW_CAP == 50
+
+
+def test_row_counts_within_bounds():
+    schema = validation_schema()
+    config = DataFillerConfig(max_rows=5, min_rows=2)
+    db = fill_database(schema, random.Random(0), config)
+    for name in schema.table_names:
+        assert 2 <= len(db.table(name)) <= 5
+
+
+def test_arities_match_schema():
+    schema = validation_schema()
+    db = fill_database(schema, random.Random(1), DataFillerConfig(max_rows=3))
+    for name in schema.table_names:
+        table = db.table(name)
+        assert table.arity == schema.arity(name)
+
+
+def test_deterministic_given_seed():
+    schema = validation_schema(3)
+    a = fill_database(schema, random.Random(5), DataFillerConfig(max_rows=10))
+    b = fill_database(schema, random.Random(5), DataFillerConfig(max_rows=10))
+    for name in schema.table_names:
+        assert a.table(name).bag == b.table(name).bag
+
+
+def test_values_in_domain():
+    schema = Schema({"R": ("A",)})
+    config = DataFillerConfig(max_rows=200, min_rows=200, min_value=3, max_value=5, null_rate=0.0)
+    db = fill_database(schema, random.Random(2), config)
+    for (value,) in db.table("R").bag:
+        assert value in (3, 4, 5)
+
+
+def test_null_rate_zero_means_no_nulls():
+    schema = Schema({"R": ("A", "B")})
+    config = DataFillerConfig(max_rows=100, min_rows=100, null_rate=0.0)
+    db = fill_database(schema, random.Random(3), config)
+    assert not any(
+        isinstance(v, Null) for row in db.table("R").bag for v in row
+    )
+
+
+def test_null_rate_one_means_all_nulls():
+    schema = Schema({"R": ("A",)})
+    config = DataFillerConfig(max_rows=20, min_rows=20, null_rate=1.0)
+    db = fill_database(schema, random.Random(4), config)
+    assert all(row == (NULL,) for row in db.table("R").bag)
+
+
+def test_nulls_appear_at_default_rate():
+    schema = Schema({"R": ("A",)})
+    config = DataFillerConfig(max_rows=500, min_rows=500)
+    db = fill_database(schema, random.Random(6), config)
+    nulls = sum(1 for (v,) in db.table("R").bag if isinstance(v, Null))
+    assert 40 < nulls < 180  # ~20% of 500
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        DataFillerConfig(max_rows=1, min_rows=2)
+    with pytest.raises(ValueError):
+        DataFillerConfig(null_rate=1.5)
+    with pytest.raises(ValueError):
+        DataFillerConfig(min_rows=-1, max_rows=3)
+
+
+def test_default_rng():
+    schema = Schema({"R": ("A",)})
+    db = fill_database(schema, config=DataFillerConfig(max_rows=2))
+    assert len(db.table("R")) <= 2

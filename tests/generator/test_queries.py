@@ -1,0 +1,177 @@
+"""The random query generator: determinism, parameter bounds, validity."""
+
+import random
+
+import pytest
+
+from repro.algebra.translate import is_data_manipulation
+from repro.core import validation_schema
+from repro.core.errors import AmbiguousReferenceError, ReproError
+from repro.generator import DM_CONFIG, GeneratorConfig, PAPER_CONFIG, QueryGenerator
+from repro.sql import check_query
+from repro.sql.ast import Exists, InQuery, Not, Or, And, Select, SetOp
+
+
+def count_tables(query):
+    """Base tables mentioned (counting repetitions), including subqueries."""
+    if isinstance(query, SetOp):
+        return count_tables(query.left) + count_tables(query.right)
+    total = 0
+    for item in query.from_items:
+        if item.is_base_table:
+            total += 1
+        else:
+            total += count_tables(item.table)
+    total += _count_condition_tables(query.where)
+    return total
+
+
+def _count_condition_tables(condition):
+    if isinstance(condition, (InQuery, Exists)):
+        return count_tables(condition.query)
+    if isinstance(condition, (And, Or)):
+        return _count_condition_tables(condition.left) + _count_condition_tables(
+            condition.right
+        )
+    if isinstance(condition, Not):
+        return _count_condition_tables(condition.operand)
+    return 0
+
+
+def nesting_depth(query):
+    if isinstance(query, SetOp):
+        return max(nesting_depth(query.left), nesting_depth(query.right))
+    depth = 0
+    for item in query.from_items:
+        if not item.is_base_table:
+            depth = max(depth, 1 + nesting_depth(item.table))
+    depth = max(depth, _condition_depth(query.where))
+    return depth
+
+
+def _condition_depth(condition):
+    if isinstance(condition, (InQuery, Exists)):
+        return 1 + nesting_depth(condition.query)
+    if isinstance(condition, (And, Or)):
+        return max(_condition_depth(condition.left), _condition_depth(condition.right))
+    if isinstance(condition, Not):
+        return _condition_depth(condition.operand)
+    return 0
+
+
+@pytest.fixture
+def schema():
+    return validation_schema()
+
+
+def test_deterministic_given_seed(schema):
+    a = QueryGenerator(schema, PAPER_CONFIG, random.Random(7)).generate()
+    b = QueryGenerator(schema, PAPER_CONFIG, random.Random(7)).generate()
+    assert a == b
+
+
+def test_generate_with_seed_argument(schema):
+    generator = QueryGenerator(schema)
+    assert generator.generate(seed=3) == generator.generate(seed=3)
+
+
+def test_different_seeds_differ_somewhere(schema):
+    generator = QueryGenerator(schema)
+    queries = {generator.generate(seed=s) for s in range(20)}
+    assert len(queries) > 10
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_table_budget_respected(schema, seed):
+    """The `tables` parameter caps base-table mentions, incl. subqueries."""
+    query = QueryGenerator(schema).generate(seed=seed)
+    assert 1 <= count_tables(query) <= PAPER_CONFIG.tables
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_nesting_bound_respected(schema, seed):
+    query = QueryGenerator(schema).generate(seed=seed)
+    assert nesting_depth(query) <= PAPER_CONFIG.nest
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_generated_queries_compile_compositionally(schema, seed):
+    """Every generated query passes the PostgreSQL-style static checks."""
+    query = QueryGenerator(schema).generate(seed=seed)
+    check_query(query, schema, star_style="compositional")
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_dm_mode_generates_data_manipulation_queries(schema, seed):
+    generator = QueryGenerator(schema, DM_CONFIG, random.Random(seed))
+    query = generator.generate()
+    assert is_data_manipulation(query, schema)
+    check_query(query, schema, star_style="standard")
+
+
+def test_standard_ambiguity_occurs_sometimes(schema):
+    """With duplicate outputs + SELECT *, some queries must trip the
+    standard-style ambiguity check (the Oracle error class of Section 4)."""
+    ambiguous = 0
+    for seed in range(400):
+        query = QueryGenerator(schema).generate(seed=seed)
+        try:
+            check_query(query, schema, star_style="standard")
+        except AmbiguousReferenceError:
+            ambiguous += 1
+        except ReproError:
+            pass
+    assert ambiguous > 0
+
+
+def test_features_all_exercised(schema):
+    """Across many seeds the generator uses stars, set ops, IN, EXISTS,
+    DISTINCT and correlation."""
+    saw = {"star": 0, "setop": 0, "in": 0, "exists": 0, "distinct": 0}
+
+    def walk(query):
+        if isinstance(query, SetOp):
+            saw["setop"] += 1
+            walk(query.left)
+            walk(query.right)
+            return
+        if query.is_star:
+            saw["star"] += 1
+        if query.distinct:
+            saw["distinct"] += 1
+        for item in query.from_items:
+            if not item.is_base_table:
+                walk(item.table)
+        stack = [query.where]
+        while stack:
+            c = stack.pop()
+            if isinstance(c, InQuery):
+                saw["in"] += 1
+                walk(c.query)
+            elif isinstance(c, Exists):
+                saw["exists"] += 1
+                walk(c.query)
+            elif isinstance(c, (And, Or)):
+                stack.extend((c.left, c.right))
+            elif isinstance(c, Not):
+                stack.append(c.operand)
+
+    generator = QueryGenerator(schema)
+    for seed in range(200):
+        walk(generator.generate(seed=seed))
+    assert all(count > 0 for count in saw.values()), saw
+
+
+def test_custom_config_small_queries(schema):
+    config = GeneratorConfig(tables=1, nest=0, attr=1, cond=2)
+    for seed in range(30):
+        query = QueryGenerator(schema, config).generate(seed=seed)
+        assert count_tables(query) == 1
+        assert nesting_depth(query) == 0
+
+
+def test_for_data_manipulation_config():
+    config = PAPER_CONFIG.for_data_manipulation()
+    assert config.data_manipulation_only
+    assert config.star_probability == 0.0
+    assert config.duplicate_output_probability == 0.0

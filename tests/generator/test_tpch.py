@@ -1,0 +1,78 @@
+"""TPC-H structural statistics: the numbers Section 4 quotes."""
+
+from repro.generator.tpch import (
+    TPCH_QUERY_STATS,
+    tpch_schema,
+    tpch_statistics,
+)
+
+
+def test_eight_base_tables():
+    schema = tpch_schema()
+    assert len(schema.table_names) == 8
+    assert set(schema.table_names) == {
+        "region",
+        "nation",
+        "supplier",
+        "customer",
+        "part",
+        "partsupp",
+        "orders",
+        "lineitem",
+    }
+
+
+def test_twenty_two_queries():
+    assert len(TPCH_QUERY_STATS) == 22
+    assert set(TPCH_QUERY_STATS) == {f"Q{i}" for i in range(1, 23)}
+
+
+def test_all_referenced_tables_exist():
+    schema = tpch_schema()
+    for stats in TPCH_QUERY_STATS.values():
+        for table in stats.tables:
+            assert table in schema
+
+
+def test_lineitem_columns():
+    assert len(tpch_schema().attributes("lineitem")) == 16
+
+
+def test_average_tables_is_about_3_2():
+    """Paper: 'on average each benchmark query uses only 3.2'."""
+    stats = tpch_statistics()
+    assert abs(stats["avg_tables_per_query"] - 3.2) < 0.15
+
+
+def test_all_but_one_query_uses_at_most_6_tables():
+    stats = tpch_statistics()
+    assert stats["queries_with_more_than_6_tables"] == 1
+
+
+def test_exactly_three_queries_exceed_8_conditions():
+    """Paper: 'only three queries use more than 8 conditions'."""
+    stats = tpch_statistics()
+    assert stats["queries_with_more_than_8_conditions"] == 3
+
+
+def test_max_nesting_is_3():
+    """Paper: 'no query exceeds 3 levels of nesting'."""
+    stats = tpch_statistics()
+    assert stats["max_nesting"] == 3
+
+
+def test_tables_distinct_per_query():
+    for name, stats in TPCH_QUERY_STATS.items():
+        assert len(set(stats.tables)) == len(stats.tables), name
+
+
+def test_generator_parameters_derivable():
+    """The paper's choices (tables=6, nest=3, attr=3, cond=8) are consistent
+    with the encoded statistics."""
+    stats = tpch_statistics()
+    # all but one query fits in 6 tables
+    assert stats["queries_with_more_than_6_tables"] <= 1
+    # nesting never exceeds 3
+    assert stats["max_nesting"] <= 3
+    # few queries exceed 8 conditions
+    assert stats["queries_with_more_than_8_conditions"] <= 3

@@ -1,0 +1,184 @@
+"""Certain/possible answers: the Section 8 future-work direction, executed."""
+
+import random
+
+import pytest
+
+from repro.applications.certainty import (
+    approximate_certain,
+    approximate_possible,
+    count_nulls,
+    exact_certain_answers,
+    exact_possible_answers,
+    is_positive,
+    valuations,
+)
+from repro.core import NULL, Database, Schema
+from repro.generator import GeneratorConfig, QueryGenerator
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [(1, 2), (NULL, 2)], "S": [(1,), (NULL,)]},
+    )
+
+
+DOMAIN = (1, 2)
+
+
+def test_count_nulls(schema, db):
+    assert count_nulls(db) == 2
+
+
+def test_valuations_enumerate_all_completions(schema, db):
+    completions = list(valuations(db, DOMAIN))
+    assert len(completions) == len(DOMAIN) ** 2
+    for completion in completions:
+        assert count_nulls(completion) == 0
+
+
+def test_valuations_independent_occurrences(schema):
+    """Codd nulls: two occurrences can take different values."""
+    db = Database(schema, {"R": [(NULL, NULL)]})
+    completions = {
+        next(iter(c.table("R").bag)) for c in valuations(db, DOMAIN)
+    }
+    assert completions == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+
+def test_exact_certain_simple(schema, db):
+    # R.A = 1 holds in every completion only for the (1, 2) row.
+    certain = exact_certain_answers(
+        "SELECT R.A, R.B FROM R WHERE R.A = 1", db, DOMAIN
+    )
+    assert (1, 2) in certain
+    # the NULL row's A is 1 in only half the completions → not certain with B
+    assert (2, 2) not in certain
+
+
+def test_exact_possible_includes_lucky_valuations(schema, db):
+    possible = exact_possible_answers(
+        "SELECT R.B FROM R WHERE R.A = 2", db, DOMAIN
+    )
+    assert (2,) in possible  # the NULL can be valued 2
+
+
+def test_approximate_certain_sound_on_fixture(schema, db):
+    query = "SELECT R.B FROM R WHERE R.A IN (SELECT S.A FROM S)"
+    assert is_positive(query, schema)
+    approx = approximate_certain(query, db)
+    exact = exact_certain_answers(query, db, DOMAIN)
+    assert approx <= exact
+
+
+def test_negation_produces_false_positives(schema):
+    """The classical failure: with negation, plain SQL evaluation may return
+    non-certain rows — the reason [17] exists."""
+    db = Database(schema, {"R": [(1, 2)], "S": [(NULL,)]})
+    query = "SELECT R.A, R.B FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"
+    assert not is_positive(query, schema)
+    # 3VL evaluation returns nothing here (u), but EXCEPT-style negation does:
+    query2 = "SELECT R.A FROM R EXCEPT SELECT S.A FROM S"
+    approx = approximate_certain(query2, db)
+    exact = exact_certain_answers(query2, db, (1, 2))
+    # (1,) is returned by SQL but is NOT certain: valuing the null as 1
+    # removes it.
+    assert (1,) in approx
+    assert (1,) not in exact
+
+
+def test_possible_approximation_contains_certain(schema, db):
+    query = "SELECT R.B FROM R WHERE R.A = 1"
+    assert approximate_certain(query, db) <= approximate_possible(query, db)
+
+
+def test_possible_approximation_keeps_unknown_rows(schema, db):
+    query = "SELECT R.A, R.B FROM R WHERE R.A = 1"
+    possible = approximate_possible(query, db)
+    # the (NULL, 2) row is possibly A=1
+    assert (NULL, 2) in possible
+    certain = approximate_certain(query, db)
+    assert (NULL, 2) not in certain
+
+
+def test_is_positive_classification(schema):
+    positive = [
+        "SELECT R.A FROM R WHERE R.A = 1",
+        "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)",
+        "SELECT R.A FROM R UNION SELECT S.A FROM S",
+        "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S)",
+    ]
+    negative = [
+        "SELECT R.A FROM R WHERE NOT R.A = 1",
+        "SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+        "SELECT R.A FROM R EXCEPT SELECT S.A FROM S",
+        "SELECT R.A FROM R WHERE R.A IS NULL",
+    ]
+    for text in positive:
+        assert is_positive(text, schema), text
+    for text in negative:
+        assert not is_positive(text, schema), text
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_soundness_on_positive_queries(seed):
+    """approximate_certain ⊆ exact certain answers, on random positive
+    queries over tiny instances (ground truth by valuation enumeration)."""
+    schema = Schema({"R": ("A", "B"), "S": ("C",)})
+    rng = random.Random(seed)
+    config = GeneratorConfig(
+        tables=2,
+        nest=1,
+        attr=2,
+        cond=2,
+        star_probability=0.0,
+        setop_probability=0.15,
+        negation_probability=0.0,
+        duplicate_output_probability=0.0,
+        null_term_probability=0.0,
+        min_constant=1,
+        max_constant=2,
+    )
+    generator = QueryGenerator(schema, config, rng)
+    query = None
+    for _ in range(50):
+        candidate = generator.generate()
+        if is_positive(candidate, schema):
+            query = candidate
+            break
+    assert query is not None
+    rows_r = [
+        tuple(rng.choice([1, 2, NULL]) for _ in range(2))
+        for _ in range(rng.randint(0, 2))
+    ]
+    rows_s = [(rng.choice([1, 2, NULL]),) for _ in range(rng.randint(0, 2))]
+    db = Database(schema, {"R": rows_r, "S": rows_s})
+    if count_nulls(db) > 4:
+        pytest.skip("too many valuations")
+    approx = approximate_certain(query, db)
+    exact = exact_certain_answers(query, db, (1, 2))
+    assert approx <= exact
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_possible_superset(seed):
+    """exact possible answers ⊆ approximate_possible on positive queries
+    (restricted to null-free output rows, which valuations preserve)."""
+    schema = Schema({"R": ("A",)})
+    rng = random.Random(seed + 50)
+    rows = [(rng.choice([1, 2, NULL]),) for _ in range(3)]
+    db = Database(schema, {"R": rows})
+    query = "SELECT R.A FROM R WHERE R.A = 1"
+    exact = exact_possible_answers(query, db, (1, 2))
+    approx = approximate_possible(query, db)
+    # every null-free exact-possible row must appear, possibly as a null row
+    null_free_approx = {r for r in approx if not any(v is NULL for v in r)}
+    nullful = {r for r in approx if any(v is NULL for v in r)}
+    assert exact <= (null_free_approx | {(1,)} if nullful else null_free_approx)

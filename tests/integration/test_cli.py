@@ -1,0 +1,142 @@
+"""The command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import load_database, main
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": {"R": ["A"], "S": ["A"]},
+                "tables": {"R": [[1], [None]], "S": [[None]]},
+            }
+        )
+    )
+    return str(path)
+
+
+def test_load_database(db_file):
+    from repro.core import NULL
+
+    db = load_database(db_file)
+    assert db.schema.attributes("R") == ("A",)
+    assert db.table("R").multiplicity((NULL,)) == 1
+    assert db.table("S").multiplicity((NULL,)) == 1
+
+
+def test_run_command(db_file, capsys):
+    code = main(["run", "SELECT R.A FROM R EXCEPT SELECT S.A FROM S", "-d", db_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "annotated:" in out
+    assert "| 1" in out
+
+
+def test_run_command_postgres_dialect(db_file, capsys):
+    code = main(
+        [
+            "run",
+            "SELECT * FROM (SELECT R.A, R.A FROM R) AS T",
+            "-d",
+            db_file,
+            "--dialect",
+            "postgres",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("A") >= 2
+
+
+def test_translate_command(db_file, capsys):
+    code = main(
+        ["translate", "SELECT R.A FROM R WHERE R.A = 1", "-d", db_file]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SQL-RA" in out
+    assert "σ" in out
+
+
+def test_translate_pure(db_file, capsys):
+    code = main(
+        [
+            "translate",
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            "-d",
+            db_file,
+            "--pure",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pure relational algebra" in out
+    assert "∈" not in out  # desugared
+
+
+def test_two_valued_command(db_file, capsys):
+    code = main(
+        [
+            "two-valued",
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            "-d",
+            db_file,
+            "--equality",
+            "conflating",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "NOT EXISTS" in out
+    assert "IS NULL" in out
+
+
+def test_two_valued_syntactic(db_file, capsys):
+    code = main(
+        [
+            "two-valued",
+            "SELECT R.A FROM R WHERE R.A = 1",
+            "-d",
+            db_file,
+            "--equality",
+            "syntactic",
+        ]
+    )
+    assert code == 0
+    assert "IS NOT NULL" in capsys.readouterr().out
+
+
+def test_validate_command(capsys):
+    code = main(["validate", "--trials", "15", "--variants", "postgres"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "postgres" in out
+    assert "100.0000%" in out
+
+
+def test_generate_command(capsys):
+    code = main(["generate", "--count", "3", "--seed", "11"])
+    assert code == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 3
+    assert all(line.endswith(";") for line in out)
+
+
+def test_generate_oracle_dialect(capsys):
+    code = main(["generate", "--count", "5", "--seed", "2", "--dialect", "oracle"])
+    assert code == 0
+    assert "EXCEPT" not in capsys.readouterr().out
+
+
+def test_generated_queries_parse_back(capsys):
+    from repro.sql import parse_query
+
+    main(["generate", "--count", "5", "--seed", "3"])
+    for line in capsys.readouterr().out.strip().splitlines():
+        parse_query(line.rstrip(";"))

@@ -1,0 +1,106 @@
+"""The randomized equivalence-testing application."""
+
+import pytest
+
+from repro.applications import EquivalenceReport, check_equivalence, find_counterexample
+from repro.core import NULL, Database, Schema
+from repro.semantics import SqlSemantics
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A",)})
+
+
+NOT_IN = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"
+NOT_EXISTS = (
+    "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS "
+    "(SELECT * FROM S WHERE S.A = R.A)"
+)
+EXCEPT = "SELECT DISTINCT R.A FROM R EXCEPT SELECT S.A FROM S"
+
+
+def test_example1_rewriting_refuted(schema):
+    """The NOT IN → NOT EXISTS rewriting is refuted by a random database."""
+    report = check_equivalence(NOT_IN, NOT_EXISTS, schema, trials=300)
+    assert not report.equivalent_so_far
+    assert report.counterexample is not None
+    assert "NOT equivalent" in report.describe()
+
+
+def test_example1_all_three_pairwise_inequivalent(schema):
+    pairs = [(NOT_IN, NOT_EXISTS), (NOT_IN, EXCEPT), (NOT_EXISTS, EXCEPT)]
+    for left, right in pairs:
+        report = check_equivalence(left, right, schema, trials=400)
+        assert not report.equivalent_so_far, (left, right)
+
+
+def test_true_equivalence_survives(schema):
+    """A genuinely valid rewriting finds no counterexample."""
+    left = "SELECT R.A FROM R WHERE R.A = 1"
+    right = "SELECT R.A FROM R WHERE 1 = R.A"
+    report = check_equivalence(left, right, schema, trials=150)
+    assert report.equivalent_so_far
+    assert report.trials == 150
+    assert "no counterexample" in report.describe()
+
+
+def test_commuted_union_equivalent_as_bags(schema):
+    left = "SELECT R.A FROM R UNION ALL SELECT S.A FROM S"
+    right = "SELECT S.A AS A FROM S UNION ALL SELECT R.A FROM R"
+    report = check_equivalence(left, right, schema, trials=100)
+    assert report.equivalent_so_far
+
+
+def test_distinct_vs_bag_not_equivalent(schema):
+    left = "SELECT R.A FROM R"
+    right = "SELECT DISTINCT R.A FROM R"
+    report = check_equivalence(left, right, schema, trials=200)
+    assert not report.equivalent_so_far
+
+
+def test_extra_databases_checked_first(schema):
+    """Seeding the paper's Example 1 database finds the counterexample in
+    one trial."""
+    example1 = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+    report = check_equivalence(
+        NOT_IN, NOT_EXISTS, schema, trials=0, extra_databases=[example1]
+    )
+    assert not report.equivalent_so_far
+    assert report.trials == 1
+    assert report.counterexample is example1
+
+
+def test_find_counterexample_wrapper(schema):
+    db = find_counterexample(NOT_IN, EXCEPT, schema, trials=400)
+    assert db is not None
+    sem = SqlSemantics(schema)
+    from repro.sql import annotate
+
+    left = sem.run(annotate(NOT_IN, schema), db)
+    right = sem.run(annotate(EXCEPT, schema), db)
+    assert not left.same_as(right)
+
+
+def test_no_counterexample_returns_none(schema):
+    assert (
+        find_counterexample(
+            "SELECT R.A FROM R", "SELECT R.A AS A FROM R", schema, trials=50
+        )
+        is None
+    )
+
+
+def test_accepts_pre_annotated_queries(schema):
+    from repro.sql import annotate
+
+    left = annotate(NOT_IN, schema)
+    right = annotate(EXCEPT, schema)
+    report = check_equivalence(left, right, schema, trials=300)
+    assert not report.equivalent_so_far
+
+
+def test_deterministic_given_seed(schema):
+    a = check_equivalence(NOT_IN, EXCEPT, schema, trials=300, seed=4)
+    b = check_equivalence(NOT_IN, EXCEPT, schema, trials=300, seed=4)
+    assert a.trials == b.trials

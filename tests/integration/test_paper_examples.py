@@ -1,0 +1,146 @@
+"""The paper's worked examples, end to end from SQL text, on every pipeline."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.errors import AmbiguousReferenceError
+from repro.algebra import RASemantics, is_pure, sql_to_ra
+from repro.engine import Engine
+from repro.semantics import (
+    STAR_COMPOSITIONAL,
+    STAR_STANDARD,
+    SqlSemantics,
+    TwoValuedTranslator,
+)
+from repro.sql import annotate, check_query
+
+Q1 = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"
+Q2 = (
+    "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS "
+    "(SELECT * FROM S WHERE S.A = R.A)"
+)
+Q3 = "SELECT R.A FROM R EXCEPT SELECT S.A FROM S"
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    """Example 1: R = {1, NULL}, S = {NULL}."""
+    return Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+
+
+class TestExample1:
+    """Q1(D) = ∅, Q2(D) = {1, NULL}, Q3(D) = {1} — three inequivalent ways
+    of writing difference in the presence of nulls."""
+
+    def results(self, schema, db, evaluator):
+        out = {}
+        for name, text in [("Q1", Q1), ("Q2", Q2), ("Q3", Q3)]:
+            out[name] = sorted(evaluator(annotate(text, schema), db).bag, key=repr)
+        return out
+
+    def expected(self):
+        return {"Q1": [], "Q2": [(1,), (NULL,)], "Q3": [(1,)]}
+
+    def test_formal_semantics_standard(self, schema, db):
+        sem = SqlSemantics(schema, star_style=STAR_STANDARD)
+        assert self.results(schema, db, sem.run) == self.expected()
+
+    def test_formal_semantics_compositional(self, schema, db):
+        sem = SqlSemantics(schema, star_style=STAR_COMPOSITIONAL)
+        assert self.results(schema, db, sem.run) == self.expected()
+
+    def test_engine_postgres(self, schema, db):
+        engine = Engine(schema, "postgres")
+        assert self.results(schema, db, engine.execute) == self.expected()
+
+    def test_engine_oracle(self, schema, db):
+        engine = Engine(schema, "oracle")
+        assert self.results(schema, db, engine.execute) == self.expected()
+
+    def test_relational_algebra_q1_q3(self, schema, db):
+        """Q1 and Q3 are data manipulation queries; their RA translations
+        produce the same (non-equivalent!) results."""
+        ra = RASemantics(schema)
+        e1 = sql_to_ra(annotate(Q1, schema), schema)
+        e3 = sql_to_ra(annotate(Q3, schema), schema)
+        assert is_pure(e1) and is_pure(e3)
+        assert ra.evaluate(e1, db).is_empty()
+        assert sorted(ra.evaluate(e3, db).bag) == [(1,)]
+
+    def test_two_valued_translations(self, schema, db):
+        for mode in ("conflating", "syntactic"):
+            translator = TwoValuedTranslator(schema, mode)
+            sem2 = SqlSemantics(schema, logic=translator.logic)
+            for text, expected in zip(
+                (Q1, Q2, Q3), ([], [(1,), (NULL,)], [(1,)])
+            ):
+                q = annotate(text, schema)
+                translated = translator.translate_query(q)
+                assert sorted(sem2.run(translated, db).bag, key=repr) == expected
+
+    def test_queries_inequivalent_with_nulls_equivalent_without(self, schema):
+        """On null-free databases the three queries *do* agree."""
+        clean = Database(schema, {"R": [(1,), (2,)], "S": [(2,)]})
+        sem = SqlSemantics(schema)
+        results = [
+            sorted(sem.run(annotate(t, schema), clean).bag) for t in (Q1, Q2, Q3)
+        ]
+        assert results[0] == results[1] == results[2] == [(1,)]
+
+
+class TestExample2:
+    """SELECT * over duplicated columns: dialect-divergent behaviour."""
+
+    STANDALONE = "SELECT * FROM (SELECT R.A, R.A FROM R) AS T"
+    NESTED = (
+        "SELECT * FROM R WHERE EXISTS "
+        "(SELECT * FROM (SELECT R.A, R.A FROM R) AS T)"
+    )
+
+    def test_standard_semantics_rejects_standalone(self, schema, db):
+        q = annotate(self.STANDALONE, schema)
+        with pytest.raises(AmbiguousReferenceError):
+            check_query(q, schema, star_style="standard")
+        with pytest.raises(AmbiguousReferenceError):
+            SqlSemantics(schema, star_style=STAR_STANDARD).run(q, db)
+
+    def test_compositional_semantics_accepts_standalone(self, schema, db):
+        q = annotate(self.STANDALONE, schema)
+        check_query(q, schema, star_style="compositional")
+        t = SqlSemantics(schema, star_style=STAR_COMPOSITIONAL).run(q, db)
+        assert t.columns == ("A", "A")
+        assert sorted(t.bag, key=repr) == [(1, 1), (NULL, NULL)]
+
+    def test_both_accept_nested_under_exists(self, schema, db):
+        q = annotate(self.NESTED, schema)
+        for style in (STAR_STANDARD, STAR_COMPOSITIONAL):
+            check_query(q, schema, star_style="standard" if style == STAR_STANDARD else "compositional")
+            t = SqlSemantics(schema, star_style=style).run(q, db)
+            # outputs R whenever R is nonempty
+            assert sorted(t.bag, key=repr) == [(1,), (NULL,)]
+
+    def test_engines_mirror_the_dialects(self, schema, db):
+        pg, ora = Engine(schema, "postgres"), Engine(schema, "oracle")
+        q = annotate(self.STANDALONE, schema)
+        assert pg.execute(q, db).columns == ("A", "A")
+        with pytest.raises(AmbiguousReferenceError):
+            ora.execute(q, db)
+        nested = annotate(self.NESTED, schema)
+        assert len(pg.execute(nested, db)) == 2
+        assert len(ora.execute(nested, db)) == 2
+
+
+class TestNotInVersusNotExistsRewriting:
+    """Section 1/7: rewriting NOT IN as NOT EXISTS — the textbook translation
+    the paper shows to be wrong under nulls — is validated here as wrong."""
+
+    def test_rewriting_changes_results(self, schema, db):
+        sem = SqlSemantics(schema)
+        not_in = sem.run(annotate(Q1, schema), db)
+        not_exists = sem.run(annotate(Q2, schema), db)
+        assert not not_in.same_as(not_exists)

@@ -1,0 +1,80 @@
+"""Counterexample shrinking for the equivalence tester."""
+
+import pytest
+
+from repro.applications import (
+    check_equivalence,
+    find_counterexample,
+    shrink_counterexample,
+)
+from repro.core import NULL, Database, Schema
+from repro.semantics import SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A",)})
+
+
+NOT_IN = "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)"
+EXCEPT = "SELECT DISTINCT R.A FROM R EXCEPT SELECT S.A FROM S"
+NOT_EXISTS = (
+    "SELECT DISTINCT R.A FROM R WHERE NOT EXISTS "
+    "(SELECT * FROM S WHERE S.A = R.A)"
+)
+
+
+def still_disagrees(schema, db, left, right):
+    sem = SqlSemantics(schema)
+    return not sem.run(annotate(left, schema), db).same_as(
+        sem.run(annotate(right, schema), db)
+    )
+
+
+def test_shrunk_database_still_a_counterexample(schema):
+    db = find_counterexample(NOT_IN, EXCEPT, schema, trials=500)
+    assert db is not None
+    small = shrink_counterexample(NOT_IN, EXCEPT, schema, db)
+    assert still_disagrees(schema, small, NOT_IN, EXCEPT)
+
+
+def test_shrunk_database_is_locally_minimal(schema):
+    db = find_counterexample(NOT_IN, EXCEPT, schema, trials=500)
+    small = shrink_counterexample(NOT_IN, EXCEPT, schema, db)
+    # Removing ANY single remaining row makes the queries agree.
+    for name in schema.table_names:
+        rows = list(small.table(name).bag)
+        for i in range(len(rows)):
+            candidate_rows = rows[:i] + rows[i + 1 :]
+            tables = {
+                other: list(small.table(other).bag) for other in schema.table_names
+            }
+            tables[name] = candidate_rows
+            candidate = Database(schema, tables)
+            assert not still_disagrees(schema, candidate, NOT_IN, EXCEPT)
+
+
+def test_shrunk_size_not_larger(schema):
+    db = find_counterexample(NOT_IN, NOT_EXISTS, schema, trials=500)
+    small = shrink_counterexample(NOT_IN, NOT_EXISTS, schema, db)
+    for name in schema.table_names:
+        assert len(small.table(name)) <= len(db.table(name))
+
+
+def test_shrink_example1_database(schema):
+    """Example 1's database shrinks to a 2-row witness (R needs just one
+    non-matching value, S just its NULL)."""
+    example1 = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+    small = shrink_counterexample(NOT_IN, EXCEPT, schema, example1)
+    total_rows = sum(len(small.table(n)) for n in schema.table_names)
+    assert total_rows == 2
+    assert still_disagrees(schema, small, NOT_IN, EXCEPT)
+
+
+def test_shrink_rejects_non_counterexample(schema):
+    agreeing = Database(schema, {"R": [(1,)], "S": [(2,)]})
+    # NOT IN and EXCEPT agree here ({1} both), so shrinking must refuse.
+    assert not still_disagrees(schema, agreeing, NOT_IN, EXCEPT)
+    with pytest.raises(ValueError):
+        shrink_counterexample(NOT_IN, EXCEPT, schema, agreeing)

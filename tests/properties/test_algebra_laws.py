@@ -1,0 +1,181 @@
+"""Property-based RA equivalence laws under bag semantics and 3VL.
+
+Classical RA identities do not all survive bags and nulls; these tests pin
+down which do.  Each law is checked by evaluating both sides on random
+databases (seed-driven), with conditions drawn from a small pool that
+includes null-sensitive atoms."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.ast import (
+    Attr,
+    Dedup,
+    DifferenceOp,
+    IntersectionOp,
+    Product,
+    Projection,
+    RAnd,
+    Relation,
+    RNot,
+    ROr,
+    RPredicate,
+    NullTest,
+    Selection,
+    UnionOp,
+)
+from repro.algebra.semantics import RASemantics
+from repro.core import Schema
+from repro.generator import DataFillerConfig, fill_database
+
+SCHEMA = Schema({"R": ("A", "B"), "S": ("C", "D")})
+RA = RASemantics(SCHEMA)
+
+CONDITIONS_R = [
+    RPredicate("=", (Attr("A"), Attr("B"))),
+    RPredicate("<", (Attr("A"), 5)),
+    NullTest(Attr("A")),
+    RNot(RPredicate("=", (Attr("B"), 3))),
+    RAnd(RPredicate(">", (Attr("A"), 1)), NullTest(Attr("B"))),
+]
+
+seeds = st.integers(min_value=0, max_value=5_000)
+cond_pairs = st.tuples(
+    st.sampled_from(CONDITIONS_R), st.sampled_from(CONDITIONS_R)
+)
+
+
+def db_for(seed):
+    return fill_database(
+        SCHEMA, random.Random(seed), DataFillerConfig(max_rows=6, null_rate=0.3)
+    )
+
+
+def same(seed, left, right):
+    db = db_for(seed)
+    return RA.evaluate(left, db).bag == RA.evaluate(right, db).bag
+
+
+@given(seeds, cond_pairs)
+@settings(max_examples=60, deadline=None)
+def test_selection_cascade(seed, conds):
+    """σ_{θ1∧θ2}(E) = σ_θ1(σ_θ2(E)) — valid even under 3VL, because a
+    conjunction is t iff both conjuncts are t."""
+    theta1, theta2 = conds
+    r = Relation("R")
+    assert same(
+        seed,
+        Selection(r, RAnd(theta1, theta2)),
+        Selection(Selection(r, theta2), theta1),
+    )
+
+
+@given(seeds, cond_pairs)
+@settings(max_examples=60, deadline=None)
+def test_selection_commute(seed, conds):
+    theta1, theta2 = conds
+    r = Relation("R")
+    assert same(
+        seed,
+        Selection(Selection(r, theta2), theta1),
+        Selection(Selection(r, theta1), theta2),
+    )
+
+
+@given(seeds, cond_pairs)
+@settings(max_examples=60, deadline=None)
+def test_disjunctive_selection_is_not_union(seed, conds):
+    """σ_{θ1∨θ2}(E) vs σ_θ1(E) ∪ σ_θ2(E): NOT a law under bags (double
+    counting) — but the left is always dominated by the right."""
+    theta1, theta2 = conds
+    r = Relation("R")
+    db = db_for(seed)
+    left = RA.evaluate(Selection(r, ROr(theta1, theta2)), db).bag
+    right = RA.evaluate(
+        UnionOp(Selection(r, theta1), Selection(r, theta2)), db
+    ).bag
+    for record in left.distinct():
+        assert left.multiplicity(record) <= right.multiplicity(record)
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_dedup_distributes_over_product(seed):
+    """ε(E1 × E2) = ε(E1) × ε(E2)."""
+    assert same(
+        seed,
+        Dedup(Product(Relation("R"), Relation("S"))),
+        Product(Dedup(Relation("R")), Dedup(Relation("S"))),
+    )
+
+
+@given(seeds, st.sampled_from(CONDITIONS_R))
+@settings(max_examples=40, deadline=None)
+def test_dedup_commutes_with_selection(seed, theta):
+    assert same(
+        seed,
+        Dedup(Selection(Relation("R"), theta)),
+        Selection(Dedup(Relation("R")), theta),
+    )
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_projection_does_not_commute_with_dedup(seed):
+    """ε(π(E)) ≠ π(ε(E)) in general under bags — dominance holds instead."""
+    db = db_for(seed)
+    left = RA.evaluate(Dedup(Projection(Relation("R"), ("A",))), db).bag
+    right = RA.evaluate(Projection(Dedup(Relation("R")), ("A",)), db).bag
+    for record in left.distinct():
+        assert left.multiplicity(record) <= right.multiplicity(record)
+    assert set(left.distinct()) == set(right.distinct())
+
+
+@given(seeds, st.sampled_from(CONDITIONS_R))
+@settings(max_examples=40, deadline=None)
+def test_selection_distributes_over_union(seed, theta):
+    r = Relation("R")
+    assert same(
+        seed,
+        Selection(UnionOp(r, r), theta),
+        UnionOp(Selection(r, theta), Selection(r, theta)),
+    )
+
+
+@given(seeds, st.sampled_from(CONDITIONS_R))
+@settings(max_examples=40, deadline=None)
+def test_selection_distributes_over_difference(seed, theta):
+    """σ_θ(E1 − E2) = σ_θ(E1) − σ_θ(E2) holds under bags (the condition
+    depends only on the row)."""
+    r = Relation("R")
+    double = UnionOp(r, r)
+    assert same(
+        seed,
+        Selection(DifferenceOp(double, r), theta),
+        DifferenceOp(Selection(double, theta), Selection(r, theta)),
+    )
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_intersection_via_difference_at_expression_level(seed):
+    r = Relation("R")
+    double = UnionOp(r, r)
+    assert same(
+        seed,
+        IntersectionOp(double, r),
+        DifferenceOp(double, DifferenceOp(double, r)),
+    )
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_projection_merges(seed):
+    """π_A(π_{A,B}(E)) = π_A(E)."""
+    assert same(
+        seed,
+        Projection(Projection(Relation("R"), ("A", "B")), ("A",)),
+        Projection(Relation("R"), ("A",)),
+    )

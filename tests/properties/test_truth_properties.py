@@ -1,0 +1,83 @@
+"""Property-based tests: Kleene logic as embedded in {0, ½, 1} arithmetic.
+
+Kleene's strong 3VL has a well-known numeric model: t = 1, u = ½, f = 0 with
+∧ = min, ∨ = max, ¬x = 1 − x.  Hypothesis checks our truth tables against
+that model, plus the lattice/De-Morgan laws on arbitrary combinations."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.truth import FALSE, TRUE, UNKNOWN, conj_all, disj_all
+
+truths = st.sampled_from([TRUE, FALSE, UNKNOWN])
+
+_NUM = {TRUE: Fraction(1), UNKNOWN: Fraction(1, 2), FALSE: Fraction(0)}
+_VAL = {v: k for k, v in _NUM.items()}
+
+
+def num(t):
+    return _NUM[t]
+
+
+@given(truths, truths)
+def test_conjunction_is_min(a, b):
+    assert num(a & b) == min(num(a), num(b))
+
+
+@given(truths, truths)
+def test_disjunction_is_max(a, b):
+    assert num(a | b) == max(num(a), num(b))
+
+
+@given(truths)
+def test_negation_is_complement(a):
+    assert num(~a) == 1 - num(a)
+
+
+@given(st.lists(truths, max_size=8))
+def test_conj_all_is_min(values):
+    expected = min((num(v) for v in values), default=Fraction(1))
+    assert num(conj_all(values)) == expected
+
+
+@given(st.lists(truths, max_size=8))
+def test_disj_all_is_max(values):
+    expected = max((num(v) for v in values), default=Fraction(0))
+    assert num(disj_all(values)) == expected
+
+
+@given(truths, truths, truths)
+def test_absorption(a, b, c):
+    assert (a & (a | b)) is a
+    assert (a | (a & b)) is a
+
+
+@given(truths, truths)
+def test_de_morgan(a, b):
+    assert ~(a & b) is (~a | ~b)
+    assert ~(a | b) is (~a & ~b)
+
+
+@given(truths)
+def test_idempotence(a):
+    assert (a & a) is a
+    assert (a | a) is a
+
+
+@given(truths)
+def test_units(a):
+    assert (a & TRUE) is a
+    assert (a | FALSE) is a
+    assert (a & FALSE) is FALSE
+    assert (a | TRUE) is TRUE
+
+
+@given(truths)
+def test_no_excluded_middle_in_kleene(a):
+    """a ∨ ¬a is t only for the classical values — u ∨ ¬u = u."""
+    if a is UNKNOWN:
+        assert (a | ~a) is UNKNOWN
+    else:
+        assert (a | ~a) is TRUE

@@ -1,0 +1,301 @@
+"""The core evaluation rules of Figures 4–6: terms, conditions, SFW blocks."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.env import EMPTY_ENV, Environment
+from repro.core.errors import (
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    CompileError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+)
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.core.values import FullName
+from repro.semantics import SqlSemantics
+from repro.sql import annotate, parse_condition
+from repro.sql.annotate import annotate_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [(1, 2), (1, 2), (NULL, 3), (4, NULL)], "S": [(1,), (NULL,)]},
+    )
+
+
+@pytest.fixture
+def sem(schema):
+    return SqlSemantics(schema)
+
+
+def run(sem, schema, db, text):
+    return sem.run(annotate(text, schema), db)
+
+
+# -- terms (Figure 4) --------------------------------------------------------
+
+
+def test_constant_term(sem):
+    assert sem.eval_term(5, EMPTY_ENV) == 5
+    assert sem.eval_term("x", EMPTY_ENV) == "x"
+
+
+def test_null_term(sem):
+    assert sem.eval_term(NULL, EMPTY_ENV) is NULL
+
+
+def test_full_name_term(sem):
+    env = Environment.from_bindings((FullName("R", "A"),), (7,))
+    assert sem.eval_term(FullName("R", "A"), env) == 7
+
+
+def test_unbound_full_name(sem):
+    with pytest.raises(UnboundReferenceError):
+        sem.eval_term(FullName("R", "A"), EMPTY_ENV)
+
+
+def test_tuple_of_terms(sem):
+    env = Environment.from_bindings((FullName("R", "A"),), (7,))
+    assert sem.eval_terms((1, NULL, FullName("R", "A")), env) == (1, NULL, 7)
+
+
+# -- conditions (Figure 6) ------------------------------------------------------
+
+
+def cond(sem, db, text, env=EMPTY_ENV):
+    return sem.eval_condition(parse_condition(text), db, env)
+
+
+def test_true_false(sem, db):
+    assert cond(sem, db, "TRUE") is TRUE
+    assert cond(sem, db, "FALSE") is FALSE
+
+
+def test_comparison_on_constants(sem, db):
+    assert cond(sem, db, "1 = 1") is TRUE
+    assert cond(sem, db, "1 = 2") is FALSE
+    assert cond(sem, db, "1 < 2") is TRUE
+
+
+def test_comparison_with_null_is_unknown(sem, db):
+    assert cond(sem, db, "1 = NULL") is UNKNOWN
+    assert cond(sem, db, "NULL = NULL") is UNKNOWN
+    assert cond(sem, db, "NULL < 1") is UNKNOWN
+
+
+def test_is_null_is_two_valued(sem, db):
+    assert cond(sem, db, "NULL IS NULL") is TRUE
+    assert cond(sem, db, "1 IS NULL") is FALSE
+    assert cond(sem, db, "NULL IS NOT NULL") is FALSE
+    assert cond(sem, db, "1 IS NOT NULL") is TRUE
+
+
+def test_connectives_follow_kleene(sem, db):
+    assert cond(sem, db, "1 = NULL OR TRUE") is TRUE
+    assert cond(sem, db, "1 = NULL OR FALSE") is UNKNOWN
+    assert cond(sem, db, "1 = NULL AND FALSE") is FALSE
+    assert cond(sem, db, "1 = NULL AND TRUE") is UNKNOWN
+    assert cond(sem, db, "NOT 1 = NULL") is UNKNOWN
+
+
+def test_in_true_when_match_exists(sem, schema, db):
+    text = "1 IN (SELECT S.A FROM S)"
+    condition = annotate_condition(text, schema)
+    assert sem.eval_condition(condition, db, EMPTY_ENV) is TRUE
+
+
+def annotate_condition(text, schema):
+    """Annotate a condition by wrapping it in a query."""
+    q = annotate(f"SELECT R.A FROM R WHERE {text}", schema)
+    return q.where
+
+
+def test_in_unknown_when_only_null_candidates(sem, schema, db):
+    condition = annotate_condition("2 IN (SELECT S.A FROM S)", schema)
+    assert sem.eval_condition(condition, db, EMPTY_ENV) is UNKNOWN
+
+
+def test_in_false_on_empty_subquery(sem, schema, db):
+    condition = annotate_condition(
+        "2 IN (SELECT S.A FROM S WHERE FALSE)", schema
+    )
+    assert sem.eval_condition(condition, db, EMPTY_ENV) is FALSE
+
+
+def test_not_in_is_negation(sem, schema, db):
+    assert (
+        sem.eval_condition(
+            annotate_condition("2 NOT IN (SELECT S.A FROM S)", schema), db, EMPTY_ENV
+        )
+        is UNKNOWN
+    )
+    assert (
+        sem.eval_condition(
+            annotate_condition("1 NOT IN (SELECT S.A FROM S)", schema), db, EMPTY_ENV
+        )
+        is FALSE
+    )
+
+
+def test_in_arity_mismatch(sem, schema, db):
+    condition = annotate_condition("(1, 2) IN (SELECT S.A FROM S)", schema)
+    with pytest.raises(ArityMismatchError):
+        sem.eval_condition(condition, db, EMPTY_ENV)
+
+
+def test_exists_two_valued(sem, schema, db):
+    assert (
+        sem.eval_condition(
+            annotate_condition("EXISTS (SELECT S.A FROM S)", schema), db, EMPTY_ENV
+        )
+        is TRUE
+    )
+    assert (
+        sem.eval_condition(
+            annotate_condition("EXISTS (SELECT S.A FROM S WHERE FALSE)", schema),
+            db,
+            EMPTY_ENV,
+        )
+        is FALSE
+    )
+
+
+def test_unknown_predicate_rejected(sem, db):
+    with pytest.raises(CompileError):
+        cond(sem, db, "frobnicate(1, 2)")
+
+
+def test_type_clash_in_ordering(sem, db):
+    with pytest.raises(CompileError):
+        cond(sem, db, "1 < 'x'")
+
+
+def test_cross_type_equality_is_false(sem, db):
+    assert cond(sem, db, "1 = 'x'") is FALSE
+
+
+# -- SELECT-FROM-WHERE (Figure 5) --------------------------------------------------
+
+
+def test_base_table(sem, schema, db):
+    t = run(sem, schema, db, "SELECT R.A, R.B FROM R")
+    assert t.columns == ("A", "B")
+    assert t.multiplicity((1, 2)) == 2
+
+
+def test_where_keeps_only_true(sem, schema, db):
+    """Rows where the condition is f or u are both discarded."""
+    t = run(sem, schema, db, "SELECT R.B FROM R WHERE R.A = 1")
+    assert sorted(t.bag) == [(2,), (2,)]  # (NULL,3) row gives u, dropped
+
+
+def test_product_multiplicities(sem, schema, db):
+    t = run(sem, schema, db, "SELECT R.A, S.A FROM R, S")
+    assert len(t) == 8  # 4 rows × 2 rows
+    assert t.multiplicity((1, 1)) == 2
+
+
+def test_select_constants_and_null(sem, schema, db):
+    t = run(sem, schema, db, "SELECT 7 AS X, NULL AS Y FROM S")
+    assert t.multiplicity((7, NULL)) == 2
+
+
+def test_distinct(sem, schema, db):
+    t = run(sem, schema, db, "SELECT DISTINCT R.A FROM R")
+    assert t.multiplicity((1,)) == 1
+    assert len(t) == 3
+
+
+def test_output_columns_renamed(sem, schema, db):
+    t = run(sem, schema, db, "SELECT R.A AS X FROM R")
+    assert t.columns == ("X",)
+
+
+def test_duplicate_output_names_allowed(sem, schema, db):
+    t = run(sem, schema, db, "SELECT R.A AS X, R.A AS X FROM R WHERE R.A = 1")
+    assert t.columns == ("X", "X")
+    assert t.multiplicity((1, 1)) == 2
+
+
+def test_correlated_exists(sem, schema, db):
+    t = run(
+        sem,
+        schema,
+        db,
+        "SELECT R.B FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+    )
+    assert sorted(t.bag) == [(2,), (2,)]
+
+
+def test_correlated_in(sem, schema, db):
+    t = run(
+        sem,
+        schema,
+        db,
+        "SELECT R.A FROM R WHERE R.B IN (SELECT S.A FROM S WHERE S.A = R.A)",
+    )
+    assert t.is_empty()
+
+
+def test_scope_shadowing(sem, schema):
+    """An inner FROM with the same alias shadows the outer binding."""
+    db = Database(schema, {"R": [(1, 10)], "S": [(1,), (2,)]})
+    t = sem.run(
+        annotate(
+            "SELECT R.A FROM R WHERE EXISTS "
+            "(SELECT X.A FROM S AS X WHERE X.A = 2)",
+            schema,
+        ),
+        db,
+    )
+    assert len(t) == 1
+
+
+def test_duplicate_from_alias_raises(sem, schema, db):
+    from repro.sql.ast import FromItem, Select, SelectItem, TRUE_COND
+
+    q = Select(
+        (SelectItem(FullName("X", "A"), "A"),),
+        (FromItem("R", "X"), FromItem("S", "X")),
+        TRUE_COND,
+    )
+    with pytest.raises(DuplicateAliasError):
+        sem.run(q, db)
+
+
+def test_subquery_in_from(sem, schema, db):
+    t = run(
+        sem,
+        schema,
+        db,
+        "SELECT U.X FROM (SELECT R.A AS X FROM R WHERE R.A = 1) AS U",
+    )
+    assert sorted(t.bag) == [(1,), (1,)]
+
+
+def test_ambiguous_reference_raises_at_lookup(sem, schema, db):
+    q = annotate(
+        "SELECT T.A AS X FROM (SELECT R.A, R.A FROM R) AS T", schema
+    )
+    with pytest.raises(AmbiguousReferenceError):
+        sem.run(q, db)
+
+
+def test_from_items_evaluated_under_outer_env(sem, schema):
+    """Correlated subqueries in FROM see the enclosing environment."""
+    db = Database(schema, {"R": [(1, 2)], "S": [(1,), (3,)]})
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS "
+        "(SELECT U.Y FROM (SELECT R.B AS Y FROM S) AS U WHERE U.Y = 2)",
+        schema,
+    )
+    t = sem.run(q, db)
+    assert len(t) == 1

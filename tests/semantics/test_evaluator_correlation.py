@@ -1,0 +1,163 @@
+"""Environments and scoping in the evaluator: the η ⊕r̄ ℓ(τ:β) discipline.
+
+These tests pin down the paper's variable-binding rules — the part
+"normally disregarded by simplified semantics" — with hand-computed
+denotations."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.env import Environment
+from repro.core.values import FullName
+from repro.semantics import SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"E": ("dept", "name"), "D": ("dept", "head")})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {
+            "E": [(10, "ann"), (10, "bob"), (20, "cat"), (NULL, "dan")],
+            "D": [(10, "ann"), (20, NULL)],
+        },
+    )
+
+
+@pytest.fixture
+def sem(schema):
+    return SqlSemantics(schema)
+
+
+def run(sem, schema, db, text):
+    return sem.run(annotate(text, schema), db)
+
+
+def test_parameter_flows_into_where_subquery(sem, schema, db):
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E WHERE EXISTS "
+        "(SELECT D.head FROM D WHERE D.dept = E.dept)",
+    )
+    assert sorted(t.bag) == [("ann",), ("bob",), ("cat",)]
+
+
+def test_parameter_three_valued_comparison(sem, schema, db):
+    """The NULL dept of dan compares unknown against every D.dept."""
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E WHERE E.dept IN (SELECT D.dept FROM D)",
+    )
+    assert ("dan",) not in t.bag
+
+
+def test_inner_binding_shadows_outer_same_alias(sem, schema, db):
+    """Both blocks alias a table as X; the inner scope must win inside the
+    subquery."""
+    t = run(
+        sem, schema, db,
+        "SELECT X.name FROM E AS X WHERE EXISTS "
+        "(SELECT X.head FROM D AS X WHERE X.dept = 20)",
+    )
+    # inner X ranges over D; condition holds for every outer row
+    assert len(t) == 4
+
+
+def test_outer_binding_visible_when_not_shadowed(sem, schema, db):
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E WHERE EXISTS "
+        "(SELECT D.head FROM D WHERE D.dept = E.dept AND E.name = 'ann')",
+    )
+    assert sorted(t.bag) == [("ann",)]
+
+
+def test_two_levels_of_correlation(sem, schema, db):
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E WHERE EXISTS ("
+        "SELECT D.dept FROM D WHERE D.dept = E.dept AND EXISTS ("
+        "SELECT D2.head FROM D AS D2 WHERE D2.head = E.name))",
+    )
+    assert sorted(t.bag) == [("ann",)]
+
+
+def test_evaluate_with_explicit_environment(sem, schema, db):
+    """⟦Q⟧_{D,η}: a parameterized query evaluated under an explicit η."""
+    query = annotate("SELECT D.head FROM D WHERE D.dept = E.dept", schema)
+    # strip the annotation's resolution: E.dept stays a parameter
+    env = Environment.from_bindings((FullName("E", "dept"),), (20,))
+    t = sem.evaluate(query, db, env)
+    assert sorted(t.bag, key=repr) == [(NULL,)]
+
+
+def test_parameterized_query_unbound_without_environment(sem, schema, db):
+    from repro.core.errors import UnboundReferenceError
+    from repro.sql.ast import FromItem, Predicate, Select, SelectItem
+
+    query = Select(
+        (SelectItem(FullName("D", "head"), "head"),),
+        (FromItem("D", "D"),),
+        Predicate("=", (FullName("D", "dept"), FullName("E", "dept"))),
+    )
+    with pytest.raises(UnboundReferenceError):
+        sem.run(query, db)
+
+
+def test_from_product_environment_not_leaked_to_siblings(sem, schema):
+    """A FROM subquery is evaluated under the *outer* η, so a reference to a
+    sibling's alias must fail at evaluation (and at annotation)."""
+    from repro.core.errors import UnboundReferenceError
+    from repro.sql.ast import FromItem, Select, SelectItem, TRUE_COND
+
+    inner = Select(
+        (SelectItem(FullName("X", "dept"), "d"),),
+        (FromItem("D", "D2"),),
+        TRUE_COND,
+    )
+    query = Select(
+        (SelectItem(FullName("X", "name"), "n"),),
+        (FromItem("E", "X"), FromItem(inner, "U")),
+        TRUE_COND,
+    )
+    db = Database(schema, {"E": [(1, "a")], "D": [(1, "h")]})
+    with pytest.raises(UnboundReferenceError):
+        sem.run(query, db)
+
+
+def test_where_evaluated_once_per_product_row_with_multiplicity(sem, schema):
+    """⟦FROM-WHERE⟧ keeps k copies of a product row with multiplicity k."""
+    db = Database(
+        schema, {"E": [(1, "a"), (1, "a")], "D": [(1, "h"), (1, "h"), (1, "h")]}
+    )
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E, D WHERE E.dept = D.dept",
+    )
+    assert t.multiplicity(("a",)) == 6
+
+
+def test_select_list_evaluated_under_revised_environment(sem, schema, db):
+    """The SELECT list sees η′ = η ⊕r̄ ℓ(τ:β), i.e. the row bindings."""
+    t = run(
+        sem, schema, db,
+        "SELECT E.dept, E.name FROM E WHERE E.dept = 20",
+    )
+    assert sorted(t.bag) == [(20, "cat")]
+
+
+def test_correlated_from_subquery_uses_outer_parameters(sem, schema, db):
+    """Subqueries in FROM can be correlated with *enclosing* (not sibling)
+    scopes — the paper's 'correlated subqueries in FROM'."""
+    t = run(
+        sem, schema, db,
+        "SELECT E.name FROM E WHERE EXISTS ("
+        "SELECT U.h FROM (SELECT D.head AS h FROM D WHERE D.dept = E.dept) AS U "
+        "WHERE U.h = 'ann')",
+    )
+    assert sorted(t.bag) == [("ann",), ("bob",)]

@@ -1,0 +1,142 @@
+"""Figure 7: set and bag flavours of UNION, INTERSECT, EXCEPT."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.errors import ArityMismatchError
+from repro.semantics import SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A",), "W": ("A", "B")})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {
+            "R": [(1,), (1,), (2,), (NULL,)],
+            "S": [(1,), (2,), (2,), (NULL,), (NULL,)],
+            "W": [(1, 2)],
+        },
+    )
+
+
+def run(schema, db, text):
+    return SqlSemantics(schema).run(annotate(text, schema), db)
+
+
+def q(text):
+    return text
+
+
+def test_union_all_adds(schema, db):
+    t = run(schema, db, "SELECT R.A FROM R UNION ALL SELECT S.A FROM S")
+    assert t.multiplicity((1,)) == 3
+    assert t.multiplicity((2,)) == 3
+    assert t.multiplicity((NULL,)) == 3
+
+
+def test_union_dedups(schema, db):
+    t = run(schema, db, "SELECT R.A FROM R UNION SELECT S.A FROM S")
+    assert sorted(t.bag, key=repr) == [(1,), (2,), (NULL,)]
+
+
+def test_intersect_all_min(schema, db):
+    t = run(schema, db, "SELECT R.A FROM R INTERSECT ALL SELECT S.A FROM S")
+    assert t.multiplicity((1,)) == 1
+    assert t.multiplicity((2,)) == 1
+    assert t.multiplicity((NULL,)) == 1
+
+
+def test_intersect_dedups(schema, db):
+    t = run(schema, db, "SELECT R.A FROM R INTERSECT SELECT S.A FROM S")
+    assert len(t) == 3
+
+
+def test_except_all_truncated_subtraction(schema, db):
+    t = run(schema, db, "SELECT R.A FROM R EXCEPT ALL SELECT S.A FROM S")
+    assert t.multiplicity((1,)) == 1
+    assert t.multiplicity((2,)) == 0
+    assert t.multiplicity((NULL,)) == 0
+
+
+def test_except_is_dedup_left_minus_right():
+    """Figure 7's subtlety: Q1 EXCEPT Q2 = ε(⟦Q1⟧) − ⟦Q2⟧ — the right side is
+    NOT deduplicated, so a single right occurrence cancels the deduped left."""
+    schema = Schema({"R": ("A",), "S": ("A",)})
+    db = Database(schema, {"R": [(1,), (1,), (2,)], "S": [(2,), (2,)]})
+    t = SqlSemantics(schema).run(
+        annotate("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", schema), db
+    )
+    assert sorted(t.bag) == [(1,)]
+    # And ε(Q1) − Q2 differs from ε(Q1 EXCEPT ALL Q2) on this instance:
+    t_all = SqlSemantics(schema).run(
+        annotate(
+            "SELECT DISTINCT * FROM (SELECT R.A FROM R EXCEPT ALL SELECT S.A FROM S) AS T",
+            schema,
+        ),
+        db,
+    )
+    assert sorted(t_all.bag) == [(1,)]
+    db2 = Database(schema, {"R": [(1,), (1,)], "S": [(1,)]})
+    left = SqlSemantics(schema).run(
+        annotate("SELECT R.A FROM R EXCEPT SELECT S.A FROM S", schema), db2
+    )
+    assert left.is_empty()  # ε{1,1} − {1} = ∅
+    right = SqlSemantics(schema).run(
+        annotate("SELECT R.A FROM R EXCEPT ALL SELECT S.A FROM S", schema), db2
+    )
+    assert sorted(right.bag) == [(1,)]  # {1,1} − {1} = {1}
+
+
+def test_nulls_match_syntactically_in_set_ops(schema, db):
+    """Set operations treat NULL = NULL as the same value (Section 1)."""
+    t = run(schema, db, "SELECT R.A FROM R INTERSECT SELECT S.A FROM S")
+    assert t.multiplicity((NULL,)) == 1
+
+
+def test_labels_come_from_left(schema, db):
+    t = run(schema, db, "SELECT R.A AS X FROM R UNION SELECT S.A AS Y FROM S")
+    assert t.columns == ("X",)
+
+
+def test_arity_mismatch(schema, db):
+    with pytest.raises(ArityMismatchError):
+        run(schema, db, "SELECT R.A FROM R UNION SELECT W.A, W.B FROM W")
+
+
+def test_nested_set_ops(schema, db):
+    t = run(
+        schema,
+        db,
+        "SELECT R.A FROM R UNION ALL SELECT S.A FROM S "
+        "EXCEPT ALL SELECT R.A FROM R",
+    )
+    # (R ⊎ S) − R: multiplicities (1,2,NULL) = (3,3,3) − (2,1,1) = (1,2,2)
+    assert t.multiplicity((1,)) == 1
+    assert t.multiplicity((2,)) == 2
+    assert t.multiplicity((NULL,)) == 2
+
+
+def test_set_op_as_subquery_in_from(schema, db):
+    t = run(
+        schema,
+        db,
+        "SELECT U.A FROM (SELECT R.A FROM R UNION SELECT S.A FROM S) AS U "
+        "WHERE U.A IS NOT NULL",
+    )
+    assert sorted(t.bag) == [(1,), (2,)]
+
+
+def test_set_op_in_in_subquery(schema, db):
+    t = run(
+        schema,
+        db,
+        "SELECT W.A FROM W WHERE W.B IN "
+        "(SELECT R.A FROM R UNION ALL SELECT S.A FROM S)",
+    )
+    assert sorted(t.bag) == [(1,)]

@@ -1,0 +1,117 @@
+"""SELECT * under the standard (Figures 4–7) and compositional variants."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.core.errors import AmbiguousReferenceError
+from repro.semantics import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A", "B")})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(schema, {"R": [(1,), (2,)], "S": [(1, NULL)]})
+
+
+def test_star_expands_to_from_labels(schema, db):
+    sem = SqlSemantics(schema, star_style=STAR_STANDARD)
+    t = sem.run(annotate("SELECT * FROM R, S", schema), db)
+    assert t.columns == ("A", "A", "B")
+    assert t.multiplicity((1, 1, NULL)) == 1
+
+
+def test_star_compositional_same_result_on_plain_query(schema, db):
+    std = SqlSemantics(schema, star_style=STAR_STANDARD)
+    comp = SqlSemantics(schema, star_style=STAR_COMPOSITIONAL)
+    q = annotate("SELECT * FROM R, S WHERE R.A = S.A", schema)
+    assert std.run(q, db).same_as(comp.run(q, db))
+
+
+def test_star_with_distinct(schema, db):
+    sem = SqlSemantics(schema)
+    q = annotate("SELECT DISTINCT * FROM R, R AS R2", schema)
+    t = sem.run(q, db)
+    assert len(t) == 4
+
+
+def test_example2_first_query_standard_errors(schema, db):
+    """SELECT * FROM (SELECT R.A, R.A FROM R) AS T fails: the * forces a
+    reference to the repeated full name T.A (x = 0 expansion)."""
+    sem = SqlSemantics(schema, star_style=STAR_STANDARD)
+    q = annotate("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", schema)
+    with pytest.raises(AmbiguousReferenceError):
+        sem.run(q, db)
+
+
+def test_example2_first_query_compositional_works(schema, db):
+    """PostgreSQL's compositional semantics returns the rows positionally."""
+    sem = SqlSemantics(schema, star_style=STAR_COMPOSITIONAL)
+    q = annotate("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", schema)
+    t = sem.run(q, db)
+    assert t.columns == ("A", "A")
+    assert t.multiplicity((1, 1)) == 1
+    assert t.multiplicity((2, 2)) == 1
+
+
+def test_example2_second_query_standard_works(schema, db):
+    """Under EXISTS the same subquery is fine: * becomes a constant (x = 1)
+    and outputs R whenever it is nonempty."""
+    sem = SqlSemantics(schema, star_style=STAR_STANDARD)
+    q = annotate(
+        "SELECT * FROM R WHERE EXISTS "
+        "(SELECT * FROM (SELECT R.A, R.A FROM R) AS T)",
+        schema,
+    )
+    t = sem.run(q, db)
+    assert t.columns == ("A",)
+    assert len(t) == 2
+
+
+def test_star_under_exists_uses_constant(schema, db):
+    sem = SqlSemantics(schema, exists_constant=99, exists_label="K")
+    # Evaluate the subquery directly in exists context to observe the rule.
+    sub = annotate("SELECT * FROM R", schema)
+    t = sem.evaluate(sub, db, exists_context=True)
+    assert t.columns == ("K",)
+    assert sorted(t.bag) == [(99,), (99,)]
+
+
+def test_star_under_exists_constant_arbitrary(schema, db):
+    """The choice of c and N is immaterial: only emptiness is observable."""
+    sem1 = SqlSemantics(schema, exists_constant=1, exists_label="X")
+    sem2 = SqlSemantics(schema, exists_constant=42, exists_label="Y")
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.A = R.A)", schema
+    )
+    assert sem1.run(q, db).same_as(sem2.run(q, db))
+
+
+def test_star_in_set_op_children_expands_even_under_exists(schema, db):
+    """Figure 7 evaluates set-op operands with x = 0, so a * there expands
+    to the FROM labels, not to a constant."""
+    sem = SqlSemantics(schema)
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS "
+        "(SELECT * FROM S UNION ALL SELECT S.A, S.B FROM S)",
+        schema,
+    )
+    t = sem.run(q, db)
+    assert len(t) == 2
+
+
+def test_compositional_ignores_exists_context(schema, db):
+    sem = SqlSemantics(schema, star_style=STAR_COMPOSITIONAL)
+    sub = annotate("SELECT * FROM R", schema)
+    t = sem.evaluate(sub, db, exists_context=True)
+    assert t.columns == ("A",)
+    assert sorted(t.bag) == [(1,), (2,)]
+
+
+def test_unknown_star_style_rejected(schema):
+    with pytest.raises(ValueError):
+        SqlSemantics(schema, star_style="mysql")

@@ -1,0 +1,89 @@
+"""The three logic strategies: 3VL and the two two-valued readings of §6."""
+
+import pytest
+
+from repro.core.truth import FALSE, TRUE, UNKNOWN
+from repro.core.values import NULL
+from repro.semantics.logic import (
+    THREE_VALUED,
+    TWO_VALUED_CONFLATING,
+    TWO_VALUED_SYNTACTIC,
+    get_logic,
+)
+from repro.semantics.predicates import default_registry
+
+REGISTRY = default_registry()
+
+
+class TestThreeValued:
+    logic = THREE_VALUED
+
+    def test_equality_of_constants(self):
+        assert self.logic.equal(1, 1) is TRUE
+        assert self.logic.equal(1, 2) is FALSE
+
+    def test_equality_with_null_unknown(self):
+        assert self.logic.equal(1, NULL) is UNKNOWN
+        assert self.logic.equal(NULL, NULL) is UNKNOWN
+
+    def test_predicate_with_null_unknown(self):
+        assert self.logic.predicate(REGISTRY, "<", (NULL, 3)) is UNKNOWN
+        assert self.logic.predicate(REGISTRY, "<", (1, 3)) is TRUE
+
+    def test_cross_type_equality_false(self):
+        assert self.logic.equal(1, "1") is FALSE
+
+
+class TestTwoValuedConflating:
+    logic = TWO_VALUED_CONFLATING
+
+    def test_null_conflates_to_false(self):
+        assert self.logic.equal(1, NULL) is FALSE
+        assert self.logic.equal(NULL, NULL) is FALSE
+        assert self.logic.predicate(REGISTRY, "<", (NULL, 3)) is FALSE
+
+    def test_non_null_classical(self):
+        assert self.logic.equal(2, 2) is TRUE
+        assert self.logic.predicate(REGISTRY, ">=", (3, 3)) is TRUE
+
+
+class TestTwoValuedSyntactic:
+    logic = TWO_VALUED_SYNTACTIC
+
+    def test_null_equals_null_true(self):
+        """Definition 2: NULL ≐ NULL is t."""
+        assert self.logic.equal(NULL, NULL) is TRUE
+
+    def test_null_vs_constant_false(self):
+        assert self.logic.equal(1, NULL) is FALSE
+        assert self.logic.equal(NULL, 1) is FALSE
+
+    def test_equality_predicate_uses_syntactic(self):
+        assert self.logic.predicate(REGISTRY, "=", (NULL, NULL)) is TRUE
+
+    def test_other_predicates_conflate(self):
+        assert self.logic.predicate(REGISTRY, "<", (NULL, 3)) is FALSE
+        assert self.logic.predicate(REGISTRY, "<>", (NULL, NULL)) is FALSE
+
+
+def test_get_logic_by_name():
+    assert get_logic("3vl") is THREE_VALUED
+    assert get_logic("2vl-conflating") is TWO_VALUED_CONFLATING
+    assert get_logic("2vl-syntactic") is TWO_VALUED_SYNTACTIC
+
+
+def test_get_logic_unknown():
+    with pytest.raises(ValueError):
+        get_logic("4vl")
+
+
+def test_two_valued_logics_never_return_unknown():
+    values = (NULL, 0, 1, "a")
+    for logic in (TWO_VALUED_CONFLATING, TWO_VALUED_SYNTACTIC):
+        for a in values:
+            for b in values:
+                assert logic.equal(a, b) in (TRUE, FALSE)
+
+
+def test_repr():
+    assert "3vl" in repr(THREE_VALUED)

@@ -1,0 +1,103 @@
+"""The predicate registry: the collection P of Section 2."""
+
+import pytest
+
+from repro.core.errors import CompileError
+from repro.semantics.predicates import PredicateRegistry, default_registry, sql_like
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def test_builtin_comparisons_present(registry):
+    for name in ("=", "<>", "<", "<=", ">", ">=", "LIKE"):
+        assert name in registry
+        assert registry.arity(name) == 2
+
+
+def test_equality(registry):
+    assert registry.holds("=", (1, 1))
+    assert not registry.holds("=", (1, 2))
+    assert registry.holds("=", ("a", "a"))
+
+
+def test_cross_type_equality_is_false(registry):
+    assert not registry.holds("=", (1, "1"))
+    assert registry.holds("<>", (1, "1"))
+
+
+def test_orderings(registry):
+    assert registry.holds("<", (1, 2))
+    assert registry.holds("<=", (2, 2))
+    assert registry.holds(">", ("b", "a"))
+    assert registry.holds(">=", ("a", "a"))
+
+
+def test_ordering_type_clash(registry):
+    with pytest.raises(CompileError):
+        registry.holds("<", (1, "x"))
+
+
+@pytest.mark.parametrize(
+    "value,pattern,expected",
+    [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%o", True),
+        ("hello", "h_llo", True),
+        ("hello", "h_", False),
+        ("hello", "%ell%", True),
+        ("", "%", True),
+        ("a.b", "a.b", True),
+        ("axb", "a.b", False),  # dot is literal, not regex
+    ],
+)
+def test_like(value, pattern, expected):
+    assert sql_like(value, pattern) is expected
+
+
+def test_like_requires_strings():
+    with pytest.raises(CompileError):
+        sql_like(1, "%")
+
+
+def test_unknown_predicate(registry):
+    with pytest.raises(CompileError):
+        registry.holds("nope", (1,))
+    with pytest.raises(CompileError):
+        registry.arity("nope")
+
+
+def test_wrong_arity(registry):
+    with pytest.raises(CompileError):
+        registry.holds("=", (1,))
+
+
+def test_register_custom_predicate():
+    registry = PredicateRegistry()
+    registry.register("even", 1, lambda x: x % 2 == 0)
+    assert registry.holds("even", (4,))
+    assert not registry.holds("even", (3,))
+
+
+def test_register_invalid_arity():
+    registry = PredicateRegistry()
+    with pytest.raises(ValueError):
+        registry.register("bad", 0, lambda: True)
+
+
+def test_custom_predicate_in_evaluator():
+    """The fragment is parameterized by P: a user predicate works end to end."""
+    from repro.core import Database, Schema
+    from repro.semantics import SqlSemantics
+    from repro.sql import annotate
+
+    schema = Schema({"R": ("A",)})
+    db = Database(schema, {"R": [(1,), (2,), (3,), (4,)]})
+    registry = default_registry()
+    registry.register("even", 1, lambda x: x % 2 == 0)
+    sem = SqlSemantics(schema, predicates=registry)
+    t = sem.run(annotate("SELECT R.A FROM R WHERE even(R.A)", schema), db)
+    assert sorted(t.bag) == [(2,), (4,)]

@@ -1,0 +1,202 @@
+"""Theorem 2: 3VL and 2VL SQL are equally expressive (Figure 10)."""
+
+import random
+
+import pytest
+
+from repro.core import NULL, Database, Schema, validation_schema
+from repro.core.errors import ReproError
+from repro.generator import DataFillerConfig, PAPER_CONFIG, QueryGenerator, fill_database
+from repro.semantics import SqlSemantics, TwoValuedTranslator, to_three_valued
+from repro.sql import annotate, check_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",)})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {"R": [(1, 2), (NULL, 2), (3, NULL), (1, 2)], "S": [(1,), (NULL,)]},
+    )
+
+
+@pytest.mark.parametrize("mode", ["conflating", "syntactic"])
+class TestForwardTranslation:
+    """⟦Q⟧ = ⟦Q′⟧2v for the Figure 10 translation."""
+
+    def check(self, text, schema, db, mode):
+        q = annotate(text, schema)
+        sem3 = SqlSemantics(schema)
+        expected = sem3.run(q, db)
+        translator = TwoValuedTranslator(schema, mode)
+        q2 = translator.translate_query(q)
+        sem2 = SqlSemantics(schema, logic=translator.logic)
+        got = sem2.run(q2, db)
+        assert got.same_as(expected), text
+        return q2
+
+    def test_simple_comparison(self, schema, db, mode):
+        self.check("SELECT R.A FROM R WHERE R.A = 1", schema, db, mode)
+
+    def test_negated_comparison(self, schema, db, mode):
+        """NOT over u is where naive conflation goes wrong; θᶠ fixes it."""
+        self.check("SELECT R.A FROM R WHERE NOT R.A = 1", schema, db, mode)
+
+    def test_is_null(self, schema, db, mode):
+        self.check("SELECT R.A FROM R WHERE R.A IS NULL", schema, db, mode)
+
+    def test_not_in(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            schema,
+            db,
+            mode,
+        )
+
+    def test_in(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE R.B IN (SELECT S.A FROM S)", schema, db, mode
+        )
+
+    def test_exists(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+            schema,
+            db,
+            mode,
+        )
+
+    def test_connectives_with_unknown(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE NOT (R.A = 1 OR R.B = 2)", schema, db, mode
+        )
+
+    def test_de_morgan_shape(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE NOT (R.A = 1 AND NOT R.B = 2)",
+            schema,
+            db,
+            mode,
+        )
+
+    def test_nested_not_in(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE R.A NOT IN "
+            "(SELECT S.A FROM S WHERE S.A NOT IN (SELECT R.B FROM R))",
+            schema,
+            db,
+            mode,
+        )
+
+    def test_example1_q1(self, mode, schema, db):
+        rs = Schema({"R": ("A",), "S": ("A",)})
+        rsdb = Database(rs, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+        self.check(
+            "SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)",
+            rs,
+            rsdb,
+            mode,
+        )
+
+    def test_set_ops(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE NOT R.A = 1 "
+            "UNION ALL SELECT S.A FROM S WHERE S.A NOT IN (SELECT R.B FROM R)",
+            schema,
+            db,
+            mode,
+        )
+
+
+@pytest.mark.parametrize("mode", ["conflating", "syntactic"])
+class TestBackwardTranslation:
+    """⟦Q⟧2v = ⟦Q″⟧ for the guarded-atoms translation."""
+
+    def check(self, text, schema, db, mode):
+        q = annotate(text, schema)
+        translator = TwoValuedTranslator(schema, mode)
+        sem2 = SqlSemantics(schema, logic=translator.logic)
+        expected = sem2.run(q, db)
+        q3 = to_three_valued(q, schema, mode)
+        got = SqlSemantics(schema).run(q3, db)
+        assert got.same_as(expected), text
+
+    def test_equality(self, schema, db, mode):
+        self.check("SELECT R.A FROM R WHERE R.A = R.B", schema, db, mode)
+
+    def test_null_literal_equality(self, schema, db, mode):
+        """NULL = NULL: false under conflating, true under syntactic."""
+        self.check("SELECT R.A FROM R WHERE NULL = NULL", schema, db, mode)
+
+    def test_negation(self, schema, db, mode):
+        self.check("SELECT R.A FROM R WHERE NOT R.A = 1", schema, db, mode)
+
+    def test_in(self, schema, db, mode):
+        self.check(
+            "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)", schema, db, mode
+        )
+
+    def test_not_in(self, schema, db, mode):
+        self.check(
+            "SELECT R.B FROM R WHERE R.B NOT IN (SELECT S.A FROM S)",
+            schema,
+            db,
+            mode,
+        )
+
+
+def test_null_equals_null_distinguishes_the_modes(schema, db):
+    """Sanity check that the two equality interpretations truly differ."""
+    q = annotate("SELECT R.B FROM R WHERE NULL = NULL", schema)
+    conflating = SqlSemantics(schema, logic="2vl-conflating").run(q, db)
+    syntactic = SqlSemantics(schema, logic="2vl-syntactic").run(q, db)
+    assert conflating.is_empty()
+    assert len(syntactic) == 4
+
+
+def test_translator_rejects_unknown_mode(schema):
+    with pytest.raises(ValueError):
+        TwoValuedTranslator(schema, "both")
+    with pytest.raises(ValueError):
+        to_three_valued(annotate("SELECT R.A FROM R", schema), schema, "both")
+
+
+def test_fresh_names_do_not_clash(schema, db):
+    """The Q′ AS N(A1..An) wrapper must use names unused in the query."""
+    translator = TwoValuedTranslator(schema, "conflating")
+    q = annotate(
+        "SELECT R.A AS V1 FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", schema
+    )
+    q2 = translator.translate_query(q)
+    sem2 = SqlSemantics(schema, logic=translator.logic)
+    expected = SqlSemantics(schema).run(q, db)
+    assert sem2.run(q2, db).same_as(expected)
+
+
+@pytest.mark.parametrize("mode", ["conflating", "syntactic"])
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_equivalence_both_directions(mode, seed):
+    """Random queries: Q ↦ Q′ forward and Q ↦ Q″ backward both agree."""
+    schema = validation_schema(4)
+    rng = random.Random(seed)
+    generator = QueryGenerator(schema, PAPER_CONFIG, rng)
+    query = generator.generate()
+    db = fill_database(schema, rng, DataFillerConfig(max_rows=4))
+    try:
+        check_query(query, schema, star_style="standard")
+    except ReproError:
+        pytest.skip("query intentionally ambiguous under the standard style")
+    sem3 = SqlSemantics(schema)
+    expected = sem3.run(query, db)
+    translator = TwoValuedTranslator(schema, mode)
+    translated = translator.translate_query(query)
+    got = SqlSemantics(schema, logic=translator.logic).run(translated, db)
+    assert got.same_as(expected)
+    sem2 = SqlSemantics(schema, logic=translator.logic)
+    direct = sem2.run(query, db)
+    back = sem3.run(to_three_valued(query, schema, mode), db)
+    assert back.same_as(direct)

@@ -1,0 +1,160 @@
+"""The annotation pass: surface SQL → the fully-annotated form of Section 2."""
+
+import pytest
+
+from repro.core.errors import (
+    AmbiguousReferenceError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+)
+from repro.core.schema import Schema
+from repro.core.values import NULL, FullName
+from repro.sql.annotate import annotate
+from repro.sql.ast import BareColumn, InQuery, Select
+from repro.sql.printer import print_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "T": ("A", "B")})
+
+
+def test_paper_running_example(schema):
+    """Section 2's example: the fully annotated version of
+    SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B."""
+    q = annotate(
+        "SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", schema
+    )
+    assert (
+        print_query(q)
+        == "SELECT R.A AS A, U.B AS C FROM R AS R, "
+        "(SELECT T.B AS B FROM T AS T) AS U WHERE R.A = U.B"
+    )
+
+
+def test_base_table_gets_self_alias(schema):
+    q = annotate("SELECT A FROM R", schema)
+    assert q.from_items[0].alias == "R"
+    assert q.items[0].term == FullName("R", "A")
+
+
+def test_explicit_alias_respected(schema):
+    q = annotate("SELECT X.A FROM R AS X", schema)
+    assert q.from_items[0].alias == "X"
+
+
+def test_bare_column_resolution_prefers_local_scope(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT B FROM T)", schema
+    )
+    sub = q.where.query
+    assert sub.items[0].term == FullName("T", "B")
+
+
+def test_correlation_resolves_outward(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS "
+        "(SELECT U.B FROM (SELECT T.B FROM T) AS U WHERE A = B)",
+        schema,
+    )
+    sub = q.where.query
+    # A is not bound by the local scope (U only has B), so it resolves to the
+    # outer R; B comes from the local U.
+    assert sub.where.args == (FullName("R", "A"), FullName("U", "B"))
+
+
+def test_inner_scope_shadows_outer(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT A FROM T)", schema
+    )
+    sub = q.where.query
+    assert sub.items[0].term == FullName("T", "A")
+
+
+def test_ambiguous_bare_column(schema):
+    with pytest.raises(AmbiguousReferenceError):
+        annotate("SELECT A FROM R, T", schema)
+
+
+def test_unbound_bare_column(schema):
+    with pytest.raises(UnboundReferenceError):
+        annotate("SELECT Z FROM R", schema)
+
+
+def test_duplicate_alias_rejected(schema):
+    with pytest.raises(DuplicateAliasError):
+        annotate("SELECT X.A FROM R AS X, T AS X", schema)
+
+
+def test_missing_select_alias_defaults_to_attribute(schema):
+    q = annotate("SELECT R.A FROM R", schema)
+    assert q.items[0].alias == "A"
+
+
+def test_missing_alias_for_constant_synthesized(schema):
+    q = annotate("SELECT 1, NULL FROM R", schema)
+    assert q.items[0].alias == "COL1"
+    assert q.items[1].alias == "COL2"
+    assert q.items[1].term is NULL
+
+
+def test_star_left_untouched(schema):
+    q = annotate("SELECT * FROM R", schema)
+    assert q.is_star
+
+
+def test_from_subqueries_do_not_see_siblings(schema):
+    """FROM items are evaluated under the outer environment: a sibling's
+    columns are not visible (only WHERE subqueries are correlated locally).
+    B is bound only by the sibling T AS X, so it must not resolve."""
+    with pytest.raises(UnboundReferenceError):
+        annotate("SELECT X.A FROM T AS X, (SELECT B FROM R AS Y) AS U", schema)
+
+
+def test_from_subqueries_see_outer_scopes(schema):
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT U.C FROM (SELECT R.A AS C FROM T) AS U)",
+        schema,
+    )
+    sub = q.where.query
+    inner = sub.from_items[0].table
+    assert inner.items[0].term == FullName("R", "A")
+
+
+def test_in_subquery_annotated(schema):
+    q = annotate("SELECT R.A FROM R WHERE A IN (SELECT B FROM T)", schema)
+    assert isinstance(q.where, InQuery)
+    assert q.where.terms == (FullName("R", "A"),)
+    assert q.where.query.items[0].term == FullName("T", "B")
+
+
+def test_no_bare_columns_survive(schema):
+    q = annotate(
+        "SELECT A, 3 FROM R WHERE A = 1 AND EXISTS (SELECT B FROM T WHERE A < B)",
+        schema,
+    )
+
+    def walk_terms(query):
+        from repro.sql.ast import iter_terms
+
+        if isinstance(query, Select):
+            if not query.is_star:
+                for item in query.items:
+                    yield item.term
+            yield from iter_terms(query.where)
+
+    assert not any(isinstance(t, BareColumn) for t in walk_terms(q))
+
+
+def test_annotate_accepts_ast_input(schema):
+    from repro.sql.parser import parse_query
+
+    surface = parse_query("SELECT A FROM R")
+    q = annotate(surface, schema)
+    assert q.items[0].term == FullName("R", "A")
+
+
+def test_annotation_is_idempotent(schema):
+    q1 = annotate("SELECT A, B AS C FROM R, (SELECT B FROM T) AS U WHERE A = B", schema)
+    q2 = annotate(q1, schema)
+    assert q1 == q2

@@ -1,0 +1,187 @@
+"""The fluent query builder produces the same ASTs as the parser."""
+
+import pytest
+
+from repro.core import NULL, Schema
+from repro.sql.annotate import annotate, annotate_query
+from repro.sql.builder import (
+    col,
+    exists,
+    lit,
+    null,
+    select,
+    select_star,
+    table,
+)
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",), "T": ("B",)})
+
+
+def same_as_sql(built, text, schema):
+    assert annotate_query(built, schema) == annotate(text, schema)
+
+
+def test_minimal_select(schema):
+    q = select(col("R.A")).from_(table("R")).build()
+    same_as_sql(q, "SELECT R.A FROM R", schema)
+
+
+def test_aliases_and_constants(schema):
+    q = select(col("R.A").as_("X"), lit(42), null()).from_(table("R")).build()
+    same_as_sql(q, "SELECT R.A AS X, 42, NULL FROM R", schema)
+
+
+def test_bare_columns_resolved_by_annotation(schema):
+    q = select(col("B")).from_(table("R")).build()
+    same_as_sql(q, "SELECT B FROM R", schema)
+
+
+def test_where_combinators(schema):
+    q = (
+        select(col("R.A"))
+        .from_(table("R"))
+        .where((col("R.A").eq(1) | col("R.B").lt(5)) & ~col("R.A").is_null())
+        .build()
+    )
+    same_as_sql(
+        q,
+        "SELECT R.A FROM R WHERE (R.A = 1 OR R.B < 5) AND NOT R.A IS NULL",
+        schema,
+    )
+
+
+@pytest.mark.parametrize(
+    "method,op",
+    [("ne", "<>"), ("le", "<="), ("gt", ">"), ("ge", ">=")],
+)
+def test_all_comparisons(method, op, schema):
+    q = (
+        select(col("R.A"))
+        .from_(table("R"))
+        .where(getattr(col("R.A"), method)(3))
+        .build()
+    )
+    same_as_sql(q, f"SELECT R.A FROM R WHERE R.A {op} 3", schema)
+
+
+def test_like_and_null_tests(schema):
+    q = (
+        select(col("R.A"))
+        .from_(table("R"))
+        .where(col("R.A").like("x%") & col("R.B").is_not_null())
+        .build()
+    )
+    same_as_sql(
+        q, "SELECT R.A FROM R WHERE R.A LIKE 'x%' AND R.B IS NOT NULL", schema
+    )
+
+
+def test_in_and_not_in(schema):
+    sub = select(col("S.A")).from_(table("S"))
+    q = select(col("R.A")).from_(table("R")).where(col("R.A").not_in(sub)).build()
+    same_as_sql(
+        q, "SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", schema
+    )
+
+
+def test_exists_correlated(schema):
+    sub = select(col("S.A")).from_(table("S")).where(col("S.A").eq(col("R.A")))
+    q = select(col("R.A")).from_(table("R")).where(exists(sub)).build()
+    same_as_sql(
+        q,
+        "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)",
+        schema,
+    )
+
+
+def test_from_subquery_with_alias(schema):
+    inner = select(col("T.B").as_("X")).from_(table("T")).as_("U")
+    q = select(col("U.X")).from_(inner).build()
+    same_as_sql(
+        q, "SELECT U.X FROM (SELECT T.B AS X FROM T) AS U", schema
+    )
+
+
+def test_from_subquery_with_column_aliases(schema):
+    inner = select(col("T.B")).from_(table("T")).as_("N", "Z")
+    q = select(col("N.Z")).from_(inner).build()
+    same_as_sql(q, "SELECT N.Z FROM (SELECT T.B FROM T) AS N(Z)", schema)
+
+
+def test_table_alias(schema):
+    q = select(col("X.A")).from_(table("R").as_("X")).build()
+    same_as_sql(q, "SELECT X.A FROM R AS X", schema)
+
+
+def test_star(schema):
+    q = select_star().from_(table("R"), table("S")).build()
+    same_as_sql(q, "SELECT * FROM R, S", schema)
+
+
+def test_distinct(schema):
+    q = select(col("R.A")).from_(table("R")).distinct().build()
+    same_as_sql(q, "SELECT DISTINCT R.A FROM R", schema)
+
+
+def test_set_operations(schema):
+    q = (
+        select(col("R.A"))
+        .from_(table("R"))
+        .union(select(col("S.A")).from_(table("S")), all=True)
+        .except_(select(col("T.B")).from_(table("T")))
+        .build()
+    )
+    same_as_sql(
+        q,
+        "SELECT R.A FROM R UNION ALL SELECT S.A FROM S EXCEPT SELECT T.B FROM T",
+        schema,
+    )
+
+
+def test_intersect(schema):
+    q = (
+        select(col("R.A"))
+        .from_(table("R"))
+        .intersect(select(col("S.A")).from_(table("S")))
+        .build()
+    )
+    same_as_sql(
+        q, "SELECT R.A FROM R INTERSECT SELECT S.A FROM S", schema
+    )
+
+
+def test_builder_is_immutable(schema):
+    base = select(col("R.A")).from_(table("R"))
+    with_where = base.where(col("R.A").eq(1))
+    assert base.build().where != with_where.build().where
+
+
+def test_subquery_in_from_requires_alias(schema):
+    inner = select(col("T.B")).from_(table("T"))
+    with pytest.raises(ValueError):
+        select(col("U.B")).from_(inner).build()
+
+
+def test_select_requires_from():
+    with pytest.raises(ValueError):
+        select(col("R.A")).build()
+
+
+def test_built_query_evaluates(schema):
+    from repro.core import Database
+    from repro.semantics import SqlSemantics
+
+    db = Database(schema, {"R": [(1, 2), (NULL, 3)], "S": [(1,)]})
+    q = annotate_query(
+        select(col("R.B"))
+        .from_(table("R"))
+        .where(col("R.A").in_(select(col("S.A")).from_(table("S"))))
+        .build(),
+        schema,
+    )
+    t = SqlSemantics(schema).run(q, db)
+    assert sorted(t.bag) == [(2,)]

@@ -1,0 +1,93 @@
+"""The output-attribute function ℓ of Figure 3."""
+
+import pytest
+
+from repro.core.errors import ArityMismatchError
+from repro.core.schema import Schema
+from repro.core.values import FullName
+from repro.sql.annotate import annotate
+from repro.sql.ast import FromItem, STAR, Select, SelectItem, SetOp, TRUE_COND
+from repro.sql.labels import (
+    from_item_labels,
+    from_labels,
+    prefix_names,
+    query_labels,
+    scope_full_names,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A", "C")})
+
+
+def test_prefix_names():
+    assert prefix_names("T", ("A", "B")) == (FullName("T", "A"), FullName("T", "B"))
+
+
+def test_base_table_labels(schema):
+    assert from_item_labels(FromItem("R", "R"), schema) == ("A", "B")
+
+
+def test_column_aliases_override(schema):
+    item = FromItem("R", "X", ("P", "Q"))
+    assert from_item_labels(item, schema) == ("P", "Q")
+
+
+def test_column_aliases_arity_checked(schema):
+    with pytest.raises(ArityMismatchError):
+        from_item_labels(FromItem("R", "X", ("P",)), schema)
+
+
+def test_select_labels_are_beta_prime(schema):
+    q = annotate("SELECT R.A AS X, R.B AS Y FROM R", schema)
+    assert query_labels(q, schema) == ("X", "Y")
+
+
+def test_star_labels_concatenate_from_items(schema):
+    """The paper's example: ℓ(SELECT * FROM R,S) = ℓ(R) ℓ(S) = (A,B,A,C)."""
+    q = annotate("SELECT * FROM R, S", schema)
+    assert query_labels(q, schema) == ("A", "B", "A", "C")
+
+
+def test_subquery_labels(schema):
+    q = annotate("SELECT U.A AS Z FROM (SELECT R.A AS A FROM R) AS U", schema)
+    assert query_labels(q, schema) == ("Z",)
+    assert from_item_labels(q.from_items[0], schema) == ("A",)
+
+
+def test_set_op_labels_from_left(schema):
+    q = annotate("SELECT R.A AS X FROM R UNION SELECT S.C AS Y FROM S", schema)
+    assert query_labels(q, schema) == ("X",)
+
+
+def test_from_labels(schema):
+    q = annotate("SELECT * FROM R AS T1, S AS T2", schema)
+    assert from_labels(q.from_items, schema) == ("A", "B", "A", "C")
+
+
+def test_scope_full_names(schema):
+    q = annotate("SELECT * FROM R AS T1, S AS T2", schema)
+    assert scope_full_names(q.from_items, schema) == (
+        FullName("T1", "A"),
+        FullName("T1", "B"),
+        FullName("T2", "A"),
+        FullName("T2", "C"),
+    )
+
+
+def test_scope_full_names_with_duplicates(schema):
+    """A subquery with duplicated output names yields repeated full names —
+    the raw material of Example 2."""
+    inner = Select(
+        (SelectItem(FullName("R", "A"), "A"), SelectItem(FullName("R", "A"), "A")),
+        (FromItem("R", "R"),),
+        TRUE_COND,
+    )
+    scope = scope_full_names((FromItem(inner, "T"),), schema)
+    assert scope == (FullName("T", "A"), FullName("T", "A"))
+
+
+def test_query_labels_rejects_non_query(schema):
+    with pytest.raises(TypeError):
+        query_labels("not a query", schema)

@@ -1,0 +1,86 @@
+"""Tokenizer for the basic SQL fragment."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select Select SELECT") == [("KEYWORD", "SELECT")] * 3
+
+
+def test_identifiers_preserve_case():
+    assert kinds("Foo bar") == [("IDENT", "Foo"), ("IDENT", "bar")]
+
+
+def test_integers():
+    assert kinds("0 42 007") == [("INT", "0"), ("INT", "42"), ("INT", "007")]
+
+
+def test_strings_with_escaped_quote():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+
+
+def test_empty_string_literal():
+    assert kinds("''") == [("STRING", "")]
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize("'oops")
+
+
+def test_quoted_identifier_escapes_keywords():
+    assert kinds('"select"') == [("IDENT", "select")]
+
+
+def test_unterminated_quoted_identifier():
+    with pytest.raises(ParseError):
+        tokenize('"oops')
+
+
+def test_symbols():
+    assert kinds("<= >= <> = < > ( ) , . *") == [
+        ("SYMBOL", s)
+        for s in ["<=", ">=", "<>", "=", "<", ">", "(", ")", ",", ".", "*"]
+    ]
+
+
+def test_bang_equals_normalized():
+    assert kinds("a != b")[1] == ("SYMBOL", "<>")
+
+
+def test_line_comments_skipped():
+    assert kinds("a -- comment\n b") == [("IDENT", "a"), ("IDENT", "b")]
+
+
+def test_illegal_character():
+    with pytest.raises(ParseError):
+        tokenize("a $ b")
+
+
+def test_positions():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_eof_token_present():
+    assert tokenize("")[-1].kind == "EOF"
+
+
+def test_token_matches():
+    token = Token("KEYWORD", "SELECT", 1, 1)
+    assert token.matches("KEYWORD")
+    assert token.matches("KEYWORD", "SELECT")
+    assert not token.matches("KEYWORD", "FROM")
+    assert not token.matches("IDENT")
+
+
+def test_underscore_identifier():
+    assert kinds("_x a_b") == [("IDENT", "_x"), ("IDENT", "a_b")]

@@ -1,0 +1,256 @@
+"""Recursive-descent parser for the Figure 2 grammar (surface syntax)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.values import NULL, FullName
+from repro.sql.ast import (
+    And,
+    BareColumn,
+    Exists,
+    FalseCond,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    STAR,
+    Select,
+    SetOp,
+    TrueCond,
+)
+from repro.sql.parser import parse_condition, parse_query
+
+
+def test_minimal_select():
+    q = parse_query("SELECT R.A FROM R")
+    assert isinstance(q, Select)
+    assert q.items[0].term == FullName("R", "A")
+    assert q.from_items == (FromItem("R", "R"),)
+    assert isinstance(q.where, TrueCond)
+    assert not q.distinct
+
+
+def test_select_star():
+    q = parse_query("SELECT * FROM R")
+    assert q.items is STAR
+
+
+def test_select_distinct():
+    assert parse_query("SELECT DISTINCT R.A FROM R").distinct
+    assert not parse_query("SELECT ALL R.A FROM R").distinct
+
+
+def test_select_list_aliases():
+    q = parse_query("SELECT R.A AS X, R.B Y, 3 FROM R")
+    assert [item.alias for item in q.items] == ["X", "Y", ""]
+    assert q.items[2].term == 3
+
+
+def test_terms():
+    q = parse_query("SELECT 1, 'a''b', NULL, A, R.A FROM R")
+    terms = [item.term for item in q.items]
+    assert terms == [1, "a'b", NULL, BareColumn("A"), FullName("R", "A")]
+
+
+def test_from_aliases():
+    q = parse_query("SELECT A FROM R AS X, S Y, T")
+    assert [f.alias for f in q.from_items] == ["X", "Y", "T"]
+
+
+def test_from_subquery_requires_alias():
+    with pytest.raises(ParseError):
+        parse_query("SELECT A FROM (SELECT B FROM T)")
+
+
+def test_from_subquery_with_alias():
+    q = parse_query("SELECT U.B FROM (SELECT T.B FROM T) AS U")
+    sub = q.from_items[0]
+    assert isinstance(sub.table, Select)
+    assert sub.alias == "U"
+
+
+def test_from_column_aliases():
+    q = parse_query("SELECT N.X FROM (SELECT T.B FROM T) AS N(X)")
+    assert q.from_items[0].column_aliases == ("X",)
+
+
+def test_where_comparison():
+    q = parse_query("SELECT R.A FROM R WHERE R.A = 3")
+    assert q.where == Predicate("=", (FullName("R", "A"), 3))
+
+
+@pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+def test_all_comparison_operators(op):
+    q = parse_query(f"SELECT R.A FROM R WHERE R.A {op} 1")
+    assert q.where == Predicate(op, (FullName("R", "A"), 1))
+
+
+def test_bang_equals_is_not_equals():
+    q = parse_query("SELECT R.A FROM R WHERE R.A != 1")
+    assert q.where == Predicate("<>", (FullName("R", "A"), 1))
+
+
+def test_is_null_and_is_not_null():
+    q = parse_query("SELECT R.A FROM R WHERE R.A IS NULL")
+    assert q.where == IsNull(FullName("R", "A"))
+    q = parse_query("SELECT R.A FROM R WHERE R.A IS NOT NULL")
+    assert q.where == IsNull(FullName("R", "A"), negated=True)
+
+
+def test_in_subquery():
+    q = parse_query("SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)")
+    assert isinstance(q.where, InQuery)
+    assert not q.where.negated
+    assert q.where.terms == (FullName("R", "A"),)
+
+
+def test_not_in_subquery():
+    q = parse_query("SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)")
+    assert isinstance(q.where, InQuery) and q.where.negated
+
+
+def test_row_in_subquery():
+    q = parse_query(
+        "SELECT R.A FROM R WHERE (R.A, R.B) IN (SELECT S.A, S.B FROM S)"
+    )
+    assert isinstance(q.where, InQuery)
+    assert q.where.terms == (FullName("R", "A"), FullName("R", "B"))
+
+
+def test_row_equality_expands_to_conjunction():
+    """Figure 6: (t1, t2) = (s1, s2) is the conjunction of equalities."""
+    q = parse_query("SELECT R.A FROM R WHERE (R.A, R.B) = (1, 2)")
+    assert q.where == And(
+        Predicate("=", (FullName("R", "A"), 1)),
+        Predicate("=", (FullName("R", "B"), 2)),
+    )
+
+
+def test_row_inequality_expands_to_disjunction():
+    q = parse_query("SELECT R.A FROM R WHERE (R.A, R.B) <> (1, 2)")
+    assert q.where == Or(
+        Predicate("<>", (FullName("R", "A"), 1)),
+        Predicate("<>", (FullName("R", "B"), 2)),
+    )
+
+
+def test_row_is_not_null_expands_to_conjunction():
+    """Figure 10's (t1, t2) IS NOT NULL shorthand."""
+    q = parse_query("SELECT R.A FROM R WHERE (R.A, R.B) IS NOT NULL")
+    assert q.where == And(
+        IsNull(FullName("R", "A"), negated=True),
+        IsNull(FullName("R", "B"), negated=True),
+    )
+
+
+def test_row_length_mismatch_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT R.A FROM R WHERE (R.A, R.B) = (1, 2, 3)")
+
+
+def test_exists():
+    q = parse_query("SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S)")
+    assert isinstance(q.where, Exists)
+
+
+def test_boolean_precedence_and_binds_tighter():
+    cond = parse_condition("TRUE OR FALSE AND TRUE")
+    assert isinstance(cond, Or)
+    assert isinstance(cond.right, And)
+
+
+def test_not_precedence():
+    cond = parse_condition("NOT TRUE AND FALSE")
+    assert isinstance(cond, And)
+    assert isinstance(cond.left, Not)
+
+
+def test_parenthesized_condition():
+    cond = parse_condition("(TRUE OR FALSE) AND TRUE")
+    assert isinstance(cond, And)
+    assert isinstance(cond.left, Or)
+
+
+def test_parenthesized_single_term_condition():
+    cond = parse_condition("(R.A) IS NULL")
+    assert cond == IsNull(FullName("R", "A"))
+
+
+def test_like():
+    cond = parse_condition("R.A LIKE 'x%'")
+    assert cond == Predicate("LIKE", (FullName("R", "A"), "x%"))
+
+
+def test_not_like():
+    cond = parse_condition("R.A NOT LIKE 'x%'")
+    assert cond == Not(Predicate("LIKE", (FullName("R", "A"), "x%")))
+
+
+def test_named_predicate_call():
+    cond = parse_condition("prime(R.A)")
+    assert cond == Predicate("prime", (FullName("R", "A"),))
+
+
+def test_true_false_atoms():
+    assert isinstance(parse_condition("TRUE"), TrueCond)
+    assert isinstance(parse_condition("FALSE"), FalseCond)
+
+
+def test_union_and_except_left_associative():
+    q = parse_query("SELECT R.A FROM R UNION SELECT S.A FROM S EXCEPT SELECT T.A FROM T")
+    assert isinstance(q, SetOp) and q.op == "EXCEPT"
+    assert isinstance(q.left, SetOp) and q.left.op == "UNION"
+
+
+def test_intersect_binds_tighter_than_union():
+    q = parse_query(
+        "SELECT R.A FROM R UNION SELECT S.A FROM S INTERSECT SELECT T.A FROM T"
+    )
+    assert q.op == "UNION"
+    assert isinstance(q.right, SetOp) and q.right.op == "INTERSECT"
+
+
+def test_set_op_all():
+    q = parse_query("SELECT R.A FROM R UNION ALL SELECT S.A FROM S")
+    assert q.all
+
+
+def test_minus_is_except():
+    q = parse_query("SELECT R.A FROM R MINUS SELECT S.A FROM S")
+    assert q.op == "EXCEPT"
+
+
+def test_parenthesized_query_in_set_op():
+    q = parse_query("(SELECT R.A FROM R) UNION (SELECT S.A FROM S)")
+    assert isinstance(q, SetOp) and q.op == "UNION"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT R.A FROM R garbage garbage")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT R.A")
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SELECT R.A FROM R GROUP BY R.A",  # aggregation not in the fragment
+        "SELECT R.A FROM R ORDER BY R.A",
+        "SELECT COUNT(*) FROM R",
+    ],
+)
+def test_out_of_fragment_rejected(text):
+    with pytest.raises(ParseError):
+        parse_query(text)
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_query("SELECT R.A FROM\n   WHERE")
+    assert excinfo.value.line == 2

@@ -1,0 +1,60 @@
+"""Dialect-strict parsing: EXCEPT vs MINUS availability (Section 4)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql.parser import parse_query
+
+EXCEPT_Q = "SELECT R.A FROM R EXCEPT SELECT S.A FROM S"
+MINUS_Q = "SELECT R.A FROM R MINUS SELECT S.A FROM S"
+UNION_Q = "SELECT R.A FROM R UNION SELECT S.A FROM S"
+
+
+def test_standard_accepts_both():
+    assert parse_query(EXCEPT_Q).op == "EXCEPT"
+    assert parse_query(MINUS_Q).op == "EXCEPT"
+
+
+def test_postgres_accepts_except_only():
+    assert parse_query(EXCEPT_Q, dialect="postgres").op == "EXCEPT"
+    with pytest.raises(ParseError):
+        parse_query(MINUS_Q, dialect="postgres")
+
+
+def test_oracle_accepts_minus_only():
+    assert parse_query(MINUS_Q, dialect="oracle").op == "EXCEPT"
+    with pytest.raises(ParseError):
+        parse_query(EXCEPT_Q, dialect="oracle")
+
+
+def test_mysql_has_no_difference_operation():
+    """MySQL 'does not have it altogether'."""
+    for text in (EXCEPT_Q, MINUS_Q):
+        with pytest.raises(ParseError):
+            parse_query(text, dialect="mysql")
+
+
+def test_all_dialects_accept_union_and_intersect():
+    for dialect in ("standard", "postgres", "oracle", "mysql"):
+        assert parse_query(UNION_Q, dialect=dialect).op == "UNION"
+
+
+def test_unknown_dialect_rejected():
+    with pytest.raises(ValueError):
+        parse_query(EXCEPT_Q, dialect="db2")
+
+
+def test_printer_parser_dialect_consistency():
+    """What the oracle printer emits, the oracle parser accepts (and the
+    postgres parser rejects), and vice versa."""
+    from repro.sql.printer import print_query
+
+    q = parse_query(EXCEPT_Q)
+    oracle_text = print_query(q, "oracle")
+    postgres_text = print_query(q, "postgres")
+    assert parse_query(oracle_text, dialect="oracle") == q
+    assert parse_query(postgres_text, dialect="postgres") == q
+    with pytest.raises(ParseError):
+        parse_query(oracle_text, dialect="postgres")
+    with pytest.raises(ParseError):
+        parse_query(postgres_text, dialect="oracle")

@@ -1,0 +1,159 @@
+"""Dialect-aware SQL rendering and its round-trip with the parser."""
+
+import random
+
+import pytest
+
+from repro.core.errors import CompileError
+from repro.core.values import NULL, FullName
+from repro.core.schema import validation_schema
+from repro.generator import PAPER_CONFIG, QueryGenerator
+from repro.sql.ast import (
+    And,
+    Exists,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+)
+from repro.sql.parser import parse_condition, parse_query
+from repro.sql.printer import print_condition, print_query, print_term
+
+RA = FullName("R", "A")
+
+
+def simple_select(**kwargs):
+    return Select(
+        (SelectItem(RA, "A"),), (FromItem("R", "R"),), TRUE_COND, **kwargs
+    )
+
+
+def test_print_terms():
+    assert print_term(3) == "3"
+    assert print_term("a'b") == "'a''b'"
+    assert print_term(NULL) == "NULL"
+    assert print_term(RA) == "R.A"
+
+
+def test_keyword_identifiers_are_quoted():
+    assert print_term(FullName("select", "from")) == '"select"."from"'
+
+
+def test_print_simple_select():
+    assert print_query(simple_select()) == "SELECT R.A AS A FROM R AS R"
+
+
+def test_print_distinct():
+    assert print_query(simple_select(distinct=True)).startswith("SELECT DISTINCT")
+
+
+def test_print_star():
+    q = Select(STAR, (FromItem("R", "R"),), TRUE_COND)
+    assert print_query(q) == "SELECT * FROM R AS R"
+
+
+def test_where_true_omitted():
+    assert "WHERE" not in print_query(simple_select())
+
+
+def test_print_except_dialects():
+    q = SetOp("EXCEPT", simple_select(), simple_select())
+    assert "EXCEPT" in print_query(q, "standard")
+    assert "EXCEPT" in print_query(q, "postgres")
+    assert "MINUS" in print_query(q, "oracle")
+    with pytest.raises(CompileError):
+        print_query(q, "mysql")
+
+
+def test_mysql_accepts_union():
+    q = SetOp("UNION", simple_select(), simple_select())
+    assert "UNION" in print_query(q, "mysql")
+
+
+def test_unknown_dialect_rejected():
+    with pytest.raises(ValueError):
+        print_query(simple_select(), "sqlite")
+
+
+def test_column_alias_list_printed():
+    q = Select(
+        (SelectItem(FullName("N", "X"), "X"),),
+        (FromItem(simple_select(), "N", ("X",)),),
+        TRUE_COND,
+    )
+    text = print_query(q)
+    assert "AS N(X)" in text
+    assert parse_query(text) == q
+
+
+def test_condition_precedence_round_trip():
+    cond = Or(And(TRUE_COND, TRUE_COND), Not(TRUE_COND))
+    text = print_condition(cond)
+    assert parse_condition(text) == cond
+
+
+def test_nested_or_in_and_gets_parens():
+    cond = And(Or(TRUE_COND, TRUE_COND), TRUE_COND)
+    assert print_condition(cond) == "(TRUE OR TRUE) AND TRUE"
+
+
+def test_right_nested_same_op_gets_parens():
+    cond = And(TRUE_COND, And(TRUE_COND, TRUE_COND))
+    assert print_condition(cond) == "TRUE AND (TRUE AND TRUE)"
+
+
+def test_in_and_exists_printed():
+    inner = simple_select()
+    assert "NOT IN" in print_condition(InQuery((RA,), inner, negated=True))
+    assert print_condition(Exists(inner)).startswith("EXISTS (")
+
+
+def test_row_in_printed():
+    cond = InQuery((RA, RA), simple_select())
+    assert print_condition(cond).startswith("(R.A, R.A) IN")
+
+
+def test_like_infix():
+    assert print_condition(Predicate("LIKE", (RA, "x%"))) == "R.A LIKE 'x%'"
+
+
+def test_named_predicate_functional():
+    assert print_condition(Predicate("prime", (RA,))) == "prime(R.A)"
+
+
+def test_is_null_forms():
+    assert print_condition(IsNull(RA)) == "R.A IS NULL"
+    assert print_condition(IsNull(RA, negated=True)) == "R.A IS NOT NULL"
+
+
+@pytest.mark.parametrize("dialect", ["standard", "postgres", "oracle"])
+@pytest.mark.parametrize("seed", range(40))
+def test_generated_query_round_trip(dialect, seed):
+    """print → parse is the identity on randomly generated annotated ASTs."""
+    schema = validation_schema()
+    generator = QueryGenerator(schema, PAPER_CONFIG, random.Random(seed))
+    query = generator.generate()
+    assert parse_query(print_query(query, dialect)) == query
+
+
+def test_set_op_associativity_preserved():
+    a, b, c = simple_select(), simple_select(), simple_select()
+    left_assoc = SetOp("EXCEPT", SetOp("UNION", a, b), c)
+    right_assoc = SetOp("UNION", a, SetOp("EXCEPT", b, c))
+    assert parse_query(print_query(left_assoc)) == left_assoc
+    assert parse_query(print_query(right_assoc)) == right_assoc
+
+
+def test_intersect_precedence_preserved():
+    a, b, c = simple_select(), simple_select(), simple_select()
+    q1 = SetOp("UNION", a, SetOp("INTERSECT", b, c))
+    q2 = SetOp("INTERSECT", SetOp("UNION", a, b), c)
+    assert parse_query(print_query(q1)) == q1
+    assert parse_query(print_query(q2)) == q2

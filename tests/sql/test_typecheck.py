@@ -1,0 +1,135 @@
+"""Static checks: the "successfully compiled" assumption, incl. Example 2."""
+
+import pytest
+
+from repro.core.errors import (
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    DuplicateAliasError,
+    UnboundReferenceError,
+    UnknownTableError,
+)
+from repro.core.schema import Schema
+from repro.sql.annotate import annotate
+from repro.sql.parser import parse_query
+from repro.sql.typecheck import check_query
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A",), "S": ("A", "B")})
+
+
+def check(text, schema, star_style="standard"):
+    check_query(annotate(text, schema), schema, star_style)
+
+
+def test_valid_query_passes(schema):
+    check("SELECT R.A FROM R WHERE R.A = 1", schema)
+
+
+def test_unknown_table(schema):
+    with pytest.raises(UnknownTableError):
+        check("SELECT X.A FROM X", schema)
+
+
+def test_unbound_reference(schema):
+    q = annotate("SELECT R.A FROM R", schema)
+    from repro.core.values import FullName
+    from repro.sql.ast import Predicate, Select
+
+    bad = Select(q.items, q.from_items, Predicate("=", (FullName("Z", "A"), 1)))
+    with pytest.raises(UnboundReferenceError):
+        check_query(bad, schema)
+
+
+def test_duplicate_alias(schema):
+    q = parse_query("SELECT X.A FROM R AS X, S AS X")
+    with pytest.raises(DuplicateAliasError):
+        check_query(q, schema)
+
+
+def test_set_op_arity_mismatch(schema):
+    q = annotate("SELECT R.A FROM R UNION SELECT S.A, S.B FROM S", schema)
+    with pytest.raises(ArityMismatchError):
+        check_query(q, schema)
+
+
+def test_in_arity_mismatch(schema):
+    q = annotate("SELECT R.A FROM R WHERE R.A IN (SELECT S.A, S.B FROM S)", schema)
+    with pytest.raises(ArityMismatchError):
+        check_query(q, schema)
+
+
+def test_example2_star_over_duplicates_fails_standard(schema):
+    """Example 2, first query: rejected by the standard/Oracle behaviour."""
+    q = annotate("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", schema)
+    with pytest.raises(AmbiguousReferenceError):
+        check_query(q, schema, "standard")
+
+
+def test_example2_star_over_duplicates_passes_compositional(schema):
+    """PostgreSQL's compositional semantics accepts the same query."""
+    q = annotate("SELECT * FROM (SELECT R.A, R.A FROM R) AS T", schema)
+    check_query(q, schema, "compositional")
+
+
+def test_example2_under_exists_passes_standard(schema):
+    """Example 2, second query: under EXISTS, * is a constant — no ambiguity."""
+    q = annotate(
+        "SELECT * FROM R WHERE EXISTS "
+        "(SELECT * FROM (SELECT R.A, R.A FROM R) AS T)",
+        schema,
+    )
+    check_query(q, schema, "standard")
+
+
+def test_explicit_reference_to_duplicate_is_ambiguous_both_styles(schema):
+    q = annotate("SELECT T.A AS X FROM (SELECT R.A, R.A FROM R) AS T", schema)
+    for style in ("standard", "compositional"):
+        with pytest.raises(AmbiguousReferenceError):
+            check_query(q, schema, style)
+
+
+def test_star_under_set_op_inside_exists_still_expands(schema):
+    """Figure 7 evaluates set-operation operands with x = 0: a * inside a
+    UNION under EXISTS is expanded, so duplicate columns are an error."""
+    q = annotate(
+        "SELECT R.A FROM R WHERE EXISTS ("
+        "SELECT * FROM (SELECT R.A, R.A FROM R) AS T "
+        "UNION ALL SELECT S.A, S.B FROM S)",
+        schema,
+    )
+    with pytest.raises(AmbiguousReferenceError):
+        check_query(q, schema, "standard")
+
+
+def test_correlated_reference_through_scopes(schema):
+    check(
+        "SELECT R.A FROM R WHERE EXISTS (SELECT S.B FROM S WHERE S.A = R.A)",
+        schema,
+    )
+
+
+def test_shadowed_reference_resolves_to_inner(schema):
+    # S.A in the subquery must resolve against the inner S, not an outer one.
+    check(
+        "SELECT X.A FROM S AS X WHERE EXISTS (SELECT S.B FROM S WHERE S.A = X.A)",
+        schema,
+    )
+
+
+def test_unannotated_query_rejected(schema):
+    q = parse_query("SELECT A FROM R")
+    with pytest.raises(UnboundReferenceError):
+        check_query(q, schema)
+
+
+def test_column_alias_arity(schema):
+    """The arity of a T AS N(A1, …, An) rename list is checked as soon as
+    labels are computed — already during annotation."""
+    with pytest.raises(ArityMismatchError):
+        annotate("SELECT T.X AS X FROM (SELECT R.A FROM R) AS T(X, Y)", schema)
+    q = parse_query("SELECT T.X AS X FROM (SELECT R.A AS A FROM R AS R) AS T(X, Y)")
+    with pytest.raises(ArityMismatchError):
+        check_query(q, schema)

@@ -1,0 +1,92 @@
+"""The Section 4 correctness criterion and outcome classification."""
+
+import pytest
+
+from repro.core import Table
+from repro.core.errors import (
+    AmbiguousReferenceError,
+    ArityMismatchError,
+    UnknownTableError,
+)
+from repro.validation.compare import (
+    Outcome,
+    capture,
+    explain_difference,
+    tables_coincide,
+)
+
+
+def table(cols, rows):
+    return Table(cols, rows)
+
+
+def test_capture_success():
+    outcome = capture(lambda: table(("A",), [(1,)]))
+    assert not outcome.is_error
+    assert outcome.table.columns == ("A",)
+
+
+def test_capture_ambiguous():
+    def boom():
+        raise AmbiguousReferenceError("dup")
+
+    outcome = capture(boom)
+    assert outcome.error == "ambiguous"
+    assert "dup" in outcome.detail
+
+
+def test_capture_compile_errors_classified_together():
+    for exc in (ArityMismatchError("x"), UnknownTableError("y")):
+        outcome = capture(lambda e=exc: (_ for _ in ()).throw(e))
+        assert outcome.error == "compile"
+
+
+def test_tables_coincide_criterion():
+    assert tables_coincide(table(("A",), [(1,), (2,)]), table(("A",), [(2,), (1,)]))
+    assert not tables_coincide(table(("A",), [(1,)]), table(("B",), [(1,)]))
+    assert not tables_coincide(table(("A",), [(1,)]), table(("A",), [(1,), (1,)]))
+
+
+def test_agreement_table_vs_table():
+    a = Outcome(table=table(("A",), [(1,)]))
+    b = Outcome(table=table(("A",), [(1,)]))
+    assert a.agrees_with(b)
+
+
+def test_agreement_error_vs_error_same_kind():
+    a = Outcome(error="ambiguous")
+    b = Outcome(error="ambiguous", detail="other message")
+    assert a.agrees_with(b)
+
+
+def test_disagreement_error_vs_table():
+    a = Outcome(error="ambiguous")
+    b = Outcome(table=table(("A",), [(1,)]))
+    assert not a.agrees_with(b)
+    assert "one side raised" in explain_difference(a, b)
+
+
+def test_disagreement_different_errors():
+    a = Outcome(error="ambiguous")
+    b = Outcome(error="compile")
+    assert not a.agrees_with(b)
+    assert "different errors" in explain_difference(a, b)
+
+
+def test_explain_column_difference():
+    a = Outcome(table=table(("A",), [(1,)]))
+    b = Outcome(table=table(("B",), [(1,)]))
+    assert "different columns" in explain_difference(a, b)
+
+
+def test_explain_multiplicity_difference():
+    a = Outcome(table=table(("A",), [(1,), (1,)]))
+    b = Outcome(table=table(("A",), [(1,)]))
+    text = explain_difference(a, b)
+    assert "multiplicities" in text
+    assert "2 vs 1" in text
+
+
+def test_explain_agreement():
+    a = Outcome(table=table(("A",), [(1,)]))
+    assert explain_difference(a, a) == "outcomes agree"

@@ -1,0 +1,82 @@
+"""The validation campaign: the paper's headline experiment at small scale."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.generator import DataFillerConfig, GeneratorConfig
+from repro.sql import annotate
+from repro.validation import ValidationRunner, format_campaigns, format_table
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        ValidationRunner(variant="mysql")
+
+
+@pytest.mark.parametrize("variant", ["postgres", "oracle"])
+def test_small_campaign_fully_agrees(variant):
+    """The reproduction of the paper's result: full agreement."""
+    runner = ValidationRunner(
+        variant=variant, data_config=DataFillerConfig(max_rows=4)
+    )
+    report = runner.run(trials=40, base_seed=12345)
+    assert report.trials == 40
+    assert report.agreements == 40
+    assert not report.mismatches
+    assert report.agreement_rate == 1.0
+
+
+def test_oracle_campaign_sees_error_agreements():
+    """With enough trials, some queries hit the ambiguity class and both
+    sides error — counted as agreement, as in the paper."""
+    runner = ValidationRunner(variant="oracle", data_config=DataFillerConfig(max_rows=3))
+    report = runner.run(trials=150, base_seed=0)
+    assert report.agreements == report.trials
+    assert report.error_agreements > 0
+
+
+def test_compare_on_fixed_query():
+    schema = Schema({"R": ("A",), "S": ("A",)})
+    runner = ValidationRunner(schema=schema, variant="postgres")
+    db = Database(schema, {"R": [(1,), (NULL,)], "S": [(NULL,)]})
+    q = annotate("SELECT DISTINCT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)", schema)
+    result = runner.compare(q, db)
+    assert result.agreed
+    assert result.semantics.table.is_empty()
+
+
+def test_explain_mentions_query():
+    schema = Schema({"R": ("A",)})
+    runner = ValidationRunner(schema=schema, variant="postgres")
+    db = Database(schema, {"R": [(1,)]})
+    q = annotate("SELECT R.A FROM R", schema)
+    result = runner.compare(q, db, seed=9)
+    text = runner.explain(result)
+    assert "seed 9" in text
+    assert "SELECT" in text
+
+
+def test_report_summary_format():
+    runner = ValidationRunner(data_config=DataFillerConfig(max_rows=2))
+    report = runner.run(trials=5)
+    summary = report.summary()
+    assert "trials=5" in summary
+    assert "rate=" in summary
+
+
+def test_format_table_and_campaigns():
+    runner = ValidationRunner(data_config=DataFillerConfig(max_rows=2))
+    report = runner.run(trials=3)
+    rendered = format_campaigns([report])
+    assert "postgres" in rendered
+    assert "100.0000%" in rendered
+    table_text = format_table(("x", "y"), [(1, "ab"), (2, "c")])
+    assert "| x" in table_text and "| ab" in table_text
+
+
+def test_trial_result_is_reproducible():
+    runner = ValidationRunner(data_config=DataFillerConfig(max_rows=3))
+    a = runner.run_trial(77)
+    b = runner.run_trial(77)
+    assert a.query == b.query
+    assert a.agreed and b.agreed
