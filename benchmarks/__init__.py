@@ -1,0 +1,1 @@
+"""Benchmark suite package (package form lets benches share conftest helpers)."""

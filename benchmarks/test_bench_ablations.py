@@ -18,15 +18,18 @@ alternative and measures how often results change on random inputs:
 """
 
 import random
+import time
 
 from repro.core import validation_schema
 from repro.core.errors import ReproError
+from repro.engine import Engine
 from repro.generator import (
     DataFillerConfig,
     PAPER_CONFIG,
     QueryGenerator,
     fill_database,
 )
+from repro.validation.compare import capture
 from repro.semantics import (
     STAR_COMPOSITIONAL,
     STAR_STANDARD,
@@ -142,3 +145,61 @@ def test_bench_ablations(benchmark):
     # A1 is data-dependent; on queries actually containing EXCEPT the two
     # readings coincide unless right-side duplicates collide — report only.
     assert results["A1"][0] >= 0
+
+
+def test_bench_ablation_optimizer(benchmark):
+    """A4 — the engine optimizer ablation.
+
+    Runs the same random workload through ``Engine(optimize=True)`` and
+    ``Engine(optimize=False)`` at the paper's 50-row table cap: the two must
+    agree on every outcome (table or error class), and the wall-clock ratio
+    quantifies what pushdown + hash joins + cached subquery probes buy.
+    """
+
+    def run_ablation():
+        count = trials(20)
+        optimized = Engine(SCHEMA, "postgres")
+        naive = Engine(SCHEMA, "postgres", optimize=False)
+        data = DataFillerConfig(max_rows=50)
+        table_diffs = outcome_diffs = 0
+        elapsed = {"optimized": 0.0, "naive": 0.0}
+        for seed in range(count):
+            rng = random.Random(seed)
+            query = QueryGenerator(SCHEMA, PAPER_CONFIG, rng).generate()
+            db = fill_database(SCHEMA, rng, data)
+            start = time.perf_counter()
+            fast = capture(lambda: optimized.execute(query, db))
+            elapsed["optimized"] += time.perf_counter() - start
+            start = time.perf_counter()
+            slow = capture(lambda: naive.execute(query, db))
+            elapsed["naive"] += time.perf_counter() - start
+            if not fast.is_error and not slow.is_error:
+                if not fast.agrees_with(slow):
+                    table_diffs += 1
+            elif fast.error != slow.error:
+                outcome_diffs += 1
+        return count, table_diffs, outcome_diffs, elapsed
+
+    count, table_diffs, outcome_diffs, elapsed = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print_banner("Ablation A4 — plan optimizer on vs off (50-row tables)")
+    ratio = elapsed["naive"] / elapsed["optimized"] if elapsed["optimized"] else 0.0
+    print(
+        format_table(
+            ("engine", "trials", "results changed", "seconds"),
+            [
+                ("optimize=True", count, "-", f"{elapsed['optimized']:.3f}"),
+                ("optimize=False", count, table_diffs, f"{elapsed['naive']:.3f}"),
+            ],
+        )
+    )
+    print(f"speedup: {ratio:.2f}x")
+    # The optimizer's hard guarantee: identical tables whenever both paths
+    # produce one (conjunction reordering cannot change results).
+    assert table_diffs == 0
+    # Error *classes* also coincide here, but only because the generated
+    # workload is type-checked over int-only data, so the data-dependent
+    # runtime errors whose surfacing order the optimizer may legitimately
+    # change (see repro.engine.optimizer's docstring) are unreachable.
+    assert outcome_diffs == 0

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Standalone throughput benchmark: naive vs optimized engine (and oracle).
+
+Runs the pipeline-stage workloads of ``benchmarks/test_bench_throughput.py``
+without pytest and writes ``BENCH_engine.json`` — median nanoseconds per
+stage plus the optimizer speedup — so the performance trajectory is
+machine-readable across PRs::
+
+    PYTHONPATH=src python scripts/bench.py [--rounds N] [--out FILE]
+
+Stages
+------
+* ``query_generation``     — one random query (PAPER_CONFIG)
+* ``parse_print_roundtrip``— parse+print of 50 pregenerated query texts
+* ``semantics_eval``       — formal semantics, interleaved fast path
+* ``semantics_eval_naive`` — formal semantics, ``fast_from=False``
+* ``engine_optimized``     — reference engine, default optimizer
+* ``engine_naive``         — reference engine, ``optimize=False``
+* ``theorem1_translation`` — SQL → SQL-RA → pure RA desugaring
+
+The engine stages run at the paper's 50-row table cap (the scale the naive
+implementation could not handle); the semantics stages run at 5 rows, as the
+oracle is intentionally product-shaped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT))
+
+# The workloads are the ones the pytest benchmark suite defines, imported so
+# BENCH_engine.json always measures exactly what the benches measure.
+from benchmarks.test_bench_throughput import (  # noqa: E402
+    SCHEMA,
+    engine_pairs,
+    make_db,
+    make_query,
+    run_workload,
+)
+from repro.algebra import desugar, to_sqlra  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.generator import DM_CONFIG, QueryGenerator  # noqa: E402
+from repro.semantics import STAR_COMPOSITIONAL, SqlSemantics  # noqa: E402
+from repro.sql import parse_query, print_query  # noqa: E402
+
+
+def run_semantics(semantics, pairs):
+    for query, db in pairs:
+        try:
+            semantics.run(query, db)
+        except Exception:
+            pass
+
+
+def median_ns(fn, rounds):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        fn()
+        times.append(time.perf_counter_ns() - start)
+    return int(statistics.median(times))
+
+
+def build_stages():
+    gen = QueryGenerator(SCHEMA)
+    counter = iter(range(10_000_000))
+    texts = [print_query(make_query(seed)) for seed in range(50)]
+    small_pairs = [(make_query(s), make_db(s)) for s in range(20)]
+    paper_pairs = engine_pairs()
+    dm_queries = [make_query(seed, DM_CONFIG) for seed in range(10)]
+    sem_fast = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL)
+    sem_naive = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL, fast_from=False)
+    return {
+        "query_generation": lambda: gen.generate(seed=next(counter)),
+        "parse_print_roundtrip": lambda: [
+            print_query(parse_query(text)) for text in texts
+        ],
+        "semantics_eval": lambda: run_semantics(sem_fast, small_pairs),
+        "semantics_eval_naive": lambda: run_semantics(sem_naive, small_pairs),
+        "engine_optimized": lambda: run_workload(
+            Engine(SCHEMA, "postgres"), paper_pairs
+        ),
+        "engine_naive": lambda: run_workload(
+            Engine(SCHEMA, "postgres", optimize=False), paper_pairs
+        ),
+        "theorem1_translation": lambda: [
+            desugar(to_sqlra(query, SCHEMA), SCHEMA) for query in dm_queries
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5, help="rounds per stage")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, fn in build_stages().items():
+        fn()  # warm-up (also populates any lazy caches outside the timing)
+        results[name] = median_ns(fn, args.rounds)
+        print(f"{name:24s} {results[name] / 1e6:12.3f} ms (median of {args.rounds})")
+
+    speedup = results["engine_naive"] / results["engine_optimized"]
+    results_doc = {
+        "schema": "bench-engine/v1",
+        "rounds": args.rounds,
+        "median_ns": results,
+        "engine_speedup": round(speedup, 3),
+    }
+    Path(args.out).write_text(json.dumps(results_doc, indent=2) + "\n")
+    print(f"\nengine optimizer speedup: {speedup:.2f}x -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ set operations require (see Example 1's query Q3).
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 from .values import Record
@@ -37,7 +38,7 @@ class Bag:
     records have the same length.
     """
 
-    __slots__ = ("_counts", "_arity", "_size")
+    __slots__ = ("_counts", "_arity", "_size", "_hash")
 
     def __init__(self, records: Iterable[Record] = ()):
         counts: Dict[Record, int] = {}
@@ -57,6 +58,7 @@ class Bag:
         self._counts = counts
         self._arity = arity
         self._size = size
+        self._hash = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -83,6 +85,7 @@ class Bag:
         bag._counts = clean
         bag._arity = arity
         bag._size = size
+        bag._hash = None
         return bag
 
     @classmethod
@@ -96,8 +99,13 @@ class Bag:
         return self._counts.get(record, 0)
 
     def counts(self) -> Mapping[Record, int]:
-        """A read-only view of the multiplicity map."""
-        return dict(self._counts)
+        """A read-only *view* of the multiplicity map (no copy).
+
+        Hot in :meth:`repro.semantics.evaluator.SqlSemantics._from_where`,
+        which walks the map of every FROM product; the proxy makes the call
+        O(1) while still preventing callers from mutating the bag.
+        """
+        return MappingProxyType(self._counts)
 
     @property
     def arity(self) -> int | None:
@@ -200,7 +208,9 @@ class Bag:
         return self._counts == other._counts
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._counts.items()))
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(

@@ -23,7 +23,7 @@ by records behave correctly in the presence of nulls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple, Union
 
 __all__ = [
@@ -93,10 +93,20 @@ class FullName:
 
     Full names are the column labels of the intermediate table produced by a
     FROM clause, and they are what SELECT/WHERE references resolve against.
+
+    The hash is precomputed: full names key every environment update, making
+    them the hottest hashed objects in the whole evaluator.
     """
 
     qualifier: Name
     attribute: Name
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.qualifier, self.attribute)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.qualifier}.{self.attribute}"

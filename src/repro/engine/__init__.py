@@ -1,12 +1,19 @@
-"""Independent reference engine (the PostgreSQL/Oracle stand-in of Section 4)."""
+"""Independent reference engine (the PostgreSQL/Oracle stand-in of Section 4).
+
+``Engine(schema, dialect)`` optimizes by default (pushdown, hash joins,
+cached subquery probes); ``Engine(schema, dialect, optimize=False)`` is the
+paper's naive product-then-filter evaluation, kept for ablations.
+"""
 
 from .engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from .optimizer import optimize_plan
 from .planner import CompiledQuery, Planner
 
 __all__ = [
     "Engine",
     "Planner",
     "CompiledQuery",
+    "optimize_plan",
     "DIALECT_POSTGRES",
     "DIALECT_ORACLE",
 ]

@@ -9,13 +9,24 @@ the current row and the stack of outer rows — the way a real executor
 resolves correlated references.
 
 Only the input/output boundary converts between the two representations.
+
+Besides the two row expressions (:class:`ColumnRef`, :class:`LiteralExpr`),
+this module defines the *structured predicate nodes* the planner compiles
+WHERE clauses into (:class:`ComparePred`, :class:`IsNullPred`,
+:class:`AndPred`, …).  They are callables with the same
+``(row, outers) -> Optional[bool]`` signature the operators expect, but —
+unlike opaque closures — they expose which ``(depth, index)`` positions they
+read (:func:`expr_refs` / the nodes' ``refs()``), which is what lets the
+optimizer (:mod:`repro.engine.optimizer`) push filters below joins and turn
+equality conjuncts into hash joins.  Depth 0 is the current row; depth k > 0
+is the k-th enclosing row of a correlated subquery.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from ..core.errors import CompileError
 
@@ -25,6 +36,17 @@ __all__ = [
     "ColumnRef",
     "LiteralExpr",
     "RowExpr",
+    "Refs",
+    "expr_refs",
+    "merge_refs",
+    "shift_expr",
+    "PredNode",
+    "ConstPred",
+    "ComparePred",
+    "IsNullPred",
+    "AndPred",
+    "OrPred",
+    "NotPred",
     "and3",
     "or3",
     "not3",
@@ -52,6 +74,9 @@ class ColumnRef:
             return row[self.index]
         return outers[-self.depth][self.index]
 
+    def refs(self) -> "Refs":
+        return frozenset({(self.depth, self.index)})
+
 
 @dataclass(frozen=True, slots=True)
 class LiteralExpr:
@@ -62,8 +87,36 @@ class LiteralExpr:
     def __call__(self, row: Row, outers: OuterStack) -> object:
         return self.value
 
+    def refs(self) -> "Refs":
+        return frozenset()
+
 
 RowExpr = Callable[[Row, OuterStack], object]
+
+#: The positions an expression or predicate reads: a set of (depth, index)
+#: pairs, depth 0 being the current row.
+Refs = FrozenSet[Tuple[int, int]]
+
+
+def expr_refs(expr: RowExpr) -> Optional[Refs]:
+    """The ``(depth, index)`` positions ``expr`` reads, or None if opaque."""
+    method = getattr(expr, "refs", None)
+    if method is None:
+        return None
+    return method()
+
+
+def shift_expr(expr: RowExpr, offset: int) -> Optional[RowExpr]:
+    """Re-index depth-0 references by ``-offset`` (for pushing a predicate
+    below a join into the child starting at column ``offset``); None if the
+    expression is not rewritable."""
+    if isinstance(expr, ColumnRef):
+        if expr.depth == 0:
+            return ColumnRef(0, expr.index - offset)
+        return expr
+    if isinstance(expr, LiteralExpr):
+        return expr
+    return None
 
 
 # -- three-valued connectives over True/False/None ---------------------------
@@ -135,3 +188,192 @@ def compare(op: str, a: object, b: object) -> Optional[bool]:
     except KeyError:
         raise CompileError(f"unknown comparison operator: {op}") from None
     return func(a, b)
+
+
+# -- predicate nodes ---------------------------------------------------------
+#
+# Structured, introspectable replacements for the closures the planner used
+# to emit.  ``refs()`` returns the (depth, index) positions the predicate
+# reads (None when it contains an opaque callable), and ``shifted(offset)``
+# rebuilds the predicate with depth-0 indices re-based for evaluation inside
+# a join child (None when the predicate cannot be safely relocated, e.g.
+# because it contains a subquery).
+
+
+class PredNode:
+    """Base class of compiled WHERE predicates: a 3VL callable with refs."""
+
+    __slots__ = ()
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        raise NotImplementedError
+
+    def refs(self) -> Optional[Refs]:
+        """All (depth, index) positions read, or None if not introspectable."""
+        raise NotImplementedError
+
+    def shifted(self, offset: int) -> Optional["PredNode"]:
+        """The same predicate with depth-0 indices shifted by ``-offset``."""
+        return None
+
+
+class ConstPred(PredNode):
+    """The constant conditions TRUE and FALSE."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[bool]):
+        self.value = value
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        return self.value
+
+    def refs(self) -> Refs:
+        return frozenset()
+
+    def shifted(self, offset: int) -> "ConstPred":
+        return self
+
+
+class ComparePred(PredNode):
+    """A binary comparison ``t1 op t2`` under SQL's 3VL."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: RowExpr, right: RowExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        return compare(self.op, self.left(row, outers), self.right(row, outers))
+
+    def refs(self) -> Optional[Refs]:
+        left = expr_refs(self.left)
+        right = expr_refs(self.right)
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def shifted(self, offset: int) -> Optional["ComparePred"]:
+        left = shift_expr(self.left, offset)
+        right = shift_expr(self.right, offset)
+        if left is None or right is None:
+            return None
+        return ComparePred(self.op, left, right)
+
+
+class IsNullPred(PredNode):
+    """``t IS [NOT] NULL`` — always two-valued."""
+
+    __slots__ = ("expr", "negated")
+
+    def __init__(self, expr: RowExpr, negated: bool = False):
+        self.expr = expr
+        self.negated = negated
+
+    def __call__(self, row: Row, outers: OuterStack) -> bool:
+        if self.negated:
+            return self.expr(row, outers) is not None
+        return self.expr(row, outers) is None
+
+    def refs(self) -> Optional[Refs]:
+        return expr_refs(self.expr)
+
+    def shifted(self, offset: int) -> Optional["IsNullPred"]:
+        expr = shift_expr(self.expr, offset)
+        if expr is None:
+            return None
+        return IsNullPred(expr, self.negated)
+
+
+def merge_refs(*parts: Optional[Refs]) -> Optional[Refs]:
+    """Union ref sets; an unknown (None) part poisons the whole union."""
+    merged: Refs = frozenset()
+    for part in parts:
+        if part is None:
+            return None
+        merged |= part
+    return merged
+
+
+def _child_refs(*preds: Callable) -> Optional[Refs]:
+    return merge_refs(*(expr_refs(pred) for pred in preds))
+
+
+def _child_shifted(pred: Callable, offset: int) -> Optional[Callable]:
+    method = getattr(pred, "shifted", None)
+    return method(offset) if method is not None else None
+
+
+class AndPred(PredNode):
+    """3VL conjunction with the engine's left-to-right short-circuit."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Callable, right: Callable):
+        self.left = left
+        self.right = right
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        a = self.left(row, outers)
+        if a is False:
+            return False
+        return and3(a, self.right(row, outers))
+
+    def refs(self) -> Optional[Refs]:
+        return _child_refs(self.left, self.right)
+
+    def shifted(self, offset: int) -> Optional["AndPred"]:
+        left = _child_shifted(self.left, offset)
+        right = _child_shifted(self.right, offset)
+        if left is None or right is None:
+            return None
+        return AndPred(left, right)
+
+
+class OrPred(PredNode):
+    """3VL disjunction with the engine's left-to-right short-circuit."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Callable, right: Callable):
+        self.left = left
+        self.right = right
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        a = self.left(row, outers)
+        if a is True:
+            return True
+        return or3(a, self.right(row, outers))
+
+    def refs(self) -> Optional[Refs]:
+        return _child_refs(self.left, self.right)
+
+    def shifted(self, offset: int) -> Optional["OrPred"]:
+        left = _child_shifted(self.left, offset)
+        right = _child_shifted(self.right, offset)
+        if left is None or right is None:
+            return None
+        return OrPred(left, right)
+
+
+class NotPred(PredNode):
+    """3VL negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Callable):
+        self.operand = operand
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        return not3(self.operand(row, outers))
+
+    def refs(self) -> Optional[Refs]:
+        return _child_refs(self.operand)
+
+    def shifted(self, offset: int) -> Optional["NotPred"]:
+        operand = _child_shifted(self.operand, offset)
+        if operand is None:
+            return None
+        return NotPred(operand)

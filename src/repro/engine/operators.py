@@ -1,19 +1,57 @@
 """Physical operators of the reference engine: a tiny iterator model.
 
-Each operator produces a list of rows given the stack of outer rows (needed
-because any operator may sit inside a correlated subquery and reference
-enclosing rows through compiled :class:`~repro.engine.expressions.ColumnRef`
-expressions).  Multisets are handled with :class:`collections.Counter`, a
-representation intentionally different from :class:`repro.core.bag.Bag`.
+Each operator exposes a generator, :meth:`PlanNode.iter_rows`, producing rows
+given the stack of outer rows (needed because any operator may sit inside a
+correlated subquery and reference enclosing rows through compiled
+:class:`~repro.engine.expressions.ColumnRef` expressions); the materializing
+:meth:`PlanNode.rows` is a convenience over it.  Streaming matters: a filter
+above a cross join never holds the whole product in memory, and an EXISTS
+probe stops after the first row.  Multisets are handled with
+:class:`collections.Counter`, a representation intentionally different from
+:class:`repro.core.bag.Bag`.
+
+Besides the textbook operators (:class:`StaticScan`, :class:`CrossJoin`,
+:class:`FilterOp`, :class:`ProjectOp`, :class:`DistinctOp`,
+:class:`SetOpNode`), this module provides the physical machinery used by the
+optimizer (:mod:`repro.engine.optimizer`):
+
+* :class:`HashJoin` — equi-join of two children on typed key columns, with
+  SQL's 3VL NULL handling (a NULL key never matches, exactly like the
+  equality conjunct it replaces);
+* :class:`CachedSubplan` — materializes an uncorrelated subplan once per
+  execution instead of once per probing row;
+* the subquery predicates :class:`ExistsPred` / :class:`InPred` (the naive,
+  re-executing forms the planner emits) and their optimized replacements
+  :class:`ExistsProbe` (generator-based, early-terminating, result-cached
+  when the subplan is closed) and :class:`SemiJoinProbe` (a frozenset probe
+  set with 3VL-correct NULL handling for uncorrelated IN).
+
+Every node also answers two static questions the optimizer asks:
+:meth:`PlanNode.free_refs` — which ``(depth, index)`` positions of the outer
+stack the subtree reads (depth ≥ 1; ``None`` when unknown, e.g. an opaque
+filter callable) — and :meth:`PlanNode.width` — the output arity, when
+derivable.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from itertools import product as _iter_product
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from .expressions import OuterStack, Row, RowExpr
+from .expressions import (
+    OuterStack,
+    Refs,
+    Row,
+    RowExpr,
+    and3,
+    compare,
+    expr_refs,
+    merge_refs,
+    not3,
+    or3,
+)
 
 __all__ = [
     "PlanNode",
@@ -23,24 +61,109 @@ __all__ = [
     "ProjectOp",
     "DistinctOp",
     "SetOpNode",
+    "HashJoin",
+    "CachedSubplan",
+    "ExistsPred",
+    "ExistsProbe",
+    "InPred",
+    "SemiJoinProbe",
+    "typed_key",
+    "pred_refs",
 ]
+
+
+def typed_key(values: Sequence[object]) -> Optional[Tuple]:
+    """A hashable join/probe key matching ``compare("=")`` semantics.
+
+    None (SQL NULL) anywhere makes the key unusable (equality would be
+    unknown); the per-component string tag mirrors the engine's refusal to
+    equate values across the string/number divide.
+    """
+    key = []
+    for v in values:
+        if v is None:
+            return None
+        key.append((isinstance(v, str), v))
+    return tuple(key)
+
+
+def _sub_refs(refs: Optional[Refs]) -> Optional[Refs]:
+    """Map a subplan's free refs (depth ≥ 1) to the probing predicate's level:
+    depth 1 is the probing row itself (depth 0 at the predicate's level)."""
+    if refs is None:
+        return None
+    return frozenset((depth - 1, index) for depth, index in refs)
+
+
+#: The (depth, index) positions a filter predicate reads; None if opaque.
+#: Predicates follow the same refs() protocol as row expressions.
+pred_refs = expr_refs
+
+
+def _outer_part(refs: Optional[Refs]) -> Optional[Refs]:
+    if refs is None:
+        return None
+    return frozenset(r for r in refs if r[0] >= 1)
+
+
+def _in_fold(values: Row, sub_rows) -> Optional[bool]:
+    """The 3VL fold of ``t̄ IN Q``: the disjunction over Q's rows of the
+    conjunction of per-position equalities, with short-circuits."""
+    result: Optional[bool] = False
+    for sub_row in sub_rows:
+        comparison: Optional[bool] = True
+        for a, b in zip(values, sub_row):
+            comparison = and3(comparison, compare("=", a, b))
+            if comparison is False:
+                break
+        result = or3(result, comparison)
+        if result is True:
+            break
+    return result
 
 
 class PlanNode:
     """Base class of all physical operators."""
 
-    def rows(self, outers: OuterStack) -> List[Row]:
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
         raise NotImplementedError
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        return list(self.iter_rows(outers))
+
+    def free_refs(self) -> Optional[Refs]:
+        """Outer-stack positions (depth ≥ 1) the subtree reads; None if unknown."""
+        raise NotImplementedError
+
+    def width(self) -> Optional[int]:
+        """Output arity, or None when it cannot be derived."""
+        return None
 
 
 @dataclass
 class StaticScan(PlanNode):
-    """Scan of a materialized base table (rows captured at plan bind time)."""
+    """Scan of a materialized base table (rows captured at plan bind time).
+
+    ``arity`` is recorded by the planner so the width is known even for an
+    empty table (the data alone cannot tell).
+    """
 
     data: List[Row]
+    arity: Optional[int] = None
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        return iter(self.data)
 
     def rows(self, outers: OuterStack) -> List[Row]:
         return self.data
+
+    def free_refs(self) -> Refs:
+        return frozenset()
+
+    def width(self) -> Optional[int]:
+        if self.arity is not None:
+            return self.arity
+        return len(self.data[0]) if self.data else None
 
 
 @dataclass
@@ -49,14 +172,30 @@ class CrossJoin(PlanNode):
 
     children: List[PlanNode]
 
-    def rows(self, outers: OuterStack) -> List[Row]:
-        result: List[Row] = [()]
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        materialized: List[List[Row]] = []
         for child in self.children:
-            child_rows = child.rows(outers)
-            result = [left + right for left in result for right in child_rows]
-            if not result:
-                return []
-        return result
+            rows = child.rows(outers)
+            if not rows:
+                return
+            materialized.append(rows)
+        for combo in _iter_product(*materialized):
+            row: Row = combo[0]
+            for part in combo[1:]:
+                row = row + part
+            yield row
+
+    def free_refs(self) -> Optional[Refs]:
+        return merge_refs(*(child.free_refs() for child in self.children))
+
+    def width(self) -> Optional[int]:
+        total = 0
+        for child in self.children:
+            w = child.width()
+            if w is None:
+                return None
+            total += w
+        return total
 
 
 @dataclass
@@ -66,12 +205,19 @@ class FilterOp(PlanNode):
     child: PlanNode
     predicate: Callable[[Row, OuterStack], Optional[bool]]
 
-    def rows(self, outers: OuterStack) -> List[Row]:
-        return [
-            row
-            for row in self.child.rows(outers)
-            if self.predicate(row, outers) is True
-        ]
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.iter_rows(outers):
+            if predicate(row, outers) is True:
+                yield row
+
+    def free_refs(self) -> Optional[Refs]:
+        return merge_refs(
+            self.child.free_refs(), _outer_part(pred_refs(self.predicate))
+        )
+
+    def width(self) -> Optional[int]:
+        return self.child.width()
 
 
 @dataclass
@@ -81,11 +227,19 @@ class ProjectOp(PlanNode):
     child: PlanNode
     expressions: Sequence[RowExpr]
 
-    def rows(self, outers: OuterStack) -> List[Row]:
-        return [
-            tuple(expr(row, outers) for expr in self.expressions)
-            for row in self.child.rows(outers)
-        ]
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        expressions = self.expressions
+        for row in self.child.iter_rows(outers):
+            yield tuple(expr(row, outers) for expr in expressions)
+
+    def free_refs(self) -> Optional[Refs]:
+        return merge_refs(
+            self.child.free_refs(),
+            *(_outer_part(expr_refs(expr)) for expr in self.expressions),
+        )
+
+    def width(self) -> int:
+        return len(self.expressions)
 
 
 @dataclass
@@ -94,14 +248,18 @@ class DistinctOp(PlanNode):
 
     child: PlanNode
 
-    def rows(self, outers: OuterStack) -> List[Row]:
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
         seen = set()
-        result: List[Row] = []
-        for row in self.child.rows(outers):
+        for row in self.child.iter_rows(outers):
             if row not in seen:
                 seen.add(row)
-                result.append(row)
-        return result
+                yield row
+
+    def free_refs(self) -> Optional[Refs]:
+        return self.child.free_refs()
+
+    def width(self) -> Optional[int]:
+        return self.child.width()
 
 
 @dataclass
@@ -113,11 +271,9 @@ class SetOpNode(PlanNode):
     left: PlanNode
     right: PlanNode
 
-    def rows(self, outers: OuterStack) -> List[Row]:
-        left_rows = self.left.rows(outers)
-        right_rows = self.right.rows(outers)
-        left_counts = Counter(left_rows)
-        right_counts = Counter(right_rows)
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        left_counts = Counter(self.left.iter_rows(outers))
+        right_counts = Counter(self.right.iter_rows(outers))
         result: Counter = Counter()
         if self.op == "UNION":
             result = left_counts + right_counts
@@ -135,4 +291,262 @@ class SetOpNode(PlanNode):
                 result = dedup_left - right_counts
         else:  # pragma: no cover - guarded at compile time
             raise ValueError(f"unknown set operation {self.op}")
-        return list(result.elements())
+        return iter(result.elements())
+
+    def free_refs(self) -> Optional[Refs]:
+        return merge_refs(self.left.free_refs(), self.right.free_refs())
+
+    def width(self) -> Optional[int]:
+        return self.left.width() if self.left.width() is not None else self.right.width()
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join: hashes the right child, probes with the left child.
+
+    Replaces ``σ_{l=r}(L × R)``: rows whose key contains NULL are dropped on
+    either side (the equality they stand in for would be unknown), and keys
+    are typed so that e.g. ``1`` and ``'1'`` never match, exactly like
+    :func:`repro.engine.expressions.compare`.  Output rows are ``left +
+    right`` concatenations, preserving the FROM-clause column layout.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_keys: Tuple[int, ...]
+    right_keys: Tuple[int, ...]
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        table: dict = {}
+        right_keys = self.right_keys
+        for row in self.right.iter_rows(outers):
+            key = typed_key([row[i] for i in right_keys])
+            if key is None:
+                continue
+            table.setdefault(key, []).append(row)
+        if not table:
+            return
+        left_keys = self.left_keys
+        for row in self.left.iter_rows(outers):
+            key = typed_key([row[i] for i in left_keys])
+            if key is None:
+                continue
+            for match in table.get(key, ()):
+                yield row + match
+
+    def free_refs(self) -> Optional[Refs]:
+        return merge_refs(self.left.free_refs(), self.right.free_refs())
+
+    def width(self) -> Optional[int]:
+        left = self.left.width()
+        right = self.right.width()
+        if left is None or right is None:
+            return None
+        return left + right
+
+
+@dataclass
+class CachedSubplan(PlanNode):
+    """Materializes a *closed* subplan (no outer references) exactly once.
+
+    A closed EXISTS/IN subquery re-executed per outer row is the single
+    largest cost of the naive engine; this node runs it on first demand and
+    replays the rows afterwards.
+    """
+
+    child: PlanNode
+    _cache: Optional[List[Row]] = field(default=None, repr=False, compare=False)
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        return iter(self.rows(outers))
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        if self._cache is None:
+            # The child is closed, so the outer stack is irrelevant.
+            self._cache = self.child.rows(())
+        return self._cache
+
+    def free_refs(self) -> Optional[Refs]:
+        return self.child.free_refs()
+
+    def width(self) -> Optional[int]:
+        return self.child.width()
+
+
+# -- subquery predicates -----------------------------------------------------
+
+
+class ExistsPred:
+    """Naive ``EXISTS Q``: fully materializes the subquery per probing row."""
+
+    __slots__ = ("subplan",)
+
+    def __init__(self, subplan: PlanNode):
+        self.subplan = subplan
+
+    def __call__(self, row: Row, outers: OuterStack) -> bool:
+        return bool(self.subplan.rows(outers + (row,)))
+
+    def refs(self) -> Optional[Refs]:
+        return _sub_refs(self.subplan.free_refs())
+
+
+class ExistsProbe:
+    """Optimized ``EXISTS Q``: streams the subquery and stops at the first
+    row.  When the subplan is closed, the boolean is computed only once;
+    when it is correlated, results are memoized per *binding* — the tuple of
+    outer values at the subplan's free reference positions, the only inputs
+    the subquery's result can depend on."""
+
+    __slots__ = ("subplan", "closed", "_known", "_refs", "_memo")
+
+    def __init__(
+        self,
+        subplan: PlanNode,
+        closed: bool = False,
+        memo_refs: Optional[Refs] = None,
+    ):
+        self.subplan = subplan
+        self.closed = closed
+        self._known: Optional[bool] = None
+        self._refs = tuple(sorted(memo_refs)) if memo_refs else None
+        self._memo: dict = {}
+
+    def _binding(self, row: Row, outers: OuterStack) -> Tuple:
+        return tuple(
+            row[i] if d == 0 else outers[-d][i] for d, i in self._refs
+        )
+
+    def _probe(self, row: Row, outers: OuterStack) -> bool:
+        for _ in self.subplan.iter_rows(outers + (row,)):
+            return True
+        return False
+
+    def __call__(self, row: Row, outers: OuterStack) -> bool:
+        if self.closed:
+            if self._known is None:
+                self._known = self._probe(row, outers)
+            return self._known
+        if self._refs is None:
+            return self._probe(row, outers)
+        key = self._binding(row, outers)
+        result = self._memo.get(key)
+        if result is None:
+            result = self._memo[key] = self._probe(row, outers)
+        return result
+
+    def refs(self) -> Optional[Refs]:
+        return _sub_refs(self.subplan.free_refs())
+
+
+class InPred:
+    """``t̄ [NOT] IN Q``: folds 3VL equality over the subquery's rows.
+
+    Without ``memo_refs`` this is the naive form the planner emits: the
+    subquery is re-executed per probing row.  The optimizer supplies
+    ``memo_refs`` for correlated subplans, caching the (distinct) subquery
+    rows per binding of the referenced outer values — a disjunction cannot
+    change under duplicate elimination, so distinct rows suffice."""
+
+    __slots__ = ("exprs", "subplan", "negated", "_refs", "_memo")
+
+    def __init__(
+        self,
+        exprs: Sequence[RowExpr],
+        subplan: PlanNode,
+        negated: bool,
+        memo_refs: Optional[Refs] = None,
+    ):
+        self.exprs = tuple(exprs)
+        self.subplan = subplan
+        self.negated = negated
+        self._refs = tuple(sorted(memo_refs)) if memo_refs else None
+        self._memo: dict = {}
+
+    def _sub_rows(self, row: Row, outers: OuterStack) -> Sequence[Row]:
+        if self._refs is None:
+            return self.subplan.rows(outers + (row,))
+        key = tuple(row[i] if d == 0 else outers[-d][i] for d, i in self._refs)
+        rows = self._memo.get(key)
+        if rows is None:
+            rows = self._memo[key] = list(
+                dict.fromkeys(self.subplan.rows(outers + (row,)))
+            )
+        return rows
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        values = tuple(expr(row, outers) for expr in self.exprs)
+        result = _in_fold(values, self._sub_rows(row, outers))
+        return not3(result) if self.negated else result
+
+    def refs(self) -> Optional[Refs]:
+        return merge_refs(
+            _sub_refs(self.subplan.free_refs()),
+            *(expr_refs(expr) for expr in self.exprs),
+        )
+
+
+class SemiJoinProbe:
+    """Optimized ``t̄ [NOT] IN Q`` for a *closed* Q: a frozenset probe.
+
+    The subquery's distinct rows are materialized once and split into a
+    frozenset of typed NULL-free keys (the fast path) plus the rows that
+    contain NULL.  3VL is preserved exactly:
+
+    * probe values without NULL: True on a key hit; otherwise unknown if
+      some NULL-containing row matches on every non-NULL position, else
+      False;
+    * probe values with NULL: the full 3VL fold over the (cached, distinct)
+      rows — duplicates cannot change a disjunction, so distinct suffices.
+    """
+
+    __slots__ = ("exprs", "subplan", "negated", "_keys", "_null_rows", "_rows")
+
+    def __init__(self, exprs: Sequence[RowExpr], subplan: PlanNode, negated: bool):
+        self.exprs = tuple(exprs)
+        self.subplan = subplan
+        self.negated = negated
+        self._keys: Optional[frozenset] = None
+        self._null_rows: Optional[List[Row]] = None
+        self._rows: Optional[List[Row]] = None
+
+    def _materialize(self) -> None:
+        distinct = list(dict.fromkeys(self.subplan.rows(())))
+        keys = []
+        null_rows = []
+        for sub_row in distinct:
+            key = typed_key(sub_row)
+            if key is None:
+                null_rows.append(sub_row)
+            else:
+                keys.append(key)
+        self._rows = distinct
+        self._keys = frozenset(keys)
+        self._null_rows = null_rows
+
+    def __call__(self, row: Row, outers: OuterStack) -> Optional[bool]:
+        if self._rows is None:
+            self._materialize()
+        values = tuple(expr(row, outers) for expr in self.exprs)
+        key = typed_key(values)
+        if key is not None:
+            if key in self._keys:
+                result: Optional[bool] = True
+            else:
+                result = None if self._maybe_null_match(values) else False
+        else:
+            result = _in_fold(values, self._rows)
+        return not3(result) if self.negated else result
+
+    def _maybe_null_match(self, values: Row) -> bool:
+        """Whether some NULL-containing row is 3VL-unknown-equal to values."""
+        for sub_row in self._null_rows:
+            if all(
+                b is None or compare("=", a, b) is True
+                for a, b in zip(values, sub_row)
+            ):
+                return True
+        return False
+
+    def refs(self) -> Optional[Refs]:
+        return merge_refs(*(expr_refs(expr) for expr in self.exprs))

@@ -1,0 +1,286 @@
+"""Plan-rewrite optimizer of the reference engine.
+
+The planner emits the paper-faithful naive plan — every FROM clause is a
+Cartesian product with the whole WHERE clause filtered on top, and every
+subquery predicate re-executes its subplan per probing row.  This module
+rewrites that tree into an equivalent but drastically cheaper one:
+
+* **selection pushdown** — WHERE conjuncts whose depth-0 references fall
+  inside a single join child are re-indexed and evaluated below the join,
+  and every other conjunct is applied at the earliest left-deep prefix that
+  covers its columns (filter-during-product instead of product-then-filter);
+* **hash equi-joins** — an equality conjunct between column references of
+  two different children turns the Cartesian product into a
+  :class:`~repro.engine.operators.HashJoin` on typed, NULL-rejecting keys;
+* **subquery caching** — a *closed* EXISTS/IN subplan (one with no outer
+  references, per :meth:`~repro.engine.operators.PlanNode.free_refs`) is
+  materialized once: EXISTS becomes a cached boolean
+  (:class:`~repro.engine.operators.ExistsProbe`) and IN becomes a frozenset
+  semi-join probe with 3VL-correct NULL handling
+  (:class:`~repro.engine.operators.SemiJoinProbe`);
+* **streaming** — correlated EXISTS probes use the operators' generator
+  iteration and stop at the first row.
+
+Semantics: on *well-typed* inputs — data on which no predicate can raise at
+runtime, which is everything the type checker (:mod:`repro.sql.typecheck`)
+admits and everything the Section 4 campaigns generate — the rewrites
+preserve results exactly: 3VL conjunction is commutative and associative,
+and the differential and validation campaigns in :mod:`repro.validation`
+check the optimized engine against the formal semantics of Figures 5–7 on
+both dialect variants.  On *ill-typed* data (a type clash inside an ordered
+comparison, LIKE on a non-string) the optimized plan may evaluate a
+predicate on more or fewer rows than the naive And-chain — filters are
+relocated, hash joins drop NULL keys early, EXISTS stops at the first
+row — so whether, and which, runtime error surfaces is not preserved: a
+query that naively returned a table may raise, or vice versa.  That is the
+latitude real systems take (SQL leaves evaluation order unspecified, and
+the RDBMSs the engine stands in for reject such queries at compile time).
+``Engine(..., optimize=False)`` retains the naive path bit-for-bit, for
+ablations and as an escape hatch.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .expressions import (
+    AndPred,
+    ColumnRef,
+    ComparePred,
+    ConstPred,
+    IsNullPred,
+    NotPred,
+    OrPred,
+)
+from .operators import (
+    CachedSubplan,
+    CrossJoin,
+    DistinctOp,
+    ExistsPred,
+    ExistsProbe,
+    FilterOp,
+    HashJoin,
+    InPred,
+    PlanNode,
+    ProjectOp,
+    SemiJoinProbe,
+    SetOpNode,
+    StaticScan,
+    _sub_refs,
+    pred_refs,
+)
+
+__all__ = ["optimize_plan"]
+
+Pred = Callable
+
+
+def optimize_plan(plan: PlanNode) -> PlanNode:
+    """Rewrite a compiled plan into its optimized physical form."""
+    if isinstance(plan, FilterOp):
+        conjuncts = [_rewrite_pred(c) for c in _flatten_and(plan.predicate)]
+        child = plan.child
+        if isinstance(child, CrossJoin) and len(child.children) > 1:
+            children = [_optimize_from_item(c) for c in child.children]
+            joined = _build_join(children, conjuncts)
+            if joined is not None:
+                return joined
+            return FilterOp(CrossJoin(children), _combine(conjuncts))
+        return FilterOp(optimize_plan(child), _combine(conjuncts))
+    if isinstance(plan, ProjectOp):
+        return ProjectOp(optimize_plan(plan.child), plan.expressions)
+    if isinstance(plan, DistinctOp):
+        return DistinctOp(optimize_plan(plan.child))
+    if isinstance(plan, SetOpNode):
+        return SetOpNode(
+            plan.op, plan.all, optimize_plan(plan.left), optimize_plan(plan.right)
+        )
+    if isinstance(plan, CrossJoin):
+        return CrossJoin([_optimize_from_item(child) for child in plan.children])
+    # StaticScan and already-optimized nodes are left untouched.
+    return plan
+
+
+def _optimize_from_item(child: PlanNode) -> PlanNode:
+    """Optimize one FROM child; materialize it once if it is closed.
+
+    A closed FROM-subquery (no outer references) always produces the same
+    rows, yet a plan sitting inside a correlated WHERE subquery re-executes
+    per probing row — :class:`~repro.engine.operators.CachedSubplan` makes
+    that a replay.  Scans are already materialized, so only derived plans
+    are wrapped.
+    """
+    optimized = optimize_plan(child)
+    if (
+        not isinstance(optimized, (StaticScan, CachedSubplan))
+        and optimized.free_refs() == frozenset()
+    ):
+        return CachedSubplan(optimized)
+    return optimized
+
+
+# -- predicates --------------------------------------------------------------
+
+
+def _flatten_and(pred: Pred) -> List[Pred]:
+    """The top-level conjuncts of a predicate, in evaluation order."""
+    if isinstance(pred, AndPred):
+        return _flatten_and(pred.left) + _flatten_and(pred.right)
+    return [pred]
+
+
+def _combine(conjuncts: Sequence[Pred]) -> Pred:
+    """Left-fold conjuncts back into an AND chain (preserving order)."""
+    if not conjuncts:
+        return ConstPred(True)
+    return reduce(AndPred, conjuncts)
+
+
+def _rewrite_pred(pred: Pred) -> Pred:
+    """Optimize subplans inside a predicate; cache the closed ones."""
+    if isinstance(pred, AndPred):
+        return AndPred(_rewrite_pred(pred.left), _rewrite_pred(pred.right))
+    if isinstance(pred, OrPred):
+        return OrPred(_rewrite_pred(pred.left), _rewrite_pred(pred.right))
+    if isinstance(pred, NotPred):
+        return NotPred(_rewrite_pred(pred.operand))
+    if isinstance(pred, (ExistsPred, ExistsProbe)):
+        subplan = optimize_plan(pred.subplan)
+        free = subplan.free_refs()
+        if free == frozenset():
+            return ExistsProbe(subplan, closed=True)
+        return ExistsProbe(subplan, memo_refs=_sub_refs(free))
+    if isinstance(pred, InPred):
+        subplan = optimize_plan(pred.subplan)
+        free = subplan.free_refs()
+        if free == frozenset():
+            # No CachedSubplan needed: the probe materializes exactly once.
+            return SemiJoinProbe(pred.exprs, subplan, pred.negated)
+        return InPred(pred.exprs, subplan, pred.negated, memo_refs=_sub_refs(free))
+    # ComparePred / IsNullPred / ConstPred / opaque callables.
+    return pred
+
+
+# -- join construction -------------------------------------------------------
+
+
+class _Conjunct:
+    """One WHERE conjunct with its placement analysis."""
+
+    __slots__ = ("pred", "local", "max_local", "order")
+
+    def __init__(self, pred: Pred, order: int, total_width: int):
+        self.pred = pred
+        self.order = order
+        refs = pred_refs(pred)
+        if refs is None:
+            # Opaque: assume it reads the whole row; apply at full width.
+            self.local = None
+            self.max_local = total_width - 1
+        else:
+            self.local = frozenset(i for d, i in refs if d == 0)
+            self.max_local = max(self.local, default=-1)
+
+
+def _equi_endpoints(pred: Pred) -> Optional[Tuple[int, int]]:
+    """(i, j) column indices if pred is ``row[i] = row[j]``, else None."""
+    if (
+        isinstance(pred, ComparePred)
+        and pred.op == "="
+        and isinstance(pred.left, ColumnRef)
+        and isinstance(pred.right, ColumnRef)
+        and pred.left.depth == 0
+        and pred.right.depth == 0
+    ):
+        return pred.left.index, pred.right.index
+    return None
+
+
+def _build_join(
+    children: List[PlanNode], conjuncts: Sequence[Pred]
+) -> Optional[PlanNode]:
+    """A left-deep join tree with pushed filters and hash equi-joins.
+
+    Children stay in FROM order so the output row layout is unchanged; a
+    left-deep prefix therefore occupies exactly the first ``width`` columns
+    of the final row, which lets prefix filters (including correlated
+    subquery probes, whose depth-1 references index the probing row) run
+    without any re-indexing.  Returns None when child widths are unknown.
+    """
+    widths = [child.width() for child in children]
+    if any(w is None for w in widths):
+        return None
+    offsets = []
+    total = 0
+    for w in widths:
+        offsets.append(total)
+        total += w
+
+    def span_of(index: int) -> int:
+        for k in range(len(children) - 1, -1, -1):
+            if index >= offsets[k]:
+                return k
+        raise AssertionError(f"column index {index} out of range")
+
+    child_filters: List[List[Pred]] = [[] for _ in children]
+    edges: List[Tuple[int, int, Pred]] = []  # (global i, global j, pred)
+    staged: List[_Conjunct] = []
+    for order, pred in enumerate(conjuncts):
+        analysis = _Conjunct(pred, order, total)
+        endpoints = _equi_endpoints(pred)
+        if endpoints is not None and span_of(endpoints[0]) != span_of(endpoints[1]):
+            edges.append((endpoints[0], endpoints[1], pred))
+            continue
+        if analysis.local is not None:
+            spans = {span_of(i) for i in analysis.local}
+            target = spans.pop() if len(spans) == 1 else None
+            if target is not None:
+                shifted = getattr(pred, "shifted", lambda _off: None)(
+                    offsets[target]
+                )
+                if shifted is not None:
+                    child_filters[target].append(shifted)
+                    continue
+        staged.append(analysis)
+
+    planned = [
+        FilterOp(child, _combine(filters)) if filters else child
+        for child, filters in zip(children, child_filters)
+    ]
+
+    def apply_stage(plan: PlanNode, width: int) -> PlanNode:
+        ready = [c for c in staged if c.max_local < width]
+        if not ready:
+            return plan
+        for c in ready:
+            staged.remove(c)
+        return FilterOp(plan, _combine([c.pred for c in ready]))
+
+    current = apply_stage(planned[0], widths[0])
+    width = widths[0]
+    for k in range(1, len(children)):
+        span_lo, span_hi = offsets[k], offsets[k] + widths[k]
+        usable = [
+            e
+            for e in edges
+            if (e[0] < width and span_lo <= e[1] < span_hi)
+            or (e[1] < width and span_lo <= e[0] < span_hi)
+        ]
+        if usable:
+            left_keys = []
+            right_keys = []
+            for i, j, _pred in usable:
+                prefix_side, child_side = (i, j) if i < width else (j, i)
+                left_keys.append(prefix_side)
+                right_keys.append(child_side - span_lo)
+            edges = [e for e in edges if e not in usable]
+            current = HashJoin(
+                current, planned[k], tuple(left_keys), tuple(right_keys)
+            )
+        else:
+            current = CrossJoin([current, planned[k]])
+        width += widths[k]
+        current = apply_stage(current, width)
+    assert not staged and not edges, "unplaced conjuncts in join build"
+    return current

@@ -53,20 +53,24 @@ from ..sql.ast import (
     TrueCond,
 )
 from .expressions import (
+    AndPred,
     ColumnRef,
+    ComparePred,
+    ConstPred,
+    IsNullPred,
     LiteralExpr,
+    NotPred,
+    OrPred,
     OuterStack,
     Row,
     RowExpr,
-    and3,
-    compare,
-    not3,
-    or3,
 )
 from .operators import (
     CrossJoin,
     DistinctOp,
+    ExistsPred,
     FilterOp,
+    InPred,
     PlanNode,
     ProjectOp,
     SetOpNode,
@@ -185,7 +189,7 @@ class Planner:
                 tuple(None if isinstance(v, Null) else v for v in record)
                 for record in self.db.table(item.table).bag
             ]
-            plan: PlanNode = StaticScan(data)
+            plan: PlanNode = StaticScan(data, arity=len(labels))
         else:
             compiled = self._compile_query(item.table, scopes, under_exists=False)
             plan, labels = compiled.plan, compiled.labels
@@ -253,92 +257,55 @@ class Planner:
     def _compile_condition(
         self, condition: Condition, scopes: List[_Scope]
     ) -> Callable[[Row, OuterStack], Optional[bool]]:
+        """Compile to a structured predicate node (see
+        :mod:`repro.engine.expressions`) so the optimizer can introspect the
+        referenced scope depths and column positions."""
         if isinstance(condition, TrueCond):
-            return lambda row, outers: True
+            return ConstPred(True)
         if isinstance(condition, FalseCond):
-            return lambda row, outers: False
+            return ConstPred(False)
         if isinstance(condition, Predicate):
             return self._compile_predicate(condition, scopes)
         if isinstance(condition, IsNull):
             expr = self._compile_term(condition.term, scopes)
-            if condition.negated:
-                return lambda row, outers: expr(row, outers) is not None
-            return lambda row, outers: expr(row, outers) is None
+            return IsNullPred(expr, condition.negated)
         if isinstance(condition, InQuery):
             return self._compile_in(condition, scopes)
         if isinstance(condition, Exists):
             compiled = self._compile_query(condition.query, scopes, under_exists=True)
-            subplan = compiled.plan
-
-            def exists_pred(row: Row, outers: OuterStack) -> Optional[bool]:
-                return bool(subplan.rows(outers + (row,)))
-
-            return exists_pred
+            return ExistsPred(compiled.plan)
         if isinstance(condition, And):
-            left = self._compile_condition(condition.left, scopes)
-            right = self._compile_condition(condition.right, scopes)
-
-            def and_pred(row: Row, outers: OuterStack) -> Optional[bool]:
-                a = left(row, outers)
-                if a is False:
-                    return False
-                return and3(a, right(row, outers))
-
-            return and_pred
+            return AndPred(
+                self._compile_condition(condition.left, scopes),
+                self._compile_condition(condition.right, scopes),
+            )
         if isinstance(condition, Or):
-            left = self._compile_condition(condition.left, scopes)
-            right = self._compile_condition(condition.right, scopes)
-
-            def or_pred(row: Row, outers: OuterStack) -> Optional[bool]:
-                a = left(row, outers)
-                if a is True:
-                    return True
-                return or3(a, right(row, outers))
-
-            return or_pred
+            return OrPred(
+                self._compile_condition(condition.left, scopes),
+                self._compile_condition(condition.right, scopes),
+            )
         if isinstance(condition, Not):
-            inner = self._compile_condition(condition.operand, scopes)
-            return lambda row, outers: not3(inner(row, outers))
+            return NotPred(self._compile_condition(condition.operand, scopes))
         raise TypeError(f"not a condition: {condition!r}")
 
     def _compile_predicate(
         self, condition: Predicate, scopes: List[_Scope]
-    ) -> Callable[[Row, OuterStack], Optional[bool]]:
+    ) -> ComparePred:
         if len(condition.args) != 2:
             raise CompileError(
                 f"the engine supports binary predicates only, got "
                 f"{condition.name}/{len(condition.args)}"
             )
-        op = condition.name
         left = self._compile_term(condition.args[0], scopes)
         right = self._compile_term(condition.args[1], scopes)
-        return lambda row, outers: compare(op, left(row, outers), right(row, outers))
+        return ComparePred(condition.name, left, right)
 
-    def _compile_in(
-        self, condition: InQuery, scopes: List[_Scope]
-    ) -> Callable[[Row, OuterStack], Optional[bool]]:
+    def _compile_in(self, condition: InQuery, scopes: List[_Scope]) -> InPred:
         compiled = self._compile_query(condition.query, scopes, under_exists=False)
         if len(compiled.labels) != len(condition.terms):
             raise ArityMismatchError(
                 f"IN compares {len(condition.terms)} term(s) against a query of "
                 f"arity {len(compiled.labels)}"
             )
-        subplan = compiled.plan
         left_exprs = [self._compile_term(t, scopes) for t in condition.terms]
-        negated = condition.negated
-
-        def in_pred(row: Row, outers: OuterStack) -> Optional[bool]:
-            values = tuple(expr(row, outers) for expr in left_exprs)
-            result: Optional[bool] = False
-            for sub_row in subplan.rows(outers + (row,)):
-                comparison: Optional[bool] = True
-                for a, b in zip(values, sub_row):
-                    comparison = and3(comparison, compare("=", a, b))
-                    if comparison is False:
-                        break
-                result = or3(result, comparison)
-                if result is True:
-                    break
-            return not3(result) if negated else result
-
-        return in_pred
+        return InPred(left_exprs, compiled.plan, condition.negated)

@@ -25,11 +25,22 @@ Two star styles are supported (Section 4's "adjustments"):
 
 The logic (3VL, or either two-valued interpretation of Section 6) is a
 pluggable strategy; see :mod:`repro.semantics.logic`.
+
+Performance: by default :meth:`SqlSemantics._from_where` interleaves
+filtering with the FROM product (``fast_from=True``) instead of computing
+the full Cartesian product first.  The interleaving is *provably
+inconsequential*: only WHERE conjuncts that are total (they can neither
+raise nor consult a subquery — constant conditions, ``IS NULL``, and the
+built-in total comparisons ``=`` / ``<>``), refer to unambiguous names, and
+are covered by a prefix of the FROM items are evaluated early, so results,
+multiplicities *and* error behaviour match Figures 5–7 bit for bit; any
+query outside that fragment falls back to the literal product-then-filter
+rule.  ``fast_from=False`` disables the fast path entirely.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.bag import Bag
 from ..core.env import EMPTY_ENV, Environment
@@ -54,14 +65,39 @@ from ..sql.ast import (
     SetOp,
     TrueCond,
 )
-from ..sql.labels import from_labels, query_labels, scope_full_names
+from ..sql.labels import (
+    from_item_labels,
+    from_labels,
+    query_labels,
+    scope_full_names,
+)
 from .logic import Logic, THREE_VALUED, get_logic
-from .predicates import PredicateRegistry, default_registry
+from .predicates import PredicateRegistry, default_registry, is_total_builtin
 
 __all__ = ["SqlSemantics", "STAR_STANDARD", "STAR_COMPOSITIONAL"]
 
 STAR_STANDARD = "standard"
 STAR_COMPOSITIONAL = "compositional"
+
+
+def _conjuncts_of(condition: Condition) -> List[Condition]:
+    """The top-level AND conjuncts of a condition, in syntactic order."""
+    if isinstance(condition, And):
+        return _conjuncts_of(condition.left) + _conjuncts_of(condition.right)
+    return [condition]
+
+
+def _check_aliases(from_items: Tuple[FromItem, ...]) -> None:
+    """Reject a FROM clause that binds the same alias twice."""
+    seen_aliases = set()
+    for item in from_items:
+        if item.alias in seen_aliases:
+            raise DuplicateAliasError(
+                f"alias {item.alias} used twice in the same FROM clause"
+            )
+        seen_aliases.add(item.alias)
+
+
 
 
 class SqlSemantics:
@@ -92,6 +128,7 @@ class SqlSemantics:
         predicates: Optional[PredicateRegistry] = None,
         exists_constant: Value = 1,
         exists_label: Name = "C",
+        fast_from: bool = True,
     ):
         if star_style not in (STAR_STANDARD, STAR_COMPOSITIONAL):
             raise ValueError(f"unknown star style: {star_style!r}")
@@ -101,6 +138,11 @@ class SqlSemantics:
         self.predicates = predicates if predicates is not None else default_registry()
         self.exists_constant = exists_constant
         self.exists_label = exists_label
+        self.fast_from = fast_from
+        # Interleaving analyses are env-independent; memoized per Select
+        # node (keyed by id, with the node pinned to prevent id reuse)
+        # because correlated subqueries re-enter _from_where per outer row.
+        self._interleave_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Terms (Figure 4)
@@ -140,13 +182,7 @@ class SqlSemantics:
         self, from_items: Tuple[FromItem, ...], db: Database, env: Environment
     ) -> Bag:
         """⟦τ:β⟧_{D,η,x} = ⟦T1⟧_{D,η,0} × ⋯ × ⟦Tk⟧_{D,η,0}."""
-        seen_aliases = set()
-        for item in from_items:
-            if item.alias in seen_aliases:
-                raise DuplicateAliasError(
-                    f"alias {item.alias} used twice in the same FROM clause"
-                )
-            seen_aliases.add(item.alias)
+        _check_aliases(from_items)
         product: Optional[Bag] = None
         for item in from_items:
             if item.is_base_table:
@@ -166,15 +202,255 @@ class SqlSemantics:
         Returns (record, multiplicity, revised environment η′) triples, where
         η′ = η ⊕r̄ ℓ(τ:β) is the environment against which the SELECT list is
         subsequently evaluated.
+
+        With ``fast_from`` (the default), WHERE clauses made entirely of
+        total, unambiguous conjuncts are filtered *while* the product is
+        built (see :meth:`_from_where_interleaved`); every other query takes
+        the literal Figure 5 route below.
         """
         scope = scope_full_names(query.from_items, self.schema)
+        if self.fast_from:
+            survivors = self._from_where_interleaved(query, db, env, scope)
+            if survivors is not None:
+                return survivors
         product = self._eval_from(query.from_items, db, env)
-        survivors: list[tuple[Record, int, Environment]] = []
+        survivors = []
+        binder = env.binder(scope)
+        condition = query.where
         for record, count in product.counts().items():
-            revised = env.update(record, scope)
-            if self.eval_condition(query.where, db, revised).is_true:
+            revised = binder.bind(record)
+            if self.eval_condition(condition, db, revised).is_true:
                 survivors.append((record, count, revised))
         return survivors
+
+    # -- the interleaved FROM/WHERE fast path ---------------------------------
+
+    def _hoistable(
+        self, condition: Condition, names: List[FullName]
+    ) -> bool:
+        """Whether a conjunct is *total* (can never raise) and subquery-free,
+        collecting the full names it references.
+
+        Only such conjuncts may be evaluated early: evaluating a total
+        condition on more rows, fewer rows, or in a different order is
+        unobservable, which is what makes the interleaving bit-for-bit
+        faithful to Figures 5–7 — including error behaviour.
+        """
+        if isinstance(condition, (TrueCond, FalseCond)):
+            return True
+        if isinstance(condition, Predicate):
+            if len(condition.args) != 2 or not is_total_builtin(
+                self.predicates, condition.name
+            ):
+                return False
+            names.extend(t for t in condition.args if isinstance(t, FullName))
+            return True
+        if isinstance(condition, IsNull):
+            if isinstance(condition.term, FullName):
+                names.append(condition.term)
+            return True
+        if isinstance(condition, (And, Or)):
+            return self._hoistable(condition.left, names) and self._hoistable(
+                condition.right, names
+            )
+        if isinstance(condition, Not):
+            return self._hoistable(condition.operand, names)
+        return False
+
+    def _interleave_analysis(
+        self, query: Select, scope: Tuple[FullName, ...]
+    ) -> Optional[tuple]:
+        """The env-independent part of the interleaving decision.
+
+        Splits the WHERE conjuncts (syntactic order) into a *stageable
+        prefix* — total, subquery-free conjuncts over unambiguous local
+        names, each tagged with the earliest FROM prefix that covers it and
+        with the outer names it needs — and the *residual suffix*, which
+        starts at the first conjunct that is not stageable and is evaluated
+        the Figure 5 way.  The prefix restriction is what keeps error
+        behaviour exact: a residual conjunct is only ever skipped on rows
+        where a syntactically *earlier* conjunct was false, which is
+        precisely the naive short-circuit.
+
+        Returns ``(staged, residual, prefix_end)`` with ``staged`` a tuple
+        of (condition, stage, outer_names) triples, or None when no staging
+        is possible or nothing would be filtered before the last FROM item.
+        """
+        from_items = query.from_items
+        if not from_items or len(from_items) == 1:
+            return None
+        conjuncts = _conjuncts_of(query.where)
+        widths = [len(from_item_labels(item, self.schema)) for item in from_items]
+        prefix_end = []
+        total = 0
+        for w in widths:
+            total += w
+            prefix_end.append(total)
+        name_count: Dict[FullName, int] = {}
+        for name in scope:
+            name_count[name] = name_count.get(name, 0) + 1
+        position = {name: i for i, name in enumerate(scope)}
+
+        def covering_stage(pos: int) -> int:
+            for k, end in enumerate(prefix_end):
+                if pos < end:
+                    return k + 1
+            raise AssertionError("scope position out of range")
+
+        staged: List[tuple] = []
+        split = 0
+        for condition in conjuncts:
+            names: List[FullName] = []
+            if not self._hoistable(condition, names):
+                break
+            stage = 0
+            outer_names = []
+            ambiguous = False
+            for name in names:
+                if name in name_count:
+                    if name_count[name] > 1:
+                        ambiguous = True  # not total: lookup raises
+                        break
+                    stage = max(stage, covering_stage(position[name]))
+                else:
+                    outer_names.append(name)
+            if ambiguous:
+                break
+            staged.append((condition, stage, tuple(outer_names)))
+            split += 1
+        if not any(stage < len(from_items) for _c, stage, _n in staged):
+            # Nothing can be filtered before the last FROM item: the
+            # interleaving would just re-implement Figure 5 verbatim.
+            return None
+        return tuple(staged), tuple(conjuncts[split:]), tuple(prefix_end)
+
+    def _from_where_interleaved(
+        self,
+        query: Select,
+        db: Database,
+        env: Environment,
+        scope: Tuple[FullName, ...],
+    ) -> Optional[list[tuple[Record, int, Environment]]]:
+        """Filter-during-product evaluation of ⟦FROM τ:β WHERE θ⟧.
+
+        Staged conjuncts are evaluated at the earliest FROM prefix that
+        binds their local names, and rows on which one is *false* are
+        dropped there — before later FROM items multiply them.  Rows on
+        which a staged conjunct is unknown cannot survive either, but they
+        are carried along (as "tainted") so the residual conjuncts are
+        still evaluated on exactly the rows the naive And-chain would reach:
+        staged conjuncts are total, so evaluating them early, on fewer rows,
+        or in a different order is unobservable, and results,
+        multiplicities, environments and error behaviour all match the
+        Figure 5 product-then-filter evaluation bit for bit.
+        """
+        cached = self._interleave_cache.get(id(query))
+        if cached is None or cached[1] != self.predicates.version:
+            # Recompute when absent or stale: the analysis depends on the
+            # predicate registry (a re-registered "=" may no longer be
+            # total), so it is validated against the registry version.
+            if len(self._interleave_cache) > 4096:
+                self._interleave_cache.clear()
+            # Pin the query object so its id cannot be reused.
+            cached = (
+                query,
+                self.predicates.version,
+                self._interleave_analysis(query, scope),
+            )
+            self._interleave_cache[id(query)] = cached
+        analysis = cached[2]
+        if analysis is None:
+            return None
+        staged, residual, prefix_end = analysis
+        from_items = query.from_items
+        n_items = len(from_items)
+        # A staged conjunct whose outer names this environment does not bind
+        # would raise; it and everything after it must go the naive route.
+        usable = 0
+        for _condition, _stage, outer_names in staged:
+            if not all(env.defined_on(name) for name in outer_names):
+                break
+            usable += 1
+        if not any(stage < n_items for _c, stage, _n in staged[:usable]):
+            return None
+        residual = tuple(c for c, _s, _n in staged[usable:]) + residual
+        stages: List[List[Condition]] = [[] for _ in range(n_items + 1)]
+        for condition, stage, _outer in staged[:usable]:
+            stages[stage].append(condition)
+
+        _check_aliases(from_items)
+
+        # Outer-only staged conjuncts hold (or not) for every row alike.
+        outer = TRUE
+        for condition in stages[0]:
+            outer = outer & self.eval_condition(condition, db, env)
+            if outer is FALSE:
+                break
+
+        # One *ordered* map record -> (count, tainted): rows with a staged
+        # conjunct unknown cannot survive, but are carried — in product
+        # order, interleaved with the clean rows — so the residual is later
+        # evaluated on exactly the rows, and in exactly the order, the
+        # Figure 5 evaluation would visit (error fidelity).
+        partial: Dict[Record, tuple[int, bool]] = (
+            {(): (1, outer is UNKNOWN)} if outer is not FALSE else {}
+        )
+        for k, item in enumerate(from_items, start=1):
+            # Bags are still evaluated for *every* item, even when no rows
+            # survive: a subquery in FROM may raise, exactly as in Figure 5.
+            if item.is_base_table:
+                bag = db.table(item.table).bag
+            else:
+                bag = self.evaluate(item.table, db, env, exists_context=False).bag
+            counts = bag.counts()
+            if partial:
+                grown: Dict[Record, tuple[int, bool]] = {}
+                for record, (count, taint) in partial.items():
+                    for sub_record, sub_count in counts.items():
+                        grown[record + sub_record] = (count * sub_count, taint)
+                partial = grown
+            if stages[k] and partial:
+                binder = env.binder(scope[: prefix_end[k - 1]])
+                kept: Dict[Record, tuple[int, bool]] = {}
+                for record, (count, taint) in partial.items():
+                    truth = self._staged_truth(stages[k], db, binder, record)
+                    if truth is TRUE:
+                        kept[record] = (count, taint)
+                    elif truth is UNKNOWN:
+                        kept[record] = (count, True)
+                partial = kept
+        survivors: list[tuple[Record, int, Environment]] = []
+        full_binder = env.binder(scope)
+        if not residual:
+            return [
+                (record, count, full_binder.bind(record))
+                for record, (count, taint) in partial.items()
+                if not taint
+            ]
+        residual_cond = residual[0]
+        for condition in residual[1:]:
+            residual_cond = And(residual_cond, condition)
+        for record, (count, taint) in partial.items():
+            revised = full_binder.bind(record)
+            if self.eval_condition(residual_cond, db, revised).is_true and not taint:
+                survivors.append((record, count, revised))
+        return survivors
+
+    def _staged_truth(
+        self,
+        conditions: List[Condition],
+        db: Database,
+        binder,
+        record: Record,
+    ) -> Truth:
+        """The conjunction of staged conjuncts on a product prefix row."""
+        revised = binder.bind(record)
+        result = TRUE
+        for condition in conditions:
+            result = result & self.eval_condition(condition, db, revised)
+            if result is FALSE:
+                return FALSE
+        return result
 
     def _eval_select(
         self, query: Select, db: Database, env: Environment, exists_context: bool

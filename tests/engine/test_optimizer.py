@@ -1,0 +1,223 @@
+"""The plan-rewrite optimizer: structure and semantics of the rewrites."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from repro.engine.expressions import ColumnRef, ComparePred, IsNullPred
+from repro.engine.operators import (
+    CachedSubplan,
+    CrossJoin,
+    ExistsProbe,
+    FilterOp,
+    HashJoin,
+    InPred,
+    ProjectOp,
+    SemiJoinProbe,
+    StaticScan,
+    typed_key,
+)
+from repro.engine.optimizer import optimize_plan
+from repro.engine.planner import Planner
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",), "T": ("C", "D")})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        {
+            "R": [(1, 2), (NULL, 4), (3, 2)],
+            "S": [(1,), (3,), (NULL,)],
+            "T": [(2, 1), (2, NULL), (5, 3)],
+        },
+    )
+
+
+def compiled(schema, db, sql, dialect=DIALECT_POSTGRES):
+    return Planner(schema, db, dialect).compile(annotate(sql, schema))
+
+
+def both_ways(schema, db, sql, dialect=DIALECT_POSTGRES):
+    fast = Engine(schema, dialect).execute(annotate(sql, schema), db)
+    naive = Engine(schema, dialect, optimize=False).execute(annotate(sql, schema), db)
+    return fast, naive
+
+
+# -- structural expectations -------------------------------------------------
+
+
+def test_equality_conjunct_becomes_hash_join(schema, db):
+    c = compiled(schema, db, "SELECT R.A FROM R, S WHERE R.A = S.A")
+    plan = optimize_plan(c.plan)
+    assert isinstance(plan, ProjectOp)
+    assert isinstance(plan.child, HashJoin)
+    assert plan.child.left_keys == (0,) and plan.child.right_keys == (0,)
+
+
+def test_single_table_conjunct_pushed_below_join(schema, db):
+    c = compiled(schema, db, "SELECT R.A FROM R, T WHERE R.B = 2 AND T.C = 5")
+    plan = optimize_plan(c.plan)
+    # No equality across children: a cross join of two filtered scans.
+    join = plan.child
+    assert isinstance(join, CrossJoin)
+    left, right = join.children
+    assert isinstance(left, FilterOp) and isinstance(left.child, StaticScan)
+    assert isinstance(right, FilterOp) and isinstance(right.child, StaticScan)
+    # The pushed T-filter is re-indexed to the child's local layout.
+    pred = right.predicate
+    assert isinstance(pred, ComparePred)
+    assert isinstance(pred.left, ColumnRef) and pred.left.index == 0
+
+
+def test_closed_exists_becomes_cached_probe(schema, db):
+    c = compiled(schema, db, "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S)")
+    plan = optimize_plan(c.plan)
+    probe = plan.child.predicate
+    assert isinstance(probe, ExistsProbe) and probe.closed
+
+
+def test_correlated_exists_probe_not_closed(schema, db):
+    c = compiled(
+        schema, db, "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)"
+    )
+    plan = optimize_plan(c.plan)
+    probe = plan.child.predicate
+    assert isinstance(probe, ExistsProbe) and not probe.closed
+
+
+def test_closed_in_becomes_semi_join_probe(schema, db):
+    c = compiled(schema, db, "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)")
+    plan = optimize_plan(c.plan)
+    probe = plan.child.predicate
+    assert isinstance(probe, SemiJoinProbe)
+
+
+def test_closed_from_subquery_cached_inside_correlated_exists(schema, db):
+    c = compiled(
+        schema,
+        db,
+        "SELECT R.A FROM R WHERE EXISTS "
+        "(SELECT S.A FROM S, (SELECT T.C AS C FROM T) AS U "
+        "WHERE S.A = R.A AND U.C = 2)",
+    )
+    plan = optimize_plan(c.plan)
+    probe = plan.child.predicate
+    # The EXISTS is correlated, but its closed FROM-subquery is materialized
+    # once instead of once per probing row.
+    assert not probe.closed
+    cached = [
+        node
+        for node in _walk(probe.subplan)
+        if isinstance(node, CachedSubplan)
+    ]
+    assert cached
+
+
+def _walk(plan):
+    yield plan
+    for attr in ("child", "left", "right"):
+        node = getattr(plan, attr, None)
+        if node is not None:
+            yield from _walk(node)
+    for node in getattr(plan, "children", ()):
+        yield from _walk(node)
+
+
+def test_correlated_in_stays_in_pred(schema, db):
+    c = compiled(
+        schema,
+        db,
+        "SELECT R.A FROM R WHERE R.B IN (SELECT T.C FROM T WHERE T.D = R.A)",
+    )
+    plan = optimize_plan(c.plan)
+    assert isinstance(plan.child.predicate, InPred)
+
+
+def test_opaque_predicates_survive_untouched(schema, db):
+    marker = lambda row, outers: True  # noqa: E731 - deliberately opaque
+    plan = FilterOp(StaticScan([(1,)], arity=1), marker)
+    optimized = optimize_plan(plan)
+    assert isinstance(optimized, FilterOp) and optimized.predicate is marker
+
+
+# -- semantics of the new operators ------------------------------------------
+
+
+def test_typed_key_rejects_nulls_and_type_confusion():
+    assert typed_key((1, "x")) == ((False, 1), (True, "x"))
+    assert typed_key((1, None)) is None
+    assert typed_key((1,)) != typed_key(("1",))
+
+
+def test_hash_join_null_keys_never_match():
+    left = StaticScan([(1,), (None,)], arity=1)
+    right = StaticScan([(1,), (None,)], arity=1)
+    join = HashJoin(left, right, (0,), (0,))
+    assert join.rows(()) == [(1, 1)]
+
+
+def test_hash_join_multiplicities():
+    left = StaticScan([(1,), (1,)], arity=1)
+    right = StaticScan([(1, 7), (1, 8)], arity=2)
+    join = HashJoin(left, right, (0,), (0,))
+    assert sorted(join.rows(())) == [(1, 1, 7), (1, 1, 7), (1, 1, 8), (1, 1, 8)]
+
+
+def test_cached_subplan_materializes_once():
+    calls = []
+
+    class Spy(StaticScan):
+        def rows(self, outers):
+            calls.append(1)
+            return super().rows(outers)
+
+    cached = CachedSubplan(Spy([(1,)], arity=1))
+    assert cached.rows(()) == [(1,)]
+    assert cached.rows(()) == [(1,)]
+    assert len(calls) == 1
+
+
+def test_semi_join_probe_three_valued_null_handling(schema, db):
+    # NOT IN against a set containing NULL is never satisfied (3VL).
+    fast, naive = both_ways(
+        schema, db, "SELECT R.B FROM R WHERE R.B NOT IN (SELECT S.A FROM S)"
+    )
+    assert fast.same_as(naive)
+    assert fast.is_empty()
+
+
+def test_semi_join_probe_null_probe_value(schema, db):
+    fast, naive = both_ways(
+        schema, db, "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S)"
+    )
+    assert fast.same_as(naive)
+    assert sorted(fast.bag) == [(1,), (3,)]
+
+
+# -- end-to-end equivalence on targeted shapes --------------------------------
+
+QUERIES = [
+    "SELECT R.A FROM R, S WHERE R.A = S.A",
+    "SELECT R.A, T.D FROM R, T WHERE R.B = T.C AND T.D IS NULL",
+    "SELECT R.A FROM R, S, T WHERE R.A = S.A AND R.B = T.C",
+    "SELECT R.A FROM R, T WHERE R.A < T.C AND T.C = 2",
+    "SELECT DISTINCT R.B FROM R, S WHERE R.A = S.A OR R.B = 2",
+    "SELECT R.A FROM R WHERE EXISTS (SELECT T.C FROM T WHERE T.C = R.B)",
+    "SELECT R.A FROM R WHERE R.A NOT IN (SELECT T.D FROM T)",
+    "SELECT S.A FROM S WHERE EXISTS (SELECT * FROM R, T WHERE R.A = T.D AND R.A = S.A)",
+    "SELECT R.A FROM R, (SELECT S.A AS X FROM S) AS U WHERE R.A = U.X",
+    "SELECT R.A FROM R WHERE R.A IN (SELECT S.A FROM S) AND R.B = 2",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+@pytest.mark.parametrize("dialect", [DIALECT_POSTGRES, DIALECT_ORACLE])
+def test_optimized_equals_naive(schema, db, sql, dialect):
+    fast, naive = both_ways(schema, db, sql, dialect)
+    assert fast.same_as(naive)
