@@ -1,22 +1,39 @@
 #!/usr/bin/env python
-"""Standalone throughput benchmark: naive vs optimized engine (and oracle).
+"""Standalone throughput benchmarks: engine stages + campaign throughput.
 
 Runs the pipeline-stage workloads of ``benchmarks/test_bench_throughput.py``
-without pytest and writes ``BENCH_engine.json`` — median nanoseconds per
-stage plus the optimizer speedup — so the performance trajectory is
-machine-readable across PRs::
+without pytest and writes machine-readable JSON so the performance
+trajectory is tracked across PRs::
 
-    PYTHONPATH=src python scripts/bench.py [--rounds N] [--out FILE]
+    PYTHONPATH=src python scripts/bench.py [--rounds N] [--stages a,b,...]
 
-Stages
-------
-* ``query_generation``     — one random query (PAPER_CONFIG)
-* ``parse_print_roundtrip``— parse+print of 50 pregenerated query texts
-* ``semantics_eval``       — formal semantics, interleaved fast path
-* ``semantics_eval_naive`` — formal semantics, ``fast_from=False``
-* ``engine_optimized``     — reference engine, default optimizer
-* ``engine_naive``         — reference engine, ``optimize=False``
-* ``theorem1_translation`` — SQL → SQL-RA → pure RA desugaring
+Engine stages (written to ``BENCH_engine.json``)
+------------------------------------------------
+* ``query_generation``      — one random query (PAPER_CONFIG)
+* ``parse_print_roundtrip`` — parse+print of 50 pregenerated query texts
+* ``semantics_eval``        — formal semantics, interleaved fast path
+* ``semantics_eval_naive``  — formal semantics, ``fast_from=False``
+* ``engine_optimized``      — reference engine, default optimizer
+* ``engine_naive``          — reference engine, ``optimize=False``
+* ``engine_repeat_cached``  — 10 queries x 15 databases, plan cache on
+  (prepared-statement-style reuse; hit/miss counters are recorded)
+* ``engine_repeat_uncached``— same workload, ``plan_cache_size=0``
+* ``theorem1_translation``  — SQL → SQL-RA → pure RA desugaring
+
+Campaign stage (written to ``BENCH_campaign.json``)
+---------------------------------------------------
+``campaign`` runs a Section 4 validation campaign serially and with
+``--campaign-jobs`` worker processes on the unified subsystem
+(:mod:`repro.campaigns`) and records trials/sec for both, the parallel
+speedup, and that the two outcome digests are identical.  On a
+single-core container the speedup is ~1x by construction; the point of the
+record is the trajectory on real hardware.
+
+``--stages`` selects a comma-separated subset (default: every stage), so
+CI can run the cheap stages only, e.g.::
+
+    python scripts/bench.py --stages query_generation,campaign \\
+        --campaign-trials 200 --rounds 1
 
 The engine stages run at the paper's 50-row table cap (the scale the naive
 implementation could not handle); the semantics stages run at 5 rows, as the
@@ -27,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import statistics
 import sys
 import time
@@ -46,10 +64,13 @@ from benchmarks.test_bench_throughput import (  # noqa: E402
     run_workload,
 )
 from repro.algebra import desugar, to_sqlra  # noqa: E402
+from repro.campaigns import CampaignSpec, run_campaign  # noqa: E402
 from repro.engine import Engine  # noqa: E402
 from repro.generator import DM_CONFIG, QueryGenerator  # noqa: E402
 from repro.semantics import STAR_COMPOSITIONAL, SqlSemantics  # noqa: E402
 from repro.sql import parse_query, print_query  # noqa: E402
+
+CAMPAIGN_STAGE = "campaign"
 
 
 def run_semantics(semantics, pairs):
@@ -69,59 +90,215 @@ def median_ns(fn, rounds):
     return int(statistics.median(times))
 
 
-def build_stages():
-    gen = QueryGenerator(SCHEMA)
-    counter = iter(range(10_000_000))
-    texts = [print_query(make_query(seed)) for seed in range(50)]
-    small_pairs = [(make_query(s), make_db(s)) for s in range(20)]
-    paper_pairs = engine_pairs()
-    dm_queries = [make_query(seed, DM_CONFIG) for seed in range(10)]
-    sem_fast = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL)
-    sem_naive = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL, fast_from=False)
-    return {
-        "query_generation": lambda: gen.generate(seed=next(counter)),
-        "parse_print_roundtrip": lambda: [
+#: Engine-stage names, in run order (``campaign`` is handled separately).
+ENGINE_STAGES = (
+    "query_generation",
+    "parse_print_roundtrip",
+    "semantics_eval",
+    "semantics_eval_naive",
+    "engine_optimized",
+    "engine_naive",
+    "engine_repeat_cached",
+    "engine_repeat_uncached",
+    "theorem1_translation",
+)
+
+
+def build_stages(selected, cached_engine, uncached_engine):
+    """Stage-name → workload thunks, building only the inputs ``selected``
+    stages need (pregenerating the 50-row engine pairs costs seconds, which
+    a --stages run selecting cheap stages should not pay)."""
+
+    def need(*names):
+        return any(name in selected for name in names)
+
+    stages = {}
+    if need("query_generation"):
+        gen = QueryGenerator(SCHEMA)
+        counter = iter(range(10_000_000))
+        stages["query_generation"] = lambda: gen.generate(seed=next(counter))
+    if need("parse_print_roundtrip"):
+        texts = [print_query(make_query(seed)) for seed in range(50)]
+        stages["parse_print_roundtrip"] = lambda: [
             print_query(parse_query(text)) for text in texts
-        ],
-        "semantics_eval": lambda: run_semantics(sem_fast, small_pairs),
-        "semantics_eval_naive": lambda: run_semantics(sem_naive, small_pairs),
-        "engine_optimized": lambda: run_workload(
+        ]
+    if need("semantics_eval", "semantics_eval_naive"):
+        small_pairs = [(make_query(s), make_db(s)) for s in range(20)]
+        sem_fast = SqlSemantics(SCHEMA, star_style=STAR_COMPOSITIONAL)
+        sem_naive = SqlSemantics(
+            SCHEMA, star_style=STAR_COMPOSITIONAL, fast_from=False
+        )
+        stages["semantics_eval"] = lambda: run_semantics(sem_fast, small_pairs)
+        stages["semantics_eval_naive"] = lambda: run_semantics(
+            sem_naive, small_pairs
+        )
+    if need("engine_optimized", "engine_naive"):
+        paper_pairs = engine_pairs()
+        stages["engine_optimized"] = lambda: run_workload(
             Engine(SCHEMA, "postgres"), paper_pairs
-        ),
-        "engine_naive": lambda: run_workload(
+        )
+        stages["engine_naive"] = lambda: run_workload(
             Engine(SCHEMA, "postgres", optimize=False), paper_pairs
-        ),
-        "theorem1_translation": lambda: [
+        )
+    if need("engine_repeat_cached", "engine_repeat_uncached"):
+        # Plan-cache workload: few queries, many databases — the shape of
+        # the trial campaigns and the equivalence checker, where
+        # re-planning is pure waste.
+        repeat_queries = [make_query(seed) for seed in range(10)]
+        repeat_pairs = [
+            (query, make_db(1000 + d))
+            for d in range(15)
+            for query in repeat_queries
+        ]
+        stages["engine_repeat_cached"] = lambda: run_workload(
+            cached_engine, repeat_pairs
+        )
+        stages["engine_repeat_uncached"] = lambda: run_workload(
+            uncached_engine, repeat_pairs
+        )
+    if need("theorem1_translation"):
+        dm_queries = [make_query(seed, DM_CONFIG) for seed in range(10)]
+        stages["theorem1_translation"] = lambda: [
             desugar(to_sqlra(query, SCHEMA), SCHEMA) for query in dm_queries
-        ],
+        ]
+    return stages
+
+
+def bench_campaign(trials: int, jobs: int, rows: int, out_path: str) -> dict:
+    """Serial vs N-worker throughput of one validation campaign."""
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=rows)
+    print(f"campaign: {trials} trials, postgres variant, serial ...")
+    serial = run_campaign(spec, trials=trials, base_seed=0, jobs=1)
+    print(f"  serial   {serial.trials_per_sec:10.1f} trials/s")
+    print(f"campaign: same seed range, jobs={jobs} ...")
+    parallel = run_campaign(spec, trials=trials, base_seed=0, jobs=jobs)
+    print(f"  jobs={jobs}   {parallel.trials_per_sec:10.1f} trials/s")
+    speedup = (
+        parallel.trials_per_sec / serial.trials_per_sec
+        if serial.trials_per_sec
+        else 0.0
+    )
+    doc = {
+        "schema": "bench-campaign/v1",
+        "variant": "postgres",
+        "trials": trials,
+        "rows": rows,
+        "cpu_count": multiprocessing.cpu_count(),
+        "serial": {
+            "elapsed_s": round(serial.elapsed_s, 3),
+            "trials_per_sec": round(serial.trials_per_sec, 1),
+        },
+        "parallel": {
+            "jobs": jobs,
+            "elapsed_s": round(parallel.elapsed_s, 3),
+            "trials_per_sec": round(parallel.trials_per_sec, 1),
+        },
+        "speedup": round(speedup, 3),
+        "digest_match": serial.outcome_digest == parallel.outcome_digest,
+        "outcome_digest": serial.outcome_digest,
+        "agreements": serial.agreements,
+        "mismatches": len(serial.mismatches),
     }
+    Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"campaign speedup: {speedup:.2f}x on {jobs} workers "
+        f"({multiprocessing.cpu_count()} CPU(s) visible), "
+        f"digests {'match' if doc['digest_match'] else 'DIFFER'} -> {out_path}"
+    )
+    return doc
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5, help="rounds per stage")
     parser.add_argument(
+        "--stages",
+        default=None,
+        help="comma-separated subset of stages to run (default: all; "
+        "'campaign' selects the campaign-throughput stage)",
+    )
+    parser.add_argument(
+        "--campaign-trials", type=int, default=1500,
+        help="trials for the campaign stage",
+    )
+    parser.add_argument(
+        "--campaign-jobs", type=int, default=4,
+        help="worker processes for the parallel campaign leg",
+    )
+    parser.add_argument(
+        "--campaign-rows", type=int, default=6,
+        help="row cap for campaign trial databases",
+    )
+    parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
-        help="output JSON path",
+        default=str(_ROOT / "BENCH_engine.json"),
+        help="engine-stage output JSON path",
+    )
+    parser.add_argument(
+        "--campaign-out",
+        default=str(_ROOT / "BENCH_campaign.json"),
+        help="campaign-stage output JSON path",
     )
     args = parser.parse_args(argv)
 
+    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE}
+    if args.stages is None:
+        selected = list(ENGINE_STAGES) + [CAMPAIGN_STAGE]
+    else:
+        selected = [name.strip() for name in args.stages.split(",") if name.strip()]
+        unknown = [name for name in selected if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown stage(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}"
+            )
+
+    cached_engine = Engine(SCHEMA, "postgres")
+    uncached_engine = Engine(SCHEMA, "postgres", plan_cache_size=0)
+    stages = build_stages(set(selected), cached_engine, uncached_engine)
+
     results = {}
-    for name, fn in build_stages().items():
+    for name in selected:
+        if name == CAMPAIGN_STAGE:
+            continue
+        fn = stages[name]
         fn()  # warm-up (also populates any lazy caches outside the timing)
         results[name] = median_ns(fn, args.rounds)
         print(f"{name:24s} {results[name] / 1e6:12.3f} ms (median of {args.rounds})")
 
-    speedup = results["engine_naive"] / results["engine_optimized"]
-    results_doc = {
-        "schema": "bench-engine/v1",
-        "rounds": args.rounds,
-        "median_ns": results,
-        "engine_speedup": round(speedup, 3),
-    }
-    Path(args.out).write_text(json.dumps(results_doc, indent=2) + "\n")
-    print(f"\nengine optimizer speedup: {speedup:.2f}x -> {args.out}")
+    if results:
+        results_doc = {
+            "schema": "bench-engine/v1",
+            "rounds": args.rounds,
+            "median_ns": results,
+        }
+        if "engine_naive" in results and "engine_optimized" in results:
+            speedup = results["engine_naive"] / results["engine_optimized"]
+            results_doc["engine_speedup"] = round(speedup, 3)
+            print(f"\nengine optimizer speedup: {speedup:.2f}x")
+        if "engine_repeat_cached" in results:
+            results_doc["plan_cache"] = cached_engine.cache_info()
+            if "engine_repeat_uncached" in results:
+                results_doc["plan_cache_speedup"] = round(
+                    results["engine_repeat_uncached"]
+                    / results["engine_repeat_cached"],
+                    3,
+                )
+                print(
+                    f"plan cache speedup (10 queries x 15 dbs): "
+                    f"{results_doc['plan_cache_speedup']:.2f}x "
+                    f"{cached_engine.cache_info()}"
+                )
+        Path(args.out).write_text(json.dumps(results_doc, indent=2) + "\n")
+        print(f"engine stages -> {args.out}")
+
+    if CAMPAIGN_STAGE in selected:
+        bench_campaign(
+            args.campaign_trials,
+            args.campaign_jobs,
+            args.campaign_rows,
+            args.campaign_out,
+        )
     return 0
 
 

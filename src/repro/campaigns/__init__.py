@@ -1,0 +1,65 @@
+"""Unified parallel campaign subsystem: every experiment, one pipeline.
+
+The paper's empirical claims rest on large trial campaigns — 100,000
+random (query, database) pairs per variant in Section 4.  This package is
+the single execution core all of those experiments run on:
+
+* **trial pipeline** — a trial is a pure function of its integer seed:
+  ``random.Random(seed)`` drives the query generator and the data filler,
+  and a pluggable *comparator backend* (:mod:`repro.campaigns.backends`)
+  turns the pair into a small JSON record.  The Section 4
+  semantics-vs-engine comparison (both paper variants) and the n-way
+  differential harness are the two built-in backends;
+* **sharded parallel executor** (:mod:`repro.campaigns.executor`) — the
+  seed range is split into contiguous shards executed by a
+  ``multiprocessing`` pool; results are bit-identical to a serial run at
+  any ``jobs`` because trials are seed-pure and aggregation is
+  order-independent;
+* **streaming checkpoints** (:mod:`repro.campaigns.checkpoint`) — one
+  JSONL line per trial, flushed per shard; a killed campaign resumes where
+  it left off (``resume=True``) and yields the same aggregate as an
+  uninterrupted run;
+* **flat-memory aggregation** (:mod:`repro.campaigns.aggregate`) — counters
+  plus one outcome byte per seed, summarized by a SHA-256 digest, so paper
+  scale costs ~100 kB of aggregate state.
+
+Paper-scale invocation (Section 4, PostgreSQL variant)::
+
+    python -m repro validate --variants postgres --trials 100000 \\
+        --jobs 8 --checkpoint pg.jsonl --resume
+
+and the same machinery drives ``python -m repro differential`` and the
+campaign-throughput stage of ``scripts/bench.py``.
+"""
+
+from .aggregate import Aggregator, CampaignResult
+from .backends import (
+    CODE_AGREE,
+    CODE_AGREE_BOTH_ERROR,
+    CODE_MISMATCH,
+    CODE_NAMES,
+    CampaignSpec,
+    DifferentialBackend,
+    RunnerBackend,
+    ValidationBackend,
+)
+from .checkpoint import CHECKPOINT_SCHEMA, CheckpointWriter, load_checkpoint
+from .executor import plan_shards, run_campaign
+
+__all__ = [
+    "Aggregator",
+    "CampaignResult",
+    "CampaignSpec",
+    "ValidationBackend",
+    "DifferentialBackend",
+    "RunnerBackend",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "CHECKPOINT_SCHEMA",
+    "plan_shards",
+    "run_campaign",
+    "CODE_AGREE",
+    "CODE_AGREE_BOTH_ERROR",
+    "CODE_MISMATCH",
+    "CODE_NAMES",
+]

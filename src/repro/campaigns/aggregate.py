@@ -1,0 +1,157 @@
+"""Incremental, order-independent aggregation of trial records.
+
+The aggregator is the reason a 100,000-trial campaign runs in flat memory:
+instead of keeping per-trial objects, it folds each record into
+
+* four integer counters (completed / agreements / both-error agreements /
+  duplicates),
+* a ``bytearray`` of outcome codes indexed by ``seed - base_seed`` (one
+  byte per trial — 100 kB at paper scale), and
+* the rare mismatch details (seed + explanation string).
+
+Because the codes live at fixed positions, aggregation commutes: records
+may arrive in any order (parallel shards, resumed checkpoints) and the
+finalized result is identical.  The per-seed outcomes are summarized by
+``outcome_digest`` — the SHA-256 of the code array — so "bit-identical to
+the serial run" is a single string comparison, at any campaign size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .backends import CODE_AGREE, CODE_AGREE_BOTH_ERROR, CODE_MISMATCH
+
+__all__ = ["Aggregator", "CampaignResult"]
+
+
+@dataclass
+class CampaignResult:
+    """The finalized aggregate of a campaign.
+
+    Attribute-compatible with :class:`repro.validation.runner.CampaignReport`
+    where it matters (``variant``, ``trials``, ``agreements``,
+    ``error_agreements``, ``mismatches``, ``agreement_rate``), so the text
+    reports in :mod:`repro.validation.report` render either.
+    """
+
+    variant: str
+    base_seed: int
+    trials: int
+    completed: int
+    agreements: int
+    error_agreements: int
+    mismatches: List[Dict[str, object]] = field(default_factory=list)
+    outcome_digest: str = ""
+    duplicates: int = 0
+    elapsed_s: float = 0.0
+    jobs: int = 1
+    resumed_trials: int = 0
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreements / self.completed if self.completed else 1.0
+
+    @property
+    def trials_per_sec(self) -> float:
+        fresh = self.completed - self.resumed_trials
+        return fresh / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def mismatch_seeds(self) -> List[int]:
+        return [m["seed"] for m in self.mismatches]
+
+    def summary(self) -> str:
+        return (
+            f"variant={self.variant} trials={self.completed}/{self.trials} "
+            f"agreements={self.agreements} "
+            f"(of which both-error: {self.error_agreements}) "
+            f"mismatches={len(self.mismatches)} "
+            f"rate={self.agreement_rate:.4%} "
+            f"jobs={self.jobs} {self.trials_per_sec:.0f} trials/s "
+            f"digest={self.outcome_digest[:12]}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "variant": self.variant,
+            "base_seed": self.base_seed,
+            "trials": self.trials,
+            "completed": self.completed,
+            "agreements": self.agreements,
+            "error_agreements": self.error_agreements,
+            "mismatches": self.mismatches,
+            "outcome_digest": self.outcome_digest,
+            "duplicates": self.duplicates,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "trials_per_sec": round(self.trials_per_sec, 3),
+            "jobs": self.jobs,
+            "resumed_trials": self.resumed_trials,
+        }
+
+
+class Aggregator:
+    """Folds trial records into counters + a per-seed outcome code array."""
+
+    def __init__(self, label: str, base_seed: int, trials: int):
+        self.label = label
+        self.base_seed = base_seed
+        self.trials = trials
+        self.codes = bytearray(trials)
+        self.completed = 0
+        self.agreements = 0
+        self.error_agreements = 0
+        self.duplicates = 0
+        self.mismatches: List[Dict[str, object]] = []
+
+    def add(self, record: Dict[str, object]) -> bool:
+        """Fold one record in; returns False for duplicates/out-of-range."""
+        seed = record["seed"]
+        index = seed - self.base_seed
+        if not 0 <= index < self.trials:
+            return False
+        if self.codes[index] != 0:
+            self.duplicates += 1
+            return False
+        code = record["code"]
+        if code not in (CODE_AGREE, CODE_AGREE_BOTH_ERROR, CODE_MISMATCH):
+            return False  # corrupted record: leave the seed pending
+        self.codes[index] = code
+        self.completed += 1
+        if code in (CODE_AGREE, CODE_AGREE_BOTH_ERROR):
+            self.agreements += 1
+            if code == CODE_AGREE_BOTH_ERROR:
+                self.error_agreements += 1
+        elif code == CODE_MISMATCH:
+            self.mismatches.append(
+                {"seed": seed, "detail": record.get("detail", "")}
+            )
+        return True
+
+    def pending_seeds(self) -> List[int]:
+        """The seeds not yet folded in, in ascending order."""
+        base = self.base_seed
+        return [base + i for i, code in enumerate(self.codes) if code == 0]
+
+    def finalize(
+        self,
+        elapsed_s: float = 0.0,
+        jobs: int = 1,
+        resumed_trials: int = 0,
+    ) -> CampaignResult:
+        return CampaignResult(
+            variant=self.label,
+            base_seed=self.base_seed,
+            trials=self.trials,
+            completed=self.completed,
+            agreements=self.agreements,
+            error_agreements=self.error_agreements,
+            mismatches=sorted(self.mismatches, key=lambda m: m["seed"]),
+            outcome_digest=hashlib.sha256(bytes(self.codes)).hexdigest(),
+            duplicates=self.duplicates,
+            elapsed_s=elapsed_s,
+            jobs=jobs,
+            resumed_trials=resumed_trials,
+        )

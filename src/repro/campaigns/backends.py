@@ -1,0 +1,179 @@
+"""Comparator backends: the pluggable trial logic of a campaign.
+
+A *backend* is the per-trial comparator the execution core drives.  It owns
+the heavyweight objects (schemas, semantics, engines) and exposes a single
+method::
+
+    run_trial(seed) -> record
+
+where ``record`` is a small JSON-safe dict — the unit that crosses process
+boundaries and checkpoint files::
+
+    {"seed": <int>, "code": <1|2|3>[, "detail": <str>]}
+
+Codes classify the trial outcome:
+
+* ``CODE_AGREE`` (1) — all compared implementations coincide;
+* ``CODE_AGREE_BOTH_ERROR`` (2) — agreement because every side raised the
+  same classified error (the paper's Oracle-variant ambiguity case);
+* ``CODE_MISMATCH`` (3) — a disagreement; ``detail`` holds a human-readable
+  explanation including the offending query.
+
+Two backends cover the repository's experiments, both thin adapters over
+the existing runners (:mod:`repro.validation`):
+
+* :class:`ValidationBackend` — the Section 4 semantics-vs-engine comparison
+  (``postgres`` and ``oracle`` variants);
+* :class:`DifferentialBackend` — the n-way differential harness comparing
+  every implementation in the repository.
+
+Because worker processes must construct their own backend (the objects are
+not shipped across the fork/spawn boundary), campaigns are configured with
+a :class:`CampaignSpec` — a flat, picklable, JSON-roundtrippable value
+object with a :meth:`CampaignSpec.build` factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "CODE_AGREE",
+    "CODE_AGREE_BOTH_ERROR",
+    "CODE_MISMATCH",
+    "CODE_NAMES",
+    "CampaignSpec",
+    "ValidationBackend",
+    "DifferentialBackend",
+    "RunnerBackend",
+]
+
+CODE_AGREE = 1
+CODE_AGREE_BOTH_ERROR = 2
+CODE_MISMATCH = 3
+
+CODE_NAMES = {
+    CODE_AGREE: "agree",
+    CODE_AGREE_BOTH_ERROR: "agree-both-error",
+    CODE_MISMATCH: "mismatch",
+}
+
+KINDS = ("validation", "differential")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to rebuild a campaign's backend.
+
+    ``kind`` selects the comparator; the remaining fields parameterize it.
+    For ``validation``, ``variant`` is the paper variant (``postgres`` /
+    ``oracle``) and ``tables`` sizes the R1..Rn validation schema; for
+    ``differential``, ``variant`` is ignored.  ``rows`` caps the rows per
+    generated trial table.
+    """
+
+    kind: str = "validation"
+    variant: str = "postgres"
+    rows: int = 6
+    tables: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown campaign kind {self.kind!r}; expected {KINDS}")
+
+    @property
+    def label(self) -> str:
+        """The report label: the variant for validation, the kind otherwise."""
+        return self.variant if self.kind == "validation" else self.kind
+
+    def build(self):
+        """Construct the backend this spec describes (called per worker)."""
+        from ..core.schema import validation_schema
+        from ..generator.datafiller import DataFillerConfig
+        from ..validation.differential import DifferentialRunner
+        from ..validation.runner import ValidationRunner
+
+        data_config = DataFillerConfig(max_rows=self.rows)
+        if self.kind == "validation":
+            schema = (
+                validation_schema(self.tables) if self.tables is not None else None
+            )
+            return ValidationBackend(
+                ValidationRunner(
+                    schema=schema, variant=self.variant, data_config=data_config
+                )
+            )
+        schema = validation_schema(self.tables) if self.tables is not None else None
+        return DifferentialBackend(
+            DifferentialRunner(schema=schema, data_config=data_config)
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        return cls(**payload)
+
+
+class ValidationBackend:
+    """Section 4 comparator: formal semantics vs reference engine."""
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    @property
+    def label(self) -> str:
+        return self.runner.variant
+
+    def run_trial(self, seed: int) -> Dict[str, object]:
+        result = self.runner.run_trial(seed)
+        if result.agreed:
+            code = CODE_AGREE_BOTH_ERROR if result.both_errored else CODE_AGREE
+            return {"seed": seed, "code": code}
+        return {
+            "seed": seed,
+            "code": CODE_MISMATCH,
+            "detail": self.runner.explain(result),
+        }
+
+
+class DifferentialBackend:
+    """n-way comparator: every implementation against the formal semantics."""
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    label = "differential"
+
+    def run_trial(self, seed: int) -> Dict[str, object]:
+        results = self.runner.run_trial(seed)
+        reference = results["semantics"]
+        mismatched = [
+            name for name, table in results.items() if not table.same_as(reference)
+        ]
+        if mismatched:
+            return {
+                "seed": seed,
+                "code": CODE_MISMATCH,
+                "detail": f"{', '.join(mismatched)} disagree with the semantics",
+            }
+        return {"seed": seed, "code": CODE_AGREE}
+
+
+class RunnerBackend:
+    """Adapter for an arbitrary in-process trial function (serial only).
+
+    Wraps any ``seed -> record`` callable so custom comparators can use the
+    campaign core without defining a spec; such backends cannot be rebuilt
+    in worker processes, so :func:`repro.campaigns.run_campaign` restricts
+    them to ``jobs=1``.
+    """
+
+    def __init__(self, trial_fn, label: str = "custom"):
+        self._trial_fn = trial_fn
+        self.label = label
+
+    def run_trial(self, seed: int) -> Dict[str, object]:
+        return self._trial_fn(seed)

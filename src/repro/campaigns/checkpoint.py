@@ -1,0 +1,113 @@
+"""Streaming JSONL checkpoints: durable, resumable campaign state.
+
+Format (``campaign-checkpoint/v1``)
+-----------------------------------
+
+A checkpoint is a line-oriented JSON file.  The first line is a header::
+
+    {"schema": "campaign-checkpoint/v1", "spec": {...}, "base_seed": 0,
+     "trials": 100000}
+
+where ``spec`` is the :class:`~repro.campaigns.backends.CampaignSpec` that
+produced the records.  Every subsequent line is one trial record::
+
+    {"seed": 17, "code": 1}
+    {"seed": 18, "code": 3, "detail": "seed 18: ..."}
+
+Records are appended as soon as their shard completes and the file is
+flushed after every shard, so a killed campaign loses at most the shard in
+flight.  Readers are deliberately forgiving: a truncated final line (the
+kill arrived mid-write) and duplicate seeds (a shard re-run after resume)
+are both skipped — seeds are idempotent, so any record for a seed equals
+any other.
+
+Resuming (:func:`repro.campaigns.run_campaign` with ``resume=True``) loads
+the records, verifies the header matches the requested spec and base seed,
+folds the completed seeds into the aggregate, and only runs what is left.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CHECKPOINT_SCHEMA", "CheckpointWriter", "load_checkpoint"]
+
+CHECKPOINT_SCHEMA = "campaign-checkpoint/v1"
+
+
+class CheckpointWriter:
+    """Append-only JSONL writer with a one-line header for fresh files."""
+
+    def __init__(self, path: str, header: Dict[str, object], fresh: bool):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        if fresh or not os.path.exists(path):
+            self._handle = open(path, "w")
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self._handle.flush()
+        else:
+            # A kill mid-write can leave a torn final line without a
+            # newline; terminate it so the first appended record does not
+            # merge into it (the torn fragment stays skippable garbage).
+            with open(path, "rb") as existing:
+                size = existing.seek(0, os.SEEK_END)
+                if size > 0:
+                    existing.seek(-1, os.SEEK_END)
+                    needs_newline = existing.read(1) != b"\n"
+                else:
+                    needs_newline = False
+            self._handle = open(path, "a")
+            if needs_newline:
+                self._handle.write("\n")
+                self._handle.flush()
+
+    def write_records(self, records: Iterable[Dict[str, object]]) -> None:
+        for record in records:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """Read ``(header, records)`` from a checkpoint file.
+
+    Returns ``(None, [])`` when the file does not exist.  Unparsable lines
+    (for example the torn last line of a killed run) are skipped; lines
+    without an integer ``seed`` and ``code`` are ignored as malformed.
+    """
+    if not os.path.exists(path):
+        return None, []
+    header: Optional[Dict[str, object]] = None
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for i, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if i == 0 and isinstance(payload, dict) and "schema" in payload:
+                header = payload
+                continue
+            if (
+                isinstance(payload, dict)
+                and isinstance(payload.get("seed"), int)
+                and isinstance(payload.get("code"), int)
+            ):
+                records.append(payload)
+    return header, records

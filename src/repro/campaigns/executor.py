@@ -1,0 +1,170 @@
+"""The campaign execution core: seed-sharded, parallel, resumable.
+
+:func:`run_campaign` drives any comparator backend over a contiguous seed
+range.  Its determinism contract is the subsystem's central invariant:
+
+    every trial is a pure function of its seed — the query, the database
+    and the comparison all derive from ``random.Random(seed)`` — and the
+    aggregate (:mod:`repro.campaigns.aggregate`) is order-independent, so
+    a campaign's :class:`~repro.campaigns.aggregate.CampaignResult` is
+    bit-identical (agreements, mismatches, per-seed outcome digest) for
+    any ``jobs`` value, any shard size, and any interrupt/resume history.
+
+Execution model
+---------------
+
+The seed range is split into contiguous shards
+(:func:`plan_shards`); with ``jobs > 1`` a ``multiprocessing.Pool`` of
+workers each rebuilds the backend from the picklable
+:class:`~repro.campaigns.backends.CampaignSpec` (one build per worker
+lifetime, one engine plan cache per worker).  Records stream back as each
+shard finishes (unordered — completed shards are never buffered behind a
+slow earlier one), are appended to the JSONL checkpoint (flushed per
+shard — a kill loses at most the shards still in flight), and are
+folded into the running aggregate immediately, so memory use does not grow
+with the trial count.
+
+``resume=True`` loads an existing checkpoint
+(:mod:`repro.campaigns.checkpoint`), verifies it was produced by the same
+spec and base seed, folds the completed trials, and dispatches only the
+missing seeds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, List, Optional, Sequence, Union
+
+from .aggregate import Aggregator, CampaignResult
+from .backends import CampaignSpec, RunnerBackend
+from .checkpoint import CHECKPOINT_SCHEMA, CheckpointWriter, load_checkpoint
+
+__all__ = ["run_campaign", "plan_shards"]
+
+#: Upper bound on seeds per shard; small enough to checkpoint frequently,
+#: large enough to amortize inter-process dispatch.
+MAX_SHARD = 500
+
+_WORKER_BACKEND = None
+
+
+def _init_worker(spec: CampaignSpec) -> None:
+    """Pool initializer: build this worker's backend exactly once."""
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = spec.build()
+
+
+def _run_shard(seeds: Sequence[int]) -> List[dict]:
+    return [_WORKER_BACKEND.run_trial(seed) for seed in seeds]
+
+
+def plan_shards(
+    seeds: Sequence[int], jobs: int, max_shard: int = MAX_SHARD
+) -> List[List[int]]:
+    """Split ``seeds`` into contiguous shards, ~8 per worker, capped at
+    ``max_shard`` seeds so checkpoints stay fresh even with few workers."""
+    if not seeds:
+        return []
+    target = max(1, min(max_shard, -(-len(seeds) // (max(1, jobs) * 8))))
+    return [list(seeds[i : i + target]) for i in range(0, len(seeds), target)]
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, RunnerBackend],
+    trials: int,
+    base_seed: int = 0,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Run ``trials`` seeds ``[base_seed, base_seed + trials)`` of a campaign.
+
+    ``spec`` is normally a :class:`CampaignSpec`; a prebuilt backend object
+    (e.g. :class:`RunnerBackend`) is accepted for in-process use but cannot
+    be shipped to workers, so it requires ``jobs=1``.
+    """
+    is_spec = isinstance(spec, CampaignSpec)
+    if not is_spec and jobs > 1:
+        raise ValueError(
+            "a prebuilt backend cannot be rebuilt in worker processes; "
+            "use a CampaignSpec for jobs > 1"
+        )
+    label = spec.label
+    aggregator = Aggregator(label, base_seed, trials)
+
+    resumed = 0
+    writer: Optional[CheckpointWriter] = None
+    if checkpoint is not None:
+        header = {
+            "schema": CHECKPOINT_SCHEMA,
+            "spec": spec.to_json() if is_spec else {"label": label},
+            "base_seed": base_seed,
+            "trials": trials,
+        }
+        fresh = True
+        if resume:
+            existing_header, records = load_checkpoint(checkpoint)
+            if existing_header is not None:
+                _check_header(existing_header, header)
+                for record in records:
+                    if aggregator.add(record):
+                        resumed += 1
+                fresh = False
+        writer = CheckpointWriter(checkpoint, header, fresh=fresh)
+    elif resume:
+        raise ValueError("resume=True requires a checkpoint path")
+
+    pending = aggregator.pending_seeds()
+    shards = plan_shards(pending, jobs)
+    started = time.perf_counter()
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            backend = spec.build() if is_spec else spec
+            for shard in shards:
+                records = [backend.run_trial(seed) for seed in shard]
+                _absorb(records, aggregator, writer, progress)
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(
+                processes=min(jobs, len(shards)),
+                initializer=_init_worker,
+                initargs=(spec,),
+            ) as pool:
+                # Unordered: shards are checkpointed the moment they finish.
+                # An ordered imap would buffer completed shards behind a slow
+                # earlier one, so a kill could lose up to jobs-1 finished
+                # shards; aggregation is order-independent, so nothing is
+                # gained by waiting.
+                for records in pool.imap_unordered(_run_shard, shards):
+                    _absorb(records, aggregator, writer, progress)
+    finally:
+        if writer is not None:
+            writer.close()
+    elapsed = time.perf_counter() - started
+    return aggregator.finalize(
+        elapsed_s=elapsed, jobs=max(1, jobs), resumed_trials=resumed
+    )
+
+
+def _absorb(records, aggregator, writer, progress) -> None:
+    fresh = [record for record in records if aggregator.add(record)]
+    if writer is not None and fresh:
+        writer.write_records(fresh)
+    if progress is not None:
+        progress(aggregator.completed, aggregator.trials)
+
+
+def _check_header(existing: dict, expected: dict) -> None:
+    if existing.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"checkpoint schema {existing.get('schema')!r} is not "
+            f"{CHECKPOINT_SCHEMA!r}"
+        )
+    for key in ("spec", "base_seed"):
+        if existing.get(key) != expected[key]:
+            raise ValueError(
+                f"checkpoint {key} mismatch: file has {existing.get(key)!r}, "
+                f"campaign wants {expected[key]!r}"
+            )

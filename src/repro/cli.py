@@ -3,11 +3,26 @@
 Commands
 --------
 
-``run``        evaluate a SQL query on a database described by a JSON file
-``translate``  print the relational-algebra translation of a query (Thm 1)
-``two-valued`` print the Figure 10 two-valued rewriting of a query (Thm 2)
-``validate``   run a Section 4 validation campaign
-``generate``   print random queries from the Section 4 generator
+``run``          evaluate a SQL query on a database described by a JSON file
+``translate``    print the relational-algebra translation of a query (Thm 1)
+``two-valued``   print the Figure 10 two-valued rewriting of a query (Thm 2)
+``validate``     run a Section 4 validation campaign (semantics vs engine)
+``differential`` run the n-way differential campaign (all implementations)
+``generate``     print random queries from the Section 4 generator
+
+The two campaign commands run on the unified subsystem of
+:mod:`repro.campaigns`: ``--jobs N`` shards the seed range over N worker
+processes (results are bit-identical to a serial run at any N),
+``--checkpoint FILE`` streams one JSONL record per trial so progress is
+durable, and ``--resume`` restarts a killed campaign where it left off.
+The paper-scale Section 4 experiment is::
+
+    python -m repro validate --variants postgres --trials 100000 \\
+        --jobs 8 --checkpoint pg.jsonl --resume
+
+(with two variants, per-variant checkpoints get the variant name appended:
+``pg.postgres.jsonl`` / ``pg.oracle.jsonl``).  Campaign commands exit
+non-zero when any trial disagrees.
 
 The database JSON format is::
 
@@ -23,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import Optional, Sequence
@@ -32,14 +48,12 @@ from .algebra.printer import print_expression_tree
 from .core.schema import Database, Schema
 from .core.values import NULL
 from .generator.config import PAPER_CONFIG
-from .generator.datafiller import DataFillerConfig
 from .generator.queries import QueryGenerator
 from .semantics.evaluator import STAR_COMPOSITIONAL, STAR_STANDARD, SqlSemantics
 from .semantics.two_valued import TwoValuedTranslator
 from .sql.annotate import annotate
 from .sql.printer import print_query
 from .validation.report import format_campaigns
-from .validation.runner import ValidationRunner
 
 __all__ = ["main", "load_database"]
 
@@ -95,20 +109,66 @@ def _cmd_two_valued(args) -> int:
     return 0
 
 
-def _cmd_validate(args) -> int:
-    reports = []
-    failed = False
-    for variant in args.variants:
-        runner = ValidationRunner(
-            variant=variant, data_config=DataFillerConfig(max_rows=args.rows)
+def _campaign_checkpoint(path: Optional[str], suffix: Optional[str]) -> Optional[str]:
+    """Derive a per-campaign checkpoint path (``pg.jsonl`` + ``postgres`` →
+    ``pg.postgres.jsonl``) when one file would be shared by several runs."""
+    if path is None or suffix is None:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}.{suffix}{ext or '.jsonl'}"
+
+
+def _run_campaign_cmd(spec, args, checkpoint_suffix: Optional[str] = None):
+    from .campaigns import run_campaign
+
+    try:
+        return run_campaign(
+            spec,
+            trials=args.trials,
+            base_seed=args.seed,
+            jobs=args.jobs,
+            checkpoint=_campaign_checkpoint(args.checkpoint, checkpoint_suffix),
+            resume=args.resume,
         )
-        report = runner.run(trials=args.trials, base_seed=args.seed)
-        reports.append(report)
-        for mismatch in report.mismatches[: args.show_mismatches]:
-            print(runner.explain(mismatch), file=sys.stderr)
-        failed = failed or bool(report.mismatches)
-    print(format_campaigns(reports))
+    except ValueError as exc:
+        # Misuse (resume without checkpoint, checkpoint/spec mismatch, ...):
+        # a clean diagnostic, not a traceback.
+        raise SystemExit(f"repro: {exc}")
+
+
+def _cmd_validate(args) -> int:
+    from .campaigns import CampaignSpec
+
+    results = []
+    failed = False
+    multi = len(args.variants) > 1
+    for variant in args.variants:
+        spec = CampaignSpec(kind="validation", variant=variant, rows=args.rows)
+        result = _run_campaign_cmd(
+            spec, args, checkpoint_suffix=variant if multi else None
+        )
+        results.append(result)
+        for mismatch in result.mismatches[: args.show_mismatches]:
+            print(mismatch["detail"], file=sys.stderr)
+        print(
+            f"-- {variant}: {result.trials_per_sec:.0f} trials/s "
+            f"(jobs={result.jobs}, digest={result.outcome_digest[:12]})",
+            file=sys.stderr,
+        )
+        failed = failed or bool(result.mismatches)
+    print(format_campaigns(results))
     return 1 if failed else 0
+
+
+def _cmd_differential(args) -> int:
+    from .campaigns import CampaignSpec
+
+    spec = CampaignSpec(kind="differential", rows=args.rows, tables=args.tables)
+    result = _run_campaign_cmd(spec, args)
+    for mismatch in result.mismatches[: args.show_disagreements]:
+        print(f"seed {mismatch['seed']}: {mismatch['detail']}", file=sys.stderr)
+    print(result.summary())
+    return 1 if result.mismatches else 0
 
 
 def _cmd_generate(args) -> int:
@@ -158,16 +218,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     twov.set_defaults(func=_cmd_two_valued)
 
+    def add_campaign_args(cmd) -> None:
+        cmd.add_argument("--trials", type=int, default=200)
+        cmd.add_argument("--rows", type=int, default=6)
+        cmd.add_argument("--seed", type=int, default=0, help="base seed")
+        cmd.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (results identical at any value)",
+        )
+        cmd.add_argument(
+            "--checkpoint", default=None, metavar="FILE",
+            help="stream per-trial JSONL records to FILE",
+        )
+        cmd.add_argument(
+            "--resume", action="store_true",
+            help="fold a previous checkpoint in and run only missing seeds",
+        )
+
     validate = sub.add_parser("validate", help="run a validation campaign")
-    validate.add_argument("--trials", type=int, default=200)
-    validate.add_argument("--rows", type=int, default=6)
-    validate.add_argument("--seed", type=int, default=0)
+    add_campaign_args(validate)
     validate.add_argument(
         "--variants", nargs="+", choices=("postgres", "oracle"),
         default=["postgres", "oracle"],
     )
     validate.add_argument("--show-mismatches", type=int, default=5)
     validate.set_defaults(func=_cmd_validate)
+
+    differential = sub.add_parser(
+        "differential",
+        help="run the n-way differential campaign (all implementations)",
+    )
+    add_campaign_args(differential)
+    differential.add_argument(
+        "--tables", type=int, default=None,
+        help="size of the R1..Rn validation schema (default: runner default)",
+    )
+    differential.add_argument("--show-disagreements", type=int, default=5)
+    differential.set_defaults(func=_cmd_differential)
 
     generate = sub.add_parser("generate", help="print random queries")
     generate.add_argument("--count", type=int, default=5)

@@ -5,6 +5,7 @@ cached subquery probes); ``Engine(schema, dialect, optimize=False)`` is the
 paper's naive product-then-filter evaluation, kept for ablations.
 """
 
+from .binding import bind_plan, reset_plan
 from .engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
 from .optimizer import optimize_plan
 from .planner import CompiledQuery, Planner
@@ -14,6 +15,8 @@ __all__ = [
     "Planner",
     "CompiledQuery",
     "optimize_plan",
+    "bind_plan",
+    "reset_plan",
     "DIALECT_POSTGRES",
     "DIALECT_ORACLE",
 ]

@@ -1,0 +1,140 @@
+"""Late binding and cache hygiene for reusable plans.
+
+A plan compiled without a database (:class:`~repro.engine.planner.Planner`
+with ``db=None``) contains :class:`~repro.engine.operators.TableScan` leaves
+that name their base table but carry no rows.  Such a plan is a pure
+function of ``(query, schema, dialect, optimize)`` and can be cached and
+re-executed against any number of databases — provided that, before each
+execution,
+
+* every ``TableScan`` is bound to the current database's rows
+  (:func:`bind_plan`), and
+* every per-execution memo the optimizer introduced is cleared
+  (:func:`reset_plan`): :class:`~repro.engine.operators.CachedSubplan`
+  materializations, :class:`~repro.engine.operators.ExistsProbe` booleans
+  and per-binding memos, :class:`~repro.engine.operators.InPred` binding
+  memos, and :class:`~repro.engine.operators.SemiJoinProbe` probe sets —
+  all of which are only valid for the database they were computed against.
+
+:func:`iter_plan_nodes` / :func:`iter_predicates` walk the full operator
+tree, *including* the subplans nested inside WHERE-clause predicates, which
+is where most of the state lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..core.schema import Database
+from ..core.values import Null
+from .expressions import AndPred, NotPred, OrPred
+from .operators import (
+    CachedSubplan,
+    CrossJoin,
+    DistinctOp,
+    ExistsPred,
+    ExistsProbe,
+    FilterOp,
+    HashJoin,
+    InPred,
+    PlanNode,
+    ProjectOp,
+    SemiJoinProbe,
+    SetOpNode,
+    TableScan,
+)
+
+__all__ = [
+    "iter_plan_nodes",
+    "iter_predicates",
+    "bind_plan",
+    "reset_plan",
+    "unbind_plan",
+]
+
+
+def iter_predicates(pred) -> Iterator[object]:
+    """Every predicate node reachable from ``pred`` (including itself)."""
+    yield pred
+    if isinstance(pred, (AndPred, OrPred)):
+        yield from iter_predicates(pred.left)
+        yield from iter_predicates(pred.right)
+    elif isinstance(pred, NotPred):
+        yield from iter_predicates(pred.operand)
+
+
+def iter_plan_nodes(plan: PlanNode) -> Iterator[Tuple[PlanNode, object]]:
+    """Walk a plan tree, yielding ``(node, None)`` for operators and
+    ``(None, predicate)`` for the predicate nodes inside filters — and
+    recursing into the subplans of EXISTS/IN predicates."""
+    yield plan, None
+    if isinstance(plan, CrossJoin):
+        for child in plan.children:
+            yield from iter_plan_nodes(child)
+    elif isinstance(plan, (FilterOp,)):
+        yield from iter_plan_nodes(plan.child)
+        for pred in iter_predicates(plan.predicate):
+            yield None, pred
+            subplan = getattr(pred, "subplan", None)
+            if subplan is not None:
+                yield from iter_plan_nodes(subplan)
+    elif isinstance(plan, (ProjectOp, DistinctOp, CachedSubplan)):
+        yield from iter_plan_nodes(plan.child)
+    elif isinstance(plan, (SetOpNode, HashJoin)):
+        yield from iter_plan_nodes(plan.left)
+        yield from iter_plan_nodes(plan.right)
+    # TableScan / StaticScan are leaves.
+
+
+def bind_plan(plan: PlanNode, db: Database) -> PlanNode:
+    """Bind every :class:`TableScan` to ``db`` and reset execution caches.
+
+    Returns the same plan object (mutated in place): binding is cheap — one
+    tree walk — compared to re-planning and re-optimizing the query, which
+    is the point of the plan cache.
+    """
+    for node, pred in iter_plan_nodes(plan):
+        if isinstance(node, TableScan):
+            node.data = [
+                tuple(None if isinstance(v, Null) else v for v in record)
+                for record in db.table(node.table).bag
+            ]
+        _reset_state(node, pred)
+    return plan
+
+
+def reset_plan(plan: PlanNode) -> PlanNode:
+    """Clear the per-execution memos of a plan without rebinding tables."""
+    for node, pred in iter_plan_nodes(plan):
+        _reset_state(node, pred)
+    return plan
+
+
+def unbind_plan(plan: PlanNode) -> PlanNode:
+    """Drop table data and memos so a cached plan holds no database rows.
+
+    A plan sitting in the :class:`~repro.engine.Engine` cache would
+    otherwise pin the last-executed database (scan rows, probe sets,
+    subquery materializations) until its next execution overwrites them.
+    """
+    for node, pred in iter_plan_nodes(plan):
+        if isinstance(node, TableScan):
+            node.data = None
+        _reset_state(node, pred)
+    return plan
+
+
+def _reset_state(node, pred) -> None:
+    if isinstance(node, CachedSubplan):
+        node._cache = None
+    if isinstance(pred, ExistsProbe):
+        pred._known = None
+        pred._memo.clear()
+    elif isinstance(pred, InPred):
+        pred._memo.clear()
+    elif isinstance(pred, SemiJoinProbe):
+        pred._keys = None
+        pred._null_rows = None
+        pred._rows = None
+    elif isinstance(pred, ExistsPred):
+        pass  # stateless: re-executes its subplan every probe

@@ -12,19 +12,41 @@ cached probes for uncorrelated subqueries.  ``optimize=False`` retains the
 paper's naive product-then-filter evaluation — the escape hatch used by the
 ablation benchmarks to quantify the speedup, with the validation campaigns
 guaranteeing both paths agree with the formal semantics.
+
+Plan cache
+----------
+
+Compilation and optimization depend only on ``(query AST, schema, dialect,
+optimize)``, never on the database instance, so the engine memoizes
+optimized plans per query (dialect and optimize-flag are fixed per engine
+instance, completing the key).  Plans are compiled *unbound* — their base
+tables are :class:`~repro.engine.operators.TableScan` leaves — and
+:func:`repro.engine.binding.bind_plan` installs the current database's rows
+and clears per-execution memos before every run.  Prepared-statement-style
+reuse is what the trial campaigns and the equivalence checker exercise: the
+same query evaluated across many trial databases plans once.  ``cache_info()``
+exposes hit/miss/eviction counters for the benchmarks; ``plan_cache_size=0``
+disables caching entirely.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
 
 from ..core.bag import Bag
 from ..core.schema import Database, Schema
 from ..core.table import Table
 from ..core.values import NULL
 from ..sql.ast import Query
+from .binding import bind_plan, unbind_plan
 from .optimizer import optimize_plan
-from .planner import DIALECT_ORACLE, DIALECT_POSTGRES, Planner
+from .planner import CompiledQuery, DIALECT_ORACLE, DIALECT_POSTGRES, Planner
 
 __all__ = ["Engine", "DIALECT_POSTGRES", "DIALECT_ORACLE"]
+
+#: Default number of distinct query plans kept per engine (LRU-evicted).
+DEFAULT_PLAN_CACHE_SIZE = 256
 
 
 class Engine:
@@ -35,23 +57,71 @@ class Engine:
         schema: Schema,
         dialect: str = DIALECT_POSTGRES,
         optimize: bool = True,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ):
         self.schema = schema
         self.dialect = dialect
         self.optimize = optimize
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[Query, CompiledQuery]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
 
     def execute(self, query: Query, db: Database) -> Table:
-        """Compile and run ``query`` on ``db``.
+        """Compile (or reuse a cached plan for) ``query`` and run it on ``db``.
 
         Compile-time errors (unknown tables, arity mismatches, ambiguous
         references) are raised before any row is produced, matching the
         behaviour of the real systems the engine stands in for.
         """
-        planner = Planner(self.schema, db, self.dialect)
+        compiled = self._plan(query)
+        bind_plan(compiled.plan, db)
+        try:
+            rows = compiled.plan.iter_rows(())
+            records = (
+                tuple(NULL if v is None else v for v in row) for row in rows
+            )
+            # Bag() materializes fully, so unbinding afterwards is safe.
+            return Table(compiled.labels, Bag(records))
+        finally:
+            if self.plan_cache_size > 0:
+                unbind_plan(compiled.plan)
+
+    # -- plan cache ---------------------------------------------------------
+
+    def _plan(self, query: Query) -> CompiledQuery:
+        if self.plan_cache_size <= 0:
+            return self._compile(query)
+        cached = self._plan_cache.get(query)
+        if cached is not None:
+            self._cache_hits += 1
+            self._plan_cache.move_to_end(query)
+            return cached
+        self._cache_misses += 1
+        compiled = self._compile(query)
+        self._plan_cache[query] = compiled
+        if len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+            self._cache_evictions += 1
+        return compiled
+
+    def _compile(self, query: Query) -> CompiledQuery:
+        planner = Planner(self.schema, None, self.dialect)
         compiled = planner.compile(query)
-        plan = optimize_plan(compiled.plan) if self.optimize else compiled.plan
-        rows = plan.iter_rows(())
-        records = (
-            tuple(NULL if v is None else v for v in row) for row in rows
-        )
-        return Table(compiled.labels, Bag(records))
+        if self.optimize:
+            return CompiledQuery(optimize_plan(compiled.plan), compiled.labels)
+        return compiled
+
+    def cache_info(self) -> Dict[str, int]:
+        """Plan-cache counters: hits, misses, evictions, current size."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "size": len(self._plan_cache),
+            "maxsize": self.plan_cache_size,
+        }
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()

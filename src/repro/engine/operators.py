@@ -56,6 +56,7 @@ from .expressions import (
 __all__ = [
     "PlanNode",
     "StaticScan",
+    "TableScan",
     "CrossJoin",
     "FilterOp",
     "ProjectOp",
@@ -164,6 +165,41 @@ class StaticScan(PlanNode):
         if self.arity is not None:
             return self.arity
         return len(self.data[0]) if self.data else None
+
+
+@dataclass
+class TableScan(PlanNode):
+    """Scan of a base table bound to row data *per execution*, not per plan.
+
+    Unlike :class:`StaticScan` (which captures the rows of one database at
+    plan time), a ``TableScan`` names the table and leaves ``data`` unbound;
+    :func:`repro.engine.binding.bind_plan` installs the rows of the current
+    database before each execution.  This is what makes a compiled plan
+    reusable across databases — the basis of the :class:`~repro.engine.Engine`
+    plan cache used by the trial campaigns, where the same query is never
+    re-planned for every trial database.
+    """
+
+    table: str
+    arity: int
+    data: Optional[List[Row]] = field(default=None, compare=False)
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        return iter(self.rows(outers))
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        if self.data is None:
+            raise RuntimeError(
+                f"TableScan({self.table!r}) executed without a bound database "
+                f"(see repro.engine.binding.bind_plan)"
+            )
+        return self.data
+
+    def free_refs(self) -> Refs:
+        return frozenset()
+
+    def width(self) -> int:
+        return self.arity
 
 
 @dataclass

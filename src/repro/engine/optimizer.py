@@ -67,6 +67,7 @@ from .operators import (
     SemiJoinProbe,
     SetOpNode,
     StaticScan,
+    TableScan,
     _sub_refs,
     pred_refs,
 )
@@ -113,7 +114,7 @@ def _optimize_from_item(child: PlanNode) -> PlanNode:
     """
     optimized = optimize_plan(child)
     if (
-        not isinstance(optimized, (StaticScan, CachedSubplan))
+        not isinstance(optimized, (StaticScan, TableScan, CachedSubplan))
         and optimized.free_refs() == frozenset()
     ):
         return CachedSubplan(optimized)

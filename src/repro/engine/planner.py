@@ -75,6 +75,7 @@ from .operators import (
     ProjectOp,
     SetOpNode,
     StaticScan,
+    TableScan,
 )
 
 __all__ = ["Planner", "CompiledQuery", "DIALECT_POSTGRES", "DIALECT_ORACLE"]
@@ -111,9 +112,25 @@ class CompiledQuery:
 
 
 class Planner:
-    """Compiles annotated queries against a bound database instance."""
+    """Compiles annotated queries, bound to a database instance or unbound.
 
-    def __init__(self, schema: Schema, db: Database, dialect: str = DIALECT_POSTGRES):
+    With a database the planner emits :class:`~repro.engine.operators
+    .StaticScan` leaves capturing the instance's rows (the original,
+    plan-per-database mode).  With ``db=None`` it emits
+    :class:`~repro.engine.operators.TableScan` leaves that only *name* their
+    base table; the resulting plan is database-independent and is what the
+    :class:`~repro.engine.Engine` plan cache stores — bind it to an instance
+    with :func:`repro.engine.binding.bind_plan` before execution.  All
+    compile-time errors depend on the schema and query alone, so both modes
+    reject exactly the same queries.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        db: Optional[Database] = None,
+        dialect: str = DIALECT_POSTGRES,
+    ):
         if dialect not in (DIALECT_POSTGRES, DIALECT_ORACLE):
             raise ValueError(f"unknown engine dialect: {dialect!r}")
         self.schema = schema
@@ -185,11 +202,14 @@ class Planner:
             if item.table not in self.schema:
                 raise UnknownTableError(f"unknown base table: {item.table}")
             labels = self.schema.attributes(item.table)
-            data = [
-                tuple(None if isinstance(v, Null) else v for v in record)
-                for record in self.db.table(item.table).bag
-            ]
-            plan: PlanNode = StaticScan(data, arity=len(labels))
+            if self.db is None:
+                plan: PlanNode = TableScan(item.table, arity=len(labels))
+            else:
+                data = [
+                    tuple(None if isinstance(v, Null) else v for v in record)
+                    for record in self.db.table(item.table).bag
+                ]
+                plan = StaticScan(data, arity=len(labels))
         else:
             compiled = self._compile_query(item.table, scopes, under_exists=False)
             plan, labels = compiled.plan, compiled.labels

@@ -13,6 +13,11 @@ random data manipulation query it evaluates
 and requires all of them to coincide.  Any bug in any component shows up as
 a disagreement with a seed that reproduces it — the repository's strongest
 internal consistency check, used by the tests and the T1/T2 benchmarks.
+
+Like the Section 4 runner, this class is the per-trial comparator; sharded
+/checkpointed execution lives in :mod:`repro.campaigns` (CLI:
+``python -m repro differential``), for which it is the ``differential``
+backend.
 """
 
 from __future__ import annotations
@@ -104,21 +109,21 @@ class DifferentialRunner:
         return results
 
     def run(self, trials: int, base_seed: int = 0) -> DifferentialReport:
-        report = DifferentialReport()
-        for i in range(trials):
-            seed = base_seed + i
-            results = self.run_trial(seed)
-            report.trials += 1
-            reference = results["semantics"]
-            mismatched = [
-                name
-                for name, table in results.items()
-                if not table.same_as(reference)
-            ]
-            if mismatched:
-                report.disagreements.append(
-                    f"seed {seed}: {', '.join(mismatched)} disagree with the semantics"
-                )
-            else:
-                report.agreements += 1
-        return report
+        """Run a serial n-way campaign through the unified execution core.
+
+        Delegates to :func:`repro.campaigns.run_campaign` with ``jobs=1``
+        (use the campaign subsystem directly — or ``python -m repro
+        differential`` — for sharded, checkpointed runs).
+        """
+        from ..campaigns import DifferentialBackend, run_campaign
+
+        result = run_campaign(
+            DifferentialBackend(self), trials=trials, base_seed=base_seed
+        )
+        return DifferentialReport(
+            trials=result.completed,
+            agreements=result.agreements,
+            disagreements=[
+                f"seed {m['seed']}: {m['detail']}" for m in result.mismatches
+            ],
+        )

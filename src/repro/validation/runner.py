@@ -14,6 +14,14 @@ two adjusted implementations:
 
 The paper ran 100,000 trials per variant and observed full agreement; the
 runner reproduces that experiment at any scale.
+
+The runner owns the *per-trial* logic (seed → query → database → compared
+outcome); campaign *execution* — sharding across worker processes,
+checkpointing, resume, aggregation — lives in :mod:`repro.campaigns`, for
+which this class is the ``validation`` backend.  :meth:`ValidationRunner.run`
+is the backward-compatible serial entry point delegating to that core; use
+``python -m repro validate --jobs N`` (or :func:`repro.campaigns.run_campaign`
+directly) for paper-scale runs.
 """
 
 from __future__ import annotations
@@ -131,17 +139,27 @@ class ValidationRunner:
     # -- campaign ---------------------------------------------------------------
 
     def run(self, trials: int, base_seed: int = 0) -> CampaignReport:
-        report = CampaignReport(variant=self.variant)
-        for i in range(trials):
-            result = self.run_trial(base_seed + i)
-            report.trials += 1
-            if result.agreed:
-                report.agreements += 1
-                if result.both_errored:
-                    report.error_agreements += 1
-            else:
-                report.mismatches.append(result)
-        return report
+        """Run a serial campaign through the unified execution core.
+
+        This is the backward-compatible entry point: it delegates to
+        :func:`repro.campaigns.run_campaign` (the sharded/checkpointed
+        subsystem the CLI and benchmarks drive directly) with ``jobs=1``
+        and rebuilds the rich :class:`TrialResult` for each mismatching
+        seed — trials are seed-deterministic, so re-running a seed
+        reproduces its result exactly.
+        """
+        from ..campaigns import ValidationBackend, run_campaign
+
+        result = run_campaign(
+            ValidationBackend(self), trials=trials, base_seed=base_seed
+        )
+        return CampaignReport(
+            variant=self.variant,
+            trials=result.completed,
+            agreements=result.agreements,
+            error_agreements=result.error_agreements,
+            mismatches=[self.run_trial(seed) for seed in result.mismatch_seeds],
+        )
 
     def explain(self, result: TrialResult) -> str:
         from ..sql.printer import print_query

@@ -1,0 +1,161 @@
+"""Unit tests of the campaign building blocks: specs, records, aggregation,
+checkpoint files."""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CHECKPOINT_SCHEMA,
+    CODE_AGREE,
+    CODE_AGREE_BOTH_ERROR,
+    CODE_MISMATCH,
+    Aggregator,
+    CampaignSpec,
+    CheckpointWriter,
+    load_checkpoint,
+    plan_shards,
+    run_campaign,
+)
+
+
+def test_spec_roundtrip_and_label():
+    spec = CampaignSpec(kind="validation", variant="oracle", rows=4)
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+    assert spec.label == "oracle"
+    assert CampaignSpec(kind="differential").label == "differential"
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        CampaignSpec(kind="fuzz")
+
+
+def test_spec_builds_backends():
+    validation = CampaignSpec(kind="validation", variant="postgres", rows=3).build()
+    record = validation.run_trial(7)
+    assert record["seed"] == 7
+    assert record["code"] in (CODE_AGREE, CODE_AGREE_BOTH_ERROR)
+    differential = CampaignSpec(kind="differential", rows=3, tables=3).build()
+    record = differential.run_trial(3)
+    assert record == {"seed": 3, "code": CODE_AGREE}
+
+
+def test_plan_shards_cover_and_are_contiguous():
+    seeds = list(range(100, 1100))
+    shards = plan_shards(seeds, jobs=4)
+    flattened = [seed for shard in shards for seed in shard]
+    assert flattened == seeds
+    assert plan_shards([], jobs=4) == []
+    # The cap keeps checkpoints fresh even with one worker.
+    assert max(len(s) for s in plan_shards(list(range(100_000)), jobs=1)) == 500
+
+
+def test_aggregator_counts_and_digest_are_order_independent():
+    records = [
+        {"seed": 10, "code": CODE_AGREE},
+        {"seed": 11, "code": CODE_AGREE_BOTH_ERROR},
+        {"seed": 12, "code": CODE_MISMATCH, "detail": "boom"},
+        {"seed": 13, "code": CODE_AGREE},
+    ]
+    forward = Aggregator("x", 10, 4)
+    for record in records:
+        assert forward.add(record)
+    backward = Aggregator("x", 10, 4)
+    for record in reversed(records):
+        assert backward.add(record)
+    a, b = forward.finalize(), backward.finalize()
+    assert a.outcome_digest == b.outcome_digest
+    assert a.agreements == b.agreements == 3
+    assert a.error_agreements == 1
+    assert a.mismatches == [{"seed": 12, "detail": "boom"}]
+    assert a.agreement_rate == pytest.approx(0.75)
+
+
+def test_aggregator_rejects_duplicates_and_out_of_range():
+    agg = Aggregator("x", 0, 2)
+    assert agg.add({"seed": 0, "code": CODE_AGREE})
+    assert not agg.add({"seed": 0, "code": CODE_AGREE})
+    assert not agg.add({"seed": 5, "code": CODE_AGREE})
+    assert agg.duplicates == 1
+    assert agg.pending_seeds() == [1]
+
+
+def test_checkpoint_roundtrip_and_torn_line(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    header = {"schema": CHECKPOINT_SCHEMA, "spec": {"kind": "validation"}}
+    with CheckpointWriter(path, header, fresh=True) as writer:
+        writer.write_records([{"seed": 0, "code": 1}, {"seed": 1, "code": 3}])
+    # Simulate a kill mid-write: append a torn line.
+    with open(path, "a") as handle:
+        handle.write('{"seed": 2, "co')
+    loaded_header, records = load_checkpoint(path)
+    assert loaded_header["schema"] == CHECKPOINT_SCHEMA
+    assert records == [{"seed": 0, "code": 1}, {"seed": 1, "code": 3}]
+
+
+def test_checkpoint_missing_file():
+    assert load_checkpoint("/nonexistent/ckpt.jsonl") == (None, [])
+
+
+def test_append_after_torn_line_does_not_merge_records(tmp_path):
+    """Appending after a mid-write kill must not glue the new record onto
+    the torn fragment (which would lose both lines on the next read)."""
+    path = str(tmp_path / "c.jsonl")
+    header = {"schema": CHECKPOINT_SCHEMA, "spec": {"kind": "validation"}}
+    with CheckpointWriter(path, header, fresh=True) as writer:
+        writer.write_records([{"seed": 0, "code": 1}])
+    with open(path, "a") as handle:
+        handle.write('{"seed": 1, "co')  # torn by a kill
+    with CheckpointWriter(path, header, fresh=False) as writer:
+        writer.write_records([{"seed": 2, "code": 1}])
+    _header, records = load_checkpoint(path)
+    assert records == [{"seed": 0, "code": 1}, {"seed": 2, "code": 1}]
+
+
+def test_aggregator_skips_corrupt_codes():
+    """A checkpoint record with an out-of-range code is ignored and its
+    seed stays pending instead of crashing or double-counting."""
+    agg = Aggregator("x", 0, 2)
+    assert not agg.add({"seed": 0, "code": 999})
+    assert not agg.add({"seed": 1, "code": 0})
+    assert agg.completed == 0
+    assert agg.pending_seeds() == [0, 1]
+
+
+def test_run_campaign_rejects_backend_with_jobs():
+    from repro.campaigns import RunnerBackend
+
+    backend = RunnerBackend(lambda seed: {"seed": seed, "code": CODE_AGREE})
+    with pytest.raises(ValueError):
+        run_campaign(backend, trials=4, jobs=2)
+    result = run_campaign(backend, trials=4, jobs=1)
+    assert result.completed == 4
+    assert result.agreements == 4
+
+
+def test_run_campaign_resume_requires_checkpoint():
+    spec = CampaignSpec(kind="validation", rows=2)
+    with pytest.raises(ValueError):
+        run_campaign(spec, trials=2, resume=True)
+
+
+def test_resume_rejects_mismatched_header(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=3)
+    run_campaign(spec, trials=5, base_seed=0, checkpoint=path)
+    other = CampaignSpec(kind="validation", variant="oracle", rows=3)
+    with pytest.raises(ValueError, match="spec mismatch"):
+        run_campaign(other, trials=5, base_seed=0, checkpoint=path, resume=True)
+    with pytest.raises(ValueError, match="base_seed mismatch"):
+        run_campaign(spec, trials=5, base_seed=9, checkpoint=path, resume=True)
+
+
+def test_campaign_result_json(tmp_path):
+    spec = CampaignSpec(kind="validation", rows=3)
+    result = run_campaign(spec, trials=6, base_seed=100)
+    doc = result.to_json()
+    json.dumps(doc)  # JSON-safe
+    assert doc["completed"] == 6
+    assert doc["outcome_digest"] == result.outcome_digest
+    assert "trials=6/6" in result.summary()

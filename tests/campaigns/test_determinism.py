@@ -1,0 +1,122 @@
+"""The campaign subsystem's central property: bit-identical results.
+
+A trial is a pure function of its seed and the aggregate is
+order-independent, so a campaign's report must be identical for any worker
+count, any shard size, and any interrupt/resume history.  These tests pin
+that contract (the satellite property tests of the campaign refactor).
+"""
+
+import pytest
+
+from repro.campaigns import CampaignSpec, load_checkpoint, run_campaign
+
+TRIALS = 60
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=4)
+
+
+def result_fingerprint(result):
+    return (
+        result.variant,
+        result.trials,
+        result.completed,
+        result.agreements,
+        result.error_agreements,
+        result.mismatches,
+        result.outcome_digest,
+    )
+
+
+def test_serial_and_parallel_campaigns_identical():
+    serial = run_campaign(SPEC, trials=TRIALS, base_seed=2000, jobs=1)
+    parallel = run_campaign(SPEC, trials=TRIALS, base_seed=2000, jobs=4)
+    assert result_fingerprint(serial) == result_fingerprint(parallel)
+    assert serial.completed == TRIALS
+
+
+def test_shard_size_does_not_change_results():
+    from repro.campaigns import executor
+
+    serial = run_campaign(SPEC, trials=30, base_seed=77, jobs=1)
+    original = executor.MAX_SHARD
+    try:
+        executor.MAX_SHARD = 7
+        tiny_shards = run_campaign(SPEC, trials=30, base_seed=77, jobs=2)
+    finally:
+        executor.MAX_SHARD = original
+    assert result_fingerprint(serial) == result_fingerprint(tiny_shards)
+
+
+def test_resume_after_interrupt_matches_uninterrupted(tmp_path):
+    """A killed campaign, resumed, aggregates to the uninterrupted result."""
+    path = str(tmp_path / "campaign.jsonl")
+    uninterrupted = run_campaign(SPEC, trials=TRIALS, base_seed=500, jobs=1)
+    # Simulated interrupt: a first run covering only part of the seed range
+    # writes its records and dies.
+    run_campaign(SPEC, trials=25, base_seed=500, jobs=1, checkpoint=path)
+    resumed = run_campaign(
+        SPEC, trials=TRIALS, base_seed=500, jobs=2, checkpoint=path, resume=True
+    )
+    assert resumed.resumed_trials == 25
+    assert result_fingerprint(resumed) == result_fingerprint(uninterrupted)
+    # The checkpoint now covers every seed exactly once.
+    _header, records = load_checkpoint(path)
+    assert sorted(record["seed"] for record in records) == list(
+        range(500, 500 + TRIALS)
+    )
+
+
+def test_resume_with_torn_final_line(tmp_path):
+    """Records after a mid-write kill are skipped and re-run, not lost."""
+    path = str(tmp_path / "campaign.jsonl")
+    run_campaign(SPEC, trials=20, base_seed=0, jobs=1, checkpoint=path)
+    with open(path) as handle:
+        lines = handle.readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[:-1])
+        handle.write(lines[-1][: len(lines[-1]) // 2])  # torn by the kill
+    full = run_campaign(
+        SPEC, trials=20, base_seed=0, jobs=1, checkpoint=path, resume=True
+    )
+    reference = run_campaign(SPEC, trials=20, base_seed=0, jobs=1)
+    assert full.resumed_trials == 19  # header intact, one record torn
+    assert result_fingerprint(full) == result_fingerprint(reference)
+
+
+def test_resume_of_complete_campaign_runs_nothing(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    first = run_campaign(SPEC, trials=20, base_seed=0, jobs=1, checkpoint=path)
+    again = run_campaign(
+        SPEC, trials=20, base_seed=0, jobs=1, checkpoint=path, resume=True
+    )
+    assert again.resumed_trials == 20
+    assert result_fingerprint(first) == result_fingerprint(again)
+
+
+def test_differential_campaign_parallel_determinism():
+    spec = CampaignSpec(kind="differential", rows=3)
+    serial = run_campaign(spec, trials=12, base_seed=500, jobs=1)
+    parallel = run_campaign(spec, trials=12, base_seed=500, jobs=2)
+    assert result_fingerprint(serial) == result_fingerprint(parallel)
+    assert serial.agreements == 12
+
+
+def test_oracle_variant_error_agreements_survive_the_pipeline():
+    """Both-error agreements (the paper's Oracle ambiguity case) are
+    classified, checkpointed and aggregated distinctly from plain ones."""
+    spec = CampaignSpec(kind="validation", variant="oracle", rows=3)
+    result = run_campaign(spec, trials=150, base_seed=0, jobs=2)
+    assert result.agreements == result.completed == 150
+    assert result.error_agreements > 0
+
+
+def test_progress_callback_reaches_total():
+    seen = []
+    run_campaign(
+        SPEC,
+        trials=20,
+        base_seed=0,
+        jobs=1,
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert seen[-1] == (20, 20)
+    assert all(total == 20 for _done, total in seen)
