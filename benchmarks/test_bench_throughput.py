@@ -23,7 +23,7 @@ import random
 import pytest
 
 from repro.algebra import desugar, to_sqlra
-from repro.core import validation_schema
+from repro.core import Database, Schema, validation_schema
 from repro.engine import Engine
 from repro.generator import (
     DM_CONFIG,
@@ -34,7 +34,7 @@ from repro.generator import (
     fill_database,
 )
 from repro.semantics import STAR_COMPOSITIONAL, SqlSemantics
-from repro.sql import parse_query, print_query
+from repro.sql import annotate, parse_query, print_query
 
 SCHEMA = validation_schema()
 
@@ -45,6 +45,77 @@ def make_query(seed, config=PAPER_CONFIG):
 
 def make_db(seed, rows=5):
     return fill_database(SCHEMA, random.Random(seed), DataFillerConfig(max_rows=rows))
+
+
+# -- second-generation optimizer workloads ------------------------------------
+#
+# Hand-built adversarial inputs for the cost-based join ordering and the
+# hash set operations: two big tables and one small one, with queries whose
+# *syntactic* FROM order is the worst one (SMALL last, so a left-deep
+# FROM-order plan cross-products BIGA x BIGB before the selective joins).
+
+ADVERSARIAL_SCHEMA = Schema(
+    {"BIGA": ("A", "B"), "BIGB": ("A", "B"), "SMALL": ("A", "B")}
+)
+
+JOIN_ORDER_SQL = (
+    "SELECT BIGA.B FROM BIGA, BIGB, SMALL "
+    "WHERE SMALL.A = BIGA.A AND SMALL.B = BIGB.A",
+    "SELECT BIGA.B, BIGB.B FROM BIGA, BIGB, SMALL "
+    "WHERE SMALL.A = BIGA.A AND SMALL.B = BIGB.A AND BIGA.B < BIGB.B",
+    "SELECT SMALL.A FROM BIGA, BIGB, SMALL "
+    "WHERE SMALL.A = BIGA.A AND BIGA.B = BIGB.B AND SMALL.B = 1",
+)
+
+SETOP_SQL = (
+    "SELECT BIGA.A FROM BIGA UNION SELECT BIGB.A FROM BIGB",
+    "SELECT BIGA.A, BIGA.B FROM BIGA UNION ALL SELECT BIGB.A, BIGB.B FROM BIGB",
+    "SELECT BIGA.A, BIGA.B FROM BIGA INTERSECT SELECT BIGB.A, BIGB.B FROM BIGB",
+    "SELECT BIGA.A, BIGA.B FROM BIGA EXCEPT SELECT BIGB.A, BIGB.B FROM BIGB",
+    # Set operations under EXISTS: streaming stops at the first row, the
+    # counted-multiset ablation materializes both sides per probe binding.
+    "SELECT SMALL.A FROM SMALL WHERE EXISTS "
+    "(SELECT BIGA.A FROM BIGA UNION ALL SELECT BIGB.A FROM BIGB)",
+    "SELECT SMALL.A FROM SMALL WHERE EXISTS "
+    "(SELECT BIGA.A FROM BIGA WHERE BIGA.A = SMALL.A "
+    "UNION ALL SELECT BIGB.A FROM BIGB WHERE BIGB.A = SMALL.B)",
+    "SELECT SMALL.A, SMALL.B FROM SMALL WHERE EXISTS "
+    "(SELECT BIGA.B FROM BIGA WHERE BIGA.A = SMALL.A "
+    "UNION SELECT BIGB.B FROM BIGB WHERE BIGB.B = SMALL.B)",
+)
+
+
+def adversarial_db(seed, big_rows=60, small_rows=3, domain=8):
+    """One instance of the adversarial schema: two big tables, one tiny."""
+    rng = random.Random(seed)
+
+    def rows(n):
+        return [(rng.randrange(domain), rng.randrange(domain)) for _ in range(n)]
+
+    return Database(
+        ADVERSARIAL_SCHEMA,
+        {"BIGA": rows(big_rows), "BIGB": rows(big_rows), "SMALL": rows(small_rows)},
+    )
+
+
+def join_order_pairs(databases=4, big_rows=60):
+    """The adversarial-FROM-order workload: every query on every database."""
+    queries = [annotate(sql, ADVERSARIAL_SCHEMA) for sql in JOIN_ORDER_SQL]
+    return [
+        (query, adversarial_db(seed, big_rows=big_rows))
+        for seed in range(databases)
+        for query in queries
+    ]
+
+
+def setop_pairs(databases=4, big_rows=400, small_rows=12):
+    """The set-operation workload: big inputs, EXISTS-probed set ops."""
+    queries = [annotate(sql, ADVERSARIAL_SCHEMA) for sql in SETOP_SQL]
+    return [
+        (query, adversarial_db(seed, big_rows=big_rows, small_rows=small_rows))
+        for seed in range(databases)
+        for query in queries
+    ]
 
 
 def test_bench_query_generation(benchmark):
@@ -105,6 +176,51 @@ def test_bench_engine_execution_naive(benchmark):
     engine = Engine(SCHEMA, "postgres", optimize=False)
     pairs = engine_pairs()
     benchmark.pedantic(run_workload, args=(engine, pairs), rounds=3, iterations=1)
+
+
+# The ablation engines run with build_cache_size=0: these stages measure the
+# *operators* (ordering, streaming), and cross-execution build-side sharing
+# would otherwise absorb exactly the work being compared on the repeated
+# (query, database) pairs of a timing loop.  Sharing has its own stage in
+# scripts/bench.py (engine_repeat_shared vs engine_repeat_unshared).
+
+
+def test_bench_join_order(benchmark):
+    """Cost-based join ordering on the adversarial FROM-order workload."""
+    engine = Engine(ADVERSARIAL_SCHEMA, "postgres", build_cache_size=0)
+    pairs = join_order_pairs()
+    benchmark(run_workload, engine, pairs)
+
+
+def test_bench_join_order_from_order(benchmark):
+    """Ablation: the same workload locked to syntactic FROM order."""
+    engine = Engine(
+        ADVERSARIAL_SCHEMA,
+        "postgres",
+        build_cache_size=0,
+        optimizer_options={"reorder_joins": False},
+    )
+    pairs = join_order_pairs()
+    benchmark(run_workload, engine, pairs)
+
+
+def test_bench_setops(benchmark):
+    """Streaming hash set operations on big UNION/INTERSECT/EXCEPT inputs."""
+    engine = Engine(ADVERSARIAL_SCHEMA, "postgres", build_cache_size=0)
+    pairs = setop_pairs()
+    benchmark(run_workload, engine, pairs)
+
+
+def test_bench_setops_counted(benchmark):
+    """Ablation: the counted-multiset SetOpNode on the same workload."""
+    engine = Engine(
+        ADVERSARIAL_SCHEMA,
+        "postgres",
+        build_cache_size=0,
+        optimizer_options={"hash_setops": False},
+    )
+    pairs = setop_pairs()
+    benchmark(run_workload, engine, pairs)
 
 
 def test_bench_theorem1_translation(benchmark):

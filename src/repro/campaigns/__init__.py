@@ -43,7 +43,12 @@ from .backends import (
     RunnerBackend,
     ValidationBackend,
 )
-from .checkpoint import CHECKPOINT_SCHEMA, CheckpointWriter, load_checkpoint
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointWriter,
+    load_checkpoint,
+    summarize_checkpoint,
+)
 from .executor import plan_shards, run_campaign
 
 __all__ = [
@@ -55,6 +60,7 @@ __all__ = [
     "RunnerBackend",
     "CheckpointWriter",
     "load_checkpoint",
+    "summarize_checkpoint",
     "CHECKPOINT_SCHEMA",
     "plan_shards",
     "run_campaign",

@@ -6,7 +6,10 @@ instead of keeping per-trial objects, it folds each record into
 * four integer counters (completed / agreements / both-error agreements /
   duplicates),
 * a ``bytearray`` of outcome codes indexed by ``seed - base_seed`` (one
-  byte per trial — 100 kB at paper scale), and
+  byte per trial — 100 kB at paper scale),
+* a float array of per-trial wall times (the records' optional ``ms``
+  field — 400 kB at paper scale), summarized as p50/p95/p99 latency
+  percentiles, and
 * the rare mismatch details (seed + explanation string).
 
 Because the codes live at fixed positions, aggregation commutes: records
@@ -19,12 +22,14 @@ the serial run" is a single string comparison, at any campaign size.
 from __future__ import annotations
 
 import hashlib
+import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .backends import CODE_AGREE, CODE_AGREE_BOTH_ERROR, CODE_MISMATCH
 
-__all__ = ["Aggregator", "CampaignResult"]
+__all__ = ["Aggregator", "CampaignResult", "percentile"]
 
 
 @dataclass
@@ -49,6 +54,9 @@ class CampaignResult:
     elapsed_s: float = 0.0
     jobs: int = 1
     resumed_trials: int = 0
+    #: Per-trial latency percentiles in ms ({"p50": .., "p95": .., "p99": ..});
+    #: empty when no record carried an ``ms`` field (e.g. custom backends).
+    timing_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def agreement_rate(self) -> float:
@@ -64,6 +72,13 @@ class CampaignResult:
         return [m["seed"] for m in self.mismatches]
 
     def summary(self) -> str:
+        timing = ""
+        if self.timing_ms:
+            timing = (
+                f" p50={self.timing_ms['p50']:.2f}ms"
+                f" p95={self.timing_ms['p95']:.2f}ms"
+                f" p99={self.timing_ms['p99']:.2f}ms"
+            )
         return (
             f"variant={self.variant} trials={self.completed}/{self.trials} "
             f"agreements={self.agreements} "
@@ -71,7 +86,7 @@ class CampaignResult:
             f"mismatches={len(self.mismatches)} "
             f"rate={self.agreement_rate:.4%} "
             f"jobs={self.jobs} {self.trials_per_sec:.0f} trials/s "
-            f"digest={self.outcome_digest[:12]}"
+            f"digest={self.outcome_digest[:12]}{timing}"
         )
 
     def to_json(self) -> Dict[str, object]:
@@ -89,7 +104,16 @@ class CampaignResult:
             "trials_per_sec": round(self.trials_per_sec, 3),
             "jobs": self.jobs,
             "resumed_trials": self.resumed_trials,
+            "timing_ms": self.timing_ms,
         }
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """The nearest-rank percentile of an ascending sequence (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
 
 
 class Aggregator:
@@ -105,6 +129,10 @@ class Aggregator:
         self.error_agreements = 0
         self.duplicates = 0
         self.mismatches: List[Dict[str, object]] = []
+        # Wall times of the folded records ("ms" field); four bytes per
+        # trial, so paper scale stays flat-memory.  Percentiles are order
+        # statistics, so out-of-order arrival (shards, resume) is harmless.
+        self.timings = array("f")
 
     def add(self, record: Dict[str, object]) -> bool:
         """Fold one record in; returns False for duplicates/out-of-range."""
@@ -120,6 +148,9 @@ class Aggregator:
             return False  # corrupted record: leave the seed pending
         self.codes[index] = code
         self.completed += 1
+        elapsed_ms = record.get("ms")
+        if isinstance(elapsed_ms, (int, float)):
+            self.timings.append(elapsed_ms)
         if code in (CODE_AGREE, CODE_AGREE_BOTH_ERROR):
             self.agreements += 1
             if code == CODE_AGREE_BOTH_ERROR:
@@ -134,6 +165,17 @@ class Aggregator:
         """The seeds not yet folded in, in ascending order."""
         base = self.base_seed
         return [base + i for i, code in enumerate(self.codes) if code == 0]
+
+    def timing_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of the folded per-trial wall times (ms); {} if none."""
+        if not self.timings:
+            return {}
+        ordered = sorted(self.timings)
+        return {
+            "p50": round(percentile(ordered, 0.50), 3),
+            "p95": round(percentile(ordered, 0.95), 3),
+            "p99": round(percentile(ordered, 0.99), 3),
+        }
 
     def finalize(
         self,
@@ -154,4 +196,5 @@ class Aggregator:
             elapsed_s=elapsed_s,
             jobs=jobs,
             resumed_trials=resumed_trials,
+            timing_ms=self.timing_percentiles(),
         )

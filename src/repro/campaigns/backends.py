@@ -9,7 +9,11 @@ method::
 where ``record`` is a small JSON-safe dict — the unit that crosses process
 boundaries and checkpoint files::
 
-    {"seed": <int>, "code": <1|2|3>[, "detail": <str>]}
+    {"seed": <int>, "code": <1|2|3>[, "detail": <str>][, "ms": <float>]}
+
+``ms`` is the trial's wall time in milliseconds, recorded by the built-in
+backends so the aggregate can report latency percentiles; it never enters
+the outcome digest (timing is machine noise, outcomes are deterministic).
 
 Codes classify the trial outcome:
 
@@ -35,6 +39,7 @@ object with a :meth:`CampaignSpec.build` factory.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
@@ -128,14 +133,17 @@ class ValidationBackend:
         return self.runner.variant
 
     def run_trial(self, seed: int) -> Dict[str, object]:
+        started = time.perf_counter()
         result = self.runner.run_trial(seed)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
         if result.agreed:
             code = CODE_AGREE_BOTH_ERROR if result.both_errored else CODE_AGREE
-            return {"seed": seed, "code": code}
+            return {"seed": seed, "code": code, "ms": round(elapsed_ms, 3)}
         return {
             "seed": seed,
             "code": CODE_MISMATCH,
             "detail": self.runner.explain(result),
+            "ms": round(elapsed_ms, 3),
         }
 
 
@@ -148,18 +156,21 @@ class DifferentialBackend:
     label = "differential"
 
     def run_trial(self, seed: int) -> Dict[str, object]:
+        started = time.perf_counter()
         results = self.runner.run_trial(seed)
         reference = results["semantics"]
         mismatched = [
             name for name, table in results.items() if not table.same_as(reference)
         ]
+        elapsed_ms = round((time.perf_counter() - started) * 1e3, 3)
         if mismatched:
             return {
                 "seed": seed,
                 "code": CODE_MISMATCH,
                 "detail": f"{', '.join(mismatched)} disagree with the semantics",
+                "ms": elapsed_ms,
             }
-        return {"seed": seed, "code": CODE_AGREE}
+        return {"seed": seed, "code": CODE_AGREE, "ms": elapsed_ms}
 
 
 class RunnerBackend:

@@ -32,7 +32,12 @@ import json
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["CHECKPOINT_SCHEMA", "CheckpointWriter", "load_checkpoint"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "summarize_checkpoint",
+]
 
 CHECKPOINT_SCHEMA = "campaign-checkpoint/v1"
 
@@ -111,3 +116,36 @@ def load_checkpoint(
             ):
                 records.append(payload)
     return header, records
+
+
+def summarize_checkpoint(path: str):
+    """``(header, Aggregator)`` for an existing checkpoint, no re-running.
+
+    Folds every record of the file into a fresh
+    :class:`~repro.campaigns.aggregate.Aggregator`, exactly as a resumed
+    campaign would — so the digest, counts and latency percentiles equal
+    the live run's for a complete checkpoint, and ``pending_seeds()``
+    tells how much of an interrupted one is missing.  Raises
+    :class:`ValueError` when the file is missing or has no header line.
+    """
+    from .aggregate import Aggregator
+
+    if not os.path.exists(path):
+        raise ValueError(f"{path}: no such checkpoint file")
+    header, records = load_checkpoint(path)
+    if header is None:
+        raise ValueError(
+            f"{path}: not a campaign checkpoint (no {CHECKPOINT_SCHEMA} header)"
+        )
+    spec = header.get("spec") or {}
+    label = (
+        spec.get("variant")
+        if spec.get("kind") == "validation"
+        else spec.get("kind") or spec.get("label")
+    ) or "campaign"
+    base_seed = int(header.get("base_seed", 0))
+    trials = int(header.get("trials", len(records)))
+    aggregator = Aggregator(label, base_seed, trials)
+    for record in records:
+        aggregator.add(record)
+    return header, aggregator

@@ -8,6 +8,7 @@ Commands
 ``two-valued``   print the Figure 10 two-valued rewriting of a query (Thm 2)
 ``validate``     run a Section 4 validation campaign (semantics vs engine)
 ``differential`` run the n-way differential campaign (all implementations)
+``report``       render an existing campaign checkpoint (no re-running)
 ``generate``     print random queries from the Section 4 generator
 
 The two campaign commands run on the unified subsystem of
@@ -171,6 +172,44 @@ def _cmd_differential(args) -> int:
     return 1 if result.mismatches else 0
 
 
+def _cmd_report(args) -> int:
+    """Render a ``campaign-checkpoint/v1`` file: pure aggregation, no trials."""
+    from .campaigns import CODE_AGREE, CODE_AGREE_BOTH_ERROR, summarize_checkpoint
+
+    try:
+        header, aggregator = summarize_checkpoint(args.checkpoint)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    result = aggregator.finalize()
+    pending = aggregator.trials - aggregator.completed
+    plain_agreements = result.agreements - result.error_agreements
+    print(f"checkpoint: {args.checkpoint}  ({header.get('schema')})")
+    print(f"spec: {json.dumps(header.get('spec', {}), sort_keys=True)}")
+    print(
+        f"seeds: [{aggregator.base_seed}, "
+        f"{aggregator.base_seed + aggregator.trials}) — "
+        f"{aggregator.completed} recorded, {pending} pending, "
+        f"{result.duplicates} duplicate record(s) skipped"
+    )
+    print(
+        f"outcomes: {plain_agreements} agree, "
+        f"{result.error_agreements} agree-both-error, "
+        f"{len(result.mismatches)} mismatch "
+        f"(rate {result.agreement_rate:.4%})"
+    )
+    if result.timing_ms:
+        print(
+            f"latency: p50={result.timing_ms['p50']:.2f}ms "
+            f"p95={result.timing_ms['p95']:.2f}ms "
+            f"p99={result.timing_ms['p99']:.2f}ms"
+        )
+    print(f"outcome_digest: {result.outcome_digest}")
+    for mismatch in result.mismatches[: args.show_mismatches]:
+        detail = mismatch.get("detail") or "(no detail recorded)"
+        print(f"seed {mismatch['seed']}: {detail}", file=sys.stderr)
+    return 1 if result.mismatches else 0
+
+
 def _cmd_generate(args) -> int:
     from .core.schema import validation_schema
 
@@ -255,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     differential.add_argument("--show-disagreements", type=int, default=5)
     differential.set_defaults(func=_cmd_differential)
+
+    report = sub.add_parser(
+        "report",
+        help="render an existing campaign checkpoint without re-running",
+    )
+    report.add_argument("checkpoint", help="campaign-checkpoint/v1 JSONL file")
+    report.add_argument("--show-mismatches", type=int, default=5)
+    report.set_defaults(func=_cmd_report)
 
     generate = sub.add_parser("generate", help="print random queries")
     generate.add_argument("--count", type=int, default=5)

@@ -1,4 +1,4 @@
-"""Late binding and cache hygiene for reusable plans.
+"""Late binding, cache hygiene and cross-execution build-side sharing.
 
 A plan compiled without a database (:class:`~repro.engine.planner.Planner`
 with ``db=None``) contains :class:`~repro.engine.operators.TableScan` leaves
@@ -10,20 +10,44 @@ execution,
 * every ``TableScan`` is bound to the current database's rows
   (:func:`bind_plan`), and
 * every per-execution memo the optimizer introduced is cleared
-  (:func:`reset_plan`): :class:`~repro.engine.operators.CachedSubplan`
-  materializations, :class:`~repro.engine.operators.ExistsProbe` booleans
-  and per-binding memos, :class:`~repro.engine.operators.InPred` binding
-  memos, and :class:`~repro.engine.operators.SemiJoinProbe` probe sets —
-  all of which are only valid for the database they were computed against.
+  (:func:`reset_plan`): :class:`~repro.engine.operators.CachedSubplan` /
+  :class:`~repro.engine.operators.MemoSubplan` materializations,
+  :class:`~repro.engine.operators.HashJoin` build tables,
+  :class:`~repro.engine.operators.ExistsProbe` booleans and per-binding
+  memos, :class:`~repro.engine.operators.InPred` binding memos, and
+  :class:`~repro.engine.operators.SemiJoinProbe` probe sets — all of which
+  are only valid for the database they were computed against.
 
 :func:`iter_plan_nodes` / :func:`iter_predicates` walk the full operator
 tree, *including* the subplans nested inside WHERE-clause predicates, which
 is where most of the state lives.
+
+Build-side sharing
+------------------
+
+The trial campaigns run the same handful of queries over thousands of
+generated databases, and generated table contents repeat (small domains,
+small row caps) — yet every execution used to rebuild hash-join build
+tables, semi-join probe sets and subquery materializations from scratch.
+:class:`BuildSideCache` shares them *across executions, keyed by content*:
+each shareable structure is a pure function of (a) the node that computes
+it — tagged with a process-unique serial so evicted plans can never alias a
+new node — and (b) the bound rows of the base tables its subtree reads
+(plus, for per-binding memo dicts, the outer values in the memo key, which
+the dicts already encode).  :func:`bind_plan` restores structures whose
+content key hits the cache, and :func:`unbind_plan` harvests the structures
+the execution computed, so a repeated-content trial pays for its build
+sides exactly once.  Entries hold copies made at bind time — never the
+:class:`~repro.core.schema.Database` object — and the cache is a bounded
+LRU, so rebinding to fresh content simply misses and ages the old entries
+out.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+import itertools
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.schema import Database
 from ..core.values import Null
@@ -36,9 +60,12 @@ from .operators import (
     ExistsProbe,
     FilterOp,
     HashJoin,
+    HashSetOp,
     InPred,
+    MemoSubplan,
     PlanNode,
     ProjectOp,
+    RemapOp,
     SemiJoinProbe,
     SetOpNode,
     TableScan,
@@ -50,6 +77,7 @@ __all__ = [
     "bind_plan",
     "reset_plan",
     "unbind_plan",
+    "BuildSideCache",
 ]
 
 
@@ -78,28 +106,225 @@ def iter_plan_nodes(plan: PlanNode) -> Iterator[Tuple[PlanNode, object]]:
             subplan = getattr(pred, "subplan", None)
             if subplan is not None:
                 yield from iter_plan_nodes(subplan)
-    elif isinstance(plan, (ProjectOp, DistinctOp, CachedSubplan)):
+    elif isinstance(
+        plan, (ProjectOp, DistinctOp, CachedSubplan, MemoSubplan, RemapOp)
+    ):
         yield from iter_plan_nodes(plan.child)
-    elif isinstance(plan, (SetOpNode, HashJoin)):
+    elif isinstance(plan, (SetOpNode, HashSetOp, HashJoin)):
         yield from iter_plan_nodes(plan.left)
         yield from iter_plan_nodes(plan.right)
     # TableScan / StaticScan are leaves.
 
 
-def bind_plan(plan: PlanNode, db: Database) -> PlanNode:
+# -- the build-side cache -----------------------------------------------------
+
+_MISSING = object()
+
+#: Process-unique serials for shareable nodes: a cache key must never alias
+#: two nodes, and ``id()`` can be reused after a cached plan is evicted and
+#: collected, so identity is pinned the first time a node is shared.
+_share_serial = itertools.count(1)
+
+
+def _share_identity(carrier) -> int:
+    serial = getattr(carrier, "_share_id", None)
+    if serial is None:
+        serial = next(_share_serial)
+        carrier._share_id = serial
+    return serial
+
+
+class BuildSideCache:
+    """Content-keyed LRU cache of derived execution structures.
+
+    Values are whatever a shareable carrier computes during one execution —
+    a hash-join build table, a semi-join probe set, a materialized subquery
+    row list, or a per-binding memo dict.  Keys pair the carrier's serial
+    with the bound contents of the base tables its subtree reads, so a hit
+    is exact (dict key equality compares the actual rows, not a digest) and
+    rebinding to different content is automatically a miss — the
+    invalidation story is the key itself.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: tuple):
+        """The cached value, or the module-private miss sentinel."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return _MISSING
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def store(self, key: tuple, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+def _shareable_carriers(nodes) -> List[Tuple[object, PlanNode]]:
+    """(carrier, feeding subtree) pairs for every structure worth sharing.
+
+    A structure is shareable when it is a pure function of its subtree's
+    bound table contents: closed materializations (``CachedSubplan``, a
+    closed ``HashJoin`` build side, ``SemiJoinProbe`` sets, a closed
+    ``ExistsProbe`` boolean) trivially are, and per-binding memo dicts
+    (``MemoSubplan``, correlated ``ExistsProbe`` / ``InPred``) are pure
+    once the binding — already part of each dict key — is accounted for.
+    """
+    carriers: List[Tuple[object, PlanNode]] = []
+    for node, pred in nodes:
+        if isinstance(node, (CachedSubplan, MemoSubplan)):
+            carriers.append((node, node.child))
+        elif isinstance(node, HashJoin):
+            if node.right.free_refs() == frozenset():
+                carriers.append((node, node.right))
+        elif isinstance(pred, ExistsProbe):
+            if pred.closed or pred._refs is not None:
+                carriers.append((pred, pred.subplan))
+        elif isinstance(pred, InPred):
+            if pred._refs is not None:
+                carriers.append((pred, pred.subplan))
+        elif isinstance(pred, SemiJoinProbe):
+            carriers.append((pred, pred.subplan))
+    return carriers
+
+
+def _subtree_tables(subtree: PlanNode) -> Tuple[str, ...]:
+    """Sorted names of the base tables a carrier's subtree reads."""
+    names = set()
+    for node, _pred in iter_plan_nodes(subtree):
+        if isinstance(node, TableScan):
+            names.add(node.table)
+    return tuple(sorted(names))
+
+
+def _share_plan(plan: PlanNode, nodes) -> List[Tuple[object, int, Tuple[str, ...]]]:
+    """The plan's shareable carriers with their serials and table names.
+
+    Purely structural, so it is computed once per plan object and cached on
+    it — the per-bind work is then only fingerprinting the bound rows of
+    the tables the carriers actually read.
+    """
+    cached = getattr(plan, "_share_analysis", None)
+    if cached is None:
+        cached = [
+            (carrier, _share_identity(carrier), _subtree_tables(subtree))
+            for carrier, subtree in _shareable_carriers(nodes)
+        ]
+        plan._share_analysis = cached
+    return cached
+
+
+def _restore(carrier, value) -> None:
+    if isinstance(carrier, CachedSubplan):
+        carrier._cache = value
+    elif isinstance(carrier, MemoSubplan):
+        carrier._memo = value
+    elif isinstance(carrier, HashJoin):
+        carrier._table = value
+    elif isinstance(carrier, ExistsProbe):
+        if carrier.closed:
+            carrier._known = value
+        else:
+            carrier._memo = value
+    elif isinstance(carrier, InPred):
+        carrier._memo = value
+    elif isinstance(carrier, SemiJoinProbe):
+        carrier._keys, carrier._null_rows, carrier._rows = value
+
+
+def _harvest(carrier):
+    """The carrier's computed structure, or the miss sentinel if unbuilt."""
+    if isinstance(carrier, CachedSubplan):
+        return carrier._cache if carrier._cache is not None else _MISSING
+    if isinstance(carrier, MemoSubplan):
+        return carrier._memo if carrier._memo else _MISSING
+    if isinstance(carrier, HashJoin):
+        return carrier._table if carrier._table is not None else _MISSING
+    if isinstance(carrier, ExistsProbe):
+        if carrier.closed:
+            return carrier._known if carrier._known is not None else _MISSING
+        return carrier._memo if carrier._memo else _MISSING
+    if isinstance(carrier, InPred):
+        return carrier._memo if carrier._memo else _MISSING
+    if isinstance(carrier, SemiJoinProbe):
+        if carrier._rows is not None:
+            return (carrier._keys, carrier._null_rows, carrier._rows)
+    return _MISSING
+
+
+def bind_plan(
+    plan: PlanNode, db: Database, cache: Optional[BuildSideCache] = None
+) -> PlanNode:
     """Bind every :class:`TableScan` to ``db`` and reset execution caches.
 
     Returns the same plan object (mutated in place): binding is cheap — one
     tree walk — compared to re-planning and re-optimizing the query, which
-    is the point of the plan cache.
+    is the point of the plan cache.  With a ``cache``, shareable structures
+    whose content key hits are restored instead of recomputed, and the
+    (carrier, key) pairs are remembered on the plan so
+    :func:`unbind_plan` can harvest what the execution builds.  Sharing
+    only engages from a plan's *second* bind: keys are per plan node, so a
+    plan executed once can neither hit nor be hit, and the trial campaigns
+    — one fresh plan per generated query — must not pay the bookkeeping.
     """
+    nodes = []
+    bound: Dict[str, list] = {}
     for node, pred in iter_plan_nodes(plan):
         if isinstance(node, TableScan):
-            node.data = [
-                tuple(None if isinstance(v, Null) else v for v in record)
-                for record in db.table(node.table).bag
-            ]
+            node.data = bound.get(node.table)
+            if node.data is None:
+                node.data = bound[node.table] = [
+                    tuple(None if isinstance(v, Null) else v for v in record)
+                    for record in db.table(node.table).bag
+                ]
         _reset_state(node, pred)
+        nodes.append((node, pred))
+    binds = getattr(plan, "_bind_count", 0) + 1
+    plan._bind_count = binds
+    if cache is not None and binds >= 2:
+        fingerprints: Dict[str, tuple] = {}
+        bindings = []
+        for carrier, serial, tables in _share_plan(plan, nodes):
+            signature = []
+            for name in tables:
+                fingerprint = fingerprints.get(name)
+                if fingerprint is None:
+                    fingerprint = fingerprints[name] = tuple(bound[name])
+                signature.append((name, fingerprint))
+            key = (serial, tuple(signature))
+            bindings.append((carrier, key))
+            value = cache.lookup(key)
+            if value is not _MISSING:
+                _restore(carrier, value)
+        plan._shared_bindings = bindings
+    else:
+        plan._shared_bindings = []
     return plan
 
 
@@ -110,13 +335,23 @@ def reset_plan(plan: PlanNode) -> PlanNode:
     return plan
 
 
-def unbind_plan(plan: PlanNode) -> PlanNode:
+def unbind_plan(
+    plan: PlanNode, cache: Optional[BuildSideCache] = None
+) -> PlanNode:
     """Drop table data and memos so a cached plan holds no database rows.
 
     A plan sitting in the :class:`~repro.engine.Engine` cache would
     otherwise pin the last-executed database (scan rows, probe sets,
     subquery materializations) until its next execution overwrites them.
+    With a ``cache``, the structures this execution built are harvested
+    into it first, under the content keys recorded by :func:`bind_plan`.
     """
+    if cache is not None:
+        for carrier, key in getattr(plan, "_shared_bindings", ()):
+            value = _harvest(carrier)
+            if value is not _MISSING:
+                cache.store(key, value)
+    plan._shared_bindings = []
     for node, pred in iter_plan_nodes(plan):
         if isinstance(node, TableScan):
             node.data = None
@@ -125,13 +360,19 @@ def unbind_plan(plan: PlanNode) -> PlanNode:
 
 
 def _reset_state(node, pred) -> None:
+    # Memo dicts are *re-bound*, never cleared in place: the harvested dict
+    # may live on in the build-side cache, where clearing would wipe it.
     if isinstance(node, CachedSubplan):
         node._cache = None
+    elif isinstance(node, MemoSubplan):
+        node._memo = {}
+    elif isinstance(node, HashJoin):
+        node._table = None
     if isinstance(pred, ExistsProbe):
         pred._known = None
-        pred._memo.clear()
+        pred._memo = {}
     elif isinstance(pred, InPred):
-        pred._memo.clear()
+        pred._memo = {}
     elif isinstance(pred, SemiJoinProbe):
         pred._keys = None
         pred._null_rows = None

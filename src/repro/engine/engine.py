@@ -27,19 +27,37 @@ reuse is what the trial campaigns and the equivalence checker exercise: the
 same query evaluated across many trial databases plans once.  ``cache_info()``
 exposes hit/miss/eviction counters for the benchmarks; ``plan_cache_size=0``
 disables caching entirely.
+
+Build-side cache
+----------------
+
+On top of plan reuse, the engine shares *derived execution structures* —
+hash-join build tables, semi-join probe sets, cached/memoized subquery
+materializations — across executions through a content-keyed
+:class:`~repro.engine.binding.BuildSideCache`: trial campaigns re-draw
+table contents from small domains, so identical table contents recur and
+the structures they determine need not be rebuilt.  Keys compare the bound
+rows themselves (exact, no digests), values are copies made at bind time
+(cached plans and cache entries never reference the
+:class:`~repro.core.schema.Database`), and ``build_cache_size=0`` disables
+sharing.  The cache only engages together with the plan cache — without
+plan reuse there is no second execution to share with — and, per plan,
+only from the second bind onward: keys are per plan node, so a plan
+executed once can neither hit nor be hit, and single-use plans (one fresh
+query per campaign trial) pay none of the bookkeeping.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.bag import Bag
 from ..core.schema import Database, Schema
 from ..core.table import Table
 from ..core.values import NULL
 from ..sql.ast import Query
-from .binding import bind_plan, unbind_plan
+from .binding import BuildSideCache, bind_plan, unbind_plan
 from .optimizer import optimize_plan
 from .planner import CompiledQuery, DIALECT_ORACLE, DIALECT_POSTGRES, Planner
 
@@ -47,6 +65,9 @@ __all__ = ["Engine", "DIALECT_POSTGRES", "DIALECT_ORACLE"]
 
 #: Default number of distinct query plans kept per engine (LRU-evicted).
 DEFAULT_PLAN_CACHE_SIZE = 256
+
+#: Default number of shared build-side structures kept per engine.
+DEFAULT_BUILD_CACHE_SIZE = 128
 
 
 class Engine:
@@ -58,6 +79,8 @@ class Engine:
         dialect: str = DIALECT_POSTGRES,
         optimize: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        build_cache_size: int = DEFAULT_BUILD_CACHE_SIZE,
+        optimizer_options: Optional[Dict[str, bool]] = None,
     ):
         self.schema = schema
         self.dialect = dialect
@@ -67,6 +90,12 @@ class Engine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        self._build_cache = (
+            BuildSideCache(build_cache_size) if build_cache_size > 0 else None
+        )
+        #: Ablation knobs forwarded to :func:`optimize_plan` (benchmarks
+        #: compare e.g. ``{"reorder_joins": False}`` against the default).
+        self.optimizer_options = dict(optimizer_options or {})
 
     def execute(self, query: Query, db: Database) -> Table:
         """Compile (or reuse a cached plan for) ``query`` and run it on ``db``.
@@ -76,7 +105,8 @@ class Engine:
         behaviour of the real systems the engine stands in for.
         """
         compiled = self._plan(query)
-        bind_plan(compiled.plan, db)
+        cache = self._build_cache if self.plan_cache_size > 0 else None
+        bind_plan(compiled.plan, db, cache=cache)
         try:
             rows = compiled.plan.iter_rows(())
             records = (
@@ -86,7 +116,7 @@ class Engine:
             return Table(compiled.labels, Bag(records))
         finally:
             if self.plan_cache_size > 0:
-                unbind_plan(compiled.plan)
+                unbind_plan(compiled.plan, cache=cache)
 
     # -- plan cache ---------------------------------------------------------
 
@@ -110,7 +140,10 @@ class Engine:
         planner = Planner(self.schema, None, self.dialect)
         compiled = planner.compile(query)
         if self.optimize:
-            return CompiledQuery(optimize_plan(compiled.plan), compiled.labels)
+            return CompiledQuery(
+                optimize_plan(compiled.plan, **self.optimizer_options),
+                compiled.labels,
+            )
         return compiled
 
     def cache_info(self) -> Dict[str, int]:
@@ -125,3 +158,15 @@ class Engine:
 
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()
+
+    # -- build-side cache ----------------------------------------------------
+
+    def build_cache_info(self) -> Dict[str, int]:
+        """Build-side cache counters: hits, misses, evictions, current size."""
+        if self._build_cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0}
+        return self._build_cache.info()
+
+    def clear_build_cache(self) -> None:
+        if self._build_cache is not None:
+            self._build_cache.clear()

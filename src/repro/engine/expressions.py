@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.errors import CompileError
 
@@ -40,6 +40,8 @@ __all__ = [
     "expr_refs",
     "merge_refs",
     "shift_expr",
+    "remap_expr",
+    "substitute_expr",
     "PredNode",
     "ConstPred",
     "ComparePred",
@@ -113,6 +115,38 @@ def shift_expr(expr: RowExpr, offset: int) -> Optional[RowExpr]:
     if isinstance(expr, ColumnRef):
         if expr.depth == 0:
             return ColumnRef(0, expr.index - offset)
+        return expr
+    if isinstance(expr, LiteralExpr):
+        return expr
+    return None
+
+
+def remap_expr(expr: RowExpr, mapping: Sequence[int]) -> Optional[RowExpr]:
+    """Send depth-0 indices through ``mapping`` (old index → new index), for
+    evaluating a predicate against a permuted column layout; None if the
+    expression is not rewritable."""
+    if isinstance(expr, ColumnRef):
+        if expr.depth == 0:
+            return ColumnRef(0, mapping[expr.index])
+        return expr
+    if isinstance(expr, LiteralExpr):
+        return expr
+    return None
+
+
+def substitute_expr(
+    expr: RowExpr, replacements: Sequence[RowExpr]
+) -> Optional[RowExpr]:
+    """Replace depth-0 references by the projection expressions that produce
+    them (for pushing a predicate below a :class:`~repro.engine.operators
+    .ProjectOp` into its input layout); None if either the expression or the
+    replacement it lands on is not rewritable."""
+    if isinstance(expr, ColumnRef):
+        if expr.depth == 0:
+            replacement = replacements[expr.index]
+            if isinstance(replacement, (ColumnRef, LiteralExpr)):
+                return replacement
+            return None
         return expr
     if isinstance(expr, LiteralExpr):
         return expr
@@ -200,6 +234,10 @@ def compare(op: str, a: object, b: object) -> Optional[bool]:
 # because it contains a subquery).
 
 
+#: Maps one row expression to its rewritten form, or None when impossible.
+ExprRewrite = Callable[[RowExpr], Optional[RowExpr]]
+
+
 class PredNode:
     """Base class of compiled WHERE predicates: a 3VL callable with refs."""
 
@@ -212,9 +250,25 @@ class PredNode:
         """All (depth, index) positions read, or None if not introspectable."""
         raise NotImplementedError
 
+    def rewritten(self, fn: ExprRewrite) -> Optional["PredNode"]:
+        """The same predicate with every row expression sent through ``fn``;
+        None when the node (or a nested one, e.g. a subquery probe) cannot be
+        rebuilt that way."""
+        return None
+
     def shifted(self, offset: int) -> Optional["PredNode"]:
         """The same predicate with depth-0 indices shifted by ``-offset``."""
-        return None
+        return self.rewritten(lambda expr: shift_expr(expr, offset))
+
+    def remapped(self, mapping: Sequence[int]) -> Optional["PredNode"]:
+        """The same predicate with depth-0 indices sent through ``mapping``
+        (old index → new index), for a permuted column layout."""
+        return self.rewritten(lambda expr: remap_expr(expr, mapping))
+
+    def substituted(self, replacements: Sequence[RowExpr]) -> Optional["PredNode"]:
+        """The same predicate with depth-0 references replaced by the
+        projection expressions producing them (pushing below a projection)."""
+        return self.rewritten(lambda expr: substitute_expr(expr, replacements))
 
 
 class ConstPred(PredNode):
@@ -231,7 +285,7 @@ class ConstPred(PredNode):
     def refs(self) -> Refs:
         return frozenset()
 
-    def shifted(self, offset: int) -> "ConstPred":
+    def rewritten(self, fn: ExprRewrite) -> "ConstPred":
         return self
 
 
@@ -255,9 +309,9 @@ class ComparePred(PredNode):
             return None
         return left | right
 
-    def shifted(self, offset: int) -> Optional["ComparePred"]:
-        left = shift_expr(self.left, offset)
-        right = shift_expr(self.right, offset)
+    def rewritten(self, fn: ExprRewrite) -> Optional["ComparePred"]:
+        left = fn(self.left)
+        right = fn(self.right)
         if left is None or right is None:
             return None
         return ComparePred(self.op, left, right)
@@ -280,8 +334,8 @@ class IsNullPred(PredNode):
     def refs(self) -> Optional[Refs]:
         return expr_refs(self.expr)
 
-    def shifted(self, offset: int) -> Optional["IsNullPred"]:
-        expr = shift_expr(self.expr, offset)
+    def rewritten(self, fn: ExprRewrite) -> Optional["IsNullPred"]:
+        expr = fn(self.expr)
         if expr is None:
             return None
         return IsNullPred(expr, self.negated)
@@ -301,9 +355,9 @@ def _child_refs(*preds: Callable) -> Optional[Refs]:
     return merge_refs(*(expr_refs(pred) for pred in preds))
 
 
-def _child_shifted(pred: Callable, offset: int) -> Optional[Callable]:
-    method = getattr(pred, "shifted", None)
-    return method(offset) if method is not None else None
+def _child_rewritten(pred: Callable, fn: ExprRewrite) -> Optional[Callable]:
+    method = getattr(pred, "rewritten", None)
+    return method(fn) if method is not None else None
 
 
 class AndPred(PredNode):
@@ -324,9 +378,9 @@ class AndPred(PredNode):
     def refs(self) -> Optional[Refs]:
         return _child_refs(self.left, self.right)
 
-    def shifted(self, offset: int) -> Optional["AndPred"]:
-        left = _child_shifted(self.left, offset)
-        right = _child_shifted(self.right, offset)
+    def rewritten(self, fn: ExprRewrite) -> Optional["AndPred"]:
+        left = _child_rewritten(self.left, fn)
+        right = _child_rewritten(self.right, fn)
         if left is None or right is None:
             return None
         return AndPred(left, right)
@@ -350,9 +404,9 @@ class OrPred(PredNode):
     def refs(self) -> Optional[Refs]:
         return _child_refs(self.left, self.right)
 
-    def shifted(self, offset: int) -> Optional["OrPred"]:
-        left = _child_shifted(self.left, offset)
-        right = _child_shifted(self.right, offset)
+    def rewritten(self, fn: ExprRewrite) -> Optional["OrPred"]:
+        left = _child_rewritten(self.left, fn)
+        right = _child_rewritten(self.right, fn)
         if left is None or right is None:
             return None
         return OrPred(left, right)
@@ -372,8 +426,8 @@ class NotPred(PredNode):
     def refs(self) -> Optional[Refs]:
         return _child_refs(self.operand)
 
-    def shifted(self, offset: int) -> Optional["NotPred"]:
-        operand = _child_shifted(self.operand, offset)
+    def rewritten(self, fn: ExprRewrite) -> Optional["NotPred"]:
+        operand = _child_rewritten(self.operand, fn)
         if operand is None:
             return None
         return NotPred(operand)

@@ -20,6 +20,12 @@ optimizer (:mod:`repro.engine.optimizer`):
   equality conjunct it replaces);
 * :class:`CachedSubplan` — materializes an uncorrelated subplan once per
   execution instead of once per probing row;
+* :class:`MemoSubplan` — memoizes a *correlated* FROM-subquery's rows per
+  binding of the outer values it reads;
+* :class:`RemapOp` — restores the FROM-order column layout above a
+  cost-reordered join tree;
+* :class:`HashSetOp` — streaming hash-based set operations, replacing the
+  counted-multiset :class:`SetOpNode` the planner emits;
 * the subquery predicates :class:`ExistsPred` / :class:`InPred` (the naive,
   re-executing forms the planner emits) and their optimized replacements
   :class:`ExistsProbe` (generator-based, early-terminating, result-cached
@@ -62,8 +68,11 @@ __all__ = [
     "ProjectOp",
     "DistinctOp",
     "SetOpNode",
+    "HashSetOp",
     "HashJoin",
     "CachedSubplan",
+    "MemoSubplan",
+    "RemapOp",
     "ExistsPred",
     "ExistsProbe",
     "InPred",
@@ -133,7 +142,20 @@ class PlanNode:
         return list(self.iter_rows(outers))
 
     def free_refs(self) -> Optional[Refs]:
-        """Outer-stack positions (depth ≥ 1) the subtree reads; None if unknown."""
+        """Outer-stack positions (depth ≥ 1) the subtree reads; None if unknown.
+
+        Memoized per node: the answer is purely structural (predicates and
+        children never change after construction — binding only installs
+        scan rows), and the optimizer asks repeatedly along nested paths,
+        which would otherwise make the recursion quadratic.
+        """
+        memo = getattr(self, "_free_refs_memo", False)
+        if memo is False:
+            memo = self._free_refs()
+            self._free_refs_memo = memo
+        return memo
+
+    def _free_refs(self) -> Optional[Refs]:
         raise NotImplementedError
 
     def width(self) -> Optional[int]:
@@ -158,7 +180,7 @@ class StaticScan(PlanNode):
     def rows(self, outers: OuterStack) -> List[Row]:
         return self.data
 
-    def free_refs(self) -> Refs:
+    def _free_refs(self) -> Refs:
         return frozenset()
 
     def width(self) -> Optional[int]:
@@ -195,7 +217,7 @@ class TableScan(PlanNode):
             )
         return self.data
 
-    def free_refs(self) -> Refs:
+    def _free_refs(self) -> Refs:
         return frozenset()
 
     def width(self) -> int:
@@ -221,7 +243,7 @@ class CrossJoin(PlanNode):
                 row = row + part
             yield row
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return merge_refs(*(child.free_refs() for child in self.children))
 
     def width(self) -> Optional[int]:
@@ -247,7 +269,7 @@ class FilterOp(PlanNode):
             if predicate(row, outers) is True:
                 yield row
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return merge_refs(
             self.child.free_refs(), _outer_part(pred_refs(self.predicate))
         )
@@ -268,7 +290,7 @@ class ProjectOp(PlanNode):
         for row in self.child.iter_rows(outers):
             yield tuple(expr(row, outers) for expr in expressions)
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return merge_refs(
             self.child.free_refs(),
             *(_outer_part(expr_refs(expr)) for expr in self.expressions),
@@ -291,7 +313,7 @@ class DistinctOp(PlanNode):
                 seen.add(row)
                 yield row
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return self.child.free_refs()
 
     def width(self) -> Optional[int]:
@@ -329,7 +351,7 @@ class SetOpNode(PlanNode):
             raise ValueError(f"unknown set operation {self.op}")
         return iter(result.elements())
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return merge_refs(self.left.free_refs(), self.right.free_refs())
 
     def width(self) -> Optional[int]:
@@ -351,8 +373,13 @@ class HashJoin(PlanNode):
     right: PlanNode
     left_keys: Tuple[int, ...]
     right_keys: Tuple[int, ...]
+    #: Build side, memoized per execution when the right child is closed
+    #: (cleared by the binding layer, shareable across executions through
+    #: the build-side cache of :mod:`repro.engine.binding`).
+    _table: Optional[dict] = field(default=None, repr=False, compare=False)
+    _closed_build: Optional[bool] = field(default=None, repr=False, compare=False)
 
-    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+    def _build(self, outers: OuterStack) -> dict:
         table: dict = {}
         right_keys = self.right_keys
         for row in self.right.iter_rows(outers):
@@ -360,6 +387,20 @@ class HashJoin(PlanNode):
             if key is None:
                 continue
             table.setdefault(key, []).append(row)
+        return table
+
+    def build_table(self, outers: OuterStack) -> dict:
+        """The probe table, built at most once per execution when closed."""
+        if self._closed_build is None:
+            self._closed_build = self.right.free_refs() == frozenset()
+        if not self._closed_build:
+            return self._build(outers)
+        if self._table is None:
+            self._table = self._build(outers)
+        return self._table
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        table = self.build_table(outers)
         if not table:
             return
         left_keys = self.left_keys
@@ -370,7 +411,7 @@ class HashJoin(PlanNode):
             for match in table.get(key, ()):
                 yield row + match
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return merge_refs(self.left.free_refs(), self.right.free_refs())
 
     def width(self) -> Optional[int]:
@@ -402,11 +443,144 @@ class CachedSubplan(PlanNode):
             self._cache = self.child.rows(())
         return self._cache
 
-    def free_refs(self) -> Optional[Refs]:
+    def _free_refs(self) -> Optional[Refs]:
         return self.child.free_refs()
 
     def width(self) -> Optional[int]:
         return self.child.width()
+
+
+@dataclass
+class MemoSubplan(PlanNode):
+    """Memoizes a *correlated* subplan's rows per binding of the outer values
+    it reads.
+
+    A correlated FROM-subquery re-executes for every probing row of its
+    enclosing correlated predicate, yet its rows are a pure function of the
+    outer values at its free reference positions; bindings repeat across
+    probing rows, so each distinct binding is evaluated once per execution.
+    """
+
+    child: PlanNode
+    #: Sorted (depth, index) positions of the outer values the child reads.
+    memo_refs: Tuple[Tuple[int, int], ...]
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        return iter(self.rows(outers))
+
+    def rows(self, outers: OuterStack) -> List[Row]:
+        key = tuple(outers[-d][i] for d, i in self.memo_refs)
+        rows = self._memo.get(key)
+        if rows is None:
+            rows = self._memo[key] = self.child.rows(outers)
+        return rows
+
+    def _free_refs(self) -> Optional[Refs]:
+        return self.child.free_refs()
+
+    def width(self) -> Optional[int]:
+        return self.child.width()
+
+
+@dataclass
+class RemapOp(PlanNode):
+    """Permutes columns: ``output[i] = input[mapping[i]]``.
+
+    The join-order optimizer reorders FROM children for cost but must keep
+    the output row layout bit-identical to FROM order (projection indices,
+    correlated subquery references and filter predicates were all compiled
+    against it); a ``RemapOp`` above the reordered join tree restores it.
+    """
+
+    child: PlanNode
+    mapping: Tuple[int, ...]
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        mapping = self.mapping
+        for row in self.child.iter_rows(outers):
+            yield tuple(row[j] for j in mapping)
+
+    def _free_refs(self) -> Optional[Refs]:
+        return self.child.free_refs()
+
+    def width(self) -> int:
+        return len(self.mapping)
+
+
+@dataclass
+class HashSetOp(PlanNode):
+    """Hash-based UNION / INTERSECT / EXCEPT, streaming the left child.
+
+    The optimized replacement for :class:`SetOpNode`: instead of counting
+    both children and expanding a result multiset, only the side that must
+    be fully known is materialized (the right child's counts for INTERSECT/
+    EXCEPT, a seen-set for DISTINCT variants) and rows stream out as the
+    left child produces them — so an enclosing EXISTS stops the whole
+    pipeline at the first row.  Rows are their own hash keys: SQL NULL
+    (``None``) is one key value, matching the NOT-DISTINCT row equality the
+    set operations use (NULLs equal each other here, unlike in ``=``).
+    Bag semantics are unchanged: UNION ALL concatenates, INTERSECT ALL
+    keeps minimum multiplicities, EXCEPT ALL subtracts, and the DISTINCT
+    variants emit each qualifying row once.
+    """
+
+    op: str
+    all: bool
+    left: PlanNode
+    right: PlanNode
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        if self.op == "UNION":
+            if self.all:
+                yield from self.left.iter_rows(outers)
+                yield from self.right.iter_rows(outers)
+                return
+            seen = set()
+            for side in (self.left, self.right):
+                for row in side.iter_rows(outers):
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+            return
+        if self.op == "INTERSECT":
+            if self.all:
+                remaining = Counter(self.right.iter_rows(outers))
+                for row in self.left.iter_rows(outers):
+                    if remaining[row] > 0:
+                        remaining[row] -= 1
+                        yield row
+                return
+            right_rows = set(self.right.iter_rows(outers))
+            emitted = set()
+            for row in self.left.iter_rows(outers):
+                if row in right_rows and row not in emitted:
+                    emitted.add(row)
+                    yield row
+            return
+        if self.op == "EXCEPT":
+            right_counts = Counter(self.right.iter_rows(outers))
+            if self.all:
+                for row in self.left.iter_rows(outers):
+                    if right_counts[row] > 0:
+                        right_counts[row] -= 1
+                    else:
+                        yield row
+                return
+            emitted = set()
+            for row in self.left.iter_rows(outers):
+                if right_counts[row] == 0 and row not in emitted:
+                    emitted.add(row)
+                    yield row
+            return
+        raise ValueError(f"unknown set operation {self.op}")  # pragma: no cover
+
+    def _free_refs(self) -> Optional[Refs]:
+        return merge_refs(self.left.free_refs(), self.right.free_refs())
+
+    def width(self) -> Optional[int]:
+        left = self.left.width()
+        return left if left is not None else self.right.width()
 
 
 # -- subquery predicates -----------------------------------------------------
@@ -434,7 +608,7 @@ class ExistsProbe:
     outer values at the subplan's free reference positions, the only inputs
     the subquery's result can depend on."""
 
-    __slots__ = ("subplan", "closed", "_known", "_refs", "_memo")
+    __slots__ = ("subplan", "closed", "_known", "_refs", "_memo", "_share_id")
 
     def __init__(
         self,
@@ -447,6 +621,7 @@ class ExistsProbe:
         self._known: Optional[bool] = None
         self._refs = tuple(sorted(memo_refs)) if memo_refs else None
         self._memo: dict = {}
+        self._share_id: Optional[int] = None
 
     def _binding(self, row: Row, outers: OuterStack) -> Tuple:
         return tuple(
@@ -484,7 +659,7 @@ class InPred:
     rows per binding of the referenced outer values — a disjunction cannot
     change under duplicate elimination, so distinct rows suffice."""
 
-    __slots__ = ("exprs", "subplan", "negated", "_refs", "_memo")
+    __slots__ = ("exprs", "subplan", "negated", "_refs", "_memo", "_share_id")
 
     def __init__(
         self,
@@ -498,6 +673,7 @@ class InPred:
         self.negated = negated
         self._refs = tuple(sorted(memo_refs)) if memo_refs else None
         self._memo: dict = {}
+        self._share_id: Optional[int] = None
 
     def _sub_rows(self, row: Row, outers: OuterStack) -> Sequence[Row]:
         if self._refs is None:
@@ -536,7 +712,15 @@ class SemiJoinProbe:
       rows — duplicates cannot change a disjunction, so distinct suffices.
     """
 
-    __slots__ = ("exprs", "subplan", "negated", "_keys", "_null_rows", "_rows")
+    __slots__ = (
+        "exprs",
+        "subplan",
+        "negated",
+        "_keys",
+        "_null_rows",
+        "_rows",
+        "_share_id",
+    )
 
     def __init__(self, exprs: Sequence[RowExpr], subplan: PlanNode, negated: bool):
         self.exprs = tuple(exprs)
@@ -545,6 +729,7 @@ class SemiJoinProbe:
         self._keys: Optional[frozenset] = None
         self._null_rows: Optional[List[Row]] = None
         self._rows: Optional[List[Row]] = None
+        self._share_id: Optional[int] = None
 
     def _materialize(self) -> None:
         distinct = list(dict.fromkeys(self.subplan.rows(())))

@@ -6,18 +6,36 @@ subquery predicate re-executes its subplan per probing row.  This module
 rewrites that tree into an equivalent but drastically cheaper one:
 
 * **selection pushdown** — WHERE conjuncts whose depth-0 references fall
-  inside a single join child are re-indexed and evaluated below the join,
-  and every other conjunct is applied at the earliest left-deep prefix that
-  covers its columns (filter-during-product instead of product-then-filter);
+  inside a single join child are re-indexed and evaluated below the join —
+  sinking *through* the projection of a FROM-subquery into the subquery
+  itself when the projected expressions admit substitution — and every
+  other conjunct is applied at the earliest left-deep prefix that covers
+  its columns (filter-during-product instead of product-then-filter);
 * **hash equi-joins** — an equality conjunct between column references of
   two different children turns the Cartesian product into a
   :class:`~repro.engine.operators.HashJoin` on typed, NULL-rejecting keys;
+* **cost-aware join ordering** — children of a multi-way FROM are joined
+  greedily by estimated cardinality (bound table sizes when the plan is
+  compiled against a database, a fixed default for unbound cache plans)
+  and equality-conjunct selectivity, so selective hash joins run before
+  Cartesian blowups regardless of the syntactic FROM order; a
+  :class:`~repro.engine.operators.RemapOp` above the reordered tree keeps
+  the output row layout — and with it 3VL semantics, projection indices
+  and correlated-subquery references — bit-identical to FROM order;
+* **hash set operations** — :class:`~repro.engine.operators.SetOpNode`
+  becomes the streaming :class:`~repro.engine.operators.HashSetOp`, so
+  UNION/INTERSECT/EXCEPT no longer count and re-expand both sides and an
+  enclosing EXISTS terminates them at the first emitted row;
 * **subquery caching** — a *closed* EXISTS/IN subplan (one with no outer
   references, per :meth:`~repro.engine.operators.PlanNode.free_refs`) is
   materialized once: EXISTS becomes a cached boolean
   (:class:`~repro.engine.operators.ExistsProbe`) and IN becomes a frozenset
   semi-join probe with 3VL-correct NULL handling
-  (:class:`~repro.engine.operators.SemiJoinProbe`);
+  (:class:`~repro.engine.operators.SemiJoinProbe`); closed FROM-subqueries
+  are materialized once per execution
+  (:class:`~repro.engine.operators.CachedSubplan`) and *correlated* ones
+  are memoized per binding of the outer values they actually read
+  (:class:`~repro.engine.operators.MemoSubplan`);
 * **streaming** — correlated EXISTS probes use the operators' generator
   iteration and stop at the first row.
 
@@ -25,18 +43,21 @@ Semantics: on *well-typed* inputs — data on which no predicate can raise at
 runtime, which is everything the type checker (:mod:`repro.sql.typecheck`)
 admits and everything the Section 4 campaigns generate — the rewrites
 preserve results exactly: 3VL conjunction is commutative and associative,
-and the differential and validation campaigns in :mod:`repro.validation`
-check the optimized engine against the formal semantics of Figures 5–7 on
-both dialect variants.  On *ill-typed* data (a type clash inside an ordered
-comparison, LIKE on a non-string) the optimized plan may evaluate a
-predicate on more or fewer rows than the naive And-chain — filters are
-relocated, hash joins drop NULL keys early, EXISTS stops at the first
-row — so whether, and which, runtime error surfaces is not preserved: a
-query that naively returned a table may raise, or vice versa.  That is the
-latitude real systems take (SQL leaves evaluation order unspecified, and
-the RDBMSs the engine stands in for reject such queries at compile time).
+column remapping is a pure permutation, and the differential and validation
+campaigns in :mod:`repro.validation` check the optimized engine against the
+formal semantics of Figures 5–7 on both dialect variants.  On *ill-typed*
+data (a type clash inside an ordered comparison, LIKE on a non-string) the
+optimized plan may evaluate a predicate on more or fewer rows than the
+naive And-chain — filters are relocated, joins are reordered, hash joins
+drop NULL keys early, EXISTS stops at the first row — so whether, and
+which, runtime error surfaces is not preserved: a query that naively
+returned a table may raise, or vice versa.  That is the latitude real
+systems take (SQL leaves evaluation order unspecified, and the RDBMSs the
+engine stands in for reject such queries at compile time).
 ``Engine(..., optimize=False)`` retains the naive path bit-for-bit, for
-ablations and as an escape hatch.
+ablations and as an escape hatch; ``optimize_plan(plan,
+reorder_joins=False)`` / ``hash_setops=False`` ablate the second-generation
+rewrites individually (the benchmark stages compare them).
 """
 
 from __future__ import annotations
@@ -49,7 +70,6 @@ from .expressions import (
     ColumnRef,
     ComparePred,
     ConstPred,
-    IsNullPred,
     NotPred,
     OrPred,
 )
@@ -61,9 +81,12 @@ from .operators import (
     ExistsProbe,
     FilterOp,
     HashJoin,
+    HashSetOp,
     InPred,
+    MemoSubplan,
     PlanNode,
     ProjectOp,
+    RemapOp,
     SemiJoinProbe,
     SetOpNode,
     StaticScan,
@@ -72,56 +95,283 @@ from .operators import (
     pred_refs,
 )
 
-__all__ = ["optimize_plan"]
+__all__ = ["optimize_plan", "estimate_rows"]
 
 Pred = Callable
 
-
-def optimize_plan(plan: PlanNode) -> PlanNode:
-    """Rewrite a compiled plan into its optimized physical form."""
-    if isinstance(plan, FilterOp):
-        conjuncts = [_rewrite_pred(c) for c in _flatten_and(plan.predicate)]
-        child = plan.child
-        if isinstance(child, CrossJoin) and len(child.children) > 1:
-            children = [_optimize_from_item(c) for c in child.children]
-            joined = _build_join(children, conjuncts)
-            if joined is not None:
-                return joined
-            return FilterOp(CrossJoin(children), _combine(conjuncts))
-        return FilterOp(optimize_plan(child), _combine(conjuncts))
-    if isinstance(plan, ProjectOp):
-        return ProjectOp(optimize_plan(plan.child), plan.expressions)
-    if isinstance(plan, DistinctOp):
-        return DistinctOp(optimize_plan(plan.child))
-    if isinstance(plan, SetOpNode):
-        return SetOpNode(
-            plan.op, plan.all, optimize_plan(plan.left), optimize_plan(plan.right)
-        )
-    if isinstance(plan, CrossJoin):
-        return CrossJoin([_optimize_from_item(child) for child in plan.children])
-    # StaticScan and already-optimized nodes are left untouched.
-    return plan
+#: Cardinality guess for a table whose rows are not bound at optimize time
+#: (the plan-cache path): the paper's experiments cap tables at 6–50 rows,
+#: so any fixed value in that band ranks unbound scans equally and leaves
+#: the ordering decision to filters and join edges, which is the intent.
+DEFAULT_TABLE_ROWS = 32.0
+#: Assumed fraction of rows surviving one equality join edge.
+EQ_SELECTIVITY = 0.1
+#: Assumed fraction of rows surviving one pushed filter conjunct.
+FILTER_SELECTIVITY = 0.5
 
 
-def _optimize_from_item(child: PlanNode) -> PlanNode:
-    """Optimize one FROM child; materialize it once if it is closed.
+def optimize_plan(
+    plan: PlanNode, reorder_joins: bool = True, hash_setops: bool = True
+) -> PlanNode:
+    """Rewrite a compiled plan into its optimized physical form.
 
-    A closed FROM-subquery (no outer references) always produces the same
-    rows, yet a plan sitting inside a correlated WHERE subquery re-executes
-    per probing row — :class:`~repro.engine.operators.CachedSubplan` makes
-    that a replay.  Scans are already materialized, so only derived plans
-    are wrapped.
+    ``reorder_joins`` / ``hash_setops`` disable the cost-based join
+    ordering and the hash set operations respectively — ablation knobs for
+    the benchmark stages; everything else always applies.
     """
-    optimized = optimize_plan(child)
-    if (
-        not isinstance(optimized, (StaticScan, TableScan, CachedSubplan))
-        and optimized.free_refs() == frozenset()
-    ):
-        return CachedSubplan(optimized)
-    return optimized
+    return _Optimizer(reorder_joins, hash_setops).rewrite(plan)
 
 
-# -- predicates --------------------------------------------------------------
+class _Optimizer:
+    """One rewrite pass; holds the ablation switches."""
+
+    def __init__(self, reorder_joins: bool, hash_setops: bool):
+        self.reorder_joins = reorder_joins
+        self.hash_setops = hash_setops
+
+    def rewrite(self, plan: PlanNode) -> PlanNode:
+        if isinstance(plan, FilterOp):
+            conjuncts = [self._rewrite_pred(c) for c in _flatten_and(plan.predicate)]
+            child = plan.child
+            if isinstance(child, CrossJoin) and len(child.children) > 1:
+                children = [self._from_item(c) for c in child.children]
+                joined = self._build_join(children, conjuncts)
+                if joined is not None:
+                    return joined
+                return FilterOp(CrossJoin(children), _combine(conjuncts))
+            return self._filtered(self._from_item(child), conjuncts)
+        if isinstance(plan, ProjectOp):
+            child = plan.child
+            if isinstance(child, (FilterOp, CrossJoin)):
+                return ProjectOp(self.rewrite(child), plan.expressions)
+            # No WHERE clause: the child IS the single FROM item, so it gets
+            # the same cache/memo treatment as a CrossJoin child would.
+            return ProjectOp(self._from_item(child), plan.expressions)
+        if isinstance(plan, DistinctOp):
+            return DistinctOp(self.rewrite(plan.child))
+        if isinstance(plan, SetOpNode):
+            node = HashSetOp if self.hash_setops else SetOpNode
+            return node(
+                plan.op, plan.all, self.rewrite(plan.left), self.rewrite(plan.right)
+            )
+        if isinstance(plan, CrossJoin):
+            return CrossJoin([self._from_item(child) for child in plan.children])
+        # StaticScan, TableScan and already-optimized nodes are left alone.
+        return plan
+
+    def _from_item(self, child: PlanNode) -> PlanNode:
+        """Optimize one FROM child; cache or memoize derived plans.
+
+        A closed FROM-subquery (no outer references) always produces the
+        same rows, yet a plan sitting inside a correlated WHERE subquery
+        re-executes per probing row —
+        :class:`~repro.engine.operators.CachedSubplan` makes that a replay.
+        A *correlated* FROM-subquery is a pure function of the outer values
+        it reads, so it is memoized per binding instead
+        (:class:`~repro.engine.operators.MemoSubplan`).  Scans are already
+        materialized, so only derived plans are wrapped.
+        """
+        optimized = self.rewrite(child)
+        if isinstance(
+            optimized, (StaticScan, TableScan, CachedSubplan, MemoSubplan)
+        ):
+            return optimized
+        free = optimized.free_refs()
+        if free == frozenset():
+            return CachedSubplan(optimized)
+        if free:  # known and non-empty: correlated, memoizable
+            return MemoSubplan(optimized, tuple(sorted(free)))
+        return optimized  # opaque (free is None): leave untouched
+
+    # -- predicates ----------------------------------------------------------
+
+    def _rewrite_pred(self, pred: Pred) -> Pred:
+        """Optimize subplans inside a predicate; cache the closed ones."""
+        if isinstance(pred, AndPred):
+            return AndPred(self._rewrite_pred(pred.left), self._rewrite_pred(pred.right))
+        if isinstance(pred, OrPred):
+            return OrPred(self._rewrite_pred(pred.left), self._rewrite_pred(pred.right))
+        if isinstance(pred, NotPred):
+            return NotPred(self._rewrite_pred(pred.operand))
+        if isinstance(pred, (ExistsPred, ExistsProbe)):
+            subplan = self.rewrite(pred.subplan)
+            free = subplan.free_refs()
+            if free == frozenset():
+                return ExistsProbe(subplan, closed=True)
+            return ExistsProbe(subplan, memo_refs=_sub_refs(free))
+        if isinstance(pred, InPred):
+            subplan = self.rewrite(pred.subplan)
+            free = subplan.free_refs()
+            if free == frozenset():
+                # No CachedSubplan needed: the probe materializes exactly once.
+                return SemiJoinProbe(pred.exprs, subplan, pred.negated)
+            return InPred(pred.exprs, subplan, pred.negated, memo_refs=_sub_refs(free))
+        # ComparePred / IsNullPred / ConstPred / opaque callables.
+        return pred
+
+    # -- filter placement ----------------------------------------------------
+
+    def _filtered(self, child: PlanNode, conjuncts: Sequence[Pred]) -> PlanNode:
+        """Apply conjuncts above ``child``, sinking each into FROM-subquery
+        structure (:meth:`_sink`) when possible."""
+        remaining: List[Pred] = []
+        for pred in conjuncts:
+            sunk = self._sink(child, pred)
+            if sunk is None:
+                remaining.append(pred)
+            else:
+                child = sunk
+        if remaining:
+            return FilterOp(child, _combine(remaining))
+        return child
+
+    def _sink(self, child: PlanNode, pred: Pred) -> Optional[PlanNode]:
+        """Push one conjunct through projections into a FROM-subquery.
+
+        Filters commute with duplicate elimination and 1:1 projections, so a
+        conjunct over a subquery's output columns can run inside the
+        subquery — before its projection, its DISTINCT, and (decisively) its
+        per-execution materialization, so a
+        :class:`~repro.engine.operators.CachedSubplan` caches the already-
+        filtered rows.  Returns the rebuilt child, or None when the conjunct
+        cannot be expressed below (opaque predicate, subquery probe, or a
+        projection of something other than columns and literals).
+        """
+        if isinstance(child, DistinctOp):
+            inner = self._sink(child.child, pred)
+            return DistinctOp(inner) if inner is not None else None
+        if isinstance(child, CachedSubplan):
+            refs = pred_refs(pred)
+            if refs is None or any(depth != 0 for depth, _ in refs):
+                # The cached subplan runs with an empty outer stack, so only
+                # conjuncts reading the current row alone may move inside.
+                return None
+            inner = self._sink(child.child, pred)
+            if inner is None:
+                inner = FilterOp(child.child, pred)
+            return CachedSubplan(inner)
+        if isinstance(child, ProjectOp):
+            method = getattr(pred, "substituted", None)
+            substituted = method(child.expressions) if method is not None else None
+            if substituted is None:
+                return None
+            inner = self._sink(child.child, substituted)
+            if inner is None:
+                inner = FilterOp(child.child, substituted)
+            return ProjectOp(inner, child.expressions)
+        return None
+
+    # -- join construction ---------------------------------------------------
+
+    def _build_join(
+        self, children: List[PlanNode], conjuncts: Sequence[Pred]
+    ) -> Optional[PlanNode]:
+        """A join tree with pushed filters, hash equi-joins and cost order.
+
+        Children are joined left-deep.  In FROM order a left-deep prefix
+        occupies exactly the first ``width`` columns of the final row, so
+        prefix filters (including correlated subquery probes, whose depth-1
+        references index the probing row) run without any re-indexing.  When
+        the cost model picks a different order, introspectable conjuncts are
+        re-indexed into the permuted layout and a
+        :class:`~repro.engine.operators.RemapOp` restores the FROM-order
+        layout on top; conjuncts that cannot be re-indexed (subquery probes,
+        opaque callables) are evaluated above the remap, where the layout is
+        the original one.  Returns None when child widths are unknown.
+        """
+        widths = [child.width() for child in children]
+        if any(w is None for w in widths):
+            return None
+        offsets = []
+        total = 0
+        for w in widths:
+            offsets.append(total)
+            total += w
+
+        def span_of(index: int) -> int:
+            for k in range(len(children) - 1, -1, -1):
+                if index >= offsets[k]:
+                    return k
+            raise AssertionError(f"column index {index} out of range")
+
+        child_filters: List[List[Pred]] = [[] for _ in children]
+        edges: List[Tuple[int, int, Pred]] = []  # (global i, global j, pred)
+        staged: List[_Conjunct] = []
+        for order, pred in enumerate(conjuncts):
+            analysis = _Conjunct(pred, order, total)
+            endpoints = _equi_endpoints(pred)
+            if endpoints is not None and span_of(endpoints[0]) != span_of(endpoints[1]):
+                edges.append((endpoints[0], endpoints[1], pred))
+                continue
+            if analysis.local is not None:
+                spans = {span_of(i) for i in analysis.local}
+                target = spans.pop() if len(spans) == 1 else None
+                if target is not None:
+                    shifted = getattr(pred, "shifted", lambda _off: None)(
+                        offsets[target]
+                    )
+                    if shifted is not None:
+                        child_filters[target].append(shifted)
+                        continue
+            staged.append(analysis)
+
+        planned = [
+            self._filtered(child, filters) if filters else child
+            for child, filters in zip(children, child_filters)
+        ]
+
+        order = list(range(len(children)))
+        if self.reorder_joins and len(children) >= 3:
+            # Two-child joins are not worth the pass: the order only picks
+            # the hash build side, and the greedy machinery (estimates are
+            # subtree walks) would tax every compiled plan — the campaigns
+            # compile a fresh plan per generated query.
+            edge_spans = [(span_of(i), span_of(j)) for i, j, _pred in edges]
+            order = _greedy_order(planned, edge_spans)
+        if order == list(range(len(children))):
+            return _left_deep(planned, widths, staged, edges)
+        return self._permuted(planned, widths, offsets, staged, edges, order, total)
+
+    def _permuted(
+        self,
+        planned: List[PlanNode],
+        widths: List[int],
+        offsets: List[int],
+        staged: List["_Conjunct"],
+        edges: List[Tuple[int, int, Pred]],
+        order: List[int],
+        total: int,
+    ) -> PlanNode:
+        """Build the join tree in ``order`` and restore the FROM layout."""
+        mapping = [0] * total  # original global index -> permuted index
+        position = 0
+        for child_index in order:
+            for local in range(widths[child_index]):
+                mapping[offsets[child_index] + local] = position + local
+            position += widths[child_index]
+        permuted_edges = [(mapping[i], mapping[j], pred) for i, j, pred in edges]
+        permuted_staged: List[_Conjunct] = []
+        hoisted: List[Pred] = []
+        for conjunct in staged:
+            method = getattr(conjunct.pred, "remapped", None)
+            remapped = method(mapping) if method is not None else None
+            if remapped is None:
+                hoisted.append(conjunct.pred)
+            else:
+                permuted_staged.append(_Conjunct(remapped, conjunct.order, total))
+        tree = _left_deep(
+            [planned[c] for c in order],
+            [widths[c] for c in order],
+            permuted_staged,
+            permuted_edges,
+        )
+        tree = RemapOp(tree, tuple(mapping))
+        if hoisted:
+            tree = FilterOp(tree, _combine(hoisted))
+        return tree
+
+
+# -- predicate helpers --------------------------------------------------------
 
 
 def _flatten_and(pred: Pred) -> List[Pred]:
@@ -136,34 +386,6 @@ def _combine(conjuncts: Sequence[Pred]) -> Pred:
     if not conjuncts:
         return ConstPred(True)
     return reduce(AndPred, conjuncts)
-
-
-def _rewrite_pred(pred: Pred) -> Pred:
-    """Optimize subplans inside a predicate; cache the closed ones."""
-    if isinstance(pred, AndPred):
-        return AndPred(_rewrite_pred(pred.left), _rewrite_pred(pred.right))
-    if isinstance(pred, OrPred):
-        return OrPred(_rewrite_pred(pred.left), _rewrite_pred(pred.right))
-    if isinstance(pred, NotPred):
-        return NotPred(_rewrite_pred(pred.operand))
-    if isinstance(pred, (ExistsPred, ExistsProbe)):
-        subplan = optimize_plan(pred.subplan)
-        free = subplan.free_refs()
-        if free == frozenset():
-            return ExistsProbe(subplan, closed=True)
-        return ExistsProbe(subplan, memo_refs=_sub_refs(free))
-    if isinstance(pred, InPred):
-        subplan = optimize_plan(pred.subplan)
-        free = subplan.free_refs()
-        if free == frozenset():
-            # No CachedSubplan needed: the probe materializes exactly once.
-            return SemiJoinProbe(pred.exprs, subplan, pred.negated)
-        return InPred(pred.exprs, subplan, pred.negated, memo_refs=_sub_refs(free))
-    # ComparePred / IsNullPred / ConstPred / opaque callables.
-    return pred
-
-
-# -- join construction -------------------------------------------------------
 
 
 class _Conjunct:
@@ -198,57 +420,145 @@ def _equi_endpoints(pred: Pred) -> Optional[Tuple[int, int]]:
     return None
 
 
-def _build_join(
-    children: List[PlanNode], conjuncts: Sequence[Pred]
-) -> Optional[PlanNode]:
-    """A left-deep join tree with pushed filters and hash equi-joins.
+# -- cost model ---------------------------------------------------------------
 
-    Children stay in FROM order so the output row layout is unchanged; a
-    left-deep prefix therefore occupies exactly the first ``width`` columns
-    of the final row, which lets prefix filters (including correlated
-    subquery probes, whose depth-1 references index the probing row) run
-    without any re-indexing.  Returns None when child widths are unknown.
+
+def estimate_rows(node: PlanNode) -> float:
+    """Estimated output cardinality of a (sub)plan.
+
+    Bound scans report their true size; unbound :class:`TableScan` leaves
+    (the plan-cache path, where optimization happens before any database is
+    attached) fall back to :data:`DEFAULT_TABLE_ROWS`, which ranks them
+    equally and leaves the ordering decision to pushed filters and join
+    edges.  The estimates only ever *rank* candidate join orders, so crude
+    selectivity constants are enough.
     """
-    widths = [child.width() for child in children]
-    if any(w is None for w in widths):
-        return None
+    if isinstance(node, StaticScan):
+        return float(len(node.data))
+    if isinstance(node, TableScan):
+        return float(len(node.data)) if node.data is not None else DEFAULT_TABLE_ROWS
+    if isinstance(node, FilterOp):
+        conjuncts = len(_flatten_and(node.predicate))
+        return estimate_rows(node.child) * FILTER_SELECTIVITY**conjuncts
+    if isinstance(node, (ProjectOp, DistinctOp, CachedSubplan, MemoSubplan, RemapOp)):
+        return estimate_rows(node.child)
+    if isinstance(node, (SetOpNode, HashSetOp)):
+        left = estimate_rows(node.left)
+        right = estimate_rows(node.right)
+        if node.op == "UNION":
+            return left + right
+        if node.op == "INTERSECT":
+            return min(left, right)
+        return left  # EXCEPT
+    if isinstance(node, CrossJoin):
+        product = 1.0
+        for child in node.children:
+            product *= estimate_rows(child)
+        return product
+    if isinstance(node, HashJoin):
+        return estimate_rows(node.left) * estimate_rows(node.right) * EQ_SELECTIVITY
+    return DEFAULT_TABLE_ROWS
+
+
+def _step_cost(
+    current: float,
+    candidate: int,
+    placed: set,
+    estimates: Sequence[float],
+    edge_spans: Sequence[Tuple[int, int]],
+) -> float:
+    """Estimated size after joining ``candidate`` onto a prefix of size
+    ``current`` — the one cost step both the greedy walk and the order
+    comparison use (they must agree on the model)."""
+    joined = sum(
+        1
+        for a, b in edge_spans
+        if (a == candidate and b in placed) or (b == candidate and a in placed)
+    )
+    return current * max(estimates[candidate], 1.0) * EQ_SELECTIVITY**joined
+
+
+def _order_cost(
+    order: Sequence[int], estimates: Sequence[float], edge_spans: Sequence[Tuple[int, int]]
+) -> float:
+    """Sum of estimated intermediate cardinalities along a join order."""
+    placed = {order[0]}
+    current = max(estimates[order[0]], 1.0)
+    cost = current
+    for j in order[1:]:
+        current = _step_cost(current, j, placed, estimates, edge_spans)
+        cost += current
+        placed.add(j)
+    return cost
+
+
+def _greedy_order(
+    planned: Sequence[PlanNode], edge_spans: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """A greedy minimum-intermediate-size join order.
+
+    Starts from the smallest (most-connected on ties) child and repeatedly
+    joins the candidate minimizing the estimated next intermediate size —
+    equality edges to the placed prefix discount a candidate, so connected
+    children join before Cartesian blowups.  Returns the identity order
+    unless the chosen one is estimated strictly cheaper, so already-good
+    FROM orders keep their remap-free plan.
+    """
+    n = len(planned)
+    estimates = [estimate_rows(child) for child in planned]
+    degree = [0] * n
+    for a, b in edge_spans:
+        degree[a] += 1
+        degree[b] += 1
+    start = min(range(n), key=lambda i: (estimates[i], -degree[i], i))
+    order = [start]
+    placed = {start}
+    current = max(estimates[start], 1.0)
+    while len(order) < n:
+        best = None
+        best_cost = None
+        for j in range(n):
+            if j in placed:
+                continue
+            cost = _step_cost(current, j, placed, estimates, edge_spans)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = j, cost
+        order.append(best)
+        placed.add(best)
+        current = max(best_cost, 1.0)
+    identity = list(range(n))
+    if order == identity:
+        return identity
+    if _order_cost(order, estimates, edge_spans) < _order_cost(
+        identity, estimates, edge_spans
+    ):
+        return order
+    return identity
+
+
+# -- left-deep assembly -------------------------------------------------------
+
+
+def _left_deep(
+    planned: List[PlanNode],
+    widths: List[int],
+    staged: List[_Conjunct],
+    edges: List[Tuple[int, int, Pred]],
+) -> PlanNode:
+    """Fold children left-deep, consuming staged filters and equi edges.
+
+    ``staged`` and ``edges`` must be expressed in the concatenated layout of
+    ``planned`` (the caller re-indexes them when the order is permuted).
+    Each staged conjunct runs at the earliest prefix covering its columns;
+    each edge becomes hash-join keys the moment its second endpoint joins.
+    """
+    staged = list(staged)
+    edges = list(edges)
     offsets = []
     total = 0
     for w in widths:
         offsets.append(total)
         total += w
-
-    def span_of(index: int) -> int:
-        for k in range(len(children) - 1, -1, -1):
-            if index >= offsets[k]:
-                return k
-        raise AssertionError(f"column index {index} out of range")
-
-    child_filters: List[List[Pred]] = [[] for _ in children]
-    edges: List[Tuple[int, int, Pred]] = []  # (global i, global j, pred)
-    staged: List[_Conjunct] = []
-    for order, pred in enumerate(conjuncts):
-        analysis = _Conjunct(pred, order, total)
-        endpoints = _equi_endpoints(pred)
-        if endpoints is not None and span_of(endpoints[0]) != span_of(endpoints[1]):
-            edges.append((endpoints[0], endpoints[1], pred))
-            continue
-        if analysis.local is not None:
-            spans = {span_of(i) for i in analysis.local}
-            target = spans.pop() if len(spans) == 1 else None
-            if target is not None:
-                shifted = getattr(pred, "shifted", lambda _off: None)(
-                    offsets[target]
-                )
-                if shifted is not None:
-                    child_filters[target].append(shifted)
-                    continue
-        staged.append(analysis)
-
-    planned = [
-        FilterOp(child, _combine(filters)) if filters else child
-        for child, filters in zip(children, child_filters)
-    ]
 
     def apply_stage(plan: PlanNode, width: int) -> PlanNode:
         ready = [c for c in staged if c.max_local < width]
@@ -260,7 +570,7 @@ def _build_join(
 
     current = apply_stage(planned[0], widths[0])
     width = widths[0]
-    for k in range(1, len(children)):
+    for k in range(1, len(planned)):
         span_lo, span_hi = offsets[k], offsets[k] + widths[k]
         usable = [
             e

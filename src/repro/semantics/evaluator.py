@@ -36,6 +36,17 @@ are covered by a prefix of the FROM items are evaluated early, so results,
 multiplicities *and* error behaviour match Figures 5–7 bit for bit; any
 query outside that fragment falls back to the literal product-then-filter
 rule.  ``fast_from=False`` disables the fast path entirely.
+
+Because both routes are bit-identical, *which* one runs is purely a cost
+decision: the interleaved route pays a fixed per-query overhead (staged
+binders, taint bookkeeping) that only amortizes on large products, and on
+the small tables of the validation campaigns it used to bench *slower*
+than the literal rule.  The dispatch is therefore cost-based —
+``interleave_min_product`` (default 32, measured as the crossover on the
+benchmark and campaign workloads) is the estimated FROM-product size below
+which the literal route runs even with ``fast_from=True``; a FROM-subquery
+item makes the estimate unbounded, keeping the fast path.  Set it to 0 to
+force interleaving wherever the analysis allows.
 """
 
 from __future__ import annotations
@@ -129,6 +140,7 @@ class SqlSemantics:
         exists_constant: Value = 1,
         exists_label: Name = "C",
         fast_from: bool = True,
+        interleave_min_product: int = 32,
     ):
         if star_style not in (STAR_STANDARD, STAR_COMPOSITIONAL):
             raise ValueError(f"unknown star style: {star_style!r}")
@@ -139,6 +151,7 @@ class SqlSemantics:
         self.exists_constant = exists_constant
         self.exists_label = exists_label
         self.fast_from = fast_from
+        self.interleave_min_product = interleave_min_product
         # Interleaving analyses are env-independent; memoized per Select
         # node (keyed by id, with the node pinned to prevent id reuse)
         # because correlated subqueries re-enter _from_where per outer row.
@@ -351,15 +364,31 @@ class SqlSemantics:
             # total), so it is validated against the registry version.
             if len(self._interleave_cache) > 4096:
                 self._interleave_cache.clear()
-            # Pin the query object so its id cannot be reused.
-            cached = (
+            # Pin the query object so its id cannot be reused.  The last
+            # two slots memoize the per-database cost verdict below.
+            cached = [
                 query,
                 self.predicates.version,
                 self._interleave_analysis(query, scope),
-            )
+                None,
+                False,
+            ]
             self._interleave_cache[id(query)] = cached
         analysis = cached[2]
         if analysis is None:
+            return None
+        if cached[3] != id(db):
+            # Both routes are bit-identical, so this is purely a cost call:
+            # on a small product the staged binders and taint bookkeeping
+            # cost more than the filtering saves (the bench regression the
+            # dispatch exists to avoid).  The verdict depends only on this
+            # (query, database) pair, and correlated subqueries re-enter
+            # here per outer row, so it is memoized per database identity
+            # (a stale id hit could at worst pick the other, equally
+            # correct route).
+            cached[3] = id(db)
+            cached[4] = self._product_worth_interleaving(query.from_items, db)
+        if not cached[4]:
             return None
         staged, residual, prefix_end = analysis
         from_items = query.from_items
@@ -435,6 +464,28 @@ class SqlSemantics:
             if self.eval_condition(residual_cond, db, revised).is_true and not taint:
                 survivors.append((record, count, revised))
         return survivors
+
+    def _product_worth_interleaving(
+        self, from_items: Tuple[FromItem, ...], db: Database
+    ) -> bool:
+        """Whether the FROM product is big enough to amortize interleaving.
+
+        Multiplies the bound sizes of the base-table items; a FROM-subquery
+        makes the product unbounded a priori (its bag is not known before
+        evaluation), so it always qualifies.  Compared against
+        ``interleave_min_product``.
+        """
+        threshold = self.interleave_min_product
+        if threshold <= 0:
+            return True
+        estimate = 1
+        for item in from_items:
+            if not item.is_base_table:
+                return True
+            estimate *= len(db.table(item.table).bag)
+            if estimate >= threshold:
+                return True
+        return False
 
     def _staged_truth(
         self,

@@ -81,9 +81,11 @@ class DifferentialRunner:
         )
         self.semantics = SqlSemantics(self.schema)
         self.ra = RASemantics(self.schema)
+        # Fresh query per trial: plan-cache lookups can never hit, so the
+        # cache is disabled (see ValidationRunner for the measurement).
         self.engines = {
-            "engine:postgres": Engine(self.schema, "postgres"),
-            "engine:oracle": Engine(self.schema, "oracle"),
+            "engine:postgres": Engine(self.schema, "postgres", plan_cache_size=0),
+            "engine:oracle": Engine(self.schema, "oracle", plan_cache_size=0),
         }
         self.translators = {
             "2vl:conflating": TwoValuedTranslator(self.schema, "conflating"),

@@ -1,0 +1,119 @@
+"""Per-trial timing percentiles and the ``repro report`` checkpoint renderer."""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    Aggregator,
+    CampaignSpec,
+    run_campaign,
+    summarize_checkpoint,
+)
+from repro.campaigns.aggregate import percentile
+from repro.cli import main
+
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+
+
+# -- percentiles --------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(values, 0.50) == 5.0
+    assert percentile(values, 0.95) == 10.0
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.5], 0.99) == 7.5
+
+
+def test_aggregator_collects_ms_and_ignores_garbage():
+    aggregator = Aggregator("x", 0, 3)
+    aggregator.add({"seed": 0, "code": 1, "ms": 2.0})
+    aggregator.add({"seed": 1, "code": 1, "ms": "fast"})  # malformed: skipped
+    aggregator.add({"seed": 2, "code": 1})  # legacy record without timing
+    result = aggregator.finalize()
+    assert result.completed == 3
+    assert result.timing_ms["p50"] == 2.0
+
+
+def test_campaign_results_carry_timing_percentiles():
+    result = run_campaign(SPEC, trials=25, base_seed=0, jobs=1)
+    assert set(result.timing_ms) == {"p50", "p95", "p99"}
+    assert 0 < result.timing_ms["p50"] <= result.timing_ms["p99"]
+    assert "p50=" in result.summary()
+    assert result.to_json()["timing_ms"] == result.timing_ms
+
+
+# -- checkpoint summarization -------------------------------------------------
+
+
+def test_summarize_checkpoint_matches_live_run(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    live = run_campaign(SPEC, trials=30, base_seed=10, jobs=1, checkpoint=path)
+    header, aggregator = summarize_checkpoint(path)
+    summarized = aggregator.finalize()
+    assert header["base_seed"] == 10
+    assert summarized.outcome_digest == live.outcome_digest
+    assert summarized.completed == 30
+    assert summarized.timing_ms  # ms fields round-tripped through the file
+    assert not aggregator.pending_seeds()
+
+
+def test_summarize_checkpoint_reports_pending(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    run_campaign(SPEC, trials=10, base_seed=0, jobs=1, checkpoint=path)
+    with open(path) as handle:
+        lines = handle.readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[:6])  # header + 5 records
+    _header, aggregator = summarize_checkpoint(path)
+    assert aggregator.completed == 5
+    assert len(aggregator.pending_seeds()) == 5
+
+
+def test_summarize_checkpoint_rejects_headerless_file(tmp_path):
+    path = tmp_path / "junk.jsonl"
+    path.write_text('{"seed": 0, "code": 1}\n')
+    with pytest.raises(ValueError):
+        summarize_checkpoint(str(path))
+
+
+# -- the report command -------------------------------------------------------
+
+
+def test_report_command_renders_checkpoint(tmp_path, capsys):
+    path = str(tmp_path / "c.jsonl")
+    live = run_campaign(SPEC, trials=20, base_seed=0, jobs=2, checkpoint=path)
+    assert main(["report", path]) == 0
+    out = capsys.readouterr().out
+    assert live.outcome_digest in out
+    assert "20 recorded, 0 pending" in out
+    assert "latency: p50=" in out
+    assert "rate 100.0000%" in out
+
+
+def test_report_command_exits_nonzero_on_mismatch(tmp_path, capsys):
+    path = tmp_path / "c.jsonl"
+    header = {
+        "schema": "campaign-checkpoint/v1",
+        "spec": {"kind": "validation", "variant": "postgres"},
+        "base_seed": 0,
+        "trials": 2,
+    }
+    records = [
+        {"seed": 0, "code": 1, "ms": 1.0},
+        {"seed": 1, "code": 3, "detail": "seed 1: engine disagrees", "ms": 2.0},
+    ]
+    path.write_text(
+        "\n".join(json.dumps(doc) for doc in [header] + records) + "\n"
+    )
+    assert main(["report", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "1 mismatch" in captured.out
+    assert "seed 1: engine disagrees" in captured.err
+
+
+def test_report_command_rejects_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", str(tmp_path / "nope.jsonl")])

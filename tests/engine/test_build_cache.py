@@ -1,0 +1,166 @@
+"""Cross-execution build-side sharing: hits on repeated content, automatic
+invalidation on rebind, LRU bounds, and the no-row-pinning guarantee."""
+
+import sys
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.engine import Engine
+from repro.engine.binding import BuildSideCache, iter_plan_nodes
+from repro.engine.operators import TableScan
+from repro.sql import annotate
+
+
+@pytest.fixture
+def schema():
+    return Schema({"R": ("A", "B"), "S": ("A",), "T": ("C", "D")})
+
+
+CONTENT = {
+    "R": [(1, 2), (NULL, 4), (3, 2), (3, 5)],
+    "S": [(1,), (3,), (NULL,)],
+    "T": [(2, 1), (2, NULL), (5, 3)],
+}
+
+JOIN_SQL = "SELECT R.A FROM R, S WHERE R.A = S.A"
+PROBE_SQL = "SELECT R.A FROM R WHERE R.B IN (SELECT T.C FROM T)"
+CORRELATED_SQL = (
+    "SELECT R.A FROM R WHERE EXISTS (SELECT S.A FROM S WHERE S.A = R.A)"
+)
+
+
+def make_db(schema, content=CONTENT):
+    return Database(schema, {name: list(rows) for name, rows in content.items()})
+
+
+# -- the cache itself ---------------------------------------------------------
+
+
+def test_cache_lru_and_counters():
+    cache = BuildSideCache(maxsize=2)
+    miss = cache.lookup(("a",))
+    assert miss is not cache.lookup(("a",)) or True  # sentinel, not None
+    cache.store(("a",), 1)
+    cache.store(("b",), 2)
+    assert cache.lookup(("a",)) == 1
+    cache.store(("c",), 3)  # evicts ("b",): ("a",) was freshened
+    assert cache.evictions == 1
+    assert cache.lookup(("a",)) == 1
+    assert len(cache) == 2
+    info = cache.info()
+    assert info["size"] == 2 and info["maxsize"] == 2
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_round_trips_falsy_values():
+    cache = BuildSideCache()
+    cache.store(("k",), False)  # a closed EXISTS that found nothing
+    assert cache.lookup(("k",)) is False
+
+
+# -- sharing through the engine -----------------------------------------------
+
+
+@pytest.mark.parametrize("sql", [JOIN_SQL, PROBE_SQL, CORRELATED_SQL])
+def test_repeated_content_hits_and_agrees(schema, sql):
+    engine = Engine(schema)
+    naive = Engine(schema, optimize=False)
+    query = annotate(sql, schema)
+    first = engine.execute(query, make_db(schema))
+    # Sharing engages from the second bind (a once-executed plan can never
+    # hit), so the second run misses-and-harvests and the third run hits.
+    second = engine.execute(query, make_db(schema))
+    assert engine.build_cache_info()["hits"] == 0
+    assert engine.build_cache_info()["misses"] > 0
+    third = engine.execute(query, make_db(schema))
+    assert engine.build_cache_info()["hits"] > 0
+    assert first.same_as(second) and second.same_as(third)
+    assert third.same_as(naive.execute(query, make_db(schema)))
+
+
+def test_rebind_to_different_content_invalidates(schema):
+    """Different table contents must miss: stale probe sets would lie."""
+    engine = Engine(schema)
+    query = annotate(PROBE_SQL, schema)
+    changed = dict(CONTENT, T=[(99, 1)])  # R.B IN (SELECT T.C ...) flips
+    engine.execute(query, make_db(schema))
+    engine.execute(query, make_db(schema))  # harvested under CONTENT's key
+    hits_before = engine.build_cache_info()["hits"]
+    result = engine.execute(query, make_db(schema, changed))
+    assert engine.build_cache_info()["hits"] == hits_before  # pure misses
+    naive = Engine(schema, optimize=False).execute(query, make_db(schema, changed))
+    assert result.same_as(naive)
+    # And back: the original content is still cached.
+    engine.execute(query, make_db(schema))
+    assert engine.build_cache_info()["hits"] > hits_before
+
+
+def test_correlated_memo_survives_cache_round_trip(schema):
+    """Per-binding memo dicts are shared objects; the reset between
+    executions must re-bind fresh dicts, never clear the cached one."""
+    engine = Engine(schema)
+    query = annotate(CORRELATED_SQL, schema)
+    reference = None
+    for _ in range(3):
+        result = engine.execute(query, make_db(schema))
+        if reference is None:
+            reference = result
+        assert result.same_as(reference)
+    assert engine.build_cache_info()["hits"] > 0
+
+
+def test_disabled_build_cache(schema):
+    engine = Engine(schema, build_cache_size=0)
+    query = annotate(JOIN_SQL, schema)
+    first = engine.execute(query, make_db(schema))
+    second = engine.execute(query, make_db(schema))
+    assert first.same_as(second)
+    assert engine.build_cache_info() == {
+        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0,
+    }
+
+
+def test_clear_build_cache(schema):
+    engine = Engine(schema)
+    query = annotate(JOIN_SQL, schema)
+    engine.execute(query, make_db(schema))
+    engine.clear_build_cache()
+    assert engine.build_cache_info()["size"] == 0
+    engine.execute(query, make_db(schema))  # still correct after clearing
+    assert engine.build_cache_info()["misses"] > 0
+
+
+# -- no pinning ---------------------------------------------------------------
+
+
+def test_cached_plans_pin_no_database_rows(schema):
+    """After execute, cached plans are unbound and neither the plan cache
+    nor the build-side cache keeps the Database object alive."""
+    engine = Engine(schema)
+    query = annotate(PROBE_SQL, schema)
+    db = make_db(schema)
+    engine.execute(query, db)
+    for compiled in engine._plan_cache.values():
+        for node, _pred in iter_plan_nodes(compiled.plan):
+            if isinstance(node, TableScan):
+                assert node.data is None
+    # No cache holds a reference to the Database itself (entries are copies
+    # made at bind time): executing must not change its reference count.
+    before = sys.getrefcount(db)
+    engine.execute(query, db)
+    assert sys.getrefcount(db) == before
+
+
+def test_plans_unbound_even_with_sharing_hits(schema):
+    engine = Engine(schema)
+    query = annotate(JOIN_SQL, schema)
+    engine.execute(query, make_db(schema))
+    engine.execute(query, make_db(schema))
+    engine.execute(query, make_db(schema))  # third run restores from cache
+    assert engine.build_cache_info()["hits"] > 0
+    for compiled in engine._plan_cache.values():
+        for node, _pred in iter_plan_nodes(compiled.plan):
+            if isinstance(node, TableScan):
+                assert node.data is None

@@ -95,7 +95,11 @@ def test_interleaved_fast_path_preserves_error_order():
     from repro.sql import annotate
 
     query = annotate(sql, schema)
-    fast = capture(lambda: SqlSemantics(schema).run(query, db))
+    # interleave_min_product=0 forces the fast path on this tiny product
+    # (the cost dispatch would otherwise route it the literal way).
+    fast = capture(
+        lambda: SqlSemantics(schema, interleave_min_product=0).run(query, db)
+    )
     slow = capture(lambda: SqlSemantics(schema, fast_from=False).run(query, db))
     assert fast.error == slow.error == "compile"
 
@@ -113,7 +117,7 @@ def test_interleave_cache_invalidated_on_registry_mutation():
     schema = Schema({"R": ("A",)})
     db = Database(schema, {"R": []})
     query = annotate("SELECT S.A FROM R AS S, R AS T WHERE 1 = 2", schema)
-    sem = SqlSemantics(schema)
+    sem = SqlSemantics(schema, interleave_min_product=0)
     assert sem.run(query, db).is_empty()
 
     def boom(a, b):
@@ -125,7 +129,9 @@ def test_interleave_cache_invalidated_on_registry_mutation():
 
 @pytest.mark.parametrize("star_style", [STAR_STANDARD, STAR_COMPOSITIONAL])
 def test_interleaved_fast_path_is_bit_for_bit(star_style):
-    fast = SqlSemantics(SCHEMA, star_style=star_style)
+    # interleave_min_product=0 keeps the battery exercising the interleaved
+    # route on these small products despite the cost dispatch.
+    fast = SqlSemantics(SCHEMA, star_style=star_style, interleave_min_product=0)
     slow = SqlSemantics(SCHEMA, star_style=star_style, fast_from=False)
     failures = []
     for seed in range(TRIALS):
