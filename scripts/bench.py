@@ -56,6 +56,17 @@ outcome digests are identical.  On a single-core container the speedup is
 ~1x by construction; the point of the record is the trajectory on real
 hardware.
 
+Distributed stage (merged into ``BENCH_campaign.json``)
+--------------------------------------------------------
+``distributed`` splits one validation campaign across
+``--distributed-workers`` real ``repro work`` subprocesses (file-based
+mode, one lease each, coordinated by
+:class:`repro.campaigns.FileCoordinator`), merges their checkpoints, and
+asserts the merged ``outcome_digest`` is bit-identical to the same
+campaign run serially in-process.  A mismatch (or a failed worker) makes
+the script exit non-zero, so CI gates on the distributed path with
+``--stages distributed``.
+
 ``--stages`` selects a comma-separated subset (default: every stage), so
 CI can run the cheap stages only, e.g.::
 
@@ -102,6 +113,7 @@ from repro.semantics import STAR_COMPOSITIONAL, SqlSemantics  # noqa: E402
 from repro.sql import parse_query, print_query  # noqa: E402
 
 CAMPAIGN_STAGE = "campaign"
+DISTRIBUTED_STAGE = "distributed"
 
 
 def run_semantics(semantics, pairs):
@@ -350,6 +362,98 @@ def bench_campaign(trials: int, jobs: int, rows: int, out_path: str) -> dict:
     return doc
 
 
+def bench_distributed(trials: int, workers: int, rows: int, out_path: str) -> bool:
+    """File-based distributed campaign vs the same campaign run serially.
+
+    Spawns ``workers`` real ``repro work`` subprocesses (one lease each),
+    merges their checkpoints through the coordinator, and records the
+    digest comparison in the ``distributed`` section of ``out_path``
+    (created if the campaign stage has not run).  Returns False when the
+    digests differ or any worker fails.
+    """
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+
+    from repro.campaigns import FileCoordinator
+
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=rows)
+    print(f"distributed: {trials} trials, serial reference run ...")
+    serial = run_campaign(spec, trials=trials, base_seed=0, jobs=1)
+    tmp = tempfile.mkdtemp(prefix="repro-distributed-")
+    try:
+        coordinator = FileCoordinator(
+            spec,
+            trials=trials,
+            base_seed=0,
+            workers=[f"w{i + 1}" for i in range(workers)],
+            out_dir=tmp,
+            python=sys.executable,
+        )
+        plan = coordinator.plan()
+        print(
+            f"distributed: {len(plan)} lease(s) across {workers} "
+            "worker subprocess(es) ..."
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        started = time.perf_counter()
+        procs = [
+            subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL)
+            for _lease, argv in plan
+        ]
+        exit_codes = [proc.wait() for proc in procs]
+        elapsed = time.perf_counter() - started
+        # A failed worker leaves its lease incomplete forever — don't sit
+        # out the wait timeout or crash in merge(); record the failure.
+        complete = all(code == 0 for code in exit_codes) and coordinator.wait(
+            poll_s=0.1, timeout_s=60
+        )
+        merged = None
+        if complete:
+            merged = coordinator.merge()
+        coordinator.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    match = merged is not None and merged.outcome_digest == serial.outcome_digest
+    doc = {}
+    path = Path(out_path)
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+    doc.setdefault("schema", "bench-campaign/v1")
+    doc["distributed"] = {
+        "trials": trials,
+        "workers": workers,
+        "rows": rows,
+        "worker_exit_codes": exit_codes,
+        "elapsed_s": round(elapsed, 3),
+        "trials_per_sec": round(trials / elapsed, 1) if elapsed > 0 else 0.0,
+        "serial_trials_per_sec": round(serial.trials_per_sec, 1),
+        "duplicates": merged.duplicates if merged is not None else 0,
+        "digest_match": match,
+        "outcome_digest": merged.outcome_digest if merged is not None else "",
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    ok = match and complete
+    print(
+        f"distributed: {workers} workers, {trials / elapsed:.0f} trials/s "
+        f"end-to-end, "
+        + (
+            f"digests {'match' if match else 'DIFFER'}"
+            if complete
+            else f"INCOMPLETE (worker exit codes {exit_codes})"
+        )
+        + f" -> {out_path}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5, help="rounds per stage")
@@ -372,6 +476,14 @@ def main(argv=None) -> int:
         help="row cap for campaign trial databases",
     )
     parser.add_argument(
+        "--distributed-trials", type=int, default=600,
+        help="trials for the distributed stage",
+    )
+    parser.add_argument(
+        "--distributed-workers", type=int, default=3,
+        help="worker subprocesses for the distributed stage",
+    )
+    parser.add_argument(
         "--out",
         default=str(_ROOT / "BENCH_engine.json"),
         help="engine-stage output JSON path",
@@ -383,9 +495,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE}
+    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE, DISTRIBUTED_STAGE}
     if args.stages is None:
-        selected = list(ENGINE_STAGES) + [CAMPAIGN_STAGE]
+        selected = list(ENGINE_STAGES) + [CAMPAIGN_STAGE, DISTRIBUTED_STAGE]
     else:
         selected = [name.strip() for name in args.stages.split(",") if name.strip()]
         unknown = [name for name in selected if name not in known]
@@ -399,7 +511,7 @@ def main(argv=None) -> int:
 
     results = {}
     for name in selected:
-        if name == CAMPAIGN_STAGE:
+        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE):
             continue
         fn = stages[name]
         fn()  # warm-up (also populates any lazy caches outside the timing)
@@ -456,8 +568,23 @@ def main(argv=None) -> int:
             args.campaign_rows,
             args.campaign_out,
         )
+    distributed_ok = True
+    if DISTRIBUTED_STAGE in selected:
+        distributed_ok = bench_distributed(
+            args.distributed_trials,
+            args.distributed_workers,
+            args.campaign_rows,
+            args.campaign_out,
+        )
     if not digests_ok:
         print("FATAL: optimizer ablation digests disagree", file=sys.stderr)
+        return 1
+    if not distributed_ok:
+        print(
+            "FATAL: distributed campaign digest/workers disagree with the "
+            "serial run",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

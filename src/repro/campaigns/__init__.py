@@ -21,7 +21,13 @@ the single execution core all of those experiments run on:
   uninterrupted run;
 * **flat-memory aggregation** (:mod:`repro.campaigns.aggregate`) — counters
   plus one outcome byte per seed, summarized by a SHA-256 digest, so paper
-  scale costs ~100 kB of aggregate state.
+  scale costs ~100 kB of aggregate state;
+* **distributed coordination** (:mod:`repro.campaigns.distributed`) — a
+  coordinator partitions the seed range into leases (journaled, re-issued
+  on worker timeout) and merges the workers' checkpoint files
+  (:func:`merge_checkpoints`) into an aggregate bit-identical to a
+  single-machine run; ``repro coordinate`` / ``repro work`` are the CLI,
+  with file-based (shared directory) and HTTP transports.
 
 Paper-scale invocation (Section 4, PostgreSQL variant)::
 
@@ -45,9 +51,23 @@ from .backends import (
 )
 from .checkpoint import (
     CHECKPOINT_SCHEMA,
+    CheckpointConflict,
     CheckpointWriter,
     load_checkpoint,
+    merge_checkpoints,
     summarize_checkpoint,
+    summarize_merged,
+)
+from .distributed import (
+    LEASE_SCHEMA,
+    Coordinator,
+    CoordinatorServer,
+    FileCoordinator,
+    Lease,
+    load_journal,
+    partition_leases,
+    work_command,
+    work_remote,
 )
 from .executor import plan_shards, run_campaign
 
@@ -58,10 +78,22 @@ __all__ = [
     "ValidationBackend",
     "DifferentialBackend",
     "RunnerBackend",
+    "CheckpointConflict",
     "CheckpointWriter",
     "load_checkpoint",
+    "merge_checkpoints",
     "summarize_checkpoint",
+    "summarize_merged",
     "CHECKPOINT_SCHEMA",
+    "LEASE_SCHEMA",
+    "Coordinator",
+    "CoordinatorServer",
+    "FileCoordinator",
+    "Lease",
+    "load_journal",
+    "partition_leases",
+    "work_command",
+    "work_remote",
     "plan_shards",
     "run_campaign",
     "CODE_AGREE",

@@ -161,6 +161,13 @@ class Aggregator:
             )
         return True
 
+    def code_at(self, seed: int) -> int:
+        """The folded outcome code for ``seed`` (0 when pending/out of range)."""
+        index = seed - self.base_seed
+        if 0 <= index < self.trials:
+            return self.codes[index]
+        return 0
+
     def pending_seeds(self) -> List[int]:
         """The seeds not yet folded in, in ascending order."""
         base = self.base_seed

@@ -24,22 +24,51 @@ any other.
 Resuming (:func:`repro.campaigns.run_campaign` with ``resume=True``) loads
 the records, verifies the header matches the requested spec and base seed,
 folds the completed seeds into the aggregate, and only runs what is left.
+
+Merging
+-------
+
+Because records are keyed by seed and aggregation is order-independent,
+checkpoints written by *different* workers compose: :func:`merge_checkpoints`
+folds any number of files covering sub-ranges of one campaign into a single
+:class:`~repro.campaigns.aggregate.CampaignResult` whose ``outcome_digest``
+is bit-identical to a single-machine run of the whole range.  Duplicate
+records for a seed (an overlap between a killed worker's partial file and
+the re-issued lease's complete one) are deduplicated — trials are seed-pure,
+so any record for a seed equals any other; two records that *disagree* on a
+seed's outcome code can only mean corruption and raise
+:class:`CheckpointConflict`.  This is the foundation of the distributed
+coordinator (:mod:`repro.campaigns.distributed`).
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "CheckpointConflict",
     "CheckpointWriter",
     "load_checkpoint",
+    "merge_checkpoints",
+    "read_jsonl",
     "summarize_checkpoint",
+    "summarize_merged",
 ]
 
 CHECKPOINT_SCHEMA = "campaign-checkpoint/v1"
+
+
+class CheckpointConflict(ValueError):
+    """Two checkpoint records claim the same seed with different codes.
+
+    Trials are pure functions of their seed, so honest re-runs always
+    reproduce the same record; a conflict means one of the files is
+    corrupted (or was produced by a different spec smuggled under the
+    same header) and the merge must not silently pick a side.
+    """
 
 
 class CheckpointWriter:
@@ -84,14 +113,16 @@ class CheckpointWriter:
         self.close()
 
 
-def load_checkpoint(
-    path: str,
+def read_jsonl(
+    path: str, keep
 ) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
-    """Read ``(header, records)`` from a checkpoint file.
+    """Forgiving JSONL reader shared by checkpoints and lease journals.
 
-    Returns ``(None, [])`` when the file does not exist.  Unparsable lines
-    (for example the torn last line of a killed run) are skipped; lines
-    without an integer ``seed`` and ``code`` are ignored as malformed.
+    ``(header, records)`` where the header is line 0 when it is an object
+    with a ``schema`` key, and ``keep(payload)`` filters the remaining
+    lines.  Returns ``(None, [])`` for a missing file; blank, unparsable
+    (torn) and non-object lines are skipped — the single place the
+    torn-line tolerance rules live.
     """
     if not os.path.exists(path):
         return None, []
@@ -109,13 +140,25 @@ def load_checkpoint(
             if i == 0 and isinstance(payload, dict) and "schema" in payload:
                 header = payload
                 continue
-            if (
-                isinstance(payload, dict)
-                and isinstance(payload.get("seed"), int)
-                and isinstance(payload.get("code"), int)
-            ):
+            if isinstance(payload, dict) and keep(payload):
                 records.append(payload)
     return header, records
+
+
+def load_checkpoint(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """Read ``(header, records)`` from a checkpoint file.
+
+    Returns ``(None, [])`` when the file does not exist.  Unparsable lines
+    (for example the torn last line of a killed run) are skipped; lines
+    without an integer ``seed`` and ``code`` are ignored as malformed.
+    """
+    return read_jsonl(
+        path,
+        lambda payload: isinstance(payload.get("seed"), int)
+        and isinstance(payload.get("code"), int),
+    )
 
 
 def summarize_checkpoint(path: str):
@@ -137,15 +180,136 @@ def summarize_checkpoint(path: str):
         raise ValueError(
             f"{path}: not a campaign checkpoint (no {CHECKPOINT_SCHEMA} header)"
         )
-    spec = header.get("spec") or {}
-    label = (
-        spec.get("variant")
-        if spec.get("kind") == "validation"
-        else spec.get("kind") or spec.get("label")
-    ) or "campaign"
+    label = _spec_label(header.get("spec") or {})
     base_seed = int(header.get("base_seed", 0))
     trials = int(header.get("trials", len(records)))
     aggregator = Aggregator(label, base_seed, trials)
     for record in records:
         aggregator.add(record)
     return header, aggregator
+
+
+def _spec_label(spec: Dict[str, object]) -> str:
+    """The report label a spec dict implies (mirrors ``CampaignSpec.label``)."""
+    return (
+        spec.get("variant")
+        if spec.get("kind") == "validation"
+        else spec.get("kind") or spec.get("label")
+    ) or "campaign"
+
+
+def _merge(
+    paths: Sequence[str],
+    base_seed: Optional[int],
+    trials: Optional[int],
+    collect_records: bool,
+):
+    """Shared merge core: ``(merged_header, Aggregator, deduped records)``.
+
+    Every path must exist, carry a header, and agree on ``spec`` with the
+    others; ``base_seed``/``trials`` may differ per file (workers checkpoint
+    sub-ranges).  The merged span defaults to the union of the files' spans
+    — pass ``base_seed``/``trials`` explicitly to pin the campaign's full
+    range, so seeds no file covers stay visibly pending (and change the
+    digest) instead of silently shrinking the campaign.
+    """
+    from .aggregate import Aggregator
+
+    if not paths:
+        raise ValueError("merge_checkpoints needs at least one checkpoint path")
+    loaded = []
+    spec: Optional[Dict[str, object]] = None
+    for path in paths:
+        if not os.path.exists(path):
+            raise ValueError(f"{path}: no such checkpoint file")
+        header, records = load_checkpoint(path)
+        if header is None:
+            raise ValueError(
+                f"{path}: not a campaign checkpoint "
+                f"(no {CHECKPOINT_SCHEMA} header)"
+            )
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"{path}: checkpoint schema {header.get('schema')!r} is not "
+                f"{CHECKPOINT_SCHEMA!r}"
+            )
+        if spec is None:
+            spec = header.get("spec") or {}
+        elif (header.get("spec") or {}) != spec:
+            raise ValueError(
+                f"{path}: checkpoint spec {header.get('spec')!r} differs from "
+                f"{spec!r} in {paths[0]}; refusing to merge different campaigns"
+            )
+        loaded.append((path, header, records))
+
+    if base_seed is None:
+        base_seed = min(int(header["base_seed"]) for _p, header, _r in loaded)
+    if trials is None:
+        end = max(
+            int(header["base_seed"]) + int(header["trials"])
+            for _p, header, _r in loaded
+        )
+        trials = end - base_seed
+
+    aggregator = Aggregator(_spec_label(spec), base_seed, trials)
+    kept: List[Dict[str, object]] = []
+    for path, _header, records in loaded:
+        for record in records:
+            existing = aggregator.code_at(record["seed"])
+            if existing and record["code"] != existing:
+                raise CheckpointConflict(
+                    f"{path}: seed {record['seed']} recorded with code "
+                    f"{record['code']}, but an earlier file recorded code "
+                    f"{existing}"
+                )
+            if aggregator.add(record) and collect_records:
+                kept.append(record)
+    merged_header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "spec": spec,
+        "base_seed": base_seed,
+        "trials": trials,
+        "merged_from": len(paths),
+    }
+    return merged_header, aggregator, kept
+
+
+def summarize_merged(
+    paths: Sequence[str],
+    base_seed: Optional[int] = None,
+    trials: Optional[int] = None,
+):
+    """``(merged_header, Aggregator)`` over several checkpoints, no re-running.
+
+    The multi-file analogue of :func:`summarize_checkpoint` (used by
+    ``repro report --merge``): duplicates are deduplicated, conflicting
+    records raise :class:`CheckpointConflict`.
+    """
+    header, aggregator, _records = _merge(
+        paths, base_seed, trials, collect_records=False
+    )
+    return header, aggregator
+
+
+def merge_checkpoints(
+    paths: Sequence[str],
+    merged_path: Optional[str] = None,
+    base_seed: Optional[int] = None,
+    trials: Optional[int] = None,
+):
+    """Merge worker checkpoints into one :class:`CampaignResult`.
+
+    The aggregate is order-independent, so for files that partition a
+    campaign's seed range the result — ``outcome_digest`` included — is
+    bit-identical to running the whole campaign on one machine.  With
+    ``merged_path`` the deduplicated records are also written out as a
+    normal ``campaign-checkpoint/v1`` file (seed-sorted, so the merged
+    file is canonical), ready for ``repro report`` or further merging.
+    """
+    header, aggregator, records = _merge(
+        paths, base_seed, trials, collect_records=merged_path is not None
+    )
+    if merged_path is not None:
+        with CheckpointWriter(merged_path, header, fresh=True) as writer:
+            writer.write_records(sorted(records, key=lambda r: r["seed"]))
+    return aggregator.finalize()

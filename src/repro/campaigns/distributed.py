@@ -1,0 +1,924 @@
+"""Distributed campaigns: a coordinator/worker layer over the executor.
+
+The campaign core (:mod:`repro.campaigns.executor`) shards a seed range
+across local cores; this module takes the same contract — trials are pure
+functions of their seed, aggregation is order-independent — past one
+machine.  The division of labour:
+
+* a **coordinator** partitions the seed range ``[base_seed, base_seed +
+  trials)`` into contiguous *leases*, records their lifecycle in a lease
+  journal, and merges the workers' ``campaign-checkpoint/v1`` files into
+  one aggregate whose ``outcome_digest`` is bit-identical to a
+  single-machine run of the whole range;
+* **workers** run their leased sub-range with the unchanged
+  :func:`repro.campaigns.run_campaign` (file-based mode) or an in-process
+  backend loop (HTTP mode) and hand the records back.
+
+Two transports cover the deployment spectrum:
+
+* **file-based / offline** (:class:`FileCoordinator`) — the coordinator
+  writes the journal plus a ``plan.sh`` of ``repro work --seed-range A:B
+  --checkpoint F`` command lines; workers run them anywhere the checkpoint
+  directory is reachable (shared filesystem, rsync, artifact upload) and
+  the coordinator polls the files, re-issues leases whose worker went
+  silent, and merges.  No network path between the processes is required.
+* **HTTP** (:class:`Coordinator` + :class:`CoordinatorServer` +
+  :func:`work_remote`) — ``repro coordinate --serve PORT`` serves leases
+  over a tiny stdlib JSON protocol and ``repro work --coordinator URL``
+  polls for them, so workers on other hosts need nothing but the URL.
+
+Fault tolerance is lease re-issue plus deduplicating merge: a lease whose
+worker misses its deadline is marked expired in the journal and handed out
+again; if the first worker was merely slow, both sets of records arrive
+and the duplicates collapse (trials are seed-pure, so any record for a
+seed equals any other).  Records that *disagree* raise
+:class:`~repro.campaigns.checkpoint.CheckpointConflict` — corruption must
+not be merged silently.
+
+Lease journal (``campaign-leases/v1``)
+--------------------------------------
+
+Line 1 is a JSON header::
+
+    {"schema": "campaign-leases/v1", "spec": {...}, "base_seed": 0,
+     "trials": 100000, "lease_trials": 500}
+
+Every other line is one lifecycle event::
+
+    {"event": "issue", "lease": "lease-0003.a1", "lo": 1500, "hi": 2000,
+     "worker": "w1", "attempt": 1, "checkpoint": ".../lease-0003.a1.w1.jsonl",
+     "t": 1700000000.0}
+    {"event": "complete", "lease": "lease-0003.a1", "t": ...}
+    {"event": "expire", "lease": "lease-0003.a1", "reason": "timeout", "t": ...}
+
+The journal is append-only and torn-line tolerant (same reader rules as
+checkpoints), so a killed coordinator resumes by replaying it: live leases
+stay assigned, expired ranges are re-issued, and the merge re-reads the
+worker checkpoint files themselves — the journal carries no trial records.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import shlex
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .aggregate import Aggregator, CampaignResult
+from .backends import CampaignSpec
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointConflict,
+    CheckpointWriter,
+    load_checkpoint,
+    merge_checkpoints,
+    read_jsonl,
+)
+
+__all__ = [
+    "LEASE_SCHEMA",
+    "Lease",
+    "Coordinator",
+    "CoordinatorServer",
+    "FileCoordinator",
+    "partition_leases",
+    "load_journal",
+    "work_command",
+    "work_remote",
+]
+
+LEASE_SCHEMA = "campaign-leases/v1"
+
+#: Default seconds a lease may stay unfinished before it is re-issued.
+DEFAULT_LEASE_TIMEOUT_S = 600.0
+
+
+def partition_leases(
+    base_seed: int,
+    trials: int,
+    parts: Optional[int] = None,
+    lease_trials: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges covering ``[base_seed, base_seed+trials)``.
+
+    ``lease_trials`` fixes the range size directly; otherwise the span is
+    split into ``parts`` equal pieces (the last may be shorter).
+    """
+    if trials <= 0:
+        return []
+    if lease_trials is None:
+        lease_trials = math.ceil(trials / max(1, parts or 1))
+    lease_trials = max(1, lease_trials)
+    end = base_seed + trials
+    return [
+        (lo, min(lo + lease_trials, end))
+        for lo in range(base_seed, end, lease_trials)
+    ]
+
+
+@dataclass
+class Lease:
+    """One issued sub-range of a campaign's seed span."""
+
+    lease_id: str
+    lo: int
+    hi: int  # exclusive
+    worker: str = ""
+    attempt: int = 1
+    checkpoint: Optional[str] = None
+    state: str = "issued"  # issued | completed | expired
+    issued_at: float = 0.0
+
+    @property
+    def trials(self) -> int:
+        return self.hi - self.lo
+
+    def seeds(self) -> range:
+        return range(self.lo, self.hi)
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.lease_id,
+            "lo": self.lo,
+            "hi": self.hi,
+            "worker": self.worker,
+            "attempt": self.attempt,
+        }
+        if self.checkpoint is not None:
+            payload["checkpoint"] = self.checkpoint
+        return payload
+
+
+def load_journal(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """Read ``(header, events)`` from a lease journal (same forgiving rules
+    as checkpoints: torn or malformed lines are skipped)."""
+    return read_jsonl(
+        path, lambda payload: isinstance(payload.get("event"), str)
+    )
+
+
+def work_command(
+    spec: CampaignSpec, lease: Lease, python: str = "python"
+) -> List[str]:
+    """The ``repro work`` argv that executes ``lease`` offline.
+
+    The worker reuses :func:`repro.campaigns.run_campaign` unchanged —
+    ``--seed-range`` maps to ``base_seed``/``trials``, ``--resume`` makes
+    re-running the same command after a crash continue its own file.
+    """
+    argv = [
+        python,
+        "-m",
+        "repro",
+        "work",
+        "--seed-range",
+        f"{lease.lo}:{lease.hi}",
+        "--checkpoint",
+        str(lease.checkpoint),
+        "--kind",
+        spec.kind,
+        "--variant",
+        spec.variant,
+        "--rows",
+        str(spec.rows),
+        "--resume",
+    ]
+    if spec.tables is not None:
+        argv[-1:-1] = ["--tables", str(spec.tables)]
+    return argv
+
+
+class Coordinator:
+    """Transport-agnostic lease bookkeeping + merging for one campaign.
+
+    Thread-safe (the HTTP server drives it from handler threads).  The
+    coordinator owns the campaign's :class:`Aggregator`; records submitted
+    for any lease — live, expired, or unknown — are folded in with
+    duplicate seeds deduplicated and conflicting ones rejected, so a slow
+    worker racing its re-issued lease is harmless.  With ``checkpoint``
+    the accepted records are also streamed to a normal
+    ``campaign-checkpoint/v1`` file (and ``resume=True`` folds an existing
+    one back in before handing out leases).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        trials: int,
+        base_seed: int = 0,
+        lease_trials: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.spec = spec
+        self.trials = trials
+        self.base_seed = base_seed
+        self.lease_timeout_s = lease_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._active: Dict[str, Lease] = {}
+        self._completed: List[Lease] = []
+        self._workers: set = set()
+        self.aggregator = Aggregator(spec.label, base_seed, trials)
+
+        self.resumed_trials = 0
+        self._writer: Optional[CheckpointWriter] = None
+        if checkpoint is not None:
+            header = {
+                "schema": CHECKPOINT_SCHEMA,
+                "spec": spec.to_json(),
+                "base_seed": base_seed,
+                "trials": trials,
+            }
+            fresh = True
+            if resume:
+                existing, records = load_checkpoint(checkpoint)
+                if existing is not None:
+                    if existing.get("spec") != header["spec"] or existing.get(
+                        "base_seed"
+                    ) != base_seed:
+                        raise ValueError(
+                            f"{checkpoint}: existing checkpoint belongs to a "
+                            "different campaign"
+                        )
+                    for record in records:
+                        if self.aggregator.add(record):
+                            self.resumed_trials += 1
+                    fresh = False
+            self._writer = CheckpointWriter(checkpoint, header, fresh=fresh)
+
+        if lease_trials is None:
+            lease_trials = min(500, max(1, trials))
+        pending = [
+            (lo, hi)
+            for lo, hi in partition_leases(
+                base_seed, trials, lease_trials=lease_trials
+            )
+            if any(self.aggregator.code_at(seed) == 0 for seed in range(lo, hi))
+        ]
+        self._pending = deque(pending)
+
+        self._journal: Optional[CheckpointWriter] = None
+        if journal_path is not None:
+            self._journal = CheckpointWriter(
+                journal_path,
+                {
+                    "schema": LEASE_SCHEMA,
+                    "spec": spec.to_json(),
+                    "base_seed": base_seed,
+                    "trials": trials,
+                    "lease_trials": lease_trials,
+                },
+                fresh=not resume,
+            )
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    def acquire(self, worker: str) -> Optional[Lease]:
+        """Hand out the next pending range, or None when none is pending.
+
+        Expired leases are recycled first, so a worker joining late picks
+        up a dead worker's range before anything new.
+        """
+        with self._lock:
+            self._workers.add(worker)
+            self._expire_stale_locked()
+            if not self._pending:
+                return None
+            lo, hi = self._pending.popleft()
+            self._seq += 1
+            lease = Lease(
+                lease_id=f"lease-{self._seq:04d}",
+                lo=lo,
+                hi=hi,
+                worker=worker,
+                issued_at=self._clock(),
+            )
+            self._active[lease.lease_id] = lease
+            self._journal_event(
+                "issue",
+                lease=lease.lease_id,
+                lo=lo,
+                hi=hi,
+                worker=worker,
+                attempt=lease.attempt,
+            )
+            return lease
+
+    def submit(
+        self,
+        lease_id: str,
+        records: Sequence[Dict[str, object]],
+        worker: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Fold a lease's records in; returns acceptance counters.
+
+        Unknown or expired lease ids are accepted too — their records are
+        just as valid, and deduplication handles any overlap with the
+        re-issued lease.  :class:`CheckpointConflict` is raised at the
+        first record that contradicts an already-folded outcome (records
+        checked *and* added are interleaved, so a batch that contradicts
+        itself is caught too); the valid records folded before the
+        conflict stay folded and checkpointed.
+        """
+        with self._lock:
+            if worker is not None:
+                self._workers.add(worker)
+            accepted = []
+            conflict: Optional[CheckpointConflict] = None
+            for record in records:
+                existing = self.aggregator.code_at(record["seed"])
+                if existing and record["code"] != existing:
+                    conflict = CheckpointConflict(
+                        f"lease {lease_id}: seed {record['seed']} submitted "
+                        f"with code {record['code']}, but code {existing} is "
+                        "already recorded"
+                    )
+                    break
+                if self.aggregator.add(record):
+                    accepted.append(record)
+            if self._writer is not None and accepted:
+                self._writer.write_records(accepted)
+            if conflict is not None:
+                raise conflict
+            lease = self._active.pop(lease_id, None)
+            if lease is not None:
+                lease.state = "completed"
+                self._completed.append(lease)
+                self._journal_event("complete", lease=lease_id)
+            return {
+                "accepted": len(accepted),
+                "duplicates": len(records) - len(accepted),
+                "known_lease": lease is not None,
+                "done": self._done_locked(),
+            }
+
+    def expire_stale(self) -> List[Lease]:
+        """Expire overdue leases, returning them (their ranges re-queue)."""
+        with self._lock:
+            return self._expire_stale_locked()
+
+    def _expire_stale_locked(self) -> List[Lease]:
+        now = self._clock()
+        expired = [
+            lease
+            for lease in self._active.values()
+            if now - lease.issued_at > self.lease_timeout_s
+        ]
+        for lease in expired:
+            del self._active[lease.lease_id]
+            lease.state = "expired"
+            self._pending.append((lease.lo, lease.hi))
+            self._journal_event("expire", lease=lease.lease_id, reason="timeout")
+        return expired
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done_locked()
+
+    def _done_locked(self) -> bool:
+        return self.aggregator.completed >= self.trials
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "trials": self.trials,
+                "base_seed": self.base_seed,
+                "completed": self.aggregator.completed,
+                "mismatches": len(self.aggregator.mismatches),
+                "pending_ranges": len(self._pending),
+                "active_leases": [lease.to_json() for lease in self._active.values()],
+                "workers": sorted(self._workers),
+                "done": self._done_locked(),
+            }
+
+    def result(self, elapsed_s: float = 0.0) -> CampaignResult:
+        with self._lock:
+            return self.aggregator.finalize(
+                elapsed_s=elapsed_s,
+                jobs=max(1, len(self._workers)),
+                resumed_trials=self.resumed_trials,
+            )
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        if self._journal is not None:
+            self._journal.close()
+
+    def _journal_event(self, event: str, **fields) -> None:
+        if self._journal is not None:
+            record = {"event": event, "t": round(time.time(), 3)}
+            record.update(fields)
+            self._journal.write_records([record])
+
+
+# -- HTTP transport ----------------------------------------------------------
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP front end: POST /lease, POST /submit, GET /status."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def coordinator(self) -> Coordinator:
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    def _send(self, payload: Dict[str, object], status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode() or "{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/status":
+            self._send(self.coordinator.status())
+        else:
+            self._send({"error": f"unknown path {self.path}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            payload = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send({"error": str(exc)}, 400)
+            return
+        coordinator = self.coordinator
+        if self.path == "/lease":
+            worker = str(payload.get("worker") or "anonymous")
+            lease = coordinator.acquire(worker)
+            self._send(
+                {
+                    "spec": coordinator.spec.to_json(),
+                    "lease": lease.to_json() if lease is not None else None,
+                    "done": coordinator.done,
+                }
+            )
+        elif self.path == "/submit":
+            try:
+                outcome = coordinator.submit(
+                    str(payload.get("lease")),
+                    payload.get("records") or [],
+                    worker=payload.get("worker"),
+                )
+            except CheckpointConflict as exc:
+                self._send({"error": str(exc)}, 409)
+                return
+            self._send(outcome)
+        else:
+            self._send({"error": f"unknown path {self.path}"}, 404)
+
+    def log_message(self, *_args) -> None:  # quiet by default
+        pass
+
+
+class CoordinatorServer:
+    """A threaded stdlib HTTP server wrapped around a :class:`Coordinator`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    bound address either way.  Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0):
+        self.coordinator = coordinator
+        self._httpd = ThreadingHTTPServer((host, port), _CoordinatorHandler)
+        self._httpd.coordinator = coordinator  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-coordinator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _http_json(
+    url: str, payload: Optional[Dict[str, object]] = None, timeout: float = 60.0
+) -> Dict[str, object]:
+    import urllib.request
+
+    data = None if payload is None else json.dumps(payload).encode()
+    headers = {"Content-Type": "application/json"} if data is not None else {}
+    request = urllib.request.Request(url, data=data, headers=headers)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def work_remote(
+    url: str,
+    worker: Optional[str] = None,
+    poll_s: float = 1.0,
+    max_idle_polls: Optional[int] = None,
+) -> Dict[str, object]:
+    """Worker loop for ``repro work --coordinator URL``.
+
+    Polls ``/lease``, runs each leased seed range with a backend built
+    once from the coordinator's spec, and posts the records to
+    ``/submit``; returns a summary once the coordinator reports the
+    campaign done (or after ``max_idle_polls`` consecutive empty polls).
+    A coordinator that becomes unreachable ends the loop cleanly rather
+    than crashing: the server only goes away when the campaign finished
+    or was killed, and in both cases there is nothing left to work on
+    here (an unsubmitted lease will simply be re-issued).  The summary
+    carries a ``note`` when that happens.
+    """
+    worker = worker or f"{socket.gethostname()}-{os.getpid()}"
+    url = url.rstrip("/")
+    backend = None
+    spec_json: Optional[Dict[str, object]] = None
+    leases = 0
+    trials_run = 0
+    idle = 0
+    note: Optional[str] = None
+    while True:
+        try:
+            reply = _http_json(f"{url}/lease", {"worker": worker})
+        except OSError as exc:  # URLError, refused/reset connections
+            note = f"coordinator unreachable ({exc}); stopping"
+            break
+        lease = reply.get("lease")
+        if lease is None:
+            if reply.get("done"):
+                break
+            idle += 1
+            if max_idle_polls is not None and idle >= max_idle_polls:
+                break
+            time.sleep(poll_s)
+            continue
+        idle = 0
+        if backend is None or reply.get("spec") != spec_json:
+            spec_json = reply["spec"]
+            backend = CampaignSpec.from_json(spec_json).build()
+        records = [
+            backend.run_trial(seed) for seed in range(lease["lo"], lease["hi"])
+        ]
+        try:
+            outcome = _http_json(
+                f"{url}/submit",
+                {"lease": lease["id"], "worker": worker, "records": records},
+            )
+        except OSError as exc:
+            note = (
+                f"coordinator unreachable on submit ({exc}); the lease "
+                "will be re-issued"
+            )
+            break
+        leases += 1
+        trials_run += len(records)
+        if outcome.get("done"):
+            break
+    summary: Dict[str, object] = {
+        "worker": worker,
+        "leases": leases,
+        "trials": trials_run,
+    }
+    if note is not None:
+        summary["note"] = note
+    return summary
+
+
+# -- file-based transport ----------------------------------------------------
+
+
+class FileCoordinator:
+    """File-based (offline) coordination: leases are checkpoint files.
+
+    The coordinator never talks to its workers: it assigns each lease a
+    checkpoint path under ``out_dir``, emits the ``repro work`` command
+    lines that produce those files (:meth:`plan` / :meth:`write_plan`),
+    and observes progress purely by re-reading the files (:meth:`poll`).
+    A lease whose file has not covered its range within
+    ``lease_timeout_s`` of being issued is expired in the journal and
+    re-issued under a fresh attempt/path (:meth:`reissue_stale`); the
+    partial file still contributes to the merge, where duplicate seeds
+    collapse.  Constructing a second coordinator over the same ``out_dir``
+    replays the journal and resumes — the CI/bench pattern is
+    plan → run workers → construct again → :meth:`merge`.
+    """
+
+    JOURNAL_NAME = "leases.jsonl"
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        trials: int,
+        base_seed: int = 0,
+        workers: Sequence[str] = ("w1", "w2", "w3"),
+        out_dir: str = "distributed-campaign",
+        lease_trials: Optional[int] = None,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+        python: str = "python",
+    ):
+        if not workers:
+            raise ValueError("FileCoordinator needs at least one worker name")
+        self.spec = spec
+        self.trials = trials
+        self.base_seed = base_seed
+        self.workers = [str(name) for name in workers]
+        self.out_dir = out_dir
+        self.lease_timeout_s = lease_timeout_s
+        self.python = python
+        self._clock = clock
+        os.makedirs(out_dir, exist_ok=True)
+        self.journal_path = os.path.join(out_dir, self.JOURNAL_NAME)
+
+        if lease_trials is None:
+            lease_trials = math.ceil(trials / len(self.workers))
+        header = {
+            "schema": LEASE_SCHEMA,
+            "spec": spec.to_json(),
+            "base_seed": base_seed,
+            "trials": trials,
+            "lease_trials": lease_trials,
+        }
+        existing, events = load_journal(self.journal_path)
+        self._leases: Dict[str, Lease] = {}
+        # Checkpoint size at the last incomplete parse, per lease — the
+        # files are append-only, so an unchanged size means an unchanged
+        # (incomplete) verdict and poll() can skip re-parsing them.
+        self._incomplete_at_size: Dict[str, int] = {}
+        if existing is not None:
+            for key in ("schema", "spec", "base_seed", "trials", "lease_trials"):
+                if existing.get(key) != header[key]:
+                    raise ValueError(
+                        f"{self.journal_path}: journal {key} mismatch — file has "
+                        f"{existing.get(key)!r}, campaign wants {header[key]!r}"
+                    )
+            self._replay(events)
+        self.lease_trials = int(lease_trials)
+        self._journal = CheckpointWriter(
+            self.journal_path, header, fresh=existing is None
+        )
+        self._issue_missing()
+
+    def _replay(self, events: Sequence[Dict[str, object]]) -> None:
+        now = self._clock()
+        for event in events:
+            kind = event.get("event")
+            if kind == "issue":
+                lease = Lease(
+                    lease_id=str(event.get("lease")),
+                    lo=int(event["lo"]),
+                    hi=int(event["hi"]),
+                    worker=str(event.get("worker", "")),
+                    attempt=int(event.get("attempt", 1)),
+                    checkpoint=event.get("checkpoint"),
+                    issued_at=now,  # the clock restarts with the coordinator
+                )
+                self._leases[lease.lease_id] = lease
+            elif kind in ("complete", "expire"):
+                lease = self._leases.get(str(event.get("lease")))
+                if lease is not None:
+                    lease.state = "completed" if kind == "complete" else "expired"
+
+    def _issue_missing(self) -> None:
+        """Issue a lease for every range lacking a live (non-expired) one."""
+        ranges = partition_leases(
+            self.base_seed, self.trials, lease_trials=self.lease_trials
+        )
+        live = {
+            (lease.lo, lease.hi)
+            for lease in self._leases.values()
+            if lease.state != "expired"
+        }
+        attempts: Dict[Tuple[int, int], int] = {}
+        for lease in self._leases.values():
+            key = (lease.lo, lease.hi)
+            attempts[key] = max(attempts.get(key, 0), lease.attempt)
+        for index, (lo, hi) in enumerate(ranges):
+            if (lo, hi) in live:
+                continue
+            self._issue(
+                index, lo, hi, self.workers[index % len(self.workers)],
+                attempts.get((lo, hi), 0) + 1,
+            )
+
+    def _issue(
+        self, index: int, lo: int, hi: int, worker: str, attempt: int
+    ) -> Lease:
+        lease_id = f"lease-{index:04d}.a{attempt}"
+        lease = Lease(
+            lease_id=lease_id,
+            lo=lo,
+            hi=hi,
+            worker=worker,
+            attempt=attempt,
+            checkpoint=os.path.join(self.out_dir, f"{lease_id}.{worker}.jsonl"),
+            issued_at=self._clock(),
+        )
+        self._leases[lease_id] = lease
+        self._journal_event(
+            "issue",
+            lease=lease_id,
+            lo=lo,
+            hi=hi,
+            worker=worker,
+            attempt=attempt,
+            checkpoint=lease.checkpoint,
+        )
+        return lease
+
+    def _journal_event(self, event: str, **fields) -> None:
+        record: Dict[str, object] = {"event": event, "t": round(time.time(), 3)}
+        record.update(fields)
+        self._journal.write_records([record])
+
+    # -- plan ----------------------------------------------------------------
+
+    def active_leases(self) -> List[Lease]:
+        """The issued-but-unfinished leases, in range order."""
+        return sorted(
+            (l for l in self._leases.values() if l.state == "issued"),
+            key=lambda lease: lease.lo,
+        )
+
+    def plan(self) -> List[Tuple[Lease, List[str]]]:
+        """``(lease, argv)`` for every lease a worker still has to run."""
+        return [
+            (lease, work_command(self.spec, lease, python=self.python))
+            for lease in self.active_leases()
+        ]
+
+    def write_plan(self, path: Optional[str] = None) -> str:
+        """Write ``plan.sh`` running every active lease in parallel."""
+        path = path or os.path.join(self.out_dir, "plan.sh")
+        lines = [
+            "#!/bin/sh",
+            "# Generated by `repro coordinate` — one worker command per lease.",
+            "# Run on any machine(s) sharing the checkpoint directory, then",
+            "# re-run `repro coordinate` (same flags) to merge.",
+        ]
+        for lease, argv in self.plan():
+            lines.append(
+                f"# {lease.lease_id}: seeds [{lease.lo}, {lease.hi}) -> {lease.worker}"
+            )
+            lines.append(" ".join(shlex.quote(arg) for arg in argv) + " &")
+        lines.append("wait")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        os.chmod(path, 0o755)
+        return path
+
+    # -- progress ------------------------------------------------------------
+
+    def _lease_complete(self, lease: Lease) -> bool:
+        if lease.checkpoint is None or not os.path.exists(lease.checkpoint):
+            return False
+        size = os.path.getsize(lease.checkpoint)
+        if self._incomplete_at_size.get(lease.lease_id) == size:
+            return False  # nothing appended since the last incomplete parse
+        _header, records = load_checkpoint(lease.checkpoint)
+        covered = {
+            record["seed"]
+            for record in records
+            if lease.lo <= record["seed"] < lease.hi
+        }
+        if len(covered) >= lease.trials:
+            self._incomplete_at_size.pop(lease.lease_id, None)
+            return True
+        self._incomplete_at_size[lease.lease_id] = size
+        return False
+
+    def poll(self) -> Dict[str, object]:
+        """Re-read every live lease's checkpoint; mark newly complete ones."""
+        for lease in list(self._leases.values()):
+            if lease.state == "issued" and self._lease_complete(lease):
+                lease.state = "completed"
+                self._journal_event("complete", lease=lease.lease_id)
+        states = [lease.state for lease in self._leases.values()]
+        return {
+            "completed": states.count("completed"),
+            "issued": states.count("issued"),
+            "expired": states.count("expired"),
+            "done": states.count("issued") == 0,
+        }
+
+    def reissue_stale(self) -> List[Lease]:
+        """Expire overdue unfinished leases; issue replacements.
+
+        Returns the *replacement* leases (rotated to the next worker —
+        the original one is presumed dead).  The expired lease's partial
+        checkpoint still merges; overlap deduplicates.
+        """
+        now = self._clock()
+        ranges = partition_leases(
+            self.base_seed, self.trials, lease_trials=self.lease_trials
+        )
+        index_of = {(lo, hi): i for i, (lo, hi) in enumerate(ranges)}
+        replacements: List[Lease] = []
+        for lease in list(self._leases.values()):
+            if lease.state != "issued":
+                continue
+            if now - lease.issued_at <= self.lease_timeout_s:
+                continue
+            lease.state = "expired"
+            self._journal_event("expire", lease=lease.lease_id, reason="timeout")
+            index = index_of.get((lease.lo, lease.hi), 0)
+            worker = self.workers[(index + lease.attempt) % len(self.workers)]
+            replacements.append(
+                self._issue(index, lease.lo, lease.hi, worker, lease.attempt + 1)
+            )
+        return replacements
+
+    def wait(
+        self,
+        poll_s: float = 1.0,
+        timeout_s: Optional[float] = None,
+        reissue: bool = True,
+        on_reissue: Optional[Callable[[Lease], None]] = None,
+    ) -> bool:
+        """Poll until every lease completes; False on overall timeout."""
+        started = self._clock()
+        while True:
+            status = self.poll()
+            if status["done"]:
+                return True
+            if reissue:
+                for lease in self.reissue_stale():
+                    if on_reissue is not None:
+                        on_reissue(lease)
+            if timeout_s is not None and self._clock() - started > timeout_s:
+                return False
+            time.sleep(poll_s)
+
+    # -- merge ---------------------------------------------------------------
+
+    def checkpoint_paths(self) -> List[str]:
+        """Every lease checkpoint that exists on disk — expired attempts
+        included (their partial records merge and deduplicate)."""
+        return [
+            lease.checkpoint
+            for lease in sorted(self._leases.values(), key=lambda l: l.lease_id)
+            if lease.checkpoint is not None and os.path.exists(lease.checkpoint)
+        ]
+
+    def merge(self, merged_path: Optional[str] = None) -> CampaignResult:
+        """Merge all worker checkpoints over the campaign's full range."""
+        paths = self.checkpoint_paths()
+        if not paths:
+            raise ValueError(
+                f"{self.out_dir}: no worker checkpoints exist yet; run the "
+                "plan's `repro work` commands first"
+            )
+        return merge_checkpoints(
+            paths,
+            merged_path=merged_path,
+            base_seed=self.base_seed,
+            trials=self.trials,
+        )
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "FileCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

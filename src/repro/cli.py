@@ -8,10 +8,12 @@ Commands
 ``two-valued``   print the Figure 10 two-valued rewriting of a query (Thm 2)
 ``validate``     run a Section 4 validation campaign (semantics vs engine)
 ``differential`` run the n-way differential campaign (all implementations)
-``report``       render an existing campaign checkpoint (no re-running)
+``report``       render campaign checkpoints (``--merge`` combines several)
+``coordinate``   partition a campaign into leases + merge worker checkpoints
+``work``         execute leases (``--coordinator URL`` or ``--seed-range A:B``)
 ``generate``     print random queries from the Section 4 generator
 
-The two campaign commands run on the unified subsystem of
+The campaign commands run on the unified subsystem of
 :mod:`repro.campaigns`: ``--jobs N`` shards the seed range over N worker
 processes (results are bit-identical to a serial run at any N),
 ``--checkpoint FILE`` streams one JSONL record per trial so progress is
@@ -24,6 +26,21 @@ The paper-scale Section 4 experiment is::
 (with two variants, per-variant checkpoints get the variant name appended:
 ``pg.postgres.jsonl`` / ``pg.oracle.jsonl``).  Campaign commands exit
 non-zero when any trial disagrees.
+
+``coordinate``/``work`` take the same campaign past one machine
+(:mod:`repro.campaigns.distributed`).  File-based mode::
+
+    python -m repro coordinate --trials 100000 --workers 3 --out dist --no-wait
+    sh dist/plan.sh          # or run each printed `repro work` line anywhere
+    python -m repro coordinate --trials 100000 --workers 3 --out dist \\
+        --merged dist/merged.jsonl
+
+partitions the seed range into journaled leases, waits for the workers'
+checkpoint files, re-issues leases whose worker went silent, and merges —
+the merged ``outcome_digest`` is bit-identical to a single-machine run.
+``--serve PORT`` does the same over HTTP with ``repro work --coordinator
+URL`` workers.  ``repro report --merge a.jsonl b.jsonl`` renders such a
+set of worker files without a coordinator.
 
 The database JSON format is::
 
@@ -173,17 +190,28 @@ def _cmd_differential(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    """Render a ``campaign-checkpoint/v1`` file: pure aggregation, no trials."""
-    from .campaigns import CODE_AGREE, CODE_AGREE_BOTH_ERROR, summarize_checkpoint
+    """Render ``campaign-checkpoint/v1`` file(s): pure aggregation, no trials."""
+    from .campaigns import summarize_checkpoint, summarize_merged
 
     try:
-        header, aggregator = summarize_checkpoint(args.checkpoint)
+        if args.merge:
+            header, aggregator = summarize_merged(args.checkpoints)
+            source = " + ".join(args.checkpoints)
+        else:
+            if len(args.checkpoints) > 1:
+                raise SystemExit(
+                    "repro: several checkpoints need --merge "
+                    "(or report them one at a time)"
+                )
+            header, aggregator = summarize_checkpoint(args.checkpoints[0])
+            source = args.checkpoints[0]
     except ValueError as exc:
+        # Missing file, headerless file, spec mismatch, CheckpointConflict.
         raise SystemExit(f"repro: {exc}")
     result = aggregator.finalize()
     pending = aggregator.trials - aggregator.completed
     plain_agreements = result.agreements - result.error_agreements
-    print(f"checkpoint: {args.checkpoint}  ({header.get('schema')})")
+    print(f"checkpoint: {source}  ({header.get('schema')})")
     print(f"spec: {json.dumps(header.get('spec', {}), sort_keys=True)}")
     print(
         f"seeds: [{aggregator.base_seed}, "
@@ -208,6 +236,210 @@ def _cmd_report(args) -> int:
         detail = mismatch.get("detail") or "(no detail recorded)"
         print(f"seed {mismatch['seed']}: {detail}", file=sys.stderr)
     return 1 if result.mismatches else 0
+
+
+def _load_workers(args) -> list:
+    """Worker names for file-based coordination: ``--workers-file`` (a JSON
+    list of names, ``{"name": ...}`` objects, or ``{"workers": [...]}``)
+    wins over the ``--workers`` count (names ``w1..wN``)."""
+    if args.workers_file:
+        try:
+            with open(args.workers_file) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"repro: {args.workers_file}: {exc}")
+        if isinstance(payload, dict):
+            payload = payload.get("workers", [])
+        workers = [
+            str(entry.get("name") or entry.get("host"))
+            if isinstance(entry, dict)
+            else str(entry)
+            for entry in payload
+        ]
+        workers = [name for name in workers if name and name != "None"]
+        if not workers:
+            raise SystemExit(f"repro: {args.workers_file} names no workers")
+        return workers
+    return [f"w{i + 1}" for i in range(max(1, args.workers))]
+
+
+def _spec_from_args(args):
+    from .campaigns import CampaignSpec
+
+    try:
+        return CampaignSpec(
+            kind=args.kind, variant=args.variant, rows=args.rows, tables=args.tables
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+
+def _coordinate_files(spec, args) -> int:
+    """File-based coordination: journal + plan.sh, wait, re-issue, merge."""
+    import shlex
+
+    from .campaigns import FileCoordinator, work_command
+
+    try:
+        coordinator = FileCoordinator(
+            spec,
+            trials=args.trials,
+            base_seed=args.seed,
+            workers=_load_workers(args),
+            out_dir=args.out,
+            lease_trials=args.lease_trials,
+            lease_timeout_s=args.lease_timeout_s,
+            python=sys.executable or "python",
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+    def show_reissue(lease):
+        argv = work_command(spec, lease, python=sys.executable or "python")
+        print(
+            f"re-issued {lease.lease_id} (worker timeout): "
+            + " ".join(shlex.quote(arg) for arg in argv),
+            file=sys.stderr,
+        )
+        coordinator.write_plan()
+
+    with coordinator:
+        status = coordinator.poll()  # completed checkpoints drop off the plan
+        plan_path = coordinator.write_plan()
+        active = coordinator.plan()
+        if active:
+            print(f"{len(active)} lease(s) pending; worker commands ({plan_path}):")
+            for _lease, argv in active:
+                print("  " + " ".join(shlex.quote(arg) for arg in argv))
+        if args.no_wait:
+            print("--no-wait: run the plan, then re-run this command to merge.")
+            return 0
+        if not status["done"]:
+            print(f"waiting for worker checkpoints in {args.out}/ ...")
+            done = coordinator.wait(
+                poll_s=args.poll_s,
+                timeout_s=args.wait_timeout_s,
+                on_reissue=show_reissue,
+            )
+            if not done:
+                print(
+                    "repro: wait timed out with leases outstanding; "
+                    "re-run to keep waiting",
+                    file=sys.stderr,
+                )
+                return 3
+        try:
+            result = coordinator.merge(merged_path=args.merged)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}")
+    print(result.summary())
+    if args.merged:
+        print(f"merged checkpoint -> {args.merged}")
+    return 1 if result.mismatches else 0
+
+
+def _coordinate_serve(spec, args) -> int:
+    """HTTP coordination: serve leases until the campaign completes.
+
+    The merged checkpoint doubles as the resume state — re-running the
+    same command after a coordinator crash folds it back in and only the
+    unfinished ranges are leased out again.
+    """
+    import time
+
+    from .campaigns import Coordinator, CoordinatorServer
+
+    os.makedirs(args.out, exist_ok=True)
+    merged = args.merged or os.path.join(args.out, "merged.jsonl")
+    try:
+        coordinator = Coordinator(
+            spec,
+            trials=args.trials,
+            base_seed=args.seed,
+            lease_trials=args.lease_trials,
+            journal_path=os.path.join(args.out, "leases.jsonl"),
+            checkpoint=merged,
+            resume=True,
+            lease_timeout_s=args.lease_timeout_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    started = time.perf_counter()
+    with CoordinatorServer(coordinator, host=args.host, port=args.serve) as server:
+        print(f"coordinator: {args.trials} trials at {server.url}")
+        print(f"  start workers: python -m repro work --coordinator {server.url}")
+        try:
+            while not coordinator.done:
+                time.sleep(min(1.0, max(0.05, args.poll_s)))
+                coordinator.expire_stale()
+        except KeyboardInterrupt:
+            coordinator.close()
+            print(
+                "repro: interrupted; progress is in the merged checkpoint — "
+                "re-run the same command to resume",
+                file=sys.stderr,
+            )
+            return 130
+    result = coordinator.result(elapsed_s=time.perf_counter() - started)
+    coordinator.close()
+    print(result.summary())
+    print(f"merged checkpoint -> {merged}")
+    return 1 if result.mismatches else 0
+
+
+def _cmd_coordinate(args) -> int:
+    spec = _spec_from_args(args)
+    if args.serve is not None:
+        return _coordinate_serve(spec, args)
+    return _coordinate_files(spec, args)
+
+
+def _cmd_work(args) -> int:
+    from .campaigns import run_campaign, work_remote
+
+    if args.coordinator:
+        summary = work_remote(
+            args.coordinator,
+            worker=args.worker,
+            poll_s=args.poll_s,
+            max_idle_polls=args.max_idle_polls,
+        )
+        print(
+            f"worker {summary['worker']}: {summary['leases']} lease(s), "
+            f"{summary['trials']} trial(s)"
+        )
+        if summary.get("note"):
+            print(f"repro: {summary['note']}", file=sys.stderr)
+        return 0
+    if not args.seed_range:
+        raise SystemExit("repro: work needs --coordinator URL or --seed-range A:B")
+    try:
+        lo_text, _, hi_text = args.seed_range.partition(":")
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise SystemExit(
+            f"repro: bad --seed-range {args.seed_range!r} (expected A:B)"
+        )
+    if hi <= lo:
+        raise SystemExit("repro: --seed-range must be A:B with A < B")
+    if not args.checkpoint:
+        raise SystemExit("repro: file-based work needs --checkpoint FILE")
+    spec = _spec_from_args(args)
+    try:
+        result = run_campaign(
+            spec,
+            trials=hi - lo,
+            base_seed=lo,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    print(result.summary())
+    # The merge step judges the campaign; a worker exits 0 once its range
+    # is recorded, so a plan.sh under `set -e` survives mismatch trials.
+    return 0
 
 
 def _cmd_generate(args) -> int:
@@ -297,11 +529,130 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="render an existing campaign checkpoint without re-running",
+        help="render existing campaign checkpoints without re-running",
     )
-    report.add_argument("checkpoint", help="campaign-checkpoint/v1 JSONL file")
+    report.add_argument(
+        "checkpoints", nargs="+", metavar="CHECKPOINT",
+        help="campaign-checkpoint/v1 JSONL file(s); several require --merge",
+    )
+    report.add_argument(
+        "--merge", action="store_true",
+        help="merge several worker checkpoints into one report "
+        "(duplicate seeds deduplicate, conflicting records fail)",
+    )
     report.add_argument("--show-mismatches", type=int, default=5)
     report.set_defaults(func=_cmd_report)
+
+    def add_spec_args(cmd) -> None:
+        cmd.add_argument(
+            "--kind", choices=("validation", "differential"),
+            default="validation", help="campaign comparator backend",
+        )
+        cmd.add_argument(
+            "--variant", choices=("postgres", "oracle"), default="postgres",
+            help="validation variant (ignored for differential)",
+        )
+        cmd.add_argument(
+            "--rows", type=int, default=6,
+            help="row cap per generated trial table",
+        )
+        cmd.add_argument(
+            "--tables", type=int, default=None,
+            help="size of the R1..Rn validation schema (default: runner default)",
+        )
+
+    coordinate = sub.add_parser(
+        "coordinate",
+        help="coordinate a distributed campaign across worker machines",
+    )
+    coordinate.add_argument("--trials", type=int, required=True)
+    coordinate.add_argument("--seed", type=int, default=0, help="base seed")
+    add_spec_args(coordinate)
+    coordinate.add_argument(
+        "--workers", type=int, default=3,
+        help="file-based worker count (named w1..wN)",
+    )
+    coordinate.add_argument(
+        "--workers-file", metavar="FILE",
+        help="JSON list of worker names (overrides --workers)",
+    )
+    coordinate.add_argument(
+        "--out", default="distributed-campaign", metavar="DIR",
+        help="directory for the lease journal, plan.sh and worker checkpoints",
+    )
+    coordinate.add_argument(
+        "--lease-trials", type=int, default=None,
+        help="seeds per lease (default: trials/workers in file mode, "
+        "500 with --serve; smaller leases = finer re-issue)",
+    )
+    coordinate.add_argument(
+        "--lease-timeout-s", type=float, default=600.0,
+        help="re-issue a lease not finished within this many seconds",
+    )
+    coordinate.add_argument(
+        "--serve", type=int, metavar="PORT", default=None,
+        help="serve leases over HTTP instead of file-based operation",
+    )
+    coordinate.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --serve"
+    )
+    coordinate.add_argument(
+        "--no-wait", action="store_true",
+        help="file mode: write the journal + plan.sh and exit without waiting",
+    )
+    coordinate.add_argument(
+        "--poll-s", type=float, default=1.0,
+        help="seconds between progress polls",
+    )
+    coordinate.add_argument(
+        "--wait-timeout-s", type=float, default=None,
+        help="file mode: give up waiting after this many seconds",
+    )
+    coordinate.add_argument(
+        "--merged", metavar="FILE",
+        help="write the merged campaign-checkpoint/v1 file here "
+        "(default with --serve: OUT/merged.jsonl)",
+    )
+    coordinate.set_defaults(func=_cmd_coordinate)
+
+    work = sub.add_parser(
+        "work",
+        help="run a distributed-campaign worker (HTTP or file-based)",
+    )
+    work.add_argument(
+        "--coordinator", metavar="URL",
+        help="poll this coordinator for leases (HTTP mode)",
+    )
+    work.add_argument(
+        "--worker", default=None, help="worker name (default: hostname-pid)"
+    )
+    work.add_argument(
+        "--poll-s", type=float, default=1.0,
+        help="HTTP mode: seconds between idle polls",
+    )
+    work.add_argument(
+        "--max-idle-polls", type=int, default=None,
+        help="HTTP mode: give up after this many consecutive empty polls",
+    )
+    work.add_argument(
+        "--seed-range", metavar="A:B",
+        help="file mode: run seeds [A, B) offline via run_campaign",
+    )
+    work.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="file mode: write trial records here (required with --seed-range)",
+    )
+    add_spec_args(work)
+    work.add_argument(
+        "--jobs", type=int, default=1,
+        help="file mode: local worker processes for the leased range",
+    )
+    work.add_argument(
+        "--resume", action="store_true",
+        help="file mode: fold an existing checkpoint in and run only "
+        "missing seeds",
+    )
+    work.set_defaults(func=_cmd_work)
 
     generate = sub.add_parser("generate", help="print random queries")
     generate.add_argument("--count", type=int, default=5)

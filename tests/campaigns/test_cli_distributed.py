@@ -1,0 +1,143 @@
+"""CLI coverage for the distributed commands: ``coordinate``, ``work`` and
+``report --merge`` — help text, the file-based end-to-end flow, exit codes."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.cli import main
+
+SERIAL_SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+
+
+def coordinate_argv(out_dir, trials="30"):
+    return [
+        "coordinate", "--trials", trials, "--rows", "3",
+        "--workers", "3", "--out", out_dir,
+    ]
+
+
+def test_coordinate_help_names_both_modes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["coordinate", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--workers-file", "--serve", "--lease-timeout-s", "--merged"):
+        assert flag in out
+
+
+def test_work_help_names_both_modes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["work", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--coordinator", "--seed-range", "--checkpoint", "--resume"):
+        assert flag in out
+
+
+def test_file_based_flow_end_to_end(tmp_path, capsys):
+    """coordinate --no-wait → run the printed leases via `work` → coordinate
+    again merges, bit-identical to the serial run."""
+    out = str(tmp_path / "dist")
+    assert main(coordinate_argv(out) + ["--no-wait"]) == 0
+    stdout = capsys.readouterr().out
+    assert "3 lease(s) pending" in stdout
+
+    # Run each lease exactly as plan.sh would, but in-process.
+    with open(tmp_path / "dist" / "leases.jsonl") as handle:
+        events = [json.loads(line) for line in handle][1:]
+    issues = [event for event in events if event["event"] == "issue"]
+    assert len(issues) == 3
+    for issue in issues:
+        code = main(
+            [
+                "work", "--seed-range", f"{issue['lo']}:{issue['hi']}",
+                "--checkpoint", issue["checkpoint"], "--rows", "3", "--resume",
+            ]
+        )
+        assert code == 0
+
+    merged_path = str(tmp_path / "merged.jsonl")
+    assert main(coordinate_argv(out) + ["--merged", merged_path]) == 0
+    stdout = capsys.readouterr().out
+
+    serial = run_campaign(SERIAL_SPEC, trials=30, base_seed=0, jobs=1)
+    assert serial.outcome_digest[:12] in stdout
+    assert main(["report", merged_path]) == 0
+    assert serial.outcome_digest in capsys.readouterr().out
+
+
+def test_report_merge_combines_worker_files(tmp_path, capsys):
+    serial = run_campaign(SERIAL_SPEC, trials=20, base_seed=0, jobs=1)
+    paths = []
+    for lo, hi in [(0, 10), (10, 20)]:
+        path = str(tmp_path / f"{lo}.jsonl")
+        run_campaign(
+            SERIAL_SPEC, trials=hi - lo, base_seed=lo, jobs=1, checkpoint=path
+        )
+        paths.append(path)
+    assert main(["report", "--merge"] + paths) == 0
+    out = capsys.readouterr().out
+    assert serial.outcome_digest in out
+    assert "20 recorded, 0 pending" in out
+
+
+def test_report_multiple_files_require_merge(tmp_path):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    for path in (a, b):
+        path.write_text("")
+    with pytest.raises(SystemExit, match="--merge"):
+        main(["report", str(a), str(b)])
+
+
+def test_report_merge_conflict_is_a_clean_error(tmp_path):
+    header = {
+        "schema": "campaign-checkpoint/v1",
+        "spec": SERIAL_SPEC.to_json(),
+        "base_seed": 0,
+        "trials": 2,
+    }
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    a.write_text(json.dumps(header) + "\n" + '{"seed": 0, "code": 1}\n')
+    b.write_text(json.dumps(header) + "\n" + '{"seed": 0, "code": 3}\n')
+    with pytest.raises(SystemExit, match="seed 0"):
+        main(["report", "--merge", str(a), str(b)])
+
+
+def test_work_flag_validation(tmp_path):
+    with pytest.raises(SystemExit, match="seed-range"):
+        main(["work"])
+    with pytest.raises(SystemExit, match="expected A:B"):
+        main(["work", "--seed-range", "abc", "--checkpoint", "x.jsonl"])
+    with pytest.raises(SystemExit, match="A < B"):
+        main(["work", "--seed-range", "9:9", "--checkpoint", "x.jsonl"])
+    with pytest.raises(SystemExit, match="checkpoint"):
+        main(["work", "--seed-range", "0:5"])
+
+
+def test_workers_file_names_the_leases(tmp_path, capsys):
+    hosts = tmp_path / "hosts.json"
+    hosts.write_text(json.dumps(["alpha", {"name": "beta"}]))
+    out = str(tmp_path / "dist")
+    argv = [
+        "coordinate", "--trials", "10", "--rows", "3",
+        "--workers-file", str(hosts), "--out", out, "--no-wait",
+    ]
+    assert main(argv) == 0
+    stdout = capsys.readouterr().out
+    assert "alpha" in stdout and "beta" in stdout
+
+
+def test_workers_file_with_no_workers_is_an_error(tmp_path):
+    hosts = tmp_path / "hosts.json"
+    hosts.write_text("[]")
+    with pytest.raises(SystemExit, match="no workers"):
+        main(
+            [
+                "coordinate", "--trials", "10", "--workers-file", str(hosts),
+                "--out", str(tmp_path / "d"), "--no-wait",
+            ]
+        )

@@ -1,0 +1,341 @@
+"""The distributed coordinator/worker layer, both transports.
+
+The acceptance bar: a campaign split across ≥3 workers, merged by the
+coordinator, produces an ``outcome_digest`` bit-identical to the same
+campaign run serially on one machine — including after killing a worker
+mid-shard and re-issuing its lease.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    CheckpointConflict,
+    Coordinator,
+    CoordinatorServer,
+    FileCoordinator,
+    load_journal,
+    partition_leases,
+    run_campaign,
+    work_command,
+    work_remote,
+)
+
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+TRIALS = 45
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    return run_campaign(SPEC, trials=TRIALS, base_seed=0, jobs=1).outcome_digest
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def run_lease_offline(lease):
+    """Exactly what ``repro work --seed-range`` does for a lease."""
+    return run_campaign(
+        SPEC,
+        trials=lease.trials,
+        base_seed=lease.lo,
+        jobs=1,
+        checkpoint=lease.checkpoint,
+        resume=True,
+    )
+
+
+# -- partitioning -------------------------------------------------------------
+
+
+def test_partition_covers_the_range_contiguously():
+    ranges = partition_leases(100, 45, parts=4)
+    assert ranges[0][0] == 100 and ranges[-1][1] == 145
+    for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+        assert hi == lo
+    assert partition_leases(0, 45, lease_trials=10) == [
+        (0, 10), (10, 20), (20, 30), (30, 40), (40, 45),
+    ]
+    assert partition_leases(0, 0, parts=3) == []
+
+
+# -- in-memory coordinator ----------------------------------------------------
+
+
+def test_coordinator_lease_loop_matches_serial(serial_digest):
+    coordinator = Coordinator(SPEC, TRIALS, lease_trials=10)
+    backend = SPEC.build()
+    leases = 0
+    while (lease := coordinator.acquire("solo")) is not None:
+        records = [backend.run_trial(seed) for seed in lease.seeds()]
+        outcome = coordinator.submit(lease.lease_id, records, worker="solo")
+        assert outcome["accepted"] == lease.trials
+        leases += 1
+    assert leases == 5
+    assert coordinator.done
+    result = coordinator.result()
+    assert result.outcome_digest == serial_digest
+    assert result.completed == TRIALS
+
+
+def test_coordinator_timeout_reissue_and_late_submit_dedupes(serial_digest):
+    clock = FakeClock()
+    coordinator = Coordinator(
+        SPEC, TRIALS, lease_trials=TRIALS, lease_timeout_s=10, clock=clock
+    )
+    dead = coordinator.acquire("dead")
+    assert coordinator.acquire("live") is None  # whole range is leased out
+    clock.advance(11)
+    reissued = coordinator.acquire("live")  # expiry recycles the dead range
+    assert (reissued.lo, reissued.hi) == (dead.lo, dead.hi)
+    backend = SPEC.build()
+    records = [backend.run_trial(seed) for seed in reissued.seeds()]
+    coordinator.submit(reissued.lease_id, records, worker="live")
+    # The presumed-dead worker resurfaces with the identical records.
+    late = coordinator.submit(dead.lease_id, records, worker="dead")
+    assert late["accepted"] == 0
+    assert late["duplicates"] == len(records)
+    assert coordinator.result().outcome_digest == serial_digest
+
+
+def test_coordinator_conflicting_submission_raises():
+    coordinator = Coordinator(SPEC, 5, lease_trials=5)
+    lease = coordinator.acquire("w")
+    coordinator.submit(lease.lease_id, [{"seed": 0, "code": 1}])
+    with pytest.raises(CheckpointConflict):
+        coordinator.submit("late", [{"seed": 0, "code": 3}])
+
+
+def test_coordinator_catches_conflict_within_one_batch():
+    """A batch that contradicts itself must raise, not silently pick a side
+    (checks and adds are interleaved, like the file merge)."""
+    coordinator = Coordinator(SPEC, 5, lease_trials=5)
+    with pytest.raises(CheckpointConflict):
+        coordinator.submit(
+            "corrupt", [{"seed": 0, "code": 1}, {"seed": 0, "code": 3}]
+        )
+    # The valid prefix stayed folded; the seed is not re-runnable garbage.
+    assert coordinator.aggregator.code_at(0) == 1
+
+
+def test_coordinator_checkpoint_resume(tmp_path, serial_digest):
+    """A crashed coordinator resumes from its own merged checkpoint."""
+    path = str(tmp_path / "merged.jsonl")
+    first = Coordinator(SPEC, TRIALS, lease_trials=15, checkpoint=path)
+    backend = SPEC.build()
+    lease = first.acquire("w")
+    first.submit(lease.lease_id, [backend.run_trial(s) for s in lease.seeds()])
+    first.close()  # dies with 15 of 45 trials recorded
+
+    second = Coordinator(
+        SPEC, TRIALS, lease_trials=15, checkpoint=path, resume=True
+    )
+    assert second.resumed_trials == 15
+    while (lease := second.acquire("w2")) is not None:
+        second.submit(lease.lease_id, [backend.run_trial(s) for s in lease.seeds()])
+    result = second.result()
+    second.close()
+    assert result.outcome_digest == serial_digest
+
+
+def test_coordinator_rejects_foreign_checkpoint(tmp_path):
+    path = str(tmp_path / "merged.jsonl")
+    other = Coordinator(
+        CampaignSpec(kind="validation", variant="oracle", rows=3),
+        5,
+        checkpoint=path,
+    )
+    other.close()
+    with pytest.raises(ValueError):
+        Coordinator(SPEC, 5, checkpoint=path, resume=True)
+
+
+# -- file-based coordination --------------------------------------------------
+
+
+def test_three_file_workers_merge_bit_identical(tmp_path, serial_digest):
+    coordinator = FileCoordinator(
+        SPEC, TRIALS, workers=["w1", "w2", "w3"], out_dir=str(tmp_path / "d")
+    )
+    leases = coordinator.active_leases()
+    assert len(leases) == 3
+    assert {lease.worker for lease in leases} == {"w1", "w2", "w3"}
+    for lease in leases:
+        run_lease_offline(lease)
+    assert coordinator.poll()["done"]
+    merged = coordinator.merge(merged_path=str(tmp_path / "m.jsonl"))
+    coordinator.close()
+    assert merged.outcome_digest == serial_digest
+    assert merged.completed == TRIALS
+
+
+def test_killed_worker_reissued_lease_still_bit_identical(
+    tmp_path, serial_digest
+):
+    """The acceptance-bar scenario: a worker dies mid-shard, its lease times
+    out, the re-issued lease completes, and the merge (partial file
+    included) is still bit-identical to the serial run."""
+    clock = FakeClock()
+    coordinator = FileCoordinator(
+        SPEC,
+        TRIALS,
+        workers=["w1", "w2", "w3"],
+        out_dir=str(tmp_path / "d"),
+        lease_timeout_s=30,
+        clock=clock,
+    )
+    doomed, *healthy = coordinator.active_leases()
+    # The doomed worker records only half its range, then is killed.
+    run_campaign(
+        SPEC,
+        trials=doomed.trials // 2,
+        base_seed=doomed.lo,
+        jobs=1,
+        checkpoint=doomed.checkpoint,
+    )
+    for lease in healthy:
+        run_lease_offline(lease)
+    assert not coordinator.poll()["done"]
+
+    clock.advance(31)
+    replacements = coordinator.reissue_stale()
+    assert len(replacements) == 1
+    replacement = replacements[0]
+    assert (replacement.lo, replacement.hi) == (doomed.lo, doomed.hi)
+    assert replacement.attempt == 2
+    assert replacement.checkpoint != doomed.checkpoint
+    run_lease_offline(replacement)
+    assert coordinator.poll()["done"]
+
+    merged = coordinator.merge()
+    assert merged.outcome_digest == serial_digest
+    assert merged.duplicates == doomed.trials // 2  # partial file overlap
+
+    header, events = load_journal(coordinator.journal_path)
+    coordinator.close()
+    assert header["schema"] == "campaign-leases/v1"
+    kinds = [event["event"] for event in events]
+    assert kinds.count("issue") == 4  # 3 originals + 1 re-issue
+    assert kinds.count("expire") == 1
+
+
+def test_file_coordinator_journal_resume(tmp_path, serial_digest):
+    out = str(tmp_path / "d")
+    first = FileCoordinator(SPEC, TRIALS, workers=["w1", "w2"], out_dir=out)
+    original_ids = [lease.lease_id for lease in first.active_leases()]
+    run_lease_offline(first.active_leases()[0])
+    first.close()  # the coordinator dies
+
+    second = FileCoordinator(SPEC, TRIALS, workers=["w1", "w2"], out_dir=out)
+    # Replay keeps the original assignments instead of double-issuing.
+    assert [lease.lease_id for lease in second.active_leases()] == original_ids
+    assert second.poll()["completed"] == 1
+    for lease in second.active_leases():
+        run_lease_offline(lease)
+    assert second.poll()["done"]
+    merged = second.merge()
+    second.close()
+    assert merged.outcome_digest == serial_digest
+
+
+def test_file_coordinator_rejects_mismatched_journal(tmp_path):
+    out = str(tmp_path / "d")
+    FileCoordinator(SPEC, 30, out_dir=out).close()
+    with pytest.raises(ValueError, match="mismatch"):
+        FileCoordinator(SPEC, 60, out_dir=out)
+
+
+def test_work_command_argv(tmp_path):
+    coordinator = FileCoordinator(
+        CampaignSpec(kind="differential", rows=4, tables=3),
+        10,
+        workers=["a"],
+        out_dir=str(tmp_path / "d"),
+        python="py",
+    )
+    (lease,) = coordinator.active_leases()
+    argv = work_command(coordinator.spec, lease, python="py")
+    coordinator.close()
+    assert argv[:4] == ["py", "-m", "repro", "work"]
+    assert argv[argv.index("--seed-range") + 1] == "0:10"
+    assert argv[argv.index("--kind") + 1] == "differential"
+    assert argv[argv.index("--tables") + 1] == "3"
+    assert argv[-1] == "--resume"
+
+
+def test_plan_sh_lists_every_active_lease(tmp_path):
+    coordinator = FileCoordinator(
+        SPEC, 30, workers=["w1", "w2", "w3"], out_dir=str(tmp_path / "d")
+    )
+    plan_path = coordinator.write_plan()
+    coordinator.close()
+    plan = open(plan_path).read()
+    assert plan.count(" -m repro work ") == 3
+    assert plan.rstrip().endswith("wait")
+
+
+# -- HTTP transport -----------------------------------------------------------
+
+
+def test_http_workers_match_serial(serial_digest):
+    coordinator = Coordinator(SPEC, TRIALS, lease_trials=9)
+    summaries = []
+    with CoordinatorServer(coordinator) as server:
+        def drain(name):
+            summaries.append(
+                work_remote(server.url, worker=name, poll_s=0.02)
+            )
+
+        threads = [
+            threading.Thread(target=drain, args=(f"t{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    assert coordinator.done
+    assert sum(summary["trials"] for summary in summaries) == TRIALS
+    result = coordinator.result()
+    assert result.outcome_digest == serial_digest
+    assert result.jobs == 3  # every worker touched the coordinator
+
+
+def test_http_status_and_unknown_paths():
+    coordinator = Coordinator(SPEC, 5, lease_trials=5)
+    with CoordinatorServer(coordinator) as server:
+        with urllib.request.urlopen(f"{server.url}/status", timeout=10) as resp:
+            status = json.loads(resp.read().decode())
+        assert status["trials"] == 5 and status["done"] is False
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+
+def test_http_conflict_is_a_409():
+    coordinator = Coordinator(SPEC, 5, lease_trials=5)
+    with CoordinatorServer(coordinator) as server:
+        coordinator.submit("seeded", [{"seed": 0, "code": 1}])
+        body = json.dumps(
+            {"lease": "x", "records": [{"seed": 0, "code": 3}]}
+        ).encode()
+        request = urllib.request.Request(
+            f"{server.url}/submit",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 409

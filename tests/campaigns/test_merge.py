@@ -1,0 +1,158 @@
+"""Checkpoint merging: the distributed layer's correctness foundation.
+
+Records are keyed by seed and aggregation is order-independent, so
+checkpoints written by different workers must compose into exactly the
+single-machine aggregate: disjoint ranges concatenate, overlaps (a killed
+worker's partial file plus the re-issued lease's complete one) deduplicate,
+and records that *disagree* on a seed's outcome are corruption and must
+refuse to merge.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CHECKPOINT_SCHEMA,
+    CampaignSpec,
+    CheckpointConflict,
+    merge_checkpoints,
+    run_campaign,
+    summarize_checkpoint,
+    summarize_merged,
+)
+
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+TRIALS = 45
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    return run_campaign(SPEC, trials=TRIALS, base_seed=0, jobs=1).outcome_digest
+
+
+def worker_file(tmp_path, name, lo, hi):
+    """What `repro work --seed-range lo:hi` produces: a sub-range checkpoint."""
+    path = str(tmp_path / name)
+    run_campaign(SPEC, trials=hi - lo, base_seed=lo, jobs=1, checkpoint=path)
+    return path
+
+
+def synthetic_file(path, records, base_seed=0, trials=4, spec=None):
+    header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "spec": spec if spec is not None else SPEC.to_json(),
+        "base_seed": base_seed,
+        "trials": trials,
+    }
+    path.write_text(
+        "\n".join(json.dumps(doc) for doc in [header] + records) + "\n"
+    )
+    return str(path)
+
+
+def test_disjoint_worker_files_merge_to_single_machine_digest(
+    tmp_path, serial_digest
+):
+    paths = [
+        worker_file(tmp_path, f"w{i}.jsonl", lo, hi)
+        for i, (lo, hi) in enumerate([(0, 15), (15, 30), (30, 45)])
+    ]
+    merged = merge_checkpoints(paths)
+    assert merged.outcome_digest == serial_digest
+    assert merged.completed == TRIALS
+    assert merged.trials == TRIALS and merged.base_seed == 0
+    assert merged.duplicates == 0
+
+
+def test_overlapping_duplicates_are_deduped(tmp_path, serial_digest):
+    a = worker_file(tmp_path, "a.jsonl", 0, 30)
+    b = worker_file(tmp_path, "b.jsonl", 15, 45)
+    merged = merge_checkpoints([a, b])
+    assert merged.outcome_digest == serial_digest
+    assert merged.completed == TRIALS
+    assert merged.duplicates == 15  # seeds [15, 30) arrived twice
+
+
+def test_conflicting_records_for_a_seed_raise(tmp_path):
+    a = synthetic_file(
+        tmp_path / "a.jsonl", [{"seed": 0, "code": 1}, {"seed": 1, "code": 1}]
+    )
+    b = synthetic_file(
+        tmp_path / "b.jsonl", [{"seed": 1, "code": 3, "detail": "corrupt"}]
+    )
+    with pytest.raises(CheckpointConflict, match="seed 1"):
+        merge_checkpoints([a, b])
+    # Identical duplicate records are not a conflict.
+    c = synthetic_file(tmp_path / "c.jsonl", [{"seed": 1, "code": 1}])
+    assert merge_checkpoints([a, c]).duplicates == 1
+
+
+def test_torn_trailing_line_is_skipped(tmp_path, serial_digest):
+    """A kill mid-write leaves a torn last line; the overlap from another
+    file supplies the missing seed and the merge still completes."""
+    a = worker_file(tmp_path, "a.jsonl", 0, 30)
+    with open(a) as handle:
+        lines = handle.readlines()
+    with open(a, "w") as handle:
+        handle.writelines(lines[:-1])
+        handle.write(lines[-1][: len(lines[-1]) // 2])  # torn record: seed 29
+    b = worker_file(tmp_path, "b.jsonl", 25, 45)
+    merged = merge_checkpoints([a, b])
+    assert merged.completed == TRIALS
+    assert merged.outcome_digest == serial_digest
+
+
+def test_torn_line_without_cover_stays_pending(tmp_path):
+    a = worker_file(tmp_path, "a.jsonl", 0, 10)
+    with open(a) as handle:
+        lines = handle.readlines()
+    with open(a, "w") as handle:
+        handle.writelines(lines[:-1])
+        handle.write(lines[-1][:10])
+    header, aggregator = summarize_merged([a])
+    assert aggregator.completed == 9
+    assert aggregator.pending_seeds() == [9]
+
+
+def test_merged_file_roundtrips_through_summarize(tmp_path, serial_digest):
+    paths = [
+        worker_file(tmp_path, "a.jsonl", 0, 20),
+        worker_file(tmp_path, "b.jsonl", 20, 45),
+    ]
+    out = str(tmp_path / "merged.jsonl")
+    merged = merge_checkpoints(paths, merged_path=out)
+    header, aggregator = summarize_checkpoint(out)
+    assert header["merged_from"] == 2
+    assert aggregator.finalize().outcome_digest == merged.outcome_digest
+    assert merged.outcome_digest == serial_digest
+    # Merged files merge again (idempotent).
+    assert merge_checkpoints([out]).outcome_digest == serial_digest
+
+
+def test_spec_mismatch_refuses_to_merge(tmp_path):
+    a = synthetic_file(tmp_path / "a.jsonl", [{"seed": 0, "code": 1}])
+    other = CampaignSpec(kind="validation", variant="oracle", rows=3)
+    b = synthetic_file(
+        tmp_path / "b.jsonl", [{"seed": 1, "code": 1}], spec=other.to_json()
+    )
+    with pytest.raises(ValueError, match="spec"):
+        merge_checkpoints([a, b])
+
+
+def test_explicit_span_keeps_uncovered_seeds_pending(tmp_path):
+    a = worker_file(tmp_path, "a.jsonl", 0, 10)
+    merged = merge_checkpoints([a], base_seed=0, trials=20)
+    assert merged.trials == 20
+    assert merged.completed == 10  # the missing half is visible, not absorbed
+
+
+def test_merge_rejects_empty_missing_and_headerless(tmp_path):
+    with pytest.raises(ValueError):
+        merge_checkpoints([])
+    with pytest.raises(ValueError, match="no such"):
+        merge_checkpoints([str(tmp_path / "nope.jsonl")])
+    junk = tmp_path / "junk.jsonl"
+    junk.write_text('{"seed": 0, "code": 1}\n')
+    with pytest.raises(ValueError, match="header"):
+        merge_checkpoints([str(junk)])
