@@ -178,6 +178,24 @@ def test_bench_engine_execution_naive(benchmark):
     benchmark.pedantic(run_workload, args=(engine, pairs), rounds=3, iterations=1)
 
 
+def test_bench_engine_compiled(benchmark):
+    """Closure-compiled execution (the default engine), plan cache hot:
+    plans compile once at cache admission and execute many times."""
+    engine = Engine(SCHEMA, "postgres")
+    pairs = engine_pairs()
+    run_workload(engine, pairs)  # admit + compile every plan up front
+    benchmark(run_workload, engine, pairs)
+
+
+def test_bench_engine_interpreted(benchmark):
+    """Ablation: ``compiled=False`` — the same optimized plans executed
+    through the interpreted operator tree (per-row virtual dispatch)."""
+    engine = Engine(SCHEMA, "postgres", compiled=False)
+    pairs = engine_pairs()
+    run_workload(engine, pairs)
+    benchmark(run_workload, engine, pairs)
+
+
 # The ablation engines run with build_cache_size=0: these stages measure the
 # *operators* (ordering, streaming), and cross-execution build-side sharing
 # would otherwise absorb exactly the work being compared on the repeated

@@ -550,11 +550,41 @@ def _http_json(
         return json.loads(response.read().decode())
 
 
+def _run_lease_local(
+    spec: CampaignSpec, lo: int, hi: int, jobs: int
+) -> List[Dict[str, object]]:
+    """Run one leased seed range through :func:`run_campaign(jobs=N)
+    <repro.campaigns.executor.run_campaign>` and read the records back
+    from a local checkpoint.
+
+    This is how an HTTP worker uses all its cores: the lease becomes a
+    miniature local campaign (seed-sharded over ``jobs`` processes,
+    checkpointed to a temporary file), and the records — seed-pure, so
+    bit-identical to serial execution at any ``jobs`` — are read back
+    from the checkpoint in seed order for submission.
+    """
+    import tempfile
+
+    from .executor import run_campaign
+
+    with tempfile.TemporaryDirectory(prefix="repro-work-") as tmp:
+        path = os.path.join(tmp, f"lease-{lo}-{hi}.jsonl")
+        run_campaign(spec, trials=hi - lo, base_seed=lo, jobs=jobs, checkpoint=path)
+        _header, records = load_checkpoint(path)
+    by_seed: Dict[int, Dict[str, object]] = {}
+    for record in records:
+        seed = record["seed"]
+        if lo <= seed < hi and seed not in by_seed:
+            by_seed[seed] = record
+    return [by_seed[seed] for seed in sorted(by_seed)]
+
+
 def work_remote(
     url: str,
     worker: Optional[str] = None,
     poll_s: float = 1.0,
     max_idle_polls: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """Worker loop for ``repro work --coordinator URL``.
 
@@ -562,6 +592,10 @@ def work_remote(
     once from the coordinator's spec, and posts the records to
     ``/submit``; returns a summary once the coordinator reports the
     campaign done (or after ``max_idle_polls`` consecutive empty polls).
+    With ``jobs > 1`` each lease runs through the parallel local executor
+    instead (:func:`_run_lease_local`), so one remote worker saturates
+    all its cores; seed-purity keeps the submitted records — and the
+    campaign digest — bit-identical to serial execution.
     A coordinator that becomes unreachable ends the loop cleanly rather
     than crashing: the server only goes away when the campaign finished
     or was killed, and in both cases there is nothing left to work on
@@ -570,6 +604,7 @@ def work_remote(
     """
     worker = worker or f"{socket.gethostname()}-{os.getpid()}"
     url = url.rstrip("/")
+    spec: Optional[CampaignSpec] = None
     backend = None
     spec_json: Optional[Dict[str, object]] = None
     leases = 0
@@ -592,12 +627,18 @@ def work_remote(
             time.sleep(poll_s)
             continue
         idle = 0
-        if backend is None or reply.get("spec") != spec_json:
+        if spec is None or reply.get("spec") != spec_json:
             spec_json = reply["spec"]
-            backend = CampaignSpec.from_json(spec_json).build()
-        records = [
-            backend.run_trial(seed) for seed in range(lease["lo"], lease["hi"])
-        ]
+            spec = CampaignSpec.from_json(spec_json)
+            backend = None
+        if jobs > 1:
+            records = _run_lease_local(spec, lease["lo"], lease["hi"], jobs)
+        else:
+            if backend is None:
+                backend = spec.build()
+            records = [
+                backend.run_trial(seed) for seed in range(lease["lo"], lease["hi"])
+            ]
         try:
             outcome = _http_json(
                 f"{url}/submit",

@@ -39,8 +39,11 @@ partitions the seed range into journaled leases, waits for the workers'
 checkpoint files, re-issues leases whose worker went silent, and merges —
 the merged ``outcome_digest`` is bit-identical to a single-machine run.
 ``--serve PORT`` does the same over HTTP with ``repro work --coordinator
-URL`` workers.  ``repro report --merge a.jsonl b.jsonl`` renders such a
-set of worker files without a coordinator.
+URL`` workers; ``repro work --coordinator URL --jobs N`` runs each leased
+range through the parallel local executor, so one remote worker uses all
+its cores (records stay bit-identical — trials are seed-pure).  ``repro
+report --merge a.jsonl b.jsonl`` renders such a set of worker files
+without a coordinator.
 
 The database JSON format is::
 
@@ -403,6 +406,7 @@ def _cmd_work(args) -> int:
             worker=args.worker,
             poll_s=args.poll_s,
             max_idle_polls=args.max_idle_polls,
+            jobs=args.jobs,
         )
         print(
             f"worker {summary['worker']}: {summary['leases']} lease(s), "
@@ -645,7 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec_args(work)
     work.add_argument(
         "--jobs", type=int, default=1,
-        help="file mode: local worker processes for the leased range",
+        help="local worker processes per leased range (both modes; "
+        "records are bit-identical at any value)",
     )
     work.add_argument(
         "--resume", action="store_true",

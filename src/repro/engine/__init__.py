@@ -1,11 +1,15 @@
 """Independent reference engine (the PostgreSQL/Oracle stand-in of Section 4).
 
 ``Engine(schema, dialect)`` optimizes by default (pushdown, hash joins,
-cached subquery probes); ``Engine(schema, dialect, optimize=False)`` is the
-paper's naive product-then-filter evaluation, kept for ablations.
+cached subquery probes) and executes plans through the closure-generating
+compiler (:mod:`repro.engine.compile`); ``Engine(schema, dialect,
+optimize=False)`` is the paper's naive product-then-filter evaluation and
+``Engine(schema, dialect, compiled=False)`` the interpreted operator tree,
+both kept for ablations.
 """
 
 from .binding import bind_plan, reset_plan
+from .compile import compile_plan, compile_predicate
 from .engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
 from .optimizer import optimize_plan
 from .planner import CompiledQuery, Planner
@@ -15,6 +19,8 @@ __all__ = [
     "Planner",
     "CompiledQuery",
     "optimize_plan",
+    "compile_plan",
+    "compile_predicate",
     "bind_plan",
     "reset_plan",
     "DIALECT_POSTGRES",

@@ -105,10 +105,19 @@ class _Scope:
 
 @dataclass
 class CompiledQuery:
-    """A compiled plan plus its output column labels."""
+    """A compiled plan plus its output column labels.
+
+    ``run``, when present, is the closure-compiled executor produced by
+    :func:`repro.engine.compile.compile_plan` — a drop-in replacement for
+    ``plan.iter_rows`` that shares all mutable state with the plan tree
+    (so binding and unbinding work unchanged).  The planner itself leaves
+    it unset; the :class:`~repro.engine.Engine` fills it in at plan-cache
+    admission when compiled execution is enabled.
+    """
 
     plan: PlanNode
     labels: Tuple[Name, ...]
+    run: Optional[Callable[[OuterStack], object]] = None
 
 
 class Planner:

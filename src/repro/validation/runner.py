@@ -111,7 +111,10 @@ class ValidationRunner:
         # trial with AST hashing, LRU bookkeeping and the unbind walk
         # (~7% of campaign throughput, measured).  Workloads that do repeat
         # queries (the equivalence checker, direct Engine use) keep the
-        # default cache.
+        # default cache.  This also keeps trial plans *interpreted*: the
+        # closure compiler hooks in at plan-cache admission only, and for a
+        # plan executed once over 6-row tables closure generation costs
+        # more than it saves (see repro.engine.compile).
         if variant == "postgres":
             self.star_style = STAR_COMPOSITIONAL
             self.semantics = SqlSemantics(self.schema, star_style=STAR_COMPOSITIONAL)

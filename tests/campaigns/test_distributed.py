@@ -313,6 +313,21 @@ def test_http_workers_match_serial(serial_digest):
     assert result.jobs == 3  # every worker touched the coordinator
 
 
+def test_http_worker_with_local_jobs_matches_serial(serial_digest):
+    """``repro work --coordinator URL --jobs N``: each lease runs through
+    run_campaign(jobs=N) and the records come back from the worker's local
+    checkpoint — seed-purity keeps the digest bit-identical."""
+    coordinator = Coordinator(SPEC, TRIALS, lease_trials=15)
+    with CoordinatorServer(coordinator) as server:
+        summary = work_remote(server.url, worker="multi", poll_s=0.02, jobs=2)
+    assert coordinator.done
+    assert summary["trials"] == TRIALS
+    assert summary["leases"] == 3
+    result = coordinator.result()
+    assert result.outcome_digest == serial_digest
+    assert result.completed == TRIALS
+
+
 def test_http_status_and_unknown_paths():
     coordinator = Coordinator(SPEC, 5, lease_trials=5)
     with CoordinatorServer(coordinator) as server:
