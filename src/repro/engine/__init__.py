@@ -2,13 +2,21 @@
 
 ``Engine(schema, dialect)`` optimizes by default (pushdown, hash joins,
 cached subquery probes) and executes plans through the closure-generating
-compiler (:mod:`repro.engine.compile`); ``Engine(schema, dialect,
-optimize=False)`` is the paper's naive product-then-filter evaluation and
-``Engine(schema, dialect, compiled=False)`` the interpreted operator tree,
-both kept for ablations.
+compiler (:mod:`repro.engine.compile`).  Three ablation/alternative tiers
+share the same plans and are digest-gated bit-identical:
+
+* ``Engine(schema, dialect, optimize=False)`` — the paper's naive
+  product-then-filter evaluation;
+* ``Engine(schema, dialect, compiled=False)`` — the interpreted operator
+  tree over optimized plans;
+* ``Engine(schema, dialect, vectorized=True)`` — the columnar batch
+  backend (:mod:`repro.engine.columnar`): operators exchange column
+  vectors plus row-id selections, WHERE trees evaluate as paired 3VL
+  (value, null) masks, and tuples materialize only at result emission.
 """
 
 from .binding import bind_plan, reset_plan
+from .columnar import compile_columnar
 from .compile import compile_plan, compile_predicate
 from .engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
 from .optimizer import optimize_plan
@@ -21,6 +29,7 @@ __all__ = [
     "optimize_plan",
     "compile_plan",
     "compile_predicate",
+    "compile_columnar",
     "bind_plan",
     "reset_plan",
     "DIALECT_POSTGRES",

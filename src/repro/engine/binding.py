@@ -279,19 +279,30 @@ def _harvest(carrier):
 
 
 def bind_plan(
-    plan: PlanNode, db: Database, cache: Optional[BuildSideCache] = None
+    plan: PlanNode,
+    db: Database,
+    cache: Optional[BuildSideCache] = None,
+    columnar: bool = False,
 ) -> PlanNode:
     """Bind every :class:`TableScan` to ``db`` and reset execution caches.
 
     Returns the same plan object (mutated in place): binding is cheap — one
     tree walk — compared to re-planning and re-optimizing the query, which
-    is the point of the plan cache.  With a ``cache``, shareable structures
-    whose content key hits are restored instead of recomputed, and the
-    (carrier, key) pairs are remembered on the plan so
-    :func:`unbind_plan` can harvest what the execution builds.  Sharing
-    only engages from a plan's *second* bind: keys are per plan node, so a
-    plan executed once can neither hit nor be hit, and the trial campaigns
-    — one fresh plan per generated query — must not pay the bookkeeping.
+    is the point of the plan cache.  The Null -> None row conversion (and,
+    with ``columnar=True``, the row -> column transposition the vectorized
+    tier scans from) is a pure function of the immutable
+    :class:`~repro.core.table.Table`, so both are memoized *on the table*:
+    rebinding the same database — or another plan reading the same table —
+    pays for the conversion exactly once, and the memos die with the
+    database rather than pinning it to a cached plan.
+
+    With a ``cache``, shareable structures whose content key hits are
+    restored instead of recomputed, and the (carrier, key) pairs are
+    remembered on the plan so :func:`unbind_plan` can harvest what the
+    execution builds.  Sharing only engages from a plan's *second* bind:
+    keys are per plan node, so a plan executed once can neither hit nor be
+    hit, and the trial campaigns — one fresh plan per generated query —
+    must not pay the bookkeeping.
     """
     nodes = []
     bound: Dict[str, list] = {}
@@ -299,10 +310,24 @@ def bind_plan(
         if isinstance(node, TableScan):
             node.data = bound.get(node.table)
             if node.data is None:
-                node.data = bound[node.table] = [
-                    tuple(None if isinstance(v, Null) else v for v in record)
-                    for record in db.table(node.table).bag
-                ]
+                table = db.table(node.table)
+                rows = table._scan_rows
+                if rows is None:
+                    rows = table._scan_rows = [
+                        tuple(None if isinstance(v, Null) else v for v in record)
+                        for record in table.bag
+                    ]
+                node.data = bound[node.table] = rows
+            if columnar:
+                table = db.table(node.table)
+                cols = table._scan_cols
+                if cols is None:
+                    if table._scan_rows:
+                        cols = list(map(list, zip(*table._scan_rows)))
+                    else:
+                        cols = [[] for _ in range(node.arity)]
+                    table._scan_cols = cols
+                node._columns = (node.data, cols)
         _reset_state(node, pred)
         nodes.append((node, pred))
     binds = getattr(plan, "_bind_count", 0) + 1
@@ -352,11 +377,34 @@ def unbind_plan(
             if value is not _MISSING:
                 cache.store(key, value)
     plan._shared_bindings = []
-    for node, pred in iter_plan_nodes(plan):
+    observed_tables: Dict[str, int] = {}
+    observed_nodes: Dict[str, int] = {}
+    for position, (node, pred) in enumerate(iter_plan_nodes(plan)):
         if isinstance(node, TableScan):
+            if node.data is not None:
+                count = len(node.data)
+                observed_tables[node.table] = count
+                node.observed_rows = count
             node.data = None
+            node._columns = None  # the columnar memo references the rows
+        elif isinstance(node, CachedSubplan) and node._cache is not None:
+            observed_nodes[f"{position}:CachedSubplan"] = len(node._cache)
+        elif isinstance(node, HashJoin) and node._table is not None:
+            observed_nodes[f"{position}:HashJoin"] = _build_size(node._table)
         _reset_state(node, pred)
+    # Cardinality feedback: what this execution actually saw, keyed by
+    # base table (scans) and by walk position (intermediate structures).
+    plan.observed_rows = {"tables": observed_tables, "nodes": observed_nodes}
     return plan
+
+
+def _build_size(table) -> int:
+    """Rows in a hash-join build side, either tier's shape: the row-wise
+    tier stores ``key -> [row, ...]``, the columnar tier ``(right columns,
+    key -> [row id, ...])``."""
+    if isinstance(table, tuple):
+        table = table[1]
+    return sum(len(group) for group in table.values())
 
 
 def _reset_state(node, pred) -> None:

@@ -49,6 +49,12 @@ materialization order and raised errors are preserved exactly (verified by
 gate of ``scripts/bench.py --stages engine_compiled,engine_interpreted``).
 ``Engine(compiled=False)`` keeps the interpreted path as the ablation
 baseline.
+
+The columnar tier (:mod:`repro.engine.columnar`) builds on this module:
+it reuses the constant folder, the source-keyed code cache, the compiled
+subquery probes (row-wise by design, preserving early termination) and
+:func:`_iter_fn` as its per-subtree fallback, so the two lowerings can
+never drift apart on the semantics they share.
 """
 
 from __future__ import annotations

@@ -26,6 +26,21 @@ admission — compile once, execute many — so with ``plan_cache_size=0``
 stay interpreted: closure generation costs more than a single execution
 over 6-row tables saves, measured at ~17% of campaign engine time.
 
+A fourth tier, ``vectorized=True``, swaps the row-at-a-time lowering for
+the columnar batch backend (:mod:`repro.engine.columnar`): each bound
+table is pivoted once into column vectors, operators exchange row-id
+selection batches, and WHERE predicates evaluate as paired 3VL
+value/unknown masks (or fused single-pass selections), with tuples
+materialized only at emission.  Outcomes remain bit-identical to every
+row-wise tier — the ``engine_vectorized`` / ``engine_rowwise`` bench
+stages gate on digest equality, and the tier wins ≥3x on selection-heavy
+workloads once tables reach thousands of rows.  Unlike the closure
+compiler it has no plan-cache admission gate: the tier is explicit
+opt-in, so even single-use plans are batch-compiled; at the campaign's
+6-row scale that codegen costs more than batch execution saves, which is
+why the validation runners keep the interpreted default (the campaign
+bench's ``engine_tier_ab`` A/B keeps that decision measured).
+
 Plan cache
 ----------
 
@@ -70,8 +85,10 @@ from ..core.schema import Database, Schema
 from ..core.table import Table
 from ..core.values import NULL
 from ..sql.ast import Query
-from .binding import BuildSideCache, bind_plan, unbind_plan
+from .binding import BuildSideCache, bind_plan, iter_plan_nodes, unbind_plan
+from .columnar import compile_columnar
 from .compile import compile_plan
+from .operators import TableScan
 from .optimizer import optimize_plan
 from .planner import CompiledQuery, DIALECT_ORACLE, DIALECT_POSTGRES, Planner
 
@@ -92,15 +109,40 @@ class Engine:
         schema: Schema,
         dialect: str = DIALECT_POSTGRES,
         optimize: bool = True,
-        compiled: bool = True,
+        compiled: Optional[bool] = None,
+        vectorized: bool = False,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         build_cache_size: int = DEFAULT_BUILD_CACHE_SIZE,
         optimizer_options: Optional[Dict[str, bool]] = None,
     ):
+        # The tiers compose predictably or not at all: both lowerings
+        # consume *optimized* physical plans (HashJoin, HashSetOp, probe
+        # nodes), and vectorized/compiled are alternatives, not layers.
+        if vectorized and not optimize:
+            raise ValueError(
+                "Engine(vectorized=True, optimize=False) is invalid: the "
+                "columnar backend lowers optimized physical plans; ablate "
+                "the tier with vectorized=False instead"
+            )
+        if compiled is None:
+            compiled = optimize and not vectorized
+        elif compiled and not optimize:
+            raise ValueError(
+                "Engine(compiled=True, optimize=False) is invalid: the "
+                "closure compiler lowers optimized physical plans; leave "
+                "compiled unset (it follows optimize) or pass compiled=False"
+            )
+        elif compiled and vectorized:
+            raise ValueError(
+                "Engine(compiled=True, vectorized=True) is ambiguous: pick "
+                "one execution tier (vectorized=True already implies the "
+                "columnar backend)"
+            )
         self.schema = schema
         self.dialect = dialect
         self.optimize = optimize
         self.compiled = compiled
+        self.vectorized = vectorized
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[Query, CompiledQuery]" = OrderedDict()
         self._cache_hits = 0
@@ -109,6 +151,10 @@ class Engine:
         self._build_cache = (
             BuildSideCache(build_cache_size) if build_cache_size > 0 else None
         )
+        #: Last observed bound row count per base table, harvested from
+        #: each cached plan's unbind walk — the cardinality feedback that
+        #: replaces ``DEFAULT_TABLE_ROWS`` when later queries are planned.
+        self._observed_tables: Dict[str, int] = {}
         #: Ablation knobs forwarded to :func:`optimize_plan` (benchmarks
         #: compare e.g. ``{"reorder_joins": False}`` against the default).
         self.optimizer_options = dict(optimizer_options or {})
@@ -122,17 +168,25 @@ class Engine:
         """
         compiled = self._plan(query)
         cache = self._build_cache if self.plan_cache_size > 0 else None
-        bind_plan(compiled.plan, db, cache=cache)
+        bind_plan(compiled.plan, db, cache=cache, columnar=self.vectorized)
         try:
             rows = (compiled.run or compiled.plan.iter_rows)(())
+            # NULL restoration at the output boundary; null-free rows (the
+            # common case) pass through without rebuilding the tuple.
             records = (
-                tuple(NULL if v is None else v for v in row) for row in rows
+                row
+                if None not in row
+                else tuple(NULL if v is None else v for v in row)
+                for row in rows
             )
             # Bag() materializes fully, so unbinding afterwards is safe.
             return Table(compiled.labels, Bag(records))
         finally:
             if self.plan_cache_size > 0:
                 unbind_plan(compiled.plan, cache=cache)
+                observed = getattr(compiled.plan, "observed_rows", None)
+                if observed:
+                    self._observed_tables.update(observed["tables"])
 
     # -- plan cache ---------------------------------------------------------
 
@@ -160,18 +214,38 @@ class Engine:
         compiled = planner.compile(query)
         plan = compiled.plan
         if self.optimize:
+            if self._observed_tables:
+                # Cardinality feedback: seed unbound scans with the row
+                # counts past executions observed, so the cost-based join
+                # ordering stops assuming DEFAULT_TABLE_ROWS everywhere.
+                for node, _pred in iter_plan_nodes(plan):
+                    if isinstance(node, TableScan):
+                        node.observed_rows = self._observed_tables.get(node.table)
             plan = optimize_plan(plan, **self.optimizer_options)
-        run = compile_plan(plan) if (self.compiled and admit) else None
+        if self.vectorized:
+            # No ``admit`` gate: the tier is explicit opt-in, so even
+            # single-use plans (plan_cache_size=0) are batch-compiled.
+            # Break-even needs tables past the campaign's 6-row scale —
+            # the bench's campaign A/B records the measured gap, and the
+            # validation runners stay interpreted accordingly.
+            run = compile_columnar(plan)
+        elif self.compiled and admit:
+            run = compile_plan(plan)
+        else:
+            run = None
         return CompiledQuery(plan, compiled.labels, run)
 
-    def cache_info(self) -> Dict[str, int]:
-        """Plan-cache counters: hits, misses, evictions, current size."""
+    def cache_info(self) -> Dict[str, object]:
+        """Plan-cache counters plus the observed-cardinality feedback:
+        ``observed_rows`` maps each base table to the bound row count last
+        harvested from a cached plan's unbind walk."""
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "evictions": self._cache_evictions,
             "size": len(self._plan_cache),
             "maxsize": self.plan_cache_size,
+            "observed_rows": dict(self._observed_tables),
         }
 
     def clear_plan_cache(self) -> None:

@@ -428,15 +428,23 @@ def estimate_rows(node: PlanNode) -> float:
 
     Bound scans report their true size; unbound :class:`TableScan` leaves
     (the plan-cache path, where optimization happens before any database is
-    attached) fall back to :data:`DEFAULT_TABLE_ROWS`, which ranks them
-    equally and leaves the ordering decision to pushed filters and join
-    edges.  The estimates only ever *rank* candidate join orders, so crude
+    attached) report the row count a previous execution observed for their
+    table (``observed_rows``, the engine's cardinality feedback) and only
+    fall back to :data:`DEFAULT_TABLE_ROWS` — which ranks them equally and
+    leaves the ordering decision to pushed filters and join edges — when
+    the engine has executed nothing yet.  The estimates only ever *rank* candidate join orders, so crude
     selectivity constants are enough.
     """
     if isinstance(node, StaticScan):
         return float(len(node.data))
     if isinstance(node, TableScan):
-        return float(len(node.data)) if node.data is not None else DEFAULT_TABLE_ROWS
+        if node.data is not None:
+            return float(len(node.data))
+        if node.observed_rows is not None:
+            # Cardinality feedback: the row count a previous execution
+            # observed for this table (seeded by the engine at plan time).
+            return float(node.observed_rows)
+        return DEFAULT_TABLE_ROWS
     if isinstance(node, FilterOp):
         conjuncts = len(_flatten_and(node.predicate))
         return estimate_rows(node.child) * FILTER_SELECTIVITY**conjuncts

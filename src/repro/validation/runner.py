@@ -93,6 +93,7 @@ class ValidationRunner:
         variant: str = "postgres",
         generator_config: GeneratorConfig = PAPER_CONFIG,
         data_config: Optional[DataFillerConfig] = None,
+        vectorized: bool = False,
     ):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
@@ -114,15 +115,27 @@ class ValidationRunner:
         # default cache.  This also keeps trial plans *interpreted*: the
         # closure compiler hooks in at plan-cache admission only, and for a
         # plan executed once over 6-row tables closure generation costs
-        # more than it saves (see repro.engine.compile).
+        # more than it saves (see repro.engine.compile).  The columnar tier
+        # compiles even single-use plans, but at this scale its codegen
+        # likewise costs more than batch execution saves (~1.5x slower
+        # serial campaigns, measured — scripts/bench.py records the A/B),
+        # so ``vectorized`` stays an ablation knob here rather than the
+        # default.
+        self.vectorized = vectorized
         if variant == "postgres":
             self.star_style = STAR_COMPOSITIONAL
             self.semantics = SqlSemantics(self.schema, star_style=STAR_COMPOSITIONAL)
-            self.engine = Engine(self.schema, DIALECT_POSTGRES, plan_cache_size=0)
+            self.engine = Engine(
+                self.schema, DIALECT_POSTGRES, plan_cache_size=0,
+                vectorized=vectorized,
+            )
         else:
             self.star_style = STAR_STANDARD
             self.semantics = SqlSemantics(self.schema, star_style=STAR_STANDARD)
-            self.engine = Engine(self.schema, DIALECT_ORACLE, plan_cache_size=0)
+            self.engine = Engine(
+                self.schema, DIALECT_ORACLE, plan_cache_size=0,
+                vectorized=vectorized,
+            )
 
     # -- single trial ---------------------------------------------------------
 

@@ -75,7 +75,10 @@ def test_cache_disabled_and_eviction():
     uncached.execute(query, db)
     uncached.execute(query, db)
     assert uncached.cache_info() == {
-        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0
+        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0,
+        # Single-use plans are never unbound through the feedback walk, so
+        # no cardinalities are observed either.
+        "observed_rows": {},
     }
     tiny = Engine(SCHEMA, "postgres", plan_cache_size=2)
     queries = [
