@@ -394,7 +394,9 @@ def unbind_plan(
         _reset_state(node, pred)
     # Cardinality feedback: what this execution actually saw, keyed by
     # base table (scans) and by walk position (intermediate structures).
-    plan.observed_rows = {"tables": observed_tables, "nodes": observed_nodes}
+    # Stored under a private name so a bare-TableScan root keeps its
+    # Optional[int] ``observed_rows`` field intact for the optimizer.
+    plan._observed_feedback = {"tables": observed_tables, "nodes": observed_nodes}
     return plan
 
 

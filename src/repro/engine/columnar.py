@@ -548,7 +548,7 @@ _CMP_KERNELS = {
     (">=", "sv"): ("_le_vs", True),
     ("LIKE", "vv"): ("_like_vv", False),
     ("LIKE", "vs"): ("_like_vs", False),
-    ("LIKE", "sv"): ("_like_sv", True),
+    ("LIKE", "sv"): ("_like_sv", False),
 }
 
 # -- fused filter code generation ---------------------------------------------
@@ -1121,6 +1121,7 @@ def _cross_join_batch(node: CrossJoin) -> BatchFn:
 
     def cross_batch(outers):
         parts = []
+        counts = []
         for fn in children:
             cols, sel = fn(outers)
             if not sel:
@@ -1128,16 +1129,19 @@ def _cross_join_batch(node: CrossJoin) -> BatchFn:
                 # later children are never touched.
                 return _empty(total)
             parts.append([_gather(col, sel) for col in cols])
+            counts.append(len(sel))
+        # Row counts come from the selections, not ``len(cols[0])``: a
+        # zero-width child (no columns) still contributes its row count.
         out = parts[0]
-        for part in parts[1:]:
-            ln = len(out[0])
-            rn = len(part[0])
+        rows = counts[0]
+        for part, rn in zip(parts[1:], counts[1:]):
             repeat = range(rn)
             # Left-major product order: repeat each left element rn times,
             # tile the right part ln times.
             out = [[v for v in col for _ in repeat] for col in out]
-            out += [col * ln for col in part]
-        return out, range(len(out[0]))
+            out += [col * rows for col in part]
+            rows *= rn
+        return out, range(rows)
 
     return cross_batch
 

@@ -184,7 +184,7 @@ class Engine:
         finally:
             if self.plan_cache_size > 0:
                 unbind_plan(compiled.plan, cache=cache)
-                observed = getattr(compiled.plan, "observed_rows", None)
+                observed = getattr(compiled.plan, "_observed_feedback", None)
                 if observed:
                     self._observed_tables.update(observed["tables"])
 

@@ -149,6 +149,26 @@ def test_all_scalar_predicates_raise_per_selected_row():
     assert_tiers_agree(text, make_db([], []))
 
 
+def test_scalar_like_column_takes_scalar_first_kernel():
+    # ``'lit' LIKE col`` with a probe in the tree runs on the kernel-mask
+    # path, whose sv kernel takes (scalar, vector) — a flipped call used
+    # to iterate the scalar instead, returning zero-length masks for the
+    # empty-string literal and silently dropping every row.
+    db = make_db([(1, ""), (2, "ab"), (3, NULL)], [(1,), (2,)])
+    mask_path = (
+        "SELECT R.A FROM R WHERE '' LIKE R.B AND R.A IN (SELECT S.A FROM S)",
+        "SELECT R.A FROM R WHERE 'ab' LIKE R.B AND R.A IN (SELECT S.A FROM S)",
+        "SELECT R.A FROM R WHERE NOT ('%' LIKE R.B AND R.A IN (SELECT S.A FROM S))",
+    )
+    for text in mask_path + ("SELECT R.A FROM R WHERE '' LIKE R.B",):
+        assert_tiers_agree(text, db)
+    # Not just agreeing on empty: the empty-string literal matches the
+    # empty-string column value on both tiers.
+    query = annotate(mask_path[0], SCHEMA)
+    for engine in engines():
+        assert [r for r in engine.execute(query, db).bag] == [(1,)]
+
+
 def test_probe_subqueries_stay_exact():
     db = make_db(
         [(1, 2), (2, NULL), (NULL, 4), (3, 3)], [(1,), (3,), (NULL,)]
