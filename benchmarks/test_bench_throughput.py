@@ -15,6 +15,9 @@ pipeline stage so regressions are visible.  pytest-benchmark measures:
 * columnar batch execution (``vectorized=True``) against the row-wise
   closure tier on a selection-heavy workload, paired at the 50-row cap
   and at 5,000 rows (``scripts/bench.py --rows``),
+* worst-case-optimal multiway joins (``GenericJoin``) against the
+  ``wcoj=False`` ablation (DP-ordered binary hash joins) on cyclic
+  triangle/4-cycle workloads, paired at the same two scales,
 * the full Theorem 1 translation (to SQL-RA + desugaring).
 
 ``scripts/bench.py`` runs the same workloads standalone and writes
@@ -155,6 +158,91 @@ def vectorized_pairs(rows=50, databases=2):
     queries = [annotate(sql, VEC_SCHEMA) for sql in VEC_SQL]
     return [
         (query, vec_db(seed, rows)) for seed in range(databases) for query in queries
+    ]
+
+
+# -- worst-case-optimal join workload ------------------------------------------
+#
+# Cyclic equality graphs — the triangle and the 4-cycle — on skewed data
+# built so that *every* binary join order is bad: each table has ``hub``
+# rows pointing at a hot value, so whichever pair of relations a binary
+# plan joins first produces a hub x hub intermediate that the third
+# relation then filters away almost entirely.  The multiway GenericJoin
+# intersects per-attribute tries instead and never materializes that
+# intermediate.  A handful of genuine cycles (unique values, so the trie
+# paths are cheap) keep the outputs non-empty for the digest gates.
+
+WCOJ_SCHEMA = Schema(
+    {"R": ("A", "B"), "S": ("A", "B"), "T": ("A", "B"), "U": ("A", "B")}
+)
+
+WCOJ_TRIANGLE_SQL = (
+    "SELECT R.A, S.A, T.A FROM R, S, T "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = R.A"
+)
+
+WCOJ_SQUARE_SQL = (
+    "SELECT R.A, T.A FROM R, S, T, U "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = U.A AND U.B = R.A"
+)
+
+
+def wcoj_db(seed, rows):
+    """One instance of the cyclic-join workload: ``rows`` rows per table,
+    an eighth of them incident to each hot hub value."""
+    rng = random.Random(seed)
+    hub = max(rows // 8, 2)
+    junk = iter(range(10_000_000 + seed * 1_000_000, 20_000_000))
+    genuine = 8
+
+    def block(a, b, n):
+        return [
+            (a if a is not None else next(junk),
+             b if b is not None else next(junk))
+            for _ in range(max(n, 0))
+        ]
+
+    # One hot hub value per join attribute: R.A=1, S.A=2, T.A=3, U.A=4.
+    # Every edge of both cycles is hot on *both* endpoints (``hub`` rows
+    # each side), so whichever pair of relations a binary plan joins
+    # first materializes a hub x hub intermediate; T feeds two outgoing
+    # edges (T.B = R.A closes the triangle, T.B = U.A continues the
+    # 4-cycle), so it carries a hot block for each.
+    tables = {
+        "R": block(1, None, hub) + block(None, 2, hub),
+        "S": block(2, None, hub) + block(None, 3, hub),
+        "T": block(3, None, hub) + block(None, 1, hub) + block(None, 4, hub),
+        "U": block(4, None, hub) + block(None, 1, hub),
+    }
+    # A few genuine triangles and squares (fresh unique values, so they
+    # survive the trie intersection cheaply) keep the outputs — and the
+    # digests the gates compare — non-empty.
+    for _ in range(genuine):
+        r, s, t = (next(junk) for _ in range(3))
+        tables["R"].append((r, s))
+        tables["S"].append((s, t))
+        tables["T"].append((t, r))  # closes the triangle: T.B = R.A
+        tables["U"].append((next(junk), next(junk)))  # keep table sizes equal
+    for _ in range(genuine):
+        r, s, t, u = (next(junk) for _ in range(4))
+        tables["R"].append((r, s))
+        tables["S"].append((s, t))
+        tables["T"].append((t, u))
+        tables["U"].append((u, r))  # closes the 4-cycle: U.B = R.A
+    for data in tables.values():
+        data += block(None, None, rows - len(data))
+        rng.shuffle(data)
+    return Database(WCOJ_SCHEMA, tables)
+
+
+def wcoj_pairs(rows=50, databases=2):
+    """The cyclic-join workload: triangle + 4-cycle on every database."""
+    queries = [
+        annotate(WCOJ_TRIANGLE_SQL, WCOJ_SCHEMA),
+        annotate(WCOJ_SQUARE_SQL, WCOJ_SCHEMA),
+    ]
+    return [
+        (query, wcoj_db(seed, rows)) for seed in range(databases) for query in queries
     ]
 
 
@@ -318,6 +406,28 @@ def test_bench_setops_counted(benchmark):
         optimizer_options={"hash_setops": False},
     )
     pairs = setop_pairs()
+    benchmark(run_workload, engine, pairs)
+
+
+@pytest.mark.parametrize("rows", (PAPER_ROW_CAP, 5000))
+def test_bench_engine_wcoj(benchmark, rows):
+    """Worst-case-optimal multiway joins on the cyclic workload, plan
+    cache hot, at the paper's row cap and at 5,000 rows."""
+    engine = Engine(WCOJ_SCHEMA, "postgres")
+    pairs = wcoj_pairs(rows=rows)
+    run_workload(engine, pairs)  # admit + compile every plan up front
+    benchmark(run_workload, engine, pairs)
+
+
+@pytest.mark.parametrize("rows", (PAPER_ROW_CAP, 5000))
+def test_bench_engine_binary(benchmark, rows):
+    """Ablation: the same cyclic workload with ``wcoj=False`` — DP-ordered
+    binary hash joins, which must materialize a hub x hub intermediate."""
+    engine = Engine(
+        WCOJ_SCHEMA, "postgres", optimizer_options={"wcoj": False}
+    )
+    pairs = wcoj_pairs(rows=rows)
+    run_workload(engine, pairs)
     benchmark(run_workload, engine, pairs)
 
 

@@ -40,6 +40,13 @@ Engine stages (written to ``BENCH_engine.json``)
   — runs at the 50-row cap, where the naive product engine is feasible,
   plus a vectorized-vs-rowwise check at ``--rows`` scale, and any
   mismatch fails the run)
+* ``engine_wcoj``           — worst-case-optimal multiway joins
+  (``GenericJoin``) on the cyclic triangle/4-cycle workload, sized by
+  ``--rows``
+* ``engine_binary``         — same workload, ``wcoj=False`` (DP-ordered
+  binary hash joins; the pair's ``wcoj_speedup`` is recorded, and a
+  three-way digest gate — wcoj vs binary vs naive — runs at the 50-row
+  cap plus a wcoj-vs-binary check at ``--rows`` scale)
 * ``engine_join_order``     — adversarial-FROM-order workload, cost-based
   join ordering (second-generation optimizer)
 * ``engine_join_order_fromorder`` — same workload, ordering ablated
@@ -70,9 +77,10 @@ Campaign stage (written to ``BENCH_campaign.json``)
 ``--campaign-jobs`` worker processes on the unified subsystem
 (:mod:`repro.campaigns`) and records trials/sec for both legs, per-trial
 latency percentiles (p50/p95/p99), the parallel speedup, and that the two
-outcome digests are identical.  On a single-core container the speedup is
-~1x by construction; the point of the record is the trajectory on real
-hardware.  The stage also runs a paired engine-tier A/B (interpreted
+outcome digests are identical.  On a single-core container the parallel
+leg can only measure worker-process overhead, so it is skipped and marked
+``"skipped"`` in the record; the point of the speedup is the trajectory
+on real hardware.  The stage also runs a paired engine-tier A/B (interpreted
 single-use plans — the shipped configuration — vs the columnar tier on
 the same trial stream, recorded as ``engine_tier_ab``) and exits non-zero
 if the shipped tier is more than 5% slower than the alternative.
@@ -121,6 +129,7 @@ from benchmarks.test_bench_throughput import (  # noqa: E402
     ADVERSARIAL_SCHEMA,
     SCHEMA,
     VEC_SCHEMA,
+    WCOJ_SCHEMA,
     engine_pairs,
     join_order_pairs,
     make_db,
@@ -128,6 +137,7 @@ from benchmarks.test_bench_throughput import (  # noqa: E402
     run_workload,
     setop_pairs,
     vectorized_pairs,
+    wcoj_pairs,
 )
 from repro.algebra import desugar, to_sqlra  # noqa: E402
 from repro.campaigns import CampaignSpec, run_campaign  # noqa: E402
@@ -218,6 +228,8 @@ ENGINE_STAGES = (
     "engine_interpreted",
     "engine_vectorized",
     "engine_rowwise",
+    "engine_wcoj",
+    "engine_binary",
     "engine_join_order",
     "engine_join_order_fromorder",
     "engine_setops",
@@ -373,6 +385,38 @@ def build_stages(selected, rows=50):
             vectorized_engine, vec_pairs
         )
         stages["engine_rowwise"] = lambda: run_workload(rowwise_engine, vec_pairs)
+    if need("engine_wcoj", "engine_binary"):
+        # Cyclic-join workload, sized by --rows.  Plan caches are on, so
+        # after warm-up the pair isolates the multiway trie intersection
+        # against DP-ordered binary hash joins on identical inputs.
+        cyclic_pairs = wcoj_pairs(rows=rows)
+        wcoj_engine = Engine(WCOJ_SCHEMA, "postgres")
+        binary_engine = Engine(
+            WCOJ_SCHEMA, "postgres", optimizer_options={"wcoj": False}
+        )
+        # The three-way digest gate includes the naive engine, whose
+        # product-shaped plans cannot handle thousands of rows — the gate
+        # workload stays at the 50-row paper cap; the wcoj/binary pair is
+        # digest-checked again at --rows scale (``wcoj_scale`` below).
+        wcoj_gate_pairs = cyclic_pairs if rows <= 50 else wcoj_pairs(rows=50)
+        context["wcoj"] = (
+            wcoj_gate_pairs,
+            [
+                ("wcoj", wcoj_engine),
+                ("binary", binary_engine),
+                ("naive", Engine(WCOJ_SCHEMA, "postgres", optimize=False)),
+            ],
+        )
+        if rows > 50:
+            context["wcoj_scale"] = (
+                cyclic_pairs,
+                [
+                    ("wcoj", wcoj_engine),
+                    ("binary", binary_engine),
+                ],
+            )
+        stages["engine_wcoj"] = lambda: run_workload(wcoj_engine, cyclic_pairs)
+        stages["engine_binary"] = lambda: run_workload(binary_engine, cyclic_pairs)
     if need("engine_repeat_cached", "engine_repeat_uncached"):
         # Plan-cache workload: few queries, many databases — the shape of
         # the trial campaigns and the equivalence checker, where
@@ -425,7 +469,8 @@ def check_ablation_digests(context, results_doc) -> bool:
     selected group agrees; records the verdict (and the stage speedup) in
     ``results_doc``.  The ``compiled`` group gates the closure compiler,
     the four-way ``vectorized`` group the columnar backend (vectorized vs
-    compiled vs interpreted vs naive).
+    compiled vs interpreted vs naive), and the three-way ``wcoj`` group
+    the multiway join (wcoj vs binary vs naive).
     """
     all_match = True
     for group, speedup_key, fast_stage, slow_stage in (
@@ -437,6 +482,8 @@ def check_ablation_digests(context, results_doc) -> bool:
         ("vectorized", "vectorized_speedup", "engine_vectorized",
          "engine_rowwise"),
         ("vectorized_scale", None, None, None),
+        ("wcoj", "wcoj_speedup", "engine_wcoj", "engine_binary"),
+        ("wcoj_scale", None, None, None),
     ):
         if group not in context:
             continue
@@ -538,13 +585,20 @@ def bench_campaign(trials: int, jobs: int, rows: int, out_path: str) -> dict:
     serial = run_campaign(spec, trials=trials, base_seed=0, jobs=1)
     print(f"  serial   {serial.trials_per_sec:10.1f} trials/s")
     tier_ab = bench_campaign_tiers(min(600, trials), rows)
-    print(f"campaign: same seed range, jobs={jobs} ...")
-    parallel = run_campaign(spec, trials=trials, base_seed=0, jobs=jobs)
-    print(f"  jobs={jobs}   {parallel.trials_per_sec:10.1f} trials/s")
+    # On a single-core container the parallel leg can only measure worker
+    # process overhead, not parallelism — skip it and say so in the record
+    # rather than publishing a meaningless sub-1x "speedup".
+    parallel = None
+    if multiprocessing.cpu_count() == 1:
+        print(f"campaign: jobs={jobs} leg skipped (1 CPU visible)")
+    else:
+        print(f"campaign: same seed range, jobs={jobs} ...")
+        parallel = run_campaign(spec, trials=trials, base_seed=0, jobs=jobs)
+        print(f"  jobs={jobs}   {parallel.trials_per_sec:10.1f} trials/s")
     speedup = (
         parallel.trials_per_sec / serial.trials_per_sec
-        if serial.trials_per_sec
-        else 0.0
+        if parallel is not None and serial.trials_per_sec
+        else None
     )
     doc = {
         "schema": "bench-campaign/v1",
@@ -557,15 +611,23 @@ def bench_campaign(trials: int, jobs: int, rows: int, out_path: str) -> dict:
             "trials_per_sec": round(serial.trials_per_sec, 1),
             "timing_ms": serial.timing_ms,
         },
-        "parallel": {
-            "jobs": jobs,
-            "elapsed_s": round(parallel.elapsed_s, 3),
-            "trials_per_sec": round(parallel.trials_per_sec, 1),
-            "timing_ms": parallel.timing_ms,
-        },
-        "speedup": round(speedup, 3),
+        "parallel": (
+            {
+                "jobs": jobs,
+                "elapsed_s": round(parallel.elapsed_s, 3),
+                "trials_per_sec": round(parallel.trials_per_sec, 1),
+                "timing_ms": parallel.timing_ms,
+            }
+            if parallel is not None
+            else {"jobs": jobs, "skipped": True}
+        ),
+        "speedup": round(speedup, 3) if speedup is not None else "skipped",
         "engine_tier_ab": tier_ab,
-        "digest_match": serial.outcome_digest == parallel.outcome_digest,
+        "digest_match": (
+            serial.outcome_digest == parallel.outcome_digest
+            if parallel is not None
+            else True
+        ),
         **(
             {
                 "previous_serial_trials_per_sec": previous_serial,
@@ -582,7 +644,9 @@ def bench_campaign(trials: int, jobs: int, rows: int, out_path: str) -> dict:
     }
     Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
     print(
-        f"campaign speedup: {speedup:.2f}x on {jobs} workers "
+        "campaign speedup: "
+        + (f"{speedup:.2f}x" if speedup is not None else "skipped")
+        + f" on {jobs} workers "
         f"({multiprocessing.cpu_count()} CPU(s) visible), "
         f"digests {'match' if doc['digest_match'] else 'DIFFER'}, "
         f"p50/p95/p99 {serial.timing_ms.get('p50', 0):.2f}/"

@@ -59,6 +59,7 @@ from .operators import (
     ExistsPred,
     ExistsProbe,
     FilterOp,
+    GenericJoin,
     HashJoin,
     HashSetOp,
     InPred,
@@ -96,7 +97,7 @@ def iter_plan_nodes(plan: PlanNode) -> Iterator[Tuple[PlanNode, object]]:
     ``(None, predicate)`` for the predicate nodes inside filters — and
     recursing into the subplans of EXISTS/IN predicates."""
     yield plan, None
-    if isinstance(plan, CrossJoin):
+    if isinstance(plan, (CrossJoin, GenericJoin)):
         for child in plan.children:
             yield from iter_plan_nodes(child)
     elif isinstance(plan, (FilterOp,)):
@@ -203,6 +204,11 @@ def _shareable_carriers(nodes) -> List[Tuple[object, PlanNode]]:
         elif isinstance(node, HashJoin):
             if node.right.free_refs() == frozenset():
                 carriers.append((node, node.right))
+        elif isinstance(node, GenericJoin):
+            if node.free_refs() == frozenset():
+                # The tries are a pure function of every child's rows, so
+                # the feeding subtree is the whole node.
+                carriers.append((node, node))
         elif isinstance(pred, ExistsProbe):
             if pred.closed or pred._refs is not None:
                 carriers.append((pred, pred.subplan))
@@ -247,6 +253,8 @@ def _restore(carrier, value) -> None:
         carrier._memo = value
     elif isinstance(carrier, HashJoin):
         carrier._table = value
+    elif isinstance(carrier, GenericJoin):
+        carrier._tries = value
     elif isinstance(carrier, ExistsProbe):
         if carrier.closed:
             carrier._known = value
@@ -266,6 +274,8 @@ def _harvest(carrier):
         return carrier._memo if carrier._memo else _MISSING
     if isinstance(carrier, HashJoin):
         return carrier._table if carrier._table is not None else _MISSING
+    if isinstance(carrier, GenericJoin):
+        return carrier._tries if carrier._tries is not None else _MISSING
     if isinstance(carrier, ExistsProbe):
         if carrier.closed:
             return carrier._known if carrier._known is not None else _MISSING
@@ -391,6 +401,10 @@ def unbind_plan(
             observed_nodes[f"{position}:CachedSubplan"] = len(node._cache)
         elif isinstance(node, HashJoin) and node._table is not None:
             observed_nodes[f"{position}:HashJoin"] = _build_size(node._table)
+        elif isinstance(node, GenericJoin) and node._tries is not None:
+            observed_nodes[f"{position}:GenericJoin"] = sum(
+                _trie_size(trie) for trie in node._tries
+            )
         _reset_state(node, pred)
     # Cardinality feedback: what this execution actually saw, keyed by
     # base table (scans) and by walk position (intermediate structures).
@@ -409,6 +423,14 @@ def _build_size(table) -> int:
     return sum(len(group) for group in table.values())
 
 
+def _trie_size(trie) -> int:
+    """Rows indexed by one generic-join trie (or held by a variable-free
+    child's plain row list)."""
+    if isinstance(trie, dict):
+        return sum(_trie_size(level) for level in trie.values())
+    return len(trie)
+
+
 def _reset_state(node, pred) -> None:
     # Memo dicts are *re-bound*, never cleared in place: the harvested dict
     # may live on in the build-side cache, where clearing would wipe it.
@@ -418,6 +440,8 @@ def _reset_state(node, pred) -> None:
         node._memo = {}
     elif isinstance(node, HashJoin):
         node._table = None
+    elif isinstance(node, GenericJoin):
+        node._tries = None
     if isinstance(pred, ExistsProbe):
         pred._known = None
         pred._memo = {}

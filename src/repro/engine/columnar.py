@@ -127,6 +127,7 @@ from .operators import (
     CrossJoin,
     DistinctOp,
     FilterOp,
+    GenericJoin,
     HashJoin,
     HashSetOp,
     MemoSubplan,
@@ -1404,6 +1405,15 @@ def _batch_fn(node: PlanNode) -> BatchFn:
         return _cached_batch(node)
     if isinstance(node, MemoSubplan):
         return _memo_batch(node)
+    if isinstance(node, GenericJoin):
+        # Deliberate stay-compiled contract: the worst-case-optimal join is
+        # trie intersection, a hash-probe-per-key shape with nothing to
+        # vectorize (no per-row predicate masks, no columnar scans inside),
+        # so the subtree runs through the compiled row-wise tier via the
+        # fallback — which also shares the node's ``_tries`` state, keeping
+        # bind/unbind and build-side sharing identical across tiers
+        # (asserted by tests/engine/test_wcoj.py).
+        return _fallback_batch(node)
     # SetOpNode (the hash_setops=False ablation), extensions, test doubles.
     return _fallback_batch(node)
 

@@ -87,6 +87,7 @@ from .operators import (
     ExistsPred,
     ExistsProbe,
     FilterOp,
+    GenericJoin,
     HashJoin,
     HashSetOp,
     InPred,
@@ -771,6 +772,37 @@ def _compile_hash_join(node: HashJoin) -> IterFn:
     return hash_join_iter
 
 
+def _compile_generic_join(node: GenericJoin) -> IterFn:
+    """Native lowering of the worst-case-optimal join: children materialize
+    through their compiled ``rows`` functions, while trie construction and
+    leapfrog enumeration reuse the node's own (already loop-shaped) methods
+    — and the tries live on the node (``_tries`` / ``_closed_build``), so
+    the binding layer's reset/harvest/restore walks govern compiled
+    execution unchanged, exactly like the hash-join build side."""
+    children_rows = [_rows_fn(child) for child in node.children]
+
+    def build(outers):
+        return node._build_tries([rows_fn(outers) for rows_fn in children_rows])
+
+    def build_tries(outers):
+        if node._closed_build is None:
+            node._closed_build = node.free_refs() == frozenset()
+        if not node._closed_build:
+            return build(outers)
+        tries = node._tries
+        if tries is None:
+            tries = node._tries = build(outers)
+        return tries
+
+    def generic_join_iter(outers):
+        tries = build_tries(outers)
+        if any(not trie for trie in tries):
+            return iter(())
+        return node._solve(0, list(tries))
+
+    return generic_join_iter
+
+
 def _compile_hash_setop(node: HashSetOp) -> IterFn:
     left_iter = _iter_fn(node.left)
     right_iter = _iter_fn(node.right)
@@ -932,6 +964,8 @@ def _iter_fn(node: PlanNode) -> IterFn:
         return _compile_filter(node)
     if isinstance(node, HashJoin):
         return _compile_hash_join(node)
+    if isinstance(node, GenericJoin):
+        return _compile_generic_join(node)
     if isinstance(node, CrossJoin):
         return _compile_cross_join(node)
     if isinstance(node, DistinctOp):

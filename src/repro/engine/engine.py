@@ -89,7 +89,7 @@ from .binding import BuildSideCache, bind_plan, iter_plan_nodes, unbind_plan
 from .columnar import compile_columnar
 from .compile import compile_plan
 from .operators import TableScan
-from .optimizer import optimize_plan
+from .optimizer import DEFAULT_TABLE_ROWS, optimize_plan
 from .planner import CompiledQuery, DIALECT_ORACLE, DIALECT_POSTGRES, Planner
 
 __all__ = ["Engine", "DIALECT_POSTGRES", "DIALECT_ORACLE"]
@@ -99,6 +99,12 @@ DEFAULT_PLAN_CACHE_SIZE = 256
 
 #: Default number of shared build-side structures kept per engine.
 DEFAULT_BUILD_CACHE_SIZE = 128
+
+#: How far the current observed cardinality of a table must drift from the
+#: estimate a cached plan was optimized with before the plan is re-optimized
+#: at rebind (ratio either way).  Damping: re-planning costs a full compile,
+#: so hair-trigger re-optimization on small fluctuations would thrash.
+REOPT_DRIFT_FACTOR = 2.0
 
 
 class Engine:
@@ -148,6 +154,7 @@ class Engine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        self._reoptimizations = 0
         self._build_cache = (
             BuildSideCache(build_cache_size) if build_cache_size > 0 else None
         )
@@ -166,6 +173,14 @@ class Engine:
         references) are raised before any row is produced, matching the
         behaviour of the real systems the engine stands in for.
         """
+        if self.optimize:
+            # Bind-time cardinality seeding: the incoming database's true
+            # table sizes are known *before* planning, so a fresh plan (or
+            # the staleness check on a cached one) never has to assume
+            # DEFAULT_TABLE_ROWS for a table this execution will bind —
+            # single-use campaign plans included.
+            for name in db.schema.table_names:
+                self._observed_tables[name] = len(db.table(name))
         compiled = self._plan(query)
         cache = self._build_cache if self.plan_cache_size > 0 else None
         bind_plan(compiled.plan, db, cache=cache, columnar=self.vectorized)
@@ -200,7 +215,17 @@ class Engine:
         if cached is not None:
             self._cache_hits += 1
             self._plan_cache.move_to_end(query)
-            return cached
+            if not self._stale(cached.plan):
+                return cached
+            # The feedback loop closes here: the observed cardinalities
+            # contradict the estimates this plan's join order was chosen
+            # with, so re-plan with the current numbers and replace the
+            # stale entry (results stay bit-identical — only the physical
+            # order changes; the RemapOp contract preserves the layout).
+            self._reoptimizations += 1
+            compiled = self._compile(query)
+            self._plan_cache[query] = compiled
+            return compiled
         self._cache_misses += 1
         compiled = self._compile(query)
         self._plan_cache[query] = compiled
@@ -209,19 +234,46 @@ class Engine:
             self._cache_evictions += 1
         return compiled
 
+    def _stale(self, plan) -> bool:
+        """Whether observed cardinalities have drifted far enough from the
+        estimates ``plan``'s join order was chosen with that re-optimizing
+        could pick a different order.  Plans whose shape never depended on
+        estimates (``_cost_sensitive`` unset) can never go stale."""
+        if not getattr(plan, "_cost_sensitive", False):
+            return False
+        for table, assumed in getattr(plan, "_planned_rows", {}).items():
+            assumed = max(float(assumed), 1.0)
+            current = max(
+                float(self._observed_tables.get(table, DEFAULT_TABLE_ROWS)), 1.0
+            )
+            if (
+                current > assumed * REOPT_DRIFT_FACTOR
+                or assumed > current * REOPT_DRIFT_FACTOR
+            ):
+                return True
+        return False
+
     def _compile(self, query: Query, admit: bool = True) -> CompiledQuery:
         planner = Planner(self.schema, None, self.dialect)
         compiled = planner.compile(query)
         plan = compiled.plan
         if self.optimize:
-            if self._observed_tables:
-                # Cardinality feedback: seed unbound scans with the row
-                # counts past executions observed, so the cost-based join
-                # ordering stops assuming DEFAULT_TABLE_ROWS everywhere.
-                for node, _pred in iter_plan_nodes(plan):
-                    if isinstance(node, TableScan):
-                        node.observed_rows = self._observed_tables.get(node.table)
+            # Cardinality feedback: seed unbound scans with the row counts
+            # the engine has observed (bind-time seeding makes that exact
+            # for the upcoming database), so the cost-based join ordering
+            # stops assuming DEFAULT_TABLE_ROWS; the snapshot of what was
+            # assumed feeds the staleness check on later cache hits.
+            planned_rows: Dict[str, float] = {}
+            for node, _pred in iter_plan_nodes(plan):
+                if isinstance(node, TableScan):
+                    node.observed_rows = self._observed_tables.get(node.table)
+                    planned_rows[node.table] = (
+                        float(node.observed_rows)
+                        if node.observed_rows is not None
+                        else DEFAULT_TABLE_ROWS
+                    )
             plan = optimize_plan(plan, **self.optimizer_options)
+            plan._planned_rows = planned_rows
         if self.vectorized:
             # No ``admit`` gate: the tier is explicit opt-in, so even
             # single-use plans (plan_cache_size=0) are batch-compiled.
@@ -237,12 +289,15 @@ class Engine:
 
     def cache_info(self) -> Dict[str, object]:
         """Plan-cache counters plus the observed-cardinality feedback:
-        ``observed_rows`` maps each base table to the bound row count last
-        harvested from a cached plan's unbind walk."""
+        ``observed_rows`` maps each base table to the row count last seen
+        (seeded at bind time, confirmed by the unbind walk), and
+        ``reoptimizations`` counts cache hits whose plan was re-ordered
+        because those observations contradicted its estimates."""
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "evictions": self._cache_evictions,
+            "reoptimizations": self._reoptimizations,
             "size": len(self._plan_cache),
             "maxsize": self.plan_cache_size,
             "observed_rows": dict(self._observed_tables),

@@ -18,6 +18,11 @@ optimizer (:mod:`repro.engine.optimizer`):
 * :class:`HashJoin` — equi-join of two children on typed key columns, with
   SQL's 3VL NULL handling (a NULL key never matches, exactly like the
   equality conjunct it replaces);
+* :class:`GenericJoin` — worst-case-optimal multiway equi-join: instead of
+  a tree of binary joins, all children are joined at once by intersecting
+  per-attribute hash tries one join variable at a time (leapfrog style),
+  so a cyclic equality pattern — a triangle, a 4-cycle — never materializes
+  the quadratic intermediate a binary plan is forced through;
 * :class:`CachedSubplan` — materializes an uncorrelated subplan once per
   execution instead of once per probing row;
 * :class:`MemoSubplan` — memoizes a *correlated* FROM-subquery's rows per
@@ -44,7 +49,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product as _iter_product
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .expressions import (
     OuterStack,
@@ -70,6 +75,7 @@ __all__ = [
     "SetOpNode",
     "HashSetOp",
     "HashJoin",
+    "GenericJoin",
     "CachedSubplan",
     "MemoSubplan",
     "RemapOp",
@@ -427,6 +433,155 @@ class HashJoin(PlanNode):
         if left is None or right is None:
             return None
         return left + right
+
+
+@dataclass
+class GenericJoin(PlanNode):
+    """Worst-case-optimal multiway equi-join (generic join / leapfrog).
+
+    Replaces a whole multi-child FROM whose cross-child equality graph is
+    cyclic.  Each equivalence class of equated columns is one *join
+    variable*; every child builds a nested hash trie keyed by the variables
+    it binds (in global variable order), and enumeration assigns variables
+    one at a time by intersecting the tries' current levels — iterating the
+    smallest level and probing the others, the classic leapfrog step.  A
+    triangle query therefore does work proportional to the joinable keys
+    instead of materializing the quadratic intermediate any binary join
+    tree must produce on skewed data.
+
+    Semantics match the equality conjuncts the variables consume exactly:
+    a row whose variable column is NULL can never match (the equality would
+    be unknown, as in :class:`HashJoin`), keys are typed so ``1`` and
+    ``'1'`` differ, and typed equality is transitive on non-NULLs, so
+    "every column of the class equal" is exactly the conjunction of the
+    original (connected) equality edges.  Output rows concatenate child
+    rows in FROM order with full bag multiplicity — the cross product of
+    each child's matching rows per variable assignment — so no
+    :class:`RemapOp` is ever needed on top.
+    """
+
+    children: List[PlanNode]
+    #: One entry per join variable, in elimination order: the sorted
+    #: ``(child, local column)`` positions the variable binds.  Every
+    #: variable spans at least two children (a single-child equality is an
+    #: ordinary pushed filter, not a variable).
+    variables: Tuple[Tuple[Tuple[int, int], ...], ...]
+    #: Per-child hash tries, memoized per execution when every child is
+    #: closed (cleared by the binding layer, shareable across executions
+    #: through the build-side cache of :mod:`repro.engine.binding`).
+    _tries: Optional[List[object]] = field(default=None, repr=False, compare=False)
+    _closed_build: Optional[bool] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        # Purely structural, derived once: which variables each child binds
+        # (its trie's level order = global variable order) and, per level,
+        # which children participate in the intersection.
+        per_child: List[List[Tuple[int, ...]]] = [[] for _ in self.children]
+        var_children: List[Tuple[int, ...]] = []
+        for var in self.variables:
+            cols: Dict[int, List[int]] = {}
+            for child, col in var:
+                cols.setdefault(child, []).append(col)
+            var_children.append(tuple(sorted(cols)))
+            for child, local in cols.items():
+                per_child[child].append(tuple(local))
+        self._child_cols = [tuple(levels) for levels in per_child]
+        self._var_children = tuple(var_children)
+
+    def _build_tries(self, children_rows: List[List[Row]]) -> List[object]:
+        """One trie per child: nested dicts keyed by the child's variables
+        in order, leaf lists holding the rows (bag multiplicity); children
+        binding no variable contribute their plain row list.  Rows with a
+        NULL variable column — or two same-variable columns that differ —
+        can never match and are left out."""
+        tries: List[object] = []
+        for levels, rows in zip(self._child_cols, children_rows):
+            if not levels:
+                tries.append(rows)
+                continue
+            depth = len(levels)
+            root: dict = {}
+            for row in rows:
+                keys = []
+                for cols in levels:
+                    value = row[cols[0]]
+                    if value is None:
+                        break
+                    key = (isinstance(value, str), value)
+                    for extra in cols[1:]:
+                        other = row[extra]
+                        if other is None or (isinstance(other, str), other) != key:
+                            break
+                    else:
+                        keys.append(key)
+                        continue
+                    break
+                if len(keys) < depth:
+                    continue
+                node = root
+                for key in keys[:-1]:
+                    node = node.setdefault(key, {})
+                node.setdefault(keys[-1], []).append(row)
+            tries.append(root)
+        return tries
+
+    def build_tries(self, outers: OuterStack) -> List[object]:
+        """The per-child tries, built at most once per execution when every
+        child is closed (mirrors :meth:`HashJoin.build_table`)."""
+        if self._closed_build is None:
+            self._closed_build = self.free_refs() == frozenset()
+        if not self._closed_build:
+            return self._build_tries([c.rows(outers) for c in self.children])
+        if self._tries is None:
+            self._tries = self._build_tries(
+                [c.rows(outers) for c in self.children]
+            )
+        return self._tries
+
+    def _solve(self, level: int, positions: List[object]) -> Iterator[Row]:
+        """Assign variable ``level`` by intersecting the involved children's
+        current trie levels, then recurse; at the bottom every position is a
+        row list and the concatenated cross product streams out."""
+        if level == len(self.variables):
+            for combo in _iter_product(*positions):
+                row: Row = combo[0]
+                for part in combo[1:]:
+                    row = row + part
+                yield row
+            return
+        involved = self._var_children[level]
+        smallest = min(involved, key=lambda c: len(positions[c]))
+        rest = [c for c in involved if c != smallest]
+        for key, descended in positions[smallest].items():
+            branch = list(positions)
+            branch[smallest] = descended
+            for c in rest:
+                nxt = positions[c].get(key)
+                if nxt is None:
+                    break
+                branch[c] = nxt
+            else:
+                yield from self._solve(level + 1, branch)
+
+    def iter_rows(self, outers: OuterStack) -> Iterator[Row]:
+        tries = self.build_tries(outers)
+        if any(not trie for trie in tries):
+            # An empty trie (or an empty variable-free child) admits no
+            # combination at all.
+            return
+        yield from self._solve(0, list(tries))
+
+    def _free_refs(self) -> Optional[Refs]:
+        return merge_refs(*(child.free_refs() for child in self.children))
+
+    def width(self) -> Optional[int]:
+        total = 0
+        for child in self.children:
+            w = child.width()
+            if w is None:
+                return None
+            total += w
+        return total
 
 
 @dataclass

@@ -14,14 +14,22 @@ rewrites that tree into an equivalent but drastically cheaper one:
 * **hash equi-joins** — an equality conjunct between column references of
   two different children turns the Cartesian product into a
   :class:`~repro.engine.operators.HashJoin` on typed, NULL-rejecting keys;
-* **cost-aware join ordering** — children of a multi-way FROM are joined
-  greedily by estimated cardinality (bound table sizes when the plan is
-  compiled against a database, a fixed default for unbound cache plans)
-  and equality-conjunct selectivity, so selective hash joins run before
-  Cartesian blowups regardless of the syntactic FROM order; a
+* **cost-aware join ordering** — children of a multi-way FROM are ordered
+  by a Selinger-style dynamic program over child subsets that can emit
+  *bushy* trees (estimates come from bound table sizes when the plan is
+  compiled against a database, from observed-cardinality feedback for
+  unbound cache plans, and from a fixed default before anything has been
+  seen), so selective hash joins run before Cartesian blowups regardless
+  of the syntactic FROM order; a
   :class:`~repro.engine.operators.RemapOp` above the reordered tree keeps
   the output row layout — and with it 3VL semantics, projection indices
   and correlated-subquery references — bit-identical to FROM order;
+* **worst-case-optimal multiway joins** — when the cross-child equality
+  graph of a FROM is *cyclic* (a connected component with at least as many
+  equality edges as children: triangles, 4-cycles, …), no binary join tree
+  can avoid a blowup on skewed data, so the whole FROM becomes one
+  :class:`~repro.engine.operators.GenericJoin` intersecting per-attribute
+  hash tries across all children at once;
 * **hash set operations** — :class:`~repro.engine.operators.SetOpNode`
   becomes the streaming :class:`~repro.engine.operators.HashSetOp`, so
   UNION/INTERSECT/EXCEPT no longer count and re-expand both sides and an
@@ -56,14 +64,17 @@ systems take (SQL leaves evaluation order unspecified, and the RDBMSs the
 engine stands in for reject such queries at compile time).
 ``Engine(..., optimize=False)`` retains the naive path bit-for-bit, for
 ablations and as an escape hatch; ``optimize_plan(plan,
-reorder_joins=False)`` / ``hash_setops=False`` ablate the second-generation
-rewrites individually (the benchmark stages compare them).
+reorder_joins=False)`` / ``hash_setops=False`` / ``wcoj=False`` /
+``dp_join_order=False`` ablate the second-generation rewrites individually
+(the benchmark stages compare them: ``wcoj=False`` keeps binary join trees
+even on cyclic patterns, ``dp_join_order=False`` falls back to the greedy
+left-deep ordering).
 """
 
 from __future__ import annotations
 
 from functools import reduce
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .expressions import (
     AndPred,
@@ -80,6 +91,7 @@ from .operators import (
     ExistsPred,
     ExistsProbe,
     FilterOp,
+    GenericJoin,
     HashJoin,
     HashSetOp,
     InPred,
@@ -109,25 +121,54 @@ EQ_SELECTIVITY = 0.1
 #: Assumed fraction of rows surviving one pushed filter conjunct.
 FILTER_SELECTIVITY = 0.5
 
+#: Subset-DP join ordering is O(3^n) in the number of FROM children; past
+#: this width the greedy ordering takes over (real queries never get close).
+DP_MAX_CHILDREN = 10
+
 
 def optimize_plan(
-    plan: PlanNode, reorder_joins: bool = True, hash_setops: bool = True
+    plan: PlanNode,
+    reorder_joins: bool = True,
+    hash_setops: bool = True,
+    wcoj: bool = True,
+    dp_join_order: bool = True,
 ) -> PlanNode:
     """Rewrite a compiled plan into its optimized physical form.
 
-    ``reorder_joins`` / ``hash_setops`` disable the cost-based join
-    ordering and the hash set operations respectively — ablation knobs for
-    the benchmark stages; everything else always applies.
+    ``reorder_joins`` / ``hash_setops`` / ``wcoj`` / ``dp_join_order``
+    disable the cost-based join ordering, the hash set operations, the
+    worst-case-optimal multiway join, and the Selinger-style DP ordering
+    (falling back to the greedy one) respectively — ablation knobs for the
+    benchmark stages; everything else always applies.
+
+    The returned plan carries a ``_cost_sensitive`` flag: True when some
+    join order was chosen from cardinality estimates, i.e. when different
+    observed row counts could produce a different plan — the signal the
+    engine's rebind feedback loop uses to decide whether re-optimizing a
+    cached plan can pay off at all.
     """
-    return _Optimizer(reorder_joins, hash_setops).rewrite(plan)
+    optimizer = _Optimizer(reorder_joins, hash_setops, wcoj, dp_join_order)
+    optimized = optimizer.rewrite(plan)
+    optimized._cost_sensitive = optimizer.cost_sensitive
+    return optimized
 
 
 class _Optimizer:
     """One rewrite pass; holds the ablation switches."""
 
-    def __init__(self, reorder_joins: bool, hash_setops: bool):
+    def __init__(
+        self,
+        reorder_joins: bool,
+        hash_setops: bool,
+        wcoj: bool = True,
+        dp_join_order: bool = True,
+    ):
         self.reorder_joins = reorder_joins
         self.hash_setops = hash_setops
+        self.wcoj = wcoj
+        self.dp_join_order = dp_join_order
+        #: Whether any rewrite consulted cardinality estimates.
+        self.cost_sensitive = False
 
     def rewrite(self, plan: PlanNode) -> PlanNode:
         if isinstance(plan, FilterOp):
@@ -320,17 +361,239 @@ class _Optimizer:
             for child, filters in zip(children, child_filters)
         ]
 
+        edge_spans = [(span_of(i), span_of(j)) for i, j, _pred in edges]
+        if self.wcoj and len(children) >= 3 and _is_cyclic(len(children), edge_spans):
+            # A cyclic equality pattern: no binary tree avoids the blowup,
+            # so the whole FROM becomes one worst-case-optimal join.
+            return self._generic_join(planned, offsets, staged, edges, span_of)
         order = list(range(len(children)))
         if self.reorder_joins and len(children) >= 3:
             # Two-child joins are not worth the pass: the order only picks
-            # the hash build side, and the greedy machinery (estimates are
-            # subtree walks) would tax every compiled plan — the campaigns
-            # compile a fresh plan per generated query.
-            edge_spans = [(span_of(i), span_of(j)) for i, j, _pred in edges]
-            order = _greedy_order(planned, edge_spans)
+            # the hash build side, and the ordering machinery (estimates
+            # are subtree walks) would tax every compiled plan — the
+            # campaigns compile a fresh plan per generated query.
+            self.cost_sensitive = True
+            if self.dp_join_order and len(children) <= DP_MAX_CHILDREN:
+                bushy = self._dp_join(
+                    planned, widths, offsets, staged, edges, edge_spans, span_of, total
+                )
+                if bushy is not None:
+                    return bushy
+            else:
+                order = _greedy_order(planned, edge_spans)
         if order == list(range(len(children))):
             return _left_deep(planned, widths, staged, edges)
         return self._permuted(planned, widths, offsets, staged, edges, order, total)
+
+    # -- worst-case-optimal join ---------------------------------------------
+
+    def _generic_join(
+        self,
+        planned: List[PlanNode],
+        offsets: List[int],
+        staged: List["_Conjunct"],
+        edges: List[Tuple[int, int, Pred]],
+        span_of: Callable[[int], int],
+    ) -> PlanNode:
+        """All children joined at once by a :class:`GenericJoin`.
+
+        The equality edges are folded into equivalence classes of global
+        column indices (union-find); each class spanning the children is
+        one join variable, ordered by its first column.  The node's output
+        layout is FROM order, so staged conjuncts — including subquery
+        probes and opaque callables — run directly above, no remap needed.
+        """
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for i, j, _pred in edges:
+            parent.setdefault(i, i)
+            parent.setdefault(j, j)
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+        classes: Dict[int, List[int]] = {}
+        for g in parent:
+            classes.setdefault(find(g), []).append(g)
+        variables = tuple(
+            tuple((span_of(g), g - offsets[span_of(g)]) for g in sorted(members))
+            for members in sorted(classes.values(), key=min)
+        )
+        join: PlanNode = GenericJoin(planned, variables)
+        if staged:
+            return FilterOp(join, _combine([c.pred for c in staged]))
+        return join
+
+    # -- Selinger-style DP ordering ------------------------------------------
+
+    def _dp_join(
+        self,
+        planned: List[PlanNode],
+        widths: List[int],
+        offsets: List[int],
+        staged: List["_Conjunct"],
+        edges: List[Tuple[int, int, Pred]],
+        edge_spans: Sequence[Tuple[int, int]],
+        span_of: Callable[[int], int],
+        total: int,
+    ) -> Optional[PlanNode]:
+        """Dynamic program over child subsets, allowing bushy join trees.
+
+        A subset's estimated size is split-independent under the cost model
+        (the product of its children's estimates, discounted once per
+        internal equality edge — the closed form of :func:`_step_cost`
+        iterated), so ``cost(S) = size(S) + min over splits of
+        cost(S1) + cost(S2)`` with singleton cost = size.  The identity
+        left-deep chain is one of the enumerated trees and is costed by the
+        same formula, so the DP plan is used only when *strictly* cheaper —
+        an already-good FROM order keeps its remap-free plan (returns None).
+        """
+        n = len(planned)
+        full = (1 << n) - 1
+        estimates = [max(estimate_rows(child), 1.0) for child in planned]
+        size = [1.0] * (full + 1)
+        for mask in range(1, full + 1):
+            product = 1.0
+            for i in range(n):
+                if mask >> i & 1:
+                    product *= estimates[i]
+            internal = sum(
+                1 for a, b in edge_spans if mask >> a & 1 and mask >> b & 1
+            )
+            size[mask] = product * EQ_SELECTIVITY**internal
+        cost = [0.0] * (full + 1)
+        split = [0] * (full + 1)
+        for i in range(n):
+            cost[1 << i] = size[1 << i]
+        for mask in range(1, full + 1):
+            if mask & (mask - 1) == 0:
+                continue
+            best = None
+            best_sub = 0
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:  # visit each unordered split once
+                    combined = cost[sub] + cost[other]
+                    if best is None or combined < best:
+                        best, best_sub = combined, sub
+                sub = (sub - 1) & mask
+            cost[mask] = best + size[mask]
+            split[mask] = best_sub
+        identity_cost = sum(size[1 << i] for i in range(n))
+        prefix = 1
+        for i in range(1, n):
+            prefix |= 1 << i
+            identity_cost += size[prefix]
+        if not cost[full] < identity_cost:
+            return None
+        return self._bushy(
+            planned, widths, offsets, staged, edges, span_of, size, split, full, total
+        )
+
+    def _bushy(
+        self,
+        planned: List[PlanNode],
+        widths: List[int],
+        offsets: List[int],
+        staged: List["_Conjunct"],
+        edges: List[Tuple[int, int, Pred]],
+        span_of: Callable[[int], int],
+        size: List[float],
+        split: List[int],
+        full: int,
+        total: int,
+    ) -> PlanNode:
+        """Assemble the DP's chosen (possibly bushy) join tree.
+
+        Each subtree tracks its *layout* — the original global column index
+        at every output position — so crossing equality edges become hash
+        keys, introspectable staged conjuncts run at the smallest covering
+        subtree (re-indexed through the layout), and a final
+        :class:`RemapOp` restores the FROM-order layout whenever the
+        concatenation order differs; conjuncts that cannot be re-indexed
+        (subquery probes, opaque callables) evaluate above the remap where
+        the layout is the original one.
+        """
+        remaining = list(edges)
+        pending = list(staged)
+
+        def place_staged(plan: PlanNode, layout: Tuple[int, ...]) -> PlanNode:
+            covered = set(layout)
+            mapping = [0] * total
+            for p, g in enumerate(layout):
+                mapping[g] = p
+            ready = []
+            for conjunct in pending:
+                if conjunct.local is None or not conjunct.local <= covered:
+                    continue
+                method = getattr(conjunct.pred, "remapped", None)
+                remapped = method(mapping) if method is not None else None
+                if remapped is not None:
+                    ready.append((conjunct, remapped))
+            if not ready:
+                return plan
+            for conjunct, _ in ready:
+                pending.remove(conjunct)
+            return FilterOp(plan, _combine([pred for _, pred in ready]))
+
+        def build(mask: int) -> Tuple[PlanNode, Tuple[int, ...]]:
+            if mask & (mask - 1) == 0:
+                child = mask.bit_length() - 1
+                layout = tuple(range(offsets[child], offsets[child] + widths[child]))
+                return planned[child], layout
+            sub = split[mask]
+            other = mask ^ sub
+            # The smaller estimated side becomes the hash build side.
+            if size[sub] < size[other]:
+                left_mask, right_mask = other, sub
+            else:
+                left_mask, right_mask = sub, other
+            left_plan, left_layout = build(left_mask)
+            right_plan, right_layout = build(right_mask)
+            layout = left_layout + right_layout
+            position = {g: p for p, g in enumerate(layout)}
+            crossing = []
+            consumed = []
+            for edge in remaining:
+                i, j, _pred = edge
+                a, b = span_of(i), span_of(j)
+                if left_mask >> a & 1 and right_mask >> b & 1:
+                    crossing.append((i, j))
+                    consumed.append(edge)
+                elif left_mask >> b & 1 and right_mask >> a & 1:
+                    crossing.append((j, i))
+                    consumed.append(edge)
+            if consumed:
+                consumed_ids = {id(edge) for edge in consumed}
+                remaining[:] = [e for e in remaining if id(e) not in consumed_ids]
+                plan: PlanNode = HashJoin(
+                    left_plan,
+                    right_plan,
+                    tuple(position[g] for g, _ in crossing),
+                    tuple(position[g] - len(left_layout) for _, g in crossing),
+                )
+            else:
+                plan = CrossJoin([left_plan, right_plan])
+            return place_staged(plan, layout), layout
+
+        tree, layout = build(full)
+        assert not remaining, "unplaced equality edges in DP join build"
+        if layout != tuple(range(total)):
+            position = {g: p for p, g in enumerate(layout)}
+            tree = RemapOp(tree, tuple(position[g] for g in range(total)))
+        if pending:
+            hoisted = [c.pred for c in pending]
+            del pending[:]
+            tree = FilterOp(tree, _combine(hoisted))
+        return tree
 
     def _permuted(
         self,
@@ -406,6 +669,32 @@ class _Conjunct:
             self.max_local = max(self.local, default=-1)
 
 
+def _is_cyclic(n: int, edge_spans: Sequence[Tuple[int, int]]) -> bool:
+    """Whether the cross-child equality graph of a FROM contains a cycle.
+
+    The graph is taken *simple*: parallel edges between the same two
+    children collapse into one (a composite-key binary hash join handles
+    those without any blowup, so they are not a reason to go multiway).  A
+    cycle exists exactly when some edge connects two already-connected
+    children — the union-find formulation of #edges ≥ #nodes per component.
+    """
+    simple = {(min(a, b), max(a, b)) for a, b in edge_spans}
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in simple:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return True
+        parent[rb] = ra
+    return False
+
+
 def _equi_endpoints(pred: Pred) -> Optional[Tuple[int, int]]:
     """(i, j) column indices if pred is ``row[i] = row[j]``, else None."""
     if (
@@ -465,6 +754,13 @@ def estimate_rows(node: PlanNode) -> float:
         return product
     if isinstance(node, HashJoin):
         return estimate_rows(node.left) * estimate_rows(node.right) * EQ_SELECTIVITY
+    if isinstance(node, GenericJoin):
+        product = 1.0
+        for child in node.children:
+            product *= estimate_rows(child)
+        # One equality-edge discount per column pair each variable equates.
+        equated = sum(len(var) - 1 for var in node.variables)
+        return product * EQ_SELECTIVITY**equated
     return DEFAULT_TABLE_ROWS
 
 

@@ -76,9 +76,11 @@ def test_cache_disabled_and_eviction():
     uncached.execute(query, db)
     assert uncached.cache_info() == {
         "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0,
-        # Single-use plans are never unbound through the feedback walk, so
-        # no cardinalities are observed either.
-        "observed_rows": {},
+        # Cardinalities are seeded at bind time (before planning), so even
+        # single-use plans — which are never unbound through the feedback
+        # walk — order their joins from the real table sizes.
+        "observed_rows": {"R": 1, "S": 0},
+        "reoptimizations": 0,
     }
     tiny = Engine(SCHEMA, "postgres", plan_cache_size=2)
     queries = [

@@ -1,0 +1,221 @@
+"""Differential property tests for multiway joins and DP join ordering.
+
+The paper's methodology, aimed at the third-generation optimizer: on
+≥500 random query/database pairs per dialect variant — a generator mix
+tilted toward multi-table FROMs whose WHERE conjunctions form join
+graphs — the default engine (worst-case-optimal ``GenericJoin`` on
+cyclic graphs + Selinger-style DP ordering on acyclic ones), each
+single ablation (``wcoj=False``, ``dp_join_order=False``), the double
+ablation, and the naive product engine must produce the same bag
+(columns, rows, multiplicities) or the same error class.  Join
+ordering and the multiway operator are pure physical-plan choices, so
+they have *no* semantic latitude: outcomes must match even where plans
+raise.
+
+A hand-built cyclic battery then drives the ``GenericJoin`` path
+directly — triangles, 4-cycles, self-join cycles, NULL-heavy data,
+residual non-equality predicates — where the random mix would only hit
+it occasionally.  Finally a hot-plan-cache battery executes the cyclic
+workload through one engine across *reshaped* databases (small tables
+grown 100x between passes, tripping the cardinality-feedback
+re-optimization) and demands bit-identical outcomes before and after
+the re-planning.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core import NULL, Database, Schema, validation_schema
+from repro.engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
+from repro.generator import (
+    DataFillerConfig,
+    PAPER_CONFIG,
+    QueryGenerator,
+    fill_database,
+)
+from repro.validation.compare import capture
+
+SCHEMA = validation_schema()
+TRIALS = 500
+DATA = DataFillerConfig(max_rows=5)
+
+#: PAPER_CONFIG tilted toward plain multi-table FROMs with big WHERE
+#: conjunctions: equality chains between tables are what the DP orders,
+#: and the occasional cycle is what selects the multiway join.
+JOIN_MIX = replace(
+    PAPER_CONFIG,
+    setop_probability=0.1,
+    from_subquery_probability=0.1,
+    where_subquery_probability=0.15,
+    constant_probability=0.3,
+)
+
+DIALECTS = [DIALECT_POSTGRES, DIALECT_ORACLE]
+
+#: Every optimizer configuration under test, vs the naive oracle.
+ABLATIONS = {
+    "default": {},
+    "no_wcoj": {"wcoj": False},
+    "no_dp": {"dp_join_order": False},
+    "no_wcoj_no_dp": {"wcoj": False, "dp_join_order": False},
+}
+
+
+def make_engines(schema, dialect):
+    engines = {
+        name: Engine(schema, dialect, optimizer_options=dict(options))
+        for name, options in ABLATIONS.items()
+    }
+    engines["naive"] = Engine(schema, dialect, optimize=False)
+    return engines
+
+
+def run_battery(engines, pairs):
+    failures = []
+    for label, query, db in pairs:
+        outcomes = {
+            name: capture(lambda e=engine: e.execute(query, db))
+            for name, engine in engines.items()
+        }
+        baseline = outcomes["naive"]
+        for name, outcome in outcomes.items():
+            # Same error class and same bag: the workloads are type-checked
+            # over int-only data, so no data-dependent runtime error order
+            # is in play and full error equality must hold.
+            if outcome.error != baseline.error or not outcome.agrees_with(baseline):
+                failures.append(f"{label}: {name} differs from naive")
+    assert not failures, "; ".join(failures[:5])
+
+
+def _pair(seed):
+    rng = random.Random(seed)
+    query = QueryGenerator(SCHEMA, JOIN_MIX, rng).generate()
+    db = fill_database(SCHEMA, rng, DATA)
+    return query, db
+
+
+@pytest.mark.parametrize("dialect", DIALECTS)
+def test_optimizer_ablations_coincide_on_random_workload(dialect):
+    engines = make_engines(SCHEMA, dialect)
+    run_battery(
+        engines, ((f"seed {s}", *_pair(s)) for s in range(TRIALS))
+    )
+
+
+# -- the cyclic battery --------------------------------------------------------
+
+CYCLIC_SCHEMA = Schema(
+    {"R": ("A", "B"), "S": ("A", "B"), "T": ("A", "B"), "U": ("A", "B")}
+)
+
+CYCLIC_SQL = (
+    # The triangle, bare and with residual predicates the multiway
+    # operator must stage above the intersection.
+    "SELECT R.A, S.A, T.A FROM R, S, T "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = R.A",
+    "SELECT R.A FROM R, S, T "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = R.A AND R.A < S.B",
+    "SELECT DISTINCT T.B FROM R, S, T "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = R.A AND NOT (S.A = 3)",
+    # The 4-cycle, and a 4-clique-ish overlay (extra chord → multi-column
+    # variables and parallel edges collapsing onto one class).
+    "SELECT R.A, T.A FROM R, S, T, U "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = U.A AND U.B = R.A",
+    "SELECT R.A FROM R, S, T, U "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = U.A AND U.B = R.A "
+    "AND R.A = T.A",
+    # A self-join cycle: the same table twice under different aliases.
+    "SELECT X.A, Y.B FROM R AS X, R AS Y, S "
+    "WHERE X.B = Y.A AND Y.B = S.A AND S.B = X.A",
+    # Cycle + chain tail: only the cyclic core goes multiway; the tail
+    # hangs off the equality graph.
+    "SELECT R.A, U.B FROM R, S, T, U "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = R.A AND T.B = U.A",
+    # Same-table multi-column variable: both of R's columns in one class.
+    "SELECT R.A FROM R, S, T "
+    "WHERE R.A = R.B AND R.B = S.A AND S.B = T.A AND T.B = R.A",
+)
+
+#: Acyclic chains: these take the Selinger-DP path (cost-sensitive, so
+#: they are what the cardinality-feedback loop re-orders), not the
+#: multiway operator.
+CHAIN_SQL = (
+    "SELECT R.A, T.B FROM R, S, T WHERE R.B = S.A AND S.B = T.A",
+    "SELECT R.A FROM R, S, T, U "
+    "WHERE R.B = S.A AND S.B = T.A AND T.B = U.A",
+)
+
+
+def cyclic_db(seed, rows=6, domain=4, null_rate=0.2):
+    """Tiny, collision- and NULL-heavy instances: every trie path is
+    exercised, including NULL-dropping at build and empty intersections."""
+    rng = random.Random(seed)
+
+    def cell():
+        return NULL if rng.random() < null_rate else rng.randrange(domain)
+
+    def table():
+        return [(cell(), cell()) for _ in range(rng.randrange(rows + 1))]
+
+    return Database(
+        CYCLIC_SCHEMA, {name: table() for name in CYCLIC_SCHEMA.table_names}
+    )
+
+
+@pytest.mark.parametrize("dialect", DIALECTS)
+def test_optimizer_ablations_coincide_on_cyclic_workload(dialect):
+    from repro.sql import annotate
+
+    engines = make_engines(CYCLIC_SCHEMA, dialect)
+    queries = [
+        annotate(sql, CYCLIC_SCHEMA) for sql in CYCLIC_SQL + CHAIN_SQL
+    ]
+    run_battery(
+        engines,
+        (
+            (f"query {q} db {s}", query, cyclic_db(s))
+            for s in range(40)
+            for q, query in enumerate(queries)
+        ),
+    )
+
+
+@pytest.mark.parametrize("dialect", DIALECTS)
+def test_hot_plan_cache_bit_identical_across_feedback_reordering(dialect):
+    """Pass 1 plans against small tables; pass 2 rebinds the same cached
+    plans against 100x-grown tables, tripping the drift-based
+    re-optimization; pass 3 re-runs pass 2's databases hot.  Every pass
+    must agree bit-identically with a fresh per-database engine."""
+    from repro.sql import annotate
+
+    engine = Engine(CYCLIC_SCHEMA, dialect)
+    queries = [
+        annotate(sql, CYCLIC_SCHEMA) for sql in CYCLIC_SQL + CHAIN_SQL
+    ]
+    small = [cyclic_db(s, rows=4) for s in range(3)]
+    big = [cyclic_db(100 + s, rows=400, domain=40) for s in range(3)]
+    outcomes = {}
+    for label, dbs in (("small", small), ("big", big), ("hot", big)):
+        outcomes[label] = [
+            capture(lambda: engine.execute(query, db))
+            for db in dbs
+            for query in queries
+        ]
+    info = engine.cache_info()
+    assert info["hits"] >= 2 * len(big) * len(queries)
+    # The 100x growth must actually trip the feedback loop at least once.
+    assert info["reoptimizations"] > 0
+    fresh = {
+        label: [
+            capture(lambda e=Engine(CYCLIC_SCHEMA, dialect): e.execute(query, db))
+            for db in dbs
+            for query in queries
+        ]
+        for label, dbs in (("small", small), ("big", big))
+    }
+    fresh["hot"] = fresh["big"]
+    for label in outcomes:
+        for i, (a, b) in enumerate(zip(outcomes[label], fresh[label])):
+            assert a.error == b.error and a.agrees_with(b), f"{label} #{i} changed"
