@@ -148,6 +148,7 @@ from repro.sql import parse_query, print_query  # noqa: E402
 
 CAMPAIGN_STAGE = "campaign"
 DISTRIBUTED_STAGE = "distributed"
+SERVICE_STAGE = "service"
 
 
 def run_semantics(semantics, pairs):
@@ -748,6 +749,305 @@ def bench_distributed(trials: int, workers: int, rows: int, out_path: str) -> bo
     return ok
 
 
+# -- service stage ------------------------------------------------------------
+
+#: The sustained-QPS workload: the plan-heavy shape prepared statements
+#: exist for — multi-join queries (Selinger ordering runs at plan time)
+#: with parameters, plus statement pairs that share subplan shapes
+#: (IN-probe sets, hash-join build sides) so a warm service exhibits
+#: cross-query build-cache hits.
+SERVICE_WORKLOAD = [
+    (
+        "SELECT R.A FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+        "AND U.C = T.C AND R.B = U.B AND R.A = $1",
+        [[0], [2], [4], [999]],
+    ),
+    (
+        "SELECT R.B FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+        "AND U.C = T.C AND R.B = U.B",
+        [[]],
+    ),
+    (
+        "SELECT R.A FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+        [[]],
+    ),
+    (
+        "SELECT R.B FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+        [[]],
+    ),
+    (
+        "SELECT R.A FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND EXISTS "
+        "(SELECT U.B FROM U WHERE U.B = R.B) AND R.B = $1",
+        [[0], [2]],
+    ),
+    (
+        "SELECT U.B FROM U, T WHERE U.C = T.C "
+        "AND U.B IN (SELECT R.B FROM R WHERE R.A = $1)",
+        [[0], [2], [6]],
+    ),
+]
+
+
+def _service_db(rows: int):
+    from repro.core import NULL, Database, Schema
+
+    schema = Schema(
+        {"R": ("A", "B"), "S": ("A", "C"), "T": ("C",), "U": ("B", "C")}
+    )
+    tables = {
+        "R": [(i, (i * 3) % 7 if i % 11 else NULL) for i in range(rows)],
+        "S": [(i * 2, i) for i in range(rows // 2)],
+        "T": [((i * 5) % 9,) for i in range(rows // 3)] + [(NULL,)],
+        "U": [((i * 3) % 7, (i * 5) % 9) for i in range(rows // 2)],
+    }
+    return Database(schema, tables)
+
+
+def _inline_sql(sql: str, params) -> str:
+    """The cold leg's SQL text: parameters inlined as literals, so the
+    ad-hoc path parses, plans, and executes the same query from scratch."""
+    for k, value in enumerate(params, start=1):
+        literal = "'" + value.replace("'", "''") + "'" if isinstance(value, str) else str(value)
+        sql = sql.replace(f"${k}", literal)
+    return sql
+
+
+def _service_drive(url, leg, clients, total, seed):
+    """Drive the service with ``clients`` concurrent asyncio clients.
+
+    Runs in a *separate process* (spawned by :func:`bench_service`), so the
+    load generator never shares the GIL with the server it measures.
+    Connections and (for the warm leg) statement preparation happen before
+    the timing window; the window covers exactly ``total`` requests.
+    Returns ``(elapsed_s, latencies_ms, served)`` where ``served`` is
+    ``[(sql, params, rows), ...]`` for the main process's semantics replay.
+    """
+    import asyncio
+    import random
+
+    from repro.service import ServiceClient
+
+    latencies = []
+    served = []
+    share = [total // clients] * clients
+    for i in range(total % clients):
+        share[i] += 1
+
+    async def request_loop(index, client, prepared):
+        rng = random.Random(seed * 100_000 + index)
+        for _ in range(share[index]):
+            sql, bindings = rng.choice(SERVICE_WORKLOAD)
+            params = rng.choice(bindings)
+            started = time.perf_counter()
+            if leg == "warm":
+                result = await client.execute(prepared[sql], params)
+            else:
+                result = await client.query(_inline_sql(sql, params))
+            latencies.append((time.perf_counter() - started) * 1e3)
+            served.append((sql, tuple(params), result.rows))
+
+    async def drive():
+        sessions = []
+        for _ in range(clients):
+            client = ServiceClient(url, tenant="bench")
+            await client.connect()
+            prepared = {}
+            if leg == "warm":
+                for sql, _bindings in SERVICE_WORKLOAD:
+                    prepared[sql] = await client.prepare(sql)
+            sessions.append((client, prepared))
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                request_loop(i, client, prepared)
+                for i, (client, prepared) in enumerate(sessions)
+            )
+        )
+        elapsed = time.perf_counter() - started
+        for client, _prepared in sessions:
+            await client.close()
+        return elapsed
+
+    return asyncio.run(drive()), latencies, served
+
+
+def bench_service(
+    clients: int,
+    requests: int,
+    rows: int,
+    out_path: str,
+    min_speedup: float = 2.0,
+) -> bool:
+    """Sustained-QPS service benchmark: warm (prepared) vs cold (ad-hoc).
+
+    Starts the asyncio query service in-process and drives it from a
+    separate load-generator process (:func:`_service_drive`) with
+    ``clients`` concurrent asyncio clients per leg, recording QPS plus
+    p50/p95/p99 request latency.  The warm leg executes prepared
+    statements (parse/annotate once, plan cache + cross-query build-side
+    sharing); the cold leg sends the same queries — parameters inlined —
+    through ``/query``, which parses and plans from scratch per request.
+
+    Two gates decide the exit code: every served result (both legs) must
+    match the formal semantics replayed over the same database
+    (``digest_match``), and the warm leg must clear 2x the cold leg's QPS.
+    """
+    import asyncio
+
+    from repro.core import Null
+    from repro.service import QueryService, ServiceClient, ServiceThread
+    from repro.service.protocol import (
+        bind_parameters,
+        expand_placeholders,
+        rows_from_json,
+    )
+    from repro.sql import annotate
+
+    db = _service_db(rows)
+    semantics = SqlSemantics(db.schema, star_style=STAR_COMPOSITIONAL)
+
+    # The formal-semantics oracle per (sql, params): every served response
+    # is replayed against these multisets.
+    oracle = {}
+    for sql, bindings in SERVICE_WORKLOAD:
+        template, count = expand_placeholders(sql)
+        query = annotate(template, db.schema)
+        for params in bindings:
+            bound = bind_parameters(query, list(params), count)
+            table = semantics.run(bound, db)
+            oracle[(sql, tuple(params))] = sorted(table.bag, key=repr)
+
+    service = QueryService()
+    served_digest = hashlib.sha256()
+    mismatches = []
+
+    def check(served):
+        for sql, params, rows_json in served:
+            got = sorted(rows_from_json(rows_json), key=repr)
+            served_digest.update(repr(got).encode())
+            if got != oracle[(sql, tuple(params))]:
+                mismatches.append((sql, params))
+
+    with ServiceThread(service) as thread:
+        url = thread.url
+        schema_json = {t: list(db.schema.attributes(t)) for t in db.schema.table_names}
+        tables_json = {
+            t: [
+                [None if isinstance(v, Null) else v for v in row]
+                for row in db.table(t).bag
+            ]
+            for t in db.schema.table_names
+        }
+
+        async def load():
+            async with ServiceClient(url, tenant="bench") as c:
+                await c.load(schema_json, tables_json)
+
+        asyncio.run(load())
+        print(
+            f"service: {clients} clients x {requests} requests/leg, "
+            f"{rows}-row tables, load generator in its own process ..."
+        )
+
+        # A spawned (not forked) pool: the child must not inherit the
+        # server thread's loop state, and must never share the server's
+        # GIL — the whole point of the separate process.
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            def run_leg(leg):
+                warmup = min(clients * 4, requests)
+                pool.apply(_service_drive, (url, leg, clients, warmup, 1))
+                # Best-of-two timed rounds: the QPS figure is the sustained
+                # capability, not whichever round the container scheduler
+                # happened to preempt.  Every served result of every round
+                # still goes through the semantics replay.
+                elapsed = None
+                latencies = []
+                for round_seed in (2, 3):
+                    round_elapsed, round_latencies, served = pool.apply(
+                        _service_drive, (url, leg, clients, requests, round_seed)
+                    )
+                    check(served)
+                    latencies.extend(round_latencies)
+                    if elapsed is None or round_elapsed < elapsed:
+                        elapsed = round_elapsed
+                latencies.sort()
+
+                def pct(p):
+                    return latencies[
+                        min(len(latencies) - 1, int(p * len(latencies)))
+                    ]
+
+                return {
+                    "requests": requests,
+                    "elapsed_s": round(elapsed, 3),
+                    "qps": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+                    "latency_ms": {
+                        "p50": round(pct(0.50), 3),
+                        "p95": round(pct(0.95), 3),
+                        "p99": round(pct(0.99), 3),
+                    },
+                }
+
+            cold = run_leg("cold")
+            print(
+                f"  cold (ad-hoc /query)       {cold['qps']:10.1f} qps  "
+                f"p50/p95/p99 {cold['latency_ms']['p50']:.2f}/"
+                f"{cold['latency_ms']['p95']:.2f}/{cold['latency_ms']['p99']:.2f} ms"
+            )
+            warm = run_leg("warm")
+            print(
+                f"  warm (prepared /execute)   {warm['qps']:10.1f} qps  "
+                f"p50/p95/p99 {warm['latency_ms']['p50']:.2f}/"
+                f"{warm['latency_ms']['p95']:.2f}/{warm['latency_ms']['p99']:.2f} ms"
+            )
+
+        async def stats():
+            async with ServiceClient(url, tenant="bench") as c:
+                return await c.stats()
+
+        service_stats = asyncio.run(stats())
+
+    tenant = service_stats["tenants"]["bench"]
+    build = tenant["build_cache"]
+    probes = build["hits"] + build["misses"]
+    cross_hit_rate = build["cross_hits"] / probes if probes else 0.0
+    speedup = warm["qps"] / cold["qps"] if cold["qps"] else 0.0
+    digest_match = not mismatches
+
+    doc = {
+        "schema": "bench-service/v1",
+        "clients": clients,
+        "rows": rows,
+        "warm": warm,
+        "cold": cold,
+        "speedup": round(speedup, 3),
+        "cross_query_build_hits": build["cross_hits"],
+        "cross_query_hit_rate": round(cross_hit_rate, 4),
+        "plan_cache": tenant["plan_cache"],
+        "build_cache": build,
+        "statements": tenant["statements"],
+        "served_digest": served_digest.hexdigest(),
+        "digest_match": digest_match,
+    }
+    Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+    ok = digest_match and speedup >= min_speedup and build["cross_hits"] > 0
+    print(
+        f"service: prepared/ad-hoc speedup {speedup:.2f}x "
+        f"(gate: >= {min_speedup:g}x), "
+        f"cross-query hit rate {cross_hit_rate:.1%} "
+        f"({build['cross_hits']} hits), semantics replay "
+        f"{'matches' if digest_match else 'DIVERGES'} "
+        f"({len(oracle)} distinct results) -> {out_path}"
+    )
+    if mismatches:
+        for sql, params in mismatches[:5]:
+            print(f"  MISMATCH: {sql!r} params={list(params)}", file=sys.stderr)
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5, help="rounds per stage")
@@ -783,6 +1083,30 @@ def main(argv=None) -> int:
         help="worker subprocesses for the distributed stage",
     )
     parser.add_argument(
+        "--service-clients", type=int, default=8,
+        help="concurrent asyncio clients for the service stage",
+    )
+    parser.add_argument(
+        "--service-requests", type=int, default=400,
+        help="requests per leg (warm and cold) for the service stage",
+    )
+    parser.add_argument(
+        "--service-rows", type=int, default=60,
+        help="row cap for the service stage's tables (kept small enough "
+        "that the formal-semantics replay gate stays cheap)",
+    )
+    parser.add_argument(
+        "--service-min-speedup", type=float, default=2.0,
+        help="warm/cold QPS ratio the service stage must clear (relax on "
+        "shared CI runners where wall-clock ratios are noisy; the digest "
+        "and cross-hit gates always apply)",
+    )
+    parser.add_argument(
+        "--service-out",
+        default=str(_ROOT / "BENCH_service.json"),
+        help="service-stage output JSON path",
+    )
+    parser.add_argument(
         "--out",
         default=str(_ROOT / "BENCH_engine.json"),
         help="engine-stage output JSON path",
@@ -794,9 +1118,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE, DISTRIBUTED_STAGE}
+    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE}
     if args.stages is None:
-        selected = list(ENGINE_STAGES) + [CAMPAIGN_STAGE, DISTRIBUTED_STAGE]
+        selected = list(ENGINE_STAGES) + [
+            CAMPAIGN_STAGE,
+            DISTRIBUTED_STAGE,
+            SERVICE_STAGE,
+        ]
     else:
         selected = [name.strip() for name in args.stages.split(",") if name.strip()]
         unknown = [name for name in selected if name not in known]
@@ -811,7 +1139,7 @@ def main(argv=None) -> int:
     results = {}
     semantics_ratio_value = None
     for name in selected:
-        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE):
+        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE):
             continue
         fn = stages[name]
         fn()  # warm-up (also populates any lazy caches outside the timing)
@@ -906,6 +1234,15 @@ def main(argv=None) -> int:
             args.campaign_rows,
             args.campaign_out,
         )
+    service_ok = True
+    if SERVICE_STAGE in selected:
+        service_ok = bench_service(
+            args.service_clients,
+            args.service_requests,
+            args.service_rows,
+            args.service_out,
+            min_speedup=args.service_min_speedup,
+        )
     if not digests_ok:
         print("FATAL: optimizer ablation digests disagree", file=sys.stderr)
         return 1
@@ -928,6 +1265,14 @@ def main(argv=None) -> int:
             "FATAL: the shipped campaign engine tier benches more than 5% "
             "slower than the columnar alternative (re-evaluate the "
             "single-use tier choice in repro.validation.runner)",
+            file=sys.stderr,
+        )
+        return 1
+    if not service_ok:
+        print(
+            "FATAL: service stage gate failed (semantics replay mismatch, "
+            "warm/cold speedup below 2x, or no cross-query build-cache "
+            "hits)",
             file=sys.stderr,
         )
         return 1

@@ -68,8 +68,9 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..service.transport import JsonHttpServer, JsonRequestHandler, http_json
 
 from .aggregate import Aggregator, CampaignResult
 from .backends import CampaignSpec
@@ -216,6 +217,7 @@ class Coordinator:
         trials: int,
         base_seed: int = 0,
         lease_trials: Optional[int] = None,
+        lease_target_s: Optional[float] = None,
         journal_path: Optional[str] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,
@@ -260,8 +262,19 @@ class Coordinator:
                     fresh = False
             self._writer = CheckpointWriter(checkpoint, header, fresh=fresh)
 
+        if lease_trials is None and lease_target_s is not None:
+            # Adaptive lease sizing: the checkpoints already record per-trial
+            # wall times (``ms``), so a resumed campaign sizes each lease to
+            # roughly ``lease_target_s`` of work at the observed median —
+            # long enough to amortize the HTTP round trip, short enough
+            # that an expired lease re-issues little.
+            p50 = self.aggregator.timing_percentiles().get("p50", 0.0)
+            if p50 > 0:
+                lease_trials = max(1, int(lease_target_s * 1000.0 / p50))
+        self.lease_trials_used: Optional[int] = lease_trials
         if lease_trials is None:
             lease_trials = min(500, max(1, trials))
+            self.lease_trials_used = lease_trials
         pending = [
             (lo, hi)
             for lo, hi in partition_leases(
@@ -403,6 +416,7 @@ class Coordinator:
                 "completed": self.aggregator.completed,
                 "mismatches": len(self.aggregator.mismatches),
                 "pending_ranges": len(self._pending),
+                "lease_trials": self.lease_trials_used,
                 "active_leases": [lease.to_json() for lease in self._active.values()],
                 "workers": sorted(self._workers),
                 "done": self._done_locked(),
@@ -430,40 +444,32 @@ class Coordinator:
 
 
 # -- HTTP transport ----------------------------------------------------------
+#
+# The wire mechanics (JSON framing, chunked submits, shared-secret auth,
+# the threaded server wrapper, the retrying client) live in
+# :mod:`repro.service.transport` — one transport for the campaign
+# coordinator and the always-on query service.  This section only maps
+# coordinator operations onto it.
 
 
-class _CoordinatorHandler(BaseHTTPRequestHandler):
+class _CoordinatorHandler(JsonRequestHandler):
     """JSON-over-HTTP front end: POST /lease, POST /submit, GET /status."""
-
-    protocol_version = "HTTP/1.1"
 
     @property
     def coordinator(self) -> Coordinator:
         return self.server.coordinator  # type: ignore[attr-defined]
 
-    def _send(self, payload: Dict[str, object], status: int = 200) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _read_json(self) -> Dict[str, object]:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b"{}"
-        payload = json.loads(raw.decode() or "{}")
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        return payload
-
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if not self._authorized():
+            return
         if self.path == "/status":
             self._send(self.coordinator.status())
         else:
             self._send({"error": f"unknown path {self.path}"}, 404)
 
     def do_POST(self) -> None:  # noqa: N802
+        if not self._authorized():
+            return
         try:
             payload = self._read_json()
         except (ValueError, json.JSONDecodeError) as exc:
@@ -494,60 +500,40 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         else:
             self._send({"error": f"unknown path {self.path}"}, 404)
 
-    def log_message(self, *_args) -> None:  # quiet by default
-        pass
-
-
-class CoordinatorServer:
-    """A threaded stdlib HTTP server wrapped around a :class:`Coordinator`.
+class CoordinatorServer(JsonHttpServer):
+    """The shared threaded HTTP server wrapped around a :class:`Coordinator`.
 
     ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
-    bound address either way.  Use as a context manager or call
-    :meth:`start`/:meth:`stop`.
+    bound address either way.  With a ``secret``, every request must carry
+    it in the shared transport's auth header.  Use as a context manager or
+    call :meth:`start`/:meth:`stop`.
     """
 
-    def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        secret: Optional[str] = None,
+    ):
         self.coordinator = coordinator
-        self._httpd = ThreadingHTTPServer((host, port), _CoordinatorHandler)
-        self._httpd.coordinator = coordinator  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
-
-    @property
-    def url(self) -> str:
-        host, port = self._httpd.server_address[:2]
-        return f"http://{host}:{port}"
-
-    def start(self) -> "CoordinatorServer":
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-coordinator", daemon=True
+        super().__init__(
+            _CoordinatorHandler,
+            host=host,
+            port=port,
+            secret=secret,
+            name="repro-coordinator",
+            coordinator=coordinator,
         )
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-
-    def __enter__(self) -> "CoordinatorServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
 
 
 def _http_json(
-    url: str, payload: Optional[Dict[str, object]] = None, timeout: float = 60.0
+    url: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 60.0,
+    **options,
 ) -> Dict[str, object]:
-    import urllib.request
-
-    data = None if payload is None else json.dumps(payload).encode()
-    headers = {"Content-Type": "application/json"} if data is not None else {}
-    request = urllib.request.Request(url, data=data, headers=headers)
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read().decode())
+    return http_json(url, payload, timeout_s=timeout, **options)
 
 
 def _run_lease_local(
@@ -585,6 +571,11 @@ def work_remote(
     poll_s: float = 1.0,
     max_idle_polls: Optional[int] = None,
     jobs: int = 1,
+    timeout_s: float = 60.0,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    secret: Optional[str] = None,
+    chunked: bool = False,
 ) -> Dict[str, object]:
     """Worker loop for ``repro work --coordinator URL``.
 
@@ -596,14 +587,26 @@ def work_remote(
     instead (:func:`_run_lease_local`), so one remote worker saturates
     all its cores; seed-purity keeps the submitted records — and the
     campaign digest — bit-identical to serial execution.
-    A coordinator that becomes unreachable ends the loop cleanly rather
-    than crashing: the server only goes away when the campaign finished
-    or was killed, and in both cases there is nothing left to work on
-    here (an unsubmitted lease will simply be re-issued).  The summary
-    carries a ``note`` when that happens.
+    With ``retries > 0`` a connection-level failure — the shape of a
+    coordinator *restart*, not a finished campaign — is retried with
+    exponential backoff (``backoff_s`` doubling per attempt, requests
+    capped at ``timeout_s``) before the worker gives up, so a worker
+    outlives a coordinator bounce and simply re-acquires a lease from the
+    resumed campaign.  A coordinator that stays unreachable past the
+    retry budget ends the loop cleanly rather than crashing: an
+    unsubmitted lease will simply be re-issued.  The summary carries a
+    ``note`` when that happens.  ``secret`` authenticates every request
+    through the shared transport; ``chunked`` streams submit bodies with
+    chunked transfer encoding.
     """
     worker = worker or f"{socket.gethostname()}-{os.getpid()}"
     url = url.rstrip("/")
+    options = {
+        "timeout_s": timeout_s,
+        "retries": retries,
+        "backoff_s": backoff_s,
+        "secret": secret,
+    }
     spec: Optional[CampaignSpec] = None
     backend = None
     spec_json: Optional[Dict[str, object]] = None
@@ -613,7 +616,7 @@ def work_remote(
     note: Optional[str] = None
     while True:
         try:
-            reply = _http_json(f"{url}/lease", {"worker": worker})
+            reply = http_json(f"{url}/lease", {"worker": worker}, **options)
         except OSError as exc:  # URLError, refused/reset connections
             note = f"coordinator unreachable ({exc}); stopping"
             break
@@ -640,9 +643,11 @@ def work_remote(
                 backend.run_trial(seed) for seed in range(lease["lo"], lease["hi"])
             ]
         try:
-            outcome = _http_json(
+            outcome = http_json(
                 f"{url}/submit",
                 {"lease": lease["id"], "worker": worker, "records": records},
+                chunked=chunked,
+                **options,
             )
         except OSError as exc:
             note = (

@@ -11,6 +11,8 @@ Commands
 ``report``       render campaign checkpoints (``--merge`` combines several)
 ``coordinate``   partition a campaign into leases + merge worker checkpoints
 ``work``         execute leases (``--coordinator URL`` or ``--seed-range A:B``)
+``serve``        run the always-on HTTP query service (prepared statements)
+``query``        run one query against a running ``serve`` instance
 ``generate``     print random queries from the Section 4 generator
 
 The campaign commands run on the unified subsystem of
@@ -192,10 +194,68 @@ def _cmd_differential(args) -> int:
     return 1 if result.mismatches else 0
 
 
+def _load_bench_service(path: str) -> Optional[dict]:
+    """The parsed ``bench-service/v1`` document, or None for anything else
+    (campaign JSONL files fail the single-document parse or the schema
+    check and fall through to the checkpoint renderer)."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"repro: {path}: {exc}")
+    except json.JSONDecodeError:
+        return None
+    if isinstance(doc, dict) and doc.get("schema") == "bench-service/v1":
+        return doc
+    return None
+
+
+def _render_bench_service(path: str, doc: dict) -> int:
+    def leg(label: str, entry: dict) -> str:
+        lat = entry.get("latency_ms", {})
+        return (
+            f"  {label:<26} {entry.get('qps', 0.0):>8.1f} qps  "
+            f"p50/p95/p99 {lat.get('p50', 0.0):.2f}/"
+            f"{lat.get('p95', 0.0):.2f}/{lat.get('p99', 0.0):.2f} ms "
+            f"({entry.get('requests', 0)} requests)"
+        )
+
+    print(f"service bench: {path}  ({doc.get('schema')})")
+    print(f"clients: {doc.get('clients')}, {doc.get('rows')}-row tables")
+    print(leg("cold (ad-hoc /query)", doc.get("cold", {})))
+    print(leg("warm (prepared /execute)", doc.get("warm", {})))
+    build = doc.get("build_cache", {})
+    plan = doc.get("plan_cache", {})
+    print(
+        f"speedup: {doc.get('speedup', 0.0):.2f}x   "
+        f"cross-query build hits: {doc.get('cross_query_build_hits', 0)} "
+        f"({doc.get('cross_query_hit_rate', 0.0):.1%} of lookups)"
+    )
+    print(
+        f"plan cache: {plan.get('hits', 0)} hits / {plan.get('misses', 0)} "
+        f"misses, {plan.get('entries', 0)} entries, {plan.get('bytes', 0)} bytes"
+    )
+    print(
+        f"build cache: {build.get('hits', 0)} hits / {build.get('misses', 0)} "
+        f"misses, {build.get('entries', 0)} entries, {build.get('bytes', 0)} bytes"
+    )
+    match = bool(doc.get("digest_match"))
+    print(
+        f"served digest: {str(doc.get('served_digest', ''))[:16]} — formal-"
+        f"semantics replay {'matches' if match else 'MISMATCH'}"
+    )
+    return 0 if match else 1
+
+
 def _cmd_report(args) -> int:
-    """Render ``campaign-checkpoint/v1`` file(s): pure aggregation, no trials."""
+    """Render ``campaign-checkpoint/v1`` file(s) — or a ``bench-service/v1``
+    document from ``scripts/bench.py --stages service``."""
     from .campaigns import summarize_checkpoint, summarize_merged
 
+    if not args.merge and len(args.checkpoints) == 1:
+        doc = _load_bench_service(args.checkpoints[0])
+        if doc is not None:
+            return _render_bench_service(args.checkpoints[0], doc)
     try:
         if args.merge:
             header, aggregator = summarize_merged(args.checkpoints)
@@ -360,6 +420,7 @@ def _coordinate_serve(spec, args) -> int:
             trials=args.trials,
             base_seed=args.seed,
             lease_trials=args.lease_trials,
+            lease_target_s=args.lease_target_s,
             journal_path=os.path.join(args.out, "leases.jsonl"),
             checkpoint=merged,
             resume=True,
@@ -368,9 +429,14 @@ def _coordinate_serve(spec, args) -> int:
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
     started = time.perf_counter()
-    with CoordinatorServer(coordinator, host=args.host, port=args.serve) as server:
+    with CoordinatorServer(
+        coordinator, host=args.host, port=args.serve, secret=args.secret
+    ) as server:
         print(f"coordinator: {args.trials} trials at {server.url}")
-        print(f"  start workers: python -m repro work --coordinator {server.url}")
+        hint = " --secret ..." if args.secret else ""
+        print(
+            f"  start workers: python -m repro work --coordinator {server.url}{hint}"
+        )
         try:
             while not coordinator.done:
                 time.sleep(min(1.0, max(0.05, args.poll_s)))
@@ -397,6 +463,78 @@ def _cmd_coordinate(args) -> int:
     return _coordinate_files(spec, args)
 
 
+def _cmd_serve(args) -> int:
+    """Run the always-on query service until interrupted."""
+    import asyncio
+
+    from .service import QueryService
+
+    service = QueryService(
+        secret=args.secret,
+        dialect=args.dialect,
+        plan_cache_size=args.plan_cache_size,
+        plan_cache_bytes=args.plan_cache_bytes,
+        build_cache_size=args.build_cache_size,
+        build_cache_bytes=args.build_cache_bytes,
+        batch_rows=args.batch_rows,
+    )
+    if args.database:
+        service.install_database(
+            load_database(args.database), name=args.name, tenant=args.tenant
+        )
+
+    async def go() -> None:
+        host, port = await service.start(args.host, args.port)
+        url = f"http://{host}:{port}"
+        print(f"query service at {url}" + (" (secret required)" if args.secret else ""))
+        if args.database:
+            print(
+                f"  {args.database} loaded as database {args.name!r} "
+                f"for tenant {args.tenant!r}"
+            )
+        print(f'  try: python -m repro query {url} "SELECT ..."')
+        await service.serve_forever()
+
+    try:
+        asyncio.run(go())
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """One query against a running service; prints the streamed result."""
+    from .core.bag import Bag
+    from .core.table import Table
+    from .service import ServiceError, query_once
+
+    params = None
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"repro: --params: {exc}")
+        if not isinstance(params, list):
+            raise SystemExit("repro: --params must be a JSON array")
+    try:
+        result = query_once(
+            args.url,
+            args.sql,
+            params=params,
+            secret=args.secret,
+            tenant=args.tenant,
+            database=args.db,
+            prepare=args.prepare,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"repro: {exc}")
+    except (ConnectionError, OSError, ValueError) as exc:
+        raise SystemExit(f"repro: cannot reach {args.url}: {exc}")
+    print(Table(result.labels, Bag(result.records())).pretty(max_rows=args.max_rows))
+    print(f"({result.row_count} row(s))")
+    return 0
+
+
 def _cmd_work(args) -> int:
     from .campaigns import run_campaign, work_remote
 
@@ -407,6 +545,10 @@ def _cmd_work(args) -> int:
             poll_s=args.poll_s,
             max_idle_polls=args.max_idle_polls,
             jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            backoff_s=args.backoff_s,
+            secret=args.secret,
         )
         print(
             f"worker {summary['worker']}: {summary['leases']} lease(s), "
@@ -590,6 +732,16 @@ def build_parser() -> argparse.ArgumentParser:
         "500 with --serve; smaller leases = finer re-issue)",
     )
     coordinate.add_argument(
+        "--lease-target-s", type=float, default=None,
+        help="--serve: size leases so one takes about this many seconds, "
+        "from the resumed checkpoint's p50 trial latency "
+        "(--lease-trials wins when both are given)",
+    )
+    coordinate.add_argument(
+        "--secret", default=None,
+        help="--serve: require this shared secret on every worker request",
+    )
+    coordinate.add_argument(
         "--lease-timeout-s", type=float, default=600.0,
         help="re-issue a lease not finished within this many seconds",
     )
@@ -639,6 +791,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="HTTP mode: give up after this many consecutive empty polls",
     )
     work.add_argument(
+        "--timeout-s", type=float, default=60.0,
+        help="HTTP mode: per-request timeout against the coordinator",
+    )
+    work.add_argument(
+        "--retries", type=int, default=0,
+        help="HTTP mode: retry an unreachable coordinator this many times "
+        "before giving up (connection errors only; HTTP errors never retry)",
+    )
+    work.add_argument(
+        "--backoff-s", type=float, default=0.5,
+        help="HTTP mode: initial retry backoff, doubled per attempt",
+    )
+    work.add_argument(
+        "--secret", default=None,
+        help="HTTP mode: shared secret the coordinator requires",
+    )
+    work.add_argument(
         "--seed-range", metavar="A:B",
         help="file mode: run seeds [A, B) offline via run_campaign",
     )
@@ -658,6 +827,73 @@ def build_parser() -> argparse.ArgumentParser:
         "missing seeds",
     )
     work.set_defaults(func=_cmd_work)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on HTTP query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--database", "-d", default=None,
+        help="JSON database file to preload at boot",
+    )
+    serve.add_argument(
+        "--name", default="default", help="database name for --database"
+    )
+    serve.add_argument(
+        "--tenant", default="public", help="tenant owning --database"
+    )
+    serve.add_argument(
+        "--secret", default=None,
+        help="require this shared secret on every request",
+    )
+    serve.add_argument(
+        "--dialect", choices=("postgres", "oracle"), default="postgres"
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=256,
+        help="plan-cache entries per tenant engine",
+    )
+    serve.add_argument(
+        "--plan-cache-bytes", type=int, default=None,
+        help="estimated-byte budget for each tenant's plan cache",
+    )
+    serve.add_argument(
+        "--build-cache-size", type=int, default=128,
+        help="build-side cache entries per tenant engine",
+    )
+    serve.add_argument(
+        "--build-cache-bytes", type=int, default=None,
+        help="estimated-byte budget for each tenant's build-side cache",
+    )
+    serve.add_argument(
+        "--batch-rows", type=int, default=256,
+        help="rows per streamed chunk",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="run one query against a running `repro serve`"
+    )
+    query.add_argument("url", metavar="URL", help="service base url")
+    query.add_argument("sql", metavar="SQL")
+    query.add_argument(
+        "--params", default=None, metavar="JSON",
+        help='JSON array bound to $1..$n (e.g. \'[1, null, "x"]\'); '
+        "implies the prepared path",
+    )
+    query.add_argument(
+        "--prepare", action="store_true",
+        help="force the prepared path even without --params",
+    )
+    query.add_argument("--tenant", default=None)
+    query.add_argument("--secret", default=None)
+    query.add_argument(
+        "--database", dest="db", default=None,
+        help="database name on the service (default: the service default)",
+    )
+    query.add_argument("--max-rows", type=int, default=50)
+    query.set_defaults(func=_cmd_query)
 
     generate = sub.add_parser("generate", help="print random queries")
     generate.add_argument("--count", type=int, default=5)

@@ -33,7 +33,7 @@ class Table:
     which case the declared columns fix the arity).
     """
 
-    __slots__ = ("_columns", "_bag", "_scan_rows", "_scan_cols")
+    __slots__ = ("_columns", "_bag", "_scan_rows", "_scan_cols", "_scan_fp")
 
     def __init__(self, columns: Sequence[Label], rows: Union[Bag, Iterable[Record]]):
         columns = tuple(columns)
@@ -52,6 +52,9 @@ class Table:
         #: immutable bag, computed lazily, excluded from eq/hash.
         self._scan_rows = None
         self._scan_cols = None
+        #: Build-cache content fingerprint over ``_scan_rows`` (same memo
+        #: contract: lazy, content-pure, dies with the table).
+        self._scan_fp = None
 
     @property
     def columns(self) -> Tuple[Label, ...]:

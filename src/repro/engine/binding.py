@@ -29,29 +29,45 @@ The trial campaigns run the same handful of queries over thousands of
 generated databases, and generated table contents repeat (small domains,
 small row caps) — yet every execution used to rebuild hash-join build
 tables, semi-join probe sets and subquery materializations from scratch.
-:class:`BuildSideCache` shares them *across executions, keyed by content*:
-each shareable structure is a pure function of (a) the node that computes
-it — tagged with a process-unique serial so evicted plans can never alias a
-new node — and (b) the bound rows of the base tables its subtree reads
+:class:`BuildSideCache` shares them *across executions and across queries,
+keyed by content*: each shareable structure is a pure function of (a) the
+normalized text of the subplan that computes it (:func:`share_signature` —
+a canonical rendering of the subtree's operators, compiled column
+positions and literals, plus the carrier configuration the structure
+depends on), and (b) the bound rows of the base tables its subtree reads
 (plus, for per-binding memo dicts, the outer values in the memo key, which
-the dicts already encode).  :func:`bind_plan` restores structures whose
-content key hits the cache, and :func:`unbind_plan` harvests the structures
-the execution computed, so a repeated-content trial pays for its build
-sides exactly once.  Entries hold copies made at bind time — never the
+the dicts already encode).  Two *different* prepared statements whose
+plans embed the same subquery over the same table contents therefore
+reuse one build side — the cross-query sharing the always-on query
+service leans on; ``cross_hits`` counts lookups served from a structure
+another plan built.  :func:`bind_plan` restores structures whose content
+key hits the cache, and :func:`unbind_plan` harvests the structures the
+execution computed, so a repeated-content trial pays for its build sides
+exactly once.  Entries hold copies made at bind time — never the
 :class:`~repro.core.schema.Database` object — and the cache is a bounded
-LRU, so rebinding to fresh content simply misses and ages the old entries
-out.
+LRU (entry count and, optionally, an estimated-byte budget), so rebinding
+to fresh content simply misses and ages the old entries out.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.schema import Database
 from ..core.values import Null
-from .expressions import AndPred, NotPred, OrPred
+from .expressions import (
+    AndPred,
+    ColumnRef,
+    ComparePred,
+    ConstPred,
+    IsNullPred,
+    LiteralExpr,
+    NotPred,
+    OrPred,
+)
 from .operators import (
     CachedSubplan,
     CrossJoin,
@@ -78,6 +94,8 @@ __all__ = [
     "bind_plan",
     "reset_plan",
     "unbind_plan",
+    "share_signature",
+    "estimate_bytes",
     "BuildSideCache",
 ]
 
@@ -121,18 +139,65 @@ def iter_plan_nodes(plan: PlanNode) -> Iterator[Tuple[PlanNode, object]]:
 
 _MISSING = object()
 
-#: Process-unique serials for shareable nodes: a cache key must never alias
-#: two nodes, and ``id()`` can be reused after a cached plan is evicted and
-#: collected, so identity is pinned the first time a node is shared.
+#: Process-unique serials, used two ways: as the *fallback* signature for
+#: structures the renderer cannot prove pure (an opaque predicate, an
+#: unknown operator — a fresh serial can never alias anything), and to tag
+#: each plan with an owner id so cross-query hits are countable.
 _share_serial = itertools.count(1)
 
 
-def _share_identity(carrier) -> int:
-    serial = getattr(carrier, "_share_id", None)
-    if serial is None:
-        serial = next(_share_serial)
-        carrier._share_id = serial
-    return serial
+def _plan_owner(plan) -> int:
+    owner = getattr(plan, "_share_owner", None)
+    if owner is None:
+        owner = next(_share_serial)
+        plan._share_owner = owner
+    return owner
+
+
+#: Maximum nesting ``estimate_bytes`` descends before treating a value as a
+#: leaf; build-side structures are at most (list of) tries of rows, so real
+#: values never hit it.
+_ESTIMATE_DEPTH = 8
+
+
+def estimate_bytes(value, _depth: int = 0) -> int:
+    """Rough recursive ``sys.getsizeof`` over a build-side structure.
+
+    An *estimate*: shared substructure is double-counted and interned
+    objects are charged per reference, which is the safe direction for a
+    byte budget.  Containers are walked to a bounded depth; rows are flat
+    tuples of ints/strings/None, so the bound is never reached in practice.
+    """
+    size = sys.getsizeof(value, 64)
+    if _depth >= _ESTIMATE_DEPTH:
+        return size
+    if isinstance(value, dict):
+        for key, item in value.items():
+            size += estimate_bytes(key, _depth + 1)
+            size += estimate_bytes(item, _depth + 1)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            size += estimate_bytes(item, _depth + 1)
+    return size
+
+
+class _Fingerprint(tuple):
+    """A table-content fingerprint whose hash is computed once.
+
+    Content keys embed the bound rows of every table a carrier reads, so
+    each cache probe hashes them; plain tuples re-hash every probe.  The
+    fingerprint is memoized on the immutable Table, so caching the hash
+    here turns the per-bind cost into one dict hit per table.  Equality is
+    inherited — keys still compare the actual rows.
+    """
+
+    _hash: Optional[int] = None
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = self._hash = tuple.__hash__(self)
+        return value
 
 
 class BuildSideCache:
@@ -140,39 +205,90 @@ class BuildSideCache:
 
     Values are whatever a shareable carrier computes during one execution —
     a hash-join build table, a semi-join probe set, a materialized subquery
-    row list, or a per-binding memo dict.  Keys pair the carrier's serial
-    with the bound contents of the base tables its subtree reads, so a hit
-    is exact (dict key equality compares the actual rows, not a digest) and
-    rebinding to different content is automatically a miss — the
-    invalidation story is the key itself.
+    row list, or a per-binding memo dict.  Keys pair the carrier's
+    normalized subplan text (:func:`share_signature`) with the bound
+    contents of the base tables its subtree reads, so a hit is exact (dict
+    key equality compares the actual rows, not a digest), rebinding to
+    different content is automatically a miss — the invalidation story is
+    the key itself — and two different plans embedding the same subquery
+    share one entry (``cross_hits`` counts those).
+
+    Eviction is LRU by entry count (``maxsize``) and, when ``max_bytes`` is
+    set, by total estimated bytes.  Re-storing the *identical* object only
+    re-walks the estimate when its top-level ``len()`` changed — the one
+    way a harvested structure grows between executions is a memo dict
+    gaining keys, and that shows in its length; build tables and tries are
+    immutable once built.
+
+    Entries also carry the row count :func:`unbind_plan` observed for the
+    structure, so a plan that restores a cached build side can report
+    cardinality feedback without re-walking it.
     """
 
-    def __init__(self, maxsize: int = 128):
+    def __init__(self, maxsize: int = 128, max_bytes: Optional[int] = None):
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self.max_bytes = max_bytes
+        #: key -> (value, owner serial of the storing plan, estimated
+        #: bytes, top-level len at estimate time, observed row count)
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.cross_hits = 0
+        self.bytes = 0
 
-    def lookup(self, key: tuple):
+    def lookup(self, key: tuple, reader: Optional[int] = None):
         """The cached value, or the module-private miss sentinel."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return _MISSING
-        self.hits += 1
-        self._entries.move_to_end(key)
+        value, _rows = self.lookup_entry(key, reader)
         return value
 
-    def store(self, key: tuple, value) -> None:
-        self._entries[key] = value
+    def lookup_entry(self, key: tuple, reader: Optional[int] = None):
+        """``(value, observed row count)``, or ``(miss sentinel, None)``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return _MISSING, None
+        value, owner, _nbytes, _length, rows = entry
+        self.hits += 1
+        if reader is not None and owner is not None and owner != reader:
+            self.cross_hits += 1
         self._entries.move_to_end(key)
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        return value, rows
+
+    def store(
+        self,
+        key: tuple,
+        value,
+        owner: Optional[int] = None,
+        rows: Optional[int] = None,
+    ) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old[2]
+        try:
+            length = len(value)
+        except TypeError:
+            length = -1
+        if old is not None and old[0] is value and old[3] == length:
+            nbytes = old[2]
+            if rows is None:
+                rows = old[4]
+        else:
+            nbytes = estimate_bytes(value)
+        self._entries[key] = (value, owner, nbytes, length, rows)
+        self.bytes += nbytes
+        while len(self._entries) > self.maxsize or (
+            self.max_bytes is not None
+            and self.bytes > self.max_bytes
+            and self._entries
+        ):
+            _entry = self._entries.popitem(last=False)[1]
+            self.bytes -= _entry[2]
             self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self.bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -181,10 +297,156 @@ class BuildSideCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "cross_hits": self.cross_hits,
             "evictions": self.evictions,
             "size": len(self._entries),
+            "entries": len(self._entries),
+            "bytes": self.bytes,
             "maxsize": self.maxsize,
+            "max_bytes": self.max_bytes or 0,
         }
+
+
+# -- normalized subplan text --------------------------------------------------
+#
+# ``share_signature`` renders the structure a cached value is a pure
+# function of into a canonical string: operator kinds, compiled (depth,
+# index) column positions, typed literals, predicate shapes — plus the
+# carrier configuration that shapes the value (hash-join build keys,
+# generic-join variables, memo reference positions).  Everything *not* in
+# the rendering is deliberately excluded because the value does not depend
+# on it: a ``SemiJoinProbe``'s probe set is a function of its subplan only,
+# so statements probing the same subquery with different left-hand
+# expressions still share one probe set.  Anything the renderer cannot
+# prove pure (an opaque callable, an operator it does not know) gets a
+# fresh process-unique serial instead — private, never aliased.
+
+
+def _expr_text(expr) -> tuple:
+    if isinstance(expr, ColumnRef):
+        return ("col", expr.depth, expr.index)
+    if isinstance(expr, LiteralExpr):
+        value = expr.value
+        return ("lit", type(value).__name__, value)
+    return ("opaque", next(_share_serial))
+
+
+def _pred_text(pred) -> tuple:
+    if isinstance(pred, ConstPred):
+        return ("const", pred.value)
+    if isinstance(pred, ComparePred):
+        return ("cmp", pred.op, _expr_text(pred.left), _expr_text(pred.right))
+    if isinstance(pred, IsNullPred):
+        return ("isnull", pred.negated, _expr_text(pred.expr))
+    if isinstance(pred, AndPred):
+        return ("and", _pred_text(pred.left), _pred_text(pred.right))
+    if isinstance(pred, OrPred):
+        return ("or", _pred_text(pred.left), _pred_text(pred.right))
+    if isinstance(pred, NotPred):
+        return ("not", _pred_text(pred.operand))
+    if isinstance(pred, ExistsPred):
+        return ("exists", _plan_text(pred.subplan))
+    if isinstance(pred, ExistsProbe):
+        return ("existsprobe", pred.closed, pred._refs, _plan_text(pred.subplan))
+    if isinstance(pred, InPred):
+        return (
+            "in",
+            pred.negated,
+            pred._refs,
+            tuple(_expr_text(e) for e in pred.exprs),
+            _plan_text(pred.subplan),
+        )
+    if isinstance(pred, SemiJoinProbe):
+        return (
+            "semijoinprobe",
+            pred.negated,
+            tuple(_expr_text(e) for e in pred.exprs),
+            _plan_text(pred.subplan),
+        )
+    return ("opaque", next(_share_serial))
+
+
+def _plan_text(node: PlanNode) -> tuple:
+    if isinstance(node, TableScan):
+        return ("scan", node.table, node.arity)
+    if isinstance(node, CrossJoin):
+        return ("cross",) + tuple(_plan_text(c) for c in node.children)
+    if isinstance(node, GenericJoin):
+        return ("generic", node.variables) + tuple(
+            _plan_text(c) for c in node.children
+        )
+    if isinstance(node, FilterOp):
+        return ("filter", _pred_text(node.predicate), _plan_text(node.child))
+    if isinstance(node, ProjectOp):
+        return (
+            "project",
+            tuple(_expr_text(e) for e in node.expressions),
+            _plan_text(node.child),
+        )
+    if isinstance(node, DistinctOp):
+        return ("distinct", _plan_text(node.child))
+    if isinstance(node, CachedSubplan):
+        return ("cachedsub", _plan_text(node.child))
+    if isinstance(node, MemoSubplan):
+        return ("memosub", node.memo_refs, _plan_text(node.child))
+    if isinstance(node, RemapOp):
+        return ("remap", node.mapping, _plan_text(node.child))
+    if isinstance(node, HashJoin):
+        return (
+            "hashjoin",
+            node.left_keys,
+            node.right_keys,
+            _plan_text(node.left),
+            _plan_text(node.right),
+        )
+    if isinstance(node, (SetOpNode, HashSetOp)):
+        return (
+            type(node).__name__.lower(),
+            node.op,
+            node.all,
+            _plan_text(node.left),
+            _plan_text(node.right),
+        )
+    # StaticScan (rows captured at plan time, not content-keyed) and any
+    # operator a future tier adds: never share.
+    return ("opaque", next(_share_serial))
+
+
+def share_signature(carrier, subtree: PlanNode) -> str:
+    """The normalized text a carrier's cached value is keyed by.
+
+    Includes exactly the structure the value depends on: the feeding
+    subtree's rendering plus the carrier configuration that shapes the
+    structure (build keys, join variables, memo reference positions) —
+    and *excludes* probe-side details the value does not depend on, so
+    different statements sharing a subquery share the entry.
+    """
+    if isinstance(carrier, CachedSubplan):
+        signature = ("cached", _plan_text(carrier.child))
+    elif isinstance(carrier, MemoSubplan):
+        signature = ("memo", carrier.memo_refs, _plan_text(carrier.child))
+    elif isinstance(carrier, HashJoin):
+        # The build table hashes the right child on right_keys; the left
+        # (probe) side is irrelevant, so different probe sides share.
+        signature = ("build", carrier.right_keys, _plan_text(carrier.right))
+    elif isinstance(carrier, GenericJoin):
+        signature = ("tries", carrier.variables) + tuple(
+            _plan_text(c) for c in carrier.children
+        )
+    elif isinstance(carrier, ExistsProbe):
+        if carrier.closed:
+            signature = ("exists1", _plan_text(carrier.subplan))
+        else:
+            signature = ("existsmemo", carrier._refs, _plan_text(carrier.subplan))
+    elif isinstance(carrier, InPred):
+        # The memo holds the subplan's distinct rows per outer binding —
+        # negation and the probe expressions only matter at probe time.
+        signature = ("inmemo", carrier._refs, _plan_text(carrier.subplan))
+    elif isinstance(carrier, SemiJoinProbe):
+        signature = ("semijoin", _plan_text(carrier.subplan))
+    else:
+        signature = ("node", next(_share_serial))
+    return repr(signature)
 
 
 def _shareable_carriers(nodes) -> List[Tuple[object, PlanNode]]:
@@ -229,8 +491,8 @@ def _subtree_tables(subtree: PlanNode) -> Tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def _share_plan(plan: PlanNode, nodes) -> List[Tuple[object, int, Tuple[str, ...]]]:
-    """The plan's shareable carriers with their serials and table names.
+def _share_plan(plan: PlanNode, nodes) -> List[Tuple[object, str, Tuple[str, ...]]]:
+    """The plan's shareable carriers with their signatures and table names.
 
     Purely structural, so it is computed once per plan object and cached on
     it — the per-bind work is then only fingerprinting the bound rows of
@@ -239,22 +501,24 @@ def _share_plan(plan: PlanNode, nodes) -> List[Tuple[object, int, Tuple[str, ...
     cached = getattr(plan, "_share_analysis", None)
     if cached is None:
         cached = [
-            (carrier, _share_identity(carrier), _subtree_tables(subtree))
+            (carrier, share_signature(carrier, subtree), _subtree_tables(subtree))
             for carrier, subtree in _shareable_carriers(nodes)
         ]
         plan._share_analysis = cached
     return cached
 
 
-def _restore(carrier, value) -> None:
+def _restore(carrier, value, rows: Optional[int] = None) -> None:
     if isinstance(carrier, CachedSubplan):
         carrier._cache = value
     elif isinstance(carrier, MemoSubplan):
         carrier._memo = value
     elif isinstance(carrier, HashJoin):
         carrier._table = value
+        carrier._restored_rows = rows
     elif isinstance(carrier, GenericJoin):
         carrier._tries = value
+        carrier._restored_rows = rows
     elif isinstance(carrier, ExistsProbe):
         if carrier.closed:
             carrier._known = value
@@ -264,6 +528,9 @@ def _restore(carrier, value) -> None:
         carrier._memo = value
     elif isinstance(carrier, SemiJoinProbe):
         carrier._keys, carrier._null_rows, carrier._rows = value
+        # Keep the cache's tuple so the next harvest returns the identical
+        # object and the re-store can skip its byte re-estimation.
+        carrier._harvested = value
 
 
 def _harvest(carrier):
@@ -284,7 +551,16 @@ def _harvest(carrier):
         return carrier._memo if carrier._memo else _MISSING
     if isinstance(carrier, SemiJoinProbe):
         if carrier._rows is not None:
-            return (carrier._keys, carrier._null_rows, carrier._rows)
+            value = getattr(carrier, "_harvested", None)
+            if (
+                value is None
+                or value[0] is not carrier._keys
+                or value[1] is not carrier._null_rows
+                or value[2] is not carrier._rows
+            ):
+                value = (carrier._keys, carrier._null_rows, carrier._rows)
+                carrier._harvested = value
+            return value
     return _MISSING
 
 
@@ -309,10 +585,11 @@ def bind_plan(
     With a ``cache``, shareable structures whose content key hits are
     restored instead of recomputed, and the (carrier, key) pairs are
     remembered on the plan so :func:`unbind_plan` can harvest what the
-    execution builds.  Sharing only engages from a plan's *second* bind:
-    keys are per plan node, so a plan executed once can neither hit nor be
-    hit, and the trial campaigns — one fresh plan per generated query —
-    must not pay the bookkeeping.
+    execution builds.  Sharing engages from a plan's *second* bind — or
+    immediately, when the cache already holds entries another plan may
+    have left for it (the cross-query case).  A lone plan executed once
+    can neither hit nor be hit, so the trial campaigns — one fresh plan
+    per generated query, empty cache — pay none of the bookkeeping.
     """
     nodes = []
     bound: Dict[str, list] = {}
@@ -342,21 +619,33 @@ def bind_plan(
         nodes.append((node, pred))
     binds = getattr(plan, "_bind_count", 0) + 1
     plan._bind_count = binds
-    if cache is not None and binds >= 2:
+    if cache is not None and (binds >= 2 or len(cache) > 0):
+        owner = _plan_owner(plan)
         fingerprints: Dict[str, tuple] = {}
         bindings = []
-        for carrier, serial, tables in _share_plan(plan, nodes):
-            signature = []
+        for carrier, signature, tables in _share_plan(plan, nodes):
+            contents = []
             for name in tables:
                 fingerprint = fingerprints.get(name)
                 if fingerprint is None:
-                    fingerprint = fingerprints[name] = tuple(bound[name])
-                signature.append((name, fingerprint))
-            key = (serial, tuple(signature))
+                    # Pure function of the immutable Table, so it is
+                    # memoized there alongside the scan rows themselves —
+                    # rebinding the same database reuses one tuple (and
+                    # its cached hash) instead of re-copying per bind.
+                    table = db.table(name)
+                    fingerprint = table._scan_fp
+                    if fingerprint is None:
+                        fingerprint = table._scan_fp = _Fingerprint(bound[name])
+                    fingerprints[name] = fingerprint
+                contents.append((name, fingerprint))
+            # The execution tier is part of the key: the columnar backend
+            # stores build sides in a different shape (column vectors +
+            # row-id groups) than the row-wise tiers.
+            key = (signature, columnar, tuple(contents))
             bindings.append((carrier, key))
-            value = cache.lookup(key)
+            value, rows = cache.lookup_entry(key, reader=owner)
             if value is not _MISSING:
-                _restore(carrier, value)
+                _restore(carrier, value, rows)
         plan._shared_bindings = bindings
     else:
         plan._shared_bindings = []
@@ -381,15 +670,14 @@ def unbind_plan(
     With a ``cache``, the structures this execution built are harvested
     into it first, under the content keys recorded by :func:`bind_plan`.
     """
-    if cache is not None:
-        for carrier, key in getattr(plan, "_shared_bindings", ()):
-            value = _harvest(carrier)
-            if value is not _MISSING:
-                cache.store(key, value)
-    plan._shared_bindings = []
     observed_tables: Dict[str, int] = {}
     observed_nodes: Dict[str, int] = {}
-    for position, (node, pred) in enumerate(iter_plan_nodes(plan)):
+    # Carrier id -> rows observed, recorded alongside the cache entry so a
+    # future execution that restores the structure replays the count
+    # instead of re-walking an unchanged build table or trie forest.
+    carrier_rows: Dict[int, int] = {}
+    walk = list(iter_plan_nodes(plan))
+    for position, (node, pred) in enumerate(walk):
         if isinstance(node, TableScan):
             if node.data is not None:
                 count = len(node.data)
@@ -400,11 +688,27 @@ def unbind_plan(
         elif isinstance(node, CachedSubplan) and node._cache is not None:
             observed_nodes[f"{position}:CachedSubplan"] = len(node._cache)
         elif isinstance(node, HashJoin) and node._table is not None:
-            observed_nodes[f"{position}:HashJoin"] = _build_size(node._table)
+            count = getattr(node, "_restored_rows", None)
+            if count is None:
+                count = _build_size(node._table)
+            observed_nodes[f"{position}:HashJoin"] = count
+            carrier_rows[id(node)] = count
         elif isinstance(node, GenericJoin) and node._tries is not None:
-            observed_nodes[f"{position}:GenericJoin"] = sum(
-                _trie_size(trie) for trie in node._tries
-            )
+            count = getattr(node, "_restored_rows", None)
+            if count is None:
+                count = sum(_trie_size(trie) for trie in node._tries)
+            observed_nodes[f"{position}:GenericJoin"] = count
+            carrier_rows[id(node)] = count
+    if cache is not None:
+        owner = _plan_owner(plan)
+        for carrier, key in getattr(plan, "_shared_bindings", ()):
+            value = _harvest(carrier)
+            if value is not _MISSING:
+                cache.store(
+                    key, value, owner=owner, rows=carrier_rows.get(id(carrier))
+                )
+    plan._shared_bindings = []
+    for node, pred in walk:
         _reset_state(node, pred)
     # Cardinality feedback: what this execution actually saw, keyed by
     # base table (scans) and by walk position (intermediate structures).
@@ -440,8 +744,10 @@ def _reset_state(node, pred) -> None:
         node._memo = {}
     elif isinstance(node, HashJoin):
         node._table = None
+        node._restored_rows = None
     elif isinstance(node, GenericJoin):
         node._tries = None
+        node._restored_rows = None
     if isinstance(pred, ExistsProbe):
         pred._known = None
         pred._memo = {}
@@ -451,5 +757,6 @@ def _reset_state(node, pred) -> None:
         pred._keys = None
         pred._null_rows = None
         pred._rows = None
+        pred._harvested = None
     elif isinstance(pred, ExistsPred):
         pass  # stateless: re-executes its subplan every probe

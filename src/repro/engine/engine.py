@@ -77,6 +77,7 @@ query per campaign trial) pay none of the bookkeeping.
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -85,7 +86,13 @@ from ..core.schema import Database, Schema
 from ..core.table import Table
 from ..core.values import NULL
 from ..sql.ast import Query
-from .binding import BuildSideCache, bind_plan, iter_plan_nodes, unbind_plan
+from .binding import (
+    BuildSideCache,
+    bind_plan,
+    estimate_bytes,
+    iter_plan_nodes,
+    unbind_plan,
+)
 from .columnar import compile_columnar
 from .compile import compile_plan
 from .operators import TableScan
@@ -107,6 +114,18 @@ DEFAULT_BUILD_CACHE_SIZE = 128
 REOPT_DRIFT_FACTOR = 2.0
 
 
+def _estimate_plan_bytes(compiled: CompiledQuery) -> int:
+    """Rough footprint of a cached plan: per-node/per-predicate object
+    sizes over the full walk (subquery plans included) plus the label row.
+    Plans are cached *unbound* — no table rows — so object headers and
+    small per-node tuples dominate, and a node-count-proportional estimate
+    is the honest measure a byte budget can evict against."""
+    size = sys.getsizeof(compiled) + estimate_bytes(compiled.labels)
+    for node, pred in iter_plan_nodes(compiled.plan):
+        size += sys.getsizeof(node if node is not None else pred, 64)
+    return size
+
+
 class Engine:
     """An independent executor for basic SQL, in two dialect flavours."""
 
@@ -119,6 +138,8 @@ class Engine:
         vectorized: bool = False,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         build_cache_size: int = DEFAULT_BUILD_CACHE_SIZE,
+        plan_cache_bytes: Optional[int] = None,
+        build_cache_bytes: Optional[int] = None,
         optimizer_options: Optional[Dict[str, bool]] = None,
     ):
         # The tiers compose predictably or not at all: both lowerings
@@ -150,13 +171,19 @@ class Engine:
         self.compiled = compiled
         self.vectorized = vectorized
         self.plan_cache_size = plan_cache_size
+        #: Optional estimated-byte budget for cached plans; None = unbounded.
+        self.plan_cache_bytes = plan_cache_bytes
         self._plan_cache: "OrderedDict[Query, CompiledQuery]" = OrderedDict()
+        self._plan_sizes: Dict[Query, int] = {}
+        self._plan_bytes = 0
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
         self._reoptimizations = 0
         self._build_cache = (
-            BuildSideCache(build_cache_size) if build_cache_size > 0 else None
+            BuildSideCache(build_cache_size, max_bytes=build_cache_bytes)
+            if build_cache_size > 0
+            else None
         )
         #: Last observed bound row count per base table, harvested from
         #: each cached plan's unbind walk — the cardinality feedback that
@@ -224,15 +251,33 @@ class Engine:
             # order changes; the RemapOp contract preserves the layout).
             self._reoptimizations += 1
             compiled = self._compile(query)
-            self._plan_cache[query] = compiled
+            self._admit(query, compiled)
             return compiled
         self._cache_misses += 1
         compiled = self._compile(query)
-        self._plan_cache[query] = compiled
-        if len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
-            self._cache_evictions += 1
+        self._admit(query, compiled)
         return compiled
+
+    def _admit(self, query: Query, compiled: CompiledQuery) -> None:
+        """Admit a plan, then evict LRU entries until both the entry-count
+        cap and the (optional) estimated-byte budget hold again.  A plan
+        evicted right after admission is still returned to the caller —
+        over-budget plans simply are not retained."""
+        old = self._plan_cache.pop(query, None)
+        if old is not None:
+            self._plan_bytes -= self._plan_sizes.pop(query, 0)
+        self._plan_cache[query] = compiled
+        nbytes = _estimate_plan_bytes(compiled)
+        self._plan_sizes[query] = nbytes
+        self._plan_bytes += nbytes
+        while len(self._plan_cache) > self.plan_cache_size or (
+            self.plan_cache_bytes is not None
+            and self._plan_bytes > self.plan_cache_bytes
+            and self._plan_cache
+        ):
+            evicted, _ = self._plan_cache.popitem(last=False)
+            self._plan_bytes -= self._plan_sizes.pop(evicted, 0)
+            self._cache_evictions += 1
 
     def _stale(self, plan) -> bool:
         """Whether observed cardinalities have drifted far enough from the
@@ -292,26 +337,46 @@ class Engine:
         ``observed_rows`` maps each base table to the row count last seen
         (seeded at bind time, confirmed by the unbind walk), and
         ``reoptimizations`` counts cache hits whose plan was re-ordered
-        because those observations contradicted its estimates."""
+        because those observations contradicted its estimates.  ``entries``
+        / ``bytes`` size the cache (estimated bytes, LRU-evicted against
+        ``max_bytes`` when set), and ``build`` nests the build-side cache's
+        own counters so one call sizes both caches."""
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "evictions": self._cache_evictions,
             "reoptimizations": self._reoptimizations,
             "size": len(self._plan_cache),
+            "entries": len(self._plan_cache),
+            "bytes": self._plan_bytes,
             "maxsize": self.plan_cache_size,
+            "max_bytes": self.plan_cache_bytes or 0,
             "observed_rows": dict(self._observed_tables),
+            "build": self.build_cache_info(),
         }
 
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()
+        self._plan_sizes.clear()
+        self._plan_bytes = 0
 
     # -- build-side cache ----------------------------------------------------
 
     def build_cache_info(self) -> Dict[str, int]:
-        """Build-side cache counters: hits, misses, evictions, current size."""
+        """Build-side cache counters: hits, misses, cross-query hits,
+        evictions, entry count and estimated bytes."""
         if self._build_cache is None:
-            return {"hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0}
+            return {
+                "hits": 0,
+                "misses": 0,
+                "cross_hits": 0,
+                "evictions": 0,
+                "size": 0,
+                "entries": 0,
+                "bytes": 0,
+                "maxsize": 0,
+                "max_bytes": 0,
+            }
         return self._build_cache.info()
 
     def clear_build_cache(self) -> None:

@@ -391,6 +391,9 @@ class HashJoin(PlanNode):
     #: the build-side cache of :mod:`repro.engine.binding`).
     _table: Optional[dict] = field(default=None, repr=False, compare=False)
     _closed_build: Optional[bool] = field(default=None, repr=False, compare=False)
+    #: Row count recorded with the cache entry ``_table`` was restored
+    #: from, replayed as cardinality feedback without re-walking it.
+    _restored_rows: Optional[int] = field(default=None, repr=False, compare=False)
 
     def _build(self, outers: OuterStack) -> dict:
         table: dict = {}
@@ -471,6 +474,9 @@ class GenericJoin(PlanNode):
     #: through the build-side cache of :mod:`repro.engine.binding`).
     _tries: Optional[List[object]] = field(default=None, repr=False, compare=False)
     _closed_build: Optional[bool] = field(default=None, repr=False, compare=False)
+    #: Row count recorded with the cache entry ``_tries`` was restored
+    #: from, replayed as cardinality feedback without re-walking it.
+    _restored_rows: Optional[int] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         # Purely structural, derived once: which variables each child binds
@@ -770,7 +776,7 @@ class ExistsProbe:
     outer values at the subplan's free reference positions, the only inputs
     the subquery's result can depend on."""
 
-    __slots__ = ("subplan", "closed", "_known", "_refs", "_memo", "_share_id")
+    __slots__ = ("subplan", "closed", "_known", "_refs", "_memo")
 
     def __init__(
         self,
@@ -783,7 +789,6 @@ class ExistsProbe:
         self._known: Optional[bool] = None
         self._refs = tuple(sorted(memo_refs)) if memo_refs else None
         self._memo: dict = {}
-        self._share_id: Optional[int] = None
 
     def _binding(self, row: Row, outers: OuterStack) -> Tuple:
         return tuple(
@@ -821,7 +826,7 @@ class InPred:
     rows per binding of the referenced outer values — a disjunction cannot
     change under duplicate elimination, so distinct rows suffice."""
 
-    __slots__ = ("exprs", "subplan", "negated", "_refs", "_memo", "_share_id")
+    __slots__ = ("exprs", "subplan", "negated", "_refs", "_memo")
 
     def __init__(
         self,
@@ -835,7 +840,6 @@ class InPred:
         self.negated = negated
         self._refs = tuple(sorted(memo_refs)) if memo_refs else None
         self._memo: dict = {}
-        self._share_id: Optional[int] = None
 
     def _sub_rows(self, row: Row, outers: OuterStack) -> Sequence[Row]:
         if self._refs is None:
@@ -881,7 +885,7 @@ class SemiJoinProbe:
         "_keys",
         "_null_rows",
         "_rows",
-        "_share_id",
+        "_harvested",
     )
 
     def __init__(self, exprs: Sequence[RowExpr], subplan: PlanNode, negated: bool):
@@ -891,7 +895,9 @@ class SemiJoinProbe:
         self._keys: Optional[frozenset] = None
         self._null_rows: Optional[List[Row]] = None
         self._rows: Optional[List[Row]] = None
-        self._share_id: Optional[int] = None
+        #: The last tuple handed to (or restored from) the build-side
+        #: cache, kept so repeat harvests return the identical object.
+        self._harvested: Optional[tuple] = None
 
     def _materialize(self) -> None:
         distinct = list(dict.fromkeys(self.subplan.rows(())))

@@ -1,0 +1,55 @@
+"""The always-on query service: prepared statements over the engine.
+
+- :mod:`~repro.service.transport` — shared authenticated JSON/HTTP
+  transport (also used by the distributed-campaign coordinator).
+- :mod:`~repro.service.protocol` — ``$k`` parameter binding and the
+  NDJSON row framing.
+- :mod:`~repro.service.registry` — per-tenant prepared statements,
+  engines, and the statement byte budget.
+- :mod:`~repro.service.server` — the asyncio HTTP front end.
+- :mod:`~repro.service.client` — the asyncio client.
+"""
+
+from .client import ResultSet, ServiceClient, ServiceError, query_once, request_once
+from .protocol import (
+    ProtocolError,
+    bind_parameters,
+    expand_placeholders,
+    row_to_json,
+    rows_from_json,
+)
+from .registry import PreparedStatement, ServiceRegistry, Tenant
+from .server import DEFAULT_TENANT, QueryService, ServiceThread
+from .transport import (
+    AUTH_HEADER,
+    JsonHttpServer,
+    JsonRequestHandler,
+    auth_headers,
+    check_secret,
+    http_json,
+)
+
+__all__ = [
+    "AUTH_HEADER",
+    "DEFAULT_TENANT",
+    "JsonHttpServer",
+    "JsonRequestHandler",
+    "PreparedStatement",
+    "ProtocolError",
+    "QueryService",
+    "ResultSet",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRegistry",
+    "ServiceThread",
+    "Tenant",
+    "auth_headers",
+    "bind_parameters",
+    "check_secret",
+    "expand_placeholders",
+    "http_json",
+    "query_once",
+    "request_once",
+    "row_to_json",
+    "rows_from_json",
+]

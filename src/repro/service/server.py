@@ -1,0 +1,458 @@
+"""The always-on asyncio query service.
+
+A stdlib-only HTTP/1.1 server (``asyncio.start_server`` — no third-party
+frameworks, per the repo's dependency rule) in front of the engine:
+
+* ``POST /prepare``   ``{sql, tenant?, database?}`` → ``{statement,
+  params}``: parse + annotate once, returns an unguessable statement id
+  scoped to the tenant.
+* ``POST /execute``   ``{statement, params?, tenant?}``: bind parameter
+  values into the frozen template, run through the tenant's engine (plan
+  cache + cross-query build-side sharing), stream the result.
+* ``POST /query``     ``{sql, tenant?, database?}``: the ad-hoc path —
+  parse, plan and execute from scratch on an *uncached* engine.  This is
+  deliberate admission policy, not a missing optimization: only prepared
+  statements admit plans, so one-off queries can never churn a tenant's
+  caches (and the bench's cold leg measures exactly this path).
+* ``POST /load``      ``{name?, schema, tables, tenant?}``: install a
+  database for a tenant (rows carry NULL as JSON null).
+* ``GET /stats``, ``GET /health``.
+
+Streaming and backpressure
+--------------------------
+
+Results stream as newline-delimited JSON objects in a chunked response:
+``{"labels": …}``, then ``{"rows": [...]}`` batches of ``batch_rows``
+records, then ``{"done": true, "row_count": n}``.  Each connection's
+write buffer is bounded (``buffer_bytes`` high-water mark) and the
+producer ``await``\\ s ``writer.drain()`` after every batch — a slow
+client suspends *its own* response coroutine at the bounded buffer while
+other connections keep being served.  (Rows are materialized by
+``Engine.execute`` before streaming begins — the engine's result is a
+bag, not a cursor — so the bound buffer governs the wire, not the
+execution.)
+
+Engine executions run synchronously on the event loop, which serializes
+them: plans and build caches are mutable single-threaded structures, and
+the service's concurrency lives in overlapped I/O (parse/execute of one
+request proceeds while other connections stream), matching the engine's
+thread-free design.  Authentication reuses the shared transport's
+secret header (:mod:`repro.service.transport`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.schema import Database, Schema
+from ..core.values import NULL
+from ..engine import Engine
+from .protocol import ProtocolError, row_to_json
+from .registry import ServiceRegistry
+from .transport import AUTH_HEADER, check_secret
+
+__all__ = ["QueryService", "ServiceThread", "DEFAULT_TENANT"]
+
+DEFAULT_TENANT = "public"
+DEFAULT_DATABASE = "default"
+
+#: Result records per streamed JSON batch.
+DEFAULT_BATCH_ROWS = 256
+
+#: Per-connection write-buffer high-water mark (bytes): the backpressure
+#: bound — drain() suspends the producer once this much is unsent.
+DEFAULT_BUFFER_BYTES = 64 * 1024
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class QueryService:
+    """The service state plus its asyncio protocol handlers."""
+
+    def __init__(
+        self,
+        secret: Optional[str] = None,
+        dialect: str = "postgres",
+        plan_cache_size: int = 256,
+        plan_cache_bytes: Optional[int] = None,
+        build_cache_size: int = 128,
+        build_cache_bytes: Optional[int] = None,
+        max_statement_bytes: Optional[int] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    ):
+        self.secret = secret
+        self.batch_rows = batch_rows
+        self.buffer_bytes = buffer_bytes
+        self.registry = ServiceRegistry(
+            dialect=dialect,
+            plan_cache_size=plan_cache_size,
+            plan_cache_bytes=plan_cache_bytes,
+            build_cache_size=build_cache_size,
+            build_cache_bytes=build_cache_bytes,
+            max_statement_bytes=max_statement_bytes,
+        )
+        self.requests = 0
+        self.streams_in_flight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- databases -----------------------------------------------------------
+
+    def install_database(
+        self, db: Database, name: str = DEFAULT_DATABASE, tenant: str = DEFAULT_TENANT
+    ) -> None:
+        """Install a database for a tenant (also used by ``repro serve`` for
+        the boot-time default)."""
+        self.registry.tenant(tenant).add_database(name, db)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        return bound_host, bound_port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=self.buffer_bytes)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self.requests += 1
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                try:
+                    await self._route(method, path, headers, body, writer)
+                except _BadRequest as exc:
+                    await self._send_json(
+                        writer, {"error": str(exc)}, status=exc.status
+                    )
+                except (ReproError, ProtocolError, ValueError, KeyError) as exc:
+                    await self._send_json(
+                        writer,
+                        {"error": str(exc), "kind": type(exc).__name__},
+                        status=400,
+                    )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        # One readuntil for the whole head: request line + headers arrive
+        # in a single scan instead of a readline per header.
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            return None
+        if len(head) > _MAX_HEADER_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split()
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _sep, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        if (headers.get("transfer-encoding") or "").lower() == "chunked":
+            chunks = []
+            while True:
+                size_line = await reader.readline()
+                size = int(size_line.split(b";", 1)[0], 16)
+                if size == 0:
+                    while True:
+                        trailer = await reader.readline()
+                        if trailer in (b"\r\n", b"\n", b""):
+                            break
+                    break
+                chunks.append(await reader.readexactly(size))
+                await reader.readline()  # chunk CRLF
+            body = b"".join(chunks)
+        else:
+            length = int(headers.get("content-length") or 0)
+            if length > _MAX_BODY_BYTES:
+                return None
+            if length:
+                body = await reader.readexactly(length)
+        return method, path, headers, body
+
+    # -- responses -----------------------------------------------------------
+
+    _STATUS_TEXT = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
+                    404: "Not Found", 409: "Conflict"}
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, payload: dict, status: int = 200
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {self._STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _stream_result(self, writer: asyncio.StreamWriter, labels, records) -> None:
+        """Chunked newline-delimited JSON with drain-per-batch backpressure."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        self.streams_in_flight += 1
+        try:
+            # NDJSON lines coalesce into one HTTP chunk per rows batch (the
+            # labels ride with the first batch, the done trailer with the
+            # last), so a small result is a single chunk + terminator.
+            lines: List[bytes] = [
+                json.dumps({"labels": [str(l) for l in labels]}).encode()
+            ]
+            count = 0
+            batch: List[list] = []
+            for record in records:
+                batch.append(row_to_json(record))
+                count += 1
+                if len(batch) >= self.batch_rows:
+                    lines.append(json.dumps({"rows": batch}).encode())
+                    batch = []
+                    await self._write_chunk(writer, lines)
+                    lines = []
+            if batch:
+                lines.append(json.dumps({"rows": batch}).encode())
+            lines.append(
+                json.dumps({"done": True, "row_count": count}).encode()
+            )
+            await self._write_chunk(writer, lines)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            self.streams_in_flight -= 1
+
+    async def _write_chunk(self, writer: asyncio.StreamWriter, lines: List[bytes]) -> None:
+        data = b"\n".join(lines) + b"\n"
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        # The backpressure contract: suspend here whenever the connection's
+        # bounded write buffer is above its high-water mark.
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(self, method, path, headers, body, writer) -> None:
+        if not check_secret(headers.get(AUTH_HEADER.lower()), self.secret):
+            await self._send_json(writer, {"error": "unauthorized"}, status=401)
+            return
+        if method == "GET" and path == "/health":
+            await self._send_json(writer, {"ok": True})
+            return
+        if method == "GET" and path == "/stats":
+            stats = self.registry.stats()
+            stats["requests"] = self.requests
+            stats["streams_in_flight"] = self.streams_in_flight
+            await self._send_json(writer, stats)
+            return
+        if method != "POST":
+            raise _BadRequest(f"unknown route {method} {path}", status=404)
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"bad JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        tenant_name = str(payload.get("tenant") or DEFAULT_TENANT)
+        if path == "/load":
+            await self._send_json(writer, self._do_load(tenant_name, payload))
+        elif path == "/prepare":
+            await self._send_json(writer, self._do_prepare(tenant_name, payload))
+        elif path == "/execute":
+            await self._do_execute(tenant_name, payload, writer)
+        elif path == "/query":
+            await self._do_query(tenant_name, payload, writer)
+        else:
+            raise _BadRequest(f"unknown route {method} {path}", status=404)
+
+    # -- route bodies --------------------------------------------------------
+
+    def _do_load(self, tenant_name: str, payload: dict) -> dict:
+        name = str(payload.get("name") or DEFAULT_DATABASE)
+        schema_json = payload.get("schema")
+        if not isinstance(schema_json, dict) or not schema_json:
+            raise _BadRequest("'schema' must map table names to column lists")
+        schema = Schema({t: tuple(cols) for t, cols in schema_json.items()})
+        tables = {
+            t: [
+                tuple(NULL if v is None else v for v in row)
+                for row in rows
+            ]
+            for t, rows in (payload.get("tables") or {}).items()
+        }
+        db = Database(schema, tables)
+        self.registry.tenant(tenant_name).add_database(name, db)
+        return {
+            "database": name,
+            "tables": {t: len(db.table(t)) for t in schema.table_names},
+        }
+
+    def _do_prepare(self, tenant_name: str, payload: dict) -> dict:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise _BadRequest("'sql' must be a non-empty string")
+        database = str(payload.get("database") or DEFAULT_DATABASE)
+        try:
+            statement_id, statement = self.registry.prepare(
+                tenant_name, sql, database
+            )
+        except KeyError as exc:
+            raise _BadRequest(str(exc.args[0]), status=404)
+        return {"statement": statement_id, "params": statement.param_count}
+
+    def _resolve_database(self, tenant, statement, payload) -> Database:
+        name = payload.get("database") or statement.database
+        db = tenant.databases.get(str(name))
+        if db is None:
+            raise _BadRequest(f"unknown database {name!r}", status=404)
+        return db
+
+    async def _do_execute(self, tenant_name: str, payload: dict, writer) -> None:
+        statement_id = str(payload.get("statement") or "")
+        statement = self.registry.lookup(tenant_name, statement_id)
+        if statement is None:
+            # Unknown here covers "another tenant's id" by construction:
+            # lookups only ever see the requesting tenant's table.
+            raise _BadRequest(f"unknown statement {statement_id!r}", status=404)
+        params = payload.get("params") or []
+        if not isinstance(params, list):
+            raise _BadRequest("'params' must be an array")
+        tenant = self.registry.tenant(tenant_name)
+        db = self._resolve_database(tenant, statement, payload)
+        bound = statement.bind(params)
+        engine = tenant.engine_for(db.schema)
+        table = engine.execute(bound, db)
+        statement.executions += 1
+        tenant.executions += 1
+        await self._stream_result(writer, table.columns, table.bag)
+
+    async def _do_query(self, tenant_name: str, payload: dict, writer) -> None:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise _BadRequest("'sql' must be a non-empty string")
+        tenant = self.registry.tenant(tenant_name)
+        name = str(payload.get("database") or DEFAULT_DATABASE)
+        db = tenant.databases.get(name)
+        if db is None:
+            raise _BadRequest(f"unknown database {name!r}", status=404)
+        from ..sql import annotate
+
+        # Ad-hoc admission policy: a fresh single-use engine — parse, plan
+        # and execute from scratch, no plan admitted, no cache churned.
+        engine = Engine(
+            db.schema,
+            tenant.dialect,
+            plan_cache_size=0,
+            build_cache_size=0,
+        )
+        query = annotate(sql, db.schema)
+        table = engine.execute(query, db)
+        tenant.executions += 1
+        await self._stream_result(writer, table.columns, table.bag)
+
+
+class ServiceThread:
+    """Run a :class:`QueryService` on a background event loop thread.
+
+    The synchronous harness the benchmark and tests use: the server lives
+    on its own loop; the caller gets ``url`` and drives clients from
+    wherever it likes.  Context-manager protocol shuts the loop down.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self.url: Optional[str] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("query service failed to start")
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            host, port = await self.service.start(self._host, self._port)
+            self.url = f"http://{host}:{port}"
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+        # Drain: close the listener and cancel still-open connection
+        # handlers inside the loop before it is discarded.
+        self._loop.run_until_complete(self.service.stop())
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None

@@ -1,0 +1,228 @@
+"""Shared authenticated JSON-over-HTTP transport.
+
+One transport, two servers: the campaign coordinator
+(:class:`repro.campaigns.distributed.CoordinatorServer`) and the query
+service (:mod:`repro.service.server`) speak the same small JSON-over-HTTP
+dialect, so its mechanics live here once:
+
+* **Shared-secret auth.**  Requests carry the secret in the
+  :data:`AUTH_HEADER` header; servers compare with
+  :func:`hmac.compare_digest` (constant-time, no length leak) and answer
+  401 on mismatch.  A server constructed without a secret accepts
+  everything — the trusted-localhost default the tests and single-machine
+  campaigns use.
+* **Chunked submits.**  :func:`read_body` honours both ``Content-Length``
+  and ``Transfer-Encoding: chunked`` requests, and :func:`http_json` can
+  send chunked bodies (``chunked=True``), so a worker streaming a large
+  record batch never has to buffer it twice to learn its length.
+* **Retry with backoff.**  :func:`http_json` retries connection-level
+  failures (refused, reset, timed out — the shape of a coordinator or
+  service restart) with exponential backoff before giving up.  HTTP error
+  *responses* are never retried: a 409 conflict is an answer, not an
+  outage, and re-sending it would not change the server's mind.
+
+The asyncio query service implements its own event-loop server (it
+streams), but reuses the auth check and header name from here, so one
+secret rotates both front ends.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+__all__ = [
+    "AUTH_HEADER",
+    "auth_headers",
+    "check_secret",
+    "read_chunked",
+    "JsonRequestHandler",
+    "JsonHttpServer",
+    "http_json",
+]
+
+#: Header carrying the shared secret on every authenticated request.
+AUTH_HEADER = "X-Repro-Secret"
+
+
+def auth_headers(secret: Optional[str]) -> Dict[str, str]:
+    """The request headers that authenticate against ``secret`` (empty when
+    no secret is configured)."""
+    return {AUTH_HEADER: secret} if secret else {}
+
+
+def check_secret(provided: Optional[str], secret: Optional[str]) -> bool:
+    """Constant-time secret check; a server without a secret accepts all."""
+    if not secret:
+        return True
+    if provided is None:
+        return False
+    return hmac.compare_digest(str(provided).encode(), secret.encode())
+
+
+def read_chunked(rfile) -> bytes:
+    """Decode a ``Transfer-Encoding: chunked`` request body from ``rfile``."""
+    body = bytearray()
+    while True:
+        size_line = rfile.readline(65536).strip()
+        if not size_line:
+            break
+        # Chunk extensions (";ext=val") are permitted by the RFC; ignore.
+        size = int(size_line.split(b";", 1)[0], 16)
+        if size == 0:
+            # Consume the trailer section up to the final blank line.
+            while True:
+                trailer = rfile.readline(65536)
+                if trailer in (b"\r\n", b"\n", b""):
+                    break
+            break
+        chunk = rfile.read(size)
+        body.extend(chunk)
+        rfile.readline(65536)  # CRLF after each chunk
+    return bytes(body)
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Base handler for JSON request/response endpoints.
+
+    Subclasses implement ``do_GET`` / ``do_POST`` with :meth:`_read_json`
+    and :meth:`_send`, and call :meth:`_authorized` first — the server
+    object carries the (optional) shared secret as ``server.secret``.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def _send(self, payload: Dict[str, object], status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        if (self.headers.get("Transfer-Encoding") or "").lower() == "chunked":
+            raw = read_chunked(self.rfile)
+        else:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode() or "{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _authorized(self) -> bool:
+        """True when the request's secret matches the server's; answers the
+        401 itself otherwise, so callers just ``return`` on False."""
+        secret = getattr(self.server, "secret", None)
+        if check_secret(self.headers.get(AUTH_HEADER), secret):
+            return True
+        self._send({"error": "unauthorized"}, 401)
+        return False
+
+    def log_message(self, *_args) -> None:  # quiet by default
+        pass
+
+
+class JsonHttpServer:
+    """A threaded stdlib HTTP server around a :class:`JsonRequestHandler`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    bound address either way.  Keyword attributes are pinned onto the
+    underlying server object, which is how handlers reach their
+    application state (``server.coordinator``, ``server.secret``, …).
+    Use as a context manager or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        secret: Optional[str] = None,
+        name: str = "repro-http",
+        **attrs,
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.secret = secret  # type: ignore[attr-defined]
+        for key, value in attrs.items():
+            setattr(self._httpd, key, value)
+        self._name = name
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "JsonHttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name=self._name, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "JsonHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def http_json(
+    url: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout_s: float = 60.0,
+    secret: Optional[str] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    chunked: bool = False,
+) -> Dict[str, object]:
+    """POST (or GET when ``payload`` is None) and decode a JSON reply.
+
+    Connection-level failures — refused, reset, DNS, timeout: the shape of
+    a server restart — are retried up to ``retries`` times with doubling
+    backoff.  HTTP error responses (4xx/5xx) raise immediately: they are
+    answers, and callers distinguish them by status
+    (``urllib.error.HTTPError``).
+    """
+    import urllib.error
+    import urllib.request
+
+    headers = dict(auth_headers(secret))
+    data = None
+    if payload is not None:
+        encoded = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+        # An iterable body with no Content-Length makes urllib send
+        # Transfer-Encoding: chunked (per RFC 7230) — the large-submit
+        # path that never buffers to learn its own length.
+        data = iter([encoded]) if chunked else encoded
+    delay = backoff_s
+    attempt = 0
+    while True:
+        try:
+            request = urllib.request.Request(url, data=data, headers=headers)
+            with urllib.request.urlopen(request, timeout=timeout_s) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError:
+            raise
+        except OSError:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            time.sleep(delay)
+            delay *= 2
+            if chunked and payload is not None:
+                data = iter([json.dumps(payload).encode()])

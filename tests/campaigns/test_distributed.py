@@ -354,3 +354,110 @@ def test_http_conflict_is_a_409():
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 409
+
+
+def test_http_secret_via_shared_transport(serial_digest):
+    """Coordinator + worker over the shared authenticated transport: no
+    secret -> 401, right secret -> bit-identical digest (chunked submits
+    included)."""
+    coordinator = Coordinator(SPEC, TRIALS, lease_trials=15)
+    with CoordinatorServer(coordinator, secret="campaign-key") as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/status", timeout=10)
+        assert excinfo.value.code == 401
+        summary = work_remote(
+            server.url,
+            worker="sec",
+            poll_s=0.02,
+            secret="campaign-key",
+            chunked=True,
+        )
+    assert coordinator.done
+    assert summary["trials"] == TRIALS
+    assert coordinator.result().outcome_digest == serial_digest
+
+
+def test_worker_retries_survive_coordinator_restart(serial_digest):
+    """`repro work --coordinator URL --retries N` outlives a coordinator
+    bounce: the HTTP front end goes away mid-campaign and comes back on the
+    same port, and the worker's backoff loop re-acquires leases instead of
+    dying.  The merged digest stays bit-identical to serial."""
+    coordinator = Coordinator(SPEC, TRIALS, lease_trials=5)
+    first = CoordinatorServer(coordinator).start()
+    port = int(first.url.rsplit(":", 1)[1])
+    url = first.url
+
+    summary = {}
+
+    def drain():
+        summary.update(
+            work_remote(
+                url,
+                worker="survivor",
+                poll_s=0.02,
+                timeout_s=10.0,
+                retries=8,
+                backoff_s=0.1,
+            )
+        )
+
+    worker = threading.Thread(target=drain)
+    worker.start()
+    # Let the worker make progress, then bounce the HTTP front end.
+    import time
+
+    time.sleep(0.4)
+    first.stop()
+    time.sleep(0.4)
+    second = CoordinatorServer(coordinator, port=port).start()
+    try:
+        worker.join(timeout=120)
+        assert not worker.is_alive()
+    finally:
+        second.stop()
+    assert "note" not in summary, summary
+    assert coordinator.done
+    assert summary["trials"] == TRIALS
+    assert coordinator.result().outcome_digest == serial_digest
+
+
+def test_worker_without_retries_stops_cleanly_when_unreachable():
+    coordinator = Coordinator(SPEC, 5, lease_trials=5)
+    server = CoordinatorServer(coordinator).start()
+    url = server.url
+    server.stop()
+    summary = work_remote(url, worker="orphan", poll_s=0.02, timeout_s=2.0)
+    assert summary["trials"] == 0
+    assert "unreachable" in summary["note"]
+
+
+def test_lease_target_sizes_leases_from_checkpoint_percentiles(tmp_path):
+    """Resuming with --lease-target-s sizes leases from the checkpoint's
+    observed per-trial wall times: lease_trials ~= target / p50."""
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    run_campaign(SPEC, trials=10, base_seed=0, jobs=1, checkpoint=checkpoint)
+
+    resumed = Coordinator(
+        SPEC,
+        trials=100,
+        checkpoint=checkpoint,
+        resume=True,
+        lease_target_s=5.0,
+    )
+    p50 = resumed.aggregator.timing_percentiles()["p50"]
+    assert p50 > 0
+    assert resumed.lease_trials_used == max(1, int(5.0 * 1000.0 / p50))
+
+    # Without timings (fresh campaign) the default sizing still applies.
+    fresh = Coordinator(SPEC, trials=100, lease_target_s=5.0)
+    assert fresh.lease_trials_used == 100
+    # An explicit lease_trials always wins over the target.
+    explicit = Coordinator(
+        SPEC,
+        trials=100,
+        lease_trials=7,
+        checkpoint=checkpoint,
+        resume=True,
+        lease_target_s=5.0,
+    )
+    assert explicit.lease_trials_used == 7

@@ -118,7 +118,8 @@ def test_disabled_build_cache(schema):
     second = engine.execute(query, make_db(schema))
     assert first.same_as(second)
     assert engine.build_cache_info() == {
-        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0,
+        "hits": 0, "misses": 0, "cross_hits": 0, "evictions": 0,
+        "size": 0, "entries": 0, "bytes": 0, "maxsize": 0, "max_bytes": 0,
     }
 
 
@@ -130,6 +131,115 @@ def test_clear_build_cache(schema):
     assert engine.build_cache_info()["size"] == 0
     engine.execute(query, make_db(schema))  # still correct after clearing
     assert engine.build_cache_info()["misses"] > 0
+
+
+# -- cross-query sharing -------------------------------------------------------
+
+
+def test_cross_query_sharing_between_different_statements(schema):
+    """Two different queries embedding the same subquery over the same table
+    contents share one build side — the key is the normalized subplan text
+    plus content, not plan identity."""
+    engine = Engine(schema)
+    left = annotate(PROBE_SQL, schema)
+    # Different outer query, identical IN-subquery: same probe set.
+    right = annotate(
+        "SELECT R.B FROM R WHERE R.B IN (SELECT T.C FROM T)", schema
+    )
+    for _ in range(2):  # populate under `left` (engages from second bind)
+        engine.execute(left, make_db(schema))
+    cross_before = engine.build_cache_info()["cross_hits"]
+    result = engine.execute(right, make_db(schema))
+    info = engine.build_cache_info()
+    assert info["cross_hits"] > cross_before
+    naive = Engine(schema, optimize=False).execute(right, make_db(schema))
+    assert result.same_as(naive)
+
+
+def test_cross_query_hashjoin_build_side_shared(schema):
+    """Different probe sides against the same build side share the hash
+    table: the signature keys only the build (right) subtree and keys."""
+    engine = Engine(schema)
+    a = annotate(JOIN_SQL, schema)
+    b = annotate("SELECT R.B FROM R, S WHERE R.A = S.A", schema)
+    for _ in range(2):
+        engine.execute(a, make_db(schema))
+    cross_before = engine.build_cache_info()["cross_hits"]
+    result = engine.execute(b, make_db(schema))
+    assert engine.build_cache_info()["cross_hits"] > cross_before
+    naive = Engine(schema, optimize=False).execute(b, make_db(schema))
+    assert result.same_as(naive)
+
+
+def test_cross_query_same_text_different_plan_objects(schema):
+    """Two engines' worth of isolation is not required *within* one engine:
+    re-annotating the same SQL yields a distinct AST object but the same
+    structural plan, which still shares."""
+    engine = Engine(schema)
+    for _ in range(2):
+        engine.execute(annotate(PROBE_SQL, schema), make_db(schema))
+    hits_before = engine.build_cache_info()["hits"]
+    engine.execute(annotate(PROBE_SQL, schema), make_db(schema))
+    assert engine.build_cache_info()["hits"] > hits_before
+
+
+def test_sharing_engages_first_bind_on_warm_cache(schema):
+    """A brand-new statement against a warm cache participates from its
+    first execution — the service's steady-state case."""
+    engine = Engine(schema)
+    for _ in range(2):
+        engine.execute(annotate(JOIN_SQL, schema), make_db(schema))
+    assert len(engine._build_cache) > 0
+    fresh = annotate("SELECT S.A FROM S, R WHERE S.A = R.A", schema)
+    misses_before = engine.build_cache_info()["misses"]
+    hits_before = engine.build_cache_info()["hits"]
+    engine.execute(fresh, make_db(schema))
+    info = engine.build_cache_info()
+    # First bind did bookkeeping: either it hit a shared entry or at least
+    # recorded misses for its own carriers.
+    assert info["hits"] > hits_before or info["misses"] > misses_before
+
+
+# -- byte budgets --------------------------------------------------------------
+
+
+def test_build_cache_byte_budget_enforced():
+    cache = BuildSideCache(maxsize=100, max_bytes=4096)
+    big = [tuple(range(20))] * 40
+    for i in range(10):
+        cache.store((f"k{i}",), list(big))
+        assert cache.bytes <= 4096
+    assert cache.evictions > 0
+    info = cache.info()
+    assert info["bytes"] == cache.bytes and info["max_bytes"] == 4096
+
+
+def test_engine_build_cache_byte_budget(schema):
+    engine = Engine(schema, build_cache_bytes=1)  # nothing fits
+    query = annotate(JOIN_SQL, schema)
+    for _ in range(3):
+        engine.execute(query, make_db(schema))
+    info = engine.build_cache_info()
+    assert info["bytes"] <= 1
+    assert info["entries"] == 0
+    assert info["evictions"] > 0
+
+
+def test_engine_plan_cache_byte_budget(schema):
+    budget = 4096
+    engine = Engine(schema, plan_cache_bytes=budget)
+    db = make_db(schema)
+    for i in range(50):
+        engine.execute(annotate(f"SELECT R.A FROM R WHERE R.A = {i}", schema), db)
+    info = engine.cache_info()
+    assert info["bytes"] <= budget
+    assert info["entries"] < 50
+    assert info["evictions"] > 0
+    # Unbudgeted engines still report sizes.
+    plain = Engine(schema)
+    plain.execute(annotate(JOIN_SQL, schema), db)
+    assert plain.cache_info()["entries"] == 1
+    assert plain.cache_info()["bytes"] > 0
 
 
 # -- no pinning ---------------------------------------------------------------

@@ -75,12 +75,17 @@ def test_cache_disabled_and_eviction():
     uncached.execute(query, db)
     uncached.execute(query, db)
     assert uncached.cache_info() == {
-        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 0,
+        "hits": 0, "misses": 0, "evictions": 0, "size": 0, "entries": 0,
+        "bytes": 0, "maxsize": 0, "max_bytes": 0,
         # Cardinalities are seeded at bind time (before planning), so even
         # single-use plans — which are never unbound through the feedback
         # walk — order their joins from the real table sizes.
         "observed_rows": {"R": 1, "S": 0},
         "reoptimizations": 0,
+        "build": {
+            "hits": 0, "misses": 0, "cross_hits": 0, "evictions": 0,
+            "size": 0, "entries": 0, "bytes": 0, "maxsize": 128, "max_bytes": 0,
+        },
     }
     tiny = Engine(SCHEMA, "postgres", plan_cache_size=2)
     queries = [

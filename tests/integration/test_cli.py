@@ -140,3 +140,66 @@ def test_generated_queries_parse_back(capsys):
     main(["generate", "--count", "5", "--seed", "3"])
     for line in capsys.readouterr().out.strip().splitlines():
         parse_query(line.rstrip(";"))
+
+def test_query_command_against_service(db_file, capsys):
+    from repro.cli import load_database as _load
+    from repro.service import QueryService, ServiceThread
+
+    service = QueryService(secret="cli-secret")
+    service.install_database(_load(db_file))
+    with ServiceThread(service) as thread:
+        code = main(
+            [
+                "query",
+                thread.url,
+                "SELECT R.A FROM R WHERE R.A = $1",
+                "--params",
+                "[1]",
+                "--secret",
+                "cli-secret",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| 1" in out
+        assert "(1 row(s))" in out
+        # Bad secret is a clean diagnostic, not a traceback.
+        with pytest.raises(SystemExit, match="401"):
+            main(["query", thread.url, "SELECT R.A FROM R"])
+
+
+def test_report_renders_service_bench(tmp_path, capsys):
+    doc = {
+        "schema": "bench-service/v1",
+        "clients": 8,
+        "rows": 60,
+        "warm": {
+            "requests": 400,
+            "qps": 3000.0,
+            "latency_ms": {"p50": 2.5, "p95": 4.0, "p99": 5.0},
+        },
+        "cold": {
+            "requests": 400,
+            "qps": 1400.0,
+            "latency_ms": {"p50": 5.5, "p95": 9.0, "p99": 17.0},
+        },
+        "speedup": 2.14,
+        "cross_query_build_hits": 500,
+        "cross_query_hit_rate": 0.35,
+        "plan_cache": {"hits": 800, "misses": 12, "entries": 12, "bytes": 8000},
+        "build_cache": {"hits": 1400, "misses": 14, "entries": 14, "bytes": 300000},
+        "served_digest": "abc123",
+        "digest_match": True,
+    }
+    path = tmp_path / "BENCH_service.json"
+    path.write_text(json.dumps(doc))
+    code = main(["report", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2.14x" in out
+    assert "3000.0 qps" in out
+    assert "replay matches" in out
+    # A failed digest gate exits non-zero.
+    doc["digest_match"] = False
+    path.write_text(json.dumps(doc))
+    assert main(["report", str(path)]) == 1

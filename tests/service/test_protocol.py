@@ -1,0 +1,119 @@
+"""Parameter placeholders and row framing: the service's wire protocol."""
+
+import pytest
+
+from repro.core import NULL, Database, Schema
+from repro.engine import Engine
+from repro.service.protocol import (
+    ProtocolError,
+    bind_parameters,
+    expand_placeholders,
+    row_to_json,
+    rows_from_json,
+)
+from repro.sql import annotate
+
+
+SCHEMA = Schema({"R": ("A", "B")})
+DB = Database(SCHEMA, {"R": [(1, 2), (3, NULL), (1, 2)]})
+
+
+# -- expand_placeholders ------------------------------------------------------
+
+
+def test_expand_rewrites_markers_into_sentinels():
+    rewritten, count = expand_placeholders("SELECT R.A FROM R WHERE R.B = $1")
+    assert count == 1
+    assert "$1" not in rewritten
+    assert "'\x00param:1\x00'" in rewritten
+
+
+def test_expand_skips_markers_inside_string_literals():
+    sql = "SELECT R.A FROM R WHERE R.B = '$1' AND R.A = $1"
+    rewritten, count = expand_placeholders(sql)
+    assert count == 1
+    assert "'$1'" in rewritten  # the data survived verbatim
+    assert rewritten.count("\x00") == 2  # exactly one sentinel
+
+
+def test_expand_honours_quote_escapes():
+    sql = "SELECT R.A FROM R WHERE R.B = 'it''s $1' AND R.A = $1"
+    rewritten, count = expand_placeholders(sql)
+    assert count == 1
+    assert "it''s $1" in rewritten
+
+
+def test_expand_rejects_gaps_stray_dollar_and_nul():
+    with pytest.raises(ProtocolError, match="missing \\$1"):
+        expand_placeholders("SELECT R.A FROM R WHERE R.B = $2")
+    with pytest.raises(ProtocolError, match="stray"):
+        expand_placeholders("SELECT R.A FROM R WHERE R.B = $x")
+    with pytest.raises(ProtocolError, match="NUL"):
+        expand_placeholders("SELECT R.A FROM R WHERE R.B = '\x00'")
+
+
+def test_expand_no_params_is_identity():
+    sql = "SELECT R.A FROM R"
+    assert expand_placeholders(sql) == (sql, 0)
+
+
+# -- bind_parameters ----------------------------------------------------------
+
+
+def _prepare(sql):
+    template, count = expand_placeholders(sql)
+    return annotate(template, SCHEMA), count
+
+
+def test_bind_produces_executable_queries():
+    query, count = _prepare("SELECT R.A FROM R WHERE R.B = $1")
+    engine = Engine(SCHEMA, "postgres")
+    bound = bind_parameters(query, [2], count)
+    assert sorted(engine.execute(bound, DB).bag) == [(1,), (1,)]
+    # A different binding is a different (cacheable) query.
+    other = bind_parameters(query, [99], count)
+    assert list(engine.execute(other, DB).bag) == []
+    assert bound != other
+
+
+def test_bind_null_parameter():
+    query, count = _prepare("SELECT R.A FROM R WHERE R.B IS NULL OR R.B = $1")
+    engine = Engine(SCHEMA, "postgres")
+    bound = bind_parameters(query, [None], count)
+    # NULL = NULL is unknown, so only the IS NULL row qualifies.
+    assert sorted(engine.execute(bound, DB).bag) == [(3,)]
+
+
+def test_bind_equal_params_give_equal_hashable_asts():
+    query, count = _prepare("SELECT R.A FROM R WHERE R.B = $1")
+    a = bind_parameters(query, [7], count)
+    b = bind_parameters(query, [7], count)
+    assert a == b
+    assert hash(a) == hash(b)  # plan-cache key property
+
+
+def test_bind_count_mismatch_and_bad_values():
+    query, count = _prepare("SELECT R.A FROM R WHERE R.B = $1")
+    with pytest.raises(ProtocolError, match="takes 1 parameter"):
+        bind_parameters(query, [], count)
+    with pytest.raises(ProtocolError, match="takes 1 parameter"):
+        bind_parameters(query, [1, 2], count)
+    with pytest.raises(ProtocolError, match="unsupported parameter"):
+        bind_parameters(query, [1.5], count)
+    with pytest.raises(ProtocolError, match="unsupported parameter"):
+        bind_parameters(query, [True], count)
+
+
+def test_bind_zero_params_returns_template():
+    query, count = _prepare("SELECT R.A FROM R")
+    assert bind_parameters(query, [], count) is query
+
+
+# -- row framing --------------------------------------------------------------
+
+
+def test_row_json_round_trip_preserves_null():
+    rows = [(1, NULL), ("x", 2)]
+    wire = [row_to_json(row) for row in rows]
+    assert wire == [[1, None], ["x", 2]]
+    assert rows_from_json(wire) == rows
