@@ -149,6 +149,7 @@ from repro.sql import parse_query, print_query  # noqa: E402
 CAMPAIGN_STAGE = "campaign"
 DISTRIBUTED_STAGE = "distributed"
 SERVICE_STAGE = "service"
+INGEST_STAGE = "ingest"
 
 
 def run_semantics(semantics, pairs):
@@ -751,58 +752,13 @@ def bench_distributed(trials: int, workers: int, rows: int, out_path: str) -> bo
 
 # -- service stage ------------------------------------------------------------
 
-#: The sustained-QPS workload: the plan-heavy shape prepared statements
-#: exist for — multi-join queries (Selinger ordering runs at plan time)
-#: with parameters, plus statement pairs that share subplan shapes
-#: (IN-probe sets, hash-join build sides) so a warm service exhibits
-#: cross-query build-cache hits.
-SERVICE_WORKLOAD = [
-    (
-        "SELECT R.A FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
-        "AND U.C = T.C AND R.B = U.B AND R.A = $1",
-        [[0], [2], [4], [999]],
-    ),
-    (
-        "SELECT R.B FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
-        "AND U.C = T.C AND R.B = U.B",
-        [[]],
-    ),
-    (
-        "SELECT R.A FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
-        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
-        [[]],
-    ),
-    (
-        "SELECT R.B FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
-        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
-        [[]],
-    ),
-    (
-        "SELECT R.A FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND EXISTS "
-        "(SELECT U.B FROM U WHERE U.B = R.B) AND R.B = $1",
-        [[0], [2]],
-    ),
-    (
-        "SELECT U.B FROM U, T WHERE U.C = T.C "
-        "AND U.B IN (SELECT R.B FROM R WHERE R.A = $1)",
-        [[0], [2], [6]],
-    ),
-]
-
-
-def _service_db(rows: int):
-    from repro.core import NULL, Database, Schema
-
-    schema = Schema(
-        {"R": ("A", "B"), "S": ("A", "C"), "T": ("C",), "U": ("B", "C")}
-    )
-    tables = {
-        "R": [(i, (i * 3) % 7 if i % 11 else NULL) for i in range(rows)],
-        "S": [(i * 2, i) for i in range(rows // 2)],
-        "T": [((i * 5) % 9,) for i in range(rows // 3)] + [(NULL,)],
-        "U": [((i * 3) % 7, (i * 5) % 9) for i in range(rows // 2)],
-    }
-    return Database(schema, tables)
+# The sustained-QPS workload (plan-heavy multi-join statements with shared
+# subplan shapes) and its R/S/T/U instance live in repro.ingest.workload so
+# ingested scenarios can drive the same bench: `--service-scenario PATH`
+# swaps in build_service_workload() over an imported database.  The workload
+# is passed *explicitly* to the spawned load-generator process — it must
+# never read a module global, which a spawn re-import would silently reset
+# to the default.
 
 
 def _inline_sql(sql: str, params) -> str:
@@ -814,15 +770,19 @@ def _inline_sql(sql: str, params) -> str:
     return sql
 
 
-def _service_drive(url, leg, clients, total, seed):
+def _service_drive(url, leg, clients, total, seed, workload):
     """Drive the service with ``clients`` concurrent asyncio clients.
 
     Runs in a *separate process* (spawned by :func:`bench_service`), so the
     load generator never shares the GIL with the server it measures.
-    Connections and (for the warm leg) statement preparation happen before
-    the timing window; the window covers exactly ``total`` requests.
-    Returns ``(elapsed_s, latencies_ms, served)`` where ``served`` is
-    ``[(sql, params, rows), ...]`` for the main process's semantics replay.
+    ``workload`` is the ``[(sql, bindings), ...]`` list to cycle through —
+    passed explicitly because a spawned child re-imports this module, so a
+    module-global workload would silently revert to the default even when
+    the parent benched an ingested scenario.  Connections and (for the warm
+    leg) statement preparation happen before the timing window; the window
+    covers exactly ``total`` requests.  Returns ``(elapsed_s, latencies_ms,
+    served)`` where ``served`` is ``[(sql, params, rows), ...]`` for the
+    main process's semantics replay.
     """
     import asyncio
     import random
@@ -838,7 +798,7 @@ def _service_drive(url, leg, clients, total, seed):
     async def request_loop(index, client, prepared):
         rng = random.Random(seed * 100_000 + index)
         for _ in range(share[index]):
-            sql, bindings = rng.choice(SERVICE_WORKLOAD)
+            sql, bindings = rng.choice(workload)
             params = rng.choice(bindings)
             started = time.perf_counter()
             if leg == "warm":
@@ -855,7 +815,7 @@ def _service_drive(url, leg, clients, total, seed):
             await client.connect()
             prepared = {}
             if leg == "warm":
-                for sql, _bindings in SERVICE_WORKLOAD:
+                for sql, _bindings in workload:
                     prepared[sql] = await client.prepare(sql)
             sessions.append((client, prepared))
         started = time.perf_counter()
@@ -879,6 +839,7 @@ def bench_service(
     rows: int,
     out_path: str,
     min_speedup: float = 2.0,
+    scenario_path: str = None,
 ) -> bool:
     """Sustained-QPS service benchmark: warm (prepared) vs cold (ad-hoc).
 
@@ -890,6 +851,11 @@ def bench_service(
     sharing); the cold leg sends the same queries — parameters inlined —
     through ``/query``, which parses and plans from scratch per request.
 
+    With ``scenario_path`` the bench serves an *ingested* database instead
+    of the default R/S/T/U instance, driving it with an FK-join workload
+    derived from the scenario (keep such scenarios small — every served
+    result is still replayed through the formal semantics).
+
     Two gates decide the exit code: every served result (both legs) must
     match the formal semantics replayed over the same database
     (``digest_match``), and the warm leg must clear 2x the cold leg's QPS.
@@ -897,6 +863,12 @@ def bench_service(
     import asyncio
 
     from repro.core import Null
+    from repro.ingest import import_scenario
+    from repro.ingest.workload import (
+        build_service_workload,
+        default_service_database,
+        default_service_workload,
+    )
     from repro.service import QueryService, ServiceClient, ServiceThread
     from repro.service.protocol import (
         bind_parameters,
@@ -905,13 +877,19 @@ def bench_service(
     )
     from repro.sql import annotate
 
-    db = _service_db(rows)
+    if scenario_path:
+        scenario = import_scenario(scenario_path)
+        db = scenario.database
+        workload = build_service_workload(scenario)
+    else:
+        db = default_service_database(rows)
+        workload = default_service_workload()
     semantics = SqlSemantics(db.schema, star_style=STAR_COMPOSITIONAL)
 
     # The formal-semantics oracle per (sql, params): every served response
     # is replayed against these multisets.
     oracle = {}
-    for sql, bindings in SERVICE_WORKLOAD:
+    for sql, bindings in workload:
         template, count = expand_placeholders(sql)
         query = annotate(template, db.schema)
         for params in bindings:
@@ -946,9 +924,15 @@ def bench_service(
                 await c.load(schema_json, tables_json)
 
         asyncio.run(load())
+        total_rows = sum(len(db.table(t)) for t in db.schema.table_names)
         print(
             f"service: {clients} clients x {requests} requests/leg, "
-            f"{rows}-row tables, load generator in its own process ..."
+            + (
+                f"scenario {scenario_path} ({total_rows} rows), "
+                if scenario_path
+                else f"{rows}-row tables, "
+            )
+            + "load generator in its own process ..."
         )
 
         # A spawned (not forked) pool: the child must not inherit the
@@ -958,7 +942,9 @@ def bench_service(
         with ctx.Pool(1) as pool:
             def run_leg(leg):
                 warmup = min(clients * 4, requests)
-                pool.apply(_service_drive, (url, leg, clients, warmup, 1))
+                pool.apply(
+                    _service_drive, (url, leg, clients, warmup, 1, workload)
+                )
                 # Best-of-two timed rounds: the QPS figure is the sustained
                 # capability, not whichever round the container scheduler
                 # happened to preempt.  Every served result of every round
@@ -967,7 +953,8 @@ def bench_service(
                 latencies = []
                 for round_seed in (2, 3):
                     round_elapsed, round_latencies, served = pool.apply(
-                        _service_drive, (url, leg, clients, requests, round_seed)
+                        _service_drive,
+                        (url, leg, clients, requests, round_seed, workload),
                     )
                     check(served)
                     latencies.extend(round_latencies)
@@ -1020,7 +1007,8 @@ def bench_service(
     doc = {
         "schema": "bench-service/v1",
         "clients": clients,
-        "rows": rows,
+        "rows": rows if not scenario_path else total_rows,
+        **({"scenario": scenario_path} if scenario_path else {}),
         "warm": warm,
         "cold": cold,
         "speedup": round(speedup, 3),
@@ -1045,6 +1033,99 @@ def bench_service(
     if mismatches:
         for sql, params in mismatches[:5]:
             print(f"  MISMATCH: {sql!r} params={list(params)}", file=sys.stderr)
+    return ok
+
+
+# -- ingest stage -------------------------------------------------------------
+
+
+def bench_ingest(rows: int, trials: int, out_path: str, seed: int = 1) -> bool:
+    """Ingestion + live-SQLite differential throughput at scale.
+
+    Synthesizes the FK-rich library scenario at roughly ``rows`` total rows,
+    exports it to a real SQLite file, re-imports it through the production
+    importer (timing the import), checks the metamorphic round-trip (every
+    re-imported table fingerprint must equal the original's), then runs a
+    ``trials``-seed live-SQLite differential campaign over the imported
+    database, recording trials/s and the divergence breakdown.
+
+    The gate: the round-trip must be lossless and the campaign must finish
+    with **zero unclassified divergences** (classified dialect gaps are
+    counted, not failed).
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaigns import CampaignSpec, run_campaign
+    from repro.ingest import import_scenario
+    from repro.ingest.demo import library_scenario
+    from repro.ingest.importer import export_sqlite
+
+    print(f"ingest: synthesizing the library scenario at ~{rows} rows ...")
+    started = time.perf_counter()
+    scenario = library_scenario(rows, seed=seed)
+    synth_s = time.perf_counter() - started
+    total = scenario.total_rows
+
+    tmp = tempfile.mkdtemp(prefix="bench-ingest-")
+    try:
+        db_path = str(Path(tmp) / "library.db")
+        started = time.perf_counter()
+        export_sqlite(scenario, db_path)
+        export_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        imported = import_scenario(db_path)
+        import_s = time.perf_counter() - started
+        roundtrip_ok = (
+            imported.table_fingerprints() == scenario.table_fingerprints()
+            and sorted(map(repr, imported.fks)) == sorted(map(repr, scenario.fks))
+        )
+
+        print(
+            f"ingest: {total} rows synthesized in {synth_s:.2f}s, "
+            f"exported in {export_s:.2f}s, imported in {import_s:.2f}s, "
+            f"round-trip fingerprints "
+            f"{'match' if roundtrip_ok else 'DIFFER'}"
+        )
+
+        spec = CampaignSpec(kind="live-sqlite", scenario=db_path, rows=0)
+        result = run_campaign(spec, trials=trials, base_seed=0)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    unclassified = len(result.mismatches)
+    doc = {
+        "schema": "bench-ingest/v1",
+        "rows": total,
+        "trials": trials,
+        "synth_s": round(synth_s, 3),
+        "export_s": round(export_s, 3),
+        "import_s": round(import_s, 3),
+        "roundtrip_fingerprints_match": roundtrip_ok,
+        "trials_per_sec": round(result.trials_per_sec, 1),
+        "agreements": result.agreements,
+        "classified": result.classified,
+        "classified_by_class": result.classified_by_class,
+        "unclassified_divergences": unclassified,
+        "outcome_digest": result.outcome_digest,
+    }
+    Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+    ok = roundtrip_ok and unclassified == 0
+    breakdown = (
+        ", ".join(
+            f"{name}: {count}"
+            for name, count in result.classified_by_class.items()
+        )
+        or "none"
+    )
+    print(
+        f"ingest: {result.trials_per_sec:.0f} trials/s over {total} rows, "
+        f"{result.classified} classified divergence(s) ({breakdown}), "
+        f"{unclassified} unclassified -> {out_path}"
+    )
+    for mismatch in result.mismatches[:5]:
+        print(f"  UNCLASSIFIED: {mismatch.get('detail')}", file=sys.stderr)
     return ok
 
 
@@ -1107,6 +1188,26 @@ def main(argv=None) -> int:
         help="service-stage output JSON path",
     )
     parser.add_argument(
+        "--service-scenario", default=None, metavar="PATH",
+        help="serve an ingested scenario (SQLite file, .sql script or CSV "
+        "directory) instead of the built-in R/S/T/U tables, driven by an "
+        "FK-join workload derived from it (keep it small: every served "
+        "result is replayed through the formal semantics)",
+    )
+    parser.add_argument(
+        "--ingest-rows", type=int, default=100_000,
+        help="approximate total rows for the ingest stage's scenario",
+    )
+    parser.add_argument(
+        "--ingest-trials", type=int, default=500,
+        help="live-SQLite differential trials for the ingest stage",
+    )
+    parser.add_argument(
+        "--ingest-out",
+        default=str(_ROOT / "BENCH_ingest.json"),
+        help="ingest-stage output JSON path",
+    )
+    parser.add_argument(
         "--out",
         default=str(_ROOT / "BENCH_engine.json"),
         help="engine-stage output JSON path",
@@ -1118,12 +1219,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    known = set(ENGINE_STAGES) | {CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE}
+    known = set(ENGINE_STAGES) | {
+        CAMPAIGN_STAGE,
+        DISTRIBUTED_STAGE,
+        SERVICE_STAGE,
+        INGEST_STAGE,
+    }
     if args.stages is None:
         selected = list(ENGINE_STAGES) + [
             CAMPAIGN_STAGE,
             DISTRIBUTED_STAGE,
             SERVICE_STAGE,
+            INGEST_STAGE,
         ]
     else:
         selected = [name.strip() for name in args.stages.split(",") if name.strip()]
@@ -1139,7 +1246,7 @@ def main(argv=None) -> int:
     results = {}
     semantics_ratio_value = None
     for name in selected:
-        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE):
+        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE, INGEST_STAGE):
             continue
         fn = stages[name]
         fn()  # warm-up (also populates any lazy caches outside the timing)
@@ -1242,6 +1349,14 @@ def main(argv=None) -> int:
             args.service_rows,
             args.service_out,
             min_speedup=args.service_min_speedup,
+            scenario_path=args.service_scenario,
+        )
+    ingest_ok = True
+    if INGEST_STAGE in selected:
+        ingest_ok = bench_ingest(
+            args.ingest_rows,
+            args.ingest_trials,
+            args.ingest_out,
         )
     if not digests_ok:
         print("FATAL: optimizer ablation digests disagree", file=sys.stderr)
@@ -1273,6 +1388,13 @@ def main(argv=None) -> int:
             "FATAL: service stage gate failed (semantics replay mismatch, "
             "warm/cold speedup below 2x, or no cross-query build-cache "
             "hits)",
+            file=sys.stderr,
+        )
+        return 1
+    if not ingest_ok:
+        print(
+            "FATAL: ingest stage gate failed (lossy import/export "
+            "round-trip, or unclassified live-SQLite divergences)",
             file=sys.stderr,
         )
         return 1

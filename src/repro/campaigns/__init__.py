@@ -42,10 +42,12 @@ from .aggregate import Aggregator, CampaignResult
 from .backends import (
     CODE_AGREE,
     CODE_AGREE_BOTH_ERROR,
+    CODE_CLASSIFIED,
     CODE_MISMATCH,
     CODE_NAMES,
     CampaignSpec,
     DifferentialBackend,
+    LiveSqliteBackend,
     RunnerBackend,
     ValidationBackend,
 )
@@ -77,6 +79,7 @@ __all__ = [
     "CampaignSpec",
     "ValidationBackend",
     "DifferentialBackend",
+    "LiveSqliteBackend",
     "RunnerBackend",
     "CheckpointConflict",
     "CheckpointWriter",
@@ -98,6 +101,7 @@ __all__ = [
     "run_campaign",
     "CODE_AGREE",
     "CODE_AGREE_BOTH_ERROR",
+    "CODE_CLASSIFIED",
     "CODE_MISMATCH",
     "CODE_NAMES",
 ]

@@ -27,7 +27,12 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .backends import CODE_AGREE, CODE_AGREE_BOTH_ERROR, CODE_MISMATCH
+from .backends import (
+    CODE_AGREE,
+    CODE_AGREE_BOTH_ERROR,
+    CODE_CLASSIFIED,
+    CODE_MISMATCH,
+)
 
 __all__ = ["Aggregator", "CampaignResult", "percentile"]
 
@@ -49,6 +54,9 @@ class CampaignResult:
     agreements: int
     error_agreements: int
     mismatches: List[Dict[str, object]] = field(default_factory=list)
+    #: Known dialect divergences (live-DBMS campaigns): total and per class.
+    classified: int = 0
+    classified_by_class: Dict[str, int] = field(default_factory=dict)
     outcome_digest: str = ""
     duplicates: int = 0
     elapsed_s: float = 0.0
@@ -79,10 +87,18 @@ class CampaignResult:
                 f" p95={self.timing_ms['p95']:.2f}ms"
                 f" p99={self.timing_ms['p99']:.2f}ms"
             )
+        classified = ""
+        if self.classified:
+            per_class = ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted(self.classified_by_class.items())
+            )
+            classified = f"classified={self.classified} ({per_class}) "
         return (
             f"variant={self.variant} trials={self.completed}/{self.trials} "
             f"agreements={self.agreements} "
             f"(of which both-error: {self.error_agreements}) "
+            f"{classified}"
             f"mismatches={len(self.mismatches)} "
             f"rate={self.agreement_rate:.4%} "
             f"jobs={self.jobs} {self.trials_per_sec:.0f} trials/s "
@@ -98,6 +114,8 @@ class CampaignResult:
             "agreements": self.agreements,
             "error_agreements": self.error_agreements,
             "mismatches": self.mismatches,
+            "classified": self.classified,
+            "classified_by_class": self.classified_by_class,
             "outcome_digest": self.outcome_digest,
             "duplicates": self.duplicates,
             "elapsed_s": round(self.elapsed_s, 6),
@@ -129,6 +147,8 @@ class Aggregator:
         self.error_agreements = 0
         self.duplicates = 0
         self.mismatches: List[Dict[str, object]] = []
+        self.classified = 0
+        self.classified_by_class: Dict[str, int] = {}
         # Wall times of the folded records ("ms" field); four bytes per
         # trial, so paper scale stays flat-memory.  Percentiles are order
         # statistics, so out-of-order arrival (shards, resume) is harmless.
@@ -144,7 +164,12 @@ class Aggregator:
             self.duplicates += 1
             return False
         code = record["code"]
-        if code not in (CODE_AGREE, CODE_AGREE_BOTH_ERROR, CODE_MISMATCH):
+        if code not in (
+            CODE_AGREE,
+            CODE_AGREE_BOTH_ERROR,
+            CODE_MISMATCH,
+            CODE_CLASSIFIED,
+        ):
             return False  # corrupted record: leave the seed pending
         self.codes[index] = code
         self.completed += 1
@@ -158,6 +183,12 @@ class Aggregator:
         elif code == CODE_MISMATCH:
             self.mismatches.append(
                 {"seed": seed, "detail": record.get("detail", "")}
+            )
+        elif code == CODE_CLASSIFIED:
+            self.classified += 1
+            divergence = str(record.get("class", "unknown"))
+            self.classified_by_class[divergence] = (
+                self.classified_by_class.get(divergence, 0) + 1
             )
         return True
 
@@ -198,6 +229,8 @@ class Aggregator:
             agreements=self.agreements,
             error_agreements=self.error_agreements,
             mismatches=sorted(self.mismatches, key=lambda m: m["seed"]),
+            classified=self.classified,
+            classified_by_class=dict(sorted(self.classified_by_class.items())),
             outcome_digest=hashlib.sha256(bytes(self.codes)).hexdigest(),
             duplicates=self.duplicates,
             elapsed_s=elapsed_s,

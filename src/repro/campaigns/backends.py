@@ -47,24 +47,32 @@ __all__ = [
     "CODE_AGREE",
     "CODE_AGREE_BOTH_ERROR",
     "CODE_MISMATCH",
+    "CODE_CLASSIFIED",
     "CODE_NAMES",
     "CampaignSpec",
     "ValidationBackend",
     "DifferentialBackend",
+    "LiveSqliteBackend",
     "RunnerBackend",
 ]
 
 CODE_AGREE = 1
 CODE_AGREE_BOTH_ERROR = 2
 CODE_MISMATCH = 3
+#: A *known, documented* dialect divergence (live-DBMS campaigns only): the
+#: record carries the divergence class name in its ``"class"`` field.  Not an
+#: agreement — the sides returned different results — but not a bug signal
+#: either; CI gates on unclassified mismatches, never on this code.
+CODE_CLASSIFIED = 4
 
 CODE_NAMES = {
     CODE_AGREE: "agree",
     CODE_AGREE_BOTH_ERROR: "agree-both-error",
     CODE_MISMATCH: "mismatch",
+    CODE_CLASSIFIED: "classified-divergence",
 }
 
-KINDS = ("validation", "differential")
+KINDS = ("validation", "differential", "live-sqlite")
 
 
 @dataclass(frozen=True)
@@ -76,21 +84,34 @@ class CampaignSpec:
     ``oracle``) and ``tables`` sizes the R1..Rn validation schema; for
     ``differential``, ``variant`` is ignored.  ``rows`` caps the rows per
     generated trial table.
+
+    For ``live-sqlite``, ``scenario`` is the path of the ingested database
+    (SQLite file, ``.sql`` script or CSV directory — every worker re-imports
+    it, so the spec stays a flat picklable value), ``variant`` is the
+    dialect pairing of the repository side, and ``rows`` is the per-table
+    import sample cap (``<= 0`` = unlimited).
     """
 
     kind: str = "validation"
     variant: str = "postgres"
     rows: int = 6
     tables: Optional[int] = None
+    scenario: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(f"unknown campaign kind {self.kind!r}; expected {KINDS}")
+        if self.kind == "live-sqlite" and not self.scenario:
+            raise ValueError("live-sqlite campaigns need a scenario path")
 
     @property
     def label(self) -> str:
         """The report label: the variant for validation, the kind otherwise."""
-        return self.variant if self.kind == "validation" else self.kind
+        if self.kind == "validation":
+            return self.variant
+        if self.kind == "live-sqlite":
+            return f"live-sqlite[{self.variant}]"
+        return self.kind
 
     def build(self):
         """Construct the backend this spec describes (called per worker)."""
@@ -99,6 +120,15 @@ class CampaignSpec:
         from ..validation.differential import DifferentialRunner
         from ..validation.runner import ValidationRunner
 
+        if self.kind == "live-sqlite":
+            from ..ingest.importer import import_scenario
+            from ..validation.live import LiveSqliteRunner
+
+            sample = self.rows if self.rows > 0 else 0
+            imported = import_scenario(self.scenario, sample_rows=sample)
+            return LiveSqliteBackend(
+                LiveSqliteRunner(imported, variant=self.variant)
+            )
         data_config = DataFillerConfig(max_rows=self.rows)
         if self.kind == "validation":
             schema = (
@@ -171,6 +201,25 @@ class DifferentialBackend:
                 "ms": elapsed_ms,
             }
         return {"seed": seed, "code": CODE_AGREE, "ms": elapsed_ms}
+
+
+class LiveSqliteBackend:
+    """Live-DBMS comparator: repository implementations vs stdlib SQLite.
+
+    The runner (:class:`repro.validation.live.LiveSqliteRunner`) already
+    emits campaign records — including ``CODE_CLASSIFIED`` with the
+    divergence class — so this adapter only forwards and labels.
+    """
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    @property
+    def label(self) -> str:
+        return self.runner.label
+
+    def run_trial(self, seed: int) -> Dict[str, object]:
+        return self.runner.run_trial(seed)
 
 
 class RunnerBackend:

@@ -8,6 +8,7 @@ Commands
 ``two-valued``   print the Figure 10 two-valued rewriting of a query (Thm 2)
 ``validate``     run a Section 4 validation campaign (semantics vs engine)
 ``differential`` run the n-way differential campaign (all implementations)
+``ingest``       profile/export an ingested database (SQLite, .sql, CSV dir)
 ``report``       render campaign checkpoints (``--merge`` combines several)
 ``coordinate``   partition a campaign into leases + merge worker checkpoints
 ``work``         execute leases (``--coordinator URL`` or ``--seed-range A:B``)
@@ -28,6 +29,17 @@ The paper-scale Section 4 experiment is::
 (with two variants, per-variant checkpoints get the variant name appended:
 ``pg.postgres.jsonl`` / ``pg.oracle.jsonl``).  Campaign commands exit
 non-zero when any trial disagrees.
+
+``differential --live-sqlite PATH`` points the same campaign machinery at a
+*live* DBMS: the database at PATH (a SQLite file, ``.sql`` script, or CSV
+directory) is ingested, FK-join-biased queries are generated against its
+schema, and every query runs through the repository's implementations *and*
+stdlib ``sqlite3``.  Known dialect gaps are *classified* (counted, reported
+by class, exit code unaffected); only unclassified disagreements fail::
+
+    python -m repro ingest tests/fixtures/library.sql
+    python -m repro differential --live-sqlite tests/fixtures/library.sql \\
+        --trials 500 --dialect postgres
 
 ``coordinate``/``work`` take the same campaign past one machine
 (:mod:`repro.campaigns.distributed`).  File-based mode::
@@ -159,6 +171,15 @@ def _run_campaign_cmd(spec, args, checkpoint_suffix: Optional[str] = None):
         raise SystemExit(f"repro: {exc}")
 
 
+def _resolved_rows(args, live: bool = False) -> int:
+    """The ``--rows`` default depends on the mode: 6 for the generated
+    trial databases of validate/differential, unlimited (0) as the import
+    sample cap of a live-SQLite campaign."""
+    if args.rows is not None:
+        return args.rows
+    return 0 if live else 6
+
+
 def _cmd_validate(args) -> int:
     from .campaigns import CampaignSpec
 
@@ -166,7 +187,9 @@ def _cmd_validate(args) -> int:
     failed = False
     multi = len(args.variants) > 1
     for variant in args.variants:
-        spec = CampaignSpec(kind="validation", variant=variant, rows=args.rows)
+        spec = CampaignSpec(
+            kind="validation", variant=variant, rows=_resolved_rows(args)
+        )
         result = _run_campaign_cmd(
             spec, args, checkpoint_suffix=variant if multi else None
         )
@@ -186,12 +209,64 @@ def _cmd_validate(args) -> int:
 def _cmd_differential(args) -> int:
     from .campaigns import CampaignSpec
 
-    spec = CampaignSpec(kind="differential", rows=args.rows, tables=args.tables)
+    if args.live_sqlite:
+        spec = CampaignSpec(
+            kind="live-sqlite",
+            variant=args.dialect,
+            rows=_resolved_rows(args, live=True),
+            scenario=args.live_sqlite,
+        )
+    else:
+        spec = CampaignSpec(
+            kind="differential", rows=_resolved_rows(args), tables=args.tables
+        )
     result = _run_campaign_cmd(spec, args)
     for mismatch in result.mismatches[: args.show_disagreements]:
         print(f"seed {mismatch['seed']}: {mismatch['detail']}", file=sys.stderr)
     print(result.summary())
+    # Classified dialect divergences are expected and never fail the run;
+    # the exit code tracks *unclassified* disagreements only.
     return 1 if result.mismatches else 0
+
+
+def _cmd_ingest(args) -> int:
+    """Import a database and print its profile (or export it back out)."""
+    from .ingest import export_sql_script, export_sqlite, import_scenario
+
+    try:
+        scenario = import_scenario(args.source, sample_rows=args.sample_rows)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: {args.source}: {exc}")
+    if args.export:
+        if args.export.endswith(".sql"):
+            export_sql_script(scenario, args.export)
+        else:
+            export_sqlite(scenario, args.export)
+        print(f"exported {scenario.total_rows} row(s) -> {args.export}")
+    profile = scenario.profile()
+    if args.json:
+        profile["fingerprint"] = scenario.fingerprint()
+        print(json.dumps(profile, indent=2))
+        return 0
+    print(f"source: {profile['source']}")
+    print(f"total rows: {profile['total_rows']}")
+    for name, info in profile["tables"].items():
+        print(f"  {name} ({info['rows']} rows)")
+        for column, stats in info["columns"].items():
+            print(
+                f"    {column:<24} {stats['type']:<5} "
+                f"null_rate={stats['null_rate']:.2%} "
+                f"distinct={stats['distinct']}"
+            )
+    for fk in profile["foreign_keys"]:
+        print(
+            f"  fk: {fk['table']}({', '.join(fk['columns'])}) -> "
+            f"{fk['ref_table']}({', '.join(fk['ref_columns'])})"
+        )
+    for note in profile["notes"]:
+        print(f"  note: {note}")
+    print(f"fingerprint: {scenario.fingerprint()}")
+    return 0
 
 
 def _load_bench_service(path: str) -> Optional[dict]:
@@ -282,9 +357,17 @@ def _cmd_report(args) -> int:
         f"{aggregator.completed} recorded, {pending} pending, "
         f"{result.duplicates} duplicate record(s) skipped"
     )
+    classified = ""
+    if result.classified:
+        per_class = ", ".join(
+            f"{name}: {count}"
+            for name, count in result.classified_by_class.items()
+        )
+        classified = f"{result.classified} classified ({per_class}), "
     print(
         f"outcomes: {plain_agreements} agree, "
         f"{result.error_agreements} agree-both-error, "
+        f"{classified}"
         f"{len(result.mismatches)} mismatch "
         f"(rate {result.agreement_rate:.4%})"
     )
@@ -637,7 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_campaign_args(cmd) -> None:
         cmd.add_argument("--trials", type=int, default=200)
-        cmd.add_argument("--rows", type=int, default=6)
+        cmd.add_argument(
+            "--rows", type=int, default=None,
+            help="row cap per generated trial table (default 6); with "
+            "--live-sqlite, the per-table import sample cap (default: "
+            "unlimited)",
+        )
         cmd.add_argument("--seed", type=int, default=0, help="base seed")
         cmd.add_argument(
             "--jobs", type=int, default=1,
@@ -670,8 +758,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--tables", type=int, default=None,
         help="size of the R1..Rn validation schema (default: runner default)",
     )
+    differential.add_argument(
+        "--live-sqlite", default=None, metavar="PATH",
+        help="differential-test against live stdlib SQLite over the "
+        "ingested database at PATH (SQLite file, .sql script, or CSV "
+        "directory); known dialect gaps are classified, not failed",
+    )
+    differential.add_argument(
+        "--dialect", choices=("postgres", "oracle"), default="postgres",
+        help="repository-side dialect pairing for --live-sqlite",
+    )
     differential.add_argument("--show-disagreements", type=int, default=5)
     differential.set_defaults(func=_cmd_differential)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="import a database (SQLite, .sql, CSV dir) and print its profile",
+    )
+    ingest.add_argument(
+        "source", metavar="PATH",
+        help="SQLite database file, .sql script, or CSV directory",
+    )
+    ingest.add_argument(
+        "--sample-rows", type=int, default=0,
+        help="per-table import row cap (0 = unlimited)",
+    )
+    ingest.add_argument(
+        "--export", default=None, metavar="OUT",
+        help="re-export the imported scenario (.sql extension writes a SQL "
+        "script, anything else a SQLite database file)",
+    )
+    ingest.add_argument(
+        "--json", action="store_true",
+        help="print the profile (plus fingerprint) as JSON",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
 
     report = sub.add_parser(
         "report",

@@ -1,0 +1,65 @@
+"""Real-schema, real-data scenario ingestion.
+
+The validation campaigns of Section 4 run over the fixed R1..R8 schema with
+tiny synthetic instances.  This package points the same methodology at
+*real* databases:
+
+* :mod:`repro.ingest.importer` — map an existing SQLite database, SQL
+  script, or CSV directory (tables, columns, inferred types, FK structure,
+  NULLability) into :class:`~repro.core.schema.Schema` + tables, with
+  sampling caps for 10⁴–10⁶-row sources, and export scenarios back out
+  (the metamorphic round-trip);
+* :mod:`repro.ingest.synth` — an FK-respecting skewed data synthesizer
+  (Zipfian key reuse, configurable NULL rates) to scale a scenario up;
+* :mod:`repro.ingest.generator` — FK-join-biased query generation against
+  ingested schemas;
+* :mod:`repro.ingest.workload` — service-bench workloads (the default R/S/
+  T/U set, and builders deriving workloads from ingested scenarios);
+* :mod:`repro.ingest.demo` — the FK-rich "library" scenario the bench and
+  CI fixtures are built from.
+
+The live-DBMS comparison that consumes these scenarios lives in
+:mod:`repro.validation.live`.
+"""
+
+from .generator import (
+    DEFAULT_SCENARIO_CONFIG,
+    ScenarioGenerator,
+    ScenarioGeneratorConfig,
+)
+from .importer import (
+    export_sql_script,
+    export_sqlite,
+    import_csv_dir,
+    import_scenario,
+    import_sqlite,
+)
+from .scenario import (
+    TYPE_INT,
+    TYPE_TEXT,
+    ForeignKey,
+    Scenario,
+    infer_column_types,
+    table_fingerprint,
+)
+from .synth import SynthConfig, synthesize, synthesize_scenario
+
+__all__ = [
+    "ForeignKey",
+    "Scenario",
+    "TYPE_INT",
+    "TYPE_TEXT",
+    "table_fingerprint",
+    "infer_column_types",
+    "import_scenario",
+    "import_sqlite",
+    "import_csv_dir",
+    "export_sqlite",
+    "export_sql_script",
+    "SynthConfig",
+    "synthesize",
+    "synthesize_scenario",
+    "ScenarioGenerator",
+    "ScenarioGeneratorConfig",
+    "DEFAULT_SCENARIO_CONFIG",
+]

@@ -1,0 +1,121 @@
+"""The "library" demo scenario: an FK-rich schema at any scale.
+
+A deliberately realistic shape — two independent dimension hierarchies
+(authors/publishers feeding books, branches feeding stock) and two fact
+tables (loans, stock) with composite foreign-key fan-in — exercised by the
+bench's ``ingest`` stage at 10⁵ rows and committed, tiny, as the CI fixture
+``tests/fixtures/library.sql``.
+
+Everything here is deterministic in ``seed``: the synthesizer derives each
+table's RNG from ``f"{seed}:{table}"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.schema import Schema
+from .scenario import ForeignKey, Scenario, TYPE_INT, TYPE_TEXT
+from .synth import SynthConfig, synthesize
+
+__all__ = ["library_schema", "library_foreign_keys", "library_scenario"]
+
+#: Fraction of the requested total rows allotted to each table.
+_SHARES = {
+    "authors": 0.05,
+    "publishers": 0.02,
+    "books": 0.20,
+    "members": 0.12,
+    "branches": 0.01,
+    "loans": 0.40,
+    "stock": 0.20,
+}
+
+
+def library_schema() -> Schema:
+    return Schema(
+        {
+            "authors": ("author_id", "name", "country"),
+            "publishers": ("publisher_id", "pub_name", "city"),
+            "books": ("book_id", "title", "author_id", "publisher_id", "year"),
+            "members": ("member_id", "member_name", "joined"),
+            "branches": ("branch_id", "branch_city"),
+            "loans": ("loan_id", "book_id", "member_id", "due"),
+            "stock": ("book_id", "branch_id", "copies"),
+        }
+    )
+
+
+def library_foreign_keys() -> tuple:
+    return (
+        ForeignKey("books", ("author_id",), "authors", ("author_id",)),
+        ForeignKey("books", ("publisher_id",), "publishers", ("publisher_id",)),
+        ForeignKey("loans", ("book_id",), "books", ("book_id",)),
+        ForeignKey("loans", ("member_id",), "members", ("member_id",)),
+        ForeignKey("stock", ("book_id",), "books", ("book_id",)),
+        ForeignKey("stock", ("branch_id",), "branches", ("branch_id",)),
+    )
+
+
+_TYPES: Dict[str, Dict[str, str]] = {
+    "authors": {"author_id": TYPE_INT, "name": TYPE_TEXT, "country": TYPE_TEXT},
+    "publishers": {
+        "publisher_id": TYPE_INT,
+        "pub_name": TYPE_TEXT,
+        "city": TYPE_TEXT,
+    },
+    "books": {
+        "book_id": TYPE_INT,
+        "title": TYPE_TEXT,
+        "author_id": TYPE_INT,
+        "publisher_id": TYPE_INT,
+        "year": TYPE_INT,
+    },
+    "members": {
+        "member_id": TYPE_INT,
+        "member_name": TYPE_TEXT,
+        "joined": TYPE_INT,
+    },
+    "branches": {"branch_id": TYPE_INT, "branch_city": TYPE_TEXT},
+    "loans": {
+        "loan_id": TYPE_INT,
+        "book_id": TYPE_INT,
+        "member_id": TYPE_INT,
+        "due": TYPE_INT,
+    },
+    "stock": {"book_id": TYPE_INT, "branch_id": TYPE_INT, "copies": TYPE_INT},
+}
+
+
+def library_scenario(
+    total_rows: int = 1000,
+    seed: int = 0,
+    skew: float = 1.1,
+    null_rate: float = 0.08,
+) -> Scenario:
+    """The library scenario scaled to roughly ``total_rows`` rows overall."""
+    table_rows = {
+        name: max(2, int(total_rows * share)) for name, share in _SHARES.items()
+    }
+    config = SynthConfig(
+        rows=max(2, total_rows // len(_SHARES)),
+        table_rows=table_rows,
+        skew=skew,
+        null_rate=null_rate,
+        domain=max(16, total_rows // 16),
+    )
+    scenario = synthesize(
+        library_schema(),
+        fks=library_foreign_keys(),
+        config=config,
+        seed=seed,
+        types=_TYPES,
+    )
+    return Scenario(
+        schema=scenario.schema,
+        database=scenario.database,
+        fks=scenario.fks,
+        types=scenario.types,
+        source=f"library(total_rows={total_rows}, seed={seed})",
+        notes=scenario.notes,
+    )

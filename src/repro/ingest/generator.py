@@ -1,0 +1,310 @@
+"""Query generation against ingested scenarios (FK-join-biased).
+
+The Section 4 generator (:class:`repro.generator.queries.QueryGenerator`)
+draws *structurally* random queries: FROM lists are arbitrary table
+multisets and comparisons mix columns and constants freely.  That is the
+right stressor for a 6-row validation database, but pointed at a 10⁵-row
+ingested database it produces mostly-empty cross joins whose intermediate
+products explode.
+
+:class:`ScenarioGenerator` instead walks the scenario's foreign-key graph:
+
+* FROM clauses grow **path-shaped** along FK edges — each new item joins the
+  previously added one through an FK equality, so every join is
+  key/foreign-key shaped and intermediate sizes stay near the data size;
+* filter constants are **sampled from the column being filtered**, so
+  predicates are type-homogeneous (never tripping the dialects' ordered
+  int-vs-text type-clash divergence by accident) and selective;
+* WHERE subqueries (EXISTS / IN) correlate through an FK edge too.
+
+Generation is deterministic given a seeded :class:`random.Random`, exactly
+like the base generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.values import NULL, FullName, Name
+from ..sql.ast import (
+    Condition,
+    Exists,
+    FromItem,
+    InQuery,
+    IsNull,
+    Not,
+    Predicate,
+    Query,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+    conjunction,
+)
+from .scenario import Scenario, TYPE_TEXT
+
+__all__ = [
+    "ScenarioGeneratorConfig",
+    "ScenarioGenerator",
+    "DEFAULT_SCENARIO_CONFIG",
+    "SCALE_SCENARIO_CONFIG",
+    "config_for_scenario",
+]
+
+_ORDERED = ("<", "<=", ">", ">=")
+_SETOPS = ("UNION", "INTERSECT", "EXCEPT")
+
+
+@dataclass(frozen=True)
+class ScenarioGeneratorConfig:
+    """Shape knobs for :class:`ScenarioGenerator`."""
+
+    max_from: int = 3
+    max_select: int = 3
+    max_filters: int = 3
+    star_probability: float = 0.15
+    distinct_probability: float = 0.25
+    setop_probability: float = 0.12
+    subquery_probability: float = 0.25
+    null_check_probability: float = 0.2
+    negation_probability: float = 0.2
+
+
+DEFAULT_SCENARIO_CONFIG = ScenarioGeneratorConfig()
+
+#: Tuned for 10⁴–10⁶-row scenarios: no WHERE subqueries (the row-wise
+#: evaluators run correlated subqueries per outer row — quadratic at scale)
+#: and at most one FK join, so per-trial cost stays near-linear in the data.
+SCALE_SCENARIO_CONFIG = ScenarioGeneratorConfig(
+    max_from=2,
+    subquery_probability=0.0,
+    star_probability=0.08,
+)
+
+
+def config_for_scenario(scenario) -> ScenarioGeneratorConfig:
+    """The default config, or the scale-tuned one for large scenarios."""
+    return (
+        SCALE_SCENARIO_CONFIG
+        if scenario.total_rows > 5000
+        else DEFAULT_SCENARIO_CONFIG
+    )
+
+
+class _Edge:
+    """One FK edge viewed from a side: join ``near`` columns to ``far``."""
+
+    __slots__ = ("near_table", "near_columns", "far_table", "far_columns")
+
+    def __init__(self, near_table, near_columns, far_table, far_columns):
+        self.near_table = near_table
+        self.near_columns = tuple(near_columns)
+        self.far_table = far_table
+        self.far_columns = tuple(far_columns)
+
+
+class ScenarioGenerator:
+    """FK-join-biased random query generator over a :class:`Scenario`."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: ScenarioGeneratorConfig = DEFAULT_SCENARIO_CONFIG,
+        rng: Optional[random.Random] = None,
+    ):
+        self.scenario = scenario
+        self.config = config
+        self.rng = rng if rng is not None else random.Random()
+        self._alias_counter = 0
+        self._output_counter = 0
+        # Adjacency: table -> edges leaving it (both FK directions).  The
+        # edges are added in canonical (sorted) FK order so generation
+        # depends only on the scenario's *content*: two scenarios with equal
+        # fingerprints yield identical query streams even when their FK
+        # tuples were discovered in different orders (SQLite's
+        # foreign_key_list reverses declaration order on every export/
+        # import round trip).
+        self._edges: dict = {}
+        for fk in sorted(scenario.fks, key=repr):
+            self._edges.setdefault(fk.table, []).append(
+                _Edge(fk.table, fk.columns, fk.ref_table, fk.ref_columns)
+            )
+            self._edges.setdefault(fk.ref_table, []).append(
+                _Edge(fk.ref_table, fk.ref_columns, fk.table, fk.columns)
+            )
+
+    # -- public ----------------------------------------------------------------
+
+    def generate(self, seed: Optional[int] = None) -> Query:
+        if seed is not None:
+            self.rng.seed(seed)
+        self._alias_counter = 0
+        self._output_counter = 0
+        if self._chance(self.config.setop_probability):
+            arity = self.rng.randint(1, self.config.max_select)
+            left = self._select(target_arity=arity)
+            right = self._select(target_arity=arity)
+            op = self.rng.choice(_SETOPS)
+            return SetOp(op, left, right, all=self._chance(0.5))
+        return self._select()
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _chance(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def _fresh_alias(self) -> Name:
+        self._alias_counter += 1
+        return f"T{self._alias_counter}"
+
+    def _fresh_output(self) -> Name:
+        self._output_counter += 1
+        return f"C{self._output_counter}"
+
+    # -- FROM construction -------------------------------------------------------
+
+    def _walk_from(self) -> Tuple[List[FromItem], List[Tuple[str, Name]], List[Condition]]:
+        """Grow a path along FK edges.
+
+        Returns the FROM items, the ``(table, alias)`` pair per item, and the
+        join conditions tying consecutive items together.
+        """
+        tables = self.scenario.schema.table_names
+        start = self.rng.choice(tables)
+        items = [FromItem(start, self._fresh_alias())]
+        bindings = [(start, items[0].alias)]
+        joins: List[Condition] = []
+        want = self.rng.randint(1, self.config.max_from)
+        while len(items) < want:
+            near_table, near_alias = bindings[-1]
+            edges = self._edges.get(near_table, ())
+            if not edges:
+                break
+            edge = self.rng.choice(edges)
+            alias = self._fresh_alias()
+            items.append(FromItem(edge.far_table, alias))
+            bindings.append((edge.far_table, alias))
+            for near_col, far_col in zip(edge.near_columns, edge.far_columns):
+                joins.append(
+                    Predicate(
+                        "=",
+                        (
+                            FullName(near_alias, near_col),
+                            FullName(alias, far_col),
+                        ),
+                    )
+                )
+        return items, bindings, joins
+
+    # -- SELECT blocks -----------------------------------------------------------
+
+    def _select(self, target_arity: Optional[int] = None) -> Select:
+        items, bindings, joins = self._walk_from()
+        filters = self._filters(bindings)
+        where = conjunction(joins + filters) if joins or filters else TRUE_COND
+        distinct = self._chance(self.config.distinct_probability)
+
+        if target_arity is None and self._chance(self.config.star_probability):
+            return Select(STAR, tuple(items), where, distinct=distinct)
+
+        arity = (
+            target_arity
+            if target_arity is not None
+            else self.rng.randint(1, self.config.max_select)
+        )
+        select_items = []
+        for _ in range(arity):
+            table, alias = self.rng.choice(bindings)
+            column = self.rng.choice(self.scenario.schema.attributes(table))
+            select_items.append(
+                SelectItem(FullName(alias, column), self._fresh_output())
+            )
+        return Select(tuple(select_items), tuple(items), where, distinct=distinct)
+
+    # -- filters -----------------------------------------------------------------
+
+    def _filters(self, bindings: List[Tuple[str, Name]]) -> List[Condition]:
+        out: List[Condition] = []
+        for _ in range(self.rng.randint(0, self.config.max_filters)):
+            table, alias = self.rng.choice(bindings)
+            column = self.rng.choice(self.scenario.schema.attributes(table))
+            out.append(self._filter_for(bindings, table, alias, column))
+        return out
+
+    def _filter_for(
+        self,
+        bindings: List[Tuple[str, Name]],
+        table: str,
+        alias: Name,
+        column: Name,
+    ) -> Condition:
+        term = FullName(alias, column)
+        if self._chance(self.config.null_check_probability):
+            return IsNull(term, negated=self._chance(0.5))
+        if self._chance(self.config.subquery_probability):
+            sub = self._correlated_subquery(table, alias)
+            if sub is not None:
+                return sub
+        pool = self.scenario.value_pool(table, column)
+        if not pool:
+            return IsNull(term, negated=True)
+        constant = self.rng.choice(pool)
+        if self.scenario.column_type(table, column) == TYPE_TEXT:
+            ops = ("=", "=", "<>") + _ORDERED
+        else:
+            ops = ("=", "=", "<>", "<>") + _ORDERED
+        condition: Condition = Predicate(self.rng.choice(ops), (term, constant))
+        if self._chance(self.config.negation_probability):
+            condition = Not(condition)
+        return condition
+
+    # -- subqueries ---------------------------------------------------------------
+
+    def _correlated_subquery(self, table: str, outer_alias: Name) -> Optional[Condition]:
+        """EXISTS / IN over an FK neighbour, correlated through the edge."""
+        edges = self._edges.get(table, ())
+        if not edges:
+            return None
+        edge = self.rng.choice(edges)
+        alias = self._fresh_alias()
+        correlation = conjunction(
+            [
+                Predicate(
+                    "=",
+                    (
+                        FullName(alias, far_col),
+                        FullName(outer_alias, near_col),
+                    ),
+                )
+                for near_col, far_col in zip(edge.near_columns, edge.far_columns)
+            ]
+        )
+        if self._chance(0.5):
+            inner = Select(
+                (SelectItem(FullName(alias, edge.far_columns[0]), self._fresh_output()),),
+                (FromItem(edge.far_table, alias),),
+                correlation,
+            )
+            return Exists(inner)
+        # t IN (SELECT ref FROM far): uncorrelated IN through the FK columns.
+        inner = Select(
+            (SelectItem(FullName(alias, edge.far_columns[0]), self._fresh_output()),),
+            (FromItem(edge.far_table, alias),),
+            TRUE_COND,
+        )
+        left: Tuple = (FullName(outer_alias, edge.near_columns[0]),)
+        if self._chance(0.1):
+            left = (NULL,)
+        return InQuery(left, inner, negated=self._chance(0.4))
+
+
+def scenario_generator(
+    scenario: Scenario,
+    seed: int = 0,
+    config: ScenarioGeneratorConfig = DEFAULT_SCENARIO_CONFIG,
+) -> ScenarioGenerator:
+    """A generator with a private seeded RNG (convenience for campaigns)."""
+    return ScenarioGenerator(scenario, config, random.Random(seed))

@@ -1,0 +1,493 @@
+"""Importing real databases into scenarios.
+
+Three source shapes are understood, dispatched on the path:
+
+* ``*.sql`` — a SQL script (DDL + INSERTs) executed into a fresh in-memory
+  SQLite database and then imported from there.  This is the shape of the
+  committed test fixture (text diffs, no binary blobs in git).
+* a directory — one ``*.csv`` file per table (header row = column names),
+  with an optional ``fks.json`` sidecar listing foreign keys.
+* anything else — an existing SQLite database file, opened read-only.
+
+The importer maps the source into the repository's value domain (int | str |
+NULL) with an explicit, documented policy:
+
+* booleans become 0/1 (SQLite stores them that way already);
+* columns containing floats or blobs are **dropped** (with a note) — the
+  validated fragment has no arithmetic or binary values;
+* a column mixing ints and strings is coerced to all-text (with a note), so
+  every column is homogeneously typed and comparisons against sampled
+  constants never hit the dialects' type-clash divergence by accident;
+* tables left with no usable columns, and SQLite internal/shadow tables,
+  are dropped (with a note).
+
+Sources with 10⁴–10⁶ rows are handled by sampling: ``sample_rows`` caps each
+table at its first N rows in ``rowid`` order (deterministic across runs).
+Sampling can break referential integrity of *child* rows whose parents were
+cut off; the FK edges are still reported (they describe the schema, not the
+sample) and the generator treats them as join hints, not as guarantees.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.schema import Database, Schema
+from ..core.values import NULL
+from .scenario import TYPE_INT, TYPE_TEXT, ForeignKey, Scenario
+
+__all__ = [
+    "import_scenario",
+    "import_sqlite",
+    "import_csv_dir",
+    "export_sqlite",
+    "export_sql_script",
+]
+
+
+def import_scenario(
+    path: str,
+    sample_rows: int = 0,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Import a source picked by path shape (see module docstring).
+
+    ``sample_rows <= 0`` means no cap.
+    """
+    p = Path(path)
+    if p.is_dir():
+        return import_csv_dir(p, sample_rows=sample_rows, name=name)
+    if p.suffix.lower() == ".sql":
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.executescript(p.read_text())
+            return _import_connection(
+                conn, source=name or str(path), sample_rows=sample_rows
+            )
+        finally:
+            conn.close()
+    return import_sqlite(p, sample_rows=sample_rows, name=name)
+
+
+def import_sqlite(
+    path, sample_rows: int = 0, name: Optional[str] = None
+) -> Scenario:
+    """Import an on-disk SQLite database, opened read-only."""
+    uri = f"file:{Path(path).as_posix()}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True)
+    try:
+        return _import_connection(
+            conn, source=name or str(path), sample_rows=sample_rows
+        )
+    finally:
+        conn.close()
+
+
+def _list_tables(conn: sqlite3.Connection) -> List[str]:
+    rows = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+    ).fetchall()
+    names = []
+    for (table_name,) in rows:
+        if table_name.startswith("sqlite_"):
+            continue
+        names.append(table_name)
+    return names
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def _declared_type(decl: str) -> str:
+    """SQLite's type-affinity rules, reduced to this repo's domain."""
+    decl = (decl or "").upper()
+    if "INT" in decl:
+        return TYPE_INT
+    if any(token in decl for token in ("CHAR", "CLOB", "TEXT")):
+        return TYPE_TEXT
+    if "BLOB" in decl or decl == "":
+        return TYPE_INT
+    # REAL/FLOA/DOUB and NUMERIC-ish declarations: the column may hold
+    # floats; keep it only if the actual values turn out integral/textual.
+    return TYPE_INT
+
+
+def _import_connection(
+    conn: sqlite3.Connection, source: str, sample_rows: int
+) -> Scenario:
+    notes: List[str] = []
+    schema_map: Dict[str, Tuple[str, ...]] = {}
+    tables: Dict[str, List[Tuple[object, ...]]] = {}
+    types: Dict[str, Dict[str, str]] = {}
+    kept_columns: Dict[str, List[int]] = {}
+
+    for table_name in _list_tables(conn):
+        info = conn.execute(f"PRAGMA table_info({_quote(table_name)})").fetchall()
+        if not info:
+            notes.append(f"dropped table {table_name}: no column metadata")
+            continue
+        columns = [str(row[1]) for row in info]
+        declared = {str(row[1]): _declared_type(str(row[2])) for row in info}
+
+        limit = f" LIMIT {int(sample_rows)}" if sample_rows > 0 else ""
+        column_list = ", ".join(_quote(c) for c in columns)
+        try:
+            raw = conn.execute(
+                f"SELECT {column_list} FROM {_quote(table_name)}"
+                f" ORDER BY rowid{limit}"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            # WITHOUT ROWID tables have no rowid; fall back to natural order.
+            raw = conn.execute(
+                f"SELECT {column_list} FROM {_quote(table_name)}{limit}"
+            ).fetchall()
+        total = conn.execute(
+            f"SELECT COUNT(*) FROM {_quote(table_name)}"
+        ).fetchone()[0]
+        if sample_rows > 0 and total > sample_rows:
+            notes.append(
+                f"sampled table {table_name}: kept {sample_rows} of {total} rows"
+            )
+
+        keep, column_types, drop_notes = _classify_columns(
+            table_name, columns, declared, raw
+        )
+        notes.extend(drop_notes)
+        if not keep:
+            notes.append(f"dropped table {table_name}: no importable columns")
+            continue
+
+        schema_map[table_name] = tuple(columns[i] for i in keep)
+        kept_columns[table_name] = keep
+        types[table_name] = column_types
+        tables[table_name] = [
+            tuple(_convert(row[i], column_types[columns[i]]) for i in keep)
+            for row in raw
+        ]
+
+    if not schema_map:
+        raise ValueError(f"source {source!r} contains no importable tables")
+
+    fks = _read_foreign_keys(conn, schema_map, notes)
+    schema = Schema(schema_map)
+    database = Database(schema, tables)
+    return Scenario(
+        schema=schema,
+        database=database,
+        fks=tuple(fks),
+        types=types,
+        source=source,
+        notes=tuple(notes),
+    )
+
+
+def _classify_columns(
+    table_name: str,
+    columns: Sequence[str],
+    declared: Mapping[str, str],
+    raw: Sequence[Sequence[object]],
+) -> Tuple[List[int], Dict[str, str], List[str]]:
+    """Decide, per column, whether to keep it and as which type."""
+    keep: List[int] = []
+    column_types: Dict[str, str] = {}
+    notes: List[str] = []
+    for i, column in enumerate(columns):
+        saw_int = saw_text = False
+        unsupported = None
+        for row in raw:
+            value = row[i]
+            if value is None:
+                continue
+            if isinstance(value, bool) or isinstance(value, int):
+                saw_int = True
+            elif isinstance(value, float):
+                if value.is_integer():
+                    saw_int = True
+                else:
+                    unsupported = "float"
+                    break
+            elif isinstance(value, str):
+                saw_text = True
+            else:
+                unsupported = type(value).__name__
+                break
+        if unsupported is not None:
+            notes.append(
+                f"dropped column {table_name}.{column}: "
+                f"unsupported value type {unsupported}"
+            )
+            continue
+        if saw_int and saw_text:
+            notes.append(
+                f"coerced column {table_name}.{column} to text: mixed int/text"
+            )
+            kind = TYPE_TEXT
+        elif saw_text:
+            kind = TYPE_TEXT
+        elif saw_int:
+            kind = TYPE_INT
+        else:
+            # Empty / all-NULL column: trust the declared affinity.
+            kind = declared.get(column, TYPE_INT)
+        keep.append(i)
+        column_types[column] = kind
+    return keep, column_types, notes
+
+
+def _convert(value: object, kind: str):
+    if value is None:
+        return NULL
+    if kind == TYPE_TEXT:
+        if isinstance(value, bool):
+            return str(int(value))
+        if isinstance(value, float):
+            return str(int(value))
+        return value if isinstance(value, str) else str(value)
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        return int(value)
+    return value
+
+
+def _read_foreign_keys(
+    conn: sqlite3.Connection,
+    schema_map: Mapping[str, Tuple[str, ...]],
+    notes: List[str],
+) -> List[ForeignKey]:
+    fks: List[ForeignKey] = []
+    for table_name, kept in schema_map.items():
+        kept_set = set(kept)
+        # foreign_key_list: (id, seq, table, from, to, on_update, on_delete, match)
+        rows = conn.execute(
+            f"PRAGMA foreign_key_list({_quote(table_name)})"
+        ).fetchall()
+        groups: Dict[int, List[Tuple[str, Optional[str], str]]] = {}
+        for row in rows:
+            fk_id, _seq, ref_table = row[0], row[1], str(row[2])
+            groups.setdefault(fk_id, []).append((str(row[3]), row[4], ref_table))
+        for fk_id, pairs in sorted(groups.items()):
+            ref_table = pairs[0][2]
+            if ref_table not in schema_map:
+                notes.append(
+                    f"dropped foreign key on {table_name}: "
+                    f"target table {ref_table} not imported"
+                )
+                continue
+            columns = tuple(frm for frm, _to, _ref in pairs)
+            targets = [to for _frm, to, _ref in pairs]
+            if any(t is None for t in targets):
+                # Implicit reference to the target's primary key.
+                resolved = _primary_key(conn, ref_table)
+                if len(resolved) != len(columns):
+                    notes.append(
+                        f"dropped foreign key on {table_name}: cannot resolve "
+                        f"implicit primary key of {ref_table}"
+                    )
+                    continue
+                targets = list(resolved)
+            ref_columns = tuple(str(t) for t in targets)
+            if not kept_set.issuperset(columns) or not set(
+                schema_map[ref_table]
+            ).issuperset(ref_columns):
+                notes.append(
+                    f"dropped foreign key {table_name}{columns} -> "
+                    f"{ref_table}{ref_columns}: column not imported"
+                )
+                continue
+            fks.append(ForeignKey(table_name, columns, ref_table, ref_columns))
+    return fks
+
+
+def _primary_key(conn: sqlite3.Connection, table_name: str) -> Tuple[str, ...]:
+    info = conn.execute(f"PRAGMA table_info({_quote(table_name)})").fetchall()
+    pk = [(row[5], str(row[1])) for row in info if row[5]]
+    return tuple(name for _pos, name in sorted(pk))
+
+
+# -- CSV directories -----------------------------------------------------------
+
+
+def import_csv_dir(
+    path, sample_rows: int = 0, name: Optional[str] = None
+) -> Scenario:
+    """Import a directory of ``table.csv`` files (+ optional ``fks.json``).
+
+    CSV cells are typed per column: if every non-empty cell parses as an int
+    the column is int-typed, otherwise text.  Empty cells are NULL.
+    """
+    p = Path(path)
+    notes: List[str] = []
+    schema_map: Dict[str, Tuple[str, ...]] = {}
+    tables: Dict[str, List[Tuple[object, ...]]] = {}
+    types: Dict[str, Dict[str, str]] = {}
+
+    for csv_path in sorted(p.glob("*.csv")):
+        table_name = csv_path.stem
+        with open(csv_path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                notes.append(f"dropped table {table_name}: empty file")
+                continue
+            rows = [tuple(row) for row in reader]
+        if sample_rows > 0 and len(rows) > sample_rows:
+            notes.append(
+                f"sampled table {table_name}: kept {sample_rows} of {len(rows)} rows"
+            )
+            rows = rows[:sample_rows]
+        columns = tuple(h.strip() for h in header)
+        column_types: Dict[str, str] = {}
+        for i, column in enumerate(columns):
+            kind = TYPE_INT
+            for row in rows:
+                cell = row[i] if i < len(row) else ""
+                if cell == "":
+                    continue
+                if not _is_int_literal(cell):
+                    kind = TYPE_TEXT
+                    break
+            column_types[column] = kind
+        converted = [
+            tuple(
+                _convert_cell(row[i] if i < len(row) else "", column_types[c])
+                for i, c in enumerate(columns)
+            )
+            for row in rows
+        ]
+        schema_map[table_name] = columns
+        tables[table_name] = converted
+        types[table_name] = column_types
+
+    if not schema_map:
+        raise ValueError(f"directory {p} contains no CSV tables")
+
+    fks: List[ForeignKey] = []
+    sidecar = p / "fks.json"
+    if sidecar.exists():
+        for payload in json.loads(sidecar.read_text()):
+            fk = ForeignKey.from_json(payload)
+            if fk.table in schema_map and fk.ref_table in schema_map:
+                fks.append(fk)
+            else:
+                notes.append(f"dropped foreign key {payload}: table not imported")
+
+    schema = Schema(schema_map)
+    return Scenario(
+        schema=schema,
+        database=Database(schema, tables),
+        fks=tuple(fks),
+        types=types,
+        source=name or str(p),
+        notes=tuple(notes),
+    )
+
+
+def _is_int_literal(cell: str) -> bool:
+    text = cell.strip()
+    if text.startswith(("-", "+")):
+        text = text[1:]
+    return text.isdigit()
+
+
+def _convert_cell(cell: str, kind: str):
+    if cell == "":
+        return NULL
+    return int(cell) if kind == TYPE_INT else cell
+
+
+# -- export (the other half of the metamorphic loop) ---------------------------
+
+
+def export_sqlite(scenario: Scenario, path) -> None:
+    """Write a scenario as a SQLite database with typed DDL + FK clauses.
+
+    ``import_scenario(path)`` on the result reproduces the scenario's table
+    fingerprints exactly (the metamorphic round-trip property).
+    """
+    out = Path(path)
+    if out.exists():
+        out.unlink()
+    conn = sqlite3.connect(str(out))
+    try:
+        _export_into(scenario, conn)
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def export_sql_script(scenario: Scenario, path) -> None:
+    """Write a scenario as a text SQL script (the committed-fixture shape)."""
+    conn = sqlite3.connect(":memory:")
+    try:
+        _export_into(scenario, conn)
+        with open(path, "w") as handle:
+            for line in conn.iterdump():
+                handle.write(line + "\n")
+    finally:
+        conn.close()
+
+
+def _export_into(scenario: Scenario, conn: sqlite3.Connection) -> None:
+    fks_by_table: Dict[str, List[ForeignKey]] = {}
+    for fk in scenario.fks:
+        fks_by_table.setdefault(fk.table, []).append(fk)
+    ordered = _fk_topological_order(scenario)
+    for table_name in ordered:
+        attrs = scenario.schema.attributes(table_name)
+        decls = [
+            f"{_quote(a)} "
+            + ("INTEGER" if scenario.column_type(table_name, a) == TYPE_INT else "TEXT")
+            for a in attrs
+        ]
+        for fk in fks_by_table.get(table_name, ()):
+            decls.append(
+                f"FOREIGN KEY ({', '.join(_quote(c) for c in fk.columns)}) "
+                f"REFERENCES {_quote(fk.ref_table)} "
+                f"({', '.join(_quote(c) for c in fk.ref_columns)})"
+            )
+        conn.execute(
+            f"CREATE TABLE {_quote(table_name)} ({', '.join(decls)})"
+        )
+        placeholders = ", ".join("?" for _ in attrs)
+        table = scenario.database.table(table_name)
+        conn.executemany(
+            f"INSERT INTO {_quote(table_name)} VALUES ({placeholders})",
+            (
+                tuple(None if v is NULL else v for v in record)
+                for record in table.bag
+            ),
+        )
+
+
+def _fk_topological_order(scenario: Scenario) -> List[str]:
+    """Parents before children so FK-checked loads would succeed; cycles are
+    broken arbitrarily (SQLite only enforces FKs when asked to)."""
+    names = list(scenario.schema.table_names)
+    deps: Dict[str, set] = {n: set() for n in names}
+    for fk in scenario.fks:
+        if fk.ref_table != fk.table:
+            deps[fk.table].add(fk.ref_table)
+    ordered: List[str] = []
+    placed: set = set()
+    while len(ordered) < len(names):
+        progress = False
+        for n in names:
+            if n in placed:
+                continue
+            if deps[n] <= placed:
+                ordered.append(n)
+                placed.add(n)
+                progress = True
+        if not progress:  # FK cycle: emit the rest in declaration order
+            for n in names:
+                if n not in placed:
+                    ordered.append(n)
+                    placed.add(n)
+    return ordered

@@ -1,0 +1,262 @@
+"""FK-respecting skewed data synthesis.
+
+:func:`synthesize` fills a schema-with-FK-structure at an arbitrary scale
+while keeping every foreign key valid: child columns only ever hold values
+copied from an actual parent row (or NULL).  Parent rows are drawn with a
+Zipfian distribution, so a few "hot" parents accumulate most children — the
+skew shape real FK-rich databases exhibit and uniform fillers miss.
+
+Determinism contract (pinned by ``tests/ingest/test_synth.py``): the RNG for
+each table is ``random.Random(f"{seed}:{table}")``.  String seeds hash via
+SHA-512 inside CPython's ``random`` module, so the same seed reproduces the
+same tables in any process on any platform, and adding a table to the
+scenario never perturbs the other tables' contents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.schema import Database, Schema
+from ..core.values import NULL
+from .scenario import TYPE_INT, TYPE_TEXT, ForeignKey, Scenario
+
+__all__ = ["SynthConfig", "synthesize", "synthesize_scenario"]
+
+_WORDS = (
+    "alder", "birch", "cedar", "delta", "ember", "fjord", "gorse",
+    "heath", "inlet", "juniper", "krill", "larch", "moss", "nettle",
+    "osier", "pine", "quartz", "reed", "sedge", "tarn",
+)
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs for :func:`synthesize`.
+
+    ``rows`` is the default per-table row count; ``table_rows`` overrides it
+    per table (parents are often much smaller than children).  ``skew`` is
+    the Zipf exponent for parent-row reuse: 0 = uniform, 1 ≈ classic Zipf,
+    larger = hotter hot keys.  ``null_rate`` applies to every nullable
+    position: non-FK columns always, FK columns as "orphan-free missing
+    parent" markers.
+    """
+
+    rows: int = 1000
+    table_rows: Mapping[str, int] = None  # type: ignore[assignment]
+    skew: float = 1.0
+    null_rate: float = 0.1
+    #: Distinct non-key values per column before reuse kicks in.
+    domain: int = 64
+
+    def __post_init__(self) -> None:
+        if self.table_rows is None:
+            object.__setattr__(self, "table_rows", {})
+        if self.rows < 0:
+            raise ValueError("rows must be non-negative")
+        if not 0.0 <= self.null_rate < 1.0:
+            raise ValueError("null_rate must be in [0, 1)")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+
+    def rows_for(self, table: str) -> int:
+        return int(self.table_rows.get(table, self.rows))
+
+
+def _zipf_weights(n: int, skew: float) -> List[float]:
+    if skew <= 0:
+        return [1.0] * n
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def _topological(schema: Schema, fks: Sequence[ForeignKey]) -> Tuple[List[str], List[ForeignKey], List[str]]:
+    """Tables in parents-first order; FK edges that close a cycle are set
+    aside (their columns become all-NULL, with a note)."""
+    names = list(schema.table_names)
+    active = list(fks)
+    dropped: List[str] = []
+    while True:
+        deps: Dict[str, set] = {n: set() for n in names}
+        for fk in active:
+            if fk.table != fk.ref_table:
+                deps[fk.table].add(fk.ref_table)
+        ordered: List[str] = []
+        placed: set = set()
+        progress = True
+        while progress:
+            progress = False
+            for n in names:
+                if n not in placed and deps[n] <= placed:
+                    ordered.append(n)
+                    placed.add(n)
+                    progress = True
+        if len(ordered) == len(names):
+            return ordered, active, dropped
+        # Break the cycle: drop the first FK edge among the unplaced tables.
+        stuck = [n for n in names if n not in placed]
+        for i, fk in enumerate(active):
+            if fk.table in stuck and fk.ref_table in stuck:
+                dropped.append(
+                    f"fk {fk.table}{fk.columns} -> {fk.ref_table}: cycle, "
+                    "filled with NULLs"
+                )
+                del active[i]
+                break
+        else:  # pragma: no cover - self-loops already filtered
+            return ordered + stuck, active, dropped
+
+
+def synthesize(
+    schema: Schema,
+    fks: Sequence[ForeignKey] = (),
+    config: Optional[SynthConfig] = None,
+    seed: int = 0,
+    types: Optional[Mapping[str, Mapping[str, str]]] = None,
+) -> Scenario:
+    """Build a :class:`Scenario` with valid FKs at the configured scale."""
+    config = config or SynthConfig()
+    types = types or {}
+    order, active_fks, cycle_notes = _topological(schema, fks)
+
+    # Self-referencing FKs cannot be satisfied while a table is being built;
+    # fill them with NULLs, like the edges dropped to break cycles.
+    usable: List[ForeignKey] = []
+    notes = list(cycle_notes)
+    null_fill = {
+        (fk.table, column)
+        for fk in fks
+        if fk not in active_fks
+        for column in fk.columns
+    }
+    for fk in active_fks:
+        if fk.table == fk.ref_table:
+            notes.append(
+                f"fk {fk.table}{fk.columns} -> itself: filled with NULLs"
+            )
+            null_fill.update((fk.table, column) for column in fk.columns)
+        else:
+            usable.append(fk)
+
+    fks_by_table: Dict[str, List[ForeignKey]] = {}
+    for fk in usable:
+        fks_by_table.setdefault(fk.table, []).append(fk)
+
+    # Referenced columns get unique serial values, so Zipf reuse in children
+    # is the only source of duplication and joins stay key–foreign-key shaped.
+    key_columns = {
+        (fk.ref_table, ref_col) for fk in usable for ref_col in fk.ref_columns
+    }
+
+    built: Dict[str, List[Tuple[object, ...]]] = {}
+    for table_name in order:
+        rng = random.Random(f"{seed}:{table_name}")
+        attrs = schema.attributes(table_name)
+        n_rows = config.rows_for(table_name)
+        table_fks = fks_by_table.get(table_name, ())
+        fk_cols: Dict[str, Tuple[ForeignKey, int]] = {}
+        for fk in table_fks:
+            for i, col in enumerate(fk.columns):
+                fk_cols[col] = (fk, i)
+
+        # One Zipf draw per (row, FK): pick a parent row, copy its targets —
+        # composite FKs stay internally consistent because all their columns
+        # come from the same parent row.
+        parent_choices: Dict[int, List[Optional[int]]] = {}
+        for fk_index, fk in enumerate(table_fks):
+            parent_rows = built.get(fk.ref_table, [])
+            if not parent_rows:
+                parent_choices[fk_index] = [None] * n_rows
+                continue
+            # Hot ranks permuted so "hot" parents differ per child table.
+            perm = list(range(len(parent_rows)))
+            rng.shuffle(perm)
+            weights = _zipf_weights(len(parent_rows), config.skew)
+            picks = rng.choices(perm, weights=weights, k=n_rows) if n_rows else []
+            parent_choices[fk_index] = [
+                None if rng.random() < config.null_rate else pick
+                for pick in picks
+            ]
+
+        fk_to_index = {id(fk): i for i, fk in enumerate(table_fks)}
+        rows: List[Tuple[object, ...]] = []
+        for row_index in range(n_rows):
+            record: List[object] = []
+            for attr in attrs:
+                if attr in fk_cols:
+                    fk, pos = fk_cols[attr]
+                    pick = parent_choices[fk_to_index[id(fk)]][row_index]
+                    if pick is None:
+                        record.append(NULL)
+                    else:
+                        parent = built[fk.ref_table][pick]
+                        ref_attrs = schema.attributes(fk.ref_table)
+                        record.append(parent[ref_attrs.index(fk.ref_columns[pos])])
+                elif (table_name, attr) in null_fill:
+                    record.append(NULL)
+                else:
+                    record.append(
+                        _plain_value(
+                            rng, config, types, key_columns,
+                            table_name, attr, row_index,
+                        )
+                    )
+            rows.append(tuple(record))
+        built[table_name] = rows
+
+    database = Database(schema, built)
+    return Scenario(
+        schema=schema,
+        database=database,
+        fks=tuple(fks),
+        types=dict(types) if types else {},
+        source=f"synthesized(seed={seed})",
+        notes=tuple(notes),
+    )
+
+
+def _plain_value(
+    rng: random.Random,
+    config: SynthConfig,
+    types: Mapping[str, Mapping[str, str]],
+    key_columns,
+    table: str,
+    attr: str,
+    row_index: int,
+):
+    kind = types.get(table, {}).get(attr, TYPE_INT)
+    if (table, attr) in key_columns:
+        # FK targets stay unique and non-NULL: serial values.
+        return row_index if kind == TYPE_INT else f"{attr.lower()}{row_index}"
+    if rng.random() < config.null_rate:
+        return NULL
+    if kind == TYPE_TEXT:
+        return rng.choice(_WORDS) + str(rng.randrange(config.domain))
+    return rng.randrange(config.domain)
+
+
+def synthesize_scenario(
+    scenario: Scenario,
+    config: Optional[SynthConfig] = None,
+    seed: int = 0,
+) -> Scenario:
+    """Re-fill an imported scenario's schema at a new scale.
+
+    Keeps the schema, FK edges and column types; replaces the contents.
+    """
+    out = synthesize(
+        scenario.schema,
+        fks=scenario.fks,
+        config=config,
+        seed=seed,
+        types=scenario.types,
+    )
+    return Scenario(
+        schema=out.schema,
+        database=out.database,
+        fks=out.fks,
+        types=out.types,
+        source=f"{scenario.source} (resynthesized seed={seed})",
+        notes=out.notes,
+    )

@@ -1,0 +1,165 @@
+"""Service-bench workloads: the default statement set, and scenario-derived
+ones.
+
+``scripts/bench.py``'s service stage drives the always-on query service with
+a workload — a list of ``(sql, bindings)`` pairs where ``sql`` may contain
+``$n`` placeholders and ``bindings`` enumerates parameter vectors to cycle
+through.  Historically that list was a module-level constant hardcoding the
+R/S/T/U schema; the load-generator child process (spawned, so it re-imports
+the bench module) read the global, which made it impossible for an ingested
+schema to drive the bench.  The builders live here now, and the workload is
+passed *explicitly* to the load generator.
+
+:func:`default_service_workload` reproduces the historical statement set
+byte-for-byte (pinned by ``tests/service/test_workload_builder.py``);
+:func:`build_service_workload` derives an equivalent plan-heavy workload
+from any ingested :class:`~repro.ingest.scenario.Scenario` by walking its
+FK edges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.schema import Database, Schema
+from ..core.values import NULL
+from .scenario import Scenario
+
+__all__ = [
+    "Workload",
+    "default_service_workload",
+    "default_service_database",
+    "build_service_workload",
+]
+
+#: ``[(sql, [params, ...]), ...]`` — the shape the service bench consumes.
+Workload = List[Tuple[str, List[list]]]
+
+
+def default_service_workload() -> Workload:
+    """The historical R/S/T/U sustained-QPS workload.
+
+    Plan-heavy shapes prepared statements exist for: multi-join queries
+    (Selinger ordering runs at plan time) with parameters, plus statement
+    pairs sharing subplan shapes (IN-probe sets, hash-join build sides) so a
+    warm service exhibits cross-query build-cache hits.
+    """
+    return [
+        (
+            "SELECT R.A FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+            "AND U.C = T.C AND R.B = U.B AND R.A = $1",
+            [[0], [2], [4], [999]],
+        ),
+        (
+            "SELECT R.B FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+            "AND U.C = T.C AND R.B = U.B",
+            [[]],
+        ),
+        (
+            "SELECT R.A FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+            "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+            [[]],
+        ),
+        (
+            "SELECT R.B FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+            "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+            [[]],
+        ),
+        (
+            "SELECT R.A FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND EXISTS "
+            "(SELECT U.B FROM U WHERE U.B = R.B) AND R.B = $1",
+            [[0], [2]],
+        ),
+        (
+            "SELECT U.B FROM U, T WHERE U.C = T.C "
+            "AND U.B IN (SELECT R.B FROM R WHERE R.A = $1)",
+            [[0], [2], [6]],
+        ),
+    ]
+
+
+def default_service_database(rows: int) -> Database:
+    """The R/S/T/U instance the default workload runs over."""
+    schema = Schema(
+        {"R": ("A", "B"), "S": ("A", "C"), "T": ("C",), "U": ("B", "C")}
+    )
+    tables = {
+        "R": [(i, (i * 3) % 7 if i % 11 else NULL) for i in range(rows)],
+        "S": [(i * 2, i) for i in range(rows // 2)],
+        "T": [((i * 5) % 9,) for i in range(rows // 3)] + [(NULL,)],
+        "U": [((i * 3) % 7, (i * 5) % 9) for i in range(rows // 2)],
+    }
+    return Database(schema, tables)
+
+
+def _ident(name: str) -> str:
+    """Quote an identifier unless it is a plain lower-risk word (mirrors the
+    printer's rule: the service parses this SQL with the repo's parser)."""
+    from ..sql.printer import _ident as printer_ident
+
+    return printer_ident(name)
+
+
+def build_service_workload(
+    scenario: Scenario, max_statements: int = 6
+) -> Workload:
+    """Derive a service workload from an ingested scenario's FK edges.
+
+    Each FK edge yields up to three statements: a child-parent join filtered
+    by a parameter on the parent's referenced column (bindings sampled
+    deterministically from the column's value pool — the plan-heavy shape),
+    plus a *pair* of IN-probe statements that embed the identical
+    ``IN (SELECT parent.ref FROM parent)`` subquery while projecting
+    different columns.  The pair shares one materialized probe set across
+    two distinct prepared statements, preserving the cross-query build-cache
+    hits the service bench gates on.  Scenarios without FKs degrade to
+    per-table parameterized scans.
+    """
+    statements: Workload = []
+    for fk in scenario.fks:
+        if len(statements) >= max_statements:
+            break
+        child, parent = fk.table, fk.ref_table
+        join = " AND ".join(
+            f"T1.{_ident(c)} = T2.{_ident(r)}"
+            for c, r in zip(fk.columns, fk.ref_columns)
+        )
+        attrs = scenario.schema.attributes(child)
+        out_col = attrs[0]
+        pool = scenario.value_pool(parent, fk.ref_columns[0], limit=3)
+        if pool:
+            statements.append(
+                (
+                    f"SELECT T1.{_ident(out_col)} FROM {_ident(child)} AS T1, "
+                    f"{_ident(parent)} AS T2 WHERE {join} "
+                    f"AND T2.{_ident(fk.ref_columns[0])} = $1",
+                    [[value] for value in pool],
+                )
+            )
+        probe = (
+            f"IN (SELECT T2.{_ident(fk.ref_columns[0])} "
+            f"FROM {_ident(parent)} AS T2)"
+        )
+        for column in dict.fromkeys((attrs[0], attrs[-1])):
+            if len(statements) >= max_statements:
+                break
+            statements.append(
+                (
+                    f"SELECT T1.{_ident(column)} FROM {_ident(child)} AS T1 "
+                    f"WHERE T1.{_ident(fk.columns[0])} {probe}",
+                    [[]],
+                )
+            )
+    if not statements:
+        for name in scenario.schema.table_names:
+            if len(statements) >= max_statements:
+                break
+            column = scenario.schema.attributes(name)[0]
+            pool = scenario.value_pool(name, column, limit=3)
+            sql = f"SELECT T1.{_ident(column)} FROM {_ident(name)} AS T1"
+            if pool:
+                sql += f" WHERE T1.{_ident(column)} = $1"
+                statements.append((sql, [[value] for value in pool]))
+            else:
+                statements.append((sql, [[]]))
+    return statements

@@ -1,0 +1,136 @@
+"""The live-sqlite campaign kind: spec plumbing, aggregation of classified
+divergences, parallel determinism, and the CLI entry point."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.campaigns.aggregate import Aggregator
+from repro.campaigns.backends import (
+    CODE_AGREE,
+    CODE_CLASSIFIED,
+    CODE_MISMATCH,
+    LiveSqliteBackend,
+)
+from repro.cli import main
+
+FIXTURE = str(Path(__file__).resolve().parent.parent / "fixtures" / "library.sql")
+
+
+# -- spec ----------------------------------------------------------------------
+
+
+def test_spec_roundtrips_through_json():
+    spec = CampaignSpec(
+        kind="live-sqlite", variant="oracle", rows=0, scenario=FIXTURE
+    )
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_label_names_the_variant():
+    spec = CampaignSpec(kind="live-sqlite", scenario=FIXTURE)
+    assert spec.label == "live-sqlite[postgres]"
+
+
+def test_spec_requires_a_scenario_path():
+    with pytest.raises(ValueError):
+        CampaignSpec(kind="live-sqlite")
+
+
+def test_spec_builds_a_live_backend():
+    spec = CampaignSpec(kind="live-sqlite", scenario=FIXTURE, rows=0)
+    backend = spec.build()
+    assert isinstance(backend, LiveSqliteBackend)
+    assert backend.label == "live-sqlite[postgres]"
+    record = backend.run_trial(0)
+    assert record["seed"] == 0
+    assert record["code"] in (1, 2, 3, 4)
+
+
+def test_spec_rows_caps_the_import_sample():
+    spec = CampaignSpec(kind="live-sqlite", scenario=FIXTURE, rows=3)
+    backend = spec.build()
+    scenario = backend.runner.scenario
+    assert all(
+        len(scenario.database.table(name)) <= 3
+        for name in scenario.schema.table_names
+    )
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def test_aggregator_counts_classified_records_per_class():
+    agg = Aggregator("live-sqlite[postgres]", base_seed=0, trials=4)
+    agg.add({"seed": 0, "code": CODE_AGREE})
+    agg.add({"seed": 1, "code": CODE_CLASSIFIED, "class": "sqlite-no-bag-setop"})
+    agg.add({"seed": 2, "code": CODE_CLASSIFIED, "class": "sqlite-no-bag-setop"})
+    agg.add({"seed": 3, "code": CODE_CLASSIFIED, "class": "dialect-type-order"})
+    result = agg.finalize(elapsed_s=0.0, jobs=1)
+    assert result.classified == 3
+    assert result.classified_by_class == {
+        "sqlite-no-bag-setop": 2,
+        "dialect-type-order": 1,
+    }
+    # Classified divergences are not mismatches and never fail a campaign.
+    assert not result.mismatches
+    assert "classified=3" in result.summary()
+    assert result.to_json()["classified_by_class"] == result.classified_by_class
+
+
+def test_classified_code_enters_the_outcome_digest():
+    def digest(code):
+        agg = Aggregator("x", base_seed=0, trials=1)
+        record = {"seed": 0, "code": code}
+        if code == CODE_MISMATCH:
+            record["detail"] = "d"
+        if code == CODE_CLASSIFIED:
+            record["class"] = "sqlite-limit"
+        agg.add(record)
+        return agg.finalize(elapsed_s=0.0, jobs=1).outcome_digest
+
+    assert digest(CODE_CLASSIFIED) != digest(CODE_AGREE)
+    assert digest(CODE_CLASSIFIED) != digest(CODE_MISMATCH)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def test_live_campaign_parallel_digest_matches_serial():
+    spec = CampaignSpec(kind="live-sqlite", scenario=FIXTURE, rows=0)
+    serial = run_campaign(spec, trials=80, base_seed=0, jobs=1)
+    parallel = run_campaign(spec, trials=80, base_seed=0, jobs=2)
+    assert serial.outcome_digest == parallel.outcome_digest
+    assert serial.classified_by_class == parallel.classified_by_class
+    assert not serial.mismatches
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_differential_live_sqlite(capsys):
+    code = main(
+        ["differential", "--live-sqlite", FIXTURE, "--trials", "60"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "live-sqlite[postgres]" in out
+    assert "mismatches=0" in out
+
+
+def test_cli_live_sqlite_oracle_variant(capsys):
+    code = main(
+        [
+            "differential",
+            "--live-sqlite",
+            FIXTURE,
+            "--dialect",
+            "oracle",
+            "--trials",
+            "40",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "live-sqlite[oracle]" in out

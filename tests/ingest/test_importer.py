@@ -1,0 +1,211 @@
+"""The SQLite/CSV/SQL-script importer and its value-domain policy."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.values import NULL
+from repro.ingest import (
+    TYPE_INT,
+    TYPE_TEXT,
+    ForeignKey,
+    export_sql_script,
+    export_sqlite,
+    import_csv_dir,
+    import_scenario,
+    import_sqlite,
+)
+
+
+def make_db(path, script):
+    conn = sqlite3.connect(str(path))
+    conn.executescript(script)
+    conn.commit()
+    conn.close()
+    return str(path)
+
+
+@pytest.fixture
+def shop_db(tmp_path):
+    return make_db(
+        tmp_path / "shop.db",
+        """
+        CREATE TABLE vendors (vendor_id INTEGER PRIMARY KEY, vname TEXT);
+        INSERT INTO vendors VALUES (1, 'acme'), (2, 'globex');
+        CREATE TABLE items (
+            item_id INTEGER PRIMARY KEY,
+            vendor_id INTEGER REFERENCES vendors(vendor_id),
+            label TEXT,
+            price REAL
+        );
+        INSERT INTO items VALUES (10, 1, 'bolt', 0.5), (11, 2, NULL, 1.25);
+        """,
+    )
+
+
+def test_import_sqlite_schema_and_rows(shop_db):
+    scenario = import_sqlite(shop_db)
+    assert set(scenario.schema.table_names) == {"vendors", "items"}
+    assert scenario.schema.attributes("vendors") == ("vendor_id", "vname")
+    assert len(scenario.database.table("vendors")) == 2
+    assert scenario.column_type("vendors", "vendor_id") == TYPE_INT
+    assert scenario.column_type("vendors", "vname") == TYPE_TEXT
+
+
+def test_import_drops_float_column_with_note(shop_db):
+    scenario = import_sqlite(shop_db)
+    assert "price" not in scenario.schema.attributes("items")
+    assert any("items.price" in note for note in scenario.notes)
+
+
+def test_import_null_becomes_domain_null(shop_db):
+    scenario = import_sqlite(shop_db)
+    labels = [
+        record[scenario.schema.attributes("items").index("label")]
+        for record in scenario.database.table("items").bag
+    ]
+    assert NULL in labels
+
+
+def test_import_discovers_fk_with_explicit_target(shop_db):
+    scenario = import_sqlite(shop_db)
+    assert (
+        ForeignKey("items", ("vendor_id",), "vendors", ("vendor_id",))
+        in scenario.fks
+    )
+
+
+def test_import_resolves_implicit_fk_to_primary_key(tmp_path):
+    path = make_db(
+        tmp_path / "implicit.db",
+        """
+        CREATE TABLE parents (pid INTEGER PRIMARY KEY, note TEXT);
+        INSERT INTO parents VALUES (1, 'x');
+        CREATE TABLE children (cid INTEGER, pid INTEGER REFERENCES parents);
+        INSERT INTO children VALUES (7, 1);
+        """,
+    )
+    scenario = import_sqlite(path)
+    assert (
+        ForeignKey("children", ("pid",), "parents", ("pid",)) in scenario.fks
+    )
+
+
+def test_import_skips_sqlite_internal_tables(tmp_path):
+    path = make_db(
+        tmp_path / "seq.db",
+        """
+        CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER);
+        INSERT INTO t (v) VALUES (1), (2);
+        """,
+    )
+    scenario = import_sqlite(path)
+    assert set(scenario.schema.table_names) == {"t"}
+
+
+def test_import_coerces_mixed_column_to_text(tmp_path):
+    path = make_db(
+        tmp_path / "mixed.db",
+        """
+        CREATE TABLE m (v);
+        INSERT INTO m VALUES (1), ('two');
+        """,
+    )
+    scenario = import_sqlite(path)
+    assert scenario.column_type("m", "v") == TYPE_TEXT
+    values = {record[0] for record in scenario.database.table("m").bag}
+    assert values == {"1", "two"}
+    assert any("coerced column m.v" in note for note in scenario.notes)
+
+
+def test_import_sample_rows_caps_tables_deterministically(tmp_path):
+    rows = "".join(f"INSERT INTO big VALUES ({i});" for i in range(100))
+    path = make_db(tmp_path / "big.db", f"CREATE TABLE big (n INTEGER);{rows}")
+    scenario = import_sqlite(path, sample_rows=10)
+    table = scenario.database.table("big")
+    assert len(table) == 10
+    assert {record[0] for record in table.bag} == set(range(10))
+    assert any("sampled table big" in note for note in scenario.notes)
+
+
+def test_import_without_rowid_table(tmp_path):
+    path = make_db(
+        tmp_path / "worowid.db",
+        """
+        CREATE TABLE w (k INTEGER PRIMARY KEY, v TEXT) WITHOUT ROWID;
+        INSERT INTO w VALUES (1, 'a'), (2, 'b');
+        """,
+    )
+    scenario = import_sqlite(path)
+    assert len(scenario.database.table("w")) == 2
+
+
+def test_import_empty_source_raises(tmp_path):
+    path = make_db(tmp_path / "empty.db", "CREATE TABLE e (x REAL);")
+    # e's only column is float-typed with no rows -> kept as int (affinity),
+    # so build a genuinely empty database instead.
+    conn = sqlite3.connect(str(tmp_path / "none.db"))
+    conn.close()
+    with pytest.raises(ValueError):
+        import_scenario(str(tmp_path / "none.db"))
+
+
+def test_import_sql_script_dispatch(tmp_path):
+    script = tmp_path / "fixture.sql"
+    script.write_text(
+        "CREATE TABLE s (a INTEGER, b TEXT);\n"
+        "INSERT INTO s VALUES (1, 'x');\n"
+        "INSERT INTO s VALUES (2, NULL);\n"
+    )
+    scenario = import_scenario(str(script))
+    assert scenario.schema.attributes("s") == ("a", "b")
+    assert len(scenario.database.table("s")) == 2
+
+
+def test_import_csv_dir(tmp_path):
+    d = tmp_path / "csvdb"
+    d.mkdir()
+    (d / "users.csv").write_text("uid,uname\n1,ann\n2,\n")
+    (d / "posts.csv").write_text("pid,uid\n10,1\n11,2\n")
+    (d / "fks.json").write_text(
+        '[{"table": "posts", "columns": ["uid"], '
+        '"ref_table": "users", "ref_columns": ["uid"]}]'
+    )
+    scenario = import_csv_dir(d)
+    assert set(scenario.schema.table_names) == {"users", "posts"}
+    assert scenario.column_type("users", "uid") == TYPE_INT
+    assert scenario.column_type("users", "uname") == TYPE_TEXT
+    names = [record[1] for record in scenario.database.table("users").bag]
+    assert NULL in names  # empty cell
+    assert (
+        ForeignKey("posts", ("uid",), "users", ("uid",)) in scenario.fks
+    )
+
+
+def test_import_csv_negative_ints(tmp_path):
+    d = tmp_path / "neg"
+    d.mkdir()
+    (d / "t.csv").write_text("n\n-3\n+4\n")
+    scenario = import_csv_dir(d)
+    assert {record[0] for record in scenario.database.table("t").bag} == {-3, 4}
+
+
+def test_export_sqlite_reimports_identically(shop_db, tmp_path):
+    scenario = import_sqlite(shop_db)
+    out = tmp_path / "out.db"
+    export_sqlite(scenario, out)
+    again = import_sqlite(str(out))
+    assert again.table_fingerprints() == scenario.table_fingerprints()
+    assert sorted(map(repr, again.fks)) == sorted(map(repr, scenario.fks))
+
+
+def test_export_sql_script_quotes_embedded_quotes(tmp_path):
+    path = make_db(
+        tmp_path / "quoted.db",
+        "CREATE TABLE q (s TEXT); INSERT INTO q VALUES ('it''s');",
+    )
+    scenario = import_sqlite(path)
+    script = tmp_path / "quoted.sql"
+    export_sql_script(scenario, script)
+    again = import_scenario(str(script))
+    assert again.table_fingerprints() == scenario.table_fingerprints()

@@ -1,0 +1,167 @@
+"""The FK-respecting synthesizer: referential integrity and determinism."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.core.values import Null
+from repro.ingest import ForeignKey, SynthConfig, synthesize
+from repro.ingest.demo import (
+    library_foreign_keys,
+    library_scenario,
+    library_schema,
+)
+
+
+def fk_violations(scenario):
+    """Non-NULL child FK tuples with no matching parent tuple."""
+    broken = []
+    for fk in scenario.fks:
+        child = scenario.database.table(fk.table)
+        parent = scenario.database.table(fk.ref_table)
+        child_attrs = scenario.schema.attributes(fk.table)
+        parent_attrs = scenario.schema.attributes(fk.ref_table)
+        child_idx = [child_attrs.index(c) for c in fk.columns]
+        parent_idx = [parent_attrs.index(c) for c in fk.ref_columns]
+        parent_keys = {
+            tuple(record[i] for i in parent_idx) for record in parent.bag
+        }
+        for record in child.bag:
+            key = tuple(record[i] for i in child_idx)
+            if any(isinstance(v, Null) for v in key):
+                continue
+            if key not in parent_keys:
+                broken.append((fk, key))
+    return broken
+
+
+@pytest.mark.parametrize("total_rows", [50, 500, 5000])
+@pytest.mark.parametrize("skew", [0.0, 1.1, 2.5])
+def test_referential_integrity_at_scales_and_skews(total_rows, skew):
+    scenario = library_scenario(total_rows, seed=3, skew=skew)
+    assert fk_violations(scenario) == []
+
+
+@pytest.mark.parametrize("null_rate", [0.0, 0.25, 0.6])
+def test_referential_integrity_at_null_rates(null_rate):
+    scenario = library_scenario(400, seed=5, null_rate=null_rate)
+    assert fk_violations(scenario) == []
+
+
+def test_null_rate_zero_leaves_no_nulls():
+    scenario = library_scenario(300, seed=2, null_rate=0.0)
+    for name in scenario.schema.table_names:
+        for record in scenario.database.table(name).bag:
+            assert not any(isinstance(v, Null) for v in record)
+
+
+def test_fk_target_columns_unique_and_non_null():
+    scenario = library_scenario(500, seed=7)
+    for fk in scenario.fks:
+        parent = scenario.database.table(fk.ref_table)
+        attrs = scenario.schema.attributes(fk.ref_table)
+        for column in fk.ref_columns:
+            i = attrs.index(column)
+            values = [record[i] for record in parent.bag]
+            assert not any(isinstance(v, Null) for v in values)
+            assert len(set(values)) == len(values)
+
+
+def test_skew_concentrates_children_on_hot_parents():
+    from collections import Counter
+
+    flat = library_scenario(4000, seed=11, skew=0.0, null_rate=0.0)
+    hot = library_scenario(4000, seed=11, skew=2.0, null_rate=0.0)
+
+    def top_share(scenario):
+        attrs = scenario.schema.attributes("loans")
+        i = attrs.index("book_id")
+        counts = Counter(
+            record[i] for record in scenario.database.table("loans").bag
+        )
+        total = sum(counts.values())
+        return max(counts.values()) / total
+
+    assert top_share(hot) > top_share(flat)
+
+
+def test_table_rows_overrides_default():
+    schema = Schema({"p": ("pid",), "c": ("cid", "pid")})
+    fks = (ForeignKey("c", ("pid",), "p", ("pid",)),)
+    scenario = synthesize(
+        schema, fks, SynthConfig(rows=10, table_rows={"p": 3}), seed=0
+    )
+    assert len(scenario.database.table("p")) == 3
+    assert len(scenario.database.table("c")) == 10
+
+
+def test_self_fk_filled_with_nulls_and_noted():
+    schema = Schema({"emp": ("eid", "boss")})
+    fks = (ForeignKey("emp", ("boss",), "emp", ("eid",)),)
+    scenario = synthesize(schema, fks, SynthConfig(rows=5), seed=0)
+    attrs = scenario.schema.attributes("emp")
+    i = attrs.index("boss")
+    assert all(
+        isinstance(record[i], Null)
+        for record in scenario.database.table("emp").bag
+    )
+    assert any("itself" in note for note in scenario.notes)
+
+
+def test_fk_cycle_broken_with_note():
+    schema = Schema({"a": ("aid", "bid"), "b": ("bid", "aid")})
+    fks = (
+        ForeignKey("a", ("bid",), "b", ("bid",)),
+        ForeignKey("b", ("aid",), "a", ("aid",)),
+    )
+    scenario = synthesize(schema, fks, SynthConfig(rows=4), seed=0)
+    assert any("cycle" in note for note in scenario.notes)
+    assert fk_violations(scenario) == []  # NULL-filled edges never violate
+
+
+def test_identical_seed_reproduces_identical_tables():
+    a = library_scenario(200, seed=42)
+    b = library_scenario(200, seed=42)
+    assert a.table_fingerprints() == b.table_fingerprints()
+    assert library_scenario(200, seed=43).table_fingerprints() != (
+        a.table_fingerprints()
+    )
+
+
+def test_adding_a_table_does_not_perturb_existing_ones():
+    base = Schema({"p": ("pid", "v")})
+    extended = Schema({"p": ("pid", "v"), "q": ("qid",)})
+    a = synthesize(base, (), SynthConfig(rows=20), seed=9)
+    b = synthesize(extended, (), SynthConfig(rows=20), seed=9)
+    assert (
+        a.table_fingerprints()["p"] == b.table_fingerprints()["p"]
+    )
+
+
+def test_identical_seed_across_processes():
+    """The per-table string seeds hash platform-independently, so a fresh
+    interpreter must reproduce the exact fingerprints."""
+    code = (
+        "from repro.ingest.demo import library_scenario\n"
+        "prints = library_scenario(150, seed=8).table_fingerprints()\n"
+        "print(repr(sorted(prints.items())))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    here = sorted(library_scenario(150, seed=8).table_fingerprints().items())
+    assert out.stdout.strip() == repr(here)
+
+
+def test_library_scenario_scale_and_structure():
+    scenario = library_scenario(1000, seed=0)
+    assert scenario.total_rows == pytest.approx(1000, rel=0.15)
+    assert len(scenario.fks) == len(library_foreign_keys())
+    assert set(scenario.schema.table_names) == set(
+        library_schema().table_names
+    )

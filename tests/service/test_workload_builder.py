@@ -1,0 +1,155 @@
+"""The service-bench workload builders.
+
+The bench's service stage used to hardcode its workload in a module-level
+constant the spawned load-generator child re-read on import — so an ingested
+schema could never drive the bench.  These tests pin (a) the factored-out
+default workload byte-for-byte against the historical statement set, and
+(b) the regression: the load generator takes the workload as an explicit
+parameter and the bench module has no workload global left."""
+
+import importlib.util
+import inspect
+from pathlib import Path
+
+import pytest
+
+from repro.engine import DIALECT_POSTGRES, Engine
+from repro.ingest import import_scenario
+from repro.ingest.workload import (
+    build_service_workload,
+    default_service_database,
+    default_service_workload,
+)
+from repro.ingest.scenario import Scenario
+from repro.service.protocol import bind_parameters, expand_placeholders
+from repro.sql import annotate
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURE = str(REPO / "tests" / "fixtures" / "library.sql")
+
+HISTORICAL = [
+    (
+        "SELECT R.A FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+        "AND U.C = T.C AND R.B = U.B AND R.A = $1",
+        [[0], [2], [4], [999]],
+    ),
+    (
+        "SELECT R.B FROM R, S, T, U WHERE R.A = S.A AND S.C = T.C "
+        "AND U.C = T.C AND R.B = U.B",
+        [[]],
+    ),
+    (
+        "SELECT R.A FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+        [[]],
+    ),
+    (
+        "SELECT R.B FROM R, S, U WHERE R.A = S.A AND R.B = U.B "
+        "AND S.C = U.C AND R.B IN (SELECT T.C FROM T)",
+        [[]],
+    ),
+    (
+        "SELECT R.A FROM R, S, T WHERE R.A = S.A AND S.C = T.C AND EXISTS "
+        "(SELECT U.B FROM U WHERE U.B = R.B) AND R.B = $1",
+        [[0], [2]],
+    ),
+    (
+        "SELECT U.B FROM U, T WHERE U.C = T.C "
+        "AND U.B IN (SELECT R.B FROM R WHERE R.A = $1)",
+        [[0], [2], [6]],
+    ),
+]
+
+
+def test_default_workload_pins_the_historical_statements():
+    assert default_service_workload() == HISTORICAL
+
+
+def test_default_database_shape():
+    db = default_service_database(64)
+    assert db.schema.attributes("R") == ("A", "B")
+    assert len(db.table("R")) == 64
+    assert len(db.table("S")) == 32
+
+
+def _check_workload_runs(workload, scenario):
+    """Every statement parses, binds its parameters, and executes."""
+    engine = Engine(scenario.schema, DIALECT_POSTGRES)
+    assert workload
+    for sql, bindings in workload:
+        assert bindings, sql
+        template, count = expand_placeholders(sql)
+        query = annotate(template, scenario.schema)
+        for params in bindings:
+            bound = bind_parameters(query, list(params), count)
+            table = engine.execute(bound, scenario.database)
+            assert table is not None
+
+
+def test_scenario_workload_executes_over_the_fixture():
+    scenario = import_scenario(FIXTURE)
+    _check_workload_runs(build_service_workload(scenario), scenario)
+
+
+def test_scenario_workload_has_shared_probe_pairs():
+    """Each FK edge contributes an IN-probe statement *pair* embedding the
+    identical subquery — the shape that earns cross-query build-cache hits."""
+    scenario = import_scenario(FIXTURE)
+    workload = build_service_workload(scenario, max_statements=12)
+    probes = {}
+    for sql, _ in workload:
+        marker = sql.find("IN (SELECT")
+        if marker != -1:
+            probes.setdefault(sql[marker:], []).append(sql)
+    shared = [group for group in probes.values() if len(group) >= 2]
+    assert shared, "no IN-probe pair shares a probe subquery"
+    for group in shared:
+        assert len(set(group)) == len(group)  # distinct statements
+
+
+def test_fkless_scenario_degrades_to_parameterized_scans():
+    scenario = import_scenario(FIXTURE)
+    stripped = Scenario(
+        schema=scenario.schema,
+        database=scenario.database,
+        fks=(),
+        types=scenario.types,
+        source=scenario.source,
+        notes=scenario.notes,
+    )
+    workload = build_service_workload(stripped)
+    assert workload
+    assert all("IN (SELECT" not in sql for sql, _ in workload)
+    _check_workload_runs(workload, stripped)
+
+
+# -- the bench regression ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_under_test", REPO / "scripts" / "bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_service_drive_takes_the_workload_explicitly(bench_module):
+    """The spawned load generator must receive the workload as an argument —
+    a module global would silently reset to the default in the child."""
+    assert "workload" in inspect.signature(
+        bench_module._service_drive
+    ).parameters
+
+
+def test_bench_has_no_hardcoded_workload_global(bench_module):
+    assert not hasattr(bench_module, "SERVICE_WORKLOAD")
+    assert not hasattr(bench_module, "_service_db")
+
+
+def test_bench_service_accepts_a_scenario_path(bench_module):
+    assert "scenario_path" in inspect.signature(
+        bench_module.bench_service
+    ).parameters

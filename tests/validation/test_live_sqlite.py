@@ -1,0 +1,279 @@
+"""The live-SQLite comparator: translation gaps, divergence classification
+(one pinning test per class in DIVERGENCE_CLASSES), and the trial codes."""
+
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns.backends import (
+    CODE_AGREE,
+    CODE_CLASSIFIED,
+    CODE_MISMATCH,
+)
+from repro.core.values import NULL, FullName
+from repro.ingest import import_scenario
+from repro.ingest.demo import library_scenario
+from repro.semantics import STAR_COMPOSITIONAL, STAR_STANDARD
+from repro.sql.ast import (
+    FromItem,
+    Predicate,
+    STAR,
+    Select,
+    SelectItem,
+    SetOp,
+    TRUE_COND,
+)
+from repro.sql.printer import print_query
+from repro.sql.typecheck import check_query
+from repro.validation.compare import capture
+from repro.validation.live import (
+    DIVERGENCE_CLASSES,
+    DialectGapError,
+    LiveSqliteRunner,
+    bags_match,
+    classify_repro_error,
+    classify_sqlite_error,
+    load_scenario,
+    translate_query,
+)
+
+FIXTURE = str(Path(__file__).resolve().parent.parent / "fixtures" / "library.sql")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return import_scenario(FIXTURE)
+
+
+def single(table, column, alias="T1", out="C1"):
+    return Select(
+        (SelectItem(FullName(alias, column), out),),
+        (FromItem(table, alias),),
+        TRUE_COND,
+    )
+
+
+# -- class: sqlite-no-bag-setop ------------------------------------------------
+
+
+@pytest.mark.parametrize("op", ["INTERSECT", "EXCEPT"])
+def test_pin_sqlite_no_bag_setop(op):
+    query = SetOp(
+        op,
+        single("authors", "author_id"),
+        single("authors", "author_id", alias="T2", out="C1"),
+        all=True,
+    )
+    with pytest.raises(DialectGapError) as excinfo:
+        translate_query(query)
+    assert excinfo.value.divergence_class == "sqlite-no-bag-setop"
+
+
+def test_union_all_is_not_a_gap():
+    query = SetOp(
+        "UNION",
+        single("authors", "author_id"),
+        single("authors", "author_id", alias="T2", out="C1"),
+        all=True,
+    )
+    assert "UNION ALL" in translate_query(query)
+
+
+def test_setop_gap_detected_inside_nested_operand():
+    inner = SetOp(
+        "INTERSECT",
+        single("authors", "author_id"),
+        single("authors", "author_id", alias="T2", out="C1"),
+        all=True,
+    )
+    query = SetOp("UNION", single("authors", "author_id", alias="T3"), inner)
+    with pytest.raises(DialectGapError):
+        translate_query(query)
+
+
+# -- class: sqlite-no-from-column-aliases --------------------------------------
+
+
+def test_pin_sqlite_no_from_column_aliases():
+    inner = single("authors", "author_id")
+    query = Select(
+        (SelectItem(FullName("T9", "X"), "C1"),),
+        (FromItem(inner, "T9", column_aliases=("X",)),),
+        TRUE_COND,
+    )
+    with pytest.raises(DialectGapError) as excinfo:
+        translate_query(query)
+    assert excinfo.value.divergence_class == "sqlite-no-from-column-aliases"
+
+
+# -- class: dialect-ambiguity --------------------------------------------------
+
+
+def ambiguous_query():
+    """Referencing into a FROM-subquery whose star exposed duplicate names:
+    the repository rejects the reference as ambiguous (under both star
+    styles), SQLite silently resolves it."""
+    inner = Select(
+        STAR,
+        (FromItem("loans", "T0"), FromItem("stock", "T00")),
+        TRUE_COND,
+    )
+    return Select(
+        (SelectItem(FullName("T1", "book_id"), "C1"),),
+        (FromItem(inner, "T1"),),
+        TRUE_COND,
+    )
+
+
+@pytest.mark.parametrize("star", [STAR_COMPOSITIONAL, STAR_STANDARD])
+def test_pin_dialect_ambiguity(scenario, star):
+    query = ambiguous_query()
+    outcome = capture(
+        lambda: check_query(query, scenario.schema, star_style=star)
+    )
+    assert outcome.is_error
+    assert classify_repro_error(outcome.error, outcome.detail) == (
+        "dialect-ambiguity"
+    )
+    # SQLite executes the same SQL without complaint.
+    conn = sqlite3.connect(":memory:")
+    load_scenario(conn, scenario)
+    rows = conn.execute(print_query(query, "postgres")).fetchall()
+    conn.close()
+    assert rows is not None
+
+
+# -- class: dialect-type-order -------------------------------------------------
+
+
+def test_pin_dialect_type_order(scenario):
+    query = Select(
+        (SelectItem(FullName("T1", "author_id"), "C1"),),
+        (FromItem("authors", "T1"),),
+        Predicate("<", (FullName("T1", "author_id"), "zzz")),
+    )
+    runner = LiveSqliteRunner(scenario)
+
+    def engine_side():
+        check_query(query, scenario.schema, star_style=runner.star_style)
+        return runner.engine.execute(query, scenario.database)
+
+    outcome = capture(engine_side)
+    assert outcome.is_error
+    assert classify_repro_error(outcome.error, outcome.detail) == (
+        "dialect-type-order"
+    )
+    # SQLite orders across storage classes instead of erroring.
+    rows = runner.conn.execute(print_query(query, "postgres")).fetchall()
+    assert rows is not None
+    runner.close()
+
+
+# -- class: sqlite-limit -------------------------------------------------------
+
+
+def test_pin_sqlite_limit_expression_depth():
+    """A genuinely-deep expression trips SQLite's parser limit; the error is
+    classified (the repository's recursive evaluators have no such cap at
+    this depth)."""
+    conn = sqlite3.connect(":memory:")
+    sql = "SELECT " + "(" * 2000 + "1" + ")" * 2000
+    with pytest.raises(sqlite3.Error) as excinfo:
+        conn.execute(sql)
+    conn.close()
+    assert classify_sqlite_error(excinfo.value) == "sqlite-limit"
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        "parser stack overflow",
+        "Expression tree is too large (maximum depth 1000)",
+        "too many terms in compound SELECT",
+    ],
+)
+def test_classify_sqlite_limit_messages(message):
+    assert classify_sqlite_error(sqlite3.OperationalError(message)) == (
+        "sqlite-limit"
+    )
+
+
+def test_unknown_sqlite_error_is_not_classified():
+    assert classify_sqlite_error(sqlite3.OperationalError("no such table")) is (
+        None
+    )
+
+
+def test_unknown_repro_error_is_not_classified():
+    assert classify_repro_error("compile", "unknown table") is None
+
+
+# -- bag comparison ------------------------------------------------------------
+
+
+def test_bags_match_normalizes_none_to_null():
+    from repro.core.table import Table
+
+    table = Table(("A",), [(1,), (NULL,), (1,)])
+    assert bags_match(table, [(1,), (None,), (1,)])
+    assert not bags_match(table, [(1,), (None,)])
+    assert not bags_match(table, [(1,), (None,), (2,)])
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+def test_divergence_classes_registry_is_complete():
+    assert set(DIVERGENCE_CLASSES) == {
+        "sqlite-no-bag-setop",
+        "sqlite-no-from-column-aliases",
+        "dialect-ambiguity",
+        "dialect-type-order",
+        "sqlite-limit",
+    }
+
+
+def test_runner_records_have_campaign_shape(scenario):
+    runner = LiveSqliteRunner(scenario)
+    codes = set()
+    for seed in range(120):
+        record = runner.run_trial(seed)
+        assert set(record) >= {"seed", "code", "ms"}
+        codes.add(record["code"])
+        if record["code"] == CODE_CLASSIFIED:
+            assert record["class"] in DIVERGENCE_CLASSES
+        assert record["code"] != CODE_MISMATCH, record.get("detail")
+    runner.close()
+    assert CODE_AGREE in codes
+    assert CODE_CLASSIFIED in codes  # setops appear well within 120 seeds
+
+
+def test_runner_uses_semantics_leg_only_when_small():
+    small = LiveSqliteRunner(library_scenario(40, seed=0))
+    big = LiveSqliteRunner(library_scenario(2000, seed=0))
+    try:
+        assert small.use_semantics
+        assert not big.use_semantics
+    finally:
+        small.close()
+        big.close()
+
+
+def test_runner_rejects_unknown_variant(scenario):
+    with pytest.raises(ValueError):
+        LiveSqliteRunner(scenario, variant="mysql")
+
+
+def test_runner_trials_deterministic(scenario):
+    a = LiveSqliteRunner(scenario)
+    b = LiveSqliteRunner(scenario)
+    try:
+        for seed in (0, 7, 23):
+            ra, rb = a.run_trial(seed), b.run_trial(seed)
+            assert {k: v for k, v in ra.items() if k != "ms"} == (
+                {k: v for k, v in rb.items() if k != "ms"}
+            )
+    finally:
+        a.close()
+        b.close()
