@@ -96,6 +96,18 @@ campaign run serially in-process.  A mismatch (or a failed worker) makes
 the script exit non-zero, so CI gates on the distributed path with
 ``--stages distributed``.
 
+Chaos stage (written to ``BENCH_chaos.json``)
+---------------------------------------------
+``chaos`` replays deterministic fault schedules (seeded ``FaultPlan``,
+``--chaos-seed``) against the stack: an HTTP-distributed campaign under
+worker crashes / duplicate submits / dropped connections / torn
+checkpoint writes with a live coordinator bounce (gate: merged digest
+bit-identical to a fault-free serial run), a poison-lease quarantine
+drill, checkpoint-corruption detection (interior bit flip caught by the
+per-line CRC with its line number; torn final line tolerated), and a
+concurrent service workload under injected execution faults (gate: zero
+silently wrong answers, the execution-tier fallback exercised).
+
 ``--stages`` selects a comma-separated subset (default: every stage), so
 CI can run the cheap stages only, e.g.::
 
@@ -150,6 +162,7 @@ CAMPAIGN_STAGE = "campaign"
 DISTRIBUTED_STAGE = "distributed"
 SERVICE_STAGE = "service"
 INGEST_STAGE = "ingest"
+CHAOS_STAGE = "chaos"
 
 
 def run_semantics(semantics, pairs):
@@ -1129,6 +1142,410 @@ def bench_ingest(rows: int, trials: int, out_path: str, seed: int = 1) -> bool:
     return ok
 
 
+# -- chaos stage ---------------------------------------------------------------
+
+
+def _chaos_distributed(trials, workers, rows, seed):
+    """An HTTP-distributed campaign under ambient faults, with a live
+    coordinator bounce mid-campaign, gated on digest identity with a
+    fault-free serial run."""
+    import shutil
+    import tempfile
+    import threading
+
+    from repro import faults
+    from repro.campaigns import (
+        Coordinator,
+        CoordinatorServer,
+        summarize_checkpoint,
+        work_remote,
+    )
+    from repro.faults import FaultPlan
+
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=rows)
+    print(f"chaos/distributed: {trials} trials, fault-free serial reference ...")
+    serial = run_campaign(spec, trials=trials, base_seed=0, jobs=1)
+
+    lease_trials = max(5, trials // 20)
+    plan = FaultPlan(
+        seed,
+        {
+            "worker.crash": 0.2,
+            "worker.duplicate_submit": 0.15,
+            "transport.connect": 0.05,
+            "transport.read_timeout": 0.03,
+            "checkpoint.torn": 0.05,
+        },
+    )
+    tmp = tempfile.mkdtemp(prefix="bench-chaos-")
+    bounced = False
+    try:
+        checkpoint = str(Path(tmp) / "campaign.jsonl")
+        journal = str(Path(tmp) / "leases.jsonl")
+
+        def make_coordinator(resume):
+            return Coordinator(
+                spec,
+                trials,
+                base_seed=0,
+                lease_trials=lease_trials,
+                lease_timeout_s=2.0,
+                max_lease_attempts=1000,
+                checkpoint=checkpoint,
+                journal_path=journal,
+                resume=resume,
+            )
+
+        coordinator = make_coordinator(resume=False)
+        server = CoordinatorServer(coordinator)
+        server.start()
+        port = int(server.url.rsplit(":", 1)[1])
+        print(
+            f"chaos/distributed: {workers} worker thread(s) against "
+            f"{server.url} under fault plan seed {seed} ..."
+        )
+        faults.install(plan)
+        started = time.perf_counter()
+        summaries = [None] * workers
+
+        def drive(index):
+            summaries[index] = work_remote(
+                server.url,
+                worker=f"chaos-w{index + 1}",
+                poll_s=0.05,
+                retries=6,
+                backoff_s=0.05,
+                timeout_s=30.0,
+            )
+
+        threads = [
+            threading.Thread(target=drive, args=(i,), daemon=True)
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # The coordinator bounce: once a third of the campaign has landed,
+        # kill the server and coordinator, resume from the checkpoint on
+        # the SAME port.  Workers ride it out on their retry budget.
+        bounce_deadline = time.monotonic() + 120
+        while (
+            coordinator.status()["completed"] < trials // 3
+            and time.monotonic() < bounce_deadline
+        ):
+            time.sleep(0.02)
+        server.stop()
+        coordinator.close()
+        coordinator = make_coordinator(resume=True)
+        server = CoordinatorServer(coordinator, port=port)
+        server.start()
+        bounced = True
+        print(
+            "chaos/distributed: coordinator bounced at "
+            f"{coordinator.resumed_trials} resumed trial(s); serving again"
+        )
+
+        for thread in threads:
+            thread.join(timeout=300)
+        elapsed = time.perf_counter() - started
+        stuck = any(thread.is_alive() for thread in threads)
+        server.stop()
+        coordinator.close()
+        result = coordinator.result(elapsed_s=elapsed)
+        _header, merged = summarize_checkpoint(checkpoint, strict=True)
+        file_digest = merged.finalize().outcome_digest
+    finally:
+        faults.uninstall()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    crashes = sum((s or {}).get("crashes", 0) for s in summaries)
+    digest_match = result.outcome_digest == serial.outcome_digest
+    file_match = file_digest == serial.outcome_digest
+    ok = (
+        not stuck
+        and digest_match
+        and file_match
+        and result.completed == trials
+        and crashes > 0
+        and plan.injected.get("worker.crash", 0) > 0
+    )
+    print(
+        f"chaos/distributed: {result.completed}/{trials} trials in "
+        f"{elapsed:.1f}s, {crashes} injected worker crash(es), "
+        f"{result.duplicates} duplicate record(s), digests "
+        f"{'match' if digest_match and file_match else 'DIFFER'}"
+    )
+    return ok, {
+        "trials": trials,
+        "workers": workers,
+        "rows": rows,
+        "lease_trials": lease_trials,
+        "completed": result.completed,
+        "duplicates": result.duplicates,
+        "worker_crashes": crashes,
+        "coordinator_bounced": bounced,
+        "elapsed_s": round(elapsed, 3),
+        "digest_match": digest_match,
+        "merged_file_digest_match": file_match,
+        "outcome_digest": result.outcome_digest,
+        "faults": plan.counts(),
+        "workers_stuck": stuck,
+    }
+
+
+def _chaos_quarantine(seed):
+    """A poison seed range must quarantine — campaign done, holes reported."""
+    from repro.campaigns import Coordinator
+    from repro.faults import FaultPlan
+
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=3)
+    trials, lease_trials, max_attempts = 40, 10, 3
+    plan = FaultPlan(seed, {"worker.crash": 0.1})
+    poison = (0, lease_trials)
+    clock_now = [0.0]
+    coordinator = Coordinator(
+        spec,
+        trials,
+        lease_trials=lease_trials,
+        lease_timeout_s=5.0,
+        max_lease_attempts=max_attempts,
+        clock=lambda: clock_now[0],
+    )
+    backend = spec.build()
+    for _ in range(10_000):
+        if coordinator.done:
+            break
+        lease = coordinator.acquire("chaos")
+        if lease is None or (lease.lo, lease.hi) == poison or plan.fire("worker.crash"):
+            clock_now[0] += coordinator.lease_timeout_s + 1
+            coordinator.expire_stale()
+            continue
+        coordinator.submit(
+            lease.lease_id,
+            [backend.run_trial(s) for s in lease.seeds()],
+            worker="chaos",
+        )
+    report = coordinator.quarantined()
+    status = coordinator.status()
+    ok = (
+        coordinator.done
+        and len(report) == 1
+        and (report[0]["lo"], report[0]["hi"]) == poison
+        and status["quarantined_pending"] == lease_trials
+        and coordinator.result().completed == trials - lease_trials
+    )
+    print(
+        f"chaos/quarantine: {status['quarantined_ranges']} range(s) "
+        f"quarantined after {max_attempts} attempts, "
+        f"{status['quarantined_pending']} seed(s) reported unfinished, "
+        f"campaign {'done' if coordinator.done else 'WEDGED'}"
+    )
+    return ok, {
+        "trials": trials,
+        "max_lease_attempts": max_attempts,
+        "quarantined_ranges": status["quarantined_ranges"],
+        "quarantined_pending": status["quarantined_pending"],
+        "done": coordinator.done,
+        "report": report,
+    }
+
+
+def _chaos_corruption():
+    """Checkpoint damage detection: an interior bit flip must be caught by
+    the per-line CRC with its line number; a torn final line must be
+    silently tolerated (the kill-mid-write signature)."""
+    import shutil
+    import tempfile
+
+    from repro import faults as faultmod
+    from repro.campaigns import CheckpointCorruption, load_checkpoint
+    from repro.campaigns.checkpoint import CHECKPOINT_SCHEMA, CheckpointWriter
+
+    spec = CampaignSpec(kind="validation", variant="postgres", rows=3)
+    header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "spec": spec.to_json(),
+        "base_seed": 0,
+        "trials": 6,
+    }
+    records = [{"seed": s, "code": 1} for s in range(6)]
+    tmp = tempfile.mkdtemp(prefix="bench-chaos-crc-")
+    try:
+        flipped = str(Path(tmp) / "flipped.jsonl")
+        writer = CheckpointWriter(flipped, header, fresh=True)
+        writer.write_records(records)
+        writer.close()
+        faultmod.flip_bit(flipped, 3)  # line 3 = second record
+        detected_line = None
+        try:
+            load_checkpoint(flipped, strict=True)
+        except CheckpointCorruption as exc:
+            detected_line = exc.line_number
+        interior_ok = detected_line == 3
+
+        torn = str(Path(tmp) / "torn.jsonl")
+        writer = CheckpointWriter(torn, header, fresh=True)
+        writer.write_records(records)
+        writer.close()
+        faultmod.tear_final_line(torn)
+        _header, kept = load_checkpoint(torn, strict=True)
+        torn_ok = len(kept) == len(records) - 1
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(
+        "chaos/corruption: interior bit flip "
+        + (f"caught at line {detected_line}" if interior_ok else "MISSED")
+        + ", torn final line "
+        + ("tolerated" if torn_ok else "NOT tolerated")
+    )
+    return interior_ok and torn_ok, {
+        "interior_flip_detected": interior_ok,
+        "detected_line": detected_line,
+        "torn_final_tolerated": torn_ok,
+    }
+
+
+def _chaos_service(requests, clients, seed):
+    """Concurrent service load under injected execution faults and stream
+    drops: every response is either bit-identical to the fault-free oracle
+    or a clean error — silent wrong answers are the one unforgivable
+    outcome."""
+    import asyncio
+    import threading
+
+    from repro import faults
+    from repro.core import Database, Schema
+    from repro.faults import FaultPlan
+    from repro.service import (
+        QueryService,
+        ServiceClient,
+        ServiceError,
+        ServiceThread,
+    )
+
+    schema = Schema({"R": ("A", "B"), "S": ("C", "D")})
+    tables = {
+        "R": [(i, (i * 7) % 5 if i % 4 else None) for i in range(1, 25)],
+        "S": [(i % 6, i * 10) for i in range(1, 19)],
+    }
+    queries = [
+        "SELECT R.A FROM R",
+        "SELECT R.A, R.B FROM R WHERE R.A > 5",
+        "SELECT R.B FROM R WHERE R.B IS NOT NULL",
+        "SELECT R.A, S.D FROM R, S WHERE R.A = S.C",
+        "SELECT S.C FROM S UNION SELECT R.A FROM R",
+    ]
+    service = QueryService(batch_rows=4)
+    service.install_database(Database(schema, tables))
+    plan = FaultPlan(
+        seed, {"server.exec_error": 0.25, "server.disconnect": 0.05}
+    )
+
+    def fetch(url, sql):
+        async def go():
+            async with ServiceClient(url) as client:
+                result = await client.query(sql)
+                return sorted((tuple(r) for r in result.rows), key=repr)
+
+        return asyncio.run(go())
+
+    with ServiceThread(service) as thread:
+        oracle = {sql: fetch(thread.url, sql) for sql in queries}
+        counters = [
+            {"ok": 0, "clean_errors": 0, "silent_wrong": 0}
+            for _ in range(clients)
+        ]
+
+        def drive(index):
+            mine = counters[index]
+            for k in range(index, requests, clients):
+                sql = queries[k % len(queries)]
+                try:
+                    rows = fetch(thread.url, sql)
+                except (
+                    ServiceError,
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                ):
+                    mine["clean_errors"] += 1
+                    continue
+                if rows == oracle[sql]:
+                    mine["ok"] += 1
+                else:
+                    mine["silent_wrong"] += 1
+
+        faults.install(plan)
+        try:
+            threads = [
+                threading.Thread(target=drive, args=(i,), daemon=True)
+                for i in range(clients)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=300)
+        finally:
+            faults.uninstall()
+        tier_fallbacks = service.tier_fallbacks
+        internal_errors = service.internal_errors
+
+    totals = {
+        key: sum(c[key] for c in counters)
+        for key in ("ok", "clean_errors", "silent_wrong")
+    }
+    ok = (
+        totals["silent_wrong"] == 0
+        and totals["ok"] + totals["clean_errors"] == requests
+        and tier_fallbacks > 0
+    )
+    print(
+        f"chaos/service: {requests} request(s) x {clients} client(s): "
+        f"{totals['ok']} correct, {totals['clean_errors']} clean error(s), "
+        f"{totals['silent_wrong']} silent wrong answer(s), "
+        f"{tier_fallbacks} tier fallback(s)"
+    )
+    return ok, {
+        "requests": requests,
+        "clients": clients,
+        **totals,
+        "tier_fallbacks": tier_fallbacks,
+        "internal_errors": internal_errors,
+        "faults": plan.counts(),
+    }
+
+
+def bench_chaos(
+    trials: int,
+    workers: int,
+    rows: int,
+    requests: int,
+    seed: int,
+    out_path: str,
+) -> bool:
+    """The deterministic chaos stage: four legs, every gate about *safety
+    under faults* — never a wrong answer, never a silent hole, never a
+    wedged campaign — recorded in ``out_path``."""
+    distributed_ok, distributed_doc = _chaos_distributed(
+        trials, workers, rows, seed
+    )
+    quarantine_ok, quarantine_doc = _chaos_quarantine(seed)
+    corruption_ok, corruption_doc = _chaos_corruption()
+    service_ok, service_doc = _chaos_service(requests, min(4, workers + 1), seed)
+    ok = distributed_ok and quarantine_ok and corruption_ok and service_ok
+    doc = {
+        "schema": "bench-chaos/v1",
+        "seed": seed,
+        "distributed": distributed_doc,
+        "quarantine": quarantine_doc,
+        "corruption": corruption_doc,
+        "service": service_doc,
+        "ok": ok,
+    }
+    Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"chaos: {'all gates pass' if ok else 'GATE FAILED'} -> {out_path}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5, help="rounds per stage")
@@ -1208,6 +1625,31 @@ def main(argv=None) -> int:
         help="ingest-stage output JSON path",
     )
     parser.add_argument(
+        "--chaos-trials", type=int, default=500,
+        help="trials for the chaos stage's distributed campaign",
+    )
+    parser.add_argument(
+        "--chaos-workers", type=int, default=3,
+        help="worker threads for the chaos stage's distributed campaign",
+    )
+    parser.add_argument(
+        "--chaos-rows", type=int, default=4,
+        help="row cap for chaos-stage trial databases",
+    )
+    parser.add_argument(
+        "--chaos-requests", type=int, default=200,
+        help="service requests for the chaos stage's service leg",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=1,
+        help="fault-plan seed for the chaos stage (same seed, same faults)",
+    )
+    parser.add_argument(
+        "--chaos-out",
+        default=str(_ROOT / "BENCH_chaos.json"),
+        help="chaos-stage output JSON path",
+    )
+    parser.add_argument(
         "--out",
         default=str(_ROOT / "BENCH_engine.json"),
         help="engine-stage output JSON path",
@@ -1224,6 +1666,7 @@ def main(argv=None) -> int:
         DISTRIBUTED_STAGE,
         SERVICE_STAGE,
         INGEST_STAGE,
+        CHAOS_STAGE,
     }
     if args.stages is None:
         selected = list(ENGINE_STAGES) + [
@@ -1231,6 +1674,7 @@ def main(argv=None) -> int:
             DISTRIBUTED_STAGE,
             SERVICE_STAGE,
             INGEST_STAGE,
+            CHAOS_STAGE,
         ]
     else:
         selected = [name.strip() for name in args.stages.split(",") if name.strip()]
@@ -1246,7 +1690,13 @@ def main(argv=None) -> int:
     results = {}
     semantics_ratio_value = None
     for name in selected:
-        if name in (CAMPAIGN_STAGE, DISTRIBUTED_STAGE, SERVICE_STAGE, INGEST_STAGE):
+        if name in (
+            CAMPAIGN_STAGE,
+            DISTRIBUTED_STAGE,
+            SERVICE_STAGE,
+            INGEST_STAGE,
+            CHAOS_STAGE,
+        ):
             continue
         fn = stages[name]
         fn()  # warm-up (also populates any lazy caches outside the timing)
@@ -1358,6 +1808,16 @@ def main(argv=None) -> int:
             args.ingest_trials,
             args.ingest_out,
         )
+    chaos_ok = True
+    if CHAOS_STAGE in selected:
+        chaos_ok = bench_chaos(
+            args.chaos_trials,
+            args.chaos_workers,
+            args.chaos_rows,
+            args.chaos_requests,
+            args.chaos_seed,
+            args.chaos_out,
+        )
     if not digests_ok:
         print("FATAL: optimizer ablation digests disagree", file=sys.stderr)
         return 1
@@ -1395,6 +1855,14 @@ def main(argv=None) -> int:
         print(
             "FATAL: ingest stage gate failed (lossy import/export "
             "round-trip, or unclassified live-SQLite divergences)",
+            file=sys.stderr,
+        )
+        return 1
+    if not chaos_ok:
+        print(
+            "FATAL: chaos stage gate failed (digest drift under faults, a "
+            "wedged or unreported quarantine, undetected checkpoint "
+            "corruption, or a silently wrong service answer)",
             file=sys.stderr,
         )
         return 1

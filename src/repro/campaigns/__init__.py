@@ -54,9 +54,11 @@ from .backends import (
 from .checkpoint import (
     CHECKPOINT_SCHEMA,
     CheckpointConflict,
+    CheckpointCorruption,
     CheckpointWriter,
     load_checkpoint,
     merge_checkpoints,
+    record_crc,
     summarize_checkpoint,
     summarize_merged,
 )
@@ -82,9 +84,11 @@ __all__ = [
     "LiveSqliteBackend",
     "RunnerBackend",
     "CheckpointConflict",
+    "CheckpointCorruption",
     "CheckpointWriter",
     "load_checkpoint",
     "merge_checkpoints",
+    "record_crc",
     "summarize_checkpoint",
     "summarize_merged",
     "CHECKPOINT_SCHEMA",

@@ -16,10 +16,20 @@ produced the records.  Every subsequent line is one trial record::
 
 Records are appended as soon as their shard completes and the file is
 flushed after every shard, so a killed campaign loses at most the shard in
-flight.  Readers are deliberately forgiving: a truncated final line (the
-kill arrived mid-write) and duplicate seeds (a shard re-run after resume)
-are both skipped — seeds are idempotent, so any record for a seed equals
-any other.
+flight.  Every record line embeds a ``crc`` field — the CRC32 of the line
+*without* it — so corruption (a flipped bit, a spliced line) is detected
+rather than silently merged.  Records written before CRCs existed (no
+``crc`` key) are still accepted.
+
+Two failure modes get opposite treatment.  A torn **final** line is the
+ordinary signature of a kill mid-write: readers drop it (a final line
+without its newline is torn by definition, even if it happens to parse)
+and the seed simply re-runs.  A torn or CRC-failing **interior** line can
+only mean the file was corrupted after it was written — readers in strict
+mode (every resume and merge path) raise :class:`CheckpointCorruption`
+with the 1-indexed line number instead of quietly skipping real data.
+The default forgiving mode (progress polling of files another process is
+still appending to) skips bad lines as before.
 
 Resuming (:func:`repro.campaigns.run_campaign` with ``resume=True``) loads
 the records, verifies the header matches the requested spec and base seed,
@@ -45,15 +55,20 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import faults
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointConflict",
+    "CheckpointCorruption",
     "CheckpointWriter",
     "load_checkpoint",
     "merge_checkpoints",
     "read_jsonl",
+    "record_crc",
     "summarize_checkpoint",
     "summarize_merged",
 ]
@@ -71,8 +86,39 @@ class CheckpointConflict(ValueError):
     """
 
 
+class CheckpointCorruption(ValueError):
+    """An interior checkpoint line is torn or fails its CRC.
+
+    Unlike a torn *final* line (the ordinary kill-mid-write signature,
+    which is dropped and re-run), interior damage means the file was
+    altered after writing — resume and merge must stop rather than build
+    a digest over data that is missing or wrong.
+    """
+
+    def __init__(self, path: str, line_number: int, reason: str):
+        super().__init__(f"{path}:{line_number}: {reason}")
+        self.path = path
+        self.line_number = line_number
+        self.reason = reason
+
+
+def record_crc(record: Dict[str, object]) -> int:
+    """CRC32 of a record's canonical JSON form (sans any ``crc`` field)."""
+    if "crc" in record:
+        record = {key: value for key, value in record.items() if key != "crc"}
+    return zlib.crc32(json.dumps(record, sort_keys=True).encode())
+
+
 class CheckpointWriter:
-    """Append-only JSONL writer with a one-line header for fresh files."""
+    """Append-only JSONL writer with a one-line header for fresh files.
+
+    Every record line carries a ``crc`` field (:func:`record_crc`).  When
+    appending to an existing file, a torn final line — a kill arrived
+    mid-``write()`` — is *truncated away* rather than newline-terminated:
+    readers drop unterminated final lines anyway (the seed re-runs), and
+    truncation keeps the file free of interior garbage that strict
+    readers would have to treat as corruption.
+    """
 
     def __init__(self, path: str, header: Dict[str, object], fresh: bool):
         self.path = path
@@ -83,27 +129,54 @@ class CheckpointWriter:
             self._handle.write(json.dumps(header, sort_keys=True) + "\n")
             self._handle.flush()
         else:
-            # A kill mid-write can leave a torn final line without a
-            # newline; terminate it so the first appended record does not
-            # merge into it (the torn fragment stays skippable garbage).
-            with open(path, "rb") as existing:
-                size = existing.seek(0, os.SEEK_END)
-                if size > 0:
-                    existing.seek(-1, os.SEEK_END)
-                    needs_newline = existing.read(1) != b"\n"
-                else:
-                    needs_newline = False
+            _truncate_torn_final_line(path)
             self._handle = open(path, "a")
-            if needs_newline:
-                self._handle.write("\n")
-                self._handle.flush()
+        # Set after an injected torn write: (file offset of the intact
+        # tail, the full batch that should have been written).  The next
+        # write repairs the tear and replays the batch, exactly as a
+        # resumed process re-running the lost shard would.
+        self._torn: Optional[Tuple[int, str]] = None
 
     def write_records(self, records: Iterable[Dict[str, object]]) -> None:
+        if self._torn is not None:
+            offset, replay = self._torn
+            self._torn = None
+            self._handle.flush()
+            self._handle.truncate(offset)
+            self._handle.seek(offset)  # truncate() does not move the cursor
+            self._handle.write(replay)
+        lines = []
         for record in records:
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            stamped = dict(record)
+            stamped["crc"] = record_crc(record)
+            lines.append(json.dumps(stamped, sort_keys=True) + "\n")
+        data = "".join(lines)
+        if lines and faults.fire("checkpoint.torn"):
+            # Crash mid-write: everything but part of the final line lands
+            # on disk.  The torn fragment is repaired (and the batch
+            # replayed) on the next write, or dropped by readers if the
+            # process really dies here.
+            self._handle.flush()
+            offset = self._handle.tell()
+            cut = len(data) - max(1, len(lines[-1]) // 2)
+            self._handle.write(data[:cut])
+            self._handle.flush()
+            self._torn = (offset, data)
+            raise faults.InjectedCrash(
+                f"{self.path}: injected torn checkpoint write"
+            )
+        self._handle.write(data)
         self._handle.flush()
 
     def close(self) -> None:
+        if self._torn is not None:
+            offset, replay = self._torn
+            self._torn = None
+            self._handle.flush()
+            self._handle.truncate(offset)
+            self._handle.seek(offset)  # truncate() does not move the cursor
+            self._handle.write(replay)
+            self._handle.flush()
         self._handle.close()
 
     def __enter__(self) -> "CheckpointWriter":
@@ -113,55 +186,121 @@ class CheckpointWriter:
         self.close()
 
 
+def _truncate_torn_final_line(path: str) -> None:
+    """Drop an unterminated final line (kill-mid-write residue) in place."""
+    with open(path, "rb") as handle:
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":
+            return
+        # Scan backwards for the last newline; everything after it is the
+        # torn fragment.
+        keep = 0
+        offset = size
+        while offset > 0:
+            step = min(4096, offset)
+            handle.seek(offset - step)
+            block = handle.read(step)
+            newline = block.rfind(b"\n")
+            if newline != -1:
+                keep = offset - step + newline + 1
+                break
+            offset -= step
+    os.truncate(path, keep)
+
+
 def read_jsonl(
-    path: str, keep
+    path: str, keep, strict: bool = False
 ) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
-    """Forgiving JSONL reader shared by checkpoints and lease journals.
+    """JSONL reader shared by checkpoints and lease journals.
 
     ``(header, records)`` where the header is line 0 when it is an object
     with a ``schema`` key, and ``keep(payload)`` filters the remaining
-    lines.  Returns ``(None, [])`` for a missing file; blank, unparsable
-    (torn) and non-object lines are skipped — the single place the
-    torn-line tolerance rules live.
+    lines.  Returns ``(None, [])`` for a missing file.  The single place
+    the torn-line tolerance rules live:
+
+    * a **final** line without its newline is torn by definition (a kill
+      arrived mid-write) and is dropped in both modes — even if the
+      fragment happens to parse, so readers agree with the writer's
+      truncate-on-append repair;
+    * lines carrying a ``crc`` field are verified against
+      :func:`record_crc`;
+    * in forgiving mode (default) blank, unparsable, non-object and
+      CRC-failing lines are skipped — the right stance while another
+      process may still be appending;
+    * in ``strict`` mode an *interior* unparsable or CRC-failing line
+      raises :class:`CheckpointCorruption` with its 1-indexed line number
+      — the right stance when resuming or merging, where a skipped line
+      is silently lost work.
     """
     if not os.path.exists(path):
         return None, []
     header: Optional[Dict[str, object]] = None
     records: List[Dict[str, object]] = []
-    with open(path) as handle:
-        for i, line in enumerate(handle):
-            line = line.strip()
-            if not line:
+    with open(path, "rb") as handle:
+        raw_lines = handle.readlines()
+    if raw_lines and not raw_lines[-1].endswith(b"\n"):
+        raw_lines.pop()  # torn final line: dropped, its seed re-runs
+    for i, raw in enumerate(raw_lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line.decode("utf-8", errors="strict"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if strict:
+                raise CheckpointCorruption(
+                    path, i + 1, "unparsable (torn) interior line"
+                )
+            continue
+        if not isinstance(payload, dict):
+            if strict:
+                raise CheckpointCorruption(
+                    path, i + 1, f"expected a JSON object, got {type(payload).__name__}"
+                )
+            continue
+        if "crc" in payload:
+            stored = payload.pop("crc")
+            if stored != record_crc(payload):
+                if strict:
+                    raise CheckpointCorruption(
+                        path,
+                        i + 1,
+                        f"CRC mismatch (stored {stored}, "
+                        f"computed {record_crc(payload)})",
+                    )
                 continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if i == 0 and isinstance(payload, dict) and "schema" in payload:
-                header = payload
-                continue
-            if isinstance(payload, dict) and keep(payload):
-                records.append(payload)
+        if i == 0 and "schema" in payload:
+            header = payload
+            continue
+        if keep(payload):
+            records.append(payload)
     return header, records
 
 
 def load_checkpoint(
-    path: str,
+    path: str, strict: bool = False
 ) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
     """Read ``(header, records)`` from a checkpoint file.
 
-    Returns ``(None, [])`` when the file does not exist.  Unparsable lines
-    (for example the torn last line of a killed run) are skipped; lines
-    without an integer ``seed`` and ``code`` are ignored as malformed.
+    Returns ``(None, [])`` when the file does not exist.  A torn *final*
+    line (the kill-mid-write signature) is always dropped; with
+    ``strict=True`` — every resume and merge path — a torn or CRC-failing
+    *interior* line raises :class:`CheckpointCorruption` instead of being
+    skipped.  Lines without an integer ``seed`` and ``code`` are ignored
+    as malformed.
     """
     return read_jsonl(
         path,
         lambda payload: isinstance(payload.get("seed"), int)
         and isinstance(payload.get("code"), int),
+        strict=strict,
     )
 
 
-def summarize_checkpoint(path: str):
+def summarize_checkpoint(path: str, strict: bool = False):
     """``(header, Aggregator)`` for an existing checkpoint, no re-running.
 
     Folds every record of the file into a fresh
@@ -175,7 +314,7 @@ def summarize_checkpoint(path: str):
 
     if not os.path.exists(path):
         raise ValueError(f"{path}: no such checkpoint file")
-    header, records = load_checkpoint(path)
+    header, records = load_checkpoint(path, strict=strict)
     if header is None:
         raise ValueError(
             f"{path}: not a campaign checkpoint (no {CHECKPOINT_SCHEMA} header)"
@@ -222,7 +361,9 @@ def _merge(
     for path in paths:
         if not os.path.exists(path):
             raise ValueError(f"{path}: no such checkpoint file")
-        header, records = load_checkpoint(path)
+        # Strict: a merge that silently skipped a corrupted interior line
+        # would compute a digest over silently-missing work.
+        header, records = load_checkpoint(path, strict=True)
         if header is None:
             raise ValueError(
                 f"{path}: not a campaign checkpoint "

@@ -66,6 +66,7 @@ import shlex
 import socket
 import threading
 import time
+import urllib.error
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -99,6 +100,9 @@ LEASE_SCHEMA = "campaign-leases/v1"
 
 #: Default seconds a lease may stay unfinished before it is re-issued.
 DEFAULT_LEASE_TIMEOUT_S = 600.0
+
+#: Default number of issues a seed range gets before it is quarantined.
+DEFAULT_MAX_LEASE_ATTEMPTS = 5
 
 
 def partition_leases(
@@ -134,7 +138,7 @@ class Lease:
     worker: str = ""
     attempt: int = 1
     checkpoint: Optional[str] = None
-    state: str = "issued"  # issued | completed | expired
+    state: str = "issued"  # issued | completed | expired | quarantined
     issued_at: float = 0.0
 
     @property
@@ -222,17 +226,25 @@ class Coordinator:
         checkpoint: Optional[str] = None,
         resume: bool = False,
         lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_lease_attempts: int = DEFAULT_MAX_LEASE_ATTEMPTS,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.spec = spec
         self.trials = trials
         self.base_seed = base_seed
         self.lease_timeout_s = lease_timeout_s
+        self.max_lease_attempts = max(1, int(max_lease_attempts))
         self._clock = clock
         self._lock = threading.Lock()
         self._seq = 0
         self._active: Dict[str, Lease] = {}
         self._completed: List[Lease] = []
+        # Issue counts per (lo, hi) range; a range that burns through
+        # max_lease_attempts issues without completing is poison — some
+        # seed in it keeps killing workers — and is quarantined instead of
+        # wedging the campaign in an endless re-issue loop.
+        self._range_attempts: Dict[Tuple[int, int], int] = {}
+        self._quarantined: List[Lease] = []
         self._workers: set = set()
         self.aggregator = Aggregator(spec.label, base_seed, trials)
 
@@ -247,7 +259,7 @@ class Coordinator:
             }
             fresh = True
             if resume:
-                existing, records = load_checkpoint(checkpoint)
+                existing, records = load_checkpoint(checkpoint, strict=True)
                 if existing is not None:
                     if existing.get("spec") != header["spec"] or existing.get(
                         "base_seed"
@@ -313,11 +325,14 @@ class Coordinator:
                 return None
             lo, hi = self._pending.popleft()
             self._seq += 1
+            attempt = self._range_attempts.get((lo, hi), 0) + 1
+            self._range_attempts[(lo, hi)] = attempt
             lease = Lease(
                 lease_id=f"lease-{self._seq:04d}",
                 lo=lo,
                 hi=hi,
                 worker=worker,
+                attempt=attempt,
                 issued_at=self._clock(),
             )
             self._active[lease.lease_id] = lease
@@ -393,9 +408,26 @@ class Coordinator:
         ]
         for lease in expired:
             del self._active[lease.lease_id]
-            lease.state = "expired"
-            self._pending.append((lease.lo, lease.hi))
-            self._journal_event("expire", lease=lease.lease_id, reason="timeout")
+            if lease.attempt >= self.max_lease_attempts:
+                # Poison lease: every issue of this range has died.  Report
+                # it and move on — re-issuing forever would wedge the
+                # campaign behind one bad seed range.
+                lease.state = "quarantined"
+                self._quarantined.append(lease)
+                self._journal_event(
+                    "quarantine",
+                    lease=lease.lease_id,
+                    lo=lease.lo,
+                    hi=lease.hi,
+                    attempts=lease.attempt,
+                    reason="max lease attempts exhausted",
+                )
+            else:
+                lease.state = "expired"
+                self._pending.append((lease.lo, lease.hi))
+                self._journal_event(
+                    "expire", lease=lease.lease_id, reason="timeout"
+                )
         return expired
 
     # -- results -------------------------------------------------------------
@@ -405,8 +437,52 @@ class Coordinator:
         with self._lock:
             return self._done_locked()
 
+    def _quarantined_pending_locked(self) -> int:
+        """Seeds inside quarantined ranges still lacking a record.
+
+        Computed live: a slow first worker's late submit can still fill a
+        quarantined range's seeds (deduplication makes that harmless), and
+        those seeds must not be counted as abandoned twice.
+        """
+        return sum(
+            1
+            for lease in self._quarantined
+            for seed in range(lease.lo, lease.hi)
+            if self.aggregator.code_at(seed) == 0
+        )
+
     def _done_locked(self) -> bool:
-        return self.aggregator.completed >= self.trials
+        # A campaign with quarantined ranges finishes — visibly incomplete
+        # (the status reports exactly which seeds were abandoned) — rather
+        # than wedging on ranges no worker survives.
+        done = self.aggregator.completed >= self.trials
+        if not done and self._quarantined:
+            done = (
+                self.aggregator.completed + self._quarantined_pending_locked()
+                >= self.trials
+                and not self._pending
+                and not self._active
+            )
+        return done
+
+    def quarantined(self) -> List[Dict[str, object]]:
+        """The quarantined leases, with their still-missing seed counts."""
+        with self._lock:
+            return [
+                {
+                    "id": lease.lease_id,
+                    "lo": lease.lo,
+                    "hi": lease.hi,
+                    "worker": lease.worker,
+                    "attempts": lease.attempt,
+                    "pending": sum(
+                        1
+                        for seed in range(lease.lo, lease.hi)
+                        if self.aggregator.code_at(seed) == 0
+                    ),
+                }
+                for lease in self._quarantined
+            ]
 
     def status(self) -> Dict[str, object]:
         with self._lock:
@@ -419,6 +495,8 @@ class Coordinator:
                 "lease_trials": self.lease_trials_used,
                 "active_leases": [lease.to_json() for lease in self._active.values()],
                 "workers": sorted(self._workers),
+                "quarantined_ranges": len(self._quarantined),
+                "quarantined_pending": self._quarantined_pending_locked(),
                 "done": self._done_locked(),
             }
 
@@ -478,7 +556,14 @@ class _CoordinatorHandler(JsonRequestHandler):
         coordinator = self.coordinator
         if self.path == "/lease":
             worker = str(payload.get("worker") or "anonymous")
-            lease = coordinator.acquire(worker)
+            try:
+                lease = coordinator.acquire(worker)
+            except Exception as exc:  # e.g. a torn journal write
+                # Same contract as /submit: a clean 500, not a stack trace.
+                # The worker simply polls again; an issued-but-unanswered
+                # lease expires and re-queues.
+                self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
+                return
             self._send(
                 {
                     "spec": coordinator.spec.to_json(),
@@ -495,6 +580,12 @@ class _CoordinatorHandler(JsonRequestHandler):
                 )
             except CheckpointConflict as exc:
                 self._send({"error": str(exc)}, 409)
+                return
+            except Exception as exc:  # e.g. a torn checkpoint write
+                # A clean 500 instead of a stack trace and a dropped
+                # socket: the worker treats it as a failed submit and the
+                # lease re-issues (already-folded records deduplicate).
+                self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
                 return
             self._send(outcome)
         else:
@@ -599,6 +690,9 @@ def work_remote(
     through the shared transport; ``chunked`` streams submit bodies with
     chunked transfer encoding.
     """
+    from .. import faults
+    from ..service.transport import _is_timeout
+
     worker = worker or f"{socket.gethostname()}-{os.getpid()}"
     url = url.rstrip("/")
     options = {
@@ -613,10 +707,24 @@ def work_remote(
     leases = 0
     trials_run = 0
     idle = 0
+    crashes = 0
     note: Optional[str] = None
     while True:
         try:
-            reply = http_json(f"{url}/lease", {"worker": worker}, **options)
+            # Idempotent: acquiring a lease twice because the first reply
+            # was lost just issues a range that will expire and re-queue —
+            # the dedup merge absorbs any overlap.
+            reply = http_json(
+                f"{url}/lease", {"worker": worker}, idempotent=True, **options
+            )
+        except urllib.error.HTTPError as exc:
+            if exc.code >= 500:
+                # Coordinator-side trouble (e.g. a torn journal write):
+                # poll again — a half-issued lease expires and re-queues.
+                note = f"lease answered {exc.code}; retrying"
+                time.sleep(poll_s)
+                continue
+            raise
         except OSError as exc:  # URLError, refused/reset connections
             note = f"coordinator unreachable ({exc}); stopping"
             break
@@ -634,22 +742,58 @@ def work_remote(
             spec_json = reply["spec"]
             spec = CampaignSpec.from_json(spec_json)
             backend = None
-        if jobs > 1:
-            records = _run_lease_local(spec, lease["lo"], lease["hi"], jobs)
-        else:
-            if backend is None:
-                backend = spec.build()
-            records = [
-                backend.run_trial(seed) for seed in range(lease["lo"], lease["hi"])
-            ]
         try:
+            if faults.fire("worker.crash"):
+                raise faults.InjectedCrash(
+                    f"injected worker crash holding {lease['id']}"
+                )
+            if jobs > 1:
+                records = _run_lease_local(spec, lease["lo"], lease["hi"], jobs)
+            else:
+                if backend is None:
+                    backend = spec.build()
+                records = [
+                    backend.run_trial(seed)
+                    for seed in range(lease["lo"], lease["hi"])
+                ]
+        except faults.InjectedCrash:
+            # The "process" died holding the lease: nothing is submitted,
+            # the lease expires and re-issues.  (The loop continuing here
+            # models the worker's supervised restart.)
+            crashes += 1
+            backend = None
+            continue
+        submit_payload = {
+            "lease": lease["id"],
+            "worker": worker,
+            "records": records,
+        }
+        try:
+            # NOT idempotent: a /submit whose response is lost was very
+            # likely processed; blindly re-sending it is exactly the retry
+            # bug this flag exists to prevent.  (The coordinator's dedup
+            # would absorb it, but dedup is the backstop, not the policy.)
             outcome = http_json(
-                f"{url}/submit",
-                {"lease": lease["id"], "worker": worker, "records": records},
-                chunked=chunked,
-                **options,
+                f"{url}/submit", submit_payload, chunked=chunked, **options
             )
+        except urllib.error.HTTPError as exc:
+            if exc.code >= 500:
+                # Server-side trouble (e.g. its checkpoint write died
+                # mid-line): the records either landed or the lease will
+                # re-issue; keep working.
+                note = f"submit answered {exc.code}; continuing"
+                continue
+            raise
         except OSError as exc:
+            if _is_timeout(exc):
+                # The records were probably accepted and only the reply
+                # was lost; keep polling — either the range is recorded,
+                # or the lease expires and re-issues.
+                note = (
+                    f"submit reply lost ({exc}); continuing — the lease "
+                    "completes or re-issues server-side"
+                )
+                continue
             note = (
                 f"coordinator unreachable on submit ({exc}); the lease "
                 "will be re-issued"
@@ -657,12 +801,23 @@ def work_remote(
             break
         leases += 1
         trials_run += len(records)
+        if faults.fire("worker.duplicate_submit"):
+            # A retry-storm shape: the same submit delivered twice.  The
+            # coordinator's seed dedup must absorb it without double
+            # counting; a failure of the duplicate changes nothing.
+            try:
+                http_json(
+                    f"{url}/submit", submit_payload, chunked=chunked, **options
+                )
+            except OSError:
+                pass
         if outcome.get("done"):
             break
     summary: Dict[str, object] = {
         "worker": worker,
         "leases": leases,
         "trials": trials_run,
+        "crashes": crashes,
     }
     if note is not None:
         summary["note"] = note

@@ -105,7 +105,10 @@ def run_campaign(
         }
         fresh = True
         if resume:
-            existing_header, records = load_checkpoint(checkpoint)
+            # Strict: resuming over a corrupted interior line would
+            # silently drop completed work and change the digest.  A torn
+            # *final* line (kill mid-write) is still tolerated.
+            existing_header, records = load_checkpoint(checkpoint, strict=True)
             if existing_header is not None:
                 _check_header(existing_header, header)
                 for record in records:

@@ -508,6 +508,7 @@ def _coordinate_serve(spec, args) -> int:
             checkpoint=merged,
             resume=True,
             lease_timeout_s=args.lease_timeout_s,
+            max_lease_attempts=args.max_lease_attempts,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
@@ -533,9 +534,21 @@ def _coordinate_serve(spec, args) -> int:
             )
             return 130
     result = coordinator.result(elapsed_s=time.perf_counter() - started)
+    quarantined = coordinator.quarantined()
     coordinator.close()
     print(result.summary())
+    for lease in quarantined:
+        # A poison lease: every issue of this range died.  The campaign
+        # finishes around it; the hole is reported, never papered over.
+        print(
+            f"repro: quarantined range [{lease['lo']}, {lease['hi']}) "
+            f"after {lease['attempts']} attempt(s); "
+            f"{lease['pending']} seed(s) unfinished",
+            file=sys.stderr,
+        )
     print(f"merged checkpoint -> {merged}")
+    if quarantined:
+        return 2
     return 1 if result.mismatches else 0
 
 
@@ -547,11 +560,20 @@ def _cmd_coordinate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run the always-on query service until interrupted."""
-    import asyncio
+    """Run the always-on query service until interrupted.
 
+    SIGTERM triggers a graceful drain: the listener closes, new requests
+    on open connections get 503 + Retry-After, in-flight streams finish
+    within ``--drain-s``, and stragglers are aborted with an error
+    trailer — the process never dies mid-chunk.
+    """
+    import asyncio
+    import signal
+
+    from . import faults
     from .service import QueryService
 
+    faults.install_from_env()
     service = QueryService(
         secret=args.secret,
         dialect=args.dialect,
@@ -560,13 +582,16 @@ def _cmd_serve(args) -> int:
         build_cache_size=args.build_cache_size,
         build_cache_bytes=args.build_cache_bytes,
         batch_rows=args.batch_rows,
+        request_deadline_s=args.deadline_s,
+        max_inflight=args.max_inflight,
+        drain_grace_s=args.drain_s,
     )
     if args.database:
         service.install_database(
             load_database(args.database), name=args.name, tenant=args.tenant
         )
 
-    async def go() -> None:
+    async def go() -> int:
         host, port = await service.start(args.host, args.port)
         url = f"http://{host}:{port}"
         print(f"query service at {url}" + (" (secret required)" if args.secret else ""))
@@ -576,13 +601,25 @@ def _cmd_serve(args) -> int:
                 f"for tenant {args.tenant!r}"
             )
         print(f'  try: python -m repro query {url} "SELECT ..."')
-        await service.serve_forever()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-Unix / nested loop
+            signal.signal(
+                signal.SIGTERM,
+                lambda *_: loop.call_soon_threadsafe(stop.set),
+            )
+        # start() already accepts connections; this wait is the serve loop.
+        await stop.wait()
+        print("repro: SIGTERM — draining in-flight streams", file=sys.stderr)
+        await service.shutdown(args.drain_s)
+        return 0
 
     try:
-        asyncio.run(go())
+        return asyncio.run(go())
     except KeyboardInterrupt:
         return 130
-    return 0
 
 
 def _cmd_query(args) -> int:
@@ -619,8 +656,10 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_work(args) -> int:
+    from . import faults
     from .campaigns import run_campaign, work_remote
 
+    faults.install_from_env()
     if args.coordinator:
         summary = work_remote(
             args.coordinator,
@@ -867,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-issue a lease not finished within this many seconds",
     )
     coordinate.add_argument(
+        "--max-lease-attempts", type=int, default=5,
+        help="quarantine a seed range after this many failed issues "
+        "instead of re-leasing it forever (exit code 2 reports holes)",
+    )
+    coordinate.add_argument(
         "--serve", type=int, metavar="PORT", default=None,
         help="serve leases over HTTP instead of file-based operation",
     )
@@ -990,6 +1034,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch-rows", type=int, default=256,
         help="rows per streamed chunk",
+    )
+    serve.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="per-request deadline; a started stream past it is aborted "
+        "with an error trailer, an unstarted one answers 503",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="overload admission: shed requests beyond this many "
+        "in flight with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--drain-s", type=float, default=5.0,
+        help="SIGTERM drain grace before in-flight streams are aborted "
+        "with an error trailer",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -159,14 +159,21 @@ class ServiceClient:
         # Chunk boundaries and line boundaries are independent: reassemble
         # lines across chunks before decoding.
         pending = b""
+        aborted: Optional[str] = None
+        done = False
         while True:
-            size_line = await self._reader.readline()
-            size = int(size_line.split(b";", 1)[0], 16)
-            if size == 0:
+            try:
+                size_line = await self._reader.readline()
+                if not size_line.strip():
+                    raise ConnectionError("service dropped the stream")
+                size = int(size_line.split(b";", 1)[0], 16)
+                if size == 0:
+                    await self._reader.readline()
+                    break
+                pending += await self._reader.readexactly(size)
                 await self._reader.readline()
-                break
-            pending += await self._reader.readexactly(size)
-            await self._reader.readline()
+            except asyncio.IncompleteReadError as exc:
+                raise ConnectionError("service dropped mid-chunk") from exc
             while b"\n" in pending:
                 line, pending = pending.split(b"\n", 1)
                 if not line.strip():
@@ -178,6 +185,18 @@ class ServiceClient:
                     result.rows.extend(obj["rows"])
                 elif obj.get("done"):
                     result.row_count = obj["row_count"]
+                    done = True
+                elif "error" in obj:
+                    # The server's abort trailer: the stream ended early
+                    # on purpose (deadline, drain, injected drop).
+                    aborted = str(obj["error"])
+        if aborted is not None:
+            raise ServiceError(200, f"stream aborted: {aborted}")
+        if not done:
+            # The terminator arrived without a done trailer: the stream
+            # was cut mid-flight; never hand back a short result as
+            # complete.
+            raise ConnectionError("stream ended without a done trailer")
         return result
 
     # -- API -----------------------------------------------------------------

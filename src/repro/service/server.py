@@ -44,10 +44,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import faults
 from ..core.errors import ReproError
 from ..core.schema import Database, Schema
 from ..core.values import NULL
@@ -73,9 +75,59 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 class _BadRequest(Exception):
-    def __init__(self, message: str, status: int = 400):
+    def __init__(
+        self, message: str, status: int = 400, retry_after: Optional[int] = None
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class _StreamAbort(Exception):
+    """An in-flight stream must end now (drain deadline, injected drop);
+    the handler writes the error trailer so the client can tell a clean
+    abort from silent truncation."""
+
+
+class _CircuitBreaker:
+    """Per-tenant failure breaker: trip after ``threshold`` consecutive
+    server-side failures, reject with Retry-After until ``reset_s`` has
+    passed, then allow one probe through (half-open)."""
+
+    def __init__(self, threshold: int, reset_s: float):
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    def retry_after(self, now: float) -> Optional[int]:
+        """Seconds the caller should wait, or None when requests may pass."""
+        if self.opened_at is None:
+            return None
+        remaining = self.reset_s - (now - self.opened_at)
+        if remaining <= 0:
+            # Half-open: let this request probe; one more failure re-opens.
+            self.opened_at = None
+            self.failures = max(0, self.threshold - 1)
+            return None
+        return max(1, math.ceil(remaining))
+
+    def record(self, ok: bool, now: float) -> None:
+        if ok:
+            self.failures = 0
+            return
+        self.failures += 1
+        if self.failures >= self.threshold and self.opened_at is None:
+            self.opened_at = now
+            self.trips += 1
+
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """Read-only view for /stats (no half-open transition side effect)."""
+        open_now = (
+            self.opened_at is not None and (now - self.opened_at) < self.reset_s
+        )
+        return {"open": open_now, "failures": self.failures, "trips": self.trips}
 
 
 class QueryService:
@@ -92,6 +144,12 @@ class QueryService:
         max_statement_bytes: Optional[int] = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        request_deadline_s: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
+        drain_grace_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.secret = secret
         self.batch_rows = batch_rows
@@ -106,6 +164,24 @@ class QueryService:
         )
         self.requests = 0
         self.streams_in_flight = 0
+        # -- degradation ladder -------------------------------------------
+        self.request_deadline_s = request_deadline_s
+        self.max_inflight = max_inflight
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.drain_grace_s = drain_grace_s
+        self._clock = clock
+        self._breakers: Dict[str, _CircuitBreaker] = {}
+        self._inflight = 0
+        self._draining = False
+        self._abort_streams = False
+        self.tier_fallbacks = 0
+        self.deadline_timeouts = 0
+        self.overload_rejections = 0
+        self.breaker_rejections = 0
+        self.aborted_streams = 0
+        self.internal_errors = 0
+        self._conn_tasks: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- databases -----------------------------------------------------------
@@ -131,6 +207,28 @@ class QueryService:
             await self._server.wait_closed()
             self._server = None
 
+    async def shutdown(self, drain_s: Optional[float] = None) -> None:
+        """Graceful drain (the SIGTERM path): stop accepting, answer new
+        requests on existing connections with 503, let in-flight work run
+        to completion within the grace window, then abort stragglers — a
+        cancelled stream carries its error trailer, never a silent
+        mid-chunk truncation."""
+        self._draining = True
+        await self.stop()
+        grace = self.drain_grace_s if drain_s is None else drain_s
+        deadline = self._clock() + max(0.0, grace)
+        while self._inflight and self._clock() < deadline:
+            await asyncio.sleep(0.02)
+        self._abort_streams = True
+        lingering = list(self._conn_tasks)
+        for task in lingering:
+            task.cancel()
+        if lingering:
+            # Bounded: a peer that never reads must not hold up process
+            # exit — its abort trailer is in the transport buffer and will
+            # flush (or fail) as the socket closes in the background.
+            await asyncio.wait(lingering, timeout=1.0)
+
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         async with self._server:
@@ -142,6 +240,9 @@ class QueryService:
         transport = writer.transport
         if transport is not None:
             transport.set_write_buffer_limits(high=self.buffer_bytes)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 request = await self._read_request(reader)
@@ -150,11 +251,49 @@ class QueryService:
                 method, path, headers, body = request
                 self.requests += 1
                 keep_alive = headers.get("connection", "keep-alive") != "close"
+                writer._repro_started = False  # any response bytes sent yet?
+                self._inflight += 1
                 try:
-                    await self._route(method, path, headers, body, writer)
+                    if self._draining:
+                        # Refuse new work during SIGTERM drain; in-flight
+                        # streams get the grace period, new requests are
+                        # told where to go instead.
+                        await self._send_json(
+                            writer,
+                            {"error": "service is shutting down"},
+                            status=503,
+                            headers={"Retry-After": "1"},
+                        )
+                        keep_alive = False
+                    elif (
+                        self.max_inflight is not None
+                        and self._inflight > self.max_inflight
+                    ):
+                        # Overload admission: shed the excess request with
+                        # a clean 429 instead of queueing into collapse.
+                        self.overload_rejections += 1
+                        await self._send_json(
+                            writer,
+                            {"error": "too many in-flight requests"},
+                            status=429,
+                            headers={"Retry-After": "1"},
+                        )
+                    elif self.request_deadline_s is not None:
+                        await asyncio.wait_for(
+                            self._route(method, path, headers, body, writer),
+                            timeout=self.request_deadline_s,
+                        )
+                    else:
+                        await self._route(method, path, headers, body, writer)
                 except _BadRequest as exc:
+                    retry = getattr(exc, "retry_after", None)
                     await self._send_json(
-                        writer, {"error": str(exc)}, status=exc.status
+                        writer,
+                        {"error": str(exc)},
+                        status=exc.status,
+                        headers=(
+                            {"Retry-After": str(retry)} if retry else None
+                        ),
                     )
                 except (ReproError, ProtocolError, ValueError, KeyError) as exc:
                     await self._send_json(
@@ -162,11 +301,48 @@ class QueryService:
                         {"error": str(exc), "kind": type(exc).__name__},
                         status=400,
                     )
+                except asyncio.TimeoutError:
+                    # Deadline: the route coroutine was cancelled cleanly
+                    # (a started stream already wrote its error trailer).
+                    self.deadline_timeouts += 1
+                    if not writer._repro_started:
+                        await self._send_json(
+                            writer,
+                            {"error": "request deadline exceeded"},
+                            status=503,
+                            headers={"Retry-After": "1"},
+                        )
+                    keep_alive = False
+                except ConnectionError:
+                    # The peer is gone (really, or via server.disconnect):
+                    # nothing to answer, the outer handler closes quietly.
+                    raise
+                except Exception as exc:
+                    # Never die with a stack trace on the socket: even an
+                    # unexpected server-side failure is a clean JSON 500
+                    # (a started stream already carries its error trailer).
+                    self.internal_errors += 1
+                    if not writer._repro_started:
+                        await self._send_json(
+                            writer,
+                            {"error": str(exc), "kind": type(exc).__name__},
+                            status=500,
+                        )
+                    keep_alive = False
+                finally:
+                    self._inflight -= 1
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass
+        except asyncio.CancelledError:
+            # The drain grace expired and shutdown() cancelled this
+            # connection (a streaming response already wrote its abort
+            # trailer); end quietly instead of logging cancellation noise.
+            pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -222,27 +398,48 @@ class QueryService:
     # -- responses -----------------------------------------------------------
 
     _STATUS_TEXT = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
-                    404: "Not Found", 409: "Conflict"}
+                    404: "Not Found", 409: "Conflict",
+                    429: "Too Many Requests", 500: "Internal Server Error",
+                    503: "Service Unavailable"}
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, payload: dict, status: int = 200
+        self,
+        writer: asyncio.StreamWriter,
+        payload: dict,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode()
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {self._STATUS_TEXT.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
+            f"{extra}"
             f"Content-Length: {len(body)}\r\n\r\n"
         ).encode("latin-1")
+        writer._repro_started = True
         writer.write(head + body)
         await writer.drain()
 
     async def _stream_result(self, writer: asyncio.StreamWriter, labels, records) -> None:
-        """Chunked newline-delimited JSON with drain-per-batch backpressure."""
+        """Chunked newline-delimited JSON with drain-per-batch backpressure.
+
+        The abort contract: a stream that cannot run to completion — the
+        request deadline cancelled it, a SIGTERM drain ran out of grace,
+        or an injected disconnect — ends with an ``{"error": …,
+        "aborted": true}`` trailer line and the chunk terminator, at a
+        batch boundary.  A reader therefore always sees either the
+        ``done`` trailer, the error trailer, or a hard connection drop;
+        never a silently short result that parses as complete.
+        """
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
             "Transfer-Encoding: chunked\r\n\r\n"
         ).encode("latin-1")
+        writer._repro_started = True
         writer.write(head)
         self.streams_in_flight += 1
         try:
@@ -262,6 +459,12 @@ class QueryService:
                     batch = []
                     await self._write_chunk(writer, lines)
                     lines = []
+                    if self._abort_streams:
+                        raise _StreamAbort("service is shutting down")
+                    if faults.fire("server.disconnect"):
+                        raise faults.InjectedConnectionError(
+                            "injected mid-stream disconnect"
+                        )
             if batch:
                 lines.append(json.dumps({"rows": batch}).encode())
             lines.append(
@@ -270,8 +473,33 @@ class QueryService:
             await self._write_chunk(writer, lines)
             writer.write(b"0\r\n\r\n")
             await writer.drain()
+        except asyncio.CancelledError:
+            # Cancellation (deadline, or drain grace expired): finish the
+            # response with the error trailer (no drain — we are being
+            # cancelled) so the client sees an explicit abort, then let
+            # the cancellation continue.
+            self.aborted_streams += 1
+            reason = (
+                "service is shutting down"
+                if self._abort_streams
+                else "request deadline exceeded"
+            )
+            self._write_abort_trailer(writer, reason)
+            raise
+        except _StreamAbort as abort:
+            self.aborted_streams += 1
+            self._write_abort_trailer(writer, str(abort))
         finally:
             self.streams_in_flight -= 1
+
+    def _write_abort_trailer(self, writer: asyncio.StreamWriter, reason: str) -> None:
+        try:
+            data = json.dumps({"error": reason, "aborted": True}).encode() + b"\n"
+            writer.write(
+                f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n0\r\n\r\n"
+            )
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # the socket is already gone; nothing cleaner to say
 
     async def _write_chunk(self, writer: asyncio.StreamWriter, lines: List[bytes]) -> None:
         data = b"\n".join(lines) + b"\n"
@@ -293,6 +521,22 @@ class QueryService:
             stats = self.registry.stats()
             stats["requests"] = self.requests
             stats["streams_in_flight"] = self.streams_in_flight
+            now = self._clock()
+            stats["degradation"] = {
+                "tier_fallbacks": self.tier_fallbacks,
+                "deadline_timeouts": self.deadline_timeouts,
+                "overload_rejections": self.overload_rejections,
+                "breaker_rejections": self.breaker_rejections,
+                "aborted_streams": self.aborted_streams,
+                "internal_errors": self.internal_errors,
+                "draining": self._draining,
+                "breakers": {
+                    name: breaker.snapshot(now)
+                    for name, breaker in sorted(self._breakers.items())
+                },
+            }
+            plan = faults.current()
+            stats["faults"] = plan.counts() if plan is not None else None
             await self._send_json(writer, stats)
             return
         if method != "POST":
@@ -357,6 +601,70 @@ class QueryService:
             raise _BadRequest(f"unknown database {name!r}", status=404)
         return db
 
+    # -- degradation ladder ----------------------------------------------------
+
+    def _breaker_for(self, tenant_name: str) -> _CircuitBreaker:
+        breaker = self._breakers.get(tenant_name)
+        if breaker is None:
+            breaker = self._breakers[tenant_name] = _CircuitBreaker(
+                self.breaker_threshold, self.breaker_reset_s
+            )
+        return breaker
+
+    def _check_breaker(self, tenant_name: str) -> None:
+        """Raise a 503 + Retry-After when the tenant's breaker is open."""
+        retry = self._breaker_for(tenant_name).retry_after(self._clock())
+        if retry is not None:
+            self.breaker_rejections += 1
+            raise _BadRequest(
+                f"tenant {tenant_name!r} circuit open after repeated "
+                f"failures; retry in {retry}s",
+                status=503,
+                retry_after=retry,
+            )
+
+    def _execute_guarded(self, engine, tenant, tenant_name: str, query, db):
+        """Run a query with tier fallback under the tenant's breaker.
+
+        A failure of the *primary* (cached/compiled) tier that is not an
+        expected client error is retried once on a fresh uncached engine —
+        parse-to-interpretation from scratch, no shared mutable state.
+        Either the retry produces the same-semantics answer (counted in
+        ``tier_fallbacks``), or the request fails loudly; a wrong answer
+        is never served quietly.  Consecutive hard failures trip the
+        tenant's circuit breaker.
+        """
+        breaker = self._breaker_for(tenant_name)
+        try:
+            try:
+                if faults.fire("server.exec_error"):
+                    raise faults.InjectedCrash(
+                        "injected execution failure (primary tier)"
+                    )
+                table = engine.execute(query, db)
+            except (ReproError, ProtocolError, ValueError, KeyError):
+                raise  # a client-visible 400, not a tier failure
+            except Exception:
+                self.tier_fallbacks += 1
+                fallback = Engine(
+                    db.schema,
+                    tenant.dialect,
+                    plan_cache_size=0,
+                    build_cache_size=0,
+                )
+                if faults.fire("server.exec_error"):
+                    raise faults.InjectedCrash(
+                        "injected execution failure (fallback tier)"
+                    )
+                table = fallback.execute(query, db)
+        except (ReproError, ProtocolError, ValueError, KeyError):
+            raise
+        except Exception:
+            breaker.record(False, self._clock())
+            raise
+        breaker.record(True, self._clock())
+        return table
+
     async def _do_execute(self, tenant_name: str, payload: dict, writer) -> None:
         statement_id = str(payload.get("statement") or "")
         statement = self.registry.lookup(tenant_name, statement_id)
@@ -367,11 +675,14 @@ class QueryService:
         params = payload.get("params") or []
         if not isinstance(params, list):
             raise _BadRequest("'params' must be an array")
+        self._check_breaker(tenant_name)
         tenant = self.registry.tenant(tenant_name)
         db = self._resolve_database(tenant, statement, payload)
         bound = statement.bind(params)
+        if faults.fire("server.slow"):
+            await asyncio.sleep(0.25)
         engine = tenant.engine_for(db.schema)
-        table = engine.execute(bound, db)
+        table = self._execute_guarded(engine, tenant, tenant_name, bound, db)
         statement.executions += 1
         tenant.executions += 1
         await self._stream_result(writer, table.columns, table.bag)
@@ -380,6 +691,7 @@ class QueryService:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise _BadRequest("'sql' must be a non-empty string")
+        self._check_breaker(tenant_name)
         tenant = self.registry.tenant(tenant_name)
         name = str(payload.get("database") or DEFAULT_DATABASE)
         db = tenant.databases.get(name)
@@ -387,6 +699,8 @@ class QueryService:
             raise _BadRequest(f"unknown database {name!r}", status=404)
         from ..sql import annotate
 
+        if faults.fire("server.slow"):
+            await asyncio.sleep(0.25)
         # Ad-hoc admission policy: a fresh single-use engine — parse, plan
         # and execute from scratch, no plan admitted, no cache churned.
         engine = Engine(
@@ -396,7 +710,7 @@ class QueryService:
             build_cache_size=0,
         )
         query = annotate(sql, db.schema)
-        table = engine.execute(query, db)
+        table = self._execute_guarded(engine, tenant, tenant_name, query, db)
         tenant.executions += 1
         await self._stream_result(writer, table.columns, table.bag)
 
@@ -449,6 +763,15 @@ class ServiceThread:
                 asyncio.gather(*pending, return_exceptions=True)
             )
         self._loop.close()
+
+    def shutdown(self, drain_s: Optional[float] = None, timeout: float = 30.0) -> None:
+        """Graceful drain from the caller's thread (the SIGTERM analogue):
+        blocks until in-flight streams finish or the grace expires."""
+        assert self._loop is not None, "service thread is not running"
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(drain_s), self._loop
+        )
+        future.result(timeout=timeout)
 
     def __exit__(self, *exc) -> None:
         if self._loop is not None:

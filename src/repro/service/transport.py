@@ -16,8 +16,15 @@ dialect, so its mechanics live here once:
   send chunked bodies (``chunked=True``), so a worker streaming a large
   record batch never has to buffer it twice to learn its length.
 * **Retry with backoff.**  :func:`http_json` retries connection-level
-  failures (refused, reset, timed out — the shape of a coordinator or
-  service restart) with exponential backoff before giving up.  HTTP error
+  failures (refused, reset — the shape of a coordinator or service
+  restart, where the request never reached the application) with
+  exponential backoff before giving up.  A *timeout*, though, is
+  ambiguous: the request may have been sent and processed with only the
+  response lost, so retrying re-executes it.  Timeouts are therefore only
+  retried when the caller declares the request ``idempotent=True``
+  (re-execution is harmless: GET /status, lease polls whose overlap the
+  coordinator deduplicates) — never by default, which is what keeps a
+  non-idempotent ``/submit`` from being silently replayed.  HTTP error
   *responses* are never retried: a 409 conflict is an answer, not an
   outage, and re-sending it would not change the server's mind.
 
@@ -180,6 +187,17 @@ class JsonHttpServer:
         self.stop()
 
 
+def _is_timeout(exc: OSError) -> bool:
+    """Did this failure happen *after* the request may have been sent?
+
+    ``urllib`` wraps socket timeouts in ``URLError`` with the timeout as
+    its ``reason``; a bare ``TimeoutError`` comes from reads on the open
+    response.  Either way the server may have processed the request.
+    """
+    reason = getattr(exc, "reason", None)
+    return isinstance(exc, TimeoutError) or isinstance(reason, TimeoutError)
+
+
 def http_json(
     url: str,
     payload: Optional[Dict[str, object]] = None,
@@ -188,17 +206,25 @@ def http_json(
     retries: int = 0,
     backoff_s: float = 0.5,
     chunked: bool = False,
+    idempotent: bool = False,
 ) -> Dict[str, object]:
     """POST (or GET when ``payload`` is None) and decode a JSON reply.
 
-    Connection-level failures — refused, reset, DNS, timeout: the shape of
-    a server restart — are retried up to ``retries`` times with doubling
-    backoff.  HTTP error responses (4xx/5xx) raise immediately: they are
-    answers, and callers distinguish them by status
+    Connection-level failures — refused, reset, DNS: the shape of a
+    server restart, where the request never reached the application — are
+    retried up to ``retries`` times with doubling backoff.  A **timeout**
+    is different: the request may have been sent and *processed*, with
+    only the response lost, so a retry re-executes it server-side.
+    Timeouts are retried only with ``idempotent=True`` — callers must tag
+    requests whose re-execution is harmless — and raise immediately
+    otherwise.  HTTP error responses (4xx/5xx) raise immediately in all
+    cases: they are answers, and callers distinguish them by status
     (``urllib.error.HTTPError``).
     """
     import urllib.error
     import urllib.request
+
+    from .. import faults
 
     headers = dict(auth_headers(secret))
     data = None
@@ -213,12 +239,28 @@ def http_json(
     attempt = 0
     while True:
         try:
+            if faults.fire("transport.slow"):
+                time.sleep(0.005)
+            if faults.fire("transport.connect"):
+                raise faults.InjectedConnectionError(
+                    f"injected connection drop before {url}"
+                )
             request = urllib.request.Request(url, data=data, headers=headers)
             with urllib.request.urlopen(request, timeout=timeout_s) as response:
-                return json.loads(response.read().decode())
+                reply = json.loads(response.read().decode())
+            if faults.fire("transport.read_timeout"):
+                # The request went through and was processed; only the
+                # response is "lost".  Exactly the case a blind retry
+                # would silently replay.
+                raise faults.InjectedTimeout(
+                    f"injected read timeout after {url} was processed"
+                )
+            return reply
         except urllib.error.HTTPError:
             raise
-        except OSError:
+        except OSError as exc:
+            if _is_timeout(exc) and not idempotent:
+                raise
             if attempt >= retries:
                 raise
             attempt += 1

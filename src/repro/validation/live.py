@@ -47,6 +47,7 @@ import time
 from collections import Counter
 from typing import Dict, Iterable, Optional, Tuple
 
+from .. import faults
 from ..core.values import NULL, Null
 from ..engine import DIALECT_ORACLE, DIALECT_POSTGRES, Engine
 from ..ingest.generator import (
@@ -187,6 +188,19 @@ def classify_repro_error(error: str, detail: str) -> Optional[str]:
     return None
 
 
+#: Messages of *transient* SQLite errors, worth retrying: they come from
+#: contention, not from the query, so a bounded retry either clears them
+#: (restoring the fault-free outcome) or gives up with the error.
+_SQLITE_TRANSIENT_MARKS = ("database is locked", "database table is locked")
+
+
+def _is_transient(exc: sqlite3.OperationalError) -> bool:
+    if isinstance(exc, faults.InjectedFault):
+        return True
+    message = str(exc).lower()
+    return any(mark in message for mark in _SQLITE_TRANSIENT_MARKS)
+
+
 def classify_sqlite_error(exc: sqlite3.Error) -> Optional[str]:
     """The divergence class when SQLite errors but the repository runs."""
     message = str(exc).lower()
@@ -229,11 +243,13 @@ class LiveSqliteRunner:
         variant: str = "postgres",
         generator_config: Optional[ScenarioGeneratorConfig] = None,
         semantics_limit: int = 64,
+        transient_retries: int = 2,
     ):
         if variant not in ("postgres", "oracle"):
             raise ValueError(f"unknown variant {variant!r}")
         self.scenario = scenario
         self.variant = variant
+        self.transient_retries = max(0, int(transient_retries))
         self.generator_config = (
             generator_config
             if generator_config is not None
@@ -317,12 +333,30 @@ class LiveSqliteRunner:
             )
         sqlite_rows = None
         sqlite_error: Optional[sqlite3.Error] = None
-        try:
-            cursor = self.conn.execute(sql)
-            sqlite_rows = cursor.fetchall()
-            sqlite_arity = len(cursor.description)
-        except sqlite3.Error as exc:
-            sqlite_error = exc
+        # A transient OperationalError (the shape of "database is locked",
+        # or an injected fault) is retried a bounded number of times: the
+        # trial's outcome stays a pure function of its seed because a
+        # retry that succeeds yields exactly the fault-free result, and a
+        # *deterministic* error reproduces identically on every retry.
+        for attempt in range(self.transient_retries + 1):
+            sqlite_error = None
+            try:
+                if faults.fire("live.transient"):
+                    raise faults.InjectedOperationalError(
+                        "injected transient sqlite error"
+                    )
+                cursor = self.conn.execute(sql)
+                sqlite_rows = cursor.fetchall()
+                sqlite_arity = len(cursor.description)
+                break
+            except sqlite3.OperationalError as exc:
+                sqlite_error = exc
+                if attempt < self.transient_retries and _is_transient(exc):
+                    continue
+                break
+            except sqlite3.Error as exc:
+                sqlite_error = exc
+                break
 
         if engine_outcome.is_error and sqlite_error is not None:
             return record(CODE_AGREE_BOTH_ERROR)

@@ -1,0 +1,201 @@
+"""Checkpoint corruption: torn lines, CRCs, and the strict/forgiving split.
+
+The contract under test (ISSUE 10 satellite): a torn *final* line is the
+ordinary kill-mid-write signature — tolerated everywhere, the seed
+re-runs.  A torn or CRC-failing *interior* line means the file was
+damaged after writing — strict readers (resume, merge) must raise
+:class:`CheckpointCorruption` with the 1-indexed line number, never
+silently drop completed work.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.campaigns import (
+    CHECKPOINT_SCHEMA,
+    CampaignSpec,
+    CheckpointCorruption,
+    CheckpointWriter,
+    load_checkpoint,
+    merge_checkpoints,
+    record_crc,
+    run_campaign,
+    summarize_checkpoint,
+)
+
+HEADER = {
+    "schema": CHECKPOINT_SCHEMA,
+    "spec": {"kind": "validation", "variant": "postgres"},
+    "base_seed": 0,
+    "trials": 4,
+}
+
+
+def write_checkpoint(path, records):
+    with CheckpointWriter(str(path), HEADER, fresh=True) as writer:
+        writer.write_records(records)
+    return str(path)
+
+
+RECORDS = [{"seed": s, "code": 1} for s in range(4)]
+
+
+# -- CRC stamping --------------------------------------------------------------
+
+
+def test_writer_stamps_crc_and_reader_verifies(tmp_path):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    lines = [json.loads(l) for l in open(path).read().splitlines()]
+    for payload in lines[1:]:
+        stored = payload.pop("crc")
+        assert stored == record_crc(payload)
+    header, records = load_checkpoint(path, strict=True)
+    assert header["schema"] == CHECKPOINT_SCHEMA
+    assert records == RECORDS  # crc is stripped on read
+
+
+def test_records_without_crc_still_accepted(tmp_path):
+    """Pre-CRC checkpoints (no ``crc`` key) must keep loading."""
+    path = str(tmp_path / "old.jsonl")
+    with open(path, "w") as handle:
+        handle.write(json.dumps(HEADER) + "\n")
+        for record in RECORDS:
+            handle.write(json.dumps(record) + "\n")
+    _header, records = load_checkpoint(path, strict=True)
+    assert records == RECORDS
+
+
+# -- torn final line: tolerated ------------------------------------------------
+
+
+@pytest.mark.parametrize("strict", [False, True])
+def test_torn_final_line_is_dropped_not_fatal(tmp_path, strict):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    faults.tear_final_line(path)
+    _header, records = load_checkpoint(path, strict=strict)
+    assert records == RECORDS[:-1]  # the torn seed simply re-runs
+
+
+def test_unterminated_but_parseable_final_line_is_still_dropped(tmp_path):
+    """A final line without its newline is torn *by definition* — even if
+    the fragment parses — so readers agree with the writer's
+    truncate-on-append repair."""
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    with open(path, "rb+") as handle:
+        handle.seek(-1, 2)
+        assert handle.read(1) == b"\n"
+        handle.seek(-1, 2)
+        handle.truncate()  # drop just the newline: content intact
+    _header, records = load_checkpoint(path, strict=True)
+    assert records == RECORDS[:-1]
+
+
+# -- interior damage: strict raises, forgiving skips ---------------------------
+
+
+def test_interior_torn_line_raises_with_line_number(tmp_path):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    with open(path) as handle:
+        lines = handle.readlines()
+    lines[2] = lines[2][: len(lines[2]) // 2].rstrip("\n") + "\n"  # tear line 3
+    with open(path, "w") as handle:
+        handle.writelines(lines)
+    with pytest.raises(CheckpointCorruption) as excinfo:
+        load_checkpoint(path, strict=True)
+    assert excinfo.value.line_number == 3
+    assert excinfo.value.path == path
+    # Forgiving mode (live progress polling) skips it.
+    _header, records = load_checkpoint(path, strict=False)
+    assert records == [RECORDS[0]] + RECORDS[2:]
+
+
+def test_interior_bit_flip_fails_crc_in_strict_mode(tmp_path):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    faults.flip_bit(path, line_number=3)
+    with pytest.raises(CheckpointCorruption) as excinfo:
+        load_checkpoint(path, strict=True)
+    assert excinfo.value.line_number == 3
+    assert "CRC" in excinfo.value.reason or "unparsable" in excinfo.value.reason
+    _header, forgiving = load_checkpoint(path, strict=False)
+    assert len(forgiving) < len(RECORDS)
+
+
+def test_merge_is_strict_about_interior_corruption(tmp_path):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    faults.flip_bit(path, line_number=2)
+    with pytest.raises(CheckpointCorruption):
+        merge_checkpoints([path])
+
+
+def test_summarize_strict_flag_propagates(tmp_path):
+    path = write_checkpoint(tmp_path / "c.jsonl", RECORDS)
+    faults.flip_bit(path, line_number=2)
+    summarize_checkpoint(path)  # forgiving default still summarizes
+    with pytest.raises(CheckpointCorruption):
+        summarize_checkpoint(path, strict=True)
+
+
+# -- resume over damage --------------------------------------------------------
+
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+
+
+def test_resume_tolerates_torn_final_line_and_matches_serial(tmp_path):
+    reference = run_campaign(SPEC, trials=12, jobs=1).outcome_digest
+    path = str(tmp_path / "c.jsonl")
+    run_campaign(SPEC, trials=8, jobs=1, checkpoint=path)
+    faults.tear_final_line(path)
+    result = run_campaign(SPEC, trials=12, jobs=1, checkpoint=path, resume=True)
+    assert result.outcome_digest == reference
+    # The torn seed was re-run, not lost: the resumed file is complete.
+    _header, records = load_checkpoint(path, strict=True)
+    assert sorted(r["seed"] for r in records) == list(range(12))
+
+
+def test_resume_refuses_interior_corruption(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    run_campaign(SPEC, trials=8, jobs=1, checkpoint=path)
+    faults.flip_bit(path, line_number=4)
+    with pytest.raises(CheckpointCorruption):
+        run_campaign(SPEC, trials=12, jobs=1, checkpoint=path, resume=True)
+
+
+# -- injected torn writes ------------------------------------------------------
+
+
+def test_injected_torn_write_is_repaired_on_next_write(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    writer = CheckpointWriter(path, HEADER, fresh=True)
+    plan = faults.FaultPlan(0, {"checkpoint.torn": 1.0}, limits={"checkpoint.torn": 1})
+    with faults.active(plan):
+        with pytest.raises(faults.InjectedCrash):
+            writer.write_records(RECORDS[:2])
+        # The file now ends mid-line, exactly like a kill mid-write.
+        assert not open(path, "rb").read().endswith(b"\n")
+        writer.write_records(RECORDS[2:])  # repairs the tear, replays batch
+    writer.close()
+    _header, records = load_checkpoint(path, strict=True)
+    assert records == RECORDS
+    assert plan.injected == {"checkpoint.torn": 1}
+
+
+def test_injected_torn_write_without_repair_reads_as_torn_final(tmp_path):
+    """If the process really dies on the torn write, the file is a normal
+    kill-mid-write checkpoint: strict readers accept it minus the torn
+    line, and append-mode writers truncate the fragment away."""
+    path = str(tmp_path / "c.jsonl")
+    writer = CheckpointWriter(path, HEADER, fresh=True)
+    plan = faults.FaultPlan(0, {"checkpoint.torn": 1.0}, limits={"checkpoint.torn": 1})
+    with faults.active(plan):
+        with pytest.raises(faults.InjectedCrash):
+            writer.write_records(RECORDS)
+    writer._handle.close()  # simulate the crash: no close() repair
+    _header, records = load_checkpoint(path, strict=True)
+    assert records == RECORDS[:-1]
+    # A successor process appends cleanly over the repaired file.
+    with CheckpointWriter(path, HEADER, fresh=False) as successor:
+        successor.write_records(RECORDS[-1:])
+    _header, records = load_checkpoint(path, strict=True)
+    assert records == RECORDS

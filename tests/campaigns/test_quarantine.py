@@ -1,0 +1,116 @@
+"""Poison-lease quarantine: a range no worker survives must not wedge the
+campaign — after ``max_lease_attempts`` failed issues it is quarantined,
+faithfully reported, and the campaign finishes visibly incomplete."""
+
+from repro.campaigns import CampaignSpec, Coordinator
+
+SPEC = CampaignSpec(kind="validation", variant="postgres", rows=3)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def abandon(coordinator, clock, worker="doomed"):
+    """Acquire a lease, die holding it, and let it time out."""
+    lease = coordinator.acquire(worker)
+    if lease is not None:
+        clock.advance(coordinator.lease_timeout_s + 1)
+        coordinator.expire_stale()
+    return lease
+
+
+def test_poison_range_quarantines_after_max_attempts():
+    clock = FakeClock()
+    coordinator = Coordinator(
+        SPEC, 10, lease_trials=10, lease_timeout_s=5,
+        max_lease_attempts=3, clock=clock,
+    )
+    for attempt in range(1, 4):
+        lease = abandon(coordinator, clock)
+        assert lease is not None and lease.attempt == attempt
+    # Attempts exhausted: the range is quarantined, never re-issued.
+    assert coordinator.acquire("fresh") is None
+    report = coordinator.quarantined()
+    assert len(report) == 1
+    assert (report[0]["lo"], report[0]["hi"]) == (0, 10)
+    assert report[0]["attempts"] == 3
+    assert report[0]["pending"] == 10
+    status = coordinator.status()
+    assert status["quarantined_ranges"] == 1
+    assert status["quarantined_pending"] == 10
+    # The campaign is done — visibly incomplete, not wedged.
+    assert coordinator.done
+    assert coordinator.result().completed == 0
+
+
+def test_healthy_ranges_finish_around_a_poison_one():
+    clock = FakeClock()
+    coordinator = Coordinator(
+        SPEC, 20, lease_trials=10, lease_timeout_s=5,
+        max_lease_attempts=2, clock=clock,
+    )
+    backend = SPEC.build()
+    poison = coordinator.acquire("doomed")  # [0, 10) dies every time
+    healthy = coordinator.acquire("ok")
+    coordinator.submit(
+        healthy.lease_id,
+        [backend.run_trial(seed) for seed in healthy.seeds()],
+        worker="ok",
+    )
+    assert not coordinator.done
+    clock.advance(6)
+    coordinator.expire_stale()  # attempt 1 expires, re-queues
+    abandon(coordinator, clock)  # attempt 2 dies -> quarantine
+    assert coordinator.done
+    report = coordinator.quarantined()
+    assert [(q["lo"], q["hi"]) for q in report] == [(poison.lo, poison.hi)]
+    assert coordinator.result().completed == 10
+
+
+def test_late_submit_fills_a_quarantined_range():
+    """A presumed-dead worker that resurfaces after quarantine still gets
+    its records folded — dedup semantics make the hole heal."""
+    clock = FakeClock()
+    coordinator = Coordinator(
+        SPEC, 10, lease_trials=10, lease_timeout_s=5,
+        max_lease_attempts=1, clock=clock,
+    )
+    backend = SPEC.build()
+    lease = abandon(coordinator, clock)  # immediately quarantined
+    assert coordinator.quarantined()[0]["pending"] == 10
+    outcome = coordinator.submit(
+        lease.lease_id,
+        [backend.run_trial(seed) for seed in lease.seeds()],
+        worker="doomed",
+    )
+    assert outcome["accepted"] == 10
+    # The quarantine record remains (it happened) but reports no holes.
+    assert coordinator.quarantined()[0]["pending"] == 0
+    assert coordinator.status()["quarantined_pending"] == 0
+    assert coordinator.result().completed == 10
+
+
+def test_quarantine_is_journaled(tmp_path):
+    from repro.campaigns import load_journal
+
+    clock = FakeClock()
+    journal = str(tmp_path / "leases.jsonl")
+    coordinator = Coordinator(
+        SPEC, 5, lease_trials=5, lease_timeout_s=5,
+        max_lease_attempts=1, clock=clock, journal_path=journal,
+    )
+    abandon(coordinator, clock)
+    coordinator.close()
+    _header, events = load_journal(journal)
+    kinds = [event["event"] for event in events]
+    assert kinds == ["issue", "quarantine"]
+    assert events[1]["lo"] == 0 and events[1]["hi"] == 5
+    assert events[1]["attempts"] == 1

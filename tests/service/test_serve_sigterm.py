@@ -1,0 +1,54 @@
+"""End-to-end SIGTERM drain for ``repro serve``: the real process, the
+real signal handler, exit code 0, and the drain notice on stderr."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGTERM semantics are POSIX")
+def test_sigterm_drains_and_exits_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--host", "127.0.0.1", "--port", "0", "--drain-s", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("query service at http://"), line
+        url = line.split()[3]
+        # Prove the service answers before the signal arrives.
+        deadline = time.time() + 10
+        reply = None
+        while time.time() < deadline:
+            try:
+                with urllib.request.urlopen(f"{url}/health", timeout=2) as resp:
+                    reply = json.loads(resp.read())
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert reply is not None and reply.get("ok") is True
+
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=15)
+        stderr = proc.stderr.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert returncode == 0
+    assert "draining in-flight streams" in stderr

@@ -1,0 +1,70 @@
+"""Retry semantics under injected faults: the idempotency contract.
+
+A connection-level failure (the request never reached the application)
+retries freely.  A *timeout* may mean the request was processed with only
+the response lost — so it is retried only for requests tagged
+``idempotent=True``, and never by default.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.service.transport import (
+    JsonHttpServer,
+    JsonRequestHandler,
+    http_json,
+)
+
+
+class CountingHandler(JsonRequestHandler):
+    def do_POST(self):
+        self.server.hits += 1  # ThreadingHTTPServer attr pinned below
+        self._send({"hits": self.server.hits})
+
+
+@pytest.fixture()
+def server():
+    with JsonHttpServer(CountingHandler, hits=0) as srv:
+        yield srv
+
+
+def plan(rates, limits=None):
+    return FaultPlan(0, rates, limits)
+
+
+def test_connect_drop_is_retried_and_server_sees_one_request(server):
+    with faults.active(plan({"transport.connect": 1.0}, {"transport.connect": 2})):
+        reply = http_json(server.url, {}, retries=3, backoff_s=0.01)
+    assert reply == {"hits": 1}  # two injected drops, then one real request
+
+
+def test_connect_drop_without_retries_raises(server):
+    with faults.active(plan({"transport.connect": 1.0}, {"transport.connect": 1})):
+        with pytest.raises(ConnectionResetError):
+            http_json(server.url, {}, retries=0)
+
+
+def test_read_timeout_not_retried_by_default(server):
+    """The dangerous half: the request WAS processed.  A blind retry would
+    silently replay it — so the timeout surfaces to the caller."""
+    with faults.active(plan({"transport.read_timeout": 1.0},
+                            {"transport.read_timeout": 1})):
+        with pytest.raises(TimeoutError):
+            http_json(server.url, {}, retries=5, backoff_s=0.01)
+    assert server._httpd.hits == 1  # processed exactly once, never replayed
+
+
+def test_read_timeout_retried_when_idempotent(server):
+    with faults.active(plan({"transport.read_timeout": 1.0},
+                            {"transport.read_timeout": 2})):
+        reply = http_json(server.url, {}, retries=3, backoff_s=0.01,
+                          idempotent=True)
+    # Two timed-out-but-processed requests were re-sent, then one clean one.
+    assert reply == {"hits": 3}
+
+
+def test_slow_fault_only_delays(server):
+    with faults.active(plan({"transport.slow": 1.0})) as active_plan:
+        assert http_json(server.url, {}) == {"hits": 1}
+        assert active_plan.injected.get("transport.slow", 0) >= 1

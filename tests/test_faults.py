@@ -1,0 +1,174 @@
+"""The fault-injection harness itself: determinism, scoping, serialization.
+
+Chaos runs are only evidence if they are reproducible — the same plan
+seed must produce the same injection decisions at every site, in any
+process, regardless of thread interleaving elsewhere in the stack.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+
+
+def drain(plan, site, n):
+    return [plan.fire(site) for _ in range(n)]
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_same_seed_same_decisions():
+    a = FaultPlan(7, {"transport.connect": 0.3})
+    b = FaultPlan(7, {"transport.connect": 0.3})
+    assert drain(a, "transport.connect", 200) == drain(b, "transport.connect", 200)
+
+
+def test_different_seeds_differ():
+    a = FaultPlan(1, {"transport.connect": 0.5})
+    b = FaultPlan(2, {"transport.connect": 0.5})
+    assert drain(a, "transport.connect", 200) != drain(b, "transport.connect", 200)
+
+
+def test_sites_have_independent_streams():
+    """Checks at one site must not perturb decisions at another — the
+    property that makes plans robust to thread interleaving."""
+    lone = FaultPlan(5, {"server.slow": 0.4, "server.disconnect": 0.4})
+    noisy = FaultPlan(5, {"server.slow": 0.4, "server.disconnect": 0.4})
+    expected = drain(lone, "server.slow", 100)
+    for _ in range(137):  # interleave checks at the other site
+        noisy.fire("server.disconnect")
+    assert drain(noisy, "server.slow", 100) == expected
+
+
+def test_rate_zero_never_fires_and_rate_one_always_fires():
+    plan = FaultPlan(0, {"a": 0.0, "b": 1.0})
+    assert not any(drain(plan, "a", 50))
+    assert all(drain(plan, "b", 50))
+    assert plan.checks == {"a": 50, "b": 50}
+    assert plan.injected == {"b": 50}
+
+
+def test_unknown_site_defaults_to_no_fault():
+    plan = FaultPlan(0, {"b": 1.0})
+    assert not plan.fire("never.configured")
+
+
+def test_bad_rate_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(0, {"a": 1.5})
+
+
+# -- limits --------------------------------------------------------------------
+
+
+def test_limits_cap_injections_without_shifting_the_stream():
+    capped = FaultPlan(3, {"x": 1.0}, limits={"x": 2})
+    assert drain(capped, "x", 5) == [True, True, False, False, False]
+    assert capped.injected == {"x": 2}
+    assert capped.checks == {"x": 5}
+    # The draw happens before the cap check, so an uncapped plan with the
+    # same seed sees the identical underlying decision stream.
+    free = FaultPlan(3, {"x": 1.0})
+    assert drain(free, "x", 5) == [True] * 5
+
+
+# -- (de)serialization ---------------------------------------------------------
+
+
+def test_env_round_trip_preserves_decisions(monkeypatch):
+    plan = FaultPlan(11, {"worker.crash": 0.25}, limits={"worker.crash": 3})
+    encoded = plan.to_env()
+    json.loads(encoded)  # must be plain JSON
+    restored = FaultPlan.from_env(encoded)
+    assert restored.to_json() == plan.to_json()
+    assert drain(restored, "worker.crash", 100) == drain(plan, "worker.crash", 100)
+
+    monkeypatch.setenv(faults.ENV_VAR, encoded)
+    try:
+        installed = faults.install_from_env()
+        assert installed is not None
+        assert faults.current() is installed
+        assert installed.to_json() == plan.to_json()
+    finally:
+        faults.uninstall()
+
+
+def test_install_from_env_without_var_is_noop(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    assert faults.install_from_env() is None
+    assert faults.current() is None
+
+
+# -- ambient plan --------------------------------------------------------------
+
+
+def test_ambient_fire_is_false_without_a_plan():
+    assert faults.current() is None
+    assert faults.fire("transport.connect") is False
+
+
+def test_active_context_scopes_the_plan():
+    plan = FaultPlan(0, {"z": 1.0})
+    with faults.active(plan) as installed:
+        assert installed is plan
+        assert faults.fire("z") is True
+    assert faults.current() is None
+    assert faults.fire("z") is False
+
+
+def test_active_restores_previous_plan():
+    outer = FaultPlan(0, {})
+    with faults.active(outer):
+        with faults.active(FaultPlan(1, {})):
+            pass
+        assert faults.current() is outer
+    assert faults.current() is None
+
+
+# -- injected exception taxonomy ----------------------------------------------
+
+
+def test_injected_exceptions_are_their_real_types():
+    import sqlite3
+
+    assert issubclass(faults.InjectedConnectionError, ConnectionResetError)
+    assert issubclass(faults.InjectedTimeout, TimeoutError)
+    assert issubclass(faults.InjectedOperationalError, sqlite3.OperationalError)
+    assert issubclass(faults.InjectedCrash, RuntimeError)
+    for cls in (
+        faults.InjectedConnectionError,
+        faults.InjectedTimeout,
+        faults.InjectedOperationalError,
+        faults.InjectedCrash,
+    ):
+        assert issubclass(cls, faults.InjectedFault)
+
+
+# -- file corruption helpers ---------------------------------------------------
+
+
+def test_tear_final_line_truncates_mid_line(tmp_path):
+    path = str(tmp_path / "file.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"seed": 1}\n{"seed": 2, "padding": "xxxx"}\n')
+    removed = faults.tear_final_line(path)
+    assert removed > 0
+    data = open(path, "rb").read()
+    assert data.startswith(b'{"seed": 1}\n')
+    assert not data.endswith(b"\n")  # torn: final line lost its newline
+    assert len(data) < len('{"seed": 1}\n{"seed": 2, "padding": "xxxx"}\n')
+
+
+def test_flip_bit_damages_exactly_one_line(tmp_path):
+    path = str(tmp_path / "file.jsonl")
+    lines = ['{"seed": 1, "code": 1}', '{"seed": 2, "code": 1}']
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    faults.flip_bit(path, line_number=2)
+    damaged = open(path, "rb").read().split(b"\n")
+    assert damaged[0].decode() == lines[0]
+    assert damaged[1].decode(errors="replace") != lines[1]
+    assert len(damaged[1]) == len(lines[1])  # flipped, not truncated

@@ -1,0 +1,74 @@
+"""Transient-SQLite-error handling in the live comparator.
+
+An injected ``sqlite3.OperationalError`` that *looks* transient ("database
+is locked") must be retried away without changing the trial's record; one
+that outlives the retry budget must still produce a clean, classifiable
+record — never a crash out of ``run_trial``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.ingest import import_scenario
+from repro.validation.live import LiveSqliteRunner
+
+FIXTURE = str(Path(__file__).resolve().parent.parent / "fixtures" / "library.sql")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return import_scenario(FIXTURE)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    yield
+    faults.uninstall()
+
+
+def strip_ms(record):
+    return {k: v for k, v in record.items() if k != "ms"}
+
+
+def test_transient_error_is_retried_to_the_fault_free_record(scenario):
+    runner = LiveSqliteRunner(scenario)
+    try:
+        baseline = strip_ms(runner.run_trial(7))
+        with faults.active(
+            FaultPlan(0, {"live.transient": 1.0}, {"live.transient": 1})
+        ) as plan:
+            faulted = strip_ms(runner.run_trial(7))
+        assert plan.injected.get("live.transient") == 1
+        assert faulted == baseline
+    finally:
+        runner.close()
+
+
+def test_exhausted_retries_still_yield_a_clean_record(scenario):
+    runner = LiveSqliteRunner(scenario, transient_retries=1)
+    try:
+        # Every attempt fails: the error surfaces as a normal sqlite-side
+        # outcome (classified or mismatch), never an exception.
+        with faults.active(FaultPlan(0, {"live.transient": 1.0})):
+            record = runner.run_trial(7)
+        assert record["seed"] == 7
+        assert record["code"] in (2, 3, 4)
+    finally:
+        runner.close()
+
+
+def test_zero_retries_disables_the_retry_loop(scenario):
+    runner = LiveSqliteRunner(scenario, transient_retries=0)
+    try:
+        with faults.active(
+            FaultPlan(0, {"live.transient": 1.0}, {"live.transient": 1})
+        ) as plan:
+            record = runner.run_trial(7)
+        # One injection, no retry: the single attempt ate the fault.
+        assert plan.injected.get("live.transient") == 1
+        assert record["code"] in (2, 3, 4)
+    finally:
+        runner.close()
